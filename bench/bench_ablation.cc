@@ -1,0 +1,85 @@
+// Ablations of the paper's two query-evaluation optimizations (Sec. 4.2.2):
+//
+//  1. neighborhood-based candidate pruning (the u5 example), and
+//  2. TA-style early termination of the top-k search (Algorithm 3).
+//
+// Both are correctness-preserving (the tests assert equal results); this
+// harness measures what they buy: candidate-set shrinkage, anchored-search
+// counts, and end-to-end evaluation time over the workload.
+
+#include <cstdio>
+
+#include "bench_support.h"
+#include "qa/ganswer.h"
+
+using namespace ganswer;
+
+namespace {
+
+struct AblationScore {
+  double total_eval_ms = 0;
+  size_t anchored_searches = 0;
+  size_t expansions = 0;
+  size_t right = 0;
+};
+
+AblationScore Run(const bench::BenchWorld& world, bool pruning, bool ta) {
+  qa::GAnswer::Options opt;
+  opt.matching.neighborhood_pruning = pruning;
+  opt.matching.ta_early_stop = ta;
+  qa::GAnswer system(&world.kb.graph, &world.lexicon, world.verified.get(),
+                     opt);
+  AblationScore score;
+  for (const datagen::GoldQuestion& q : world.workload) {
+    auto r = system.Ask(q.text);
+    if (!r.ok()) continue;
+    score.total_eval_ms += r->evaluation_ms;
+    score.anchored_searches += r->match_stats.anchored_searches;
+    score.expansions += r->match_stats.expansions;
+    std::vector<std::string> answers;
+    for (const auto& a : r->answers) answers.push_back(a.text);
+    if (bench::Judge(q, r->is_ask, r->ask_result, answers) ==
+        bench::Verdict::kRight) {
+      ++score.right;
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Ablation -- neighborhood pruning and TA early termination");
+  datagen::KbGenerator::Options kb_opt;
+  kb_opt.num_families = 400;
+  kb_opt.num_films = 300;
+  auto world = bench::BuildWorld(kb_opt);
+  std::printf("KB: %zu triples; workload: %zu questions\n",
+              world.kb.graph.NumTriples(), world.workload.size());
+
+  struct Config {
+    const char* name;
+    bool pruning;
+    bool ta;
+  };
+  const Config configs[] = {
+      {"full (pruning + TA)", true, true},
+      {"no neighborhood pruning", false, true},
+      {"no TA early stop", true, false},
+      {"neither", false, false},
+  };
+
+  std::printf("\n%-26s %-14s %-12s %-14s %-8s\n", "configuration", "eval time",
+              "anchored", "expansions", "right");
+  for (const Config& c : configs) {
+    AblationScore s = Run(world, c.pruning, c.ta);
+    std::printf("%-26s %10.1f ms %-12zu %-14zu %-8zu\n", c.name,
+                s.total_eval_ms, s.anchored_searches, s.expansions, s.right);
+  }
+
+  std::printf(
+      "\nExpected: all configurations answer the same questions (the\n"
+      "optimizations are exact); pruning cuts expansions, TA cuts anchored\n"
+      "searches, and the full configuration is fastest.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// EXTENSION bench (beyond the paper): the superlative/aggregation resolver
+// (qa/superlative.h) against the paper-faithful configuration, on the
+// workload's aggregation category — the 35% failure slice of Table 10 the
+// paper leaves as future work.
+
+#include <cstdio>
+
+#include "bench_support.h"
+#include "qa/ganswer.h"
+
+using namespace ganswer;
+
+namespace {
+
+struct Score {
+  size_t right = 0;
+  size_t partial = 0;
+  size_t wrong = 0;
+};
+
+Score Evaluate(const bench::BenchWorld& world, bool superlatives) {
+  qa::GAnswer::Options opt;
+  opt.enable_superlatives = superlatives;
+  qa::GAnswer system(&world.kb.graph, &world.lexicon, world.verified.get(),
+                     opt);
+  Score score;
+  for (const datagen::GoldQuestion& q : world.workload) {
+    if (q.category != datagen::QuestionCategory::kAggregation) continue;
+    auto r = system.Ask(q.text);
+    if (!r.ok()) {
+      ++score.wrong;
+      continue;
+    }
+    std::vector<std::string> answers;
+    for (const auto& a : r->answers) answers.push_back(a.text);
+    switch (bench::Judge(q, r->is_ask, r->ask_result, answers)) {
+      case bench::Verdict::kRight:
+        ++score.right;
+        break;
+      case bench::Verdict::kPartial:
+        ++score.partial;
+        break;
+      case bench::Verdict::kWrong:
+        ++score.wrong;
+        break;
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header(
+      "Extension -- superlative resolver vs paper-faithful aggregation "
+      "failures");
+  auto world = bench::BuildWorld();
+
+  Score paper = Evaluate(world, false);
+  Score extended = Evaluate(world, true);
+
+  std::printf("\n%-34s %-8s %-10s %-8s\n", "configuration (aggregation only)",
+              "right", "partially", "wrong");
+  std::printf("%-34s %-8zu %-10zu %-8zu\n", "paper-faithful (Table 10 mode)",
+              paper.right, paper.partial, paper.wrong);
+  std::printf("%-34s %-8zu %-10zu %-8zu\n", "with superlative extension",
+              extended.right, extended.partial, extended.wrong);
+
+  std::printf(
+      "\nThe paper reports aggregation as 35%% of its failures and points\n"
+      "at ORDER BY/OFFSET/LIMIT post-processing as the fix; the extension\n"
+      "implements exactly that (argmax/argmin over the matched answers).\n");
+  return 0;
+}

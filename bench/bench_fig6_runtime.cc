@@ -1,0 +1,101 @@
+// Figure 6 (Sec. 6.3): online running-time comparison between the graph
+// data-driven system and the DEANNA baseline, split into question
+// understanding and total response time.
+//
+// Paper shape: DEANNA's question understanding takes seconds (joint
+// disambiguation: pairwise coherence + ILP), ours stays under 100 ms, and
+// the total response time is 2-68x faster. The baseline here runs with its
+// larger unpruned candidate lists, as DEANNA does.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.h"
+#include "deanna/deanna_qa.h"
+#include "qa/ganswer.h"
+
+using namespace ganswer;
+
+int main() {
+  bench::Header("Figure 6 -- online running time, gAnswer vs DEANNA");
+
+  // The cost asymmetry the paper measures comes from scale: DEANNA's
+  // pairwise coherence works over link neighborhoods whose size grows with
+  // the KB, while the anchored matcher touches only candidate
+  // neighborhoods. Run on the largest KB the harness builds quickly.
+  datagen::KbGenerator::Options kb_opt;
+  kb_opt.num_families = 3000;
+  kb_opt.num_films = 2000;
+  kb_opt.num_cities = 500;
+  kb_opt.num_companies = 600;
+  kb_opt.num_teams = 80;
+  kb_opt.num_bands = 150;
+  kb_opt.num_books = 400;
+  datagen::PhraseDatasetGenerator::Options phrase_opt;
+  paraphrase::DictionaryBuilder::Options mine_opt;
+  mine_opt.max_path_length = 3;
+  mine_opt.max_paths_per_pair = 300;
+  mine_opt.max_intermediate_degree = 600;  // keep offline mining quick here
+  auto world = bench::BuildWorld(kb_opt, phrase_opt, mine_opt);
+  std::printf("KB: %zu triples\n", world.kb.graph.NumTriples());
+
+  qa::GAnswer ours(&world.kb.graph, &world.lexicon, world.verified.get());
+  deanna::DeannaQa::Options dopt;
+  dopt.linking.max_candidates = 40;  // DEANNA keeps raw lookup lists
+  dopt.linking.min_confidence = 0.1;
+  // The baseline runs on the raw mined dictionary (DEANNA has no human
+  // verification pass) and with its unpruned candidate lists.
+  deanna::DeannaQa baseline(&world.kb.graph, &world.lexicon,
+                            world.mined.get(), dopt);
+
+  std::printf("\n%-6s %-12s %-12s %-14s %-14s %-9s\n", "q", "ours-underst",
+              "ours-total", "deanna-underst", "deanna-total", "speedup");
+
+  std::vector<double> speedups;
+  double ours_worst_understanding = 0;
+  double deanna_worst_understanding = 0;
+  size_t both = 0;
+  for (const datagen::GoldQuestion& q : world.workload) {
+    auto g = ours.Ask(q.text);
+    auto d = baseline.Ask(q.text);
+    if (!g.ok() || !d.ok()) continue;
+    std::vector<std::string> ga;
+    for (const auto& a : g->answers) ga.push_back(a.text);
+    // Figure 6 compares questions both systems can answer.
+    bool ours_right =
+        bench::Judge(q, g->is_ask, g->ask_result, ga) != bench::Verdict::kWrong;
+    bool deanna_right = bench::Judge(q, d->is_ask, d->ask_result, d->answers) !=
+                        bench::Verdict::kWrong;
+    if (!ours_right || !deanna_right) continue;
+    ++both;
+    double speedup = g->TotalMs() > 0 ? d->TotalMs() / g->TotalMs() : 0.0;
+    speedups.push_back(speedup);
+    ours_worst_understanding =
+        std::max(ours_worst_understanding, g->understanding_ms);
+    deanna_worst_understanding =
+        std::max(deanna_worst_understanding, d->understanding_ms);
+    if (both <= 25) {
+      std::printf("%-6s %9.2f ms %9.2f ms %11.2f ms %11.2f ms %8.1fx\n",
+                  q.id.c_str(), g->understanding_ms, g->TotalMs(),
+                  d->understanding_ms, d->TotalMs(), speedup);
+    }
+  }
+  if (both > 25) std::printf("... (%zu questions total)\n", both);
+
+  if (!speedups.empty()) {
+    std::sort(speedups.begin(), speedups.end());
+    std::printf(
+        "\nSummary over %zu questions answered by both systems:\n"
+        "  total-time speedup  min %.1fx   median %.1fx   max %.1fx\n"
+        "  worst understanding: ours %.2f ms   DEANNA %.2f ms\n",
+        both, speedups.front(), speedups[speedups.size() / 2],
+        speedups.back(), ours_worst_understanding,
+        deanna_worst_understanding);
+  }
+  std::printf(
+      "\nPaper-shape check (Fig. 6): our question understanding stays under\n"
+      "100 ms while DEANNA's joint disambiguation dominates its runtime;\n"
+      "total response time favors the data-driven system (paper: 2-68x).\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Google-benchmark micro-benchmarks for the performance-critical kernels:
+// simple-path mining (offline), entity linking, dependency parsing,
+// relation extraction, SPARQL BGP evaluation, and top-k subgraph matching.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_support.h"
+#include "deanna/deanna_qa.h"
+#include "linking/entity_linker.h"
+#include "nlp/dependency_parser.h"
+#include "paraphrase/path_finder.h"
+#include "qa/ganswer.h"
+#include "rdf/sparql_engine.h"
+#include "rdf/sparql_parser.h"
+
+namespace {
+
+using namespace ganswer;
+
+const bench::BenchWorld& World() {
+  static bench::BenchWorld* world = [] {
+    auto* w = new bench::BenchWorld(bench::BuildWorld());
+    return w;
+  }();
+  return *world;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string q =
+      "Who was married to an actor that played in Philadelphia ?";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nlp::Tokenizer::Tokenize(q));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_DependencyParse(benchmark::State& state) {
+  nlp::DependencyParser parser(World().lexicon);
+  const std::string q =
+      "Who was married to an actor that played in Philadelphia ?";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.Parse(q));
+  }
+}
+BENCHMARK(BM_DependencyParse);
+
+void BM_EntityLink(benchmark::State& state) {
+  linking::EntityIndex index(World().kb.graph);
+  linking::EntityLinker linker(&index);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linker.Link("Philadelphia"));
+  }
+}
+BENCHMARK(BM_EntityLink);
+
+void BM_PathMining(benchmark::State& state) {
+  const auto& g = World().kb.graph;
+  paraphrase::PathFinder::Options opt;
+  opt.max_length = static_cast<size_t>(state.range(0));
+  paraphrase::PathFinder finder(g, opt);
+  auto ted = *g.Find("Ted_Kennedy");
+  auto jr = *g.Find("John_F._Kennedy_Jr.");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(finder.FindPaths(ted, jr));
+  }
+}
+BENCHMARK(BM_PathMining)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_SparqlBgp(benchmark::State& state) {
+  const auto& g = World().kb.graph;
+  rdf::SparqlEngine engine(g);
+  auto query = rdf::SparqlParser::Parse(
+      "SELECT ?w WHERE { ?w <spouse> ?a . ?a rdf:type <Actor> . "
+      "?f <starring> ?a }");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(*query));
+  }
+}
+BENCHMARK(BM_SparqlBgp);
+
+void BM_QuestionUnderstanding(benchmark::State& state) {
+  const auto& world = World();
+  qa::GAnswer system(&world.kb.graph, &world.lexicon, world.verified.get());
+  const std::string q =
+      "Who was married to an actor that played in Philadelphia ?";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        system.understander().Understand(q));
+  }
+}
+BENCHMARK(BM_QuestionUnderstanding);
+
+void BM_EndToEndAsk(benchmark::State& state) {
+  const auto& world = World();
+  qa::GAnswer system(&world.kb.graph, &world.lexicon, world.verified.get());
+  const std::string q =
+      "Who was married to an actor that played in Philadelphia ?";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.Ask(q));
+  }
+}
+BENCHMARK(BM_EndToEndAsk);
+
+void BM_DeannaAsk(benchmark::State& state) {
+  const auto& world = World();
+  deanna::DeannaQa system(&world.kb.graph, &world.lexicon,
+                          world.verified.get());
+  const std::string q =
+      "Who was married to an actor that played in Philadelphia ?";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.Ask(q));
+  }
+}
+BENCHMARK(BM_DeannaAsk);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// KB-size scaling of the online pipeline: the paper runs on 60M triples
+// with per-question times of 250-2565 ms (Table 11); this harness measures
+// how our implementation's per-question cost grows with the synthetic KB
+// size, separated into understanding and evaluation, plus the one-time
+// index build costs.
+
+#include <cstdio>
+
+#include "bench_support.h"
+#include "qa/ganswer.h"
+
+using namespace ganswer;
+
+int main() {
+  bench::Header("Scaling -- online cost vs knowledge-base size");
+
+  std::printf("\n%-12s %-12s %-14s %-16s %-16s %-10s\n", "triples",
+              "init (ms)", "mine (ms)", "underst p50/max", "eval p50/max",
+              "right");
+  for (size_t scale : {1u, 4u, 16u, 48u}) {
+    datagen::KbGenerator::Options kb_opt;
+    kb_opt.num_families = 220 * scale;
+    kb_opt.num_films = 200 * scale;
+    kb_opt.num_cities = 80 * scale;
+    kb_opt.num_companies = 90 * scale;
+    kb_opt.num_books = 80 * scale;
+    kb_opt.num_teams = 20 * scale;
+    kb_opt.num_bands = 30 * scale;
+    paraphrase::DictionaryBuilder::Options mine_opt;
+    mine_opt.max_path_length = 3;
+    mine_opt.max_paths_per_pair = 300;
+    mine_opt.max_intermediate_degree = 600;
+    auto world = bench::BuildWorld(kb_opt, {}, mine_opt);
+
+    WallTimer init_timer;
+    qa::GAnswer system(&world.kb.graph, &world.lexicon, world.verified.get());
+    double init_ms = init_timer.ElapsedMillis();
+
+    std::vector<double> understand, eval;
+    size_t right = 0;
+    for (const datagen::GoldQuestion& q : world.workload) {
+      auto r = system.Ask(q.text);
+      if (!r.ok()) continue;
+      understand.push_back(r->understanding_ms);
+      eval.push_back(r->evaluation_ms);
+      std::vector<std::string> answers;
+      for (const auto& a : r->answers) answers.push_back(a.text);
+      if (bench::Judge(q, r->is_ask, r->ask_result, answers) ==
+          bench::Verdict::kRight) {
+        ++right;
+      }
+    }
+    std::sort(understand.begin(), understand.end());
+    std::sort(eval.begin(), eval.end());
+    auto p50 = [](const std::vector<double>& v) {
+      return v.empty() ? 0.0 : v[v.size() / 2];
+    };
+    auto mx = [](const std::vector<double>& v) {
+      return v.empty() ? 0.0 : v.back();
+    };
+    std::printf("%-12zu %-12.1f %-14.1f %6.2f / %-7.2f %6.2f / %-7.2f %-10zu\n",
+                world.kb.graph.NumTriples(), init_ms, world.mine_ms,
+                p50(understand), mx(understand), p50(eval), mx(eval), right);
+  }
+
+  std::printf(
+      "\nExpected: per-question understanding grows mildly with the entity\n"
+      "index size (linking), evaluation with candidate neighborhoods; both\n"
+      "stay in the online regime while offline costs grow fastest — the\n"
+      "paper's offline/online cost split.\n");
+  return 0;
+}

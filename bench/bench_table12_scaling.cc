@@ -1,0 +1,90 @@
+// Tables 3 and 12 (Secs. 5 and 7): measured complexity of the question-
+// understanding stage. The paper's claim: gAnswer's understanding is
+// polynomial (O(|Y|^3) from the parser), while DEANNA's is NP-hard (joint
+// disambiguation as ILP) — so as questions carry more relation phrases,
+// DEANNA's understanding cost (branch-and-bound nodes, coherence pairs)
+// grows combinatorially while ours stays flat.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_support.h"
+#include "deanna/deanna_qa.h"
+#include "nlp/tokenizer.h"
+#include "qa/ganswer.h"
+
+using namespace ganswer;
+
+namespace {
+
+// Builds a question with `k` relation phrases by conjoining verb phrases
+// inside one relative clause.
+std::string QuestionWithRelations(const bench::BenchWorld& world, size_t k) {
+  const auto& kb = world.kb;
+  std::string q = "Give me all people that were born in Philadelphia";
+  const char* tails[] = {
+      " and died in Berlin",
+      " and played in Philadelphia",
+      " and starred in Philadelphia",
+      " and played for Philadelphia",
+  };
+  for (size_t i = 1; i < k && i - 1 < 4; ++i) q += tails[i - 1];
+  (void)kb;
+  return q + " ?";
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Tables 3/12 -- understanding-stage complexity, measured");
+
+  datagen::KbGenerator::Options kb_opt;
+  kb_opt.num_families = 400;
+  kb_opt.num_films = 300;
+  auto world = bench::BuildWorld(kb_opt);
+
+  qa::GAnswer ours(&world.kb.graph, &world.lexicon, world.verified.get());
+  deanna::DeannaQa::Options dopt;
+  dopt.linking.max_candidates = 40;
+  dopt.linking.min_confidence = 0.1;
+  // The baseline runs on the raw mined dictionary (DEANNA has no human
+  // verification pass) and with its unpruned candidate lists.
+  deanna::DeannaQa baseline(&world.kb.graph, &world.lexicon,
+                            world.mined.get(), dopt);
+
+  std::printf("\n%-10s %-8s %-16s %-18s %-12s %-14s\n", "relations", "words",
+              "ours-underst", "deanna-underst", "ilp-nodes", "coherence-pairs");
+  const int kRepeats = 7;
+  for (size_t k = 1; k <= 5; ++k) {
+    std::string q = QuestionWithRelations(world, k);
+    std::vector<double> ours_ms, deanna_ms;
+    size_t ilp_nodes = 0, coherence = 0;
+    size_t words = nlp::Tokenizer::Tokenize(q).size();
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      auto g = ours.Ask(q);
+      auto d = baseline.Ask(q);
+      if (g.ok()) ours_ms.push_back(g->understanding_ms);
+      if (d.ok()) {
+        deanna_ms.push_back(d->understanding_ms);
+        ilp_nodes = d->ilp_nodes;
+        coherence = d->coherence_pairs;
+      }
+    }
+    std::printf("%-10zu %-8zu %11.3f ms %13.3f ms %-12zu %-14zu\n", k, words,
+                Median(ours_ms), Median(deanna_ms), ilp_nodes, coherence);
+  }
+
+  std::printf(
+      "\nPaper-shape check (Table 12): with more relation phrases, DEANNA's\n"
+      "branch-and-bound nodes and coherence pairs grow combinatorially and\n"
+      "its understanding time with them, while gAnswer's understanding cost\n"
+      "grows only polynomially with sentence length.\n");
+  return 0;
+}

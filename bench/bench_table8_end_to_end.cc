@@ -1,0 +1,100 @@
+// Table 8 (Exp 3, Sec. 6.3): end-to-end evaluation on the QALD-like
+// workload, in the QALD-3 result format: processed / right / partially
+// right / recall / precision / F-1, for the graph data-driven system
+// against the DEANNA-style joint-disambiguation baseline.
+//
+// Paper's numbers on real QALD-3 (99 questions): gAnswer processed 76,
+// right 32, partial 11, P=R=F1=0.40; DEANNA processed 27, right 21,
+// P=R=F1=0.21. Expected shape here: gAnswer processes more questions and
+// answers more of them fully right than DEANNA; both fail the aggregation
+// / entity-hard / relation-hard categories.
+
+#include <cstdio>
+
+#include "bench_support.h"
+#include "deanna/deanna_qa.h"
+#include "qa/ganswer.h"
+
+using namespace ganswer;
+
+namespace {
+
+struct SystemScore {
+  std::string name;
+  size_t processed = 0;
+  size_t right = 0;
+  size_t partial = 0;
+  double sum_precision = 0;
+  double sum_recall = 0;
+  size_t total = 0;
+
+  void Print() const {
+    double recall = sum_recall / total;
+    double precision = sum_precision / total;
+    double f1 = (precision + recall) > 0
+                    ? 2 * precision * recall / (precision + recall)
+                    : 0.0;
+    std::printf("%-22s %-10zu %-7zu %-10zu %-8.2f %-10.2f %-6.2f\n",
+                name.c_str(), processed, right, partial, recall, precision,
+                f1);
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::Header("Table 8 -- end-to-end QALD-style evaluation");
+  auto world = bench::BuildWorld();
+  std::printf("KB: %zu triples; workload: %zu questions\n",
+              world.kb.graph.NumTriples(), world.workload.size());
+
+  qa::GAnswer ours(&world.kb.graph, &world.lexicon, world.verified.get());
+  // DEANNA maps relation phrases with its own automatically built lexicon;
+  // the paper's human-verification pass belongs to gAnswer's offline
+  // pipeline, so the baseline runs on the raw mined dictionary.
+  deanna::DeannaQa baseline(&world.kb.graph, &world.lexicon,
+                            world.mined.get());
+
+  SystemScore ours_score{"gAnswer (this paper)"};
+  SystemScore deanna_score{"DEANNA baseline"};
+  ours_score.total = deanna_score.total = world.workload.size();
+
+  for (const datagen::GoldQuestion& q : world.workload) {
+    auto g = ours.Ask(q.text);
+    if (g.ok()) {
+      std::vector<std::string> answers;
+      for (const auto& a : g->answers) answers.push_back(a.text);
+      bool processed = g->failure == qa::GAnswer::FailureStage::kNone ||
+                       g->failure == qa::GAnswer::FailureStage::kNoMatches;
+      if (processed) ++ours_score.processed;
+      bench::Verdict v = bench::Judge(q, g->is_ask, g->ask_result, answers);
+      if (v == bench::Verdict::kRight) ++ours_score.right;
+      if (v == bench::Verdict::kPartial) ++ours_score.partial;
+      auto pr = bench::PrecisionRecall(q, g->is_ask, g->ask_result, answers);
+      ours_score.sum_precision += pr.precision;
+      ours_score.sum_recall += pr.recall;
+    }
+
+    auto d = baseline.Ask(q.text);
+    if (d.ok()) {
+      if (d->processed) ++deanna_score.processed;
+      bench::Verdict v = bench::Judge(q, d->is_ask, d->ask_result, d->answers);
+      if (v == bench::Verdict::kRight) ++deanna_score.right;
+      if (v == bench::Verdict::kPartial) ++deanna_score.partial;
+      auto pr = bench::PrecisionRecall(q, d->is_ask, d->ask_result, d->answers);
+      deanna_score.sum_precision += pr.precision;
+      deanna_score.sum_recall += pr.recall;
+    }
+  }
+
+  std::printf("\n%-22s %-10s %-7s %-10s %-8s %-10s %-6s\n", "system",
+              "processed", "right", "partially", "recall", "precision", "F-1");
+  ours_score.Print();
+  deanna_score.Print();
+
+  std::printf(
+      "\nPaper-shape check (Table 8): gAnswer right >= DEANNA right, and\n"
+      "gAnswer's macro F-1 above DEANNA's; neither system answers the\n"
+      "aggregation / entity-hard / relation-hard questions.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Sec. 6 generality check: "We also evaluate our method in other RDF
+// repositories, such as Yago2." The same workload runs over the KB with
+// its schema renamed to a YAGO-flavoured vocabulary (isMarriedTo, actedIn,
+// wordnet_* classes); mining, verification and matching are repeated from
+// scratch on the renamed graph. Expected: accuracy within a few questions
+// of the DBpedia-like run — nothing in the pipeline keys on predicate
+// spellings.
+
+#include <cstdio>
+
+#include "bench_support.h"
+#include "datagen/schema_rename.h"
+#include "qa/ganswer.h"
+
+using namespace ganswer;
+
+namespace {
+
+struct Score {
+  size_t right = 0;
+  size_t partial = 0;
+};
+
+Score Evaluate(const rdf::RdfGraph& graph, const nlp::Lexicon& lexicon,
+               const paraphrase::ParaphraseDictionary& dict,
+               const std::vector<datagen::GoldQuestion>& workload) {
+  qa::GAnswer system(&graph, &lexicon, &dict);
+  Score s;
+  for (const auto& q : workload) {
+    auto r = system.Ask(q.text);
+    if (!r.ok()) continue;
+    std::vector<std::string> answers;
+    for (const auto& a : r->answers) answers.push_back(a.text);
+    switch (bench::Judge(q, r->is_ask, r->ask_result, answers)) {
+      case bench::Verdict::kRight:
+        ++s.right;
+        break;
+      case bench::Verdict::kPartial:
+        ++s.partial;
+        break;
+      default:
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("Generality -- same pipeline over a Yago2-like vocabulary");
+  auto world = bench::BuildWorld();
+
+  Score dbpedia = Evaluate(world.kb.graph, world.lexicon, *world.verified,
+                           world.workload);
+
+  auto renamed = datagen::RenameSchema(world.kb, datagen::YagoRenames());
+  if (!renamed.ok()) return 1;
+  auto gold_phrases =
+      datagen::RenameGold(world.phrases, datagen::YagoRenames());
+  auto dataset = datagen::PhraseDatasetGenerator::StripGold(gold_phrases);
+  paraphrase::ParaphraseDictionary mined(&world.lexicon);
+  paraphrase::DictionaryBuilder::Options mopt;
+  mopt.max_path_length = 3;
+  WallTimer mine_timer;
+  if (!paraphrase::DictionaryBuilder(mopt)
+           .Build(renamed->graph, dataset, &mined)
+           .ok()) {
+    return 1;
+  }
+  double mine_ms = mine_timer.ElapsedMillis();
+  paraphrase::ParaphraseDictionary verified(&world.lexicon);
+  datagen::VerifyDictionary(gold_phrases, renamed->graph, mined, &verified);
+  Score yago =
+      Evaluate(renamed->graph, world.lexicon, verified, world.workload);
+
+  std::printf("\n%-26s %-8s %-10s\n", "vocabulary", "right", "partially");
+  std::printf("%-26s %-8zu %-10zu\n", "DBpedia-like", dbpedia.right,
+              dbpedia.partial);
+  std::printf("%-26s %-8zu %-10zu   (re-mined in %.0f ms)\n", "Yago2-like",
+              yago.right, yago.partial, mine_ms);
+
+  std::printf(
+      "\nExpected: accuracy within a few questions across vocabularies —\n"
+      "the pipeline learns phrase-to-predicate mappings from the data\n"
+      "(Algorithm 1), so predicate spellings never matter.\n");
+  return 0;
+}

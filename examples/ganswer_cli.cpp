@@ -1,0 +1,219 @@
+// Command-line Q/A tool: the system a downstream user would actually run.
+//
+//   ./build/examples/ganswer_cli                       # generated demo KB
+//   ./build/examples/ganswer_cli --kb data.nt --dict dict.tsv
+//   echo "Who is the mayor of Berlin ?" | ./build/examples/ganswer_cli
+//
+// Flags:
+//   --kb FILE      load the knowledge base from an N-Triples file
+//   --dict FILE    load the paraphrase dictionary (offline_dictionary's
+//                  save format) instead of mining it
+//   --superlatives enable the aggregation extension
+//   --explain      print the semantic query graph and top-k SPARQL
+//                  queries alongside the answers
+//   --eval FILE    batch mode: run a workload TSV (datagen::SaveWorkload
+//                  format) and print QALD-style metrics instead of a REPL
+//   --save-workload FILE  write the generated demo workload as TSV
+//   --vocab FILE   extend the lexicon ("noun spaceship" / "verb zorch" /
+//                  "adjective quantal" lines) for file-loaded KBs
+
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "datagen/kb_generator.h"
+#include "datagen/phrase_dataset_generator.h"
+#include "datagen/workload.h"
+#include "paraphrase/dictionary_builder.h"
+#include "qa/ganswer.h"
+#include "qa/sparql_output.h"
+#include "rdf/ntriples.h"
+
+using namespace ganswer;
+
+int main(int argc, char** argv) {
+  std::string kb_path, dict_path, eval_path, save_workload_path, vocab_path;
+  bool superlatives = false, explain = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--kb") == 0 && i + 1 < argc) {
+      kb_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--dict") == 0 && i + 1 < argc) {
+      dict_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--eval") == 0 && i + 1 < argc) {
+      eval_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--save-workload") == 0 && i + 1 < argc) {
+      save_workload_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--vocab") == 0 && i + 1 < argc) {
+      vocab_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--superlatives") == 0) {
+      superlatives = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // Knowledge base: from file or generated demo.
+  rdf::RdfGraph graph;
+  datagen::KbGenerator::GeneratedKb generated;
+  rdf::RdfGraph* kb = &graph;
+  if (!kb_path.empty()) {
+    Status st = rdf::NTriplesReader::ParseFile(kb_path, &graph);
+    if (st.ok()) st = graph.Finalize();
+    if (!st.ok()) {
+      std::fprintf(stderr, "loading %s: %s\n", kb_path.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+  } else {
+    auto g = datagen::KbGenerator::Generate({});
+    if (!g.ok()) return 1;
+    generated = std::move(g).value();
+    kb = &generated.graph;
+  }
+  std::fprintf(stderr, "KB: %zu triples, %zu terms\n", kb->NumTriples(),
+               kb->NumTerms());
+
+  // Dictionary: from file, or mined + verified on the generated KB.
+  nlp::Lexicon lexicon;
+  if (!vocab_path.empty()) {
+    std::ifstream vin(vocab_path);
+    if (!vin) {
+      std::fprintf(stderr, "cannot open %s\n", vocab_path.c_str());
+      return 1;
+    }
+    Status st = lexicon.LoadVocabulary(&vin);
+    if (!st.ok()) {
+      std::fprintf(stderr, "vocabulary: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  paraphrase::ParaphraseDictionary dict(&lexicon);
+  if (!dict_path.empty()) {
+    std::ifstream in(dict_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", dict_path.c_str());
+      return 1;
+    }
+    Status st = dict.Load(&in, kb);
+    if (!st.ok()) {
+      std::fprintf(stderr, "loading dictionary: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  } else if (kb_path.empty()) {
+    auto phrases = datagen::PhraseDatasetGenerator::Generate(generated, {});
+    auto dataset = datagen::PhraseDatasetGenerator::StripGold(phrases);
+    paraphrase::ParaphraseDictionary mined(&lexicon);
+    paraphrase::DictionaryBuilder::Options mopt;
+    mopt.max_path_length = 3;
+    if (!paraphrase::DictionaryBuilder(mopt)
+             .Build(*kb, dataset, &mined)
+             .ok()) {
+      return 1;
+    }
+    datagen::VerifyDictionary(phrases, *kb, mined, &dict);
+  } else {
+    std::fprintf(stderr,
+                 "--kb without --dict: no relation phrases known; pass a "
+                 "dictionary mined with examples/offline_dictionary\n");
+    return 2;
+  }
+  std::fprintf(stderr, "dictionary: %zu relation phrases\n",
+               dict.NumPhrases());
+
+  qa::GAnswer::Options options;
+  options.enable_superlatives = superlatives;
+  qa::GAnswer system(kb, &lexicon, &dict, options);
+
+  if (!save_workload_path.empty()) {
+    if (kb_path.empty()) {
+      auto workload = datagen::WorkloadGenerator::Generate(generated, {});
+      std::ofstream out(save_workload_path);
+      Status st = datagen::SaveWorkload(workload, &out);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %zu questions to %s\n", workload.size(),
+                   save_workload_path.c_str());
+    } else {
+      std::fprintf(stderr, "--save-workload needs the generated demo KB\n");
+      return 2;
+    }
+  }
+
+  if (!eval_path.empty()) {
+    std::ifstream in(eval_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", eval_path.c_str());
+      return 1;
+    }
+    auto workload = datagen::LoadWorkload(&in);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+      return 1;
+    }
+    size_t right = 0, partial = 0, wrong = 0;
+    for (const auto& q : *workload) {
+      auto r = system.Ask(q.text);
+      if (!r.ok()) {
+        ++wrong;
+        continue;
+      }
+      std::vector<std::string> answers;
+      for (const auto& a : r->answers) answers.push_back(a.text);
+      std::sort(answers.begin(), answers.end());
+      std::vector<std::string> gold = q.gold_answers;
+      std::sort(gold.begin(), gold.end());
+      if (q.is_ask) {
+        (r->is_ask && r->ask_result == q.gold_ask ? right : wrong) += 1;
+      } else if (answers == gold) {
+        ++right;
+      } else {
+        std::vector<std::string> inter;
+        std::set_intersection(answers.begin(), answers.end(), gold.begin(),
+                              gold.end(), std::back_inserter(inter));
+        (inter.empty() ? wrong : partial) += 1;
+      }
+    }
+    std::printf("questions %zu  right %zu  partially %zu  wrong %zu\n",
+                workload->size(), right, partial, wrong);
+    return 0;
+  }
+
+  std::fprintf(stderr, "ask away (empty line quits)\n> ");
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) break;
+    auto r = system.Ask(line);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+    } else if (r->is_ask) {
+      std::printf("%s   (%.2f ms)\n", r->ask_result ? "yes" : "no",
+                  r->TotalMs());
+    } else if (r->answers.empty()) {
+      std::printf("no answer   (%.2f ms)\n", r->TotalMs());
+    } else {
+      for (const auto& a : r->answers) {
+        std::printf("%s   (score %.3f)\n", a.text.c_str(), a.score);
+      }
+      std::printf("   %.2f ms understanding, %.2f ms evaluation\n",
+                  r->understanding_ms, r->evaluation_ms);
+    }
+    if (explain && r.ok()) {
+      std::printf("--- Q^S ---\n%s", r->understanding.sqg.ToString().c_str());
+      auto queries = qa::SparqlOutput::TopKQueries(r->understanding.sqg,
+                                                   r->matches, *kb, 3);
+      for (const auto& q : queries) {
+        std::printf("--- SPARQL: %s\n", q.ToString().c_str());
+      }
+    }
+    std::fprintf(stderr, "> ");
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Geography Q/A: capitals, rivers, mountains and yes/no questions over the
+// generated KB — the domain behind several of the paper's Table 11
+// questions (Q21 capital of Canada, Q44 Weser, Q45 Rhine, Q83 Everest).
+//
+//   ./build/examples/geography_qa
+
+#include <cstdio>
+
+#include "datagen/kb_generator.h"
+#include "datagen/phrase_dataset_generator.h"
+#include "paraphrase/dictionary_builder.h"
+#include "qa/ganswer.h"
+
+using namespace ganswer;
+
+int main() {
+  auto kb = datagen::KbGenerator::Generate({});
+  if (!kb.ok()) return 1;
+  auto phrases = datagen::PhraseDatasetGenerator::Generate(*kb, {});
+  auto dataset = datagen::PhraseDatasetGenerator::StripGold(phrases);
+  nlp::Lexicon lexicon;
+  paraphrase::ParaphraseDictionary mined(&lexicon);
+  paraphrase::DictionaryBuilder::Options mopt;
+  mopt.max_path_length = 3;
+  if (!paraphrase::DictionaryBuilder(mopt)
+           .Build(kb->graph, dataset, &mined)
+           .ok()) {
+    return 1;
+  }
+  paraphrase::ParaphraseDictionary dict(&lexicon);
+  datagen::VerifyDictionary(phrases, kb->graph, mined, &dict);
+  qa::GAnswer system(&kb->graph, &lexicon, &dict);
+
+  const char* questions[] = {
+      "What is the capital of Canada ?",
+      "What is the largest city in Australia ?",
+      "Which cities does the Weser flow through ?",
+      "Which countries are connected by the Rhine ?",
+      "How high is Mount Everest ?",
+      "What is the time zone of Salt Lake City ?",
+      "What are the nicknames of San Francisco ?",
+      "Is Ottawa the capital of Canada ?",
+      "Is Sydney the capital of Canada ?",
+      "In which city was the former Dutch queen Juliana buried ?",
+  };
+
+  for (const char* q : questions) {
+    auto r = system.Ask(q);
+    std::printf("Q: %s\n", q);
+    if (!r.ok()) {
+      std::printf("A: <error: %s>\n\n", r.status().ToString().c_str());
+      continue;
+    }
+    if (r->is_ask) {
+      std::printf("A: %s\n", r->ask_result ? "yes" : "no");
+    } else if (r->answers.empty()) {
+      std::printf("A: <no answer>\n");
+    } else {
+      std::printf("A:");
+      for (const auto& a : r->answers) std::printf(" %s", a.text.c_str());
+      std::printf("\n");
+    }
+    std::printf("   (%.2f ms)\n\n", r->TotalMs());
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: build a small RDF graph by hand, supply a few relation-phrase
+// mappings, and ask natural-language questions.
+//
+//   cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "nlp/lexicon.h"
+#include "paraphrase/paraphrase_dictionary.h"
+#include "qa/ganswer.h"
+
+using namespace ganswer;
+
+int main() {
+  // 1) An RDF graph: triples, then Finalize().
+  rdf::RdfGraph graph;
+  graph.AddTriple("Melanie_Griffith", "spouse", "Antonio_Banderas");
+  graph.AddTriple("Antonio_Banderas", "rdf:type", "Actor");
+  graph.AddTriple("Melanie_Griffith", "rdf:type", "Actor");
+  graph.AddTriple("Philadelphia_(film)", "rdf:type", "Film");
+  graph.AddTriple("Philadelphia_(film)", "starring", "Antonio_Banderas");
+  graph.AddTriple("Philadelphia", "rdf:type", "City");
+  graph.AddTriple("Philadelphia_76ers", "rdf:type", "BasketballTeam");
+  graph.AddTriple("Philadelphia_76ers", "locationCity", "Philadelphia");
+  graph.AddTriple("Berlin", "rdf:type", "City");
+  graph.AddTriple("Berlin", "mayor", "Klaus_Wowereit");
+  graph.AddTriple("Klaus_Wowereit", "rdf:type", "Person");
+  Status st = graph.Finalize();
+  if (!st.ok()) {
+    std::fprintf(stderr, "graph: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 2) A paraphrase dictionary D: relation phrases -> predicates with
+  // confidences. (Normally mined by paraphrase::DictionaryBuilder —
+  // Algorithm 1 of the paper; see examples/offline_dictionary.)
+  nlp::Lexicon lexicon;
+  paraphrase::ParaphraseDictionary dict(&lexicon);
+  auto entry = [&](const char* pred, bool forward, double confidence) {
+    paraphrase::ParaphraseEntry e;
+    e.path.steps = {{graph.dict().Intern(pred), forward}};
+    e.confidence = confidence;
+    return e;
+  };
+  dict.AddPhrase("be married to", {entry("spouse", true, 1.0)});
+  dict.AddPhrase("play in", {entry("starring", false, 0.9),
+                             entry("playForTeam", true, 0.5)});
+  dict.AddPhrase("mayor of", {entry("mayor", false, 1.0)});
+
+  // 3) Ask.
+  qa::GAnswer system(&graph, &lexicon, &dict);
+  for (const char* question :
+       {"Who was married to an actor that played in Philadelphia ?",
+        "Who is the mayor of Berlin ?"}) {
+    auto response = system.Ask(question);
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response.status().ToString().c_str());
+      continue;
+    }
+    std::printf("Q: %s\n", question);
+    for (const auto& answer : response->answers) {
+      std::printf("A: %s  (score %.3f)\n", answer.text.c_str(), answer.score);
+    }
+    std::printf("   understanding %.2f ms, evaluation %.2f ms\n\n",
+                response->understanding_ms, response->evaluation_ms);
+  }
+  return 0;
+}

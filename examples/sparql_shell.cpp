@@ -1,0 +1,72 @@
+// Interactive SPARQL-lite shell over the generated KB — the substrate the
+// DEANNA baseline evaluates its generated queries on. Also dumps the KB as
+// N-Triples when asked.
+//
+//   ./build/examples/sparql_shell            # interactive
+//   ./build/examples/sparql_shell --dump kb.nt
+//   echo 'SELECT ?x WHERE { <Berlin> <mayor> ?x }' | ./build/examples/sparql_shell
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "datagen/kb_generator.h"
+#include "rdf/ntriples.h"
+#include "rdf/sparql_engine.h"
+
+using namespace ganswer;
+
+int main(int argc, char** argv) {
+  auto kb = datagen::KbGenerator::Generate({});
+  if (!kb.ok()) {
+    std::fprintf(stderr, "%s\n", kb.status().ToString().c_str());
+    return 1;
+  }
+
+  if (argc == 3 && std::strcmp(argv[1], "--dump") == 0) {
+    std::ofstream out(argv[2]);
+    Status st = rdf::NTriplesWriter::Write(kb->graph, &out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu triples to %s\n", kb->graph.NumTriples(), argv[2]);
+    return 0;
+  }
+
+  rdf::SparqlEngine engine(kb->graph);
+  std::fprintf(stderr,
+               "SPARQL-lite shell over %zu triples. One query per line; "
+               "empty line or EOF quits.\n> ",
+               kb->graph.NumTriples());
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) break;
+    auto result = engine.ExecuteText(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+    } else if (result->var_names.empty() && result->rows.empty()) {
+      std::printf("%s\n", result->ask_result ? "yes" : "no");
+    } else {
+      for (const auto& name : result->var_names) std::printf("?%s\t", name.c_str());
+      std::printf("\n");
+      size_t shown = 0;
+      for (const auto& row : result->rows) {
+        for (rdf::TermId t : row) {
+          std::printf("%s\t", t == rdf::kInvalidTerm
+                                  ? "-"
+                                  : kb->graph.dict().text(t).c_str());
+        }
+        std::printf("\n");
+        if (++shown >= 50) {
+          std::printf("... (%zu rows total)\n", result->rows.size());
+          break;
+        }
+      }
+    }
+    std::fprintf(stderr, "> ");
+  }
+  return 0;
+}

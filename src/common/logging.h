@@ -1,0 +1,43 @@
+#ifndef GANSWER_COMMON_LOGGING_H_
+#define GANSWER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ganswer {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one line to stderr as "[LEVEL] message". Thread-compatible (the
+/// library is single-threaded per pipeline instance).
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ganswer
+
+#define GANSWER_LOG(level) \
+  ::ganswer::internal::LogStream(::ganswer::LogLevel::k##level)
+
+#endif  // GANSWER_COMMON_LOGGING_H_

@@ -1,0 +1,69 @@
+#ifndef GANSWER_COMMON_RANDOM_H_
+#define GANSWER_COMMON_RANDOM_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ganswer {
+
+/// Deterministic PRNG wrapper. Every data generator takes a Rng seeded by
+/// the caller so that benchmark workloads are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound). \p bound must be positive.
+  uint64_t Next(uint64_t bound) {
+    assert(bound > 0);
+    return std::uniform_int_distribution<uint64_t>(0, bound - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with success probability \p p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Zipf-ish skewed index in [0, n): favors small indices; used to give
+  /// generated KBs hub entities and popular predicates.
+  size_t SkewedIndex(size_t n, double skew = 2.0) {
+    assert(n > 0);
+    double u = NextDouble();
+    double x = std::pow(u, skew);
+    size_t idx = static_cast<size_t>(x * static_cast<double>(n));
+    return idx >= n ? n - 1 : idx;
+  }
+
+  /// Uniformly selects an element of \p v.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[Next(v.size())];
+  }
+
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ganswer
+
+#endif  // GANSWER_COMMON_RANDOM_H_

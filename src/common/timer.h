@@ -1,0 +1,30 @@
+#ifndef GANSWER_COMMON_TIMER_H_
+#define GANSWER_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace ganswer {
+
+/// Simple wall-clock stopwatch used by the bench harnesses and the online
+/// pipeline's per-stage timing diagnostics.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ganswer
+
+#endif  // GANSWER_COMMON_TIMER_H_

@@ -1,0 +1,612 @@
+#include "datagen/kb_generator.h"
+
+#include <string>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "datagen/name_pools.h"
+#include "datagen/schema.h"
+
+namespace ganswer {
+namespace datagen {
+
+namespace {
+
+using rdf::RdfGraph;
+using rdf::TermKind;
+
+/// Thin triple-emission helper shared by the seed and procedural layers.
+class Builder {
+ public:
+  Builder(RdfGraph* graph, KbGenerator::GeneratedKb* kb, NamePools* names)
+      : g_(*graph), kb_(*kb), names_(*names) {}
+
+  Rng& rng() { return names_.rng(); }
+
+  void Triple(const std::string& s, std::string_view p, const std::string& o) {
+    g_.AddTriple(s, p, o);
+  }
+  void Literal(const std::string& s, std::string_view p,
+               const std::string& value) {
+    g_.AddTriple(s, p, value, TermKind::kLiteral);
+  }
+  void Type(const std::string& e, std::string_view cls) {
+    g_.AddTriple(e, rdf::kTypePredicate, cls);
+  }
+  void Label(const std::string& e, const std::string& label) {
+    g_.AddTriple(e, rdf::kLabelPredicate, label, TermKind::kLiteral);
+  }
+
+  // --- schema -------------------------------------------------------------
+
+  void EmitSchema() {
+    auto sub = [&](std::string_view c, std::string_view super) {
+      g_.AddTriple(c, rdf::kSubClassOfPredicate, super);
+    };
+    sub(cls::kActor, cls::kPerson);
+    sub(cls::kPolitician, cls::kPerson);
+    sub(cls::kMusician, cls::kPerson);
+    sub(cls::kWriter, cls::kPerson);
+    sub(cls::kAthlete, cls::kPerson);
+    sub(cls::kFilm, cls::kWork);
+    sub(cls::kBook, cls::kWork);
+    sub(cls::kComic, cls::kWork);
+    sub(cls::kVideoGame, cls::kWork);
+    sub(cls::kCompany, cls::kOrganisation);
+    sub(cls::kBand, cls::kOrganisation);
+    sub(cls::kBasketballTeam, cls::kOrganisation);
+    sub(cls::kUniversity, cls::kOrganisation);
+    sub(cls::kCity, cls::kPlace);
+    sub(cls::kCountry, cls::kPlace);
+    sub(cls::kState, cls::kPlace);
+    sub(cls::kMountain, cls::kPlace);
+    sub(cls::kRiver, cls::kPlace);
+
+    // Labels so the entity linker can resolve mentions of classes
+    // ("actor", "movies", "cars", ...).
+    auto label = [&](std::string_view c, const char* text) {
+      g_.AddTriple(c, rdf::kLabelPredicate, text, TermKind::kLiteral);
+    };
+    label(cls::kPerson, "person");
+    label(cls::kPerson, "people");
+    label(cls::kActor, "actor");
+    label(cls::kPolitician, "politician");
+    label(cls::kMusician, "musician");
+    label(cls::kWriter, "writer");
+    label(cls::kAthlete, "player");
+    label(cls::kAthlete, "athlete");
+    label(cls::kFilm, "film");
+    label(cls::kFilm, "movie");
+    label(cls::kBook, "book");
+    label(cls::kComic, "comic");
+    label(cls::kVideoGame, "video game");
+    label(cls::kCompany, "company");
+    label(cls::kBand, "band");
+    label(cls::kBasketballTeam, "basketball team");
+    label(cls::kBasketballTeam, "team");
+    label(cls::kUniversity, "university");
+    label(cls::kCity, "city");
+    label(cls::kCountry, "country");
+    label(cls::kState, "state");
+    label(cls::kMountain, "mountain");
+    label(cls::kRiver, "river");
+    label(cls::kAutomobile, "car");
+    label(cls::kOrganisation, "organisation");
+  }
+
+  // --- entity helpers -----------------------------------------------------
+
+  std::string NewPerson(bool male, const std::string& birth_city) {
+    std::string p = names_.PersonName();
+    Type(p, cls::kPerson);
+    Triple(p, pred::kHasGender, male ? "male" : "female");
+    if (!birth_city.empty()) {
+      Triple(p, pred::kBirthPlace, birth_city);
+      // Nationality follows the birth city's country when known.
+      // (Resolved later from recorded city->country map by the caller.)
+    }
+    kb_.people.push_back(p);
+    return p;
+  }
+
+  RdfGraph& graph() { return g_; }
+  KbGenerator::GeneratedKb& kb() { return kb_; }
+  NamePools& names() { return names_; }
+
+ private:
+  RdfGraph& g_;
+  KbGenerator::GeneratedKb& kb_;
+  NamePools& names_;
+};
+
+/// The hand-written seed: the paper's entities, so the running example and
+/// the QALD-3 sample questions of Table 11 work verbatim.
+void EmitSeed(Builder* b) {
+  auto& kb = b->kb();
+
+  // Countries / cities of the examples.
+  for (const char* c : {"United_States", "Germany", "Canada", "Austria",
+                        "Australia", "Netherlands", "Switzerland",
+                        "United_Kingdom"}) {
+    b->Type(c, cls::kCountry);
+    kb.countries.push_back(c);
+  }
+  struct CityRow {
+    const char* name;
+    const char* country;
+    const char* tz;
+  };
+  const CityRow cities[] = {
+      {"Philadelphia", "United_States", "Eastern Standard Time"},
+      {"Berlin", "Germany", "Central European Time"},
+      {"Munich", "Germany", "Central European Time"},
+      {"Ottawa", "Canada", "Eastern Standard Time"},
+      {"Vienna", "Austria", "Central European Time"},
+      {"Sydney", "Australia", "Australian Eastern Standard Time"},
+      {"Salt_Lake_City", "United_States", "Mountain Standard Time"},
+      {"San_Francisco", "United_States", "Pacific Standard Time"},
+      {"Chicago", "United_States", "Central Standard Time"},
+      {"Bremen", "Germany", "Central European Time"},
+      {"Utrecht", "Netherlands", "Central European Time"},
+      {"London", "United_Kingdom", "Greenwich Mean Time"},
+  };
+  for (const CityRow& c : cities) {
+    b->Type(c.name, cls::kCity);
+    b->Triple(c.name, pred::kCountryOf, c.country);
+    b->Literal(c.name, pred::kTimeZone, c.tz);
+    kb.cities.push_back(c.name);
+  }
+  b->Triple("Canada", pred::kCapital, "Ottawa");
+  b->Triple("Germany", pred::kCapital, "Berlin");
+  b->Triple("Australia", pred::kLargestCity, "Sydney");
+  b->Triple("Austria", pred::kCapital, "Vienna");
+  b->Literal("San_Francisco", pred::kNickname, "The Golden City");
+  b->Literal("San_Francisco", pred::kNickname, "Fog City");
+
+  auto person = [&](const char* name, bool male) {
+    b->Type(name, cls::kPerson);
+    b->Triple(name, pred::kHasGender, male ? "male" : "female");
+    kb.people.push_back(name);
+  };
+  auto actor = [&](const char* name, bool male) {
+    person(name, male);
+    b->Type(name, cls::kActor);
+    kb.actors.push_back(name);
+  };
+  auto politician = [&](const char* name, bool male) {
+    person(name, male);
+    b->Type(name, cls::kPolitician);
+    kb.politicians.push_back(name);
+  };
+
+  // The running example: "Who was married to an actor that played in
+  // Philadelphia?"
+  actor("Antonio_Banderas", true);
+  actor("Melanie_Griffith", false);
+  b->Triple("Melanie_Griffith", pred::kSpouse, "Antonio_Banderas");
+  b->Type("Philadelphia_(film)", cls::kFilm);
+  b->Triple("Philadelphia_(film)", pred::kStarring, "Antonio_Banderas");
+  person("Jonathan_Demme", true);
+  b->Triple("Philadelphia_(film)", pred::kDirector, "Jonathan_Demme");
+  kb.films.push_back("Philadelphia_(film)");
+  b->Type("Philadelphia_76ers", cls::kBasketballTeam);
+  b->Triple("Philadelphia_76ers", pred::kLocationCity, "Philadelphia");
+  kb.teams.push_back("Philadelphia_76ers");
+  b->Type("An_Actor_Prepares", cls::kBook);
+  person("Constantin_Stanislavski", true);
+  b->Triple("An_Actor_Prepares", pred::kAuthor, "Constantin_Stanislavski");
+  kb.books.push_back("An_Actor_Prepares");
+
+  // Table 11 questions.
+  politician("Klaus_Wowereit", true);
+  b->Triple("Berlin", pred::kMayor, "Klaus_Wowereit");
+
+  politician("John_F._Kennedy", true);
+  politician("Lyndon_B._Johnson", true);
+  b->Triple("John_F._Kennedy", pred::kSuccessor, "Lyndon_B._Johnson");
+
+  // The Kennedy family: the "uncle of" predicate path
+  // JFK_Jr <-hasChild- JFK <-hasChild- Joseph -hasChild-> Ted.
+  person("Joseph_P._Kennedy", true);
+  politician("Ted_Kennedy", true);
+  person("John_F._Kennedy_Jr.", true);
+  b->Triple("Joseph_P._Kennedy", pred::kHasChild, "John_F._Kennedy");
+  b->Triple("Joseph_P._Kennedy", pred::kHasChild, "Ted_Kennedy");
+  b->Triple("John_F._Kennedy", pred::kHasChild, "John_F._Kennedy_Jr.");
+
+  person("Michael_Jordan", true);
+  b->Type("Michael_Jordan", cls::kAthlete);
+  kb.athletes.push_back("Michael_Jordan");
+  b->Literal("Michael_Jordan", pred::kHeight, "1.98");
+  b->Type("Chicago_Bulls", cls::kBasketballTeam);
+  b->Triple("Chicago_Bulls", pred::kLocationCity, "Chicago");
+  kb.teams.push_back("Chicago_Bulls");
+  b->Triple("Michael_Jordan", pred::kPlayForTeam, "Chicago_Bulls");
+
+  politician("Barack_Obama", true);
+  person("Michelle_Obama", false);
+  b->Triple("Michelle_Obama", pred::kSpouse, "Barack_Obama");
+
+  politician("Sean_Parnell", true);
+  b->Type("Alaska", cls::kState);
+  b->Triple("Alaska", pred::kGovernor, "Sean_Parnell");
+  kb.states.push_back("Alaska");
+  politician("Matt_Mead", true);
+  b->Type("Wyoming", cls::kState);
+  b->Triple("Wyoming", pred::kGovernor, "Matt_Mead");
+  kb.states.push_back("Wyoming");
+
+  person("Francis_Ford_Coppola", true);
+  for (const char* f : {"The_Godfather", "Apocalypse_Now",
+                        "The_Conversation"}) {
+    b->Type(f, cls::kFilm);
+    b->Triple(f, pred::kDirector, "Francis_Ford_Coppola");
+    kb.films.push_back(f);
+  }
+
+  politician("Angela_Merkel", false);
+  b->Literal("Angela_Merkel", pred::kNickname, "Kasner");
+
+  b->Type("Minecraft", cls::kVideoGame);
+  b->Type("Mojang", cls::kCompany);
+  b->Triple("Mojang", pred::kLocationCity, "London");
+  b->Triple("Minecraft", pred::kDeveloper, "Mojang");
+  kb.games.push_back("Minecraft");
+  kb.companies.push_back("Mojang");
+
+  b->Type("Intel", cls::kCompany);
+  person("Gordon_Moore", true);
+  person("Robert_Noyce", true);
+  b->Triple("Intel", pred::kFoundedBy, "Gordon_Moore");
+  b->Triple("Intel", pred::kFoundedBy, "Robert_Noyce");
+  kb.companies.push_back("Intel");
+
+  person("Amanda_Palmer", false);
+  person("Neil_Gaiman", true);
+  b->Triple("Neil_Gaiman", pred::kSpouse, "Amanda_Palmer");
+
+  b->Type("The_Prodigy", cls::kBand);
+  b->Label("The_Prodigy", "Prodigy");
+  for (const char* m : {"Keith_Flint", "Liam_Howlett", "Maxim_Reality"}) {
+    person(m, true);
+    b->Type(m, cls::kMusician);
+    b->Triple("The_Prodigy", pred::kBandMember, m);
+  }
+  kb.bands.push_back("The_Prodigy");
+
+  b->Type("Weser", cls::kRiver);
+  b->Triple("Weser", pred::kFlowsThrough, "Bremen");
+  b->Triple("Weser", pred::kCrosses, "Germany");
+  kb.rivers.push_back("Weser");
+  b->Type("Rhine", cls::kRiver);
+  for (const char* c : {"Germany", "Switzerland", "Netherlands"}) {
+    b->Triple("Rhine", pred::kCrosses, c);
+  }
+  kb.rivers.push_back("Rhine");
+
+  b->Type("Mount_Everest", cls::kMountain);
+  b->Literal("Mount_Everest", pred::kElevation, "8848");
+  kb.mountains.push_back("Mount_Everest");
+
+  politician("Margaret_Thatcher", false);
+  person("Mark_Thatcher", true);
+  person("Carol_Thatcher", false);
+  b->Triple("Margaret_Thatcher", pred::kHasChild, "Mark_Thatcher");
+  b->Triple("Margaret_Thatcher", pred::kHasChild, "Carol_Thatcher");
+
+  person("Al_Capone", true);
+  b->Literal("Al_Capone", pred::kNickname, "Scarface");
+
+  person("Jack_Kerouac", true);
+  b->Type("Jack_Kerouac", cls::kWriter);
+  b->Label("Jack_Kerouac", "Kerouac");
+  kb.writers.push_back("Jack_Kerouac");
+  b->Type("Viking_Press", cls::kCompany);
+  kb.companies.push_back("Viking_Press");
+  for (const char* bk : {"On_the_Road", "The_Dharma_Bums"}) {
+    b->Type(bk, cls::kBook);
+    b->Triple(bk, pred::kAuthor, "Jack_Kerouac");
+    b->Triple(bk, pred::kPublisher, "Viking_Press");
+    kb.books.push_back(bk);
+  }
+
+  b->Type("Captain_America", cls::kComic);
+  person("Joe_Simon", true);
+  b->Triple("Captain_America", pred::kCreator, "Joe_Simon");
+  kb.comics.push_back("Captain_America");
+
+  b->Type("Miffy", cls::kComic);
+  person("Dick_Bruna", true);
+  b->Triple("Miffy", pred::kCreator, "Dick_Bruna");
+  b->Triple("Dick_Bruna", pred::kBirthPlace, "Utrecht");
+  b->Triple("Dick_Bruna", pred::kNationality, "Netherlands");
+  kb.comics.push_back("Miffy");
+
+  person("Michael_Jackson", true);
+  b->Type("Michael_Jackson", cls::kMusician);
+  b->Literal("Michael_Jackson", pred::kDeathDate, "2009-06-25");
+  b->Triple("Michael_Jackson", pred::kDeathPlace, "Los_Angeles");
+  b->Type("Los_Angeles", cls::kCity);
+  b->Triple("Los_Angeles", pred::kCountryOf, "United_States");
+  kb.cities.push_back("Los_Angeles");
+
+  person("Queen_Elizabeth_II", false);
+  person("George_VI", true);
+  b->Triple("George_VI", pred::kHasChild, "Queen_Elizabeth_II");
+
+  person("Juliana", false);
+  b->Label("Juliana", "Juliana");
+  b->Triple("Juliana", pred::kDeathPlace, "Utrecht");
+}
+
+void EmitProcedural(Builder* b, const KbGenerator::Options& opt) {
+  auto& kb = b->kb();
+  auto& names = b->names();
+  Rng& rng = b->rng();
+  // Seed entities keep exactly their curated facts; procedural attributes,
+  // roles and role-picks apply only to entities generated below, so the
+  // curated answers of the paper's example questions stay canonical.
+  const size_t first_procedural_person = kb.people.size();
+  const size_t first_procedural_politician = kb.politicians.size();
+  const size_t first_procedural_actor = kb.actors.size();
+  const size_t first_procedural_writer = kb.writers.size();
+  const size_t first_procedural_athlete = kb.athletes.size();
+  auto pick_from = [&rng](const std::vector<std::string>& v,
+                          size_t first) -> const std::string& {
+    return v[first + rng.Next(v.size() - first)];
+  };
+
+  // Countries, states, cities.
+  std::vector<std::string> new_countries;
+  for (size_t i = 0; i < opt.num_countries; ++i) {
+    std::string c = names.CountryName();
+    b->Type(c, cls::kCountry);
+    kb.countries.push_back(c);
+    new_countries.push_back(c);
+  }
+  for (size_t i = 0; i < opt.num_states; ++i) {
+    std::string s = names.StateName();
+    b->Type(s, cls::kState);
+    kb.states.push_back(s);
+  }
+  std::vector<std::string> new_cities;
+  const char* tzs[] = {"Eastern Standard Time", "Central European Time",
+                       "Pacific Standard Time", "Greenwich Mean Time"};
+  for (size_t i = 0; i < opt.num_cities; ++i) {
+    std::string city = names.CityName();
+    b->Type(city, cls::kCity);
+    const std::string& country = rng.Pick(kb.countries);
+    b->Triple(city, pred::kCountryOf, country);
+    b->Literal(city, pred::kTimeZone, tzs[rng.Next(4)]);
+    b->Literal(city, pred::kPopulationTotal,
+               std::to_string(10000 + rng.Next(5000000)));
+    kb.cities.push_back(city);
+    new_cities.push_back(city);
+  }
+  for (const std::string& c : new_countries) {
+    b->Triple(c, pred::kCapital, rng.Pick(new_cities));
+    b->Triple(c, pred::kLargestCity, rng.Pick(new_cities));
+  }
+
+  // Families: couples with children; children of sibling parents give the
+  // "uncle of" path its support. Some people get roles (actor, politician,
+  // writer, musician, athlete).
+  std::vector<std::vector<std::string>> family_children;
+  for (size_t i = 0; i < opt.num_families; ++i) {
+    std::string father = b->NewPerson(true, rng.Pick(kb.cities));
+    std::string mother = b->NewPerson(false, rng.Pick(kb.cities));
+    b->Triple(father, pred::kSpouse, mother);
+    size_t n_children = 1 + rng.Next(3);
+    std::vector<std::string> children;
+    for (size_t c = 0; c < n_children; ++c) {
+      bool male = rng.Chance(0.5);
+      std::string child = b->NewPerson(male, rng.Pick(kb.cities));
+      b->Triple(father, pred::kHasChild, child);
+      b->Triple(mother, pred::kHasChild, child);
+      children.push_back(child);
+    }
+    // Third generation for some families (grandchildren => uncle pairs).
+    if (rng.Chance(0.5) && !children.empty()) {
+      const std::string& parent = rng.Pick(children);
+      size_t n_grand = 1 + rng.Next(2);
+      for (size_t g = 0; g < n_grand; ++g) {
+        std::string grand = b->NewPerson(rng.Chance(0.5), rng.Pick(kb.cities));
+        b->Triple(parent, pred::kHasChild, grand);
+      }
+    }
+    family_children.push_back(std::move(children));
+  }
+  // Marriages across families.
+  for (size_t i = 0; i + 1 < family_children.size(); i += 2) {
+    if (family_children[i].empty() || family_children[i + 1].empty()) continue;
+    if (!rng.Chance(0.6)) continue;
+    b->Triple(family_children[i][0], pred::kSpouse,
+              family_children[i + 1][0]);
+  }
+  // Life-cycle literals and roles.
+  for (size_t pi = first_procedural_person; pi < kb.people.size(); ++pi) {
+    const std::string& p = kb.people[pi];
+    if (rng.Chance(0.35)) {
+      b->Literal(p, pred::kBirthDate,
+                 std::to_string(1900 + rng.Next(100)) + "-01-01");
+    }
+    if (rng.Chance(0.25)) {
+      b->Triple(p, pred::kDeathPlace, rng.Pick(kb.cities));
+      b->Literal(p, pred::kDeathDate,
+                 std::to_string(1950 + rng.Next(70)) + "-06-15");
+    }
+    if (rng.Chance(0.3)) {
+      b->Literal(p, pred::kHeight,
+                 "1." + std::to_string(50 + rng.Next(50)));
+    }
+    if (rng.Chance(0.2)) b->Triple(p, pred::kNationality, rng.Pick(kb.countries));
+    double roll = rng.NextDouble();
+    if (roll < 0.15) {
+      b->Type(p, cls::kActor);
+      kb.actors.push_back(p);
+    } else if (roll < 0.25) {
+      b->Type(p, cls::kPolitician);
+      kb.politicians.push_back(p);
+    } else if (roll < 0.33) {
+      b->Type(p, cls::kWriter);
+      kb.writers.push_back(p);
+    } else if (roll < 0.41) {
+      b->Type(p, cls::kAthlete);
+      kb.athletes.push_back(p);
+    } else if (roll < 0.47) {
+      b->Type(p, cls::kMusician);
+    }
+  }
+
+  // Mayors, governors, successors (procedural politicians only).
+  bool have_politicians = kb.politicians.size() > first_procedural_politician;
+  for (const std::string& city : new_cities) {
+    if (!have_politicians) break;
+    b->Triple(city, pred::kMayor,
+              pick_from(kb.politicians, first_procedural_politician));
+  }
+  for (const std::string& state : kb.states) {
+    if (state == "Alaska" || state == "Wyoming" || !have_politicians) continue;
+    b->Triple(state, pred::kGovernor,
+              pick_from(kb.politicians, first_procedural_politician));
+  }
+  for (size_t i = first_procedural_politician; i + 1 < kb.politicians.size();
+       i += 3) {
+    b->Triple(kb.politicians[i], pred::kSuccessor, kb.politicians[i + 1]);
+  }
+
+  // Teams (some named after cities: label ambiguity with the city).
+  for (size_t i = 0; i < opt.num_teams; ++i) {
+    const std::string& city = rng.Pick(kb.cities);
+    std::string team = names.TeamName(city);
+    b->Type(team, cls::kBasketballTeam);
+    b->Triple(team, pred::kLocationCity, city);
+    kb.teams.push_back(team);
+  }
+  for (size_t ai = first_procedural_athlete; ai < kb.athletes.size(); ++ai) {
+    if (kb.teams.empty()) break;
+    b->Triple(kb.athletes[ai], pred::kPlayForTeam, rng.Pick(kb.teams));
+  }
+
+  // Films: directed/produced by people, starring actors; some reuse a city
+  // name ("Philadelphia_(film)"-style ambiguity).
+  for (size_t i = 0; i < opt.num_films; ++i) {
+    std::string film = rng.Chance(opt.ambiguity_rate)
+                           ? names.FilmName(rng.Pick(new_cities))
+                           : names.FilmName();
+    b->Type(film, cls::kFilm);
+    b->Triple(film, pred::kDirector,
+              pick_from(kb.people, first_procedural_person));
+    if (rng.Chance(0.6)) {
+      b->Triple(film, pred::kProducer,
+                pick_from(kb.people, first_procedural_person));
+    }
+    bool have_actors = kb.actors.size() > first_procedural_actor;
+    size_t n_cast = 1 + rng.Next(4);
+    for (size_t c = 0; c < n_cast && have_actors; ++c) {
+      // A slice of procedural films stars the seed actors so questions
+      // like "Which movies did Antonio Banderas star in?" have non-trivial
+      // answer sets, without touching other seed facts.
+      const std::string& actor =
+          rng.Chance(0.05) ? rng.Pick(kb.actors)
+                           : pick_from(kb.actors, first_procedural_actor);
+      b->Triple(film, pred::kStarring, actor);
+    }
+    kb.films.push_back(film);
+  }
+
+  // Companies, games, cars.
+  for (size_t i = 0; i < opt.num_companies; ++i) {
+    std::string co = names.CompanyName();
+    b->Type(co, cls::kCompany);
+    b->Triple(co, pred::kLocationCity, rng.Pick(kb.cities));
+    if (rng.Chance(0.7)) {
+      b->Triple(co, pred::kFoundedBy,
+                pick_from(kb.people, first_procedural_person));
+    }
+    kb.companies.push_back(co);
+  }
+  for (size_t i = 0; i < opt.num_games; ++i) {
+    std::string game = names.GameName();
+    b->Type(game, cls::kVideoGame);
+    b->Triple(game, pred::kDeveloper, rng.Pick(kb.companies));
+    kb.games.push_back(game);
+  }
+  for (size_t i = 0; i < opt.num_cars; ++i) {
+    std::string car = names.CarName();
+    b->Type(car, cls::kAutomobile);
+    b->Triple(car, pred::kManufacturer, rng.Pick(kb.companies));
+    b->Triple(car, pred::kAssembly, rng.Pick(kb.countries));
+    kb.cars.push_back(car);
+  }
+
+  // Bands, books, comics.
+  for (size_t i = 0; i < opt.num_bands; ++i) {
+    std::string band = names.BandName();
+    b->Type(band, cls::kBand);
+    size_t n = 2 + rng.Next(4);
+    for (size_t m = 0; m < n; ++m) {
+      b->Triple(band, pred::kBandMember,
+                pick_from(kb.people, first_procedural_person));
+    }
+    kb.bands.push_back(band);
+  }
+  for (size_t i = 0; i < opt.num_books; ++i) {
+    std::string book = names.BookName();
+    b->Type(book, cls::kBook);
+    if (kb.writers.size() > first_procedural_writer) {
+      b->Triple(book, pred::kAuthor,
+                pick_from(kb.writers, first_procedural_writer));
+    }
+    if (!kb.companies.empty() && rng.Chance(0.8)) {
+      b->Triple(book, pred::kPublisher, rng.Pick(kb.companies));
+    }
+    kb.books.push_back(book);
+  }
+  for (size_t i = 0; i < opt.num_comics; ++i) {
+    std::string comic = names.ComicName();
+    b->Type(comic, cls::kComic);
+    b->Triple(comic, pred::kCreator,
+              pick_from(kb.people, first_procedural_person));
+    kb.comics.push_back(comic);
+  }
+
+  // Rivers and mountains.
+  for (size_t i = 0; i < opt.num_rivers; ++i) {
+    std::string river = names.RiverName();
+    b->Type(river, cls::kRiver);
+    size_t n_cities = 2 + rng.Next(3);
+    for (size_t c = 0; c < n_cities; ++c) {
+      b->Triple(river, pred::kFlowsThrough, rng.Pick(kb.cities));
+    }
+    size_t n_countries = 1 + rng.Next(3);
+    for (size_t c = 0; c < n_countries; ++c) {
+      b->Triple(river, pred::kCrosses, rng.Pick(kb.countries));
+    }
+    kb.rivers.push_back(river);
+  }
+  for (size_t i = 0; i < opt.num_mountains; ++i) {
+    std::string mtn = names.MountainName();
+    b->Type(mtn, cls::kMountain);
+    b->Literal(mtn, pred::kElevation, std::to_string(1000 + rng.Next(8000)));
+    b->Triple(mtn, pred::kLocatedInArea, rng.Pick(kb.countries));
+    kb.mountains.push_back(mtn);
+  }
+}
+
+}  // namespace
+
+StatusOr<KbGenerator::GeneratedKb> KbGenerator::Generate(
+    const Options& options) {
+  GeneratedKb kb;
+  NamePools names(options.seed);
+  Builder builder(&kb.graph, &kb, &names);
+  builder.EmitSchema();
+  EmitSeed(&builder);
+  EmitProcedural(&builder, options);
+  GANSWER_RETURN_NOT_OK(kb.graph.Finalize());
+  return kb;
+}
+
+}  // namespace datagen
+}  // namespace ganswer

@@ -1,0 +1,80 @@
+#ifndef GANSWER_DATAGEN_KB_GENERATOR_H_
+#define GANSWER_DATAGEN_KB_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/rdf_graph.h"
+
+namespace ganswer {
+namespace datagen {
+
+/// \brief Generates the DBpedia-like synthetic knowledge graph.
+///
+/// The graph has two layers:
+///
+///  1. A hand-written seed with the entities of the paper's running example
+///     and its QALD-3 sample questions (Antonio Banderas / Melanie Griffith
+///     / the three "Philadelphia"s, Berlin's mayor, the Kennedy family for
+///     "uncle of", ...), so the paper's examples run verbatim.
+///  2. A procedural layer scaled by Options: families with spouse/hasChild/
+///     hasGender structure (which is what makes multi-hop paths like
+///     "uncle of" minable), films/teams/companies/rivers with the schema of
+///     datagen/schema.h, plus deliberate label ambiguity (films and teams
+///     named after cities) so entity linking faces the paper's
+///     disambiguation problem everywhere.
+class KbGenerator {
+ public:
+  struct Options {
+    uint64_t seed = 42;
+    size_t num_countries = 12;
+    size_t num_states = 10;
+    size_t num_cities = 80;
+    size_t num_families = 220;    // couples; children are generated per family
+    size_t num_films = 200;
+    size_t num_teams = 20;
+    size_t num_companies = 90;
+    size_t num_bands = 30;
+    size_t num_books = 80;
+    size_t num_rivers = 10;
+    size_t num_mountains = 8;
+    size_t num_games = 25;
+    size_t num_comics = 25;
+    size_t num_cars = 40;
+    /// Probability that a film/team reuses a city name (label ambiguity).
+    double ambiguity_rate = 0.25;
+  };
+
+  /// The generated graph plus entity-name rosters for downstream
+  /// generators (phrases, workload).
+  struct GeneratedKb {
+    rdf::RdfGraph graph;
+    std::vector<std::string> people;
+    std::vector<std::string> actors;
+    std::vector<std::string> politicians;
+    std::vector<std::string> writers;
+    std::vector<std::string> athletes;
+    std::vector<std::string> films;
+    std::vector<std::string> cities;
+    std::vector<std::string> countries;
+    std::vector<std::string> states;
+    std::vector<std::string> companies;
+    std::vector<std::string> bands;
+    std::vector<std::string> books;
+    std::vector<std::string> teams;
+    std::vector<std::string> rivers;
+    std::vector<std::string> mountains;
+    std::vector<std::string> games;
+    std::vector<std::string> comics;
+    std::vector<std::string> cars;
+  };
+
+  static StatusOr<GeneratedKb> Generate(const Options& options);
+};
+
+}  // namespace datagen
+}  // namespace ganswer
+
+#endif  // GANSWER_DATAGEN_KB_GENERATOR_H_

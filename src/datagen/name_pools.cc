@@ -1,0 +1,176 @@
+#include "datagen/name_pools.h"
+
+#include <algorithm>
+
+namespace ganswer {
+namespace datagen {
+
+namespace {
+
+const char* const kFirstNames[] = {
+    "Elena",  "Marco",   "Sofia",  "Viktor",  "Amara",  "Dmitri", "Lucia",
+    "Rafael", "Ingrid",  "Tomas",  "Nadia",   "Henrik", "Paloma", "Oscar",
+    "Freya",  "Matteo",  "Zara",   "Emil",    "Carmen", "Lars",   "Bianca",
+    "Pavel",  "Greta",   "Diego",  "Astrid",  "Felix",  "Rosa",   "Stefan",
+    "Livia",  "Anton",   "Marta",  "Julius",  "Vera",   "Casper", "Irene",
+    "Hugo",   "Selma",   "Bruno",  "Clara",   "Edgar",  "Alma",   "Ruben",
+    "Nora",   "Gustav",  "Ida",    "Leon",    "Thea",   "Oren",   "Maya",
+    "Silas"};
+
+const char* const kLastNames[] = {
+    "Varga",   "Lindqvist", "Moretti",  "Kovacs",   "Okafor",  "Petrov",
+    "Silva",   "Johansson", "Fischer",  "Novak",    "Costa",   "Bergman",
+    "Castillo", "Weber",    "Santos",   "Larsen",   "Romano",  "Dvorak",
+    "Mendez",  "Holm",      "Ferraro",  "Soto",     "Nilsson", "Marek",
+    "Vidal",   "Krause",    "Bellini",  "Navarro",  "Ek",      "Toth",
+    "Ferrand", "Olsen",     "Ricci",    "Duran",    "Stahl",   "Banik",
+    "Leclerc", "Voss",      "Amato",    "Reyes",    "Falk",    "Zeman",
+    "Giraud",  "Lund",      "Conti",    "Ibarra",   "Brandt",  "Kaspar"};
+
+const char* const kPlaceFirst[] = {
+    "Copper",  "Silver",  "Northgate", "Ashford",  "Bellmare", "Ironwood",
+    "Greyton", "Marwick", "Elmsworth", "Ravenholt", "Stoneby", "Clearwater",
+    "Goldcrest", "Windham", "Lakemont", "Fernvale", "Oakridge", "Brightford",
+    "Halloway", "Redcliff", "Thornbury", "Millbrook", "Eastmere", "Frostholm",
+    "Sunfield", "Violetta", "Harborne", "Kestrel",  "Dunmore",  "Wolfden"};
+
+const char* const kPlaceSecond[] = {
+    "Harbor", "Falls",  "Heights", "Crossing", "Springs", "Hollow",
+    "Point",  "Valley", "Ridge",   "Gate",     "Bay",     "Fields"};
+
+const char* const kCountryBases[] = {
+    "Valdoria", "Kestrovia", "Marundi",  "Tavaria",  "Norrland", "Zephyria",
+    "Ostrava",  "Quillora",  "Brenmark", "Soletia",  "Vantara",  "Luminia",
+    "Ardenia",  "Fenwick",   "Galdora",  "Heswall",  "Ivoria",   "Jorvik",
+    "Korenia",  "Lysander"};
+
+const char* const kStateBases[] = {
+    "Westmoor", "Eastvale",  "Northall", "Southmere", "Midlane", "Highmark",
+    "Lowfen",   "Greymoor",  "Redvale",  "Bluecrest", "Rockwell", "Plainsend"};
+
+const char* const kFilmWords[] = {
+    "Lantern",  "Shadow",  "Midnight", "Crimson", "Echo",    "Horizon",
+    "Whisper",  "Ember",   "Mirage",   "Tempest", "Solace",  "Verdict",
+    "Labyrinth", "Nocturne", "Cascade", "Vertigo", "Serpent", "Harvest",
+    "Requiem",  "Odyssey"};
+
+const char* const kTeamSuffixes[] = {"76ers",  "Rockets", "Falcons",
+                                     "Knights", "Comets",  "Wolves"};
+
+const char* const kCompanyWords[] = {
+    "Dyne",   "Flux",   "Core",  "Forge", "Nimbus", "Vertex", "Pulse",
+    "Quanta", "Helix",  "Apex",  "Orbit", "Cipher", "Strata", "Lumen"};
+
+const char* const kBandWords[] = {
+    "Prodigy",  "Static",  "Velvet",   "Neon",     "Thunder", "Paradox",
+    "Gravity",  "Phantom", "Electric", "Hollow",   "Savage",  "Mystic"};
+
+const char* const kRiverBases[] = {
+    "Weser",  "Torrent", "Silverflow", "Brackwater", "Eastrun", "Coldbeck",
+    "Myrr",   "Aldra",   "Vesna",      "Ostra",      "Kelda",   "Luneth"};
+
+const char* const kMountainBases[] = {
+    "Everhorn", "Stormpeak", "Greyspire", "Frostfang", "Skyreach",
+    "Thunderhead", "Ironcrown", "Cloudrest", "Shadowmont", "Brightsummit"};
+
+const char* const kGameWords[] = {
+    "Craft",   "Quest",  "Forge",  "Realm",  "Saga",  "Depths",
+    "Frontier", "Tactics", "Legends", "Drift", "Vault", "Signal"};
+
+const char* const kComicWords[] = {
+    "Captain", "Doctor", "Agent",  "Mister", "Lady",  "Professor"};
+const char* const kComicSecond[] = {
+    "Valiant", "Eclipse", "Quantum", "Marvelous", "Iron", "Cosmic"};
+
+const char* const kCarWords[] = {
+    "Strada", "Veloce", "Aurora", "Pioneer", "Meridian", "Falcon",
+    "Tundra", "Solara", "Vector", "Estate"};
+
+template <size_t N>
+const char* Pick(Rng& rng, const char* const (&pool)[N]) {
+  return pool[rng.Next(N)];
+}
+
+}  // namespace
+
+std::string NamePools::Unique(std::string base) {
+  // Suffix with a counter on collision; keeps every IRI distinct while
+  // preserving shared leading tokens (which is what the linker sees).
+  std::string candidate = base;
+  int suffix = 2;
+  while (std::find(used_.begin(), used_.end(), candidate) != used_.end()) {
+    candidate = base + "_" + std::to_string(suffix++);
+  }
+  used_.push_back(candidate);
+  return candidate;
+}
+
+std::string NamePools::PersonName() {
+  return Unique(std::string(Pick(rng_, kFirstNames)) + "_" +
+                Pick(rng_, kLastNames));
+}
+
+std::string NamePools::CityName() {
+  return Unique(std::string(Pick(rng_, kPlaceFirst)) + "_" +
+                Pick(rng_, kPlaceSecond));
+}
+
+std::string NamePools::FilmName(const std::string& base) {
+  if (!base.empty()) return Unique(base + "_(film)");
+  return Unique(std::string("The_") + Pick(rng_, kFilmWords) + "_" +
+                Pick(rng_, kFilmWords));
+}
+
+std::string NamePools::TeamName(const std::string& city) {
+  return Unique(city + "_" + Pick(rng_, kTeamSuffixes));
+}
+
+std::string NamePools::CompanyName() {
+  return Unique(std::string(Pick(rng_, kCompanyWords)) +
+                Pick(rng_, kCompanyWords) + "_Inc");
+}
+
+std::string NamePools::BandName() {
+  return Unique(std::string("The_") + Pick(rng_, kBandWords) + "_" +
+                Pick(rng_, kBandWords));
+}
+
+std::string NamePools::BookName() {
+  // No prepositions inside titles: the parser would read "A Serpent of
+  // Labyrinth" as a noun phrase with a PP and split the mention.
+  return Unique(std::string("The_") + Pick(rng_, kFilmWords) + "_" +
+                Pick(rng_, kFilmWords) + "_Chronicle");
+}
+
+std::string NamePools::CountryName() {
+  return Unique(Pick(rng_, kCountryBases));
+}
+
+std::string NamePools::StateName() { return Unique(Pick(rng_, kStateBases)); }
+
+std::string NamePools::RiverName() { return Unique(Pick(rng_, kRiverBases)); }
+
+std::string NamePools::MountainName() {
+  return Unique(std::string("Mount_") + Pick(rng_, kMountainBases));
+}
+
+std::string NamePools::GameName() {
+  return Unique(std::string(Pick(rng_, kGameWords)) + Pick(rng_, kGameWords));
+}
+
+std::string NamePools::ComicName() {
+  return Unique(std::string(Pick(rng_, kComicWords)) + "_" +
+                Pick(rng_, kComicSecond));
+}
+
+std::string NamePools::CarName() {
+  return Unique(std::string(Pick(rng_, kCarWords)) + "_" +
+                Pick(rng_, kCarWords));
+}
+
+std::string NamePools::UniversityName(const std::string& city) {
+  return Unique("University_of_" + city);
+}
+
+}  // namespace datagen
+}  // namespace ganswer

@@ -1,0 +1,56 @@
+#ifndef GANSWER_DATAGEN_NAME_POOLS_H_
+#define GANSWER_DATAGEN_NAME_POOLS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ganswer {
+namespace datagen {
+
+/// \brief Deterministic name factories for the synthetic KB.
+///
+/// Names look like DBpedia IRI local names ("Elena_Varga",
+/// "Copper_Harbor", "Silver_Lantern_(film)") and are generated from fixed
+/// syllable/word pools so runs are reproducible from the seed and labels
+/// are realistic enough to exercise entity linking (token overlap,
+/// parenthetical disambiguators, shared base names across kinds).
+class NamePools {
+ public:
+  explicit NamePools(uint64_t seed) : rng_(seed) {}
+
+  /// "Firstname_Lastname", unique across calls.
+  std::string PersonName();
+  /// A fresh city base name ("Copper_Harbor").
+  std::string CityName();
+  /// A film title; when \p base is non-empty produces "base_(film)" to
+  /// create label ambiguity with the base entity.
+  std::string FilmName(const std::string& base = "");
+  /// A team name derived from a city ("Copper_Harbor_76ers" style).
+  std::string TeamName(const std::string& city);
+  std::string CompanyName();
+  std::string BandName();
+  std::string BookName();
+  std::string CountryName();
+  std::string RiverName();
+  std::string MountainName();
+  std::string GameName();
+  std::string ComicName();
+  std::string CarName();
+  std::string UniversityName(const std::string& city);
+  std::string StateName();
+
+  Rng& rng() { return rng_; }
+
+ private:
+  std::string Unique(std::string base);
+
+  Rng rng_;
+  std::vector<std::string> used_;
+};
+
+}  // namespace datagen
+}  // namespace ganswer
+
+#endif  // GANSWER_DATAGEN_NAME_POOLS_H_

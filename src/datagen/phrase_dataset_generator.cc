@@ -1,0 +1,329 @@
+#include "datagen/phrase_dataset_generator.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "datagen/schema.h"
+
+namespace ganswer {
+namespace datagen {
+
+namespace {
+
+using rdf::RdfGraph;
+using rdf::TermId;
+
+using Pair = std::pair<std::string, std::string>;
+
+/// Collects (subject, object) name pairs of a predicate, optionally
+/// swapping to (object, subject).
+std::vector<Pair> PredicatePairs(const RdfGraph& g, std::string_view pred,
+                                 bool swap) {
+  std::vector<Pair> out;
+  auto p = g.Find(pred);
+  if (!p.has_value()) return out;
+  const rdf::TermDictionary& dict = g.dict();
+  for (TermId s = 0; s < dict.size(); ++s) {
+    for (TermId o : g.Objects(s, *p)) {
+      if (swap) {
+        out.emplace_back(dict.text(o), dict.text(s));
+      } else {
+        out.emplace_back(dict.text(s), dict.text(o));
+      }
+    }
+  }
+  return out;
+}
+
+/// (uncle, nephew/niece) pairs: x <-hasChild- z -hasChild-> w -hasChild-> y
+/// with x male and x != w.
+std::vector<Pair> UnclePairs(const RdfGraph& g) {
+  std::vector<Pair> out;
+  auto has_child = g.Find(pred::kHasChild);
+  auto has_gender = g.Find(pred::kHasGender);
+  auto male = g.Find("male");
+  if (!has_child || !has_gender || !male) return out;
+  const rdf::TermDictionary& dict = g.dict();
+  for (TermId z = 0; z < dict.size(); ++z) {
+    std::vector<TermId> children = g.Objects(z, *has_child);
+    if (children.size() < 2) continue;
+    for (TermId x : children) {
+      if (!g.HasTriple(x, *has_gender, *male)) continue;
+      for (TermId w : children) {
+        if (w == x) continue;
+        for (TermId y : g.Objects(w, *has_child)) {
+          out.emplace_back(dict.text(x), dict.text(y));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+struct CorePhraseSpec {
+  const char* text;
+  std::vector<Pair> (*pairs)(const RdfGraph&);
+  std::vector<std::vector<GoldStep>> gold;
+};
+
+std::vector<Pair> SampleAndNoise(std::vector<Pair> pool, size_t want,
+                                 double noise_rate, Rng* rng,
+                                 const std::vector<std::string>& all_entities) {
+  rng->Shuffle(&pool);
+  if (pool.size() > want) pool.resize(want);
+  for (Pair& p : pool) {
+    if (rng->Chance(noise_rate) && all_entities.size() >= 2) {
+      p.first = rng->Pick(all_entities);
+      p.second = rng->Pick(all_entities);
+    }
+  }
+  return pool;
+}
+
+}  // namespace
+
+std::vector<PhraseWithGold> PhraseDatasetGenerator::Generate(
+    const KbGenerator::GeneratedKb& kb, const Options& options) {
+  const RdfGraph& g = kb.graph;
+  Rng rng(options.seed);
+  std::vector<PhraseWithGold> out;
+
+  // Entity pool for noise pairs.
+  std::vector<std::string> everyone;
+  everyone.insert(everyone.end(), kb.people.begin(), kb.people.end());
+  everyone.insert(everyone.end(), kb.films.begin(), kb.films.end());
+  everyone.insert(everyone.end(), kb.cities.begin(), kb.cities.end());
+  everyone.insert(everyone.end(), kb.companies.begin(), kb.companies.end());
+
+  auto add = [&](const std::string& text, std::vector<Pair> pool,
+                 std::vector<std::vector<GoldStep>> gold) {
+    PhraseWithGold p;
+    p.phrase.text = text;
+    p.phrase.support = SampleAndNoise(std::move(pool), options.pairs_per_phrase,
+                                      options.noise_pair_rate, &rng, everyone);
+    p.gold = std::move(gold);
+    out.push_back(std::move(p));
+  };
+  auto fwd = [](std::string_view p) {
+    return std::vector<GoldStep>{{std::string(p), true}};
+  };
+  auto bwd = [](std::string_view p) {
+    return std::vector<GoldStep>{{std::string(p), false}};
+  };
+
+  if (options.include_core) {
+    // --- people ---
+    add("be married to", PredicatePairs(g, pred::kSpouse, false),
+        {fwd(pred::kSpouse), bwd(pred::kSpouse)});
+    add("be the husband of", PredicatePairs(g, pred::kSpouse, true),
+        {fwd(pred::kSpouse), bwd(pred::kSpouse)});
+    add("be the wife of", PredicatePairs(g, pred::kSpouse, false),
+        {fwd(pred::kSpouse), bwd(pred::kSpouse)});
+    // Single-noun phrases serve the possessive forms ("Obama's wife").
+    add("wife", PredicatePairs(g, pred::kSpouse, false),
+        {fwd(pred::kSpouse), bwd(pred::kSpouse)});
+    add("husband", PredicatePairs(g, pred::kSpouse, true),
+        {fwd(pred::kSpouse), bwd(pred::kSpouse)});
+    add("be born in", PredicatePairs(g, pred::kBirthPlace, false),
+        {fwd(pred::kBirthPlace)});
+    add("die in", PredicatePairs(g, pred::kDeathPlace, false),
+        {fwd(pred::kDeathPlace)});
+    add("be buried in", PredicatePairs(g, pred::kDeathPlace, false),
+        {fwd(pred::kDeathPlace)});
+    add("die", PredicatePairs(g, pred::kDeathDate, false),
+        {fwd(pred::kDeathDate)});
+    add("father of", PredicatePairs(g, pred::kHasChild, false),
+        {fwd(pred::kHasChild)});
+    add("mother of", PredicatePairs(g, pred::kHasChild, false),
+        {fwd(pred::kHasChild)});
+    add("child of", PredicatePairs(g, pred::kHasChild, true),
+        {bwd(pred::kHasChild)});
+    add("children of", PredicatePairs(g, pred::kHasChild, true),
+        {bwd(pred::kHasChild)});
+    add("uncle of", UnclePairs(g),
+        {{{std::string(pred::kHasChild), false},
+          {std::string(pred::kHasChild), true},
+          {std::string(pred::kHasChild), true}}});
+    add("successor of", PredicatePairs(g, pred::kSuccessor, true),
+        {bwd(pred::kSuccessor)});
+    add("come from", PredicatePairs(g, pred::kNationality, false),
+        {fwd(pred::kNationality)});
+    add("be called", PredicatePairs(g, pred::kNickname, false),
+        {fwd(pred::kNickname)});
+    add("nickname of", PredicatePairs(g, pred::kNickname, true),
+        {bwd(pred::kNickname)});
+    add("tall", PredicatePairs(g, pred::kHeight, false),
+        {fwd(pred::kHeight)});
+    add("height of", PredicatePairs(g, pred::kHeight, true),
+        {bwd(pred::kHeight)});
+
+    // --- works ---
+    // "play in" is deliberately ambiguous: actors in films AND athletes in
+    // teams (the paper's running ambiguity).
+    {
+      std::vector<Pair> pool = PredicatePairs(g, pred::kStarring, true);
+      std::vector<Pair> teams = PredicatePairs(g, pred::kPlayForTeam, false);
+      rng.Shuffle(&teams);
+      size_t extra = std::min(teams.size(), options.pairs_per_phrase / 3 + 1);
+      pool.insert(pool.end(), teams.begin(), teams.begin() + extra);
+      add("play in", std::move(pool),
+          {bwd(pred::kStarring), fwd(pred::kPlayForTeam)});
+    }
+    add("star in", PredicatePairs(g, pred::kStarring, true),
+        {bwd(pred::kStarring)});
+    add("play for", PredicatePairs(g, pred::kPlayForTeam, false),
+        {fwd(pred::kPlayForTeam)});
+    add("direct", PredicatePairs(g, pred::kDirector, true),
+        {bwd(pred::kDirector)});
+    add("be directed by", PredicatePairs(g, pred::kDirector, false),
+        {fwd(pred::kDirector)});
+    add("director of", PredicatePairs(g, pred::kDirector, true),
+        {bwd(pred::kDirector)});
+    add("produce", PredicatePairs(g, pred::kProducer, true),
+        {bwd(pred::kProducer)});
+    add("write", PredicatePairs(g, pred::kAuthor, true),
+        {bwd(pred::kAuthor)});
+    add("author of", PredicatePairs(g, pred::kAuthor, true),
+        {bwd(pred::kAuthor)});
+    add("be published by", PredicatePairs(g, pred::kPublisher, false),
+        {fwd(pred::kPublisher)});
+    add("create", PredicatePairs(g, pred::kCreator, true),
+        {bwd(pred::kCreator)});
+    add("creator of", PredicatePairs(g, pred::kCreator, true),
+        {bwd(pred::kCreator)});
+    add("develop", PredicatePairs(g, pred::kDeveloper, true),
+        {bwd(pred::kDeveloper)});
+
+    // --- organisations ---
+    add("found", PredicatePairs(g, pred::kFoundedBy, true),
+        {bwd(pred::kFoundedBy)});
+    add("founder of", PredicatePairs(g, pred::kFoundedBy, true),
+        {bwd(pred::kFoundedBy)});
+    add("member of", PredicatePairs(g, pred::kBandMember, true),
+        {bwd(pred::kBandMember)});
+    // "have" is deliberately the most ambiguous phrase in the dataset:
+    // bands have members, parents have children.
+    {
+      std::vector<Pair> pool = PredicatePairs(g, pred::kBandMember, false);
+      std::vector<Pair> kids = PredicatePairs(g, pred::kHasChild, false);
+      rng.Shuffle(&kids);
+      size_t extra = std::min(kids.size(), options.pairs_per_phrase / 2 + 1);
+      pool.insert(pool.end(), kids.begin(), kids.begin() + extra);
+      add("have", std::move(pool),
+          {fwd(pred::kBandMember), fwd(pred::kHasChild)});
+    }
+    add("members of", PredicatePairs(g, pred::kBandMember, true),
+        {bwd(pred::kBandMember)});
+    add("be located in", PredicatePairs(g, pred::kLocationCity, false),
+        {fwd(pred::kLocationCity)});
+    add("headquarters of", PredicatePairs(g, pred::kLocationCity, true),
+        {bwd(pred::kLocationCity)});
+    add("manufacture", PredicatePairs(g, pred::kManufacturer, true),
+        {bwd(pred::kManufacturer)});
+    add("be produced in", PredicatePairs(g, pred::kAssembly, false),
+        {fwd(pred::kAssembly)});
+
+    // --- places ---
+    add("mayor of", PredicatePairs(g, pred::kMayor, true),
+        {bwd(pred::kMayor)});
+    add("governor of", PredicatePairs(g, pred::kGovernor, true),
+        {bwd(pred::kGovernor)});
+    add("capital of", PredicatePairs(g, pred::kCapital, true),
+        {bwd(pred::kCapital)});
+    add("capital", PredicatePairs(g, pred::kCapital, true),
+        {bwd(pred::kCapital)});
+    add("largest city in", PredicatePairs(g, pred::kLargestCity, true),
+        {bwd(pred::kLargestCity)});
+    add("flow through", PredicatePairs(g, pred::kFlowsThrough, false),
+        {fwd(pred::kFlowsThrough)});
+    add("cross", PredicatePairs(g, pred::kCrosses, false),
+        {fwd(pred::kCrosses)});
+    add("be connected by", PredicatePairs(g, pred::kCrosses, true),
+        {bwd(pred::kCrosses)});
+    add("high", PredicatePairs(g, pred::kElevation, false),
+        {fwd(pred::kElevation)});
+    add("time zone of", PredicatePairs(g, pred::kTimeZone, true),
+        {bwd(pred::kTimeZone)});
+    add("population of", PredicatePairs(g, pred::kPopulationTotal, true),
+        {bwd(pred::kPopulationTotal)});
+  }
+
+  // Filler phrases over random data predicates: corpus scale + idf signal.
+  std::vector<std::string> data_preds;
+  for (TermId p : g.Predicates()) {
+    const std::string& name = g.dict().text(p);
+    if (name == rdf::kTypePredicate || name == rdf::kSubClassOfPredicate ||
+        name == rdf::kLabelPredicate) {
+      continue;
+    }
+    data_preds.push_back(name);
+  }
+  const char* filler_verbs[] = {"quassel", "brindle", "farrow", "welkin",
+                                "dapple",  "murk",    "sorrel", "tiffin"};
+  const char* filler_preps[] = {"with", "at", "over", "near"};
+  for (size_t i = 0; i < options.num_filler_phrases && !data_preds.empty();
+       ++i) {
+    const std::string& p = data_preds[rng.Next(data_preds.size())];
+    bool swap = rng.Chance(0.5);
+    std::string text = std::string(filler_verbs[rng.Next(8)]) + "_" +
+                       std::to_string(i) + " " + filler_preps[rng.Next(4)];
+    std::vector<std::vector<GoldStep>> gold = {{GoldStep{p, !swap}}};
+    add(text, PredicatePairs(g, p, swap), std::move(gold));
+  }
+
+  return out;
+}
+
+std::vector<paraphrase::RelationPhrase> PhraseDatasetGenerator::StripGold(
+    const std::vector<PhraseWithGold>& dataset) {
+  std::vector<paraphrase::RelationPhrase> out;
+  out.reserve(dataset.size());
+  for (const PhraseWithGold& p : dataset) out.push_back(p.phrase);
+  return out;
+}
+
+std::optional<paraphrase::PredicatePath> GoldToPath(
+    const std::vector<GoldStep>& steps, const RdfGraph& graph) {
+  paraphrase::PredicatePath path;
+  for (const GoldStep& s : steps) {
+    auto p = graph.Find(s.predicate);
+    if (!p.has_value()) return std::nullopt;
+    path.steps.push_back({*p, s.forward});
+  }
+  return path;
+}
+
+void VerifyDictionary(const std::vector<PhraseWithGold>& gold,
+                      const RdfGraph& graph,
+                      const paraphrase::ParaphraseDictionary& mined,
+                      paraphrase::ParaphraseDictionary* verified) {
+  for (const PhraseWithGold& spec : gold) {
+    // Admissible paths for this phrase, in either orientation (a path and
+    // its reverse denote the same connection read from the other side).
+    std::vector<paraphrase::PredicatePath> accepted;
+    for (const auto& gold_steps : spec.gold) {
+      auto p = GoldToPath(gold_steps, graph);
+      if (!p.has_value()) continue;
+      accepted.push_back(p->Reversed());
+      accepted.push_back(std::move(*p));
+    }
+    std::vector<paraphrase::ParaphraseEntry> kept;
+    // Locate the mined phrase record by lemma-insensitive text match.
+    for (paraphrase::PhraseId id = 0; id < mined.NumPhrases(); ++id) {
+      if (mined.PhraseText(id) != ToLower(spec.phrase.text)) continue;
+      for (const paraphrase::ParaphraseEntry& e : mined.Entries(id)) {
+        if (std::find(accepted.begin(), accepted.end(), e.path) !=
+            accepted.end()) {
+          kept.push_back(e);
+        }
+      }
+      break;
+    }
+    verified->AddPhrase(spec.phrase.text, std::move(kept));
+  }
+  verified->NormalizeConfidences();
+}
+
+}  // namespace datagen
+}  // namespace ganswer

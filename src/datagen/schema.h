@@ -1,0 +1,80 @@
+#ifndef GANSWER_DATAGEN_SCHEMA_H_
+#define GANSWER_DATAGEN_SCHEMA_H_
+
+#include <string_view>
+
+namespace ganswer {
+namespace datagen {
+
+/// The DBpedia-like schema shared by the KB generator, the phrase-dataset
+/// generator and the workload generator. Class and predicate names are the
+/// IRI texts interned into the RDF graph.
+namespace cls {
+inline constexpr std::string_view kPerson = "Person";
+inline constexpr std::string_view kActor = "Actor";
+inline constexpr std::string_view kPolitician = "Politician";
+inline constexpr std::string_view kMusician = "Musician";
+inline constexpr std::string_view kWriter = "Writer";
+inline constexpr std::string_view kAthlete = "Athlete";
+inline constexpr std::string_view kWork = "Work";
+inline constexpr std::string_view kFilm = "Film";
+inline constexpr std::string_view kBook = "Book";
+inline constexpr std::string_view kComic = "Comic";
+inline constexpr std::string_view kVideoGame = "VideoGame";
+inline constexpr std::string_view kOrganisation = "Organisation";
+inline constexpr std::string_view kCompany = "Company";
+inline constexpr std::string_view kBand = "Band";
+inline constexpr std::string_view kBasketballTeam = "BasketballTeam";
+inline constexpr std::string_view kUniversity = "University";
+inline constexpr std::string_view kPlace = "Place";
+inline constexpr std::string_view kCity = "City";
+inline constexpr std::string_view kCountry = "Country";
+inline constexpr std::string_view kState = "State";
+inline constexpr std::string_view kMountain = "Mountain";
+inline constexpr std::string_view kRiver = "River";
+inline constexpr std::string_view kAutomobile = "Automobile";
+}  // namespace cls
+
+namespace pred {
+inline constexpr std::string_view kSpouse = "spouse";
+inline constexpr std::string_view kHasChild = "hasChild";
+inline constexpr std::string_view kHasGender = "hasGender";
+inline constexpr std::string_view kBirthPlace = "birthPlace";
+inline constexpr std::string_view kDeathPlace = "deathPlace";
+inline constexpr std::string_view kBirthDate = "birthDate";
+inline constexpr std::string_view kDeathDate = "deathDate";
+inline constexpr std::string_view kHeight = "height";
+inline constexpr std::string_view kNationality = "nationality";
+inline constexpr std::string_view kSuccessor = "successor";
+inline constexpr std::string_view kStarring = "starring";       // Film -> Actor
+inline constexpr std::string_view kDirector = "director";       // Film -> Person
+inline constexpr std::string_view kProducer = "producer";       // Film -> Person
+inline constexpr std::string_view kAuthor = "author";           // Book -> Writer
+inline constexpr std::string_view kPublisher = "publisher";     // Book -> Company
+inline constexpr std::string_view kCreator = "creator";         // Comic -> Person
+inline constexpr std::string_view kDeveloper = "developer";     // Game -> Company
+inline constexpr std::string_view kFoundedBy = "foundedBy";     // Company -> Person
+inline constexpr std::string_view kLocationCity = "locationCity";  // Org -> City
+inline constexpr std::string_view kBandMember = "bandMember";   // Band -> Person
+inline constexpr std::string_view kPlayForTeam = "playForTeam";  // Athlete -> Team
+inline constexpr std::string_view kMayor = "mayor";             // City -> Politician
+inline constexpr std::string_view kGovernor = "governor";       // State -> Politician
+inline constexpr std::string_view kCapital = "capital";         // Country -> City
+inline constexpr std::string_view kLargestCity = "largestCity";  // Country -> City
+inline constexpr std::string_view kCountryOf = "country";       // City -> Country
+inline constexpr std::string_view kFlowsThrough = "flowsThrough";  // River -> City
+inline constexpr std::string_view kCrosses = "crosses";         // River -> Country
+inline constexpr std::string_view kElevation = "elevation";     // Mountain -> lit
+inline constexpr std::string_view kLocatedInArea = "locatedInArea";  // Mtn -> Ctry
+inline constexpr std::string_view kPopulationTotal = "populationTotal";
+inline constexpr std::string_view kTimeZone = "timeZone";       // City -> lit
+inline constexpr std::string_view kNickname = "nickname";       // -> literal
+inline constexpr std::string_view kManufacturer = "manufacturer";  // Car -> Comp
+inline constexpr std::string_view kAssembly = "assembly";       // Car -> Country
+inline constexpr std::string_view kOperator = "operator";       // Pad -> Org
+}  // namespace pred
+
+}  // namespace datagen
+}  // namespace ganswer
+
+#endif  // GANSWER_DATAGEN_SCHEMA_H_

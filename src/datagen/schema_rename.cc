@@ -1,0 +1,148 @@
+#include "datagen/schema_rename.h"
+
+#include "datagen/schema.h"
+
+namespace ganswer {
+namespace datagen {
+
+namespace {
+
+std::string Renamed(const std::map<std::string, std::string>& renames,
+                    const std::string& name) {
+  auto it = renames.find(name);
+  return it == renames.end() ? name : it->second;
+}
+
+}  // namespace
+
+StatusOr<KbGenerator::GeneratedKb> RenameSchema(
+    const KbGenerator::GeneratedKb& kb,
+    const std::map<std::string, std::string>& renames) {
+  if (!kb.graph.finalized()) {
+    return Status::InvalidArgument("graph must be finalized");
+  }
+  KbGenerator::GeneratedKb out;
+  // Entity rosters carry entity names only — unchanged.
+  out.people = kb.people;
+  out.actors = kb.actors;
+  out.politicians = kb.politicians;
+  out.writers = kb.writers;
+  out.athletes = kb.athletes;
+  out.films = kb.films;
+  out.cities = kb.cities;
+  out.countries = kb.countries;
+  out.states = kb.states;
+  out.companies = kb.companies;
+  out.bands = kb.bands;
+  out.books = kb.books;
+  out.teams = kb.teams;
+  out.rivers = kb.rivers;
+  out.mountains = kb.mountains;
+  out.games = kb.games;
+  out.comics = kb.comics;
+  out.cars = kb.cars;
+
+  const rdf::TermDictionary& dict = kb.graph.dict();
+  for (rdf::TermId s = 0; s < dict.size(); ++s) {
+    for (const rdf::Edge& e : kb.graph.OutEdges(s)) {
+      std::string subject = Renamed(renames, dict.text(s));
+      std::string predicate = Renamed(renames, dict.text(e.predicate));
+      // Literals are values, never schema names.
+      if (dict.IsLiteral(e.neighbor)) {
+        out.graph.AddTriple(subject, predicate, dict.text(e.neighbor),
+                            rdf::TermKind::kLiteral);
+      } else {
+        out.graph.AddTriple(subject, predicate,
+                            Renamed(renames, dict.text(e.neighbor)));
+      }
+    }
+  }
+  GANSWER_RETURN_NOT_OK(out.graph.Finalize());
+  return out;
+}
+
+std::vector<PhraseWithGold> RenameGold(
+    const std::vector<PhraseWithGold>& phrases,
+    const std::map<std::string, std::string>& renames) {
+  std::vector<PhraseWithGold> out = phrases;
+  for (PhraseWithGold& p : out) {
+    for (auto& gold : p.gold) {
+      for (GoldStep& step : gold) {
+        step.predicate = Renamed(renames, step.predicate);
+      }
+    }
+  }
+  return out;
+}
+
+const std::map<std::string, std::string>& YagoRenames() {
+  static const std::map<std::string, std::string>* renames = [] {
+    auto* m = new std::map<std::string, std::string>{
+        // Predicates, YAGO style.
+        {std::string(pred::kSpouse), "isMarriedTo"},
+        {std::string(pred::kHasChild), "hasChild"},
+        {std::string(pred::kHasGender), "hasGender"},
+        {std::string(pred::kBirthPlace), "wasBornIn"},
+        {std::string(pred::kDeathPlace), "diedIn"},
+        {std::string(pred::kBirthDate), "wasBornOnDate"},
+        {std::string(pred::kDeathDate), "diedOnDate"},
+        {std::string(pred::kHeight), "hasHeight"},
+        {std::string(pred::kNationality), "isCitizenOf"},
+        {std::string(pred::kSuccessor), "hasSuccessor"},
+        {std::string(pred::kStarring), "hasActor"},
+        {std::string(pred::kDirector), "wasDirectedBy"},
+        {std::string(pred::kProducer), "wasProducedBy"},
+        {std::string(pred::kAuthor), "wasWrittenBy"},
+        {std::string(pred::kPublisher), "wasPublishedBy"},
+        {std::string(pred::kCreator), "wasCreatedBy"},
+        {std::string(pred::kDeveloper), "wasDevelopedBy"},
+        {std::string(pred::kFoundedBy), "wasFoundedBy"},
+        {std::string(pred::kLocationCity), "isLocatedIn"},
+        {std::string(pred::kBandMember), "hasMusicalMember"},
+        {std::string(pred::kPlayForTeam), "playsFor"},
+        {std::string(pred::kMayor), "hasMayor"},
+        {std::string(pred::kGovernor), "hasGovernor"},
+        {std::string(pred::kCapital), "hasCapital"},
+        {std::string(pred::kLargestCity), "hasLargestCity"},
+        {std::string(pred::kCountryOf), "isCityOf"},
+        {std::string(pred::kFlowsThrough), "passesThrough"},
+        {std::string(pred::kCrosses), "flowsIntoCountry"},
+        {std::string(pred::kElevation), "hasElevation"},
+        {std::string(pred::kLocatedInArea), "isMountainOf"},
+        {std::string(pred::kPopulationTotal), "hasPopulation"},
+        {std::string(pred::kTimeZone), "isInTimeZone"},
+        {std::string(pred::kNickname), "isKnownAs"},
+        {std::string(pred::kManufacturer), "isManufacturedBy"},
+        {std::string(pred::kAssembly), "isAssembledIn"},
+        // Classes, wordnet-flavoured.
+        {std::string(cls::kPerson), "wordnet_person"},
+        {std::string(cls::kActor), "wordnet_actor"},
+        {std::string(cls::kPolitician), "wordnet_politician"},
+        {std::string(cls::kMusician), "wordnet_musician"},
+        {std::string(cls::kWriter), "wordnet_writer"},
+        {std::string(cls::kAthlete), "wordnet_athlete"},
+        {std::string(cls::kWork), "wordnet_work"},
+        {std::string(cls::kFilm), "wordnet_movie"},
+        {std::string(cls::kBook), "wordnet_book"},
+        {std::string(cls::kComic), "wordnet_comic"},
+        {std::string(cls::kVideoGame), "wordnet_computer_game"},
+        {std::string(cls::kOrganisation), "wordnet_organization"},
+        {std::string(cls::kCompany), "wordnet_company"},
+        {std::string(cls::kBand), "wordnet_band"},
+        {std::string(cls::kBasketballTeam), "wordnet_basketball_team"},
+        {std::string(cls::kUniversity), "wordnet_university"},
+        {std::string(cls::kPlace), "wordnet_location"},
+        {std::string(cls::kCity), "wordnet_city"},
+        {std::string(cls::kCountry), "wordnet_country"},
+        {std::string(cls::kState), "wordnet_state"},
+        {std::string(cls::kMountain), "wordnet_mountain"},
+        {std::string(cls::kRiver), "wordnet_river"},
+        {std::string(cls::kAutomobile), "wordnet_car"},
+    };
+    return m;
+  }();
+  return *renames;
+}
+
+}  // namespace datagen
+}  // namespace ganswer

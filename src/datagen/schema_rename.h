@@ -1,0 +1,44 @@
+#ifndef GANSWER_DATAGEN_SCHEMA_RENAME_H_
+#define GANSWER_DATAGEN_SCHEMA_RENAME_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/kb_generator.h"
+#include "datagen/phrase_dataset_generator.h"
+
+namespace ganswer {
+namespace datagen {
+
+/// \brief Rewrites a generated KB's schema vocabulary (predicate and class
+/// names) while keeping every entity name and the graph structure intact.
+///
+/// The paper evaluates on Yago2 as well as DBpedia ("We also evaluate our
+/// method in other RDF repositories, such as Yago2") — the pipeline must
+/// not depend on any particular predicate vocabulary. Renaming the schema
+/// and re-mining proves it: the same workload (question texts mention only
+/// entities) must reach the same answers over the renamed graph.
+///
+/// \p renames maps old predicate/class names to new ones; names not in the
+/// map are kept. rdfs:label literals of renamed classes are preserved (the
+/// linker needs the surface vocabulary regardless of IRI spelling).
+StatusOr<KbGenerator::GeneratedKb> RenameSchema(
+    const KbGenerator::GeneratedKb& kb,
+    const std::map<std::string, std::string>& renames);
+
+/// Applies the same renames to the gold paths of a phrase dataset.
+std::vector<PhraseWithGold> RenameGold(
+    const std::vector<PhraseWithGold>& phrases,
+    const std::map<std::string, std::string>& renames);
+
+/// The YAGO2-flavoured vocabulary for the generated schema: camel-case
+/// relation names in YAGO's style (isMarriedTo, actedIn, wasBornIn, ...)
+/// and wordnet-flavoured class names.
+const std::map<std::string, std::string>& YagoRenames();
+
+}  // namespace datagen
+}  // namespace ganswer
+
+#endif  // GANSWER_DATAGEN_SCHEMA_RENAME_H_

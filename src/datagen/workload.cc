@@ -1,0 +1,714 @@
+#include "datagen/workload.h"
+
+#include <istream>
+#include <ostream>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "datagen/schema.h"
+
+namespace ganswer {
+namespace datagen {
+
+namespace {
+
+using rdf::RdfGraph;
+using rdf::TermId;
+
+/// Surface mention of an IRI: underscores to spaces, parenthetical
+/// disambiguator stripped ("Philadelphia_(film)" is mentioned as plain
+/// "Philadelphia" — the ambiguity the pipeline must resolve from data).
+std::string Mention(const std::string& iri) {
+  std::string s = ReplaceAll(iri, "_", " ");
+  size_t paren = s.find('(');
+  if (paren != std::string::npos) {
+    s = std::string(Trim(s.substr(0, paren)));
+  }
+  return s;
+}
+
+class Gen {
+ public:
+  Gen(const KbGenerator::GeneratedKb& kb, uint64_t seed)
+      : kb_(kb), g_(kb.graph), rng_(seed) {}
+
+  std::vector<GoldQuestion> Run(size_t num_questions) {
+    // Category mix mirroring QALD-3's difficulty profile (Tables 8-11).
+    struct Slot {
+      QuestionCategory cat;
+      size_t count;
+    };
+    const Slot plan[] = {
+        {QuestionCategory::kSimpleRelation, 30},
+        {QuestionCategory::kTypeConstrained, 15},
+        {QuestionCategory::kMultiEdge, 12},
+        {QuestionCategory::kPredicatePath, 6},
+        {QuestionCategory::kYesNo, 8},
+        {QuestionCategory::kLiteral, 12},
+        {QuestionCategory::kAggregation, 8},
+        {QuestionCategory::kEntityHard, 5},
+        {QuestionCategory::kRelationHard, 4},
+    };
+    for (const Slot& slot : plan) {
+      size_t made = 0;
+      size_t attempts = 0;
+      while (made < slot.count && attempts < slot.count * 30 &&
+             out_.size() < num_questions) {
+        ++attempts;
+        if (MakeOne(slot.cat)) ++made;
+      }
+    }
+    // Assign ids in order.
+    for (size_t i = 0; i < out_.size(); ++i) {
+      out_[i].id = "Q" + std::to_string(i + 1);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  // --- graph helpers ------------------------------------------------------
+
+  std::vector<std::string> Objects(const std::string& s, std::string_view p) {
+    std::vector<std::string> out;
+    auto sid = g_.Find(s);
+    auto pid = g_.Find(p);
+    if (!sid || !pid) return out;
+    for (TermId o : g_.Objects(*sid, *pid)) out.push_back(g_.dict().text(o));
+    return out;
+  }
+
+  std::vector<std::string> Subjects(std::string_view p, const std::string& o) {
+    std::vector<std::string> out;
+    auto oid = g_.Find(o);
+    auto pid = g_.Find(p);
+    if (!oid || !pid) return out;
+    for (TermId s : g_.Subjects(*pid, *oid)) out.push_back(g_.dict().text(s));
+    return out;
+  }
+
+  bool Emit(QuestionCategory cat, std::string text,
+            std::vector<std::string> gold, bool expected_failure = false) {
+    if (gold.empty() && !expected_failure) return false;
+    std::string key = text;
+    if (!seen_texts_.insert(key).second) return false;
+    GoldQuestion q;
+    q.text = std::move(text);
+    q.category = cat;
+    std::sort(gold.begin(), gold.end());
+    gold.erase(std::unique(gold.begin(), gold.end()), gold.end());
+    q.gold_answers = std::move(gold);
+    q.expected_failure = expected_failure;
+    out_.push_back(std::move(q));
+    return true;
+  }
+
+  bool EmitAsk(QuestionCategory cat, std::string text, bool gold_ask) {
+    if (!seen_texts_.insert(text).second) return false;
+    GoldQuestion q;
+    q.text = std::move(text);
+    q.category = cat;
+    q.is_ask = true;
+    q.gold_ask = gold_ask;
+    out_.push_back(std::move(q));
+    return true;
+  }
+
+  const std::string& Pick(const std::vector<std::string>& v) {
+    return rng_.Pick(v);
+  }
+
+  // --- per-category templates ----------------------------------------------
+
+  bool MakeOne(QuestionCategory cat) {
+    switch (cat) {
+      case QuestionCategory::kSimpleRelation:
+        return Simple();
+      case QuestionCategory::kTypeConstrained:
+        return TypeConstrained();
+      case QuestionCategory::kMultiEdge:
+        return MultiEdge();
+      case QuestionCategory::kPredicatePath:
+        return PredicatePath();
+      case QuestionCategory::kYesNo:
+        return YesNo();
+      case QuestionCategory::kLiteral:
+        return Literal();
+      case QuestionCategory::kAggregation:
+        return Aggregation();
+      case QuestionCategory::kEntityHard:
+        return EntityHard();
+      case QuestionCategory::kRelationHard:
+        return RelationHard();
+    }
+    return false;
+  }
+
+  bool Simple() {
+    switch (simple_rr_++ % 14) {
+      case 0: {
+        const std::string& city = Pick(kb_.cities);
+        return Emit(QuestionCategory::kSimpleRelation,
+                    "Who is the mayor of " + Mention(city) + " ?",
+                    Objects(city, pred::kMayor));
+      }
+      case 1: {
+        const std::string& state = Pick(kb_.states);
+        return Emit(QuestionCategory::kSimpleRelation,
+                    "Who is the governor of " + Mention(state) + " ?",
+                    Objects(state, pred::kGovernor));
+      }
+      case 2: {
+        const std::string& country = Pick(kb_.countries);
+        return Emit(QuestionCategory::kSimpleRelation,
+                    "What is the capital of " + Mention(country) + " ?",
+                    Objects(country, pred::kCapital));
+      }
+      case 3: {
+        const std::string& film = Pick(kb_.films);
+        return Emit(QuestionCategory::kSimpleRelation,
+                    "Who directed " + Mention(film) + " ?",
+                    Objects(film, pred::kDirector));
+      }
+      case 4: {
+        const std::string& company = Pick(kb_.companies);
+        return Emit(QuestionCategory::kSimpleRelation,
+                    "Who founded " + Mention(company) + " ?",
+                    Objects(company, pred::kFoundedBy));
+      }
+      case 5: {
+        const std::string& game = Pick(kb_.games);
+        return Emit(QuestionCategory::kSimpleRelation,
+                    "Who developed " + Mention(game) + " ?",
+                    Objects(game, pred::kDeveloper));
+      }
+      case 6: {
+        const std::string& comic = Pick(kb_.comics);
+        return Emit(QuestionCategory::kSimpleRelation,
+                    "Who created the comic " + Mention(comic) + " ?",
+                    Objects(comic, pred::kCreator));
+      }
+      case 7: {
+        const std::string& p = Pick(kb_.politicians);
+        return Emit(QuestionCategory::kSimpleRelation,
+                    "Who was the successor of " + Mention(p) + " ?",
+                    Objects(p, pred::kSuccessor));
+      }
+      case 8: {
+        const std::string& book = Pick(kb_.books);
+        return Emit(QuestionCategory::kSimpleRelation,
+                    "Who wrote " + Mention(book) + " ?",
+                    Objects(book, pred::kAuthor));
+      }
+      case 9: {
+        const std::string& river = Pick(kb_.rivers);
+        return Emit(QuestionCategory::kSimpleRelation,
+                    "Which cities does the " + Mention(river) +
+                        " flow through ?",
+                    Objects(river, pred::kFlowsThrough));
+      }
+      case 10: {
+        const std::string& river = Pick(kb_.rivers);
+        return Emit(QuestionCategory::kSimpleRelation,
+                    "Which countries are connected by the " + Mention(river) +
+                        " ?",
+                    Objects(river, pred::kCrosses));
+      }
+      case 11: {
+        const std::string& person = Pick(kb_.people);
+        // Spouse can sit on either side of the stored triple.
+        std::vector<std::string> gold = Objects(person, pred::kSpouse);
+        for (std::string& s : Subjects(pred::kSpouse, person)) {
+          gold.push_back(std::move(s));
+        }
+        return Emit(QuestionCategory::kSimpleRelation,
+                    "Who is married to " + Mention(person) + " ?", gold);
+      }
+      case 12: {
+        // Possessive form: the clitic exercises the 'poss' relation.
+        const std::string& person = Pick(kb_.people);
+        std::vector<std::string> gold = Objects(person, pred::kSpouse);
+        for (std::string& s : Subjects(pred::kSpouse, person)) {
+          gold.push_back(std::move(s));
+        }
+        return Emit(QuestionCategory::kSimpleRelation,
+                    "Who is " + Mention(person) + "'s wife ?", gold);
+      }
+      case 13: {
+        const std::string& country = Pick(kb_.countries);
+        return Emit(QuestionCategory::kSimpleRelation,
+                    "What is " + Mention(country) + "'s capital ?",
+                    Objects(country, pred::kCapital));
+      }
+    }
+    return false;
+  }
+
+  bool TypeConstrained() {
+    switch (type_rr_++ % 5) {
+      case 0: {
+        const std::string& person = Pick(kb_.people);
+        return Emit(QuestionCategory::kTypeConstrained,
+                    "Give me all movies directed by " + Mention(person) + " .",
+                    Subjects(pred::kDirector, person));
+      }
+      case 1: {
+        const std::string& country = Pick(kb_.countries);
+        return Emit(QuestionCategory::kTypeConstrained,
+                    "Give me all cars that are produced in " +
+                        Mention(country) + " .",
+                    Subjects(pred::kAssembly, country));
+      }
+      case 2: {
+        const std::string& city = Pick(kb_.cities);
+        // Gold: companies (only) located in the city.
+        std::vector<std::string> gold;
+        for (std::string& s : Subjects(pred::kLocationCity, city)) {
+          auto sid = g_.Find(s);
+          auto cid = g_.Find(cls::kCompany);
+          if (sid && cid && g_.IsInstanceOf(*sid, *cid)) {
+            gold.push_back(std::move(s));
+          }
+        }
+        return Emit(QuestionCategory::kTypeConstrained,
+                    "Give me all companies in " + Mention(city) + " .", gold);
+      }
+      case 3: {
+        const std::string& actor = Pick(kb_.actors);
+        return Emit(QuestionCategory::kTypeConstrained,
+                    "Which movies did " + Mention(actor) + " star in ?",
+                    Subjects(pred::kStarring, actor));
+      }
+      case 4: {
+        const std::string& band = Pick(kb_.bands);
+        return Emit(QuestionCategory::kTypeConstrained,
+                    "Give me all members of " + Mention(band) + " ?",
+                    Objects(band, pred::kBandMember));
+      }
+    }
+    return false;
+  }
+
+  bool MultiEdge() {
+    switch (multi_rr_++ % 4) {
+      case 0: {
+        const std::string& film = Pick(kb_.films);
+        // Spouses of actors starring in the film.
+        std::vector<std::string> gold;
+        for (const std::string& actor : Objects(film, pred::kStarring)) {
+          for (std::string& s : Objects(actor, pred::kSpouse)) {
+            gold.push_back(std::move(s));
+          }
+          for (std::string& s : Subjects(pred::kSpouse, actor)) {
+            gold.push_back(std::move(s));
+          }
+        }
+        return Emit(QuestionCategory::kMultiEdge,
+                    "Who was married to an actor that played in " +
+                        Mention(film) + " ?",
+                    gold);
+      }
+      case 1: {
+        // Find a person with both birth and death place; reuse the cities.
+        for (int tries = 0; tries < 40; ++tries) {
+          const std::string& p = Pick(kb_.people);
+          auto births = Objects(p, pred::kBirthPlace);
+          auto deaths = Objects(p, pred::kDeathPlace);
+          if (births.empty() || deaths.empty()) continue;
+          const std::string& ca = births[0];
+          const std::string& cb = deaths[0];
+          std::vector<std::string> gold;
+          for (const std::string& x : Subjects(pred::kBirthPlace, ca)) {
+            auto dp = Objects(x, pred::kDeathPlace);
+            if (std::find(dp.begin(), dp.end(), cb) != dp.end()) {
+              gold.push_back(x);
+            }
+          }
+          return Emit(QuestionCategory::kMultiEdge,
+                      "Give me all people that were born in " + Mention(ca) +
+                          " and died in " + Mention(cb) + " ?",
+                      gold);
+        }
+        return false;
+      }
+      case 2: {
+        const std::string& comic = Pick(kb_.comics);
+        std::vector<std::string> gold;
+        for (const std::string& creator : Objects(comic, pred::kCreator)) {
+          for (std::string& c : Objects(creator, pred::kNationality)) {
+            gold.push_back(std::move(c));
+          }
+        }
+        return Emit(QuestionCategory::kMultiEdge,
+                    "Which country does the creator of " + Mention(comic) +
+                        " come from ?",
+                    gold);
+      }
+      case 3: {
+        for (int tries = 0; tries < 40; ++tries) {
+          const std::string& writer = Pick(kb_.writers);
+          std::vector<std::string> books = Subjects(pred::kAuthor, writer);
+          if (books.empty()) continue;
+          auto pubs = Objects(books[0], pred::kPublisher);
+          if (pubs.empty()) continue;
+          const std::string& pub = pubs[0];
+          std::vector<std::string> gold;
+          for (const std::string& bk : books) {
+            auto bp = Objects(bk, pred::kPublisher);
+            if (std::find(bp.begin(), bp.end(), pub) != bp.end()) {
+              gold.push_back(bk);
+            }
+          }
+          return Emit(QuestionCategory::kMultiEdge,
+                      "Which books by " + Mention(writer) +
+                          " were published by " + Mention(pub) + " ?",
+                      gold);
+        }
+        return false;
+      }
+    }
+    return false;
+  }
+
+  bool PredicatePath() {
+    // "uncle of": parents' male siblings.
+    for (int tries = 0; tries < 60; ++tries) {
+      const std::string& person = Pick(kb_.people);
+      std::vector<std::string> gold;
+      for (const std::string& parent : Subjects(pred::kHasChild, person)) {
+        for (const std::string& gp : Subjects(pred::kHasChild, parent)) {
+          for (const std::string& sib : Objects(gp, pred::kHasChild)) {
+            if (sib == parent) continue;
+            auto genders = Objects(sib, pred::kHasGender);
+            if (!genders.empty() && genders[0] == "male") {
+              gold.push_back(sib);
+            }
+          }
+        }
+      }
+      if (gold.empty()) continue;
+      return Emit(QuestionCategory::kPredicatePath,
+                  "Who is the uncle of " + Mention(person) + " ?", gold);
+    }
+    return false;
+  }
+
+  bool YesNo() {
+    switch (yesno_rr_++ % 4) {
+      case 0: {
+        for (int tries = 0; tries < 40; ++tries) {
+          const std::string& p = Pick(kb_.people);
+          auto spouses = Objects(p, pred::kSpouse);
+          if (spouses.empty()) continue;
+          return EmitAsk(QuestionCategory::kYesNo,
+                         "Is " + Mention(spouses[0]) + " the wife of " +
+                             Mention(p) + " ?",
+                         true);
+        }
+        return false;
+      }
+      case 1: {
+        const std::string& a = Pick(kb_.people);
+        const std::string& b = Pick(kb_.people);
+        auto spouses = Objects(a, pred::kSpouse);
+        bool married =
+            std::find(spouses.begin(), spouses.end(), b) != spouses.end();
+        if (married || a == b) return false;
+        return EmitAsk(QuestionCategory::kYesNo,
+                       "Is " + Mention(b) + " the wife of " + Mention(a) +
+                           " ?",
+                       false);
+      }
+      case 2: {
+        for (int tries = 0; tries < 40; ++tries) {
+          const std::string& country = Pick(kb_.countries);
+          auto caps = Objects(country, pred::kCapital);
+          if (caps.empty()) continue;
+          return EmitAsk(QuestionCategory::kYesNo,
+                         "Is " + Mention(caps[0]) + " the capital of " +
+                             Mention(country) + " ?",
+                         true);
+        }
+        return false;
+      }
+      case 3: {
+        const std::string& country = Pick(kb_.countries);
+        const std::string& city = Pick(kb_.cities);
+        auto caps = Objects(country, pred::kCapital);
+        bool is_cap = std::find(caps.begin(), caps.end(), city) != caps.end();
+        if (is_cap) return false;
+        return EmitAsk(QuestionCategory::kYesNo,
+                       "Is " + Mention(city) + " the capital of " +
+                           Mention(country) + " ?",
+                       false);
+      }
+    }
+    return false;
+  }
+
+  bool Literal() {
+    switch (literal_rr_++ % 6) {
+      case 0: {
+        const std::string& p = Pick(kb_.people);
+        return Emit(QuestionCategory::kLiteral,
+                    "How tall is " + Mention(p) + " ?",
+                    Objects(p, pred::kHeight));
+      }
+      case 1: {
+        const std::string& city = Pick(kb_.cities);
+        return Emit(QuestionCategory::kLiteral,
+                    "What is the time zone of " + Mention(city) + " ?",
+                    Objects(city, pred::kTimeZone));
+      }
+      case 2: {
+        const std::string& p = Pick(kb_.people);
+        return Emit(QuestionCategory::kLiteral,
+                    "When did " + Mention(p) + " die ?",
+                    Objects(p, pred::kDeathDate));
+      }
+      case 3: {
+        const std::string& m = Pick(kb_.mountains);
+        return Emit(QuestionCategory::kLiteral,
+                    "How high is " + Mention(m) + " ?",
+                    Objects(m, pred::kElevation));
+      }
+      case 4: {
+        const std::string& city = Pick(kb_.cities);
+        return Emit(QuestionCategory::kLiteral,
+                    "What are the nicknames of " + Mention(city) + " ?",
+                    Objects(city, pred::kNickname));
+      }
+      case 5: {
+        const std::string& city = Pick(kb_.cities);
+        return Emit(QuestionCategory::kLiteral,
+                    "What is the population of " + Mention(city) + " ?",
+                    Objects(city, pred::kPopulationTotal));
+      }
+    }
+    return false;
+  }
+
+  bool Aggregation() {
+    switch (agg_rr_++ % 4) {
+      case 0: {
+        for (int tries = 0; tries < 40; ++tries) {
+          const std::string& team = Pick(kb_.teams);
+          std::vector<std::string> players =
+              Subjects(pred::kPlayForTeam, team);
+          std::string youngest;
+          std::string best_date;
+          for (const std::string& p : players) {
+            auto dates = Objects(p, pred::kBirthDate);
+            if (dates.empty()) continue;
+            if (dates[0] > best_date) {
+              best_date = dates[0];
+              youngest = p;
+            }
+          }
+          if (youngest.empty()) continue;
+          return Emit(QuestionCategory::kAggregation,
+                      "Who is the youngest player in the " + Mention(team) +
+                          " ?",
+                      {youngest}, /*expected_failure=*/true);
+        }
+        return false;
+      }
+      case 1: {
+        for (int tries = 0; tries < 40; ++tries) {
+          const std::string& country = Pick(kb_.countries);
+          std::string highest;
+          long best = -1;
+          for (const std::string& m :
+               Subjects(pred::kLocatedInArea, country)) {
+            auto elevs = Objects(m, pred::kElevation);
+            if (elevs.empty()) continue;
+            long e = std::stol(elevs[0]);
+            if (e > best) {
+              best = e;
+              highest = m;
+            }
+          }
+          if (highest.empty()) continue;
+          return Emit(QuestionCategory::kAggregation,
+                      "What is the highest mountain in " + Mention(country) +
+                          " ?",
+                      {highest}, /*expected_failure=*/true);
+        }
+        return false;
+      }
+      case 3: {
+        // Count question: the COUNT flavour of aggregation.
+        for (int tries = 0; tries < 40; ++tries) {
+          const std::string& band = Pick(kb_.bands);
+          auto members = Objects(band, pred::kBandMember);
+          if (members.empty()) continue;
+          return Emit(QuestionCategory::kAggregation,
+                      "How many members does " + Mention(band) + " have ?",
+                      {std::to_string(members.size())},
+                      /*expected_failure=*/true);
+        }
+        return false;
+      }
+      case 2: {
+        // Most populous city overall.
+        std::string biggest;
+        long best = -1;
+        for (const std::string& c : kb_.cities) {
+          auto pops = Objects(c, pred::kPopulationTotal);
+          if (pops.empty()) continue;
+          long p = std::stol(pops[0]);
+          if (p > best) {
+            best = p;
+            biggest = c;
+          }
+        }
+        if (biggest.empty()) return false;
+        return Emit(QuestionCategory::kAggregation,
+                    "Which city has the most inhabitants ?", {biggest},
+                    /*expected_failure=*/true);
+      }
+    }
+    return false;
+  }
+
+  bool EntityHard() {
+    // Mention a company by an acronym that was never indexed (the MI6 case
+    // of Table 10): linking cannot resolve it.
+    const std::string& company = Pick(kb_.companies);
+    std::string acronym = "ZQ" + std::to_string(entity_hard_rr_++ + 3);
+    std::vector<std::string> gold = Objects(company, pred::kLocationCity);
+    return Emit(QuestionCategory::kEntityHard,
+                "In which city are the headquarters of the " + acronym + " ?",
+                gold, /*expected_failure=*/true);
+  }
+
+  bool RelationHard() {
+    // Relation phrase absent from the paraphrase dictionary (the "launch
+    // pads operated by NASA" case of Table 10).
+    const std::string& company = Pick(kb_.companies);
+    switch (relation_hard_rr_++ % 2) {
+      case 0:
+        return Emit(QuestionCategory::kRelationHard,
+                    "Give me all launch pads operated by " + Mention(company) +
+                        " .",
+                    {company}, /*expected_failure=*/true);
+      case 1: {
+        const std::string& p = Pick(kb_.people);
+        return Emit(QuestionCategory::kRelationHard,
+                    "Who quarreled with " + Mention(p) + " ?", {p},
+                    /*expected_failure=*/true);
+      }
+    }
+    return false;
+  }
+
+  const KbGenerator::GeneratedKb& kb_;
+  const RdfGraph& g_;
+  Rng rng_;
+  std::vector<GoldQuestion> out_;
+  std::set<std::string> seen_texts_;
+  size_t simple_rr_ = 0;
+  size_t type_rr_ = 0;
+  size_t multi_rr_ = 0;
+  size_t yesno_rr_ = 0;
+  size_t literal_rr_ = 0;
+  size_t agg_rr_ = 0;
+  size_t entity_hard_rr_ = 0;
+  size_t relation_hard_rr_ = 0;
+};
+
+}  // namespace
+
+const char* CategoryName(QuestionCategory c) {
+  switch (c) {
+    case QuestionCategory::kSimpleRelation:
+      return "simple-relation";
+    case QuestionCategory::kTypeConstrained:
+      return "type-constrained";
+    case QuestionCategory::kMultiEdge:
+      return "multi-edge";
+    case QuestionCategory::kPredicatePath:
+      return "predicate-path";
+    case QuestionCategory::kYesNo:
+      return "yes-no";
+    case QuestionCategory::kLiteral:
+      return "literal";
+    case QuestionCategory::kAggregation:
+      return "aggregation";
+    case QuestionCategory::kEntityHard:
+      return "entity-hard";
+    case QuestionCategory::kRelationHard:
+      return "relation-hard";
+  }
+  return "?";
+}
+
+std::vector<GoldQuestion> WorkloadGenerator::Generate(
+    const KbGenerator::GeneratedKb& kb, const Options& options) {
+  Gen gen(kb, options.seed);
+  return gen.Run(options.num_questions);
+}
+
+namespace {
+
+QuestionCategory CategoryFromName(const std::string& name, bool* ok) {
+  *ok = true;
+  for (int c = 0; c <= static_cast<int>(QuestionCategory::kRelationHard);
+       ++c) {
+    auto cat = static_cast<QuestionCategory>(c);
+    if (name == CategoryName(cat)) return cat;
+  }
+  *ok = false;
+  return QuestionCategory::kSimpleRelation;
+}
+
+}  // namespace
+
+Status SaveWorkload(const std::vector<GoldQuestion>& workload,
+                    std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null stream");
+  for (const GoldQuestion& q : workload) {
+    *out << q.id << '\t' << CategoryName(q.category) << '\t'
+         << (q.is_ask ? 1 : 0) << '\t' << (q.gold_ask ? 1 : 0) << '\t'
+         << (q.expected_failure ? 1 : 0) << '\t' << q.text << '\t'
+         << Join(q.gold_answers, "|") << '\n';
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<GoldQuestion>> LoadWorkload(std::istream* in) {
+  if (in == nullptr) return Status::InvalidArgument("null stream");
+  std::vector<GoldQuestion> out;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> cols = Split(line, '\t', /*keep_empty=*/true);
+    if (cols.size() != 7) {
+      return Status::Corruption("workload line " + std::to_string(line_no) +
+                                ": expected 7 tab-separated columns, got " +
+                                std::to_string(cols.size()));
+    }
+    GoldQuestion q;
+    q.id = cols[0];
+    bool ok = false;
+    q.category = CategoryFromName(cols[1], &ok);
+    if (!ok) {
+      return Status::Corruption("workload line " + std::to_string(line_no) +
+                                ": unknown category '" + cols[1] + "'");
+    }
+    q.is_ask = cols[2] == "1";
+    q.gold_ask = cols[3] == "1";
+    q.expected_failure = cols[4] == "1";
+    q.text = cols[5];
+    if (!cols[6].empty()) q.gold_answers = Split(cols[6], '|');
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace ganswer

@@ -1,0 +1,71 @@
+#ifndef GANSWER_DATAGEN_WORKLOAD_H_
+#define GANSWER_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/kb_generator.h"
+
+namespace ganswer {
+namespace datagen {
+
+/// QALD-style question categories; the ratios mirror the paper's Table 10
+/// failure taxonomy plus the answerable categories of Table 11.
+enum class QuestionCategory {
+  kSimpleRelation,    // "Who is the mayor of Berlin?"
+  kTypeConstrained,   // "Give me all movies directed by X."
+  kMultiEdge,         // "Who was married to an actor that played in X?"
+  kPredicatePath,     // "Who is the uncle of X?" (no single predicate)
+  kYesNo,             // "Is X the wife of Y?"
+  kLiteral,           // "How tall is X?"
+  kAggregation,       // "Who is the youngest player in X?" (expected fail)
+  kEntityHard,        // obscure acronym mention (expected linking failure)
+  kRelationHard,      // phrase absent from D (expected extraction failure)
+};
+
+const char* CategoryName(QuestionCategory c);
+
+/// One benchmark question with its gold standard, computed from the KB at
+/// generation time (the role the QALD organizers' gold files play).
+struct GoldQuestion {
+  std::string id;          // "Q1", "Q2", ...
+  std::string text;
+  QuestionCategory category = QuestionCategory::kSimpleRelation;
+  /// Term texts of the expected answers (empty for ASK questions).
+  std::vector<std::string> gold_answers;
+  bool is_ask = false;
+  bool gold_ask = false;
+  /// True when the category is expected to fail on the paper's system
+  /// (aggregation / entity-hard / relation-hard).
+  bool expected_failure = false;
+};
+
+/// \brief Generates the 100-question QALD-like workload over a generated
+/// KB, with gold answers computed directly from the graph.
+class WorkloadGenerator {
+ public:
+  struct Options {
+    uint64_t seed = 13;
+    size_t num_questions = 100;
+  };
+
+  static std::vector<GoldQuestion> Generate(const KbGenerator::GeneratedKb& kb,
+                                            const Options& options);
+};
+
+/// TSV (de)serialization of a workload, so question sets can be shipped
+/// next to an exported KB and evaluated by external tools (or
+/// `ganswer_cli --eval`). Columns:
+///   id \t category \t ask-flag \t gold-ask \t expected-failure \t
+///   question \t gold-answer[|gold-answer...]
+Status SaveWorkload(const std::vector<GoldQuestion>& workload,
+                    std::ostream* out);
+StatusOr<std::vector<GoldQuestion>> LoadWorkload(std::istream* in);
+
+}  // namespace datagen
+}  // namespace ganswer
+
+#endif  // GANSWER_DATAGEN_WORKLOAD_H_

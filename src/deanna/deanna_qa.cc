@@ -1,0 +1,122 @@
+#include "deanna/deanna_qa.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "deanna/sparql_generator.h"
+
+namespace ganswer {
+namespace deanna {
+
+DeannaQa::DeannaQa(const rdf::RdfGraph* graph, const nlp::Lexicon* lexicon,
+                   const paraphrase::ParaphraseDictionary* dict)
+    : DeannaQa(graph, lexicon, dict, Options()) {}
+
+DeannaQa::DeannaQa(const rdf::RdfGraph* graph, const nlp::Lexicon* lexicon,
+                   const paraphrase::ParaphraseDictionary* dict,
+                   Options options)
+    : graph_(graph), options_(options) {
+  parser_ = std::make_unique<nlp::DependencyParser>(*lexicon);
+  entity_index_ = std::make_unique<linking::EntityIndex>(*graph);
+  linker_ =
+      std::make_unique<linking::EntityLinker>(entity_index_.get(), options.linking);
+  understander_ = std::make_unique<qa::QuestionUnderstander>(
+      parser_.get(), dict, linker_.get(), options.understanding);
+  engine_ = std::make_unique<rdf::SparqlEngine>(*graph);
+}
+
+StatusOr<DeannaQa::Response> DeannaQa::Ask(std::string_view question) const {
+  Response resp;
+  WallTimer timer;
+
+  // Phrase detection + candidate mapping (shared front-end).
+  auto understood = understander_->Understand(question);
+  if (!understood.ok()) {
+    resp.understanding_ms = timer.ElapsedMillis();
+    return resp;
+  }
+  qa::SemanticQueryGraph sqg = understood->sqg;
+  resp.is_ask = sqg.form == qa::SemanticQueryGraph::QuestionForm::kAsk;
+  if (sqg.vertices.empty()) {
+    resp.understanding_ms = timer.ElapsedMillis();
+    return resp;
+  }
+
+  // DEANNA's q-units: a wh-phrase must itself be jointly disambiguated to
+  // a semantic class (Yahya et al. map question tokens onto YAGO classes).
+  // Every class of the KB becomes a candidate with a flat prior; coherence
+  // against the other mappings decides — that choice is a big part of both
+  // DEANNA's cost and its brittleness (a wrong class kills recall
+  // unrecoverably).
+  const rdf::TermDictionary& term_dict = graph_->dict();
+  auto person_cls = graph_->Find("Person");
+  for (qa::SqgVertex& v : sqg.vertices) {
+    if (!v.wildcard || !v.candidates.empty()) continue;
+    // "who" carries a person prior (DEANNA's wh-word semantics); other
+    // wh-phrases stay open over every class.
+    std::string wh = ToLower(v.text);
+    bool person_wh = wh == "who" || wh == "whom";
+    for (rdf::TermId t = 0; t < term_dict.size(); ++t) {
+      if (!graph_->IsClass(t)) continue;
+      bool person_like =
+          person_cls.has_value() &&
+          (t == *person_cls ||
+           graph_->HasTriple(t, graph_->subclass_predicate(), *person_cls));
+      if (person_wh && !person_like) continue;
+      linking::LinkCandidate c;
+      c.vertex = t;
+      c.is_class = true;
+      c.confidence = person_like && t == *person_cls ? 0.4 : 0.3;
+      v.candidates.push_back(c);
+    }
+  }
+
+  // Joint disambiguation: disambiguation graph + exact ILP. This is the
+  // stage the paper's Table 12 marks NP-hard for DEANNA.
+  DisambiguationGraph dgraph(*graph_, sqg);
+  resp.coherence_pairs = dgraph.stats().coherence_pairs_evaluated;
+
+  std::vector<int> choice(sqg.vertices.size() + sqg.edges.size(), -1);
+  if (!dgraph.nodes().empty()) {
+    IlpSolver solver(options_.ilp);
+    auto solution =
+        solver.Solve(dgraph.ToIlp(options_.alpha, options_.beta));
+    if (!solution.ok()) {
+      resp.understanding_ms = timer.ElapsedMillis();
+      return resp;
+    }
+    resp.ilp_nodes = solution->nodes_explored;
+    choice = dgraph.DecodeAssignment(solution->assignment, sqg);
+  }
+
+  auto query = SparqlGenerator::Generate(sqg, choice, *graph_);
+  resp.understanding_ms = timer.ElapsedMillis();
+  if (!query.ok()) return resp;
+  resp.sparql = query->ToString();
+  resp.processed = true;
+
+  timer.Restart();
+  auto result = engine_->Execute(*query);
+  resp.evaluation_ms = timer.ElapsedMillis();
+  if (!result.ok()) {
+    resp.processed = false;
+    return resp;
+  }
+  if (resp.is_ask) {
+    resp.ask_result = result->ask_result;
+    return resp;
+  }
+  const rdf::TermDictionary& dict = graph_->dict();
+  for (const auto& row : result->rows) {
+    if (row.empty() || row[0] == rdf::kInvalidTerm) continue;
+    resp.answers.push_back(dict.text(row[0]));
+  }
+  std::sort(resp.answers.begin(), resp.answers.end());
+  resp.answers.erase(std::unique(resp.answers.begin(), resp.answers.end()),
+                     resp.answers.end());
+  return resp;
+}
+
+}  // namespace deanna
+}  // namespace ganswer

@@ -1,0 +1,90 @@
+#ifndef GANSWER_DEANNA_DEANNA_QA_H_
+#define GANSWER_DEANNA_DEANNA_QA_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "deanna/disambiguation_graph.h"
+#include "deanna/ilp_solver.h"
+#include "linking/entity_index.h"
+#include "linking/entity_linker.h"
+#include "nlp/dependency_parser.h"
+#include "qa/question_understander.h"
+#include "rdf/sparql_engine.h"
+
+namespace ganswer {
+namespace deanna {
+
+/// \brief The DEANNA-style baseline (Yahya et al. 2012): joint
+/// disambiguation in the question-understanding stage.
+///
+/// Pipeline: phrase detection and candidate generation (shared front-end
+/// with the gAnswer system, so the comparison isolates the disambiguation
+/// strategy), then a disambiguation graph with on-the-fly pairwise
+/// coherence against the RDF graph, joint disambiguation as an exact 0/1
+/// ILP (NP-hard; branch-and-bound here), SPARQL generation from the single
+/// chosen interpretation, and BGP evaluation.
+///
+/// This is the architecture the paper's Figure 6 / Tables 8 and 12 compare
+/// against: understanding is expensive (ILP + pairwise coherence) and
+/// mapping errors are unrecoverable because only one interpretation
+/// survives to evaluation.
+class DeannaQa {
+ public:
+  struct Options {
+    /// ILP objective weights: alpha * similarity + beta * coherence.
+    double alpha = 1.0;
+    double beta = 0.5;
+    IlpSolver::Options ilp;
+    /// Candidate lists are larger than gAnswer's defaults: DEANNA has no
+    /// data-driven pruning before disambiguation.
+    linking::EntityLinker::Options linking = DefaultLinkingOptions();
+    qa::QuestionUnderstander::Options understanding;
+
+    static linking::EntityLinker::Options DefaultLinkingOptions() {
+      linking::EntityLinker::Options o;
+      o.max_candidates = 25;
+      o.min_confidence = 0.15;
+      return o;
+    }
+  };
+
+  struct Response {
+    bool processed = false;      ///< SPARQL was generated and evaluated.
+    bool is_ask = false;
+    bool ask_result = false;
+    std::vector<std::string> answers;
+    std::string sparql;          ///< The generated query text.
+    double understanding_ms = 0; ///< Parse + mapping + coherence + ILP.
+    double evaluation_ms = 0;
+    double TotalMs() const { return understanding_ms + evaluation_ms; }
+    size_t ilp_nodes = 0;
+    size_t coherence_pairs = 0;
+  };
+
+  DeannaQa(const rdf::RdfGraph* graph, const nlp::Lexicon* lexicon,
+           const paraphrase::ParaphraseDictionary* dict);
+  DeannaQa(const rdf::RdfGraph* graph, const nlp::Lexicon* lexicon,
+           const paraphrase::ParaphraseDictionary* dict, Options options);
+
+  StatusOr<Response> Ask(std::string_view question) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  const rdf::RdfGraph* graph_;
+  Options options_;
+  std::unique_ptr<nlp::DependencyParser> parser_;
+  std::unique_ptr<linking::EntityIndex> entity_index_;
+  std::unique_ptr<linking::EntityLinker> linker_;
+  std::unique_ptr<qa::QuestionUnderstander> understander_;
+  std::unique_ptr<rdf::SparqlEngine> engine_;
+};
+
+}  // namespace deanna
+}  // namespace ganswer
+
+#endif  // GANSWER_DEANNA_DEANNA_QA_H_

@@ -1,0 +1,91 @@
+#ifndef GANSWER_DEANNA_DISAMBIGUATION_GRAPH_H_
+#define GANSWER_DEANNA_DISAMBIGUATION_GRAPH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "deanna/ilp_solver.h"
+#include "qa/semantic_query_graph.h"
+#include "rdf/rdf_graph.h"
+
+namespace ganswer {
+namespace deanna {
+
+/// One mapping node of the disambiguation graph: a (query item ->
+/// candidate) pair, either a vertex mapping (argument -> entity/class) or
+/// an edge mapping (relation phrase -> predicate/path).
+struct MappingNode {
+  bool is_edge = false;
+  int query_item = -1;            ///< SQG vertex or edge index.
+  int candidate_index = -1;       ///< Index into the item's candidate list.
+  double similarity = 0.0;        ///< Phrase-to-candidate confidence.
+};
+
+/// A coherence edge between two mapping nodes of different query items,
+/// weighted by semantic coherence computed against the RDF graph.
+struct CoherenceEdge {
+  int node_a = -1;
+  int node_b = -1;
+  double coherence = 0.0;
+};
+
+/// \brief DEANNA's disambiguation graph (Yahya et al. 2012, as summarized
+/// in the paper's Secs. 1.2 and 7): mapping nodes for every phrase-to-
+/// candidate pair, plus coherence edges whose weights are computed *on the
+/// fly* against the RDF graph — the pairwise computation the paper
+/// identifies as DEANNA's main cost.
+///
+/// Coherence used here:
+///  - vertex-candidate u  vs  incident-edge candidate P: 1 when u has an
+///    incident RDF edge whose predicate can begin P (else 0);
+///  - vertex-candidate u  vs  vertex-candidate v of an adjacent query
+///    vertex: cosine of their neighbor sets (common-neighborhood scan).
+class DisambiguationGraph {
+ public:
+  struct Stats {
+    size_t nodes = 0;
+    size_t coherence_pairs_evaluated = 0;
+    size_t coherence_edges = 0;
+  };
+
+  /// Builds the graph for \p sqg against \p graph. All candidate lists of
+  /// the SQG become mapping nodes (no pruning — neighborhood pruning is the
+  /// compared system's technique, not DEANNA's).
+  DisambiguationGraph(const rdf::RdfGraph& graph,
+                      const qa::SemanticQueryGraph& sqg);
+
+  const std::vector<MappingNode>& nodes() const { return nodes_; }
+  const std::vector<CoherenceEdge>& edges() const { return edges_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Encodes joint disambiguation as the 0/1 ILP of DEANNA: one candidate
+  /// per query item (exactly-one groups), node weights = alpha *
+  /// similarity, coherence selector variables (x_e <= x_a, x_e <= x_b)
+  /// with weights = beta * coherence.
+  IlpSolver::Problem ToIlp(double alpha, double beta) const;
+
+  /// Decodes an ILP assignment back to per-item candidate choices;
+  /// choice[i] is the candidate index selected for query item i (vertices
+  /// first, then edges), or -1 for wildcard items with no candidates.
+  std::vector<int> DecodeAssignment(const std::vector<bool>& assignment,
+                                    const qa::SemanticQueryGraph& sqg) const;
+
+ private:
+  double VertexVertexCoherence(rdf::TermId u, rdf::TermId v) const;
+  const std::vector<rdf::TermId>& TwoHopNeighborhood(rdf::TermId u) const;
+
+  mutable std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>
+      two_hop_cache_;
+  const rdf::RdfGraph& graph_;
+  std::vector<MappingNode> nodes_;
+  std::vector<CoherenceEdge> edges_;
+  /// Node ids per query item: vertex items first (index = vertex id), then
+  /// edge items (index = |V| + edge id).
+  std::vector<std::vector<int>> item_nodes_;
+  Stats stats_;
+};
+
+}  // namespace deanna
+}  // namespace ganswer
+
+#endif  // GANSWER_DEANNA_DISAMBIGUATION_GRAPH_H_

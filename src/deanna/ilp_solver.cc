@@ -1,0 +1,178 @@
+#include "deanna/ilp_solver.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace ganswer {
+namespace deanna {
+
+namespace {
+
+constexpr int8_t kUnset = -1;
+
+}  // namespace
+
+StatusOr<IlpSolver::Solution> IlpSolver::Solve(const Problem& problem) const {
+  size_t n = problem.num_vars;
+  if (problem.objective.size() != n) {
+    return Status::InvalidArgument("objective size != num_vars");
+  }
+  std::vector<int> group_of(n, -1);
+  for (size_t g = 0; g < problem.exactly_one_groups.size(); ++g) {
+    const auto& group = problem.exactly_one_groups[g];
+    if (group.empty()) {
+      return Status::InvalidArgument("empty exactly-one group");
+    }
+    for (int v : group) {
+      if (v < 0 || static_cast<size_t>(v) >= n) {
+        return Status::InvalidArgument("group variable out of range");
+      }
+      group_of[v] = static_cast<int>(g);
+    }
+  }
+  for (const auto& [a, b] : problem.implications) {
+    if (a < 0 || b < 0 || static_cast<size_t>(a) >= n ||
+        static_cast<size_t>(b) >= n) {
+      return Status::InvalidArgument("implication variable out of range");
+    }
+  }
+
+  // Implications indexed by source (a <= b: b is a's requirement).
+  std::vector<std::vector<int>> requirements(n);
+  for (const auto& [a, b] : problem.implications) {
+    requirements[a].push_back(b);
+  }
+
+  std::vector<int> free_vars;
+  for (size_t v = 0; v < n; ++v) {
+    if (group_of[v] < 0) free_vars.push_back(static_cast<int>(v));
+  }
+
+  // Precompute per-group optimistic contribution.
+  std::vector<double> group_best(problem.exactly_one_groups.size(), 0.0);
+  for (size_t g = 0; g < problem.exactly_one_groups.size(); ++g) {
+    double best = -1e18;
+    for (int v : problem.exactly_one_groups[g]) {
+      best = std::max(best, problem.objective[v]);
+    }
+    group_best[g] = best;
+  }
+
+  Solution best_solution;
+  best_solution.objective = -1e18;
+  std::vector<int8_t> x(n, kUnset);
+  size_t explored = 0;
+  bool budget_hit = false;
+
+  // Greedy fix-point for free variables given fully assigned group vars:
+  // a free var takes 1 when its objective is positive and all its
+  // requirements are 1.
+  auto settle_free = [&](std::vector<int8_t>* vars) {
+    bool changed = true;
+    // Initialize: optimistic 1 for positive-weight vars, 0 otherwise.
+    for (int v : free_vars) {
+      (*vars)[v] = problem.objective[v] > 0 ? 1 : 0;
+    }
+    while (changed) {
+      changed = false;
+      for (int v : free_vars) {
+        if ((*vars)[v] != 1) continue;
+        for (int req : requirements[v]) {
+          if ((*vars)[req] != 1) {
+            (*vars)[v] = 0;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  };
+
+  auto objective_of = [&](const std::vector<int8_t>& vars) {
+    double total = 0.0;
+    for (size_t v = 0; v < n; ++v) {
+      if (vars[v] == 1) total += problem.objective[v];
+    }
+    return total;
+  };
+
+  // Optimistic bound for remaining groups + free vars.
+  auto bound = [&](size_t next_group, double fixed) {
+    double b = fixed;
+    for (size_t g = next_group; g < problem.exactly_one_groups.size(); ++g) {
+      b += group_best[g];
+    }
+    for (int v : free_vars) {
+      if (problem.objective[v] <= 0) continue;
+      bool violated = false;
+      for (int req : requirements[v]) {
+        if (x[req] == 0) {
+          violated = true;
+          break;
+        }
+      }
+      if (!violated) b += problem.objective[v];
+    }
+    return b;
+  };
+
+  std::function<void(size_t, double)> branch = [&](size_t g, double fixed) {
+    if (budget_hit) return;
+    if (options_.max_nodes > 0 && explored >= options_.max_nodes) {
+      budget_hit = true;
+      return;
+    }
+    ++explored;
+    if (g == problem.exactly_one_groups.size()) {
+      std::vector<int8_t> full = x;
+      settle_free(&full);
+      // A chosen group variable whose requirement is unmet makes this
+      // branch infeasible (group vars cannot be dropped without breaking
+      // exactly-one).
+      for (size_t g2 = 0; g2 < problem.exactly_one_groups.size(); ++g2) {
+        for (int v : problem.exactly_one_groups[g2]) {
+          if (full[v] != 1) continue;
+          for (int req : requirements[v]) {
+            if (full[req] != 1) return;  // infeasible branch
+          }
+        }
+      }
+      double obj = objective_of(full);
+      if (obj > best_solution.objective) {
+        best_solution.objective = obj;
+        best_solution.assignment.assign(n, false);
+        for (size_t v = 0; v < n; ++v) {
+          best_solution.assignment[v] = full[v] == 1;
+        }
+      }
+      return;
+    }
+    if (bound(g, fixed) <= best_solution.objective) return;  // prune
+
+    // Try candidates in non-ascending objective order (better pruning).
+    std::vector<int> order = problem.exactly_one_groups[g];
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return problem.objective[a] > problem.objective[b];
+    });
+    for (int choice : order) {
+      for (int v : problem.exactly_one_groups[g]) {
+        x[v] = (v == choice) ? 1 : 0;
+      }
+      branch(g + 1, fixed + problem.objective[choice]);
+      if (budget_hit) break;
+    }
+    for (int v : problem.exactly_one_groups[g]) x[v] = kUnset;
+  };
+
+  branch(0, 0.0);
+
+  if (best_solution.objective <= -1e17) {
+    return Status::Internal("ILP solver found no feasible solution");
+  }
+  best_solution.nodes_explored = explored;
+  best_solution.optimal = !budget_hit;
+  return best_solution;
+}
+
+}  // namespace deanna
+}  // namespace ganswer

@@ -1,0 +1,67 @@
+#ifndef GANSWER_DEANNA_ILP_SOLVER_H_
+#define GANSWER_DEANNA_ILP_SOLVER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ganswer {
+namespace deanna {
+
+/// \brief Exact 0/1 integer linear program solver by branch-and-bound,
+/// for the joint-disambiguation ILP of the DEANNA baseline (Yahya et al.
+/// 2012), which the paper contrasts with its own polynomial understanding
+/// stage.
+///
+/// Supported structure (all DEANNA's disambiguation ILP needs):
+///   maximize  c . x
+///   s.t.      sum_{i in G} x_i = 1        for every exactly-one group G
+///             x_a <= x_b                  for every implication (a, b)
+///             x in {0,1}^n
+///
+/// Branching follows group order (one candidate per group), with a
+/// fractional-free optimistic bound: chosen weight so far + the best
+/// remaining choice per open group + every still-selectable implication
+/// variable. Worst-case exponential in the number of groups — that IS the
+/// point of the comparison (Table 12).
+class IlpSolver {
+ public:
+  struct Problem {
+    size_t num_vars = 0;
+    std::vector<double> objective;
+    std::vector<std::vector<int>> exactly_one_groups;
+    /// (a, b): x_a <= x_b. Auxiliary conjunction variables (coherence edge
+    /// selectors) use two implications.
+    std::vector<std::pair<int, int>> implications;
+  };
+
+  struct Solution {
+    std::vector<bool> assignment;
+    double objective = 0.0;
+    size_t nodes_explored = 0;
+    bool optimal = true;  ///< false when the node budget was exhausted
+  };
+
+  struct Options {
+    /// Budget on branch-and-bound nodes (0 = unlimited).
+    size_t max_nodes = 2'000'000;
+  };
+
+  IlpSolver() : options_() {}
+  explicit IlpSolver(Options options) : options_(options) {}
+
+  /// Solves the maximization problem. Variables outside every group are
+  /// free; they are set greedily (respecting implications) after group
+  /// branching. Fails when a group is empty or indexes out of range.
+  StatusOr<Solution> Solve(const Problem& problem) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace deanna
+}  // namespace ganswer
+
+#endif  // GANSWER_DEANNA_ILP_SOLVER_H_

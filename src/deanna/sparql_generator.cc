@@ -1,0 +1,111 @@
+#include "deanna/sparql_generator.h"
+
+#include <string>
+
+namespace ganswer {
+namespace deanna {
+
+namespace {
+
+using rdf::PatternTerm;
+using rdf::TriplePattern;
+
+}  // namespace
+
+StatusOr<rdf::SparqlQuery> SparqlGenerator::Generate(
+    const qa::SemanticQueryGraph& sqg, const std::vector<int>& choice,
+    const rdf::RdfGraph& graph) {
+  if (choice.size() != sqg.vertices.size() + sqg.edges.size()) {
+    return Status::InvalidArgument("choice vector size mismatch");
+  }
+  rdf::SparqlQuery query;
+  query.form = sqg.form == qa::SemanticQueryGraph::QuestionForm::kAsk
+                   ? rdf::SparqlQuery::Form::kAsk
+                   : rdf::SparqlQuery::Form::kSelect;
+  query.distinct = true;
+
+  const rdf::TermDictionary& dict = graph.dict();
+
+  // Vertex terms: constants for chosen entities, variables otherwise
+  // (classes add a type pattern). The target vertex always stays a
+  // variable.
+  std::vector<PatternTerm> vertex_terms(sqg.vertices.size());
+  for (size_t v = 0; v < sqg.vertices.size(); ++v) {
+    const qa::SqgVertex& qv = sqg.vertices[v];
+    std::string var = "v" + std::to_string(v);
+    int c = choice[v];
+    bool is_target = static_cast<int>(v) == sqg.target_vertex;
+    if (c < 0 || static_cast<size_t>(c) >= qv.candidates.size()) {
+      vertex_terms[v] = PatternTerm::Var(var);
+      continue;
+    }
+    const linking::LinkCandidate& cand = qv.candidates[c];
+    if (cand.is_class || is_target) {
+      vertex_terms[v] = PatternTerm::Var(var);
+      if (cand.is_class) {
+        TriplePattern tp;
+        tp.subject = vertex_terms[v];
+        tp.predicate = PatternTerm::Iri(std::string(rdf::kTypePredicate));
+        tp.object = PatternTerm::Iri(dict.text(cand.vertex));
+        query.patterns.push_back(std::move(tp));
+      }
+    } else {
+      const std::string& text = dict.text(cand.vertex);
+      vertex_terms[v] = dict.IsLiteral(cand.vertex)
+                            ? PatternTerm::Literal(text)
+                            : PatternTerm::Iri(text);
+    }
+  }
+
+  // Edge patterns.
+  for (size_t e = 0; e < sqg.edges.size(); ++e) {
+    const qa::SqgEdge& qe = sqg.edges[e];
+    int c = choice[sqg.vertices.size() + e];
+    if (c < 0 || static_cast<size_t>(c) >= qe.candidates.size()) {
+      // No predicate chosen: variable predicate.
+      TriplePattern tp;
+      tp.subject = vertex_terms[qe.from];
+      tp.predicate = PatternTerm::Var("p" + std::to_string(e));
+      tp.object = vertex_terms[qe.to];
+      query.patterns.push_back(std::move(tp));
+      continue;
+    }
+    const paraphrase::PredicatePath& path = qe.candidates[c].path;
+    PatternTerm current = vertex_terms[qe.from];
+    for (size_t s = 0; s < path.steps.size(); ++s) {
+      PatternTerm next =
+          (s + 1 == path.steps.size())
+              ? vertex_terms[qe.to]
+              : PatternTerm::Var("m" + std::to_string(e) + "_" +
+                                 std::to_string(s));
+      const paraphrase::PathStep& step = path.steps[s];
+      TriplePattern tp;
+      PatternTerm pred = PatternTerm::Iri(dict.text(step.predicate));
+      if (step.forward) {
+        tp.subject = current;
+        tp.predicate = pred;
+        tp.object = next;
+      } else {
+        tp.subject = next;
+        tp.predicate = pred;
+        tp.object = current;
+      }
+      query.patterns.push_back(std::move(tp));
+      current = next;
+    }
+  }
+
+  if (query.form == rdf::SparqlQuery::Form::kSelect) {
+    int target = sqg.target_vertex >= 0 ? sqg.target_vertex : 0;
+    if (!vertex_terms[target].is_var) {
+      // Degenerate: the target collapsed to a constant; select everything.
+      query.select_all = true;
+    } else {
+      query.select_vars.push_back(vertex_terms[target].text);
+    }
+  }
+  return query;
+}
+
+}  // namespace deanna
+}  // namespace ganswer

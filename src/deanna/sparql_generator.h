@@ -1,0 +1,31 @@
+#ifndef GANSWER_DEANNA_SPARQL_GENERATOR_H_
+#define GANSWER_DEANNA_SPARQL_GENERATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "qa/semantic_query_graph.h"
+#include "rdf/sparql.h"
+
+namespace ganswer {
+namespace deanna {
+
+/// \brief Generates the SPARQL query DEANNA's pipeline emits after joint
+/// disambiguation: every query item is replaced by its single chosen
+/// candidate (entities become constants, classes become rdf:type
+/// constraints, predicate paths become chains of patterns over fresh
+/// intermediate variables).
+class SparqlGenerator {
+ public:
+  /// \p choice[i]: chosen candidate index for query item i (vertices first,
+  /// then edges), -1 for items with no candidates (wildcards -> plain
+  /// variables; edges -> variable predicates).
+  static StatusOr<rdf::SparqlQuery> Generate(
+      const qa::SemanticQueryGraph& sqg, const std::vector<int>& choice,
+      const rdf::RdfGraph& graph);
+};
+
+}  // namespace deanna
+}  // namespace ganswer
+
+#endif  // GANSWER_DEANNA_SPARQL_GENERATOR_H_

@@ -1,0 +1,85 @@
+#include "linking/entity_index.h"
+
+#include <algorithm>
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace ganswer {
+namespace linking {
+
+EntityIndex::EntityIndex(const rdf::RdfGraph& graph) : graph_(graph) {
+  const rdf::TermDictionary& dict = graph.dict();
+  for (rdf::TermId v = 0; v < dict.size(); ++v) {
+    if (dict.IsLiteral(v)) {
+      // Name-like literals (capitalized, connected) are indexed too:
+      // "Who was called Scarface?" must link "Scarface" to the nickname
+      // literal vertex. Numeric/date literals stay out.
+      const std::string& text = dict.text(v);
+      bool name_like = !text.empty() &&
+                       std::isupper(static_cast<unsigned char>(text[0]));
+      if (name_like && graph.InDegree(v) > 0) AddLabel(v, text);
+      continue;
+    }
+    if (!graph.IsEntity(v) && !graph.IsClass(v)) continue;
+    IndexVertex(v);
+  }
+}
+
+void EntityIndex::IndexVertex(rdf::TermId v) {
+  const rdf::TermDictionary& dict = graph_.dict();
+  // IRI-derived label.
+  AddLabel(v, dict.text(v));
+  // Explicit rdfs:label literals.
+  for (rdf::TermId label : graph_.Objects(v, graph_.label_predicate())) {
+    AddLabel(v, dict.text(label));
+  }
+}
+
+void EntityIndex::AddLabel(rdf::TermId v, std::string_view raw_label) {
+  std::string norm = NormalizeLabel(raw_label);
+  if (norm.empty()) return;
+  // Leading-article variant: "The Godfather" is mentioned as "Godfather"
+  // once the parser strips the determiner, so index both forms.
+  for (const char* article : {"the ", "a ", "an "}) {
+    if (norm.rfind(article, 0) == 0 && norm.size() > strlen(article)) {
+      AddLabel(v, norm.substr(strlen(article)));
+      break;
+    }
+  }
+  auto& labels = labels_of_[v];
+  if (std::find(labels.begin(), labels.end(), norm) != labels.end()) return;
+  labels.push_back(norm);
+
+  auto& exact = by_label_[norm];
+  if (std::find(exact.begin(), exact.end(), v) == exact.end()) {
+    exact.push_back(v);
+  }
+  for (const std::string& token : SplitWhitespace(norm)) {
+    auto& list = by_token_[token];
+    if (std::find(list.begin(), list.end(), v) == list.end()) {
+      list.push_back(v);
+    }
+  }
+}
+
+const std::vector<rdf::TermId>& EntityIndex::ExactMatches(
+    std::string_view text) const {
+  auto it = by_label_.find(NormalizeLabel(text));
+  return it == by_label_.end() ? empty_ : it->second;
+}
+
+const std::vector<rdf::TermId>& EntityIndex::TokenMatches(
+    std::string_view token) const {
+  auto it = by_token_.find(ToLower(token));
+  return it == by_token_.end() ? empty_ : it->second;
+}
+
+const std::vector<std::string>& EntityIndex::LabelsOf(rdf::TermId v) const {
+  auto it = labels_of_.find(v);
+  return it == labels_of_.end() ? no_labels_ : it->second;
+}
+
+}  // namespace linking
+}  // namespace ganswer

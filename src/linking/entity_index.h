@@ -1,0 +1,56 @@
+#ifndef GANSWER_LINKING_ENTITY_INDEX_H_
+#define GANSWER_LINKING_ENTITY_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/rdf_graph.h"
+
+namespace ganswer {
+namespace linking {
+
+/// \brief Label index over the entities and classes of an RDF graph.
+///
+/// Every entity/class vertex is indexed under (a) each of its rdfs:label
+/// literals and (b) the label derived from its IRI local name (underscores
+/// to spaces, parenthetical disambiguators stripped) — so "Philadelphia"
+/// hits <Philadelphia>, <Philadelphia_(film)> and <Philadelphia_76ers>,
+/// which is precisely the ambiguity the paper's pipeline must cope with.
+///
+/// Two indexes are kept: full normalized label -> vertices (exact lookups)
+/// and single token -> vertices (partial-match candidate generation).
+class EntityIndex {
+ public:
+  /// \p graph must be finalized and outlive the index.
+  explicit EntityIndex(const rdf::RdfGraph& graph);
+
+  /// Vertices whose normalized label equals the normalization of \p text.
+  const std::vector<rdf::TermId>& ExactMatches(std::string_view text) const;
+
+  /// Vertices one of whose label tokens equals the (lowercased) token.
+  const std::vector<rdf::TermId>& TokenMatches(std::string_view token) const;
+
+  /// All normalized labels of vertex \p v (IRI-derived first).
+  const std::vector<std::string>& LabelsOf(rdf::TermId v) const;
+
+  const rdf::RdfGraph& graph() const { return graph_; }
+  size_t NumIndexedVertices() const { return labels_of_.size(); }
+
+ private:
+  void IndexVertex(rdf::TermId v);
+  void AddLabel(rdf::TermId v, std::string_view raw_label);
+
+  const rdf::RdfGraph& graph_;
+  std::unordered_map<std::string, std::vector<rdf::TermId>> by_label_;
+  std::unordered_map<std::string, std::vector<rdf::TermId>> by_token_;
+  std::unordered_map<rdf::TermId, std::vector<std::string>> labels_of_;
+  std::vector<rdf::TermId> empty_;
+  std::vector<std::string> no_labels_;
+};
+
+}  // namespace linking
+}  // namespace ganswer
+
+#endif  // GANSWER_LINKING_ENTITY_INDEX_H_

@@ -1,0 +1,163 @@
+#include "linking/entity_linker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace ganswer {
+namespace linking {
+
+EntityLinker::EntityLinker(const EntityIndex* index)
+    : EntityLinker(index, Options()) {}
+
+EntityLinker::EntityLinker(const EntityIndex* index, Options options)
+    : index_(index), options_(options) {
+  log_max_degree_ =
+      std::log(1.0 + static_cast<double>(index->graph().MaxDegree()));
+  if (log_max_degree_ <= 0) log_max_degree_ = 1.0;
+}
+
+double EntityLinker::Popularity(rdf::TermId v) const {
+  double d = std::log(1.0 + static_cast<double>(index_->graph().Degree(v)));
+  return d / log_max_degree_;
+}
+
+std::vector<LinkCandidate> EntityLinker::Link(std::string_view phrase) const {
+  std::string norm = NormalizeLabel(phrase);
+  if (norm.empty()) return {};
+
+  // Best string similarity per candidate vertex.
+  std::unordered_map<rdf::TermId, double> similarity;
+
+  // 1) Exact normalized matches.
+  for (rdf::TermId v : index_->ExactMatches(norm)) {
+    similarity[v] = std::max(similarity[v], 1.0);
+  }
+
+  // Singular fallbacks for plural class mentions: try every plausible
+  // de-pluralization ("movies" -> "movie", "cities" -> "city",
+  // "crosses" -> "cross") and keep whichever the index knows.
+  std::vector<std::string> tokens = SplitWhitespace(norm);
+  if (!tokens.empty() && EndsWith(tokens.back(), "s")) {
+    const std::string& last = tokens.back();
+    std::vector<std::string> singulars;
+    if (EndsWith(last, "ies") && last.size() > 3) {
+      singulars.push_back(last.substr(0, last.size() - 3) + "y");
+    }
+    if (EndsWith(last, "es") && last.size() > 2) {
+      singulars.push_back(last.substr(0, last.size() - 2));
+    }
+    if (last.size() > 1) {
+      singulars.push_back(last.substr(0, last.size() - 1));
+    }
+    for (const std::string& singular_last : singulars) {
+      std::vector<std::string> singular_tokens = tokens;
+      singular_tokens.back() = singular_last;
+      for (rdf::TermId v : index_->ExactMatches(Join(singular_tokens, " "))) {
+        similarity[v] = std::max(similarity[v], 0.95);
+      }
+    }
+  }
+
+  // 2) Token-level candidates: vertices sharing a token with the phrase.
+  // Similarity rewards the label *containing* the whole mention: the paper
+  // needs "Philadelphia" -> <Philadelphia_76ers> and "actor" ->
+  // <An_Actor_Prepares> to stay candidates, while "Salt Lake City" ->
+  // class <City> (mention barely covered) should not survive an exact
+  // match.
+  std::set<std::string> query_tokens(tokens.begin(), tokens.end());
+  for (const std::string& token : tokens) {
+    for (rdf::TermId v : index_->TokenMatches(token)) {
+      auto [it, inserted] = similarity.try_emplace(v, 0.0);
+      if (!inserted && it->second >= 1.0) continue;
+      double best = it->second;
+      for (const std::string& label : index_->LabelsOf(v)) {
+        std::vector<std::string> label_tokens = SplitWhitespace(label);
+        size_t covered = 0;
+        size_t shared = 0;
+        std::set<std::string> label_set(label_tokens.begin(),
+                                        label_tokens.end());
+        for (const std::string& t : query_tokens) {
+          if (label_set.count(t)) {
+            ++covered;
+            ++shared;
+          }
+        }
+        size_t uni = query_tokens.size() + label_set.size() - shared;
+        double jac = uni == 0 ? 0.0
+                              : static_cast<double>(shared) /
+                                    static_cast<double>(uni);
+        double coverage =
+            query_tokens.empty()
+                ? 0.0
+                : static_cast<double>(covered) /
+                      static_cast<double>(query_tokens.size());
+        best = std::max(best, 0.4 + 0.35 * coverage + 0.25 * jac);
+      }
+      it->second = best;
+    }
+  }
+
+  // 3) Fuzzy fallback over token candidates of similar-looking tokens is
+  // covered by the bigram check against every candidate's labels. Fuzzy
+  // similarity is capped at 0.7 so it can never rival an exact match; it
+  // exists to rescue near-misses, so it is skipped when token matching
+  // already produced a crowd of candidates or a solid score.
+  if (similarity.size() <= 32) {
+    for (auto& [v, sim] : similarity) {
+      if (sim >= 0.75) continue;
+      for (const std::string& label : index_->LabelsOf(v)) {
+        double dice = BigramDice(norm, label);
+        if (dice >= options_.fuzzy_threshold) {
+          sim = std::max(sim, 0.3 + 0.4 * dice);
+        }
+      }
+    }
+  }
+
+  // Exact-match dominance: when the mention names some vertex exactly, the
+  // remaining ambiguity is among exact matches (the three Philadelphias);
+  // weak partial-token candidates (the City class for "Salt Lake City")
+  // are spurious, not ambiguous.
+  double best_sim = 0.0;
+  for (const auto& [v, sim] : similarity) best_sim = std::max(best_sim, sim);
+  if (best_sim >= 0.95) {
+    std::erase_if(similarity,
+                  [](const auto& entry) { return entry.second < 0.7; });
+    // Surviving partial matches stay candidates (the data-driven fallback
+    // may still need them) but at a clear confidence discount, so their
+    // interpretations never tie an exact match's answers.
+    for (auto& [v, sim] : similarity) {
+      if (sim < 0.95) sim *= 0.6;
+    }
+  }
+
+  std::vector<LinkCandidate> out;
+  out.reserve(similarity.size());
+  for (const auto& [v, sim] : similarity) {
+    LinkCandidate c;
+    c.vertex = v;
+    c.is_class = index_->graph().IsClass(v);
+    c.confidence = options_.similarity_weight * sim +
+                   (1.0 - options_.similarity_weight) * Popularity(v);
+    if (c.confidence < options_.min_confidence) continue;
+    out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LinkCandidate& a, const LinkCandidate& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              return a.vertex < b.vertex;
+            });
+  if (out.size() > options_.max_candidates) {
+    out.resize(options_.max_candidates);
+  }
+  return out;
+}
+
+}  // namespace linking
+}  // namespace ganswer

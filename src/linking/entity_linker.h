@@ -1,0 +1,63 @@
+#ifndef GANSWER_LINKING_ENTITY_LINKER_H_
+#define GANSWER_LINKING_ENTITY_LINKER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "linking/entity_index.h"
+
+namespace ganswer {
+namespace linking {
+
+/// One candidate mapping of an argument phrase to a graph vertex, with the
+/// paper's confidence probability delta(arg, u).
+struct LinkCandidate {
+  rdf::TermId vertex = rdf::kInvalidTerm;
+  bool is_class = false;
+  double confidence = 0.0;
+};
+
+/// \brief Entity linking (Sec. 4.2.1): maps an argument phrase to a ranked
+/// list of candidate entities and classes with confidence probabilities.
+///
+/// Stands in for the DBpedia Lookup web service the paper calls. Candidate
+/// generation: exact normalized-label matches first, then vertices sharing
+/// label tokens, then fuzzy (bigram-Dice) matches over token-candidates.
+/// Confidence blends string similarity with a degree-based popularity prior
+/// — deliberately NOT enough to disambiguate "Philadelphia"; that is the
+/// query evaluation stage's job.
+class EntityLinker {
+ public:
+  struct Options {
+    size_t max_candidates = 8;
+    /// Candidates below this confidence are dropped.
+    double min_confidence = 0.25;
+    /// Weight of string similarity vs popularity prior in the confidence.
+    double similarity_weight = 0.75;
+    /// Minimum bigram-Dice similarity for fuzzy token candidates.
+    double fuzzy_threshold = 0.55;
+  };
+
+  /// \p index must outlive the linker.
+  explicit EntityLinker(const EntityIndex* index);
+  EntityLinker(const EntityIndex* index, Options options);
+
+  /// Ranked candidates (non-ascending confidence) for \p phrase. Classes
+  /// are flagged; both a class and entities may be returned for the same
+  /// phrase ("actor" -> class <Actor> and entity <An_Actor_Prepares>).
+  std::vector<LinkCandidate> Link(std::string_view phrase) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  double Popularity(rdf::TermId v) const;
+
+  const EntityIndex* index_;
+  Options options_;
+  double log_max_degree_;
+};
+
+}  // namespace linking
+}  // namespace ganswer
+
+#endif  // GANSWER_LINKING_ENTITY_LINKER_H_

@@ -1,0 +1,198 @@
+#include "match/candidates.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ganswer {
+namespace match {
+
+namespace {
+
+using paraphrase::PathStep;
+using paraphrase::PredicatePath;
+
+// True when `u` has at least one incident RDF edge that could begin an
+// instantiation of `path` (in the given orientation).
+bool HasFirstStep(const rdf::RdfGraph& graph, rdf::TermId u,
+                  const PredicatePath& path) {
+  if (path.steps.empty()) return false;
+  const PathStep& s = path.steps.front();
+  auto edges = s.forward ? graph.OutEdges(u) : graph.InEdges(u);
+  return std::binary_search(
+      edges.begin(), edges.end(), rdf::Edge{s.predicate, 0},
+      [](const rdf::Edge& a, const rdf::Edge& b) {
+        return a.predicate < b.predicate;
+      });
+}
+
+// Candidate survives the neighborhood check for one incident edge when some
+// candidate predicate/path can start at u (from either endpoint role). The
+// signature index, when present, gives a constant-time rejection before the
+// adjacency binary search (no false negatives by construction).
+bool SurvivesEdge(const rdf::RdfGraph& graph, const QueryEdge& edge,
+                  rdf::TermId u, const rdf::SignatureIndex* signatures) {
+  if (edge.wildcard) return graph.Degree(u) > 0;
+  for (const paraphrase::ParaphraseEntry& e : edge.candidates) {
+    if (e.path.IsSinglePredicate()) {
+      // Either direction is admissible for single predicates (Def. 3).
+      rdf::TermId p = e.path.steps[0].predicate;
+      if (signatures != nullptr && !signatures->MaybeHasEither(u, p)) {
+        continue;
+      }
+      PredicatePath fwd{{{p, true}}};
+      PredicatePath bwd{{{p, false}}};
+      if (HasFirstStep(graph, u, fwd) || HasFirstStep(graph, u, bwd)) {
+        return true;
+      }
+    } else {
+      const PathStep& first = e.path.steps.front();
+      const PathStep& last = e.path.steps.back();
+      if (signatures != nullptr) {
+        bool maybe_fwd = first.forward ? signatures->MaybeHasOut(u, first.predicate)
+                                       : signatures->MaybeHasIn(u, first.predicate);
+        // Reversed orientation starts with the LAST step, flipped.
+        bool maybe_bwd = last.forward ? signatures->MaybeHasIn(u, last.predicate)
+                                      : signatures->MaybeHasOut(u, last.predicate);
+        if (!maybe_fwd && !maybe_bwd) continue;
+      }
+      if (HasFirstStep(graph, u, e.path) ||
+          HasFirstStep(graph, u, e.path.Reversed())) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+CandidateSpace CandidateSpace::Build(const rdf::RdfGraph& graph,
+                                     const QueryGraph& query,
+                                     bool neighborhood_pruning,
+                                     const rdf::SignatureIndex* signatures) {
+  CandidateSpace space;
+  space.domains_.resize(query.vertices.size());
+  space.delta_.resize(query.vertices.size());
+
+  for (size_t i = 0; i < query.vertices.size(); ++i) {
+    const QueryVertex& qv = query.vertices[i];
+    VertexDomain& dom = space.domains_[i];
+    dom.wildcard = qv.wildcard;
+    dom.wildcard_confidence = qv.wildcard_confidence;
+    if (qv.wildcard) continue;
+
+    auto& delta = space.delta_[i];
+    for (const linking::LinkCandidate& c : qv.candidates) {
+      if (c.is_class) {
+        for (rdf::TermId inst : graph.InstancesOf(c.vertex)) {
+          auto [it, inserted] = delta.emplace(inst, c.confidence);
+          if (!inserted) it->second = std::max(it->second, c.confidence);
+        }
+      } else {
+        auto [it, inserted] = delta.emplace(c.vertex, c.confidence);
+        if (!inserted) it->second = std::max(it->second, c.confidence);
+      }
+    }
+
+    if (neighborhood_pruning) {
+      std::vector<int> incident = query.IncidentEdges(static_cast<int>(i));
+      for (auto it = delta.begin(); it != delta.end();) {
+        bool ok = true;
+        for (int ei : incident) {
+          if (!SurvivesEdge(graph, query.edges[ei], it->first, signatures)) {
+            ok = false;
+            break;
+          }
+        }
+        it = ok ? std::next(it) : delta.erase(it);
+      }
+    }
+
+    dom.items.reserve(delta.size());
+    for (const auto& [v, conf] : delta) dom.items.push_back({v, conf});
+    std::sort(dom.items.begin(), dom.items.end(),
+              [](const Item& a, const Item& b) {
+                if (a.confidence != b.confidence) {
+                  return a.confidence > b.confidence;
+                }
+                return a.vertex < b.vertex;
+              });
+  }
+  return space;
+}
+
+std::optional<double> CandidateSpace::VertexDelta(int qv,
+                                                  rdf::TermId u) const {
+  const VertexDomain& dom = domains_[qv];
+  if (dom.wildcard) return dom.wildcard_confidence;
+  auto it = delta_[qv].find(u);
+  if (it == delta_[qv].end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> CandidateSpace::EdgeDelta(const rdf::RdfGraph& graph,
+                                                const QueryEdge& edge,
+                                                int qv_from,
+                                                rdf::TermId u_from,
+                                                rdf::TermId u_to) {
+  bool u_is_arg1 = qv_from == edge.from;
+  if (edge.wildcard) {
+    // Any direct predicate, either direction.
+    for (const rdf::Edge& e : graph.OutEdges(u_from)) {
+      if (e.neighbor == u_to) return edge.wildcard_confidence;
+    }
+    for (const rdf::Edge& e : graph.InEdges(u_from)) {
+      if (e.neighbor == u_to) return edge.wildcard_confidence;
+    }
+    return std::nullopt;
+  }
+  std::optional<double> best;
+  for (const paraphrase::ParaphraseEntry& cand : edge.candidates) {
+    if (best.has_value() && cand.confidence <= *best) continue;
+    bool connects = false;
+    if (cand.path.IsSinglePredicate()) {
+      rdf::TermId p = cand.path.steps[0].predicate;
+      connects = graph.HasTriple(u_from, p, u_to) ||
+                 graph.HasTriple(u_to, p, u_from);
+    } else {
+      const PredicatePath oriented =
+          u_is_arg1 ? cand.path : cand.path.Reversed();
+      connects = paraphrase::PathConnects(graph, u_from, u_to, oriented);
+    }
+    if (connects) best = cand.confidence;
+  }
+  return best;
+}
+
+std::vector<rdf::TermId> CandidateSpace::Expand(const rdf::RdfGraph& graph,
+                                                const QueryEdge& edge,
+                                                int side, rdf::TermId u) {
+  std::unordered_set<rdf::TermId> seen;
+  std::vector<rdf::TermId> out;
+  auto add = [&](rdf::TermId v) {
+    if (seen.insert(v).second) out.push_back(v);
+  };
+  if (edge.wildcard) {
+    for (const rdf::Edge& e : graph.OutEdges(u)) add(e.neighbor);
+    for (const rdf::Edge& e : graph.InEdges(u)) add(e.neighbor);
+    return out;
+  }
+  bool u_is_arg1 = side == edge.from;
+  for (const paraphrase::ParaphraseEntry& cand : edge.candidates) {
+    if (cand.path.IsSinglePredicate()) {
+      rdf::TermId p = cand.path.steps[0].predicate;
+      for (rdf::TermId v : graph.Objects(u, p)) add(v);
+      for (rdf::TermId v : graph.Subjects(p, u)) add(v);
+    } else {
+      const PredicatePath oriented =
+          u_is_arg1 ? cand.path : cand.path.Reversed();
+      for (rdf::TermId v : paraphrase::PathEndpoints(graph, u, oriented)) {
+        add(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace match
+}  // namespace ganswer

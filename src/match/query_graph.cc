@@ -1,0 +1,17 @@
+#include "match/query_graph.h"
+
+namespace ganswer {
+namespace match {
+
+std::vector<int> QueryGraph::IncidentEdges(int v) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].from == v || edges[i].to == v) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace match
+}  // namespace ganswer

@@ -1,0 +1,144 @@
+#include "match/subgraph_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <queue>
+
+namespace ganswer {
+namespace match {
+
+SubgraphMatcher::SubgraphMatcher(const rdf::RdfGraph* graph,
+                                 const QueryGraph* query,
+                                 const CandidateSpace* space)
+    : graph_(graph), query_(query), space_(space) {}
+
+SubgraphMatcher::SearchPlan SubgraphMatcher::PlanFrom(int anchor_qv) const {
+  SearchPlan plan;
+  size_t n = query_->vertices.size();
+  std::vector<bool> visited(n, false);
+
+  plan.order.push_back(anchor_qv);
+  plan.back_edges.emplace_back();  // anchor has no back edges
+  visited[anchor_qv] = true;
+
+  // Greedy BFS preferring non-wildcard vertices (smaller domains first).
+  while (true) {
+    int best = -1;
+    std::vector<int> best_back;
+    for (size_t v = 0; v < n; ++v) {
+      if (visited[v]) continue;
+      std::vector<int> back;
+      for (size_t e = 0; e < query_->edges.size(); ++e) {
+        const QueryEdge& edge = query_->edges[e];
+        int other = -1;
+        if (edge.from == static_cast<int>(v)) other = edge.to;
+        if (edge.to == static_cast<int>(v)) other = edge.from;
+        if (other >= 0 && visited[other]) back.push_back(static_cast<int>(e));
+      }
+      if (back.empty()) continue;  // not connected to the frontier yet
+      bool best_is_wildcard =
+          best >= 0 && query_->vertices[best].wildcard;
+      bool v_is_wildcard = query_->vertices[v].wildcard;
+      if (best < 0 || (best_is_wildcard && !v_is_wildcard) ||
+          (best_is_wildcard == v_is_wildcard &&
+           back.size() > best_back.size())) {
+        best = static_cast<int>(v);
+        best_back = std::move(back);
+      }
+    }
+    if (best < 0) break;  // rest of the query graph is disconnected
+    visited[best] = true;
+    plan.order.push_back(best);
+    plan.back_edges.push_back(std::move(best_back));
+  }
+  return plan;
+}
+
+double SubgraphMatcher::ScoreAssignment(
+    const std::vector<rdf::TermId>& assignment, const SearchPlan& plan) const {
+  double score = 0.0;
+  for (int qv : plan.order) {
+    auto delta = space_->VertexDelta(qv, assignment[qv]);
+    if (!delta.has_value() || *delta <= 0) return -1e18;
+    score += std::log(*delta);
+  }
+  for (const QueryEdge& edge : query_->edges) {
+    rdf::TermId uf = assignment[edge.from];
+    rdf::TermId ut = assignment[edge.to];
+    if (uf == rdf::kInvalidTerm || ut == rdf::kInvalidTerm) continue;
+    auto delta = CandidateSpace::EdgeDelta(*graph_, edge, edge.from, uf, ut);
+    if (!delta.has_value() || *delta <= 0) return -1e18;
+    score += std::log(*delta);
+  }
+  return score;
+}
+
+void SubgraphMatcher::FindMatchesFrom(int anchor_qv, rdf::TermId anchor_u,
+                                      size_t limit,
+                                      std::vector<Match>* out) const {
+  if (!space_->VertexDelta(anchor_qv, anchor_u).has_value()) return;
+
+  SearchPlan plan = PlanFrom(anchor_qv);
+  std::vector<rdf::TermId> assignment(query_->vertices.size(),
+                                      rdf::kInvalidTerm);
+  assignment[anchor_qv] = anchor_u;
+  size_t found_at_entry = out->size();
+
+  std::function<void(size_t)> extend = [&](size_t depth) {
+    if (limit > 0 && out->size() - found_at_entry >= limit) return;
+    if (depth == plan.order.size()) {
+      double score = ScoreAssignment(assignment, plan);
+      if (score <= -1e17) return;
+      Match m;
+      m.assignment = assignment;
+      m.score = score;
+      out->push_back(std::move(m));
+      ++stats_.complete_matches;
+      return;
+    }
+    int qv = plan.order[depth];
+    const std::vector<int>& back = plan.back_edges[depth];
+
+    // Expand candidates through the first back edge, then filter by the
+    // remaining back edges, the vertex domain, and injectivity.
+    const QueryEdge& first_edge = query_->edges[back[0]];
+    int matched_side =
+        first_edge.from == qv ? first_edge.to : first_edge.from;
+    rdf::TermId matched_u = assignment[matched_side];
+    std::vector<rdf::TermId> neighbors =
+        CandidateSpace::Expand(*graph_, first_edge, matched_side, matched_u);
+
+    for (rdf::TermId u : neighbors) {
+      ++stats_.expansions;
+      if (!space_->VertexDelta(qv, u).has_value()) continue;
+      // Injectivity: subgraph isomorphism maps query vertices to distinct
+      // graph vertices.
+      bool used = false;
+      for (int ov : plan.order) {
+        if (assignment[ov] == u) {
+          used = true;
+          break;
+        }
+      }
+      if (used) continue;
+      bool edges_ok = true;
+      for (size_t bi = 1; bi < back.size() && edges_ok; ++bi) {
+        const QueryEdge& e = query_->edges[back[bi]];
+        int other = e.from == qv ? e.to : e.from;
+        edges_ok = CandidateSpace::EdgeDelta(*graph_, e, other,
+                                             assignment[other], u)
+                       .has_value();
+      }
+      if (!edges_ok) continue;
+      assignment[qv] = u;
+      extend(depth + 1);
+      assignment[qv] = rdf::kInvalidTerm;
+      if (limit > 0 && out->size() - found_at_entry >= limit) return;
+    }
+  };
+  extend(1);
+}
+
+}  // namespace match
+}  // namespace ganswer

@@ -1,0 +1,174 @@
+#include "match/top_k_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ganswer {
+namespace match {
+
+namespace {
+
+// Best-possible total log-confidence of all edges (best candidate each).
+double BestEdgeLogSum(const QueryGraph& query) {
+  double sum = 0.0;
+  for (const QueryEdge& e : query.edges) {
+    double best = e.wildcard ? e.wildcard_confidence
+                             : (e.candidates.empty()
+                                    ? 0.0
+                                    : e.candidates.front().confidence);
+    if (best <= 0) return -1e18;  // edge can never contribute
+    sum += std::log(best);
+  }
+  return sum;
+}
+
+}  // namespace
+
+TopKMatcher::TopKMatcher(const rdf::RdfGraph* graph)
+    : TopKMatcher(graph, Options()) {}
+
+TopKMatcher::TopKMatcher(const rdf::RdfGraph* graph, Options options)
+    : graph_(graph), options_(options) {}
+
+StatusOr<std::vector<Match>> TopKMatcher::FindTopK(const QueryGraph& query,
+                                                   RunStats* stats) const {
+  RunStats local;
+  if (query.vertices.empty()) {
+    return Status::InvalidArgument("empty query graph");
+  }
+  bool any_concrete = false;
+  for (const QueryVertex& v : query.vertices) {
+    if (!v.wildcard) any_concrete = true;
+  }
+  if (!any_concrete) {
+    return Status::InvalidArgument(
+        "all query vertices are wildcards; nothing anchors the search");
+  }
+
+  CandidateSpace space = CandidateSpace::Build(
+      *graph_, query, options_.neighborhood_pruning, options_.signatures);
+
+  std::vector<Match> all;
+
+  if (query.edges.empty()) {
+    // Single-vertex query: the domain of the (unique) concrete vertex is
+    // the answer set.
+    for (size_t i = 0; i < query.vertices.size(); ++i) {
+      if (query.vertices[i].wildcard) continue;
+      for (const CandidateSpace::Item& item : space.domain(i).items) {
+        if (item.confidence <= 0) continue;
+        Match m;
+        m.assignment.assign(query.vertices.size(), rdf::kInvalidTerm);
+        m.assignment[i] = item.vertex;
+        m.score = std::log(item.confidence);
+        all.push_back(std::move(m));
+      }
+    }
+  } else {
+    SubgraphMatcher matcher(graph_, &query, &space);
+
+    // Cursor per non-wildcard vertex list.
+    std::vector<int> cursor_vertex;  // query vertex index per cursor
+    for (size_t i = 0; i < query.vertices.size(); ++i) {
+      if (!query.vertices[i].wildcard && !space.domain(i).items.empty()) {
+        cursor_vertex.push_back(static_cast<int>(i));
+      }
+    }
+    if (cursor_vertex.empty()) {
+      // Every concrete vertex pruned to nothing: no matches.
+      if (stats != nullptr) *stats = local;
+      return std::vector<Match>{};
+    }
+    std::vector<size_t> cursor(cursor_vertex.size(), 0);
+
+    std::set<std::vector<rdf::TermId>> seen;
+    double edge_best_sum = BestEdgeLogSum(query);
+    double theta = -std::numeric_limits<double>::infinity();
+
+    auto update_theta = [&]() {
+      if (all.size() < options_.k) return;
+      std::vector<double> scores;
+      scores.reserve(all.size());
+      for (const Match& m : all) scores.push_back(m.score);
+      std::nth_element(scores.begin(), scores.begin() + (options_.k - 1),
+                       scores.end(), std::greater<double>());
+      theta = scores[options_.k - 1];
+    };
+
+    bool progress = true;
+    while (progress) {
+      ++local.rounds;
+      progress = false;
+
+      for (size_t ci = 0; ci < cursor_vertex.size(); ++ci) {
+        int qv = cursor_vertex[ci];
+        const auto& items = space.domain(qv).items;
+        if (cursor[ci] >= items.size()) continue;
+        progress = true;
+
+        const CandidateSpace::Item& item = items[cursor[ci]];
+        std::vector<Match> found;
+        matcher.FindMatchesFrom(qv, item.vertex,
+                                options_.max_matches_per_anchor, &found);
+        ++local.anchored_searches;
+        for (Match& m : found) {
+          if (seen.size() >= options_.max_total_matches) break;
+          if (seen.insert(m.assignment).second) {
+            all.push_back(std::move(m));
+          }
+        }
+      }
+      for (size_t ci = 0; ci < cursor.size(); ++ci) ++cursor[ci];
+      update_theta();
+
+      if (options_.ta_early_stop && edge_best_sum > -1e17) {
+        // Equation 3 with the advanced cursors.
+        double upbound = edge_best_sum;
+        bool exhausted = false;
+        for (size_t ci = 0; ci < cursor_vertex.size(); ++ci) {
+          const auto& items = space.domain(cursor_vertex[ci]).items;
+          if (cursor[ci] >= items.size()) {
+            exhausted = true;  // no undiscovered match uses this list
+            break;
+          }
+          double conf = items[cursor[ci]].confidence;
+          if (conf <= 0) {
+            exhausted = true;
+            break;
+          }
+          upbound += std::log(conf);
+        }
+        if (exhausted) break;
+        // Strict inequality: matches tying the k-th score are kept (the
+        // paper returns all equal-score matches), so stopping at
+        // theta == Upbound could drop undiscovered ties.
+        if (theta > upbound && all.size() >= options_.k) {
+          local.stopped_early = true;
+          break;
+        }
+      }
+      if (seen.size() >= options_.max_total_matches) break;
+    }
+    local.expansions = matcher.stats().expansions;
+  }
+
+  // Rank and cut to k, keeping ties with the k-th score (the paper counts
+  // equal-score matches once).
+  std::sort(all.begin(), all.end(), [](const Match& a, const Match& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.assignment < b.assignment;
+  });
+  if (all.size() > options_.k) {
+    double kth = all[options_.k - 1].score;
+    size_t cut = options_.k;
+    while (cut < all.size() && all[cut].score == kth) ++cut;
+    all.resize(cut);
+  }
+  local.distinct_matches = all.size();
+  if (stats != nullptr) *stats = local;
+  return all;
+}
+
+}  // namespace match
+}  // namespace ganswer

@@ -1,0 +1,57 @@
+#include "nlp/coreference.h"
+
+namespace ganswer {
+namespace nlp {
+
+namespace {
+
+bool IsRelativePronoun(const Token& t) {
+  if (t.pos == PosTag::kPronoun && t.lower == "that") return true;
+  if (t.pos == PosTag::kWhWord && (t.lower == "who" || t.lower == "which")) {
+    return true;
+  }
+  return false;
+}
+
+bool IsNominal(const Token& t) {
+  return t.pos == PosTag::kNoun || t.pos == PosTag::kProperNoun;
+}
+
+}  // namespace
+
+int CoreferenceResolver::Antecedent(const DependencyTree& tree, int i) {
+  if (i < 0 || i >= static_cast<int>(tree.size())) return -1;
+  const Token& tok = tree.node(i).token;
+
+  if (IsRelativePronoun(tok)) {
+    // Walk up to the clause root; if that clause modifies a nominal via
+    // rcmod (relative clause) or partmod (reduced relative), the modified
+    // nominal is the antecedent. A wh-word at the top of the main clause
+    // ("Who developed X?") is not anaphoric.
+    int cur = i;
+    while (cur >= 0) {
+      const DepNode& node = tree.node(cur);
+      if (node.parent >= 0 &&
+          (node.relation == dep::kRcmod || node.relation == dep::kPartmod)) {
+        int governor = node.parent;
+        if (IsNominal(tree.node(governor).token)) return governor;
+        return -1;
+      }
+      cur = node.parent;
+    }
+    return -1;
+  }
+
+  // Plain anaphoric pronouns ("it", "he", ...) resolve to the nearest
+  // preceding nominal. First/second person pronouns are not anaphoric.
+  if (tok.pos == PosTag::kPronoun && tok.lower != "me" && tok.lower != "i" &&
+      tok.lower != "you") {
+    for (int j = i - 1; j >= 0; --j) {
+      if (IsNominal(tree.node(j).token)) return j;
+    }
+  }
+  return -1;
+}
+
+}  // namespace nlp
+}  // namespace ganswer

@@ -1,0 +1,30 @@
+#ifndef GANSWER_NLP_COREFERENCE_H_
+#define GANSWER_NLP_COREFERENCE_H_
+
+#include "nlp/dependency_tree.h"
+
+namespace ganswer {
+namespace nlp {
+
+/// \brief Heuristic coreference resolution over a dependency tree.
+///
+/// The QA pipeline needs exactly the phenomenon from the paper's running
+/// example: the relative pronoun argument ("that" in "an actor that played
+/// in Philadelphia") must be identified with the noun phrase it modifies
+/// ("actor") so the two semantic-relation edges share an endpoint in the
+/// semantic query graph (Sec. 4.1.3).
+///
+/// The resolver implements the standard syntactic heuristics: a relative
+/// pronoun resolves to the governor of the rcmod/partmod clause containing
+/// it; other anaphoric pronouns resolve to the nearest preceding nominal.
+class CoreferenceResolver {
+ public:
+  /// Antecedent node index of \p i, or -1 when \p i is not anaphoric or no
+  /// antecedent exists.
+  static int Antecedent(const DependencyTree& tree, int i);
+};
+
+}  // namespace nlp
+}  // namespace ganswer
+
+#endif  // GANSWER_NLP_COREFERENCE_H_

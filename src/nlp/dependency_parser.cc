@@ -1,0 +1,633 @@
+#include "nlp/dependency_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace ganswer {
+namespace nlp {
+
+namespace {
+
+bool IsNominalTag(PosTag t) {
+  return t == PosTag::kNoun || t == PosTag::kProperNoun || t == PosTag::kNumber;
+}
+
+bool IsChunkInteriorTag(PosTag t) {
+  return IsNominalTag(t) || t == PosTag::kAdjective;
+}
+
+/// A noun-phrase chunk: token range [start, end], syntactic head.
+struct Chunk {
+  int start = 0;
+  int end = 0;  // inclusive
+  int head = 0;
+  bool attached = false;
+};
+
+/// Mutable parse state shared by the clause-level passes.
+struct ParseState {
+  DependencyTree* tree = nullptr;
+  std::vector<Chunk> chunks;
+  std::vector<int> chunk_of;  // token index -> chunk id, -1 if none
+
+  const Token& tok(int i) const { return tree->node(i).token; }
+  int n() const { return static_cast<int>(tree->size()); }
+
+  bool InChunk(int i) const { return chunk_of[i] >= 0; }
+  bool IsAttached(int i) const { return tree->node(i).parent >= 0; }
+
+  Chunk* ChunkAt(int i) {
+    int c = chunk_of[i];
+    return c >= 0 ? &chunks[c] : nullptr;
+  }
+};
+
+/// Builds maximal NP chunks. A chunk is an optional determiner (article or
+/// wh-determiner) followed by adjectives/nominals and headed by the last
+/// nominal. Pronouns and standalone wh-words form single-token chunks.
+void BuildChunks(ParseState* st) {
+  int n = st->n();
+  st->chunk_of.assign(n, -1);
+  int i = 0;
+  while (i < n) {
+    const Token& t = st->tok(i);
+    if (t.pos == PosTag::kPronoun) {
+      Chunk c{i, i, i, false};
+      st->chunks.push_back(c);
+      st->chunk_of[i] = static_cast<int>(st->chunks.size()) - 1;
+      ++i;
+      continue;
+    }
+    if (t.pos == PosTag::kWhWord) {
+      // "how" before an adjective stays outside chunks (advmod).
+      bool next_is_adj =
+          i + 1 < n && st->tok(i + 1).pos == PosTag::kAdjective &&
+          (i + 2 >= n || !IsNominalTag(st->tok(i + 2).pos));
+      if (t.lower == "how" && next_is_adj) {
+        ++i;
+        continue;
+      }
+      // wh-determiner: "which movies", "which U.S. state".
+      int j = i + 1;
+      while (j < n && IsChunkInteriorTag(st->tok(j).pos)) ++j;
+      int head = -1;
+      for (int k = j - 1; k > i; --k) {
+        if (IsNominalTag(st->tok(k).pos)) {
+          head = k;
+          break;
+        }
+      }
+      Chunk c;
+      if (head >= 0) {
+        c = {i, j - 1, head, false};
+      } else {
+        c = {i, i, i, false};  // standalone "who"/"what"/...
+      }
+      st->chunks.push_back(c);
+      for (int k = c.start; k <= c.end; ++k) {
+        st->chunk_of[k] = static_cast<int>(st->chunks.size()) - 1;
+      }
+      i = c.end + 1;
+      continue;
+    }
+    bool starts_np = t.pos == PosTag::kDeterminer || IsChunkInteriorTag(t.pos);
+    if (!starts_np) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    if (st->tok(j).pos == PosTag::kDeterminer) ++j;
+    int run_end = j;
+    while (run_end < n && IsChunkInteriorTag(st->tok(run_end).pos)) ++run_end;
+    // Head: last noun/proper noun; a bare number heads the chunk only when
+    // nothing better exists ("The Gravity Hollow 3" is headed by "Hollow").
+    int head = -1;
+    for (int k = run_end - 1; k >= j; --k) {
+      PosTag t = st->tok(k).pos;
+      if (t == PosTag::kNoun || t == PosTag::kProperNoun) {
+        head = k;
+        break;
+      }
+    }
+    if (head < 0) {
+      for (int k = run_end - 1; k >= j; --k) {
+        if (IsNominalTag(st->tok(k).pos)) {
+          head = k;
+          break;
+        }
+      }
+    }
+    if (head < 0) {
+      ++i;  // bare determiner or adjectives only: no chunk
+      continue;
+    }
+    Chunk c{i, run_end - 1, head, false};
+    st->chunks.push_back(c);
+    for (int k = c.start; k <= c.end; ++k) {
+      st->chunk_of[k] = static_cast<int>(st->chunks.size()) - 1;
+    }
+    i = run_end;
+  }
+}
+
+/// Attaches determiners / adjectives / compound nominals inside every chunk
+/// to the chunk head. A proper-noun run directly before a common-noun head
+/// is a possessor ("Barack Obama's wife" — the tokenizer strips the
+/// clitic): its last name attaches as poss, which the paper's Sec. 4.1.2
+/// lists among the subject-like relations.
+void AttachChunkInternals(ParseState* st) {
+  for (const Chunk& c : st->chunks) {
+    int possessor = -1;
+    bool head_is_common_word =
+        st->tok(c.head).pos == PosTag::kNoun && !st->tok(c.head).text.empty() &&
+        std::islower(static_cast<unsigned char>(st->tok(c.head).text[0]));
+    if (head_is_common_word && c.head > c.start &&
+        st->tok(c.head - 1).pos == PosTag::kProperNoun) {
+      possessor = c.head - 1;
+    }
+    for (int k = c.start; k <= c.end; ++k) {
+      if (k == c.head) continue;
+      const Token& t = st->tok(k);
+      if (k == possessor) {
+        st->tree->Attach(k, c.head, dep::kPoss);
+        continue;
+      }
+      if (possessor >= 0 && k < possessor &&
+          t.pos == PosTag::kProperNoun) {
+        st->tree->Attach(k, possessor, dep::kNn);  // "Barack" -> "Obama"
+        continue;
+      }
+      std::string_view rel = dep::kNn;
+      if (t.pos == PosTag::kDeterminer || t.pos == PosTag::kWhWord) {
+        rel = dep::kDet;
+      } else if (t.pos == PosTag::kAdjective) {
+        rel = dep::kAmod;
+      } else if (t.pos == PosTag::kNumber) {
+        rel = dep::kNum;
+      }
+      st->tree->Attach(k, c.head, rel);
+    }
+  }
+}
+
+/// Everything about one clause the attacher needs.
+struct ClauseInfo {
+  int start = 0;
+  int end = 0;  // inclusive
+  bool is_relative = false;
+  int rel_pronoun = -1;  // token index of "that"/"who" introducing the clause
+  int root = -1;
+  bool passive = false;
+};
+
+class ClauseParser {
+ public:
+  ClauseParser(ParseState* st, ClauseInfo* clause)
+      : st_(*st), cl_(*clause), tree_(*st->tree) {}
+
+  void Run() {
+    CollectVerbs();
+    DetermineRoot();
+    AttachAuxiliaries();
+    AttachConjVerbs();
+    AttachParticipialModifiers();
+    AttachPrepositions();
+    AttachAdverbialWh();
+    AttachSubject();
+    AttachObjects();
+  }
+
+ private:
+  // First unattached chunk whose head lies in [from, to].
+  int FindChunk(int from, int to, bool unattached_only = true) const {
+    for (const Chunk& c : st_.chunks) {
+      if (c.head < from || c.head > to) continue;
+      if (unattached_only && c.attached) continue;
+      return static_cast<int>(&c - st_.chunks.data());
+    }
+    return -1;
+  }
+
+  // Last unattached chunk whose head lies in [from, to].
+  int FindChunkLast(int from, int to) const {
+    int best = -1;
+    for (size_t i = 0; i < st_.chunks.size(); ++i) {
+      const Chunk& c = st_.chunks[i];
+      if (c.head < from || c.head > to || c.attached) continue;
+      best = static_cast<int>(i);
+    }
+    return best;
+  }
+
+  void AttachChunk(int chunk_id, int parent, std::string_view rel) {
+    Chunk& c = st_.chunks[chunk_id];
+    tree_.Attach(c.head, parent, rel);
+    c.attached = true;
+  }
+
+  void CollectVerbs() {
+    for (int i = cl_.start; i <= cl_.end; ++i) {
+      PosTag p = st_.tok(i).pos;
+      if (p == PosTag::kVerb) verbs_.push_back(i);
+      if (p == PosTag::kAux) auxes_.push_back(i);
+    }
+  }
+
+  // True when verb v is a participle directly following a chunk with no
+  // auxiliary in between: a reduced relative ("movies directed by X").
+  bool IsParticipialModifier(int v) const {
+    if (!st_.tok(v).is_participle) return false;
+    int prev = v - 1;
+    if (prev < cl_.start) return false;
+    if (!st_.InChunk(prev)) return false;
+    return true;
+  }
+
+  void DetermineRoot() {
+    // Main verb: the first verb that is not a participial modifier.
+    for (int v : verbs_) {
+      if (!IsParticipialModifier(v)) {
+        main_verb_ = v;
+        break;
+      }
+    }
+    // All-participial clause ("that were born ..." has aux so not here):
+    // fall back to the first verb.
+    if (main_verb_ < 0 && !verbs_.empty()) main_verb_ = verbs_[0];
+
+    if (main_verb_ >= 0) {
+      cl_.root = main_verb_;
+      cl_.passive = st_.tok(main_verb_).is_participle && HasBeAuxBefore(main_verb_);
+      return;
+    }
+
+    // No verb: adjective predicate ("How tall is X?") ...
+    for (int i = cl_.start; i <= cl_.end; ++i) {
+      if (st_.tok(i).pos == PosTag::kAdjective && !st_.InChunk(i)) {
+        cl_.root = i;
+        adjective_predicate_ = true;
+        break;
+      }
+    }
+    // ... or copular NP clause ("Who is the mayor of Berlin?").
+    if (cl_.root < 0 && !auxes_.empty()) {
+      copula_ = auxes_[0];
+      bool aux_initial = copula_ == cl_.start;
+      if (aux_initial) {
+        // Yes/no: "Is X the wife of Y?" — subject then predicate.
+        int subj = FindChunk(copula_ + 1, cl_.end);
+        int pred = subj >= 0
+                       ? FindChunk(st_.chunks[subj].end + 1, cl_.end)
+                       : -1;
+        if (pred >= 0) {
+          cl_.root = st_.chunks[pred].head;
+          st_.chunks[pred].attached = true;
+          AttachChunk(subj, cl_.root, dep::kNsubj);
+        } else if (subj >= 0) {
+          cl_.root = st_.chunks[subj].head;
+          st_.chunks[subj].attached = true;
+        }
+      } else {
+        // "Who is the mayor of Berlin?" — subject before the copula.
+        int pred = FindChunk(copula_ + 1, cl_.end);
+        if (pred >= 0) {
+          cl_.root = st_.chunks[pred].head;
+          st_.chunks[pred].attached = true;
+        }
+        int subj = FindChunkLast(cl_.start, copula_ - 1);
+        if (cl_.root < 0 && subj >= 0) {
+          cl_.root = st_.chunks[subj].head;
+          st_.chunks[subj].attached = true;
+        } else if (subj >= 0) {
+          AttachChunk(subj, cl_.root, dep::kNsubj);
+        }
+      }
+      if (cl_.root >= 0 && copula_ >= 0) {
+        tree_.Attach(copula_, cl_.root, dep::kCop);
+      }
+      copular_done_subject_ = true;
+    }
+    // Degenerate fragment: first chunk head.
+    if (cl_.root < 0) {
+      int c = FindChunk(cl_.start, cl_.end);
+      if (c >= 0) {
+        cl_.root = st_.chunks[c].head;
+        st_.chunks[c].attached = true;
+      } else {
+        cl_.root = cl_.start;  // give up: first token
+      }
+    }
+
+    if (adjective_predicate_ && !auxes_.empty()) {
+      copula_ = auxes_[0];
+      tree_.Attach(copula_, cl_.root, dep::kCop);
+    }
+  }
+
+  bool HasBeAuxBefore(int v) const {
+    for (int a : auxes_) {
+      if (a < v && st_.tok(a).lemma == "be") return true;
+    }
+    return false;
+  }
+
+  void AttachAuxiliaries() {
+    if (main_verb_ < 0) return;
+    for (int a : auxes_) {
+      if (a > main_verb_) continue;
+      bool be_passive = cl_.passive && st_.tok(a).lemma == "be";
+      tree_.Attach(a, main_verb_, be_passive ? dep::kAuxPass : dep::kAux);
+    }
+  }
+
+  void AttachConjVerbs() {
+    // "... born in X and died in Y and played in Z": every later verb
+    // conj-attaches to the FIRST conjunct (Stanford's convention), so the
+    // shared subject stays one hop away from each conjoined verb.
+    if (main_verb_ < 0) return;
+    for (size_t i = 1; i < verbs_.size(); ++i) {
+      int v = verbs_[i];
+      if (v <= main_verb_ || IsParticipialModifier(v)) continue;
+      int prev_verb = verbs_[i - 1];
+      for (int k = prev_verb + 1; k < v; ++k) {
+        if (st_.tok(k).pos == PosTag::kConj) {
+          tree_.Attach(v, main_verb_, dep::kConj);
+          tree_.Attach(k, main_verb_, dep::kCc);
+          conj_verbs_.push_back(v);
+          break;
+        }
+      }
+    }
+  }
+
+  void AttachParticipialModifiers() {
+    for (int v : verbs_) {
+      if (v == main_verb_ || st_.IsAttached(v)) continue;
+      if (!IsParticipialModifier(v)) continue;
+      Chunk* c = st_.ChunkAt(v - 1);
+      tree_.Attach(v, c->head, dep::kPartmod);
+      participles_.push_back(v);
+    }
+  }
+
+  // True when token i is a verb that can govern a PP: the clause main verb,
+  // a conj verb, or a participial modifier.
+  bool IsVerbalGovernor(int i) const {
+    if (i == main_verb_) return true;
+    if (std::find(conj_verbs_.begin(), conj_verbs_.end(), i) !=
+        conj_verbs_.end()) {
+      return true;
+    }
+    return std::find(participles_.begin(), participles_.end(), i) !=
+           participles_.end();
+  }
+
+  void AttachPrepositions() {
+    for (int p = cl_.start; p <= cl_.end; ++p) {
+      if (st_.tok(p).pos != PosTag::kPreposition || st_.IsAttached(p)) continue;
+
+      // Attachment site for the preposition itself.
+      int site = -1;
+      if (p == cl_.start) {
+        site = cl_.root;  // fronted PP: "In which movies did ..."
+      } else if (p > cl_.start && st_.tok(p - 1).pos == PosTag::kVerb &&
+                 IsVerbalGovernor(p - 1)) {
+        site = p - 1;  // "star in", "directed by"
+      } else if (p > cl_.start && st_.InChunk(p - 1)) {
+        site = st_.ChunkAt(p - 1)->head;  // "mayor of", "companies in"
+      } else {
+        site = cl_.root;
+      }
+
+      // Object of the preposition: next unattached chunk to the right.
+      int obj = FindChunk(p + 1, cl_.end);
+      if (obj >= 0) {
+        tree_.Attach(p, site, dep::kPrep);
+        AttachChunk(obj, p, dep::kPobj);
+      } else {
+        // Stranded preposition ("... star in ?"): object is the fronted
+        // wh chunk at the start of the clause.
+        int fronted = FindChunk(cl_.start, p - 1);
+        tree_.Attach(p, cl_.root, dep::kPrep);
+        if (fronted >= 0 &&
+            st_.tok(st_.chunks[fronted].start).pos == PosTag::kWhWord) {
+          AttachChunk(fronted, p, dep::kPobj);
+        }
+      }
+    }
+  }
+
+  void AttachAdverbialWh() {
+    // "how" before an adjective predicate.
+    for (int i = cl_.start; i <= cl_.end; ++i) {
+      if (st_.tok(i).pos == PosTag::kWhWord && !st_.InChunk(i) &&
+          !st_.IsAttached(i) && i + 1 <= cl_.end &&
+          st_.tok(i + 1).pos == PosTag::kAdjective) {
+        tree_.Attach(i, i + 1, dep::kAdvmod);
+      }
+    }
+    // Fronted "when"/"where" chunks become advmod of the verb.
+    if (main_verb_ < 0) return;
+    for (size_t ci = 0; ci < st_.chunks.size(); ++ci) {
+      Chunk& c = st_.chunks[ci];
+      if (c.attached || c.head < cl_.start || c.head > cl_.end) continue;
+      const Token& h = st_.tok(c.head);
+      if (h.pos == PosTag::kWhWord &&
+          (h.lower == "when" || h.lower == "where" || h.lower == "how")) {
+        AttachChunk(static_cast<int>(ci), main_verb_, dep::kAdvmod);
+      }
+    }
+  }
+
+  void AttachSubject() {
+    if (copular_done_subject_) return;
+    std::string_view subj_rel = cl_.passive ? dep::kNsubjPass : dep::kNsubj;
+
+    if (cl_.is_relative && main_verb_ >= 0) {
+      // "an actor that played in X": the relative pronoun is the subject
+      // unless another chunk intervenes ("the film that X directed").
+      int rel_chunk = st_.chunk_of[cl_.rel_pronoun];
+      int other = -1;
+      for (size_t i = 0; i < st_.chunks.size(); ++i) {
+        const Chunk& c = st_.chunks[i];
+        if (c.attached || static_cast<int>(i) == rel_chunk) continue;
+        if (c.head > cl_.rel_pronoun && c.head < main_verb_) {
+          other = static_cast<int>(i);
+        }
+      }
+      if (other >= 0) {
+        AttachChunk(other, main_verb_, subj_rel);
+        if (rel_chunk >= 0 && !st_.chunks[rel_chunk].attached) {
+          AttachChunk(rel_chunk, main_verb_, dep::kDobj);
+        }
+      } else if (rel_chunk >= 0 && !st_.chunks[rel_chunk].attached) {
+        AttachChunk(rel_chunk, main_verb_, subj_rel);
+      }
+      return;
+    }
+
+    int verb_or_root = main_verb_ >= 0 ? main_verb_ : cl_.root;
+
+    if (main_verb_ >= 0) {
+      // Subject-auxiliary inversion: "Which movies did X star in?" — the
+      // subject sits between the auxiliary and the verb.
+      int aux_before = -1;
+      for (int a : auxes_) {
+        if (a < main_verb_) aux_before = a;
+      }
+      if (aux_before >= 0) {
+        int between = FindChunkLast(aux_before + 1, main_verb_ - 1);
+        if (between >= 0) {
+          AttachChunk(between, main_verb_, subj_rel);
+          // The fronted chunk (before the auxiliary) becomes the object
+          // unless a stranded preposition already claimed it.
+          int fronted = FindChunkLast(cl_.start, aux_before - 1);
+          if (fronted >= 0) {
+            AttachChunk(fronted, main_verb_, dep::kDobj);
+          }
+          return;
+        }
+      }
+    }
+
+    int subj = FindChunkLast(cl_.start, verb_or_root - 1);
+    if (subj >= 0) {
+      // Adjective predicates put the subject after the copula instead.
+      AttachChunk(subj, verb_or_root, subj_rel);
+    } else if (adjective_predicate_ && copula_ >= 0) {
+      int after = FindChunk(copula_ + 1, cl_.end);
+      if (after >= 0) AttachChunk(after, cl_.root, dep::kNsubj);
+    }
+  }
+
+  void AttachObjects() {
+    if (main_verb_ < 0) return;
+    // Unattached chunks to the right of the verb: iobj for a bare pronoun
+    // followed by another chunk ("Give me all movies ..."), dobj next.
+    std::vector<int> pending;
+    for (size_t i = 0; i < st_.chunks.size(); ++i) {
+      const Chunk& c = st_.chunks[i];
+      if (c.attached || c.head < main_verb_ || c.head > cl_.end) continue;
+      pending.push_back(static_cast<int>(i));
+    }
+    size_t idx = 0;
+    if (pending.size() >= 2) {
+      const Chunk& first = st_.chunks[pending[0]];
+      if (first.start == first.end &&
+          st_.tok(first.head).pos == PosTag::kPronoun) {
+        AttachChunk(pending[0], main_verb_, dep::kIobj);
+        idx = 1;
+      }
+    }
+    if (idx < pending.size()) {
+      AttachChunk(pending[idx], main_verb_, dep::kDobj);
+      ++idx;
+    }
+    for (; idx < pending.size(); ++idx) {
+      AttachChunk(pending[idx], main_verb_, dep::kDep);
+    }
+  }
+
+  ParseState& st_;
+  ClauseInfo& cl_;
+  DependencyTree& tree_;
+  std::vector<int> verbs_;
+  std::vector<int> auxes_;
+  std::vector<int> conj_verbs_;
+  std::vector<int> participles_;
+  int main_verb_ = -1;
+  int copula_ = -1;
+  bool adjective_predicate_ = false;
+  bool copular_done_subject_ = false;
+};
+
+}  // namespace
+
+StatusOr<DependencyTree> DependencyParser::Parse(std::string_view question) const {
+  std::vector<Token> tokens = Tokenizer::Tokenize(question);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty question");
+  }
+  tagger_.Tag(&tokens);
+
+  DependencyTree tree(std::move(tokens));
+  ParseState st;
+  st.tree = &tree;
+  BuildChunks(&st);
+  AttachChunkInternals(&st);
+
+  int n = st.n();
+  int last = n - 1;
+  while (last >= 0 && st.tok(last).pos == PosTag::kPunct) --last;
+  if (last < 0) return Status::InvalidArgument("question has no words");
+
+  // Locate a relative clause: a relative pronoun directly after a chunk,
+  // with verbal material to its right.
+  int rel_start = -1;
+  int governor_head = -1;
+  for (int i = 1; i <= last; ++i) {
+    const Token& t = st.tok(i);
+    bool relative_marker =
+        (t.pos == PosTag::kPronoun && t.lower == "that") ||
+        (t.pos == PosTag::kWhWord && (t.lower == "who" || t.lower == "which") &&
+         st.InChunk(i) && st.chunks[st.chunk_of[i]].start == i &&
+         st.chunks[st.chunk_of[i]].end == i);
+    if (!relative_marker) continue;
+    if (!st.InChunk(i - 1)) continue;
+    bool has_verb_after = false;
+    for (int k = i + 1; k <= last; ++k) {
+      if (st.tok(k).pos == PosTag::kVerb || st.tok(k).pos == PosTag::kAux) {
+        has_verb_after = true;
+        break;
+      }
+    }
+    if (!has_verb_after) continue;
+    rel_start = i;
+    governor_head = st.ChunkAt(i - 1)->head;
+    break;
+  }
+
+  ClauseInfo main_clause;
+  main_clause.start = 0;
+  main_clause.end = rel_start >= 0 ? rel_start - 1 : last;
+
+  ClauseInfo rel_clause;
+  if (rel_start >= 0) {
+    rel_clause.start = rel_start;
+    rel_clause.end = last;
+    rel_clause.is_relative = true;
+    rel_clause.rel_pronoun = rel_start;
+  }
+
+  ClauseParser(&st, &main_clause).Run();
+  if (rel_start >= 0) {
+    ClauseParser(&st, &rel_clause).Run();
+    if (rel_clause.root >= 0 && governor_head >= 0 &&
+        rel_clause.root != governor_head) {
+      tree.Attach(rel_clause.root, governor_head, dep::kRcmod);
+    }
+  }
+
+  if (main_clause.root < 0) {
+    return Status::Internal("could not determine clause root for: " +
+                            std::string(question));
+  }
+  tree.SetRoot(main_clause.root);
+
+  // Total parse: attach anything left over (conjunctions without a verb,
+  // interjections, punctuation) to the root.
+  for (int i = 0; i < n; ++i) {
+    if (i == main_clause.root || tree.node(i).parent >= 0) continue;
+    std::string_view rel =
+        st.tok(i).pos == PosTag::kPunct ? dep::kPunct : dep::kDep;
+    tree.Attach(i, main_clause.root, rel);
+  }
+
+  GANSWER_RETURN_NOT_OK(tree.Validate());
+  return tree;
+}
+
+}  // namespace nlp
+}  // namespace ganswer

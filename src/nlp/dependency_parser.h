@@ -1,0 +1,58 @@
+#ifndef GANSWER_NLP_DEPENDENCY_PARSER_H_
+#define GANSWER_NLP_DEPENDENCY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "nlp/dependency_tree.h"
+#include "nlp/lexicon.h"
+#include "nlp/pos_tagger.h"
+#include "nlp/tokenizer.h"
+
+namespace ganswer {
+namespace nlp {
+
+/// \brief Deterministic rule-based dependency parser for English questions,
+/// producing Stanford-typed dependency trees.
+///
+/// This substitutes for the Stanford parser the paper applies in its
+/// question-understanding stage (Sec. 4.1). It handles the question grammar
+/// of QALD-style questions:
+///
+///   - wh-subject questions             "Who developed Minecraft?"
+///   - wh-fronted object questions      "Which movies did X star in?"
+///   - preposition fronting             "In which movies did X star?"
+///   - passives                         "Who was married to ...?"
+///   - copular questions                "Who is the mayor of Berlin?"
+///   - adjective predicates             "How tall is Michael Jordan?"
+///   - imperatives                      "Give me all movies directed by X."
+///   - relative clauses                 "... an actor that played in X"
+///   - participial modifiers            "movies directed by X"
+///   - VP coordination                  "born in Vienna and died in Berlin"
+///   - yes/no questions                 "Is X the wife of Y?"
+///
+/// The parse is total: tokens the rules cannot place are attached to the
+/// root with the generic 'dep' label so the result always validates as a
+/// single tree (mirroring how a statistical parser always returns *some*
+/// tree). Crucially for the paper's Sec. 4.1 argument, inverted and fronted
+/// variants of a question produce the same tree as the canonical form.
+class DependencyParser {
+ public:
+  /// \p lexicon must outlive the parser.
+  explicit DependencyParser(const Lexicon& lexicon)
+      : lexicon_(lexicon), tagger_(lexicon) {}
+
+  /// Parses one question sentence into a dependency tree.
+  StatusOr<DependencyTree> Parse(std::string_view question) const;
+
+  const Lexicon& lexicon() const { return lexicon_; }
+
+ private:
+  const Lexicon& lexicon_;
+  PosTagger tagger_;
+};
+
+}  // namespace nlp
+}  // namespace ganswer
+
+#endif  // GANSWER_NLP_DEPENDENCY_PARSER_H_

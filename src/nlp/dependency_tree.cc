@@ -1,0 +1,117 @@
+#include "nlp/dependency_tree.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace ganswer {
+namespace nlp {
+
+namespace dep {
+
+bool IsSubjectLike(std::string_view rel) {
+  return rel == "subj" || rel == "nsubj" || rel == "nsubjpass" ||
+         rel == "csubj" || rel == "csubjpass" || rel == "xsubj" ||
+         rel == "poss";
+}
+
+bool IsObjectLike(std::string_view rel) {
+  return rel == "obj" || rel == "pobj" || rel == "dobj" || rel == "iobj";
+}
+
+bool IsLightRelation(std::string_view rel) {
+  return rel == kPrep || rel == kAux || rel == kAuxPass || rel == kCop ||
+         rel == kAdvmod || rel == kDet;
+}
+
+}  // namespace dep
+
+DependencyTree::DependencyTree(std::vector<Token> tokens) {
+  nodes_.resize(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    nodes_[i].token = std::move(tokens[i]);
+  }
+}
+
+void DependencyTree::SetRoot(int i) {
+  root_ = i;
+  nodes_[i].parent = -1;
+  nodes_[i].relation = dep::kRoot;
+}
+
+void DependencyTree::Attach(int child, int parent, std::string_view relation) {
+  DepNode& c = nodes_[child];
+  if (c.parent >= 0) {
+    auto& siblings = nodes_[c.parent].children;
+    siblings.erase(std::remove(siblings.begin(), siblings.end(), child),
+                   siblings.end());
+  }
+  c.parent = parent;
+  c.relation = std::string(relation);
+  nodes_[parent].children.push_back(child);
+}
+
+Status DependencyTree::Validate() const {
+  if (nodes_.empty()) return Status::Ok();
+  if (root_ < 0 || root_ >= static_cast<int>(nodes_.size())) {
+    return Status::Internal("dependency tree has no root");
+  }
+  std::vector<bool> visited(nodes_.size(), false);
+  std::function<Status(int)> dfs = [&](int i) -> Status {
+    if (visited[i]) return Status::Internal("cycle in dependency tree");
+    visited[i] = true;
+    for (int c : nodes_[i].children) {
+      if (nodes_[c].parent != i) {
+        return Status::Internal("inconsistent parent pointer at node " +
+                                std::to_string(c));
+      }
+      GANSWER_RETURN_NOT_OK(dfs(c));
+    }
+    return Status::Ok();
+  };
+  GANSWER_RETURN_NOT_OK(dfs(root_));
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!visited[i]) {
+      return Status::Internal("unattached node '" + nodes_[i].token.text +
+                              "' (index " + std::to_string(i) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+bool DependencyTree::IsDescendant(int descendant, int ancestor) const {
+  int cur = descendant;
+  while (cur >= 0) {
+    if (cur == ancestor) return true;
+    cur = nodes_[cur].parent;
+  }
+  return false;
+}
+
+std::vector<int> DependencyTree::Subtree(int i) const {
+  std::vector<int> out;
+  std::function<void(int)> dfs = [&](int n) {
+    out.push_back(n);
+    for (int c : nodes_[n].children) dfs(c);
+  };
+  dfs(i);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string DependencyTree::ToString() const {
+  std::ostringstream out;
+  std::function<void(int, int)> dfs = [&](int i, int depth) {
+    for (int d = 0; d < depth; ++d) out << "  ";
+    out << nodes_[i].token.text << " [" << nodes_[i].relation << "/"
+        << PosTagName(nodes_[i].token.pos) << "]\n";
+    std::vector<int> kids = nodes_[i].children;
+    std::sort(kids.begin(), kids.end());
+    for (int c : kids) dfs(c, depth + 1);
+  };
+  if (root_ >= 0) dfs(root_, 0);
+  return out.str();
+}
+
+}  // namespace nlp
+}  // namespace ganswer

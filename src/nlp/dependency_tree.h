@@ -1,0 +1,101 @@
+#ifndef GANSWER_NLP_DEPENDENCY_TREE_H_
+#define GANSWER_NLP_DEPENDENCY_TREE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "nlp/token.h"
+
+namespace ganswer {
+namespace nlp {
+
+/// Stanford-typed dependency labels used by the parser and consumed by the
+/// QA pipeline's argument rules (Sec. 4.1.2 of the paper).
+namespace dep {
+inline constexpr std::string_view kRoot = "root";
+inline constexpr std::string_view kNsubj = "nsubj";
+inline constexpr std::string_view kNsubjPass = "nsubjpass";
+inline constexpr std::string_view kDobj = "dobj";
+inline constexpr std::string_view kIobj = "iobj";
+inline constexpr std::string_view kPobj = "pobj";
+inline constexpr std::string_view kPrep = "prep";
+inline constexpr std::string_view kDet = "det";
+inline constexpr std::string_view kAmod = "amod";
+inline constexpr std::string_view kNn = "nn";
+inline constexpr std::string_view kRcmod = "rcmod";
+inline constexpr std::string_view kPartmod = "partmod";
+inline constexpr std::string_view kCop = "cop";
+inline constexpr std::string_view kAux = "aux";
+inline constexpr std::string_view kAuxPass = "auxpass";
+inline constexpr std::string_view kAdvmod = "advmod";
+inline constexpr std::string_view kPoss = "poss";
+inline constexpr std::string_view kConj = "conj";
+inline constexpr std::string_view kCc = "cc";
+inline constexpr std::string_view kNum = "num";
+inline constexpr std::string_view kPunct = "punct";
+inline constexpr std::string_view kDep = "dep";
+
+/// The paper's subject-like relation set (Sec. 4.1.2, list 1).
+bool IsSubjectLike(std::string_view rel);
+/// The paper's object-like relation set (Sec. 4.1.2, list 2).
+bool IsObjectLike(std::string_view rel);
+/// Light relations that Rule 1 may extend an embedding across.
+bool IsLightRelation(std::string_view rel);
+}  // namespace dep
+
+/// One node of a dependency tree; index positions are token positions.
+struct DepNode {
+  Token token;
+  int parent = -1;                ///< Parent node index, -1 for the root.
+  std::string relation;           ///< Label of the edge to the parent.
+  std::vector<int> children;
+};
+
+/// \brief A rooted, labelled dependency tree over the tokens of a question.
+///
+/// Node indices equal token positions in the original sentence, which keeps
+/// "nearest argument" distance computations (Sec. 4.1.2) trivial.
+class DependencyTree {
+ public:
+  DependencyTree() = default;
+
+  /// Initializes nodes from \p tokens, all unattached.
+  explicit DependencyTree(std::vector<Token> tokens);
+
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  const DepNode& node(int i) const { return nodes_[i]; }
+  DepNode& node(int i) { return nodes_[i]; }
+
+  int root() const { return root_; }
+  void SetRoot(int i);
+
+  /// Attaches \p child under \p parent with \p relation. A node can be
+  /// attached only once; re-attachment replaces the previous parent edge.
+  void Attach(int child, int parent, std::string_view relation);
+
+  /// Verifies the structure is a single tree rooted at root(): every node
+  /// reachable, no cycles, child/parent lists consistent.
+  Status Validate() const;
+
+  /// True when \p descendant lies in the subtree rooted at \p ancestor.
+  bool IsDescendant(int descendant, int ancestor) const;
+
+  /// Token indices of the subtree rooted at \p i, sorted ascending.
+  std::vector<int> Subtree(int i) const;
+
+  /// Multi-line ASCII rendering for debugging and golden tests.
+  std::string ToString() const;
+
+ private:
+  std::vector<DepNode> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace nlp
+}  // namespace ganswer
+
+#endif  // GANSWER_NLP_DEPENDENCY_TREE_H_

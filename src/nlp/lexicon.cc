@@ -1,0 +1,267 @@
+#include "nlp/lexicon.h"
+
+#include <istream>
+
+#include "common/string_util.h"
+
+namespace ganswer {
+namespace nlp {
+
+namespace {
+
+const char* const kWhWords[] = {"who",  "whom",  "what", "which",
+                                "where", "when", "how",  "whose"};
+
+const char* const kAux[] = {"is",   "are",  "was",  "were", "be",   "been",
+                            "being", "am",  "do",   "does", "did",  "has",
+                            "have",  "had", "can",  "could", "will",
+                            "would", "shall", "should", "may", "might",
+                            "must"};
+
+const char* const kDeterminers[] = {"the", "a", "an", "all", "some",
+                                    "every", "any"};
+
+const char* const kPrepositions[] = {
+    "in",   "of",   "by",     "to",   "from", "with",  "on",    "at",
+    "through", "for", "into", "about", "over", "near", "across", "between",
+    "after", "before", "during", "under"};
+
+const char* const kPronouns[] = {"me", "i",   "you", "he",  "she", "it",
+                                 "we", "they", "him", "her", "them", "that"};
+
+const char* const kAdjectives[] = {
+    "tall",   "high",  "long",    "big",    "large",  "small",  "old",
+    "young",  "famous", "rich",   "deep",   "wide",   "heavy",  "popular",
+    "tallest", "highest", "longest", "biggest", "largest", "smallest",
+    "oldest", "youngest", "richest", "deepest", "widest", "heaviest", "most", "many",
+    "first",  "last",  "former",  "dutch",  "argentine", "german",
+    "american", "french", "british", "premier"};
+
+// Domain nouns: question vocabulary for the QALD-like workload plus the
+// paper's running examples. Base (singular) forms.
+const char* const kNouns[] = {
+    "actor",      "actress",   "film",      "movie",     "city",
+    "country",    "state",     "capital",   "mayor",     "governor",
+    "president",  "player",    "team",      "company",   "band",
+    "member",     "book",      "author",    "writer",    "publisher",
+    "mountain",   "river",     "lake",      "university", "school",
+    "person",     "people",    "wife",      "husband",   "spouse",
+    "father",     "mother",    "parent",    "child",     "children",
+    "son",        "daughter",  "uncle",     "aunt",      "brother",
+    "sister",     "successor", "predecessor", "founder", "creator",
+    "developer",  "director",  "producer",  "comic",     "nickname",
+    "headquarters", "height",  "population", "time",     "zone",
+    "timezone",   "name",      "birth",     "league",    "car",
+    "politician", "scientist", "musician",  "singer",    "painting",
+    "painter",    "language",  "currency",  "area",      "queen",
+    "king",       "launch",    "pad",       "inhabitant"};
+
+const char* const kVerbs[] = {
+    "marry",   "play",    "star",    "direct",  "bear",    "die",
+    "flow",    "found",   "develop", "create",  "write",   "produce",
+    "publish", "live",    "locate",  "graduate", "win",    "cross",
+    "connect", "lead",    "govern",  "act",     "appear",  "perform",
+    "sing",    "paint",   "compose", "design",  "build",   "own",
+    "run",     "operate", "call",    "give",    "list",    "show",
+    "name",    "come",    "bury",    "succeed", "head",    "border",
+    "speak"};
+
+// Irregular verb forms -> base. Participles among them also populate the
+// participle set.
+struct Irregular {
+  const char* form;
+  const char* base;
+  bool participle;
+};
+const Irregular kIrregulars[] = {
+    {"was", "be", false},      {"were", "be", false},
+    {"is", "be", false},       {"are", "be", false},
+    {"been", "be", true},      {"am", "be", false},
+    {"did", "do", false},      {"done", "do", true},
+    {"had", "have", true},     {"has", "have", false},
+    {"wrote", "write", false}, {"written", "write", true},
+    {"won", "win", true},      {"led", "lead", true},
+    {"made", "make", true},    {"born", "bear", true},
+    {"bore", "bear", false},   {"gave", "give", false},
+    {"given", "give", true},   {"ran", "run", false},
+    {"sang", "sing", false},   {"sung", "sing", true},
+    {"came", "come", false},   {"spoke", "speak", false},
+    {"spoken", "speak", true}, {"grew", "grow", false},
+    {"grown", "grow", true},
+    // "found" keeps the establish sense ("Who founded Intel?"); mapping it
+    // to "find" would break phrase matching for the far more common reading.
+    {"founded", "found", true}, {"buried", "bury", true},
+    {"died", "die", true},     {"lay", "lie", false},
+};
+
+const char* const kConjunctions[] = {"and", "or", "but"};
+
+}  // namespace
+
+Lexicon::Lexicon() {
+  for (const char* w : kWhWords) wh_words_.insert(w);
+  for (const char* w : kAux) aux_.insert(w);
+  for (const char* w : kDeterminers) determiners_.insert(w);
+  for (const char* w : kPrepositions) prepositions_.insert(w);
+  for (const char* w : kPronouns) pronouns_.insert(w);
+  for (const char* w : kAdjectives) adjectives_.insert(w);
+  for (const char* w : kConjunctions) conjunctions_.insert(w);
+  for (const char* w : kNouns) nouns_.insert(w);
+  for (const char* w : kVerbs) verbs_.insert(w);
+  for (const Irregular& ir : kIrregulars) {
+    irregular_.emplace(ir.form, ir.base);
+    if (ir.participle) irregular_participles_.insert(ir.form);
+  }
+  // "founded" is ambiguous with find/found; we want lemma "found"
+  // (establish), which the override above pins.
+}
+
+bool Lexicon::IsWhWord(std::string_view lower) const {
+  return wh_words_.count(std::string(lower)) > 0;
+}
+bool Lexicon::IsAux(std::string_view lower) const {
+  return aux_.count(std::string(lower)) > 0;
+}
+bool Lexicon::IsDeterminer(std::string_view lower) const {
+  return determiners_.count(std::string(lower)) > 0;
+}
+bool Lexicon::IsPreposition(std::string_view lower) const {
+  return prepositions_.count(std::string(lower)) > 0;
+}
+bool Lexicon::IsPronoun(std::string_view lower) const {
+  return pronouns_.count(std::string(lower)) > 0;
+}
+bool Lexicon::IsAdjective(std::string_view lower) const {
+  return adjectives_.count(std::string(lower)) > 0;
+}
+bool Lexicon::IsConjunction(std::string_view lower) const {
+  return conjunctions_.count(std::string(lower)) > 0;
+}
+
+std::string Lexicon::StripPlural(std::string_view lower) const {
+  std::string s(lower);
+  // Candidates in specificity order, validated against the noun lexicon;
+  // the bare -s strip is the unconditional fallback ("movies" -> "movie",
+  // where the -ies -> -y rule would wrongly give "movy").
+  if (EndsWith(s, "ies") && s.size() > 3) {
+    std::string c = s.substr(0, s.size() - 3) + "y";  // cities -> city
+    if (nouns_.count(c)) return c;
+  }
+  if (EndsWith(s, "es") && s.size() > 2) {
+    std::string c = s.substr(0, s.size() - 2);  // crosses -> cross
+    if (nouns_.count(c)) return c;
+  }
+  if (EndsWith(s, "s") && s.size() > 1) {
+    return s.substr(0, s.size() - 1);
+  }
+  return s;
+}
+
+bool Lexicon::IsNoun(std::string_view lower) const {
+  std::string s(lower);
+  if (nouns_.count(s)) return true;
+  return nouns_.count(StripPlural(lower)) > 0;
+}
+
+std::string Lexicon::StripVerbSuffix(std::string_view lower) const {
+  std::string s(lower);
+  auto known = [&](const std::string& w) { return verbs_.count(w) > 0; };
+  if (EndsWith(s, "ied") && s.size() > 4) {
+    std::string c = s.substr(0, s.size() - 3) + "y";  // married -> marry
+    if (known(c)) return c;
+  }
+  if (EndsWith(s, "ed") && s.size() > 3) {
+    std::string stem = s.substr(0, s.size() - 2);
+    if (known(stem)) return stem;                       // played -> play
+    if (known(stem + "e")) return stem + "e";           // lived -> live
+    if (stem.size() > 2 && stem[stem.size() - 1] == stem[stem.size() - 2]) {
+      std::string undoubled = stem.substr(0, stem.size() - 1);
+      if (known(undoubled)) return undoubled;           // starred -> star
+    }
+  }
+  if (EndsWith(s, "ing") && s.size() > 4) {
+    std::string stem = s.substr(0, s.size() - 3);
+    if (known(stem)) return stem;                       // playing -> play
+    if (known(stem + "e")) return stem + "e";           // writing -> write
+    if (stem.size() > 2 && stem[stem.size() - 1] == stem[stem.size() - 2]) {
+      std::string undoubled = stem.substr(0, stem.size() - 1);
+      if (known(undoubled)) return undoubled;           // starring -> star
+    }
+  }
+  if (EndsWith(s, "ies") && s.size() > 4) {
+    std::string c = s.substr(0, s.size() - 3) + "y";    // marries -> marry
+    if (known(c)) return c;
+  }
+  if (EndsWith(s, "es") && s.size() > 3) {
+    std::string stem = s.substr(0, s.size() - 2);
+    if (known(stem)) return stem;                       // crosses -> cross
+  }
+  if (EndsWith(s, "s") && s.size() > 2) {
+    std::string stem = s.substr(0, s.size() - 1);
+    if (known(stem)) return stem;                       // plays -> play
+  }
+  return s;
+}
+
+bool Lexicon::IsVerbForm(std::string_view lower) const {
+  std::string s(lower);
+  if (verbs_.count(s)) return true;
+  if (irregular_.count(s)) return true;
+  std::string base = StripVerbSuffix(lower);
+  return base != s && verbs_.count(base) > 0;
+}
+
+bool Lexicon::IsPastParticiple(std::string_view lower) const {
+  std::string s(lower);
+  if (irregular_participles_.count(s)) return true;
+  if (!EndsWith(s, "ed")) return false;
+  std::string base = StripVerbSuffix(lower);
+  return verbs_.count(base) > 0;
+}
+
+std::string Lexicon::Lemmatize(std::string_view lower) const {
+  std::string s(lower);
+  auto it = irregular_.find(s);
+  if (it != irregular_.end()) return it->second;
+  std::string verb_base = StripVerbSuffix(lower);
+  if (verb_base != s && verbs_.count(verb_base)) return verb_base;
+  if (nouns_.count(s)) return s;
+  std::string noun_base = StripPlural(lower);
+  if (noun_base != s && nouns_.count(noun_base)) return noun_base;
+  return s;
+}
+
+Status Lexicon::LoadVocabulary(std::istream* in) {
+  if (in == nullptr) return Status::InvalidArgument("null stream");
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> parts = SplitWhitespace(trimmed);
+    if (parts.size() != 2) {
+      return Status::Corruption("vocabulary line " + std::to_string(line_no) +
+                                ": expected '<kind> <word>'");
+    }
+    std::string word = ToLower(parts[1]);
+    if (parts[0] == "noun") {
+      AddNoun(word);
+    } else if (parts[0] == "verb") {
+      AddVerb(word);
+    } else if (parts[0] == "adjective") {
+      AddAdjective(word);
+    } else {
+      return Status::Corruption("vocabulary line " + std::to_string(line_no) +
+                                ": unknown kind '" + parts[0] + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+void Lexicon::AddNoun(std::string_view base) { nouns_.emplace(base); }
+void Lexicon::AddVerb(std::string_view base) { verbs_.emplace(base); }
+void Lexicon::AddAdjective(std::string_view base) { adjectives_.emplace(base); }
+
+}  // namespace nlp
+}  // namespace ganswer

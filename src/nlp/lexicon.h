@@ -1,0 +1,86 @@
+#ifndef GANSWER_NLP_LEXICON_H_
+#define GANSWER_NLP_LEXICON_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "nlp/token.h"
+
+namespace ganswer {
+namespace nlp {
+
+/// \brief Hand-built English lexicon and lemmatizer for the question domain.
+///
+/// This replaces the statistical models behind the Stanford tagger: a closed
+/// list of function words, an open list of domain nouns/verbs/adjectives,
+/// irregular-verb tables, and suffix morphology (-s, -ed, -ing, -ies) with
+/// consonant-doubling handling (starred -> star, married -> marry).
+///
+/// The lexicon ships with the vocabulary the QALD-style workload and the
+/// paper's running examples use, and callers can extend it (AddNoun/AddVerb)
+/// before constructing a tagger.
+class Lexicon {
+ public:
+  /// Builds the default lexicon with the built-in vocabulary.
+  Lexicon();
+
+  bool IsWhWord(std::string_view lower) const;
+  bool IsAux(std::string_view lower) const;
+  bool IsDeterminer(std::string_view lower) const;
+  bool IsPreposition(std::string_view lower) const;
+  bool IsPronoun(std::string_view lower) const;
+  bool IsAdjective(std::string_view lower) const;
+  bool IsConjunction(std::string_view lower) const;
+
+  /// True when \p lower is a known noun, directly or after removing a
+  /// plural suffix.
+  bool IsNoun(std::string_view lower) const;
+
+  /// True when \p lower is a known verb form (base, -s, -ed, -ing, or an
+  /// irregular inflection).
+  bool IsVerbForm(std::string_view lower) const;
+
+  /// True when \p lower is a past participle form of a known verb
+  /// (regular -ed or irregular table), used for passive detection.
+  bool IsPastParticiple(std::string_view lower) const;
+
+  /// Base form of \p lower: irregular tables first, then suffix rules,
+  /// falling back to \p lower itself. Deterministic and total.
+  std::string Lemmatize(std::string_view lower) const;
+
+  /// Vocabulary extension hooks (base forms, lowercase).
+  void AddNoun(std::string_view base);
+  void AddVerb(std::string_view base);
+  void AddAdjective(std::string_view base);
+
+  /// Loads extra vocabulary from a text stream, one entry per line:
+  ///   noun <word> | verb <word> | adjective <word>
+  /// '#' comments and blank lines are skipped. Lets a file-loaded KB ship
+  /// its domain vocabulary next to the data.
+  Status LoadVocabulary(std::istream* in);
+
+ private:
+  std::string StripPlural(std::string_view lower) const;
+  std::string StripVerbSuffix(std::string_view lower) const;
+
+  std::unordered_set<std::string> wh_words_;
+  std::unordered_set<std::string> aux_;
+  std::unordered_set<std::string> determiners_;
+  std::unordered_set<std::string> prepositions_;
+  std::unordered_set<std::string> pronouns_;
+  std::unordered_set<std::string> adjectives_;
+  std::unordered_set<std::string> conjunctions_;
+  std::unordered_set<std::string> nouns_;
+  std::unordered_set<std::string> verbs_;  // base forms
+  std::unordered_map<std::string, std::string> irregular_;  // form -> base
+  std::unordered_set<std::string> irregular_participles_;
+};
+
+}  // namespace nlp
+}  // namespace ganswer
+
+#endif  // GANSWER_NLP_LEXICON_H_

@@ -1,0 +1,99 @@
+#include "nlp/pos_tagger.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace ganswer {
+namespace nlp {
+
+namespace {
+
+bool IsCapitalized(const std::string& text) {
+  return !text.empty() && std::isupper(static_cast<unsigned char>(text[0]));
+}
+
+bool IsNominal(PosTag t) {
+  return t == PosTag::kNoun || t == PosTag::kProperNoun;
+}
+
+}  // namespace
+
+void PosTagger::Tag(std::vector<Token>* tokens) const {
+  for (size_t i = 0; i < tokens->size(); ++i) {
+    Token& tok = (*tokens)[i];
+    const Token* prev = i > 0 ? &(*tokens)[i - 1] : nullptr;
+
+    if (tok.pos == PosTag::kPunct) {
+      tok.lemma = tok.lower;
+      continue;
+    }
+    tok.is_participle = false;
+
+    if (IsAllDigits(tok.lower)) {
+      tok.pos = PosTag::kNumber;
+    } else if (lexicon_.IsWhWord(tok.lower)) {
+      tok.pos = PosTag::kWhWord;
+    } else if (tok.lower == "that") {
+      // Relative pronoun after a nominal ("an actor that played ..."),
+      // determiner otherwise.
+      tok.pos = (prev != nullptr && IsNominal(prev->pos)) ? PosTag::kPronoun
+                                                          : PosTag::kDeterminer;
+    } else if (lexicon_.IsConjunction(tok.lower)) {
+      tok.pos = PosTag::kConj;
+    } else if (lexicon_.IsAux(tok.lower)) {
+      tok.pos = PosTag::kAux;
+    } else if (lexicon_.IsDeterminer(tok.lower)) {
+      tok.pos = PosTag::kDeterminer;
+    } else if (lexicon_.IsPreposition(tok.lower)) {
+      tok.pos = PosTag::kPreposition;
+    } else if (!tok.sentence_initial && IsCapitalized(tok.text)) {
+      tok.pos = PosTag::kProperNoun;
+    } else if (lexicon_.IsVerbForm(tok.lower) && lexicon_.IsNoun(tok.lower)) {
+      // Noun/verb ambiguity ("name", "flow", "star"): a det/adjective/common-
+      // noun on the left signals a noun compound position; otherwise a verb.
+      bool noun_context =
+          prev != nullptr &&
+          (prev->pos == PosTag::kDeterminer || prev->pos == PosTag::kAdjective ||
+           prev->pos == PosTag::kNoun);
+      tok.pos = noun_context ? PosTag::kNoun : PosTag::kVerb;
+    } else if (lexicon_.IsVerbForm(tok.lower)) {
+      tok.pos = PosTag::kVerb;
+    } else if (lexicon_.IsNoun(tok.lower)) {
+      tok.pos = PosTag::kNoun;
+    } else if (lexicon_.IsAdjective(tok.lower)) {
+      tok.pos = PosTag::kAdjective;
+    } else if (lexicon_.IsPronoun(tok.lower)) {
+      tok.pos = PosTag::kPronoun;
+    } else if (IsCapitalized(tok.text)) {
+      tok.pos = PosTag::kProperNoun;  // sentence-initial name
+    } else {
+      tok.pos = PosTag::kNoun;  // unknown words are most often entity parts
+    }
+
+    if (tok.pos == PosTag::kVerb) {
+      tok.is_participle = lexicon_.IsPastParticiple(tok.lower);
+    }
+    tok.lemma =
+        tok.pos == PosTag::kProperNoun ? tok.lower : lexicon_.Lemmatize(tok.lower);
+  }
+
+  // "How many members does X have?": with do-support and no other verb,
+  // the trailing have/has/had is the main verb, not an auxiliary.
+  size_t verbs = 0, auxes = 0;
+  int last_aux = -1;
+  for (size_t i = 0; i < tokens->size(); ++i) {
+    if ((*tokens)[i].pos == PosTag::kVerb) ++verbs;
+    if ((*tokens)[i].pos == PosTag::kAux) {
+      ++auxes;
+      last_aux = static_cast<int>(i);
+    }
+  }
+  if (verbs == 0 && auxes >= 2 && last_aux >= 0 &&
+      (*tokens)[last_aux].lemma == "have") {
+    (*tokens)[last_aux].pos = PosTag::kVerb;
+  }
+}
+
+}  // namespace nlp
+}  // namespace ganswer

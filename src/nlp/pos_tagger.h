@@ -1,0 +1,34 @@
+#ifndef GANSWER_NLP_POS_TAGGER_H_
+#define GANSWER_NLP_POS_TAGGER_H_
+
+#include <vector>
+
+#include "nlp/lexicon.h"
+#include "nlp/token.h"
+
+namespace ganswer {
+namespace nlp {
+
+/// \brief Deterministic rule-based POS tagger over the Lexicon.
+///
+/// Tagging order per token: closed-class lookups (wh, aux, determiner,
+/// preposition), context rules for ambiguous words ("that" as relative
+/// pronoun after a noun vs determiner), verb morphology, noun lexicon,
+/// capitalization-based proper-noun detection, digit numbers, fallback
+/// noun. Also fills Token::lemma and Token::is_participle.
+class PosTagger {
+ public:
+  /// \p lexicon must outlive the tagger.
+  explicit PosTagger(const Lexicon& lexicon) : lexicon_(lexicon) {}
+
+  /// Tags every token in place.
+  void Tag(std::vector<Token>* tokens) const;
+
+ private:
+  const Lexicon& lexicon_;
+};
+
+}  // namespace nlp
+}  // namespace ganswer
+
+#endif  // GANSWER_NLP_POS_TAGGER_H_

@@ -1,0 +1,62 @@
+#ifndef GANSWER_NLP_TOKEN_H_
+#define GANSWER_NLP_TOKEN_H_
+
+#include <string>
+
+namespace ganswer {
+namespace nlp {
+
+/// Coarse part-of-speech tags. The dependency parser and the QA pipeline
+/// only need this granularity (the Stanford tagset distinctions they use —
+/// VBN vs VB, NN vs NNP — are carried by separate Token flags).
+enum class PosTag : uint8_t {
+  kWhWord,        // who, what, which, where, when, how
+  kVerb,          // main verbs, including participles
+  kAux,           // auxiliaries and copulas: is, was, did, have, ...
+  kNoun,          // common nouns: actor, city, films
+  kProperNoun,    // names: Berlin, Antonio, Philadelphia
+  kAdjective,     // tall, famous, youngest
+  kPreposition,   // in, of, by, to, ...
+  kDeterminer,    // the, a, an, all
+  kPronoun,       // me, that (relative), it, ...
+  kNumber,        // 42
+  kConj,          // and, or
+  kPunct,         // ? . , !
+  kOther,
+};
+
+const char* PosTagName(PosTag tag);
+
+/// One token of a question, annotated by the tagger.
+struct Token {
+  std::string text;    ///< Original surface form.
+  std::string lower;   ///< Lowercased surface form.
+  std::string lemma;   ///< Lemma (base form); equals lower when unknown.
+  PosTag pos = PosTag::kOther;
+  bool is_participle = false;  ///< Past participle (VBN-like), for passives.
+  bool sentence_initial = false;
+};
+
+inline const char* PosTagName(PosTag tag) {
+  switch (tag) {
+    case PosTag::kWhWord: return "WH";
+    case PosTag::kVerb: return "VB";
+    case PosTag::kAux: return "AUX";
+    case PosTag::kNoun: return "NN";
+    case PosTag::kProperNoun: return "NNP";
+    case PosTag::kAdjective: return "JJ";
+    case PosTag::kPreposition: return "IN";
+    case PosTag::kDeterminer: return "DT";
+    case PosTag::kPronoun: return "PRP";
+    case PosTag::kNumber: return "CD";
+    case PosTag::kConj: return "CC";
+    case PosTag::kPunct: return "PUNCT";
+    case PosTag::kOther: return "X";
+  }
+  return "?";
+}
+
+}  // namespace nlp
+}  // namespace ganswer
+
+#endif  // GANSWER_NLP_TOKEN_H_

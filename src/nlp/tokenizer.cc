@@ -1,0 +1,58 @@
+#include "nlp/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace ganswer {
+namespace nlp {
+
+namespace {
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '\'';
+}
+}  // namespace
+
+std::vector<Token> Tokenizer::Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    if (IsWordChar(c)) {
+      size_t start = i;
+      while (i < text.size() && IsWordChar(text[i])) ++i;
+      tok.text = std::string(text.substr(start, i - start));
+      // Initials: a single capital letter followed by '.' keeps the period
+      // ("John F. Kennedy" stays three word tokens, not four).
+      if (tok.text.size() == 1 &&
+          std::isupper(static_cast<unsigned char>(tok.text[0])) &&
+          i < text.size() && text[i] == '.') {
+        tok.text += '.';
+        ++i;
+      }
+      // Possessive clitic: "Obama's" -> "Obama" + "'s" dropped (the QA
+      // pipeline treats possessives via the 'poss' relation on the bare
+      // name).
+      if (EndsWith(tok.text, "'s")) {
+        tok.text = tok.text.substr(0, tok.text.size() - 2);
+      }
+      if (tok.text.empty()) continue;
+    } else {
+      tok.text = std::string(1, c);
+      tok.pos = PosTag::kPunct;
+      ++i;
+    }
+    tok.lower = ToLower(tok.text);
+    tok.sentence_initial = out.empty();
+    out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+}  // namespace nlp
+}  // namespace ganswer

@@ -1,0 +1,25 @@
+#ifndef GANSWER_NLP_TOKENIZER_H_
+#define GANSWER_NLP_TOKENIZER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "nlp/token.h"
+
+namespace ganswer {
+namespace nlp {
+
+/// \brief Splits a question into word and punctuation tokens.
+///
+/// Words are maximal runs of letters/digits/'-'/'\''; everything else
+/// non-space becomes a single punctuation token. Fills Token::text and
+/// Token::lower; the tagger fills the rest.
+class Tokenizer {
+ public:
+  static std::vector<Token> Tokenize(std::string_view text);
+};
+
+}  // namespace nlp
+}  // namespace ganswer
+
+#endif  // GANSWER_NLP_TOKENIZER_H_

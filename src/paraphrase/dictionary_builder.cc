@@ -1,0 +1,82 @@
+#include "paraphrase/dictionary_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ganswer {
+namespace paraphrase {
+
+Status DictionaryBuilder::Build(const rdf::RdfGraph& graph,
+                                const std::vector<RelationPhrase>& dataset,
+                                ParaphraseDictionary* dict,
+                                BuildStats* stats) const {
+  if (dict == nullptr) return Status::InvalidArgument("null dictionary");
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("graph must be finalized");
+  }
+
+  PathFinder::Options pf_options;
+  pf_options.max_length = options_.max_path_length;
+  pf_options.max_intermediate_degree = options_.max_intermediate_degree;
+  pf_options.max_paths = options_.max_paths_per_pair;
+  PathFinder finder(graph, pf_options);
+
+  BuildStats local_stats;
+  local_stats.phrases = dataset.size();
+
+  // Phase 1 (Alg. 1, lines 1-4): enumerate Path(v, v') for every supporting
+  // pair of every phrase; PS(rel_i) is the collection per phrase.
+  std::vector<PathSets> corpus(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const RelationPhrase& rel = dataset[i];
+    for (const auto& [a_name, b_name] : rel.support) {
+      ++local_stats.pairs_total;
+      auto a = graph.FindTerm(a_name);
+      auto b = graph.FindTerm(b_name);
+      if (!a.has_value() || !b.has_value()) continue;  // pair not in graph
+      ++local_stats.pairs_in_graph;
+      std::vector<PredicatePath> paths = finder.FindPaths(*a, *b);
+      local_stats.paths_enumerated += paths.size();
+      if (!paths.empty()) corpus[i].push_back(std::move(paths));
+    }
+  }
+
+  // Phase 2 (Alg. 1, lines 5-8): tf-idf scoring, keep top-k per phrase.
+  TfIdfModel model(&corpus);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    std::unordered_set<PredicatePath, PredicatePathHash> distinct;
+    for (const auto& pair_paths : corpus[i]) {
+      for (const PredicatePath& p : pair_paths) distinct.insert(p);
+    }
+    std::vector<ParaphraseEntry> entries;
+    entries.reserve(distinct.size());
+    for (const PredicatePath& p : distinct) {
+      size_t tf = model.Tf(p, i);
+      if (tf == 0) continue;
+      // Definition 4 verbatim, with an idf floor: in degenerate small
+      // corpora (|T| ~ df) the raw idf reaches 0 or below and would erase
+      // every mapping; the floor keeps such paths at a tf-proportional
+      // epsilon score instead, preserving the ranking for positive idf.
+      constexpr double kIdfFloor = 0.01;
+      double score =
+          static_cast<double>(tf) * std::max(model.Idf(p), kIdfFloor);
+      entries.push_back({p, score});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const ParaphraseEntry& a, const ParaphraseEntry& b) {
+                if (a.confidence != b.confidence) {
+                  return a.confidence > b.confidence;
+                }
+                return a.path < b.path;  // deterministic tie-break
+              });
+    if (entries.size() > options_.top_k) entries.resize(options_.top_k);
+    dict->AddPhrase(dataset[i].text, std::move(entries));
+  }
+
+  if (options_.normalize) dict->NormalizeConfidences();
+  if (stats != nullptr) *stats = local_stats;
+  return Status::Ok();
+}
+
+}  // namespace paraphrase
+}  // namespace ganswer

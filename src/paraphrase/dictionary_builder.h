@@ -1,0 +1,74 @@
+#ifndef GANSWER_PARAPHRASE_DICTIONARY_BUILDER_H_
+#define GANSWER_PARAPHRASE_DICTIONARY_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "paraphrase/paraphrase_dictionary.h"
+#include "paraphrase/path_finder.h"
+#include "paraphrase/tf_idf.h"
+
+namespace ganswer {
+namespace paraphrase {
+
+/// A relation phrase with its supporting entity pairs, as provided by a
+/// Patty/ReVerb-style relation-phrase dataset. Entity names refer to terms
+/// of the target RDF graph; pairs naming unknown entities are skipped (the
+/// paper reports ~67% of Patty pairs occur in DBpedia).
+struct RelationPhrase {
+  std::string text;
+  std::vector<std::pair<std::string, std::string>> support;
+};
+
+/// \brief Algorithm 1: offline mining of the paraphrase dictionary D.
+///
+/// For each relation phrase, all simple predicate paths (length <= theta)
+/// between each supporting entity pair are enumerated; paths are scored by
+/// tf-idf over the corpus of all phrases' path sets (Definition 4) and the
+/// top-k become the phrase's candidate predicates / predicate paths with
+/// confidence delta(rel, L) (Equation 1).
+class DictionaryBuilder {
+ public:
+  struct Options {
+    /// The path-length threshold theta (the paper evaluates 2 and 4).
+    size_t max_path_length = 4;
+    /// Keep the top-k scored paths per phrase (the paper shows top-3 to
+    /// human judges; online matching uses the whole kept list).
+    size_t top_k = 3;
+    /// Passed through to the PathFinder hub guard.
+    size_t max_intermediate_degree = 0;
+    /// Per-pair cap on enumerated paths (0 = unlimited).
+    size_t max_paths_per_pair = 2000;
+    /// Normalize confidences per phrase so the best is 1.0 (Table 6).
+    bool normalize = true;
+  };
+
+  struct BuildStats {
+    size_t phrases = 0;
+    size_t pairs_total = 0;
+    size_t pairs_in_graph = 0;
+    size_t paths_enumerated = 0;
+  };
+
+  DictionaryBuilder() : options_() {}
+  explicit DictionaryBuilder(Options options) : options_(options) {}
+
+  /// Runs Algorithm 1 over \p graph and the phrase dataset \p dataset,
+  /// filling \p dict (which supplies the lexicon for phrase indexing).
+  /// \p stats may be null.
+  Status Build(const rdf::RdfGraph& graph,
+               const std::vector<RelationPhrase>& dataset,
+               ParaphraseDictionary* dict, BuildStats* stats = nullptr) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace paraphrase
+}  // namespace ganswer
+
+#endif  // GANSWER_PARAPHRASE_DICTIONARY_BUILDER_H_

@@ -1,0 +1,100 @@
+#include "paraphrase/maintenance.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace ganswer {
+namespace paraphrase {
+
+Status DictionaryMaintainer::OnPredicatesRemoved(
+    const std::vector<std::string>& removed_predicates,
+    const rdf::RdfGraph& graph, ParaphraseDictionary* dict,
+    MaintenanceStats* stats) const {
+  if (dict == nullptr) return Status::InvalidArgument("null dictionary");
+  std::unordered_set<rdf::TermId> removed;
+  for (const std::string& name : removed_predicates) {
+    auto id = graph.Find(name);
+    if (id.has_value()) removed.insert(*id);
+  }
+  MaintenanceStats local;
+  for (PhraseId id = 0; id < dict->NumPhrases(); ++id) {
+    const auto& entries = dict->Entries(id);
+    std::vector<ParaphraseEntry> kept;
+    kept.reserve(entries.size());
+    for (const ParaphraseEntry& e : entries) {
+      bool uses_removed = std::any_of(
+          e.path.steps.begin(), e.path.steps.end(),
+          [&](const PathStep& s) { return removed.count(s.predicate) > 0; });
+      if (uses_removed) {
+        ++local.entries_dropped;
+      } else {
+        kept.push_back(e);
+      }
+    }
+    if (kept.size() != entries.size()) {
+      ++local.phrases_touched;
+      dict->AddPhrase(dict->PhraseText(id), std::move(kept));
+    }
+  }
+  dict->NormalizeConfidences();
+  if (stats != nullptr) *stats = local;
+  return Status::Ok();
+}
+
+Status DictionaryMaintainer::OnPredicatesAdded(
+    const std::vector<std::string>& added_predicates,
+    const rdf::RdfGraph& graph, const std::vector<RelationPhrase>& dataset,
+    ParaphraseDictionary* dict, MaintenanceStats* stats) const {
+  if (dict == nullptr) return Status::InvalidArgument("null dictionary");
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("graph must be finalized");
+  }
+  std::unordered_set<rdf::TermId> added;
+  for (const std::string& name : added_predicates) {
+    auto id = graph.Find(name);
+    if (id.has_value()) added.insert(*id);
+  }
+  auto touches_new_predicate = [&](rdf::TermId v) {
+    for (const rdf::Edge& e : graph.OutEdges(v)) {
+      if (added.count(e.predicate)) return true;
+    }
+    for (const rdf::Edge& e : graph.InEdges(v)) {
+      if (added.count(e.predicate)) return true;
+    }
+    return false;
+  };
+
+  // Phrases whose support pairs can see a new predicate (either endpoint
+  // has an incident new edge) get re-mined; the rest are untouched.
+  std::vector<RelationPhrase> affected;
+  for (const RelationPhrase& phrase : dataset) {
+    bool hit = false;
+    for (const auto& [a, b] : phrase.support) {
+      auto ia = graph.FindTerm(a);
+      auto ib = graph.FindTerm(b);
+      if ((ia && touches_new_predicate(*ia)) ||
+          (ib && touches_new_predicate(*ib))) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) affected.push_back(phrase);
+  }
+
+  MaintenanceStats local;
+  local.phrases_remined = affected.size();
+  if (!affected.empty()) {
+    // Algorithm 1 restricted to the affected phrases. Note the idf side:
+    // re-mining a subset keeps the other phrases' (slightly stale) idf —
+    // the approximation the paper's maintenance note accepts.
+    DictionaryBuilder builder(mine_options_);
+    GANSWER_RETURN_NOT_OK(builder.Build(graph, affected, dict));
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::Ok();
+}
+
+}  // namespace paraphrase
+}  // namespace ganswer

@@ -1,0 +1,54 @@
+#ifndef GANSWER_PARAPHRASE_MAINTENANCE_H_
+#define GANSWER_PARAPHRASE_MAINTENANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "paraphrase/dictionary_builder.h"
+#include "paraphrase/paraphrase_dictionary.h"
+
+namespace ganswer {
+namespace paraphrase {
+
+/// \brief Incremental maintenance of the paraphrase dictionary (Sec. 3 of
+/// the paper: "To maintain the dictionary D, we can just re-mine the
+/// mappings for newly introduced predicates, or delete all mappings for
+/// the predicates when they are removed from the dataset").
+class DictionaryMaintainer {
+ public:
+  explicit DictionaryMaintainer(DictionaryBuilder::Options mine_options =
+                                    DictionaryBuilder::Options())
+      : mine_options_(mine_options) {}
+
+  struct MaintenanceStats {
+    size_t phrases_touched = 0;
+    size_t entries_dropped = 0;
+    size_t phrases_remined = 0;
+  };
+
+  /// Drops every entry whose path uses one of \p removed_predicates
+  /// (by name) and renormalizes confidences. Cheap: no graph access.
+  Status OnPredicatesRemoved(const std::vector<std::string>& removed_predicates,
+                             const rdf::RdfGraph& graph,
+                             ParaphraseDictionary* dict,
+                             MaintenanceStats* stats = nullptr) const;
+
+  /// Re-mines only the phrases that can be affected by \p added_predicates:
+  /// those with a supporting entity pair one of whose endpoints has an
+  /// incident edge labeled with a new predicate. Everything else keeps its
+  /// entries untouched. \p graph must already contain the new triples.
+  Status OnPredicatesAdded(const std::vector<std::string>& added_predicates,
+                           const rdf::RdfGraph& graph,
+                           const std::vector<RelationPhrase>& dataset,
+                           ParaphraseDictionary* dict,
+                           MaintenanceStats* stats = nullptr) const;
+
+ private:
+  DictionaryBuilder::Options mine_options_;
+};
+
+}  // namespace paraphrase
+}  // namespace ganswer
+
+#endif  // GANSWER_PARAPHRASE_MAINTENANCE_H_

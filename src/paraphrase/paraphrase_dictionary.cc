@@ -1,0 +1,139 @@
+#include "paraphrase/paraphrase_dictionary.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ganswer {
+namespace paraphrase {
+
+PhraseId ParaphraseDictionary::AddPhrase(std::string_view phrase_text,
+                                         std::vector<ParaphraseEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const ParaphraseEntry& a, const ParaphraseEntry& b) {
+              return a.confidence > b.confidence;
+            });
+
+  std::string key = ToLower(phrase_text);
+  auto existing = by_text_.find(key);
+  if (existing != by_text_.end()) {
+    phrases_[existing->second].entries = std::move(entries);
+    return existing->second;
+  }
+
+  PhraseRecord rec;
+  rec.text = key;
+  for (const std::string& w : SplitWhitespace(key)) {
+    rec.lemmas.push_back(lexicon_->Lemmatize(w));
+  }
+  rec.entries = std::move(entries);
+
+  PhraseId id = static_cast<PhraseId>(phrases_.size());
+  // Index each distinct lemma once.
+  std::set<std::string> distinct(rec.lemmas.begin(), rec.lemmas.end());
+  for (const std::string& lemma : distinct) {
+    inverted_[lemma].push_back(id);
+  }
+  by_text_.emplace(rec.text, id);
+  phrases_.push_back(std::move(rec));
+  return id;
+}
+
+const std::vector<PhraseId>& ParaphraseDictionary::PhrasesContaining(
+    std::string_view lemma) const {
+  auto it = inverted_.find(std::string(lemma));
+  return it == inverted_.end() ? empty_ : it->second;
+}
+
+std::optional<PhraseId> ParaphraseDictionary::FindByLemmas(
+    const std::vector<std::string>& lemmas) const {
+  if (lemmas.empty()) return std::nullopt;
+  for (PhraseId id : PhrasesContaining(lemmas[0])) {
+    if (phrases_[id].lemmas == lemmas) return id;
+  }
+  return std::nullopt;
+}
+
+void ParaphraseDictionary::NormalizeConfidences() {
+  for (PhraseRecord& rec : phrases_) {
+    if (rec.entries.empty()) continue;
+    double best = rec.entries.front().confidence;
+    if (best <= 0) continue;
+    for (ParaphraseEntry& e : rec.entries) e.confidence /= best;
+  }
+}
+
+Status ParaphraseDictionary::Save(std::ostream* out,
+                                  const rdf::TermDictionary& dict) const {
+  if (out == nullptr) return Status::InvalidArgument("null stream");
+  for (const PhraseRecord& rec : phrases_) {
+    for (const ParaphraseEntry& e : rec.entries) {
+      *out << rec.text << '\t';
+      for (size_t i = 0; i < e.path.steps.size(); ++i) {
+        if (i > 0) *out << ' ';
+        const PathStep& s = e.path.steps[i];
+        *out << (s.forward ? "+" : "-") << dict.text(s.predicate);
+      }
+      *out << '\t' << e.confidence << '\n';
+    }
+    if (rec.entries.empty()) {
+      *out << rec.text << "\t\t0\n";  // keep phrase-only records
+    }
+  }
+  return Status::Ok();
+}
+
+Status ParaphraseDictionary::Load(std::istream* in, rdf::RdfGraph* graph) {
+  if (in == nullptr || graph == nullptr) {
+    return Status::InvalidArgument("null stream or graph");
+  }
+  std::unordered_map<std::string, std::vector<ParaphraseEntry>> grouped;
+  std::vector<std::string> order;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> cols = Split(line, '\t', /*keep_empty=*/true);
+    if (cols.size() != 3) {
+      return Status::Corruption("paraphrase dictionary line " +
+                                std::to_string(line_no) +
+                                ": expected 3 tab-separated columns");
+    }
+    if (!grouped.count(cols[0])) order.push_back(cols[0]);
+    auto& entries = grouped[cols[0]];
+    if (cols[1].empty()) continue;  // phrase with no mined paths
+    ParaphraseEntry entry;
+    for (const std::string& step_text : SplitWhitespace(cols[1])) {
+      if (step_text.size() < 2 ||
+          (step_text[0] != '+' && step_text[0] != '-')) {
+        return Status::Corruption("paraphrase dictionary line " +
+                                  std::to_string(line_no) +
+                                  ": malformed path step '" + step_text + "'");
+      }
+      PathStep step;
+      step.forward = step_text[0] == '+';
+      step.predicate = graph->dict().Intern(step_text.substr(1));
+      entry.path.steps.push_back(step);
+    }
+    try {
+      entry.confidence = std::stod(cols[2]);
+    } catch (...) {
+      return Status::Corruption("paraphrase dictionary line " +
+                                std::to_string(line_no) +
+                                ": bad confidence '" + cols[2] + "'");
+    }
+    entries.push_back(std::move(entry));
+  }
+  for (const std::string& phrase : order) {
+    AddPhrase(phrase, std::move(grouped[phrase]));
+  }
+  return Status::Ok();
+}
+
+}  // namespace paraphrase
+}  // namespace ganswer

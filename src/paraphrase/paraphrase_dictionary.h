@@ -1,0 +1,98 @@
+#ifndef GANSWER_PARAPHRASE_PARAPHRASE_DICTIONARY_H_
+#define GANSWER_PARAPHRASE_PARAPHRASE_DICTIONARY_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "nlp/lexicon.h"
+#include "paraphrase/predicate_path.h"
+
+namespace ganswer {
+namespace paraphrase {
+
+/// One mined mapping: a predicate path with its confidence probability
+/// delta(rel, L) (Equation 1; normalized per phrase so the best is 1.0,
+/// matching the paper's Table 6 presentation).
+struct ParaphraseEntry {
+  PredicatePath path;
+  double confidence = 0.0;
+};
+
+using PhraseId = uint32_t;
+
+/// \brief The paraphrase dictionary D (Sec. 3, Figure 3): relation phrases
+/// mapped to ranked predicates / predicate paths, plus the word-level
+/// inverted index over phrases that Algorithm 2 probes during relation
+/// extraction.
+///
+/// Phrases are matched by lemma: "be married to" is stored as the lemma
+/// sequence [be, marry, to], so the inflected question forms ("was married
+/// to", "is married to") all hit the same phrase.
+class ParaphraseDictionary {
+ public:
+  /// \p lexicon supplies lemmatization for phrase words and must outlive
+  /// the dictionary.
+  explicit ParaphraseDictionary(const nlp::Lexicon* lexicon)
+      : lexicon_(lexicon) {}
+
+  /// Registers \p phrase_text (surface form, space-separated) with its
+  /// ranked entries. Returns the phrase id. Re-adding a phrase replaces its
+  /// entries.
+  PhraseId AddPhrase(std::string_view phrase_text,
+                     std::vector<ParaphraseEntry> entries);
+
+  size_t NumPhrases() const { return phrases_.size(); }
+
+  const std::string& PhraseText(PhraseId id) const {
+    return phrases_[id].text;
+  }
+  /// Lemma words of the phrase, in order.
+  const std::vector<std::string>& PhraseLemmas(PhraseId id) const {
+    return phrases_[id].lemmas;
+  }
+  /// Ranked candidate predicates / paths (non-ascending confidence).
+  const std::vector<ParaphraseEntry>& Entries(PhraseId id) const {
+    return phrases_[id].entries;
+  }
+
+  /// Ids of phrases whose lemma sequence contains \p lemma (the inverted
+  /// index of Algorithm 2).
+  const std::vector<PhraseId>& PhrasesContaining(std::string_view lemma) const;
+
+  /// Id of the phrase with exactly this lemma sequence, if present.
+  std::optional<PhraseId> FindByLemmas(
+      const std::vector<std::string>& lemmas) const;
+
+  /// Rescales every phrase's confidences so its best entry has
+  /// confidence 1.0 (Table 6 normalization).
+  void NormalizeConfidences();
+
+  /// Text serialization: one line per (phrase, path, confidence).
+  /// Predicates are written by name, so the file is portable across graphs
+  /// that intern the same predicate names.
+  Status Save(std::ostream* out, const rdf::TermDictionary& dict) const;
+  Status Load(std::istream* in, rdf::RdfGraph* graph);
+
+ private:
+  struct PhraseRecord {
+    std::string text;
+    std::vector<std::string> lemmas;
+    std::vector<ParaphraseEntry> entries;
+  };
+
+  const nlp::Lexicon* lexicon_;
+  std::vector<PhraseRecord> phrases_;
+  std::unordered_map<std::string, PhraseId> by_text_;
+  std::unordered_map<std::string, std::vector<PhraseId>> inverted_;
+  std::vector<PhraseId> empty_;
+};
+
+}  // namespace paraphrase
+}  // namespace ganswer
+
+#endif  // GANSWER_PARAPHRASE_PARAPHRASE_DICTIONARY_H_

@@ -1,0 +1,98 @@
+#include "paraphrase/path_finder.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ganswer {
+namespace paraphrase {
+
+PathFinder::PathFinder(const rdf::RdfGraph& graph)
+    : PathFinder(graph, Options()) {}
+
+PathFinder::PathFinder(const rdf::RdfGraph& graph, Options options)
+    : graph_(graph), options_(options) {}
+
+bool PathFinder::IsSchemaPredicate(rdf::TermId p) const {
+  if (!options_.skip_schema_edges) return false;
+  return p == graph_.type_predicate() || p == graph_.subclass_predicate() ||
+         p == graph_.label_predicate();
+}
+
+std::vector<PredicatePath> PathFinder::FindPaths(rdf::TermId from,
+                                                 rdf::TermId to) const {
+  std::vector<PredicatePath> result;
+  if (from == to) return result;
+
+  // Reverse undirected BFS from `to`: dist[v] = undirected hop distance,
+  // capped at max_length. Vertices not reached within the budget cannot be
+  // on any admissible path.
+  std::unordered_map<rdf::TermId, size_t> dist;
+  {
+    std::queue<rdf::TermId> q;
+    dist[to] = 0;
+    q.push(to);
+    while (!q.empty()) {
+      rdf::TermId v = q.front();
+      q.pop();
+      size_t d = dist[v];
+      if (d >= options_.max_length) continue;
+      auto visit = [&](const rdf::Edge& e) {
+        if (IsSchemaPredicate(e.predicate)) return;
+        if (!dist.count(e.neighbor)) {
+          dist[e.neighbor] = d + 1;
+          q.push(e.neighbor);
+        }
+      };
+      for (const rdf::Edge& e : graph_.OutEdges(v)) visit(e);
+      for (const rdf::Edge& e : graph_.InEdges(v)) visit(e);
+    }
+  }
+  if (!dist.count(from)) return result;
+
+  // Forward DFS from `from`, pruned by the distance map.
+  std::unordered_set<PredicatePath, PredicatePathHash> seen;
+  std::vector<rdf::TermId> chain{from};
+  PredicatePath current;
+
+  auto hub_blocked = [&](rdf::TermId v) {
+    return options_.max_intermediate_degree > 0 &&
+           graph_.Degree(v) > options_.max_intermediate_degree;
+  };
+
+  std::function<void(rdf::TermId)> dfs = [&](rdf::TermId v) {
+    if (options_.max_paths > 0 && result.size() >= options_.max_paths) return;
+    if (v == to && !current.steps.empty()) {
+      if (seen.insert(current).second) result.push_back(current);
+      return;  // simple paths cannot revisit `to`
+    }
+    if (current.steps.size() >= options_.max_length) return;
+    size_t budget = options_.max_length - current.steps.size();
+
+    auto try_edge = [&](const rdf::Edge& e, bool forward) {
+      if (IsSchemaPredicate(e.predicate)) return;
+      rdf::TermId next = e.neighbor;
+      auto it = dist.find(next);
+      if (it == dist.end() || it->second + 1 > budget) return;
+      if (next != to && hub_blocked(next)) return;
+      if (std::find(chain.begin(), chain.end(), next) != chain.end()) return;
+      chain.push_back(next);
+      current.steps.push_back({e.predicate, forward});
+      dfs(next);
+      current.steps.pop_back();
+      chain.pop_back();
+    };
+
+    for (const rdf::Edge& e : graph_.OutEdges(v)) try_edge(e, true);
+    for (const rdf::Edge& e : graph_.InEdges(v)) try_edge(e, false);
+  };
+  dfs(from);
+
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace paraphrase
+}  // namespace ganswer

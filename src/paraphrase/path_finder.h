@@ -1,0 +1,60 @@
+#ifndef GANSWER_PARAPHRASE_PATH_FINDER_H_
+#define GANSWER_PARAPHRASE_PATH_FINDER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "paraphrase/predicate_path.h"
+#include "rdf/rdf_graph.h"
+
+namespace ganswer {
+namespace paraphrase {
+
+/// \brief Enumerates all simple paths between two vertices of an RDF graph,
+/// ignoring edge directions, up to a length threshold (Sec. 3 of the paper).
+///
+/// The search is bidirectional in the paper's sense: a reverse BFS from the
+/// target first computes undirected distances up to the threshold, and the
+/// forward DFS from the source is pruned whenever the spent depth plus the
+/// remaining distance exceeds the threshold. This turns the worst-case
+/// exponential simple-path enumeration into a search that only walks edges
+/// that can still reach the target in budget.
+class PathFinder {
+ public:
+  struct Options {
+    /// Maximum path length (the paper's theta; its experiments use 2 and 4).
+    size_t max_length = 4;
+    /// Skip schema edges (rdf:type, rdfs:subClassOf, rdfs:label). The paper
+    /// mines over data edges; schema hubs would flood every support set.
+    bool skip_schema_edges = true;
+    /// Hub guard: vertices with undirected degree above this are never used
+    /// as intermediate vertices (endpoints are always allowed). 0 = off.
+    size_t max_intermediate_degree = 0;
+    /// Safety valve on the number of returned paths per pair. 0 = no cap.
+    size_t max_paths = 0;
+  };
+
+  /// \p graph must be finalized and must outlive the finder.
+  /// Constructs with default options.
+  explicit PathFinder(const rdf::RdfGraph& graph);
+  PathFinder(const rdf::RdfGraph& graph, Options options);
+
+  /// All distinct predicate paths realized by simple paths from \p from to
+  /// \p to with length <= max_length. Each returned path is oriented from
+  /// \p from to \p to. Distinct vertex paths with the same predicate
+  /// sequence are reported once.
+  std::vector<PredicatePath> FindPaths(rdf::TermId from, rdf::TermId to) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  bool IsSchemaPredicate(rdf::TermId p) const;
+
+  const rdf::RdfGraph& graph_;
+  Options options_;
+};
+
+}  // namespace paraphrase
+}  // namespace ganswer
+
+#endif  // GANSWER_PARAPHRASE_PATH_FINDER_H_

@@ -1,0 +1,104 @@
+#include "paraphrase/predicate_path.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+namespace ganswer {
+namespace paraphrase {
+
+PredicatePath PredicatePath::Reversed() const {
+  PredicatePath out;
+  out.steps.reserve(steps.size());
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    out.steps.push_back({it->predicate, !it->forward});
+  }
+  return out;
+}
+
+std::string PredicatePath::ToString(const rdf::TermDictionary& dict) const {
+  std::string out;
+  for (const PathStep& s : steps) {
+    if (!out.empty()) out += ' ';
+    out += s.forward ? "->" : "<-";
+    out += dict.text(s.predicate);
+  }
+  return out;
+}
+
+namespace {
+
+// DFS over path instantiations keeping the current vertex chain simple.
+// Returns true when the on_end callback requested a stop.
+bool InstantiateFrom(const rdf::RdfGraph& graph, rdf::TermId v,
+                     const PredicatePath& path, size_t depth,
+                     std::vector<rdf::TermId>* chain,
+                     const std::function<bool(rdf::TermId)>& on_end) {
+  if (depth == path.steps.size()) {
+    return on_end(v);
+  }
+  const PathStep& step = path.steps[depth];
+  auto edges = step.forward ? graph.OutEdges(v) : graph.InEdges(v);
+  auto lo = std::lower_bound(edges.begin(), edges.end(),
+                             rdf::Edge{step.predicate, 0});
+  for (auto it = lo; it != edges.end() && it->predicate == step.predicate;
+       ++it) {
+    rdf::TermId next = it->neighbor;
+    if (std::find(chain->begin(), chain->end(), next) != chain->end()) {
+      continue;  // keep the instantiation a simple path
+    }
+    chain->push_back(next);
+    bool stop = InstantiateFrom(graph, next, path, depth + 1, chain, on_end);
+    chain->pop_back();
+    if (stop) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<rdf::TermId> PathEndpoints(const rdf::RdfGraph& graph,
+                                       rdf::TermId start,
+                                       const PredicatePath& path) {
+  std::vector<rdf::TermId> out;
+  std::unordered_set<rdf::TermId> seen;
+  std::vector<rdf::TermId> chain{start};
+  InstantiateFrom(graph, start, path, 0, &chain, [&](rdf::TermId end) {
+    if (seen.insert(end).second) out.push_back(end);
+    return false;  // keep enumerating
+  });
+  return out;
+}
+
+bool PathConnects(const rdf::RdfGraph& graph, rdf::TermId from, rdf::TermId to,
+                  const PredicatePath& path) {
+  bool found = false;
+  std::vector<rdf::TermId> chain{from};
+  InstantiateFrom(graph, from, path, 0, &chain, [&](rdf::TermId end) {
+    if (end == to) {
+      found = true;
+      return true;  // stop
+    }
+    return false;
+  });
+  return found;
+}
+
+std::optional<std::vector<rdf::TermId>> PathWitness(const rdf::RdfGraph& graph,
+                                                    rdf::TermId from,
+                                                    rdf::TermId to,
+                                                    const PredicatePath& path) {
+  std::optional<std::vector<rdf::TermId>> witness;
+  std::vector<rdf::TermId> chain{from};
+  InstantiateFrom(graph, from, path, 0, &chain, [&](rdf::TermId end) {
+    if (end == to) {
+      witness = chain;  // the DFS keeps the full vertex chain
+      return true;
+    }
+    return false;
+  });
+  return witness;
+}
+
+}  // namespace paraphrase
+}  // namespace ganswer

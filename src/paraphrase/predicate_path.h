@@ -1,0 +1,81 @@
+#ifndef GANSWER_PARAPHRASE_PREDICATE_PATH_H_
+#define GANSWER_PARAPHRASE_PREDICATE_PATH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rdf/rdf_graph.h"
+
+namespace ganswer {
+namespace paraphrase {
+
+/// One hop of a predicate path: the predicate and its orientation relative
+/// to the traversal direction (arg1 -> arg2).
+struct PathStep {
+  rdf::TermId predicate = rdf::kInvalidTerm;
+  bool forward = true;
+
+  friend bool operator==(const PathStep&, const PathStep&) = default;
+  friend auto operator<=>(const PathStep&, const PathStep&) = default;
+};
+
+/// \brief A sequence of consecutive predicate edges in the RDF graph
+/// (Sec. 3 of the paper). Length-1 paths are plain predicates; longer paths
+/// express relations like "uncle of" that no single predicate captures.
+///
+/// Orientation is relative to the relation's argument order: the path is
+/// read from arg1's vertex to arg2's vertex, and each step records whether
+/// the RDF edge points along (forward) or against that direction.
+struct PredicatePath {
+  std::vector<PathStep> steps;
+
+  size_t Length() const { return steps.size(); }
+  bool IsSinglePredicate() const { return steps.size() == 1; }
+
+  /// The same path read from arg2 to arg1.
+  PredicatePath Reversed() const;
+
+  /// Readable form, e.g. "<-hasChild ->hasChild ->hasChild".
+  std::string ToString(const rdf::TermDictionary& dict) const;
+
+  friend bool operator==(const PredicatePath&, const PredicatePath&) = default;
+  friend auto operator<=>(const PredicatePath&, const PredicatePath&) = default;
+};
+
+struct PredicatePathHash {
+  size_t operator()(const PredicatePath& p) const {
+    size_t h = 1469598103934665603ULL;
+    for (const PathStep& s : p.steps) {
+      h = (h ^ (static_cast<size_t>(s.predicate) * 2 + (s.forward ? 1 : 0))) *
+          1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+/// Enumerates all vertices reachable from \p start by instantiating \p path
+/// in \p graph (respecting per-step orientation), visiting each end vertex
+/// once. Intermediate vertices may repeat across instantiations but each
+/// returned instantiation is a simple path.
+std::vector<rdf::TermId> PathEndpoints(const rdf::RdfGraph& graph,
+                                       rdf::TermId start,
+                                       const PredicatePath& path);
+
+/// True when some simple instantiation of \p path connects \p from to \p to.
+bool PathConnects(const rdf::RdfGraph& graph, rdf::TermId from, rdf::TermId to,
+                  const PredicatePath& path);
+
+/// One concrete simple instantiation of \p path from \p from to \p to: the
+/// full vertex chain (|path| + 1 vertices, starting at \p from and ending
+/// at \p to), or nullopt when none exists. Used to produce answer
+/// explanations — the subgraph witness behind a match.
+std::optional<std::vector<rdf::TermId>> PathWitness(const rdf::RdfGraph& graph,
+                                                    rdf::TermId from,
+                                                    rdf::TermId to,
+                                                    const PredicatePath& path);
+
+}  // namespace paraphrase
+}  // namespace ganswer
+
+#endif  // GANSWER_PARAPHRASE_PREDICATE_PATH_H_

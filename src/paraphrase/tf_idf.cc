@@ -1,0 +1,48 @@
+#include "paraphrase/tf_idf.h"
+
+#include <cmath>
+
+namespace ganswer {
+namespace paraphrase {
+
+TfIdfModel::TfIdfModel(const std::vector<PathSets>* corpus) : corpus_(corpus) {
+  for (const PathSets& ps : *corpus_) {
+    std::unordered_set<PredicatePath, PredicatePathHash> distinct;
+    for (const auto& pair_paths : ps) {
+      for (const PredicatePath& p : pair_paths) distinct.insert(p);
+    }
+    for (const PredicatePath& p : distinct) ++doc_freq_[p];
+  }
+}
+
+size_t TfIdfModel::Tf(const PredicatePath& path, size_t phrase_idx) const {
+  const PathSets& ps = (*corpus_)[phrase_idx];
+  size_t count = 0;
+  for (const auto& pair_paths : ps) {
+    for (const PredicatePath& p : pair_paths) {
+      if (p == path) {
+        ++count;
+        break;  // tf counts pairs, not occurrences
+      }
+    }
+  }
+  return count;
+}
+
+size_t TfIdfModel::DocumentFrequency(const PredicatePath& path) const {
+  auto it = doc_freq_.find(path);
+  return it == doc_freq_.end() ? 0 : it->second;
+}
+
+double TfIdfModel::Idf(const PredicatePath& path) const {
+  double n = static_cast<double>(corpus_->size());
+  double df = static_cast<double>(DocumentFrequency(path));
+  return std::log(n / (df + 1.0));
+}
+
+double TfIdfModel::TfIdf(const PredicatePath& path, size_t phrase_idx) const {
+  return static_cast<double>(Tf(path, phrase_idx)) * Idf(path);
+}
+
+}  // namespace paraphrase
+}  // namespace ganswer

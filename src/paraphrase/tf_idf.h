@@ -1,0 +1,57 @@
+#ifndef GANSWER_PARAPHRASE_TF_IDF_H_
+#define GANSWER_PARAPHRASE_TF_IDF_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "paraphrase/predicate_path.h"
+
+namespace ganswer {
+namespace paraphrase {
+
+/// The path sets of one relation phrase: PS(rel) = union over support pairs
+/// of Path(v, v'). Each element holds the distinct predicate paths found
+/// for one supporting entity pair.
+using PathSets = std::vector<std::vector<PredicatePath>>;
+
+/// \brief tf-idf scoring of predicate paths against relation phrases
+/// (Definition 4 of the paper).
+///
+/// Each phrase's PS(rel) is a virtual document whose words are predicate
+/// paths; the corpus is the collection of all PS(rel_i). A path scores high
+/// for a phrase when it connects many of that phrase's support pairs (tf)
+/// but few other phrases' support pairs (idf) — which is exactly what kills
+/// generic noise paths like (hasGender, hasGender).
+class TfIdfModel {
+ public:
+  /// \p corpus[i] is PS(rel_i) for phrase i. Document frequencies are
+  /// computed once here.
+  explicit TfIdfModel(const std::vector<PathSets>* corpus);
+
+  /// tf(L, PS(rel_i)): number of support pairs of phrase \p phrase_idx whose
+  /// path set contains \p path.
+  size_t Tf(const PredicatePath& path, size_t phrase_idx) const;
+
+  /// idf(L, T) = log(|T| / (|{rel : L in PS(rel)}| + 1)).
+  double Idf(const PredicatePath& path) const;
+
+  /// tf-idf(L, PS(rel_i), T) = tf * idf; the paper's confidence
+  /// delta(rel, L) before per-phrase normalization.
+  double TfIdf(const PredicatePath& path, size_t phrase_idx) const;
+
+  /// Number of phrases (documents) whose PS contains \p path.
+  size_t DocumentFrequency(const PredicatePath& path) const;
+
+  size_t corpus_size() const { return corpus_->size(); }
+
+ private:
+  const std::vector<PathSets>* corpus_;
+  std::unordered_map<PredicatePath, size_t, PredicatePathHash> doc_freq_;
+};
+
+}  // namespace paraphrase
+}  // namespace ganswer
+
+#endif  // GANSWER_PARAPHRASE_TF_IDF_H_

@@ -1,0 +1,208 @@
+#include "qa/argument_finder.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace ganswer {
+namespace qa {
+
+namespace {
+
+using nlp::DependencyTree;
+
+bool IsNominal(const nlp::Token& t) {
+  return t.pos == nlp::PosTag::kNoun || t.pos == nlp::PosTag::kProperNoun;
+}
+
+bool IsArgumentish(const nlp::Token& t) {
+  return IsNominal(t) || t.pos == nlp::PosTag::kWhWord ||
+         t.pos == nlp::PosTag::kPronoun || t.pos == nlp::PosTag::kNumber;
+}
+
+// Among candidates, the one closest to the embedding root in the sentence
+// (the paper: "we choose the nearest one to rel").
+int Nearest(const std::vector<int>& candidates, int root) {
+  int best = -1;
+  int best_dist = 1 << 30;
+  for (int c : candidates) {
+    int dist = std::abs(c - root);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+bool ArgumentFinder::FindArguments(const DependencyTree& tree,
+                                   SemanticRelation* rel) const {
+  const Embedding& emb = rel->embedding;
+  rel->arg1_node = -1;
+  rel->arg2_node = -1;
+
+  // Default prepositional relation: the preposition's nominal parent and
+  // its pobj child are the arguments by construction.
+  if (rel->phrase == kNoPhrase && emb.nodes.size() == 1) {
+    int prep = emb.root;
+    const nlp::DepNode& node = tree.node(prep);
+    rel->arg1_node = node.parent;
+    for (int c : node.children) {
+      if (tree.node(c).relation == nlp::dep::kPobj) {
+        rel->arg2_node = c;
+        break;
+      }
+    }
+    if (rel->arg1_node < 0 || rel->arg2_node < 0) return false;
+    rel->arg1_text = ArgumentPhrase(tree, rel->arg1_node);
+    rel->arg2_text = ArgumentPhrase(tree, rel->arg2_node);
+    return true;
+  }
+
+  std::vector<int> frontier = emb.nodes;  // nodes whose children we inspect
+
+  // Base step: subject-like / object-like children just outside the
+  // embedding.
+  auto collect = [&](std::vector<int>* subj, std::vector<int>* obj) {
+    for (int w : frontier) {
+      for (int c : tree.node(w).children) {
+        if (emb.Contains(c)) continue;
+        if (std::find(frontier.begin(), frontier.end(), c) != frontier.end()) {
+          continue;
+        }
+        const std::string& r = tree.node(c).relation;
+        if (!IsArgumentish(tree.node(c).token)) continue;
+        if (nlp::dep::IsSubjectLike(r)) subj->push_back(c);
+        if (nlp::dep::IsObjectLike(r)) obj->push_back(c);
+      }
+    }
+  };
+
+  std::vector<int> subj, obj;
+  collect(&subj, &obj);
+  if (!subj.empty()) rel->arg1_node = Nearest(subj, emb.root);
+  if (!obj.empty()) rel->arg2_node = Nearest(obj, emb.root);
+
+  // Rule 1: extend the embedding with light words (prepositions,
+  // auxiliaries, copulas) hanging off it, then re-run the base step on the
+  // extended frontier.
+  if (options_.rule1_extend_light_words &&
+      (rel->arg1_node < 0 || rel->arg2_node < 0)) {
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (size_t fi = 0; fi < frontier.size(); ++fi) {
+        for (int c : tree.node(frontier[fi]).children) {
+          if (std::find(frontier.begin(), frontier.end(), c) !=
+              frontier.end()) {
+            continue;
+          }
+          if (nlp::dep::IsLightRelation(tree.node(c).relation)) {
+            frontier.push_back(c);
+            grew = true;
+          }
+        }
+      }
+    }
+    subj.clear();
+    obj.clear();
+    collect(&subj, &obj);
+    if (rel->arg1_node < 0 && !subj.empty()) {
+      rel->arg1_node = Nearest(subj, emb.root);
+    }
+    if (rel->arg2_node < 0 && !obj.empty()) {
+      int cand = Nearest(obj, emb.root);
+      if (cand != rel->arg1_node) rel->arg2_node = cand;
+    }
+  }
+
+  // Rule 2: the embedding root's own attachment supplies an argument — the
+  // root itself when it is a subject/object of its parent ("all members of
+  // Prodigy": 'members' is the answer argument), or the modified NP when
+  // the embedding is a reduced/full relative clause ("movies directed by
+  // X").
+  if (options_.rule2_root_parent &&
+      (rel->arg1_node < 0 || rel->arg2_node < 0)) {
+    const nlp::DepNode& root_node = tree.node(emb.root);
+    int arg = -1;
+    if (root_node.parent >= 0) {
+      if (nlp::dep::IsSubjectLike(root_node.relation) ||
+          nlp::dep::IsObjectLike(root_node.relation)) {
+        arg = emb.root;
+      } else if (root_node.relation == nlp::dep::kRcmod ||
+                 root_node.relation == nlp::dep::kPartmod) {
+        arg = root_node.parent;
+      }
+    }
+    if (arg >= 0 && arg != rel->arg1_node && arg != rel->arg2_node) {
+      if (rel->arg1_node < 0) {
+        rel->arg1_node = arg;
+      } else if (rel->arg2_node < 0) {
+        rel->arg2_node = arg;
+      }
+    }
+  }
+
+  // Rule 3: a subject-like child of the embedding root's parent ("born in
+  // Vienna and DIED in Berlin": the conjoined verb inherits the subject of
+  // its parent verb).
+  if (options_.rule3_parent_subject &&
+      (rel->arg1_node < 0 || rel->arg2_node < 0)) {
+    const nlp::DepNode& root_node = tree.node(emb.root);
+    if (root_node.parent >= 0) {
+      for (int c : tree.node(root_node.parent).children) {
+        if (c == emb.root || emb.Contains(c)) continue;
+        if (!nlp::dep::IsSubjectLike(tree.node(c).relation)) continue;
+        if (c == rel->arg1_node || c == rel->arg2_node) continue;
+        if (rel->arg1_node < 0) {
+          rel->arg1_node = c;
+        } else if (rel->arg2_node < 0) {
+          rel->arg2_node = c;
+        }
+        break;
+      }
+    }
+  }
+
+  // Rule 4: nearest wh-word, then the first nominal inside the embedding.
+  if (options_.rule4_wh_fallback &&
+      (rel->arg1_node < 0 || rel->arg2_node < 0)) {
+    std::vector<int> whs;
+    for (int i = 0; i < static_cast<int>(tree.size()); ++i) {
+      if (tree.node(i).token.pos == nlp::PosTag::kWhWord &&
+          i != rel->arg1_node && i != rel->arg2_node) {
+        whs.push_back(i);
+      }
+    }
+    int wh = Nearest(whs, emb.root);
+    if (wh >= 0) {
+      if (rel->arg1_node < 0) {
+        rel->arg1_node = wh;
+      } else if (rel->arg2_node < 0) {
+        rel->arg2_node = wh;
+      }
+    }
+    if (rel->arg1_node < 0 || rel->arg2_node < 0) {
+      for (int w : emb.nodes) {
+        if (!IsNominal(tree.node(w).token)) continue;
+        if (w == rel->arg1_node || w == rel->arg2_node) continue;
+        if (rel->arg1_node < 0) {
+          rel->arg1_node = w;
+        } else if (rel->arg2_node < 0) {
+          rel->arg2_node = w;
+        }
+        break;
+      }
+    }
+  }
+
+  if (rel->arg1_node < 0 || rel->arg2_node < 0) return false;
+  rel->arg1_text = ArgumentPhrase(tree, rel->arg1_node);
+  rel->arg2_text = ArgumentPhrase(tree, rel->arg2_node);
+  return true;
+}
+
+}  // namespace qa
+}  // namespace ganswer

@@ -1,0 +1,55 @@
+#ifndef GANSWER_QA_ARGUMENT_FINDER_H_
+#define GANSWER_QA_ARGUMENT_FINDER_H_
+
+#include <optional>
+
+#include "nlp/dependency_tree.h"
+#include "qa/semantic_relation.h"
+
+namespace ganswer {
+namespace qa {
+
+/// \brief Finds the two arguments of a relation-phrase embedding
+/// (Sec. 4.1.2): first by the grammatical subject-like / object-like
+/// relations around the embedding, then by the paper's four heuristic
+/// recall rules, each individually toggleable (Table 9 ablates them).
+class ArgumentFinder {
+ public:
+  struct Options {
+    /// Rule 1: extend the embedding across light words (prepositions,
+    /// auxiliaries, copulas) and re-check the new frontier.
+    bool rule1_extend_light_words = true;
+    /// Rule 2: when the embedding root is itself grammatically bound to its
+    /// parent — as a subject/object (the head noun doubles as the answer
+    /// argument: "all members of Prodigy") or as an rcmod/partmod modifier
+    /// (the modified NP is the missing argument: "movies directed by X") —
+    /// take that binding as arg1.
+    bool rule2_root_parent = true;
+    /// Rule 3: a subject-like sibling of the embedding root (child of its
+    /// parent) becomes arg1 ("born in Vienna AND DIED in Berlin": the
+    /// conjoined verb inherits "that" from its parent clause).
+    bool rule3_parent_subject = true;
+    /// Rule 4: fall back to the nearest wh-word, then to the first nominal
+    /// inside the embedding.
+    bool rule4_wh_fallback = true;
+  };
+
+  ArgumentFinder() : options_() {}
+  explicit ArgumentFinder(Options options) : options_(options) {}
+
+  /// Fills arg1/arg2 of \p rel (whose embedding must be set) from \p tree.
+  /// Returns false when no arguments could be found even with the enabled
+  /// rules — the paper then discards the relation.
+  bool FindArguments(const nlp::DependencyTree& tree,
+                     SemanticRelation* rel) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace qa
+}  // namespace ganswer
+
+#endif  // GANSWER_QA_ARGUMENT_FINDER_H_

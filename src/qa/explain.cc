@@ -1,0 +1,72 @@
+#include "qa/explain.h"
+
+#include <sstream>
+
+#include "paraphrase/predicate_path.h"
+#include "qa/sparql_output.h"
+
+namespace ganswer {
+namespace qa {
+
+StatusOr<std::string> AnswerExplainer::Explain(const SemanticQueryGraph& sqg,
+                                               const match::Match& match) const {
+  if (match.assignment.size() != sqg.vertices.size()) {
+    return Status::InvalidArgument("match/query size mismatch");
+  }
+  const rdf::TermDictionary& dict = graph_->dict();
+  std::ostringstream out;
+
+  // Header: the argument bindings.
+  for (size_t v = 0; v < sqg.vertices.size(); ++v) {
+    rdf::TermId u = match.assignment[v];
+    if (u == rdf::kInvalidTerm) continue;
+    out << "\"" << sqg.vertices[v].text << "\" = <" << dict.text(u) << ">";
+    if (static_cast<int>(v) == sqg.target_vertex) out << "   [answer]";
+    out << "\n";
+  }
+
+  // Witness triples per edge.
+  for (const SqgEdge& edge : sqg.edges) {
+    rdf::TermId uf = match.assignment[edge.from];
+    rdf::TermId ut = match.assignment[edge.to];
+    if (uf == rdf::kInvalidTerm || ut == rdf::kInvalidTerm) continue;
+    auto path = SparqlOutput::ConnectingPath(*graph_, edge, uf, ut);
+    if (!path.has_value()) {
+      return Status::Internal("match does not instantiate edge \"" +
+                              edge.relation.relation_text + "\"");
+    }
+    auto witness = paraphrase::PathWitness(*graph_, uf, ut, *path);
+    if (!witness.has_value()) {
+      return Status::Internal("no witness chain for edge \"" +
+                              edge.relation.relation_text + "\"");
+    }
+    for (size_t s = 0; s < path->steps.size(); ++s) {
+      rdf::TermId a = (*witness)[s];
+      rdf::TermId b = (*witness)[s + 1];
+      const paraphrase::PathStep& step = path->steps[s];
+      rdf::TermId subj = step.forward ? a : b;
+      rdf::TermId obj = step.forward ? b : a;
+      out << "  <" << dict.text(subj) << "> --"
+          << dict.text(step.predicate) << "--> <" << dict.text(obj) << ">";
+      if (s == 0) out << "   [" << edge.relation.relation_text << "]";
+      out << "\n";
+    }
+  }
+
+  // Type facts for class-matched vertices.
+  for (size_t v = 0; v < sqg.vertices.size(); ++v) {
+    rdf::TermId u = match.assignment[v];
+    if (u == rdf::kInvalidTerm) continue;
+    for (const linking::LinkCandidate& c : sqg.vertices[v].candidates) {
+      if (c.is_class && graph_->IsInstanceOf(u, c.vertex)) {
+        out << "  <" << dict.text(u) << "> rdf:type <" << dict.text(c.vertex)
+            << ">\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace qa
+}  // namespace ganswer

@@ -1,0 +1,45 @@
+#ifndef GANSWER_QA_EXPLAIN_H_
+#define GANSWER_QA_EXPLAIN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "match/query_graph.h"
+#include "qa/semantic_query_graph.h"
+#include "rdf/rdf_graph.h"
+
+namespace ganswer {
+namespace qa {
+
+/// \brief Renders the subgraph witness behind one match as human-readable
+/// triples — the "why" of an answer.
+///
+/// The paper's central claim is that a candidate mapping is right exactly
+/// when the data holds a subgraph using it; the explainer surfaces that
+/// subgraph: for every Q^S edge, the concrete RDF triples (including
+/// intermediate vertices of predicate paths) that instantiate it, plus the
+/// rdf:type fact for each class-matched vertex. Example for the running
+/// question:
+///
+///   "who" = <Melanie_Griffith>
+///     <Melanie_Griffith> --spouse--> <Antonio_Banderas>      [be married to]
+///     <Philadelphia_(film)> --starring--> <Antonio_Banderas> [played in]
+///     <Antonio_Banderas> rdf:type <Actor>
+class AnswerExplainer {
+ public:
+  /// \p graph must be finalized and outlive the explainer.
+  explicit AnswerExplainer(const rdf::RdfGraph* graph) : graph_(graph) {}
+
+  /// Multi-line explanation of \p match against \p sqg. Fails when the
+  /// match does not instantiate the query graph.
+  StatusOr<std::string> Explain(const SemanticQueryGraph& sqg,
+                                const match::Match& match) const;
+
+ private:
+  const rdf::RdfGraph* graph_;
+};
+
+}  // namespace qa
+}  // namespace ganswer
+
+#endif  // GANSWER_QA_EXPLAIN_H_

@@ -1,0 +1,172 @@
+#include "qa/ganswer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/timer.h"
+
+namespace ganswer {
+namespace qa {
+
+GAnswer::GAnswer(const rdf::RdfGraph* graph, const nlp::Lexicon* lexicon,
+                 const paraphrase::ParaphraseDictionary* dict)
+    : GAnswer(graph, lexicon, dict, Options()) {}
+
+GAnswer::GAnswer(const rdf::RdfGraph* graph, const nlp::Lexicon* lexicon,
+                 const paraphrase::ParaphraseDictionary* dict, Options options)
+    : graph_(graph), options_(options) {
+  parser_ = std::make_unique<nlp::DependencyParser>(*lexicon);
+  entity_index_ = std::make_unique<linking::EntityIndex>(*graph);
+  linker_ = std::make_unique<linking::EntityLinker>(entity_index_.get());
+  understander_ = std::make_unique<QuestionUnderstander>(
+      parser_.get(), dict, linker_.get(), options.understanding);
+  signatures_ = std::make_unique<rdf::SignatureIndex>(*graph);
+  match::TopKMatcher::Options matching = options.matching;
+  if (matching.signatures == nullptr) {
+    matching.signatures = signatures_.get();
+  }
+  matcher_ = std::make_unique<match::TopKMatcher>(graph, matching);
+  superlatives_ = std::make_unique<SuperlativeResolver>(graph);
+}
+
+match::QueryGraph GAnswer::ToQueryGraph(const SemanticQueryGraph& sqg) const {
+  match::QueryGraph q;
+  q.vertices.reserve(sqg.vertices.size());
+  for (const SqgVertex& v : sqg.vertices) {
+    match::QueryVertex qv;
+    qv.candidates = v.candidates;
+    qv.wildcard = v.wildcard;
+    qv.wildcard_confidence = 1.0;
+    q.vertices.push_back(std::move(qv));
+  }
+  q.edges.reserve(sqg.edges.size());
+  for (const SqgEdge& e : sqg.edges) {
+    match::QueryEdge qe;
+    qe.from = e.from;
+    qe.to = e.to;
+    qe.candidates = e.candidates;
+    qe.wildcard = e.wildcard;
+    qe.wildcard_confidence =
+        options_.understanding.wildcard_edge_confidence;
+    q.edges.push_back(std::move(qe));
+  }
+  return q;
+}
+
+StatusOr<GAnswer::Response> GAnswer::Ask(std::string_view question) const {
+  Response resp;
+  WallTimer timer;
+
+  auto understood = understander_->Understand(question);
+  if (!understood.ok()) {
+    resp.failure = FailureStage::kParse;
+    resp.understanding_ms = timer.ElapsedMillis();
+    return resp;
+  }
+  resp.understanding = std::move(understood).value();
+  resp.understanding_ms = timer.ElapsedMillis();
+
+  const SemanticQueryGraph& sqg = resp.understanding.sqg;
+  resp.is_ask = sqg.form == SemanticQueryGraph::QuestionForm::kAsk;
+
+  if (sqg.vertices.empty()) {
+    resp.failure = FailureStage::kNoRelations;
+    return resp;
+  }
+  bool any_concrete = false;
+  for (const SqgVertex& v : sqg.vertices) {
+    if (!v.wildcard) any_concrete = true;
+  }
+  if (!any_concrete) {
+    resp.failure = FailureStage::kNoLinking;
+    return resp;
+  }
+
+  timer.Restart();
+  match::QueryGraph query = ToQueryGraph(sqg);
+  auto matches = matcher_->FindTopK(query, &resp.match_stats);
+  resp.evaluation_ms = timer.ElapsedMillis();
+  if (!matches.ok()) {
+    resp.failure = FailureStage::kNoMatches;
+    return resp;
+  }
+  resp.matches = std::move(matches).value();
+
+  if (resp.is_ask) {
+    resp.ask_result = !resp.matches.empty();
+    if (resp.matches.empty()) resp.failure = FailureStage::kNoMatches;
+    return resp;
+  }
+
+  // Distinct target bindings, best score first.
+  int target = sqg.target_vertex >= 0 ? sqg.target_vertex : 0;
+  std::unordered_map<rdf::TermId, double> best;
+  for (const match::Match& m : resp.matches) {
+    rdf::TermId u = m.assignment[target];
+    if (u == rdf::kInvalidTerm) continue;
+    auto [it, inserted] = best.emplace(u, m.score);
+    if (!inserted) it->second = std::max(it->second, m.score);
+  }
+  resp.answers.reserve(best.size());
+  for (const auto& [u, score] : best) {
+    Answer a;
+    a.term = u;
+    a.text = graph_->dict().text(u);
+    a.score = score;
+    resp.answers.push_back(std::move(a));
+  }
+  std::sort(resp.answers.begin(), resp.answers.end(),
+            [](const Answer& a, const Answer& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.text < b.text;
+            });
+  // Dominated interpretations are not reported; the paper's system returns
+  // fewer than k answers when the remaining matches are low-confidence.
+  if (options_.answer_score_window > 0 && !resp.answers.empty()) {
+    double cutoff = resp.answers.front().score - options_.answer_score_window;
+    std::erase_if(resp.answers,
+                  [&](const Answer& a) { return a.score < cutoff; });
+  }
+  // EXTENSION: superlative post-processing (paper's aggregation gap).
+  // Runs after the confidence window (the argmax must not range over
+  // dominated interpretations' answers) but BEFORE the top-k cut (it must
+  // see every candidate of the winning interpretation).
+  if (options_.enable_superlatives && !resp.answers.empty()) {
+    auto detection = superlatives_->Detect(resp.understanding.tree);
+    if (detection.has_value()) {
+      std::vector<rdf::TermId> candidates;
+      candidates.reserve(resp.answers.size());
+      for (const Answer& a : resp.answers) candidates.push_back(a.term);
+      std::vector<rdf::TermId> kept =
+          superlatives_->Apply(*detection, candidates);
+      if (!kept.empty()) {
+        std::erase_if(resp.answers, [&](const Answer& a) {
+          return std::find(kept.begin(), kept.end(), a.term) == kept.end();
+        });
+        resp.superlative_applied = true;
+      }
+    }
+  }
+  // EXTENSION: count questions ("How many ...") report the cardinality of
+  // the (un-truncated) answer set.
+  if (options_.enable_superlatives && !resp.answers.empty() &&
+      SuperlativeResolver::DetectCount(resp.understanding.tree)) {
+    Answer count;
+    count.term = rdf::kInvalidTerm;
+    count.text = std::to_string(resp.answers.size());
+    count.score = resp.answers.front().score;
+    resp.answers.assign(1, std::move(count));
+    resp.superlative_applied = true;
+  }
+  // The system reports at most k answers (the paper evaluates "all top-10
+  // correct").
+  if (resp.answers.size() > options_.matching.k) {
+    resp.answers.resize(options_.matching.k);
+  }
+
+  if (resp.answers.empty()) resp.failure = FailureStage::kNoMatches;
+  return resp;
+}
+
+}  // namespace qa
+}  // namespace ganswer

@@ -1,0 +1,110 @@
+#ifndef GANSWER_QA_GANSWER_H_
+#define GANSWER_QA_GANSWER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "linking/entity_index.h"
+#include "linking/entity_linker.h"
+#include "match/top_k_matcher.h"
+#include "nlp/dependency_parser.h"
+#include "qa/question_understander.h"
+#include "qa/superlative.h"
+#include "rdf/signature_index.h"
+
+namespace ganswer {
+namespace qa {
+
+/// \brief The complete RDF Q/A system of the paper: graph data-driven
+/// natural-language question answering.
+///
+/// Offline inputs: a finalized RDF graph and a paraphrase dictionary D
+/// (mined by paraphrase::DictionaryBuilder, Algorithm 1). Online, Ask()
+/// runs the two stages — question understanding (semantic query graph with
+/// ambiguous candidate lists) and query evaluation (top-k subgraph matching
+/// with TA-style termination) — and disambiguation falls out of the
+/// matching, as the paper's title promises.
+class GAnswer {
+ public:
+  struct Options {
+    QuestionUnderstander::Options understanding;
+    match::TopKMatcher::Options matching;
+    /// Answers scoring more than this below the best answer are not
+    /// reported: with Definition 6 log-scores, a gap of log(1.35) means the
+    /// interpretation is at least 35% less confident. 0 disables.
+    double answer_score_window = 0.3;
+    /// EXTENSION (off by default = paper behavior): resolve superlative /
+    /// aggregation questions ("youngest player in ...") by argmax/argmin
+    /// post-processing over the matched answers (see qa/superlative.h).
+    bool enable_superlatives = false;
+  };
+
+  /// Why a question produced no answers; used by failure analysis
+  /// (Table 10).
+  enum class FailureStage {
+    kNone,             ///< Answers produced.
+    kParse,            ///< Dependency parse failed.
+    kNoRelations,      ///< No semantic relation extracted and no fallback.
+    kNoLinking,        ///< Every vertex unlinkable (all wildcards).
+    kNoMatches,        ///< Q^S built but no subgraph match found.
+  };
+
+  struct Answer {
+    rdf::TermId term = rdf::kInvalidTerm;
+    std::string text;
+    double score = 0.0;
+  };
+
+  struct Response {
+    bool is_ask = false;
+    bool ask_result = false;
+    /// Set when the superlative extension rewrote the answer set.
+    bool superlative_applied = false;
+    /// Distinct bindings of the target vertex, best score first.
+    std::vector<Answer> answers;
+    /// The underlying top-k subgraph matches.
+    std::vector<match::Match> matches;
+    QuestionUnderstander::Result understanding;
+    FailureStage failure = FailureStage::kNone;
+    double understanding_ms = 0;
+    double evaluation_ms = 0;
+    double TotalMs() const { return understanding_ms + evaluation_ms; }
+    match::TopKMatcher::RunStats match_stats;
+  };
+
+  /// \p graph (finalized), \p lexicon and \p dict must outlive the system.
+  GAnswer(const rdf::RdfGraph* graph, const nlp::Lexicon* lexicon,
+          const paraphrase::ParaphraseDictionary* dict);
+  GAnswer(const rdf::RdfGraph* graph, const nlp::Lexicon* lexicon,
+          const paraphrase::ParaphraseDictionary* dict, Options options);
+
+  /// Answers one natural-language question.
+  StatusOr<Response> Ask(std::string_view question) const;
+
+  /// Builds the matcher-facing query graph from an understood question.
+  /// Exposed for benchmarks that time the stages separately.
+  match::QueryGraph ToQueryGraph(const SemanticQueryGraph& sqg) const;
+
+  const rdf::RdfGraph& graph() const { return *graph_; }
+  const QuestionUnderstander& understander() const { return *understander_; }
+  const Options& options() const { return options_; }
+
+ private:
+  const rdf::RdfGraph* graph_;
+  Options options_;
+  std::unique_ptr<nlp::DependencyParser> parser_;
+  std::unique_ptr<linking::EntityIndex> entity_index_;
+  std::unique_ptr<linking::EntityLinker> linker_;
+  std::unique_ptr<QuestionUnderstander> understander_;
+  std::unique_ptr<match::TopKMatcher> matcher_;
+  std::unique_ptr<SuperlativeResolver> superlatives_;
+  std::unique_ptr<rdf::SignatureIndex> signatures_;
+};
+
+}  // namespace qa
+}  // namespace ganswer
+
+#endif  // GANSWER_QA_GANSWER_H_

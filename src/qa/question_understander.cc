@@ -1,0 +1,279 @@
+#include "qa/question_understander.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "nlp/coreference.h"
+
+namespace ganswer {
+namespace qa {
+
+namespace {
+
+const char* const kImperativeVerbs[] = {"give", "list", "show", "name",
+                                        "tell"};
+
+bool IsImperativeVerb(const std::string& lemma) {
+  for (const char* v : kImperativeVerbs) {
+    if (lemma == v) return true;
+  }
+  return false;
+}
+
+bool IsNominal(const nlp::Token& t) {
+  return t.pos == nlp::PosTag::kNoun || t.pos == nlp::PosTag::kProperNoun;
+}
+
+}  // namespace
+
+QuestionUnderstander::QuestionUnderstander(
+    const nlp::DependencyParser* parser,
+    const paraphrase::ParaphraseDictionary* dict,
+    const linking::EntityLinker* linker)
+    : QuestionUnderstander(parser, dict, linker, Options()) {}
+
+QuestionUnderstander::QuestionUnderstander(
+    const nlp::DependencyParser* parser,
+    const paraphrase::ParaphraseDictionary* dict,
+    const linking::EntityLinker* linker, Options options)
+    : parser_(parser),
+      dict_(dict),
+      linker_(linker),
+      extractor_(dict, options.extractor_options),
+      argument_finder_(options.argument_options),
+      options_(options) {}
+
+StatusOr<QuestionUnderstander::Result> QuestionUnderstander::Understand(
+    std::string_view question) const {
+  Result result;
+  WallTimer timer;
+
+  auto tree = parser_->Parse(question);
+  if (!tree.ok()) return tree.status();
+  result.tree = std::move(tree).value();
+  result.timings.parse_ms = timer.ElapsedMillis();
+
+  // Relation extraction: dictionary embeddings first, default prepositional
+  // relations for what remains.
+  timer.Restart();
+  std::vector<Embedding> embeddings = extractor_.FindEmbeddings(result.tree);
+  std::vector<Embedding> defaults =
+      extractor_.FindDefaultPrepEmbeddings(result.tree, embeddings);
+  embeddings.insert(embeddings.end(), defaults.begin(), defaults.end());
+
+  for (Embedding& emb : embeddings) {
+    SemanticRelation rel;
+    rel.phrase = emb.phrase;
+    rel.embedding = emb;
+    // Surface text of the relation: embedding words in sentence order.
+    for (int w : emb.nodes) {
+      if (!rel.relation_text.empty()) rel.relation_text += ' ';
+      rel.relation_text += result.tree.node(w).token.text;
+    }
+    if (!argument_finder_.FindArguments(result.tree, &rel)) continue;
+    if (rel.arg1_node == rel.arg2_node) continue;
+    result.relations.push_back(std::move(rel));
+  }
+  result.timings.extract_ms = timer.ElapsedMillis();
+
+  // Coreference resolution: relative-pronoun arguments are identified with
+  // the noun phrase they modify, so relations come to share vertices
+  // (Sec. 4.1.3).
+  timer.Restart();
+  for (SemanticRelation& rel : result.relations) {
+    for (int* arg : {&rel.arg1_node, &rel.arg2_node}) {
+      int antecedent = nlp::CoreferenceResolver::Antecedent(result.tree, *arg);
+      if (antecedent >= 0 && antecedent != *arg) {
+        *arg = antecedent;
+        std::string text = ArgumentPhrase(result.tree, antecedent);
+        if (arg == &rel.arg1_node) {
+          rel.arg1_text = text;
+        } else {
+          rel.arg2_text = text;
+        }
+      }
+    }
+  }
+  BuildSqg(&result);
+  DetermineFormAndTarget(&result);
+  result.timings.build_ms = timer.ElapsedMillis();
+
+  timer.Restart();
+  MapCandidates(&result);
+  result.timings.map_ms = timer.ElapsedMillis();
+  return result;
+}
+
+void QuestionUnderstander::BuildSqg(Result* result) const {
+  SemanticQueryGraph& sqg = result->sqg;
+
+  auto vertex_for = [&](int node, const std::string& text) -> int {
+    int existing = sqg.VertexForNode(node);
+    if (existing >= 0) return existing;
+    SqgVertex v;
+    v.tree_node = node;
+    v.text = text;
+    v.is_wh = result->tree.node(node).token.pos == nlp::PosTag::kWhWord;
+    v.is_wh_target = v.is_wh;
+    // "which movies": a wh-determiner child makes this argument the
+    // preferred answer variable, while the noun itself still constrains the
+    // match by class.
+    for (int c : result->tree.node(node).children) {
+      if (result->tree.node(c).token.pos == nlp::PosTag::kWhWord) {
+        v.is_wh_target = true;
+      }
+    }
+    sqg.vertices.push_back(std::move(v));
+    return static_cast<int>(sqg.vertices.size()) - 1;
+  };
+
+  for (const SemanticRelation& rel : result->relations) {
+    SqgEdge edge;
+    edge.from = vertex_for(rel.arg1_node, rel.arg1_text);
+    edge.to = vertex_for(rel.arg2_node, rel.arg2_text);
+    edge.relation = rel;
+    if (edge.from == edge.to) continue;
+    sqg.edges.push_back(std::move(edge));
+  }
+
+  if (!sqg.vertices.empty()) return;
+
+  // No semantic relations ("Give me all Argentine films."): fall back to a
+  // single-vertex query over the answer noun phrase. A wh-determined noun
+  // ("Which city has the most inhabitants?") is the answer phrase even when
+  // it is not the clause root.
+  const nlp::DependencyTree& tree = result->tree;
+  int answer_node = -1;
+  for (int i = 0; i < static_cast<int>(tree.size()) && answer_node < 0; ++i) {
+    if (!IsNominal(tree.node(i).token)) continue;
+    for (int c : tree.node(i).children) {
+      if (tree.node(c).token.pos == nlp::PosTag::kWhWord) {
+        answer_node = i;
+        break;
+      }
+    }
+  }
+  int root = tree.root();
+  if (root >= 0 && IsImperativeVerb(tree.node(root).token.lemma)) {
+    for (int c : tree.node(root).children) {
+      if (tree.node(c).relation == nlp::dep::kDobj &&
+          IsNominal(tree.node(c).token)) {
+        answer_node = c;
+        break;
+      }
+    }
+  }
+  if (answer_node < 0 && root >= 0 && IsNominal(tree.node(root).token)) {
+    answer_node = root;  // copular fragment: "the capital of Canada"
+  }
+  if (answer_node < 0) {
+    for (int i = 0; i < static_cast<int>(tree.size()); ++i) {
+      if (IsNominal(tree.node(i).token)) {
+        answer_node = i;
+        break;
+      }
+    }
+  }
+  if (answer_node >= 0) {
+    vertex_for(answer_node, ArgumentPhrase(tree, answer_node));
+  }
+}
+
+void QuestionUnderstander::DetermineFormAndTarget(Result* result) const {
+  SemanticQueryGraph& sqg = result->sqg;
+  const nlp::DependencyTree& tree = result->tree;
+
+  bool has_wh = false;
+  for (size_t i = 0; i < tree.size(); ++i) {
+    if (tree.node(i).token.pos == nlp::PosTag::kWhWord) has_wh = true;
+  }
+  bool aux_initial =
+      !tree.empty() && tree.node(0).token.pos == nlp::PosTag::kAux;
+  sqg.form = (!has_wh && aux_initial) ? SemanticQueryGraph::QuestionForm::kAsk
+                                      : SemanticQueryGraph::QuestionForm::kSelect;
+
+  if (sqg.form == SemanticQueryGraph::QuestionForm::kAsk) {
+    sqg.target_vertex = -1;
+    return;
+  }
+
+  // 1) A wh vertex ("who", or "which movies" via wh-determiner) is the
+  // target.
+  for (size_t i = 0; i < sqg.vertices.size(); ++i) {
+    if (sqg.vertices[i].is_wh_target) {
+      sqg.target_vertex = static_cast<int>(i);
+      sqg.vertices[i].is_target = true;
+      return;
+    }
+  }
+  // 2) The object of an imperative ("Give me all X ...").
+  int root = tree.root();
+  if (root >= 0 && IsImperativeVerb(tree.node(root).token.lemma)) {
+    for (int c : tree.node(root).children) {
+      if (tree.node(c).relation != nlp::dep::kDobj) continue;
+      int v = sqg.VertexForNode(c);
+      if (v >= 0) {
+        sqg.target_vertex = v;
+        sqg.vertices[v].is_target = true;
+        return;
+      }
+    }
+  }
+  // 3) A vertex that doubles as a relation-phrase head (Rule 2: "all
+  // members of Prodigy") — its node lies inside its own edge's embedding.
+  for (const SqgEdge& e : sqg.edges) {
+    for (int v : {e.from, e.to}) {
+      if (e.relation.embedding.Contains(sqg.vertices[v].tree_node)) {
+        sqg.target_vertex = v;
+        sqg.vertices[v].is_target = true;
+        return;
+      }
+    }
+  }
+  // 4) Fall back to the first vertex.
+  if (!sqg.vertices.empty()) {
+    sqg.target_vertex = 0;
+    sqg.vertices[0].is_target = true;
+  }
+}
+
+void QuestionUnderstander::MapCandidates(Result* result) const {
+  SemanticQueryGraph& sqg = result->sqg;
+
+  for (SqgVertex& v : sqg.vertices) {
+    if (v.is_wh) {
+      v.wildcard = true;  // wh-words match all entities and classes
+      continue;
+    }
+    v.candidates = linker_->Link(v.text);
+
+    // A vertex whose node sits inside a relation-phrase embedding ("all
+    // MEMBERS of Prodigy") is an answer variable; only a class reading can
+    // constrain it, entity readings are spurious.
+    bool inside_embedding = false;
+    for (const SqgEdge& e : sqg.edges) {
+      if ((e.from == sqg.VertexForNode(v.tree_node) ||
+           e.to == sqg.VertexForNode(v.tree_node)) &&
+          e.relation.embedding.Contains(v.tree_node)) {
+        inside_embedding = true;
+      }
+    }
+    if (inside_embedding) {
+      std::erase_if(v.candidates,
+                    [](const linking::LinkCandidate& c) { return !c.is_class; });
+    }
+    if (v.candidates.empty()) v.wildcard = true;
+  }
+
+  for (SqgEdge& e : sqg.edges) {
+    if (e.relation.phrase == kNoPhrase) {
+      e.wildcard = true;
+      continue;
+    }
+    e.candidates = dict_->Entries(e.relation.phrase);
+    if (e.candidates.empty()) e.wildcard = true;
+  }
+}
+
+}  // namespace qa
+}  // namespace ganswer

@@ -1,0 +1,80 @@
+#ifndef GANSWER_QA_QUESTION_UNDERSTANDER_H_
+#define GANSWER_QA_QUESTION_UNDERSTANDER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "linking/entity_linker.h"
+#include "nlp/dependency_parser.h"
+#include "qa/argument_finder.h"
+#include "qa/relation_extractor.h"
+#include "qa/semantic_query_graph.h"
+
+namespace ganswer {
+namespace qa {
+
+/// \brief The question-understanding stage (Sec. 4.1): natural language
+/// question -> semantic query graph Q^S with candidate mappings.
+///
+/// Pipeline: dependency parse -> relation-phrase embeddings (Alg. 2) ->
+/// argument finding (Sec. 4.1.2) -> coreference resolution -> Q^S assembly
+/// (Sec. 4.1.3) -> candidate mapping of vertices (entity linking) and edges
+/// (paraphrase dictionary). Ambiguity is deliberately preserved: every
+/// phrase keeps its whole ranked candidate list, and disambiguation is left
+/// to query evaluation.
+class QuestionUnderstander {
+ public:
+  struct Options {
+    ArgumentFinder::Options argument_options;
+    RelationExtractor::Options extractor_options;
+    /// Confidence assigned to wildcard (default-preposition) edges.
+    double wildcard_edge_confidence = 0.3;
+  };
+
+  struct Timings {
+    double parse_ms = 0;
+    double extract_ms = 0;
+    double build_ms = 0;
+    double map_ms = 0;
+    double TotalMs() const {
+      return parse_ms + extract_ms + build_ms + map_ms;
+    }
+  };
+
+  struct Result {
+    nlp::DependencyTree tree;
+    std::vector<SemanticRelation> relations;
+    SemanticQueryGraph sqg;
+    Timings timings;
+  };
+
+  /// All dependencies must outlive the understander.
+  QuestionUnderstander(const nlp::DependencyParser* parser,
+                       const paraphrase::ParaphraseDictionary* dict,
+                       const linking::EntityLinker* linker);
+  QuestionUnderstander(const nlp::DependencyParser* parser,
+                       const paraphrase::ParaphraseDictionary* dict,
+                       const linking::EntityLinker* linker, Options options);
+
+  /// Runs the full understanding stage on one question.
+  StatusOr<Result> Understand(std::string_view question) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  void BuildSqg(Result* result) const;
+  void MapCandidates(Result* result) const;
+  void DetermineFormAndTarget(Result* result) const;
+
+  const nlp::DependencyParser* parser_;
+  const paraphrase::ParaphraseDictionary* dict_;
+  const linking::EntityLinker* linker_;
+  RelationExtractor extractor_;
+  ArgumentFinder argument_finder_;
+  Options options_;
+};
+
+}  // namespace qa
+}  // namespace ganswer
+
+#endif  // GANSWER_QA_QUESTION_UNDERSTANDER_H_

@@ -1,0 +1,125 @@
+#include "qa/relation_extractor.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace ganswer {
+namespace qa {
+
+namespace {
+
+bool IsNominal(const nlp::Token& t) {
+  return t.pos == nlp::PosTag::kNoun || t.pos == nlp::PosTag::kProperNoun;
+}
+
+}  // namespace
+
+RelationExtractor::RelationExtractor(
+    const paraphrase::ParaphraseDictionary* dict)
+    : RelationExtractor(dict, Options()) {}
+
+RelationExtractor::RelationExtractor(
+    const paraphrase::ParaphraseDictionary* dict, Options options)
+    : dict_(dict), options_(options) {}
+
+std::vector<Embedding> RelationExtractor::FindEmbeddings(
+    const nlp::DependencyTree& tree) const {
+  std::vector<Embedding> found;
+  int n = static_cast<int>(tree.size());
+
+  for (int root = 0; root < n; ++root) {
+    const std::string& root_lemma = tree.node(root).token.lemma;
+    for (paraphrase::PhraseId pid : dict_->PhrasesContaining(root_lemma)) {
+      const std::vector<std::string>& words = dict_->PhraseLemmas(pid);
+      std::set<std::string> want(words.begin(), words.end());
+
+      // Probe: DFS from root, descending only into nodes whose lemma is a
+      // phrase word (Algorithm 2's PL-intersection pruning).
+      std::set<std::string> covered;
+      std::vector<int> nodes;
+      auto dfs = [&](auto&& self, int w) -> void {
+        covered.insert(tree.node(w).token.lemma);
+        nodes.push_back(w);
+        for (int c : tree.node(w).children) {
+          if (want.count(tree.node(c).token.lemma)) self(self, c);
+        }
+      };
+      dfs(dfs, root);
+
+      if (covered.size() == want.size()) {
+        Embedding e;
+        e.phrase = pid;
+        e.root = root;
+        std::sort(nodes.begin(), nodes.end());
+        e.nodes = std::move(nodes);
+        found.push_back(std::move(e));
+      }
+    }
+  }
+
+  // Maximality + overlap resolution: prefer embeddings covering more nodes
+  // (and, at equal size, more phrase words); an embedding that reuses a
+  // node already claimed by a kept embedding is dropped. This both
+  // implements Def. 5 condition 2 (an embedding strictly inside a larger
+  // one loses) and guarantees each tree node contributes to one relation.
+  std::sort(found.begin(), found.end(), [&](const Embedding& a,
+                                            const Embedding& b) {
+    if (a.nodes.size() != b.nodes.size()) {
+      return a.nodes.size() > b.nodes.size();
+    }
+    if (a.root != b.root) return a.root < b.root;
+    return a.phrase < b.phrase;
+  });
+  std::vector<Embedding> kept;
+  std::unordered_set<int> claimed;
+  for (Embedding& e : found) {
+    bool overlaps = std::any_of(e.nodes.begin(), e.nodes.end(),
+                                [&](int w) { return claimed.count(w) > 0; });
+    if (overlaps) continue;
+    for (int w : e.nodes) claimed.insert(w);
+    kept.push_back(std::move(e));
+  }
+  return kept;
+}
+
+std::vector<Embedding> RelationExtractor::FindDefaultPrepEmbeddings(
+    const nlp::DependencyTree& tree,
+    const std::vector<Embedding>& embeddings) const {
+  std::vector<Embedding> out;
+  if (!options_.default_prep_relations) return out;
+
+  std::unordered_set<int> claimed;
+  for (const Embedding& e : embeddings) {
+    claimed.insert(e.nodes.begin(), e.nodes.end());
+  }
+
+  int n = static_cast<int>(tree.size());
+  for (int i = 0; i < n; ++i) {
+    const nlp::DepNode& node = tree.node(i);
+    if (node.token.pos != nlp::PosTag::kPreposition) continue;
+    if (claimed.count(i)) continue;
+    if (node.parent < 0) continue;
+    // Nominal-attached preposition with a nominal object, neither claimed:
+    // "companies in Munich" -> default relation "in".
+    if (!IsNominal(tree.node(node.parent).token)) continue;
+    int pobj = -1;
+    for (int c : node.children) {
+      if (tree.node(c).relation == nlp::dep::kPobj &&
+          IsNominal(tree.node(c).token)) {
+        pobj = c;
+        break;
+      }
+    }
+    if (pobj < 0) continue;
+    Embedding e;
+    e.phrase = kNoPhrase;
+    e.root = i;
+    e.nodes = {i};
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace qa
+}  // namespace ganswer

@@ -1,0 +1,59 @@
+#ifndef GANSWER_QA_RELATION_EXTRACTOR_H_
+#define GANSWER_QA_RELATION_EXTRACTOR_H_
+
+#include <vector>
+
+#include "nlp/dependency_tree.h"
+#include "paraphrase/paraphrase_dictionary.h"
+#include "qa/semantic_relation.h"
+
+namespace ganswer {
+namespace qa {
+
+/// \brief Algorithm 2: finds all relation-phrase embeddings (Definition 5)
+/// in a dependency tree, using the paraphrase dictionary's word-level
+/// inverted index.
+///
+/// For every tree node w, the candidate phrase list is the set of phrases
+/// containing w's lemma; a depth-first probe descends only into children
+/// whose lemma also belongs to the phrase, so the visited region is exactly
+/// a connected subtree each of whose nodes carries a phrase word. A phrase
+/// occurs at w when the probe covers all its words. Maximality (Def. 5
+/// condition 2) and overlaps are then resolved by keeping largest
+/// embeddings first and dropping embeddings that reuse already-claimed
+/// nodes.
+class RelationExtractor {
+ public:
+  struct Options {
+    /// Also emit default relations for prepositions attaching a nominal to
+    /// a nominal that no dictionary embedding claimed ("companies in
+    /// Munich"): the relation phrase is the preposition and the edge later
+    /// maps to any predicate with low confidence.
+    bool default_prep_relations = true;
+  };
+
+  /// \p dict must outlive the extractor.
+  explicit RelationExtractor(const paraphrase::ParaphraseDictionary* dict);
+  RelationExtractor(const paraphrase::ParaphraseDictionary* dict,
+                    Options options);
+
+  /// All maximal, mutually node-disjoint embeddings in \p tree, largest
+  /// first.
+  std::vector<Embedding> FindEmbeddings(const nlp::DependencyTree& tree) const;
+
+  /// Default prepositional relations not claimed by \p embeddings.
+  std::vector<Embedding> FindDefaultPrepEmbeddings(
+      const nlp::DependencyTree& tree,
+      const std::vector<Embedding>& embeddings) const;
+
+  const paraphrase::ParaphraseDictionary& dict() const { return *dict_; }
+
+ private:
+  const paraphrase::ParaphraseDictionary* dict_;
+  Options options_;
+};
+
+}  // namespace qa
+}  // namespace ganswer
+
+#endif  // GANSWER_QA_RELATION_EXTRACTOR_H_

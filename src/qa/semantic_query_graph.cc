@@ -1,0 +1,47 @@
+#include "qa/semantic_query_graph.h"
+
+#include <sstream>
+
+namespace ganswer {
+namespace qa {
+
+int SemanticQueryGraph::VertexForNode(int tree_node) const {
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    if (vertices[i].tree_node == tree_node) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> SemanticQueryGraph::IncidentEdges(int v) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].from == v || edges[i].to == v) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::string SemanticQueryGraph::ToString() const {
+  std::ostringstream out;
+  out << (form == QuestionForm::kAsk ? "ASK" : "SELECT") << " Q^S with "
+      << vertices.size() << " vertices, " << edges.size() << " edges\n";
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const SqgVertex& v = vertices[i];
+    out << "  v" << i << ": \"" << v.text << "\"";
+    if (v.is_wh) out << " [wh]";
+    if (v.is_target) out << " [target]";
+    if (v.wildcard) out << " [wildcard]";
+    out << " (" << v.candidates.size() << " candidates)\n";
+  }
+  for (const SqgEdge& e : edges) {
+    out << "  v" << e.from << " --\"" << e.relation.relation_text << "\"-- v"
+        << e.to;
+    if (e.wildcard) out << " [wildcard]";
+    out << " (" << e.candidates.size() << " candidates)\n";
+  }
+  return out.str();
+}
+
+}  // namespace qa
+}  // namespace ganswer

@@ -1,0 +1,67 @@
+#ifndef GANSWER_QA_SEMANTIC_QUERY_GRAPH_H_
+#define GANSWER_QA_SEMANTIC_QUERY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "linking/entity_linker.h"
+#include "paraphrase/paraphrase_dictionary.h"
+#include "qa/semantic_relation.h"
+
+namespace ganswer {
+namespace qa {
+
+/// A vertex of the semantic query graph: one argument (Definition 2).
+struct SqgVertex {
+  int tree_node = -1;        ///< Anchor node in the dependency tree.
+  std::string text;          ///< Argument phrase ("Philadelphia", "actor").
+  bool is_wh = false;        ///< wh-word argument: matches everything.
+  /// Preferred answer variable: a wh-word argument or an argument with a
+  /// wh-determiner ("which movies").
+  bool is_wh_target = false;
+  bool is_target = false;    ///< The answer variable of the question.
+  /// Candidate entities/classes with confidences (C_v). Empty plus
+  /// wildcard==true means "match any vertex".
+  std::vector<linking::LinkCandidate> candidates;
+  bool wildcard = false;
+};
+
+/// An edge of the semantic query graph: one semantic relation.
+struct SqgEdge {
+  int from = -1;             ///< SqgVertex index of arg1.
+  int to = -1;               ///< SqgVertex index of arg2.
+  SemanticRelation relation;
+  /// Candidate predicates / predicate paths with confidences (C_edge),
+  /// oriented from arg1 to arg2. Empty plus wildcard==true means "match
+  /// any single predicate in either direction".
+  std::vector<paraphrase::ParaphraseEntry> candidates;
+  bool wildcard = false;
+};
+
+/// \brief The semantic query graph Q^S (Definition 2): the structural
+/// representation of the question's intention. Vertices carry argument
+/// phrases, edges carry relation phrases; semantic relations sharing an
+/// argument (directly or through coreference) share the vertex.
+struct SemanticQueryGraph {
+  enum class QuestionForm { kSelect, kAsk };
+
+  std::vector<SqgVertex> vertices;
+  std::vector<SqgEdge> edges;
+  QuestionForm form = QuestionForm::kSelect;
+  /// Index of the answer vertex (the wh / imperative-object variable);
+  /// -1 for ASK questions with no variable.
+  int target_vertex = -1;
+
+  /// Vertex index anchored at dependency node \p tree_node, or -1.
+  int VertexForNode(int tree_node) const;
+
+  /// Edge indices incident to vertex \p v.
+  std::vector<int> IncidentEdges(int v) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace qa
+}  // namespace ganswer
+
+#endif  // GANSWER_QA_SEMANTIC_QUERY_GRAPH_H_

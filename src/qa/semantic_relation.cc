@@ -1,0 +1,48 @@
+#include "qa/semantic_relation.h"
+
+#include <algorithm>
+
+namespace ganswer {
+namespace qa {
+
+bool Embedding::Contains(int node) const {
+  return std::binary_search(nodes.begin(), nodes.end(), node);
+}
+
+std::string SemanticRelation::ToString() const {
+  return "<\"" + relation_text + "\", \"" + arg1_text + "\", \"" + arg2_text +
+         "\">";
+}
+
+std::string ArgumentPhrase(const nlp::DependencyTree& tree, int node) {
+  std::vector<int> parts{node};
+  bool head_is_name =
+      tree.node(node).token.pos == nlp::PosTag::kProperNoun ||
+      tree.node(node).token.pos == nlp::PosTag::kNumber;
+  for (int c : tree.node(node).children) {
+    const std::string& rel = tree.node(c).relation;
+    if (rel != nlp::dep::kNn && rel != nlp::dep::kAmod &&
+        rel != nlp::dep::kNum) {
+      continue;
+    }
+    // Inside a proper-name chunk, common-noun modifiers are appositive
+    // class words ("the comic Doctor Valiant"), not part of the name.
+    if (head_is_name) {
+      nlp::PosTag pos = tree.node(c).token.pos;
+      if (pos != nlp::PosTag::kProperNoun && pos != nlp::PosTag::kNumber) {
+        continue;
+      }
+    }
+    parts.push_back(c);
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string out;
+  for (int p : parts) {
+    if (!out.empty()) out += ' ';
+    out += tree.node(p).token.text;
+  }
+  return out;
+}
+
+}  // namespace qa
+}  // namespace ganswer

@@ -1,0 +1,52 @@
+#ifndef GANSWER_QA_SEMANTIC_RELATION_H_
+#define GANSWER_QA_SEMANTIC_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "nlp/dependency_tree.h"
+#include "paraphrase/paraphrase_dictionary.h"
+
+namespace ganswer {
+namespace qa {
+
+/// Sentinel phrase id for relations not backed by a dictionary phrase
+/// (default prepositional relations, whose edge matches any predicate).
+inline constexpr paraphrase::PhraseId kNoPhrase =
+    static_cast<paraphrase::PhraseId>(-1);
+
+/// An embedding of a relation phrase in the dependency tree (Definition 5):
+/// a connected subtree each of whose nodes carries one word of the phrase
+/// and which covers all phrase words.
+struct Embedding {
+  paraphrase::PhraseId phrase = kNoPhrase;
+  int root = -1;                ///< Root node of the subtree.
+  std::vector<int> nodes;      ///< All subtree node indices, sorted.
+
+  bool Contains(int node) const;
+};
+
+/// A semantic relation <rel, arg1, arg2> (Definition 1), anchored to the
+/// dependency tree it was extracted from.
+struct SemanticRelation {
+  std::string relation_text;   ///< Surface form, e.g. "married to".
+  paraphrase::PhraseId phrase = kNoPhrase;
+  Embedding embedding;
+  int arg1_node = -1;
+  int arg2_node = -1;
+  std::string arg1_text;
+  std::string arg2_text;
+
+  std::string ToString() const;
+};
+
+/// The argument phrase for dependency-tree node \p node: the node word plus
+/// its compound/modifier children (nn, amod, num), in sentence order — the
+/// text handed to entity linking ("Francis Ford Coppola", "Argentine
+/// films").
+std::string ArgumentPhrase(const nlp::DependencyTree& tree, int node);
+
+}  // namespace qa
+}  // namespace ganswer
+
+#endif  // GANSWER_QA_SEMANTIC_RELATION_H_

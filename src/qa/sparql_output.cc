@@ -1,0 +1,163 @@
+#include "qa/sparql_output.h"
+
+#include <algorithm>
+#include <set>
+
+#include "match/candidates.h"
+#include "paraphrase/predicate_path.h"
+
+namespace ganswer {
+namespace qa {
+
+namespace {
+
+using paraphrase::PredicatePath;
+using rdf::PatternTerm;
+using rdf::TriplePattern;
+
+}  // namespace
+
+// The candidate path (and orientation, read from the 'from' endpoint) that
+// connects the matched endpoints of this edge, best confidence first.
+std::optional<PredicatePath> SparqlOutput::ConnectingPath(
+    const rdf::RdfGraph& graph, const SqgEdge& edge, rdf::TermId u_from,
+    rdf::TermId u_to) {
+  if (edge.wildcard) {
+    // Any direct predicate: emit the first one found, oriented as stored.
+    for (const rdf::Edge& e : graph.OutEdges(u_from)) {
+      if (e.neighbor == u_to) {
+        return PredicatePath{{{e.predicate, true}}};
+      }
+    }
+    for (const rdf::Edge& e : graph.InEdges(u_from)) {
+      if (e.neighbor == u_to) {
+        return PredicatePath{{{e.predicate, false}}};
+      }
+    }
+    return std::nullopt;
+  }
+  for (const paraphrase::ParaphraseEntry& cand : edge.candidates) {
+    if (cand.path.IsSinglePredicate()) {
+      rdf::TermId p = cand.path.steps[0].predicate;
+      if (graph.HasTriple(u_from, p, u_to)) {
+        return PredicatePath{{{p, true}}};
+      }
+      if (graph.HasTriple(u_to, p, u_from)) {
+        return PredicatePath{{{p, false}}};
+      }
+    } else {
+      if (paraphrase::PathConnects(graph, u_from, u_to, cand.path)) {
+        return cand.path;
+      }
+      PredicatePath reversed = cand.path.Reversed();
+      if (paraphrase::PathConnects(graph, u_from, u_to, reversed)) {
+        return reversed;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+StatusOr<rdf::SparqlQuery> SparqlOutput::MatchToSparql(
+    const SemanticQueryGraph& sqg, const match::Match& match,
+    const rdf::RdfGraph& graph) {
+  if (match.assignment.size() != sqg.vertices.size()) {
+    return Status::InvalidArgument("match/query size mismatch");
+  }
+  const rdf::TermDictionary& dict = graph.dict();
+  rdf::SparqlQuery query;
+  query.form = sqg.form == SemanticQueryGraph::QuestionForm::kAsk
+                   ? rdf::SparqlQuery::Form::kAsk
+                   : rdf::SparqlQuery::Form::kSelect;
+  query.distinct = true;
+
+  int target = sqg.target_vertex;
+  std::vector<PatternTerm> terms(sqg.vertices.size());
+  for (size_t v = 0; v < sqg.vertices.size(); ++v) {
+    rdf::TermId u = match.assignment[v];
+    bool is_target = static_cast<int>(v) == target;
+    if (is_target || u == rdf::kInvalidTerm) {
+      terms[v] = PatternTerm::Var("v" + std::to_string(v));
+      // Type-constrain the variable when the vertex was matched through a
+      // class candidate (Definition 3 condition 2).
+      if (is_target && u != rdf::kInvalidTerm) {
+        for (const linking::LinkCandidate& c : sqg.vertices[v].candidates) {
+          if (c.is_class && graph.IsInstanceOf(u, c.vertex)) {
+            TriplePattern tp;
+            tp.subject = terms[v];
+            tp.predicate = PatternTerm::Iri(std::string(rdf::kTypePredicate));
+            tp.object = PatternTerm::Iri(dict.text(c.vertex));
+            query.patterns.push_back(std::move(tp));
+            break;
+          }
+        }
+      }
+    } else {
+      const std::string& text = dict.text(u);
+      terms[v] = dict.IsLiteral(u) ? PatternTerm::Literal(text)
+                                   : PatternTerm::Iri(text);
+    }
+  }
+
+  for (size_t e = 0; e < sqg.edges.size(); ++e) {
+    const SqgEdge& edge = sqg.edges[e];
+    rdf::TermId uf = match.assignment[edge.from];
+    rdf::TermId ut = match.assignment[edge.to];
+    if (uf == rdf::kInvalidTerm || ut == rdf::kInvalidTerm) continue;
+    auto path = ConnectingPath(graph, edge, uf, ut);
+    if (!path.has_value()) {
+      return Status::Internal(
+          "match does not instantiate edge \"" +
+          edge.relation.relation_text + "\"");
+    }
+    PatternTerm current = terms[edge.from];
+    for (size_t s = 0; s < path->steps.size(); ++s) {
+      PatternTerm next = (s + 1 == path->steps.size())
+                             ? terms[edge.to]
+                             : PatternTerm::Var("m" + std::to_string(e) + "_" +
+                                                std::to_string(s));
+      const paraphrase::PathStep& step = path->steps[s];
+      TriplePattern tp;
+      PatternTerm pred = PatternTerm::Iri(dict.text(step.predicate));
+      if (step.forward) {
+        tp.subject = current;
+        tp.predicate = pred;
+        tp.object = next;
+      } else {
+        tp.subject = next;
+        tp.predicate = pred;
+        tp.object = current;
+      }
+      query.patterns.push_back(std::move(tp));
+      current = next;
+    }
+  }
+
+  if (query.form == rdf::SparqlQuery::Form::kSelect) {
+    int t = target >= 0 ? target : 0;
+    if (terms[t].is_var) {
+      query.select_vars.push_back(terms[t].text);
+    } else {
+      query.select_all = true;
+    }
+  }
+  return query;
+}
+
+std::vector<rdf::SparqlQuery> SparqlOutput::TopKQueries(
+    const SemanticQueryGraph& sqg, const std::vector<match::Match>& matches,
+    const rdf::RdfGraph& graph, size_t k) {
+  std::vector<rdf::SparqlQuery> out;
+  std::set<std::string> seen;
+  for (const match::Match& m : matches) {
+    if (out.size() >= k) break;
+    auto q = MatchToSparql(sqg, m, graph);
+    if (!q.ok()) continue;
+    std::string text = q->ToString();
+    if (seen.insert(text).second) out.push_back(std::move(*q));
+  }
+  return out;
+}
+
+}  // namespace qa
+}  // namespace ganswer

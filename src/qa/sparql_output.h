@@ -1,0 +1,58 @@
+#ifndef GANSWER_QA_SPARQL_OUTPUT_H_
+#define GANSWER_QA_SPARQL_OUTPUT_H_
+
+#include <vector>
+
+#include <optional>
+
+#include "common/status.h"
+#include "match/query_graph.h"
+#include "qa/semantic_query_graph.h"
+#include "rdf/sparql.h"
+
+namespace ganswer {
+namespace qa {
+
+/// \brief Lowers subgraph matches back to SPARQL.
+///
+/// The paper's Algorithm 3 is literally titled "Generating Top-k SPARQL
+/// Queries": every top-k match of Q^S corresponds to one concrete SPARQL
+/// query — the disambiguated interpretation the match instantiates. The
+/// gAnswer pipeline answers directly from the matches, but exposing the
+/// queries matters for interoperability (run them on any SPARQL endpoint)
+/// and for explaining answers.
+///
+/// Lowering rules per match:
+///  - the target vertex stays a variable (plus an rdf:type pattern when the
+///    match entered through a class candidate);
+///  - every other vertex is frozen to its matched entity;
+///  - each edge emits the candidate predicate/path that actually connects
+///    the matched endpoints, in the connecting orientation, chaining fresh
+///    variables for multi-hop paths.
+class SparqlOutput {
+ public:
+  /// Lowers one match. Fails when the match does not actually instantiate
+  /// the query graph (no candidate connects some matched edge).
+  static StatusOr<rdf::SparqlQuery> MatchToSparql(
+      const SemanticQueryGraph& sqg, const match::Match& match,
+      const rdf::RdfGraph& graph);
+
+  /// Lowers the top-k matches, skipping duplicates (two matches that differ
+  /// only in the target binding lower to the same query).
+  static std::vector<rdf::SparqlQuery> TopKQueries(
+      const SemanticQueryGraph& sqg, const std::vector<match::Match>& matches,
+      const rdf::RdfGraph& graph, size_t k);
+
+  /// The candidate predicate path that actually connects the two matched
+  /// endpoints of \p edge, oriented from \p u_from; nullopt when nothing
+  /// connects them (the match would be invalid). Exposed for answer
+  /// explanation.
+  static std::optional<paraphrase::PredicatePath> ConnectingPath(
+      const rdf::RdfGraph& graph, const SqgEdge& edge, rdf::TermId u_from,
+      rdf::TermId u_to);
+};
+
+}  // namespace qa
+}  // namespace ganswer
+
+#endif  // GANSWER_QA_SPARQL_OUTPUT_H_

@@ -1,0 +1,145 @@
+#include "qa/superlative.h"
+
+#include <cstdlib>
+#include <limits>
+
+namespace ganswer {
+namespace qa {
+
+namespace {
+
+struct SuperlativeRule {
+  const char* adjective;   // lemma of the superlative form
+  const char* noun;        // required modified-noun lemma, or nullptr = any
+  const char* predicate;
+  bool take_max;
+};
+
+// The superlative vocabulary of the QALD-style workload. "youngest" means
+// the LATEST birth date, hence take_max.
+const SuperlativeRule kRules[] = {
+    {"youngest", nullptr, "birthDate", true},
+    {"oldest", nullptr, "birthDate", false},
+    {"highest", nullptr, "elevation", true},
+    {"tallest", nullptr, "height", true},
+    {"largest", nullptr, "populationTotal", true},
+    {"biggest", nullptr, "populationTotal", true},
+    {"smallest", nullptr, "populationTotal", false},
+    {"most", "inhabitant", "populationTotal", true},
+    {"most", "people", "populationTotal", true},
+};
+
+}  // namespace
+
+SuperlativeResolver::SuperlativeResolver(const rdf::RdfGraph* graph)
+    : graph_(graph) {}
+
+std::optional<SuperlativeResolver::Detection> SuperlativeResolver::Detect(
+    const nlp::DependencyTree& tree) const {
+  for (int i = 0; i < static_cast<int>(tree.size()); ++i) {
+    const nlp::DepNode& node = tree.node(i);
+    if (node.token.pos != nlp::PosTag::kAdjective) continue;
+    const std::string& adj = node.token.lemma;
+    // The noun the adjective modifies (its amod parent).
+    std::string noun;
+    if (node.parent >= 0 && node.relation == nlp::dep::kAmod) {
+      noun = tree.node(node.parent).token.lemma;
+    }
+    for (const SuperlativeRule& rule : kRules) {
+      if (adj != rule.adjective) continue;
+      if (rule.noun != nullptr && noun != rule.noun) continue;
+      if (!graph_->Find(rule.predicate).has_value()) continue;
+      Detection d;
+      d.surface = rule.noun == nullptr ? adj : adj + " " + noun;
+      d.value_predicate = rule.predicate;
+      d.take_max = rule.take_max;
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+bool SuperlativeResolver::DetectCount(const nlp::DependencyTree& tree) {
+  for (int i = 0; i + 1 < static_cast<int>(tree.size()); ++i) {
+    if (tree.node(i).token.lower == "how" &&
+        tree.node(i + 1).token.lower == "many") {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<rdf::TermId> SuperlativeResolver::Apply(
+    const Detection& detection,
+    const std::vector<rdf::TermId>& candidates) const {
+  auto pred = graph_->Find(detection.value_predicate);
+  if (!pred.has_value()) return {};
+
+  const rdf::TermDictionary& dict = graph_->dict();
+  auto value_key = [&](rdf::TermId value) {
+    const std::string& text = dict.text(value);
+    char* end = nullptr;
+    double num = std::strtod(text.c_str(), &end);
+    bool numeric = end != text.c_str() && *end == '\0';
+    return std::pair<bool, double>(numeric, num);
+  };
+
+  std::vector<rdf::TermId> best;
+  bool have_best = false;
+  std::pair<bool, double> best_num{false, 0};
+  std::string best_text;
+
+  for (rdf::TermId c : candidates) {
+    auto values = graph_->Objects(c, *pred);
+    if (values.empty()) continue;
+    // An entity with several values counts by its extreme one (numeric
+    // compare when both sides parse, else lexicographic — widths differ
+    // for populations, so string compare would mis-order them).
+    rdf::TermId extreme = values[0];
+    for (rdf::TermId v : values) {
+      auto [vn, vv] = value_key(v);
+      auto [en, ev] = value_key(extreme);
+      bool better;
+      if (vn && en) {
+        better = detection.take_max ? vv > ev : vv < ev;
+      } else {
+        const std::string& a = dict.text(v);
+        const std::string& b = dict.text(extreme);
+        better = detection.take_max ? a > b : a < b;
+      }
+      if (better) extreme = v;
+    }
+    auto [numeric, num] = value_key(extreme);
+    const std::string& text = dict.text(extreme);
+
+    int cmp;  // -1: worse than best, 0: tie, 1: better
+    if (!have_best) {
+      cmp = 1;
+    } else if (numeric && best_num.first) {
+      cmp = num == best_num.second ? 0
+            : (detection.take_max ? num > best_num.second
+                                  : num < best_num.second)
+                ? 1
+                : -1;
+    } else {
+      cmp = text == best_text
+                ? 0
+                : (detection.take_max ? text > best_text : text < best_text)
+                      ? 1
+                      : -1;
+    }
+    if (cmp > 0) {
+      best.clear();
+      best.push_back(c);
+      best_num = {numeric, num};
+      best_text = text;
+      have_best = true;
+    } else if (cmp == 0) {
+      best.push_back(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace qa
+}  // namespace ganswer

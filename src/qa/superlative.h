@@ -1,0 +1,64 @@
+#ifndef GANSWER_QA_SUPERLATIVE_H_
+#define GANSWER_QA_SUPERLATIVE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nlp/dependency_tree.h"
+#include "rdf/rdf_graph.h"
+
+namespace ganswer {
+namespace qa {
+
+/// \brief EXTENSION (beyond the paper): superlative / aggregation
+/// questions.
+///
+/// The paper's Table 10 reports 35% of its failures as aggregation
+/// questions ("Who is the youngest player in the Premier League?") that
+/// would need SPARQL with ORDER BY/OFFSET/LIMIT, and leaves them as future
+/// work. This resolver closes that gap for the common superlative shapes:
+///
+///   - a superlative adjective modifying a noun phrase
+///     ("youngest player", "highest mountain"), and
+///   - "the most <noun>" ("the most inhabitants"),
+///
+/// by mapping the superlative onto a value predicate and an argmax/argmin
+/// over the candidate answers the ordinary pipeline produced. It is off by
+/// default (GAnswer::Options::enable_superlatives) so the paper-faithful
+/// behavior — these questions fail — stays the default.
+class SuperlativeResolver {
+ public:
+  struct Detection {
+    std::string surface;          ///< "youngest", "most inhabitants".
+    std::string value_predicate;  ///< e.g. "birthDate".
+    bool take_max = true;         ///< argmax vs argmin of the value.
+  };
+
+  /// \p graph must be finalized and outlive the resolver.
+  explicit SuperlativeResolver(const rdf::RdfGraph* graph);
+
+  /// Scans the dependency tree for a superlative pattern with a known
+  /// value-predicate mapping.
+  std::optional<Detection> Detect(const nlp::DependencyTree& tree) const;
+
+  /// True when the question is a count question ("How many X ..."): the
+  /// COUNT flavour of the paper's aggregation category. The caller then
+  /// reports the size of the answer set instead of the answers.
+  static bool DetectCount(const nlp::DependencyTree& tree);
+
+  /// Keeps, among \p candidates, those with the extreme value of the
+  /// detection's predicate (ties kept; candidates without a value
+  /// dropped). Values that parse as numbers compare numerically, others
+  /// lexicographically (ISO dates order correctly).
+  std::vector<rdf::TermId> Apply(const Detection& detection,
+                                 const std::vector<rdf::TermId>& candidates) const;
+
+ private:
+  const rdf::RdfGraph* graph_;
+};
+
+}  // namespace qa
+}  // namespace ganswer
+
+#endif  // GANSWER_QA_SUPERLATIVE_H_

@@ -1,0 +1,204 @@
+#include "rdf/ntriples.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ganswer {
+namespace rdf {
+
+namespace {
+
+constexpr std::string_view kRdfTypeIri =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+constexpr std::string_view kSubClassIri =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+constexpr std::string_view kLabelIri =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+
+std::string_view Canonicalize(std::string_view iri) {
+  if (iri == kRdfTypeIri) return kTypePredicate;
+  if (iri == kSubClassIri) return kSubClassOfPredicate;
+  if (iri == kLabelIri) return kLabelPredicate;
+  return iri;
+}
+
+// Parses one term starting at position *pos of line. On success advances
+// *pos past the term and trailing spaces, fills text/kind.
+Status ParseTerm(std::string_view line, size_t* pos, std::string* text,
+                 TermKind* kind, size_t line_no) {
+  while (*pos < line.size() && line[*pos] == ' ') ++*pos;
+  if (*pos >= line.size()) {
+    return Status::Corruption("line " + std::to_string(line_no) +
+                              ": unexpected end of line");
+  }
+  char c = line[*pos];
+  if (c == '<') {
+    size_t end = line.find('>', *pos + 1);
+    if (end == std::string_view::npos) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": unterminated IRI");
+    }
+    *text = std::string(Canonicalize(line.substr(*pos + 1, end - *pos - 1)));
+    *kind = TermKind::kIri;
+    *pos = end + 1;
+    return Status::Ok();
+  }
+  if (c == '"') {
+    std::string value;
+    size_t i = *pos + 1;
+    bool closed = false;
+    while (i < line.size()) {
+      char d = line[i];
+      if (d == '\\' && i + 1 < line.size()) {
+        char esc = line[i + 1];
+        switch (esc) {
+          case 'n':
+            value += '\n';
+            break;
+          case 't':
+            value += '\t';
+            break;
+          case '\\':
+            value += '\\';
+            break;
+          case '"':
+            value += '"';
+            break;
+          default:
+            value += esc;
+        }
+        i += 2;
+        continue;
+      }
+      if (d == '"') {
+        closed = true;
+        ++i;
+        break;
+      }
+      value += d;
+      ++i;
+    }
+    if (!closed) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": unterminated literal");
+    }
+    // Skip an optional datatype (^^<...>) or language tag (@xx).
+    if (i + 1 < line.size() && line[i] == '^' && line[i + 1] == '^') {
+      size_t gt = line.find('>', i);
+      if (gt == std::string_view::npos) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": unterminated datatype IRI");
+      }
+      i = gt + 1;
+    } else if (i < line.size() && line[i] == '@') {
+      while (i < line.size() && line[i] != ' ') ++i;
+    }
+    *text = std::move(value);
+    *kind = TermKind::kLiteral;
+    *pos = i;
+    return Status::Ok();
+  }
+  return Status::Corruption("line " + std::to_string(line_no) +
+                            ": expected '<' or '\"', got '" +
+                            std::string(1, c) + "'");
+}
+
+}  // namespace
+
+Status NTriplesReader::ParseString(std::string_view text, RdfGraph* graph) {
+  if (graph == nullptr) return Status::InvalidArgument("null graph");
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = Trim(text.substr(start, nl - start));
+    ++line_no;
+    start = nl + 1;
+    if (line.empty() || line[0] == '#') {
+      if (nl == text.size()) break;
+      continue;
+    }
+
+    size_t pos = 0;
+    std::string s, p, o;
+    TermKind sk, pk, ok;
+    GANSWER_RETURN_NOT_OK(ParseTerm(line, &pos, &s, &sk, line_no));
+    GANSWER_RETURN_NOT_OK(ParseTerm(line, &pos, &p, &pk, line_no));
+    GANSWER_RETURN_NOT_OK(ParseTerm(line, &pos, &o, &ok, line_no));
+    if (sk != TermKind::kIri || pk != TermKind::kIri) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": subject and predicate must be IRIs");
+    }
+    std::string_view rest = Trim(line.substr(pos));
+    if (rest != ".") {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": expected terminating '.'");
+    }
+    graph->AddTriple(s, p, o, ok);
+    if (nl == text.size()) break;
+  }
+  return Status::Ok();
+}
+
+Status NTriplesReader::ParseFile(const std::string& path, RdfGraph* graph) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseString(buf.str(), graph);
+}
+
+namespace {
+
+void WriteTerm(const TermDictionary& dict, TermId id, std::ostream* out) {
+  const std::string& text = dict.text(id);
+  if (dict.IsLiteral(id)) {
+    *out << '"';
+    for (char c : text) {
+      switch (c) {
+        case '"':
+          *out << "\\\"";
+          break;
+        case '\\':
+          *out << "\\\\";
+          break;
+        case '\n':
+          *out << "\\n";
+          break;
+        default:
+          *out << c;
+      }
+    }
+    *out << '"';
+  } else {
+    *out << '<' << text << '>';
+  }
+}
+
+}  // namespace
+
+Status NTriplesWriter::Write(const RdfGraph& graph, std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null stream");
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("graph must be finalized before writing");
+  }
+  const TermDictionary& dict = graph.dict();
+  for (TermId s = 0; s < dict.size(); ++s) {
+    for (const Edge& e : graph.OutEdges(s)) {
+      WriteTerm(dict, s, out);
+      *out << ' ';
+      WriteTerm(dict, e.predicate, out);
+      *out << ' ';
+      WriteTerm(dict, e.neighbor, out);
+      *out << " .\n";
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace rdf
+}  // namespace ganswer

@@ -1,0 +1,43 @@
+#ifndef GANSWER_RDF_NTRIPLES_H_
+#define GANSWER_RDF_NTRIPLES_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/rdf_graph.h"
+
+namespace ganswer {
+namespace rdf {
+
+/// \brief Line-oriented N-Triples reader/writer.
+///
+/// Supported syntax per line:
+///   <subject> <predicate> <object> .
+///   <subject> <predicate> "literal" .
+///   # comment lines and blank lines are skipped.
+///
+/// IRIs are stored verbatim (without angle brackets). The common namespace
+/// IRIs for rdf:type / rdfs:subClassOf / rdfs:label are canonicalized to the
+/// short forms RdfGraph uses.
+class NTriplesReader {
+ public:
+  /// Parses \p text, adding triples into \p graph. Does not Finalize().
+  /// Returns the first syntax error with its line number.
+  static Status ParseString(std::string_view text, RdfGraph* graph);
+
+  /// Reads \p path and parses it as N-Triples.
+  static Status ParseFile(const std::string& path, RdfGraph* graph);
+};
+
+class NTriplesWriter {
+ public:
+  /// Serializes all triples of a finalized \p graph to \p out.
+  static Status Write(const RdfGraph& graph, std::ostream* out);
+};
+
+}  // namespace rdf
+}  // namespace ganswer
+
+#endif  // GANSWER_RDF_NTRIPLES_H_

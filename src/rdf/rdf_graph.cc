@@ -1,0 +1,219 @@
+#include "rdf/rdf_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ganswer {
+namespace rdf {
+
+RdfGraph::RdfGraph() {
+  // Reserve the well-known predicates up front so their ids exist even for
+  // graphs that never mention them.
+  type_pred_ = dict_.Intern(kTypePredicate);
+  subclass_pred_ = dict_.Intern(kSubClassOfPredicate);
+  label_pred_ = dict_.Intern(kLabelPredicate);
+}
+
+void RdfGraph::AddTriple(std::string_view subject, std::string_view predicate,
+                         std::string_view object, TermKind object_kind) {
+  Triple t;
+  t.subject = dict_.Intern(subject);
+  t.predicate = dict_.Intern(predicate);
+  t.object = dict_.Intern(object, object_kind);
+  AddTriple(t);
+}
+
+void RdfGraph::AddTriple(Triple t) {
+  pending_.push_back(t);
+  finalized_ = false;
+}
+
+void RdfGraph::EnsureVertex(TermId v) {
+  if (out_.size() <= v) {
+    out_.resize(v + 1);
+    in_.resize(v + 1);
+  }
+}
+
+Status RdfGraph::Finalize() {
+  if (finalized_ && pending_.empty()) return Status::Ok();
+
+  // Size vectors to the whole dictionary so unknown lookups are safe.
+  size_t n = dict_.size();
+  if (out_.size() < n) {
+    out_.resize(n);
+    in_.resize(n);
+  }
+  if (predicate_freq_.size() < n) predicate_freq_.resize(n, 0);
+
+  for (const Triple& t : pending_) {
+    if (t.subject == kInvalidTerm || t.predicate == kInvalidTerm ||
+        t.object == kInvalidTerm) {
+      return Status::InvalidArgument("triple with invalid term id");
+    }
+    EnsureVertex(std::max({t.subject, t.object, t.predicate}));
+    out_[t.subject].push_back({t.predicate, t.object});
+    in_[t.object].push_back({t.predicate, t.subject});
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+
+  num_triples_ = 0;
+  max_degree_ = 0;
+  std::fill(predicate_freq_.begin(), predicate_freq_.end(), 0);
+  if (predicate_freq_.size() < dict_.size()) {
+    predicate_freq_.resize(dict_.size(), 0);
+  }
+  for (size_t v = 0; v < out_.size(); ++v) {
+    auto& edges = out_[v];
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    num_triples_ += edges.size();
+    for (const Edge& e : edges) ++predicate_freq_[e.predicate];
+  }
+  for (size_t v = 0; v < in_.size(); ++v) {
+    auto& edges = in_[v];
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    max_degree_ = std::max(max_degree_, out_[v].size() + edges.size());
+  }
+
+  predicates_.clear();
+  for (TermId p = 0; p < predicate_freq_.size(); ++p) {
+    if (predicate_freq_[p] > 0) predicates_.push_back(p);
+  }
+
+  // A vertex is a class iff it is the object of rdf:type or touches
+  // rdfs:subClassOf on either side.
+  is_class_.assign(dict_.size(), false);
+  for (TermId v = 0; v < out_.size(); ++v) {
+    for (const Edge& e : out_[v]) {
+      if (e.predicate == type_pred_) is_class_[e.neighbor] = true;
+      if (e.predicate == subclass_pred_) {
+        is_class_[v] = true;
+        is_class_[e.neighbor] = true;
+      }
+    }
+  }
+
+  finalized_ = true;
+  return Status::Ok();
+}
+
+std::span<const Edge> RdfGraph::OutEdges(TermId v) const {
+  if (v >= out_.size()) return {};
+  return out_[v];
+}
+
+std::span<const Edge> RdfGraph::InEdges(TermId v) const {
+  if (v >= in_.size()) return {};
+  return in_[v];
+}
+
+bool RdfGraph::HasTriple(TermId s, TermId p, TermId o) const {
+  auto edges = OutEdges(s);
+  Edge key{p, o};
+  return std::binary_search(edges.begin(), edges.end(), key);
+}
+
+std::vector<TermId> RdfGraph::Objects(TermId s, TermId p) const {
+  std::vector<TermId> out;
+  auto edges = OutEdges(s);
+  auto lo = std::lower_bound(edges.begin(), edges.end(), Edge{p, 0});
+  for (auto it = lo; it != edges.end() && it->predicate == p; ++it) {
+    out.push_back(it->neighbor);
+  }
+  return out;
+}
+
+std::vector<TermId> RdfGraph::Subjects(TermId p, TermId o) const {
+  std::vector<TermId> out;
+  auto edges = InEdges(o);
+  auto lo = std::lower_bound(edges.begin(), edges.end(), Edge{p, 0});
+  for (auto it = lo; it != edges.end() && it->predicate == p; ++it) {
+    out.push_back(it->neighbor);
+  }
+  return out;
+}
+
+bool RdfGraph::IsClass(TermId v) const {
+  return v < is_class_.size() && is_class_[v];
+}
+
+bool RdfGraph::IsEntity(TermId v) const {
+  if (v >= dict_.size() || dict_.IsLiteral(v)) return false;
+  if (IsClass(v)) return false;
+  // Predicate-only terms (never appear as subject or object) are not
+  // entities.
+  return Degree(v) > 0;
+}
+
+std::vector<TermId> RdfGraph::DirectTypes(TermId v) const {
+  return Objects(v, type_pred_);
+}
+
+std::vector<TermId> RdfGraph::SuperClassesOf(TermId cls) const {
+  std::vector<TermId> out;
+  std::vector<bool> seen(dict_.size(), false);
+  std::queue<TermId> q;
+  q.push(cls);
+  if (cls < seen.size()) seen[cls] = true;
+  while (!q.empty()) {
+    TermId c = q.front();
+    q.pop();
+    out.push_back(c);
+    for (TermId super : Objects(c, subclass_pred_)) {
+      if (!seen[super]) {
+        seen[super] = true;
+        q.push(super);
+      }
+    }
+  }
+  return out;
+}
+
+bool RdfGraph::IsInstanceOf(TermId v, TermId cls) const {
+  for (TermId direct : DirectTypes(v)) {
+    if (direct == cls) return true;
+    for (TermId super : SuperClassesOf(direct)) {
+      if (super == cls) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<TermId> RdfGraph::InstancesOf(TermId cls) const {
+  // Instances of cls and of every subclass of cls.
+  std::vector<TermId> result;
+  std::vector<bool> seen_cls(dict_.size(), false);
+  std::vector<bool> seen_inst(dict_.size(), false);
+  std::queue<TermId> q;
+  q.push(cls);
+  if (cls < seen_cls.size()) seen_cls[cls] = true;
+  while (!q.empty()) {
+    TermId c = q.front();
+    q.pop();
+    for (TermId inst : Subjects(type_pred_, c)) {
+      if (!seen_inst[inst]) {
+        seen_inst[inst] = true;
+        result.push_back(inst);
+      }
+    }
+    for (TermId sub : Subjects(subclass_pred_, c)) {
+      if (!seen_cls[sub]) {
+        seen_cls[sub] = true;
+        q.push(sub);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+size_t RdfGraph::PredicateFrequency(TermId p) const {
+  if (p >= predicate_freq_.size()) return 0;
+  return predicate_freq_[p];
+}
+
+}  // namespace rdf
+}  // namespace ganswer

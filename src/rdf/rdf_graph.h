@@ -1,0 +1,156 @@
+#ifndef GANSWER_RDF_RDF_GRAPH_H_
+#define GANSWER_RDF_RDF_GRAPH_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term_dictionary.h"
+#include "rdf/triple.h"
+
+namespace ganswer {
+namespace rdf {
+
+/// Well-known predicate names. The data generator and the QA pipeline agree
+/// on these; the N-Triples parser maps full rdf:/rdfs: IRIs onto them.
+inline constexpr std::string_view kTypePredicate = "rdf:type";
+inline constexpr std::string_view kSubClassOfPredicate = "rdfs:subClassOf";
+inline constexpr std::string_view kLabelPredicate = "rdfs:label";
+
+/// One directed, predicate-labelled edge incident to a vertex.
+struct Edge {
+  TermId predicate = kInvalidTerm;
+  TermId neighbor = kInvalidTerm;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// \brief In-memory RDF graph: dictionary-encoded triples with per-vertex
+/// sorted adjacency lists (out- and in-edges), plus the type machinery the
+/// paper's match semantics need (class vertices, rdf:type with subclass
+/// closure).
+///
+/// Vertex ids are TermIds from the owned TermDictionary, so graph ids and
+/// dictionary ids can be used interchangeably.
+///
+/// Construction protocol: Intern terms / AddTriple in any order, then call
+/// Finalize() once. Queries before Finalize() are undefined.
+class RdfGraph {
+ public:
+  RdfGraph();
+
+  RdfGraph(const RdfGraph&) = delete;
+  RdfGraph& operator=(const RdfGraph&) = delete;
+  RdfGraph(RdfGraph&&) = default;
+  RdfGraph& operator=(RdfGraph&&) = default;
+
+  TermDictionary& dict() { return dict_; }
+  const TermDictionary& dict() const { return dict_; }
+
+  /// Interns the three terms and records the triple. Duplicate triples are
+  /// deduplicated at Finalize().
+  void AddTriple(std::string_view subject, std::string_view predicate,
+                 std::string_view object,
+                 TermKind object_kind = TermKind::kIri);
+
+  /// Records an already-encoded triple.
+  void AddTriple(Triple t);
+
+  /// Sorts and deduplicates adjacency, computes class/type info. Must be
+  /// called exactly once after the last AddTriple.
+  Status Finalize();
+  bool finalized() const { return finalized_; }
+
+  size_t NumTerms() const { return dict_.size(); }
+  size_t NumTriples() const { return num_triples_; }
+  size_t NumPredicates() const { return predicates_.size(); }
+  size_t MaxDegree() const { return max_degree_; }
+
+  /// Out-edges of \p v sorted by (predicate, neighbor).
+  std::span<const Edge> OutEdges(TermId v) const;
+  /// In-edges of \p v sorted by (predicate, neighbor); Edge::neighbor is the
+  /// source vertex.
+  std::span<const Edge> InEdges(TermId v) const;
+
+  size_t OutDegree(TermId v) const { return OutEdges(v).size(); }
+  size_t InDegree(TermId v) const { return InEdges(v).size(); }
+  size_t Degree(TermId v) const { return OutDegree(v) + InDegree(v); }
+
+  /// True when the exact triple <s, p, o> is present.
+  bool HasTriple(TermId s, TermId p, TermId o) const;
+
+  /// Objects o with <s, p, o> in the graph.
+  std::vector<TermId> Objects(TermId s, TermId p) const;
+  /// Subjects s with <s, p, o> in the graph.
+  std::vector<TermId> Subjects(TermId p, TermId o) const;
+
+  /// All distinct predicate ids used by at least one triple.
+  const std::vector<TermId>& Predicates() const { return predicates_; }
+
+  /// True when \p v names a class: it appears as the object of an rdf:type
+  /// triple or on either side of rdfs:subClassOf.
+  bool IsClass(TermId v) const;
+
+  /// True when \p v is an entity vertex (an IRI that is not a class and not
+  /// a predicate-only term).
+  bool IsEntity(TermId v) const;
+
+  /// Direct rdf:type classes of \p v (no closure).
+  std::vector<TermId> DirectTypes(TermId v) const;
+
+  /// True when \p v has rdf:type \p cls, directly or through the
+  /// rdfs:subClassOf closure.
+  bool IsInstanceOf(TermId v, TermId cls) const;
+
+  /// All entities whose (closed) type set contains \p cls.
+  std::vector<TermId> InstancesOf(TermId cls) const;
+
+  /// Super-classes of \p cls through rdfs:subClassOf, including \p cls.
+  std::vector<TermId> SuperClassesOf(TermId cls) const;
+
+  /// Number of triples whose predicate is \p p; 0 for unknown predicates.
+  /// Used by join ordering and candidate pruning as a selectivity estimate.
+  size_t PredicateFrequency(TermId p) const;
+
+  /// Convenience for tests and examples: id of the IRI term with this
+  /// text.
+  std::optional<TermId> Find(std::string_view text) const {
+    return dict_.Lookup(text);
+  }
+  /// Id of a term with this text of either kind (IRI preferred) — for
+  /// callers handling user-provided names that may denote literals
+  /// (nicknames, dates).
+  std::optional<TermId> FindTerm(std::string_view text) const {
+    return dict_.LookupAny(text);
+  }
+
+  TermId type_predicate() const { return type_pred_; }
+  TermId subclass_predicate() const { return subclass_pred_; }
+  TermId label_predicate() const { return label_pred_; }
+
+ private:
+  void EnsureVertex(TermId v);
+
+  TermDictionary dict_;
+  std::vector<Triple> pending_;
+  std::vector<std::vector<Edge>> out_;
+  std::vector<std::vector<Edge>> in_;
+  std::vector<bool> is_class_;
+  std::vector<TermId> predicates_;
+  std::vector<size_t> predicate_freq_;  // indexed by TermId, 0 if not a pred
+  size_t num_triples_ = 0;
+  size_t max_degree_ = 0;
+  bool finalized_ = false;
+  TermId type_pred_ = kInvalidTerm;
+  TermId subclass_pred_ = kInvalidTerm;
+  TermId label_pred_ = kInvalidTerm;
+};
+
+}  // namespace rdf
+}  // namespace ganswer
+
+#endif  // GANSWER_RDF_RDF_GRAPH_H_

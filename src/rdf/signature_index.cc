@@ -1,0 +1,33 @@
+#include "rdf/signature_index.h"
+
+namespace ganswer {
+namespace rdf {
+
+SignatureIndex::SignatureIndex(const RdfGraph& graph) {
+  size_t n = graph.dict().size();
+  out_.assign(n, 0);
+  in_.assign(n, 0);
+  for (TermId v = 0; v < n; ++v) {
+    for (const Edge& e : graph.OutEdges(v)) {
+      out_[v] |= PredicateBit(e.predicate);
+      in_[e.neighbor] |= PredicateBit(e.predicate);
+    }
+  }
+}
+
+SignatureIndex::Signature SignatureIndex::PredicateBit(TermId p) {
+  // Fibonacci hash of the predicate id onto one of 64 bits.
+  uint64_t h = static_cast<uint64_t>(p) * 0x9e3779b97f4a7c15ULL;
+  return Signature{1} << (h >> 58);
+}
+
+SignatureIndex::Signature SignatureIndex::OutSignature(TermId v) const {
+  return v < out_.size() ? out_[v] : 0;
+}
+
+SignatureIndex::Signature SignatureIndex::InSignature(TermId v) const {
+  return v < in_.size() ? in_[v] : 0;
+}
+
+}  // namespace rdf
+}  // namespace ganswer

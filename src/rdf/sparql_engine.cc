@@ -1,0 +1,332 @@
+#include "rdf/sparql_engine.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <limits>
+#include <set>
+
+#include "rdf/sparql_parser.h"
+
+namespace ganswer {
+namespace rdf {
+
+namespace {
+
+constexpr size_t kUnboundVar = static_cast<size_t>(-1);
+
+// A triple pattern with constants resolved to term ids and variables
+// resolved to slots in the binding vector.
+struct ResolvedPattern {
+  // For each position: var slot (if is_var) or constant term id.
+  std::array<bool, 3> is_var{};
+  std::array<size_t, 3> var_slot{};
+  std::array<TermId, 3> constant{};
+};
+
+}  // namespace
+
+SparqlEngine::SparqlEngine(const RdfGraph& graph) : graph_(graph) {
+  for (TermId p : graph.Predicates()) {
+    by_predicate_.emplace(p, std::vector<std::pair<TermId, TermId>>());
+  }
+  const TermDictionary& dict = graph.dict();
+  for (TermId s = 0; s < dict.size(); ++s) {
+    for (const Edge& e : graph.OutEdges(s)) {
+      by_predicate_[e.predicate].emplace_back(s, e.neighbor);
+    }
+  }
+}
+
+const std::vector<std::pair<TermId, TermId>>* SparqlEngine::PredicateScan(
+    TermId p) const {
+  auto it = by_predicate_.find(p);
+  if (it == by_predicate_.end()) return nullptr;
+  return &it->second;
+}
+
+StatusOr<std::vector<std::vector<TermId>>> SparqlEngine::EvaluateBgp(
+    const std::vector<TriplePattern>& patterns,
+    const std::vector<std::string>& out_vars, bool stop_at_first) const {
+  // Assign variable slots.
+  std::unordered_map<std::string, size_t> var_slots;
+  auto slot_of = [&](const std::string& name) {
+    auto [it, _] = var_slots.emplace(name, var_slots.size());
+    return it->second;
+  };
+
+  std::vector<ResolvedPattern> resolved;
+  resolved.reserve(patterns.size());
+  bool impossible = false;
+  for (const TriplePattern& tp : patterns) {
+    ResolvedPattern rp;
+    const PatternTerm* terms[3] = {&tp.subject, &tp.predicate, &tp.object};
+    for (int i = 0; i < 3; ++i) {
+      if (terms[i]->is_var) {
+        rp.is_var[i] = true;
+        rp.var_slot[i] = slot_of(terms[i]->text);
+      } else {
+        auto id = graph_.dict().Lookup(terms[i]->text, terms[i]->kind);
+        if (!id.has_value()) {
+          impossible = true;  // constant never interned: no matches
+          break;
+        }
+        rp.is_var[i] = false;
+        rp.constant[i] = *id;
+      }
+    }
+    if (impossible) break;
+    resolved.push_back(rp);
+  }
+
+  std::vector<size_t> out_slots;
+  for (const std::string& v : out_vars) {
+    auto it = var_slots.find(v);
+    if (it == var_slots.end()) {
+      return Status::InvalidArgument("selected variable ?" + v +
+                                     " not bound by any pattern");
+    }
+    out_slots.push_back(it->second);
+  }
+  if (impossible) return std::vector<std::vector<TermId>>{};
+
+  std::vector<TermId> binding(var_slots.size(), kInvalidTerm);
+  std::vector<bool> used(resolved.size(), false);
+  std::vector<std::vector<TermId>> rows;
+
+  // Value of pattern position i under the current binding, or kInvalidTerm.
+  auto value_of = [&](const ResolvedPattern& rp, int i) -> TermId {
+    if (!rp.is_var[i]) return rp.constant[i];
+    return binding[rp.var_slot[i]];
+  };
+
+  // Estimated number of candidate triples for a pattern under the current
+  // binding. Lower is more selective.
+  auto estimate = [&](const ResolvedPattern& rp) -> size_t {
+    TermId s = value_of(rp, 0), p = value_of(rp, 1), o = value_of(rp, 2);
+    bool sb = s != kInvalidTerm, pb = p != kInvalidTerm, ob = o != kInvalidTerm;
+    if (sb && pb && ob) return graph_.HasTriple(s, p, o) ? 1 : 0;
+    if (sb) return graph_.OutDegree(s);
+    if (ob) return graph_.InDegree(o);
+    if (pb) return graph_.PredicateFrequency(p);
+    return graph_.NumTriples();
+  };
+
+  // Materializes the concrete triples matching pattern rp under the current
+  // binding.
+  auto candidates = [&](const ResolvedPattern& rp) {
+    std::vector<std::array<TermId, 3>> out;
+    TermId s = value_of(rp, 0), p = value_of(rp, 1), o = value_of(rp, 2);
+    bool sb = s != kInvalidTerm, pb = p != kInvalidTerm, ob = o != kInvalidTerm;
+    if (sb && pb && ob) {
+      if (graph_.HasTriple(s, p, o)) out.push_back({s, p, o});
+    } else if (sb) {
+      for (const Edge& e : graph_.OutEdges(s)) {
+        if (pb && e.predicate != p) continue;
+        if (ob && e.neighbor != o) continue;
+        out.push_back({s, e.predicate, e.neighbor});
+      }
+    } else if (ob) {
+      for (const Edge& e : graph_.InEdges(o)) {
+        if (pb && e.predicate != p) continue;
+        out.push_back({e.neighbor, e.predicate, o});
+      }
+    } else if (pb) {
+      if (const auto* scan = PredicateScan(p)) {
+        for (const auto& [subj, obj] : *scan) out.push_back({subj, p, obj});
+      }
+    } else {
+      for (const auto& [pred, scan] : by_predicate_) {
+        for (const auto& [subj, obj] : scan) out.push_back({subj, pred, obj});
+      }
+    }
+    return out;
+  };
+
+  // Depth-first join with greedy selectivity ordering.
+  bool done = false;
+  auto recurse = [&](auto&& self, size_t depth) -> void {
+    if (done) return;
+    if (depth == resolved.size()) {
+      std::vector<TermId> row;
+      row.reserve(out_slots.size());
+      for (size_t slot : out_slots) row.push_back(binding[slot]);
+      rows.push_back(std::move(row));
+      if (stop_at_first) done = true;
+      return;
+    }
+    // Pick the most selective unused pattern.
+    size_t best = kUnboundVar;
+    size_t best_cost = std::numeric_limits<size_t>::max();
+    for (size_t i = 0; i < resolved.size(); ++i) {
+      if (used[i]) continue;
+      size_t cost = estimate(resolved[i]);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = i;
+      }
+    }
+    const ResolvedPattern& rp = resolved[best];
+    used[best] = true;
+    for (const auto& triple : candidates(rp)) {
+      // Bind unbound vars; check consistency for repeated vars within the
+      // pattern (e.g. ?x p ?x).
+      std::vector<size_t> newly_bound;
+      bool consistent = true;
+      for (int i = 0; i < 3 && consistent; ++i) {
+        if (!rp.is_var[i]) continue;
+        size_t slot = rp.var_slot[i];
+        if (binding[slot] == kInvalidTerm) {
+          binding[slot] = triple[i];
+          newly_bound.push_back(slot);
+        } else if (binding[slot] != triple[i]) {
+          consistent = false;
+        }
+      }
+      if (consistent) self(self, depth + 1);
+      for (size_t slot : newly_bound) binding[slot] = kInvalidTerm;
+      if (done) break;
+    }
+    used[best] = false;
+  };
+
+  if (resolved.empty()) {
+    // Empty BGP: one empty solution (SPARQL semantics).
+    rows.emplace_back(out_slots.size(), kInvalidTerm);
+  } else {
+    recurse(recurse, 0);
+  }
+  return rows;
+}
+
+StatusOr<SparqlResult> SparqlEngine::Execute(const SparqlQuery& query) const {
+  SparqlResult result;
+
+  // Collect output variables.
+  std::vector<std::string> out_vars = query.select_vars;
+  if (query.form == SparqlQuery::Form::kSelect && query.select_all) {
+    std::set<std::string> seen;
+    for (const TriplePattern& tp : query.patterns) {
+      for (const PatternTerm* t : {&tp.subject, &tp.predicate, &tp.object}) {
+        if (t->is_var && seen.insert(t->text).second) {
+          out_vars.push_back(t->text);
+        }
+      }
+    }
+  }
+  if (query.form == SparqlQuery::Form::kAsk) out_vars.clear();
+
+  bool stop_at_first = query.form == SparqlQuery::Form::kAsk;
+  auto rows = EvaluateBgp(query.patterns, out_vars, stop_at_first);
+  if (!rows.ok()) return rows.status();
+
+  if (query.form == SparqlQuery::Form::kAsk) {
+    result.ask_result = !rows->empty();
+    return result;
+  }
+
+  result.var_names = out_vars;
+  result.rows = std::move(rows).value();
+  if (query.distinct) {
+    std::sort(result.rows.begin(), result.rows.end());
+    result.rows.erase(std::unique(result.rows.begin(), result.rows.end()),
+                      result.rows.end());
+  }
+  if (query.order_by.has_value()) {
+    size_t col = out_vars.size();
+    for (size_t i = 0; i < out_vars.size(); ++i) {
+      if (out_vars[i] == query.order_by->var) col = i;
+    }
+    if (col == out_vars.size()) {
+      return Status::InvalidArgument("ORDER BY variable ?" +
+                                     query.order_by->var +
+                                     " is not among the result variables");
+    }
+    bool desc = query.order_by->descending;
+    const TermDictionary& dict = graph_.dict();
+    auto sort_key = [&](TermId t) -> std::pair<double, const std::string*> {
+      const std::string& text = dict.text(t);
+      char* end = nullptr;
+      double num = std::strtod(text.c_str(), &end);
+      bool numeric = end != text.c_str() && *end == '\0';
+      return {numeric ? num : std::numeric_limits<double>::quiet_NaN(), &text};
+    };
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [&](const std::vector<TermId>& a,
+                         const std::vector<TermId>& b) {
+                       auto [na, ta] = sort_key(a[col]);
+                       auto [nb, tb] = sort_key(b[col]);
+                       bool both_numeric = na == na && nb == nb;  // !NaN
+                       bool less = both_numeric ? na < nb : *ta < *tb;
+                       bool greater = both_numeric ? nb < na : *tb < *ta;
+                       return desc ? greater : less;
+                     });
+  }
+  if (query.offset.has_value()) {
+    size_t off = std::min(*query.offset, result.rows.size());
+    result.rows.erase(result.rows.begin(), result.rows.begin() + off);
+  }
+  if (query.limit.has_value() && result.rows.size() > *query.limit) {
+    result.rows.resize(*query.limit);
+  }
+  return result;
+}
+
+StatusOr<SparqlResult> SparqlEngine::ExecuteText(std::string_view text) const {
+  auto query = SparqlParser::Parse(text);
+  if (!query.ok()) return query.status();
+  return Execute(*query);
+}
+
+StatusOr<std::vector<TermId>> SparqlEngine::SelectOne(
+    const std::vector<TriplePattern>& patterns, const std::string& var) const {
+  auto rows = EvaluateBgp(patterns, {var}, /*stop_at_first=*/false);
+  if (!rows.ok()) return rows.status();
+  std::vector<TermId> out;
+  out.reserve(rows->size());
+  for (const auto& row : *rows) out.push_back(row[0]);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string SparqlQuery::ToString() const {
+  auto term_text = [](const PatternTerm& t) -> std::string {
+    if (t.is_var) return "?" + t.text;
+    if (t.kind == TermKind::kLiteral) return "\"" + t.text + "\"";
+    if (t.text.find(':') != std::string::npos &&
+        t.text.find("://") == std::string::npos) {
+      return t.text;  // prefixed name
+    }
+    return "<" + t.text + ">";
+  };
+  std::string out;
+  if (form == Form::kAsk) {
+    out = "ASK";
+  } else {
+    out = "SELECT";
+    if (distinct) out += " DISTINCT";
+    if (select_all || select_vars.empty()) {
+      out += " *";
+    } else {
+      for (const auto& v : select_vars) out += " ?" + v;
+    }
+  }
+  out += " WHERE { ";
+  for (const TriplePattern& tp : patterns) {
+    out += term_text(tp.subject) + " " + term_text(tp.predicate) + " " +
+           term_text(tp.object) + " . ";
+  }
+  out += "}";
+  if (order_by.has_value()) {
+    out += " ORDER BY ";
+    out += order_by->descending ? "DESC(" : "ASC(";
+    out += "?" + order_by->var + ")";
+  }
+  if (limit.has_value()) out += " LIMIT " + std::to_string(*limit);
+  if (offset.has_value()) out += " OFFSET " + std::to_string(*offset);
+  return out;
+}
+
+}  // namespace rdf
+}  // namespace ganswer

@@ -1,0 +1,60 @@
+#ifndef GANSWER_RDF_SPARQL_ENGINE_H_
+#define GANSWER_RDF_SPARQL_ENGINE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/rdf_graph.h"
+#include "rdf/sparql.h"
+
+namespace ganswer {
+namespace rdf {
+
+/// \brief Basic-graph-pattern evaluator over an RdfGraph.
+///
+/// Evaluation is backtracking join: patterns are dynamically reordered so
+/// that the next pattern evaluated is the one with the smallest estimated
+/// candidate set under the current partial binding (greedy selectivity
+/// ordering, the classic strategy of RDF-3X/gStore-style engines at small
+/// scale). A by-predicate triple index is built once per engine so patterns
+/// with only the predicate bound do not scan the whole graph.
+class SparqlEngine {
+ public:
+  /// \p graph must be finalized and must outlive the engine.
+  explicit SparqlEngine(const RdfGraph& graph);
+
+  /// Evaluates \p query. Fails with InvalidArgument for queries that use a
+  /// selected variable not bound by any pattern.
+  StatusOr<SparqlResult> Execute(const SparqlQuery& query) const;
+
+  /// Parses and evaluates SPARQL text.
+  StatusOr<SparqlResult> ExecuteText(std::string_view text) const;
+
+  /// Evaluates a bare BGP and returns every distinct binding of \p var.
+  /// Convenience used by gold-answer computation and the DEANNA baseline.
+  StatusOr<std::vector<TermId>> SelectOne(
+      const std::vector<TriplePattern>& patterns,
+      const std::string& var) const;
+
+  const RdfGraph& graph() const { return graph_; }
+
+ private:
+  struct Binding;
+
+  /// All (subject, object) pairs for predicate id \p p.
+  const std::vector<std::pair<TermId, TermId>>* PredicateScan(TermId p) const;
+
+  StatusOr<std::vector<std::vector<TermId>>> EvaluateBgp(
+      const std::vector<TriplePattern>& patterns,
+      const std::vector<std::string>& out_vars, bool stop_at_first) const;
+
+  const RdfGraph& graph_;
+  std::unordered_map<TermId, std::vector<std::pair<TermId, TermId>>>
+      by_predicate_;
+};
+
+}  // namespace rdf
+}  // namespace ganswer
+
+#endif  // GANSWER_RDF_SPARQL_ENGINE_H_

@@ -1,0 +1,254 @@
+#include "rdf/sparql_parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace ganswer {
+namespace rdf {
+
+namespace {
+
+enum class TokKind { kWord, kVar, kIri, kLiteral, kPunct, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '?' || c == '$') {
+        ++pos_;
+        size_t start = pos_;
+        while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+        if (pos_ == start) return Status::InvalidArgument("empty variable name");
+        out.push_back({TokKind::kVar, std::string(text_.substr(start, pos_ - start))});
+        continue;
+      }
+      if (c == '<') {
+        size_t end = text_.find('>', pos_ + 1);
+        if (end == std::string_view::npos) {
+          return Status::InvalidArgument("unterminated IRI");
+        }
+        out.push_back({TokKind::kIri,
+                       std::string(text_.substr(pos_ + 1, end - pos_ - 1))});
+        pos_ = end + 1;
+        continue;
+      }
+      if (c == '"') {
+        std::string value;
+        ++pos_;
+        bool closed = false;
+        while (pos_ < text_.size()) {
+          char d = text_[pos_];
+          if (d == '\\' && pos_ + 1 < text_.size()) {
+            value += text_[pos_ + 1];
+            pos_ += 2;
+            continue;
+          }
+          if (d == '"') {
+            closed = true;
+            ++pos_;
+            break;
+          }
+          value += d;
+          ++pos_;
+        }
+        if (!closed) return Status::InvalidArgument("unterminated literal");
+        out.push_back({TokKind::kLiteral, std::move(value)});
+        continue;
+      }
+      if (c == '{' || c == '}' || c == '.' || c == '*' || c == ';' ||
+          c == '(' || c == ')') {
+        out.push_back({TokKind::kPunct, std::string(1, c)});
+        ++pos_;
+        continue;
+      }
+      if (IsNameChar(c)) {
+        size_t start = pos_;
+        while (pos_ < text_.size() && (IsNameChar(text_[pos_]) || text_[pos_] == ':')) {
+          ++pos_;
+        }
+        out.push_back({TokKind::kWord,
+                       std::string(text_.substr(start, pos_ - start))});
+        continue;
+      }
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "'");
+    }
+    out.push_back({TokKind::kEnd, ""});
+    return out;
+  }
+
+ private:
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-';
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<SparqlQuery> Run() {
+    SparqlQuery q;
+    if (MatchKeyword("SELECT")) {
+      q.form = SparqlQuery::Form::kSelect;
+      if (MatchKeyword("DISTINCT")) q.distinct = true;
+      if (MatchPunct("*")) {
+        q.select_all = true;
+      } else {
+        while (Peek().kind == TokKind::kVar) {
+          q.select_vars.push_back(Next().text);
+        }
+        if (q.select_vars.empty()) {
+          return Status::InvalidArgument("SELECT requires '*' or variables");
+        }
+      }
+    } else if (MatchKeyword("ASK")) {
+      q.form = SparqlQuery::Form::kAsk;
+    } else {
+      return Status::InvalidArgument("query must start with SELECT or ASK");
+    }
+
+    MatchKeyword("WHERE");  // optional
+    GANSWER_RETURN_NOT_OK(ParseGroup(&q));
+
+    if (MatchKeyword("ORDER")) {
+      if (!MatchKeyword("BY")) {
+        return Status::InvalidArgument("ORDER must be followed by BY");
+      }
+      SparqlQuery::OrderBy order;
+      if (MatchKeyword("DESC")) {
+        order.descending = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+      bool parenthesized = MatchPunct("(");
+      if (Peek().kind != TokKind::kVar) {
+        return Status::InvalidArgument("ORDER BY requires a variable");
+      }
+      order.var = Next().text;
+      if (parenthesized && !MatchPunct(")")) {
+        return Status::InvalidArgument("unterminated ORDER BY (...)");
+      }
+      q.order_by = std::move(order);
+    }
+    auto parse_count = [&](const char* kw, std::optional<size_t>* out) -> Status {
+      const Token& t = Peek();
+      if (t.kind != TokKind::kWord || !IsAllDigits(t.text)) {
+        return Status::InvalidArgument(std::string(kw) +
+                                       " requires an integer");
+      }
+      *out = static_cast<size_t>(std::stoull(Next().text));
+      return Status::Ok();
+    };
+    // LIMIT and OFFSET in either order (SPARQL allows both orders).
+    for (int i = 0; i < 2; ++i) {
+      if (MatchKeyword("LIMIT")) {
+        GANSWER_RETURN_NOT_OK(parse_count("LIMIT", &q.limit));
+      } else if (MatchKeyword("OFFSET")) {
+        GANSWER_RETURN_NOT_OK(parse_count("OFFSET", &q.offset));
+      }
+    }
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::InvalidArgument("trailing tokens after query: '" +
+                                     Peek().text + "'");
+    }
+    return q;
+  }
+
+ private:
+  Status ParseGroup(SparqlQuery* q) {
+    if (!MatchPunct("{")) return Status::InvalidArgument("expected '{'");
+    while (!MatchPunct("}")) {
+      if (Peek().kind == TokKind::kEnd) {
+        return Status::InvalidArgument("unterminated group pattern");
+      }
+      TriplePattern tp;
+      GANSWER_RETURN_NOT_OK(ParseTerm(&tp.subject));
+      GANSWER_RETURN_NOT_OK(ParseTerm(&tp.predicate));
+      GANSWER_RETURN_NOT_OK(ParseTerm(&tp.object));
+      q->patterns.push_back(std::move(tp));
+      MatchPunct(".");  // optional between and after patterns
+    }
+    return Status::Ok();
+  }
+
+  Status ParseTerm(PatternTerm* out) {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokKind::kVar:
+        *out = PatternTerm::Var(Next().text);
+        return Status::Ok();
+      case TokKind::kIri:
+        *out = PatternTerm::Iri(Next().text);
+        return Status::Ok();
+      case TokKind::kLiteral:
+        *out = PatternTerm::Literal(Next().text);
+        return Status::Ok();
+      case TokKind::kWord: {
+        // Prefixed name like rdf:type, or the shorthand 'a' for rdf:type.
+        std::string text = Next().text;
+        if (text == "a") text = "rdf:type";
+        *out = PatternTerm::Iri(std::move(text));
+        return Status::Ok();
+      }
+      default:
+        return Status::InvalidArgument("expected a term, got '" + t.text + "'");
+    }
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Next() { return tokens_[pos_++]; }
+
+  bool MatchKeyword(std::string_view kw) {
+    const Token& t = Peek();
+    if (t.kind == TokKind::kWord && ToLower(t.text) == ToLower(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchPunct(std::string_view p) {
+    const Token& t = Peek();
+    if (t.kind == TokKind::kPunct && t.text == p) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<SparqlQuery> SparqlParser::Parse(std::string_view text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Run();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Run();
+}
+
+}  // namespace rdf
+}  // namespace ganswer

@@ -1,0 +1,33 @@
+#ifndef GANSWER_RDF_SPARQL_PARSER_H_
+#define GANSWER_RDF_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/sparql.h"
+
+namespace ganswer {
+namespace rdf {
+
+/// \brief Hand-rolled recursive-descent parser for the SPARQL-lite fragment
+/// (see SparqlQuery). Grammar:
+///
+///   query    := select | ask
+///   select   := "SELECT" "DISTINCT"? ( "*" | var+ ) "WHERE"? group
+///               ("LIMIT" INT)?
+///   ask      := "ASK" "WHERE"? group
+///   group    := "{" (pattern ("." pattern?)*)? "}"
+///   pattern  := term term term
+///   term     := "?"NAME | "<"IRI">" | '"'LITERAL'"' | PREFIXED_NAME
+///
+/// Keywords are case-insensitive. PREFIXED_NAME ("rdf:type") is kept
+/// verbatim as an IRI text.
+class SparqlParser {
+ public:
+  static StatusOr<SparqlQuery> Parse(std::string_view text);
+};
+
+}  // namespace rdf
+}  // namespace ganswer
+
+#endif  // GANSWER_RDF_SPARQL_PARSER_H_

@@ -1,0 +1,45 @@
+#include "rdf/term_dictionary.h"
+
+namespace ganswer {
+namespace rdf {
+
+namespace {
+
+// Index key: literals get a prefix byte that cannot begin an IRI text used
+// by this codebase, separating the two term spaces in one map.
+std::string IndexKey(std::string_view text, TermKind kind) {
+  std::string key;
+  key.reserve(text.size() + 1);
+  key += kind == TermKind::kLiteral ? '\x01' : '\x02';
+  key += text;
+  return key;
+}
+
+}  // namespace
+
+TermId TermDictionary::Intern(std::string_view text, TermKind kind) {
+  std::string key = IndexKey(text, kind);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(texts_.size());
+  texts_.emplace_back(text);
+  kinds_.push_back(kind);
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+std::optional<TermId> TermDictionary::Lookup(std::string_view text,
+                                             TermKind kind) const {
+  auto it = index_.find(IndexKey(text, kind));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<TermId> TermDictionary::LookupAny(std::string_view text) const {
+  auto iri = Lookup(text, TermKind::kIri);
+  if (iri.has_value()) return iri;
+  return Lookup(text, TermKind::kLiteral);
+}
+
+}  // namespace rdf
+}  // namespace ganswer

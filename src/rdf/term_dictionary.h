@@ -1,0 +1,71 @@
+#ifndef GANSWER_RDF_TERM_DICTIONARY_H_
+#define GANSWER_RDF_TERM_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ganswer {
+namespace rdf {
+
+/// Integer id of an interned RDF term. Ids are dense, starting at 0, and
+/// double as vertex ids in RdfGraph.
+using TermId = uint32_t;
+
+/// Sentinel for "no term".
+constexpr TermId kInvalidTerm = static_cast<TermId>(-1);
+
+/// Kind of an interned term. IRIs name entities, classes and predicates;
+/// literals carry values ("1.98", "1962-03-21").
+enum class TermKind : uint8_t { kIri = 0, kLiteral = 1 };
+
+/// \brief Bidirectional string <-> id mapping for RDF terms.
+///
+/// All triples in an RdfGraph are dictionary-encoded: parsing interns each
+/// subject/predicate/object once and the engine works on dense uint32 ids,
+/// in the style of every disk-based RDF store (RDF-3X, gStore, Virtuoso).
+class TermDictionary {
+ public:
+  TermDictionary() = default;
+
+  // Movable, not copyable: the dictionary backs id stability for a graph.
+  TermDictionary(const TermDictionary&) = delete;
+  TermDictionary& operator=(const TermDictionary&) = delete;
+  TermDictionary(TermDictionary&&) = default;
+  TermDictionary& operator=(TermDictionary&&) = default;
+
+  /// Interns \p text with \p kind, returning the existing id when already
+  /// present. IRIs and literals live in SEPARATE term spaces: the literal
+  /// "country" (a label) and the IRI <country> (a predicate) are distinct
+  /// terms even though their texts match — as in any real RDF store.
+  TermId Intern(std::string_view text, TermKind kind = TermKind::kIri);
+
+  /// Id of the term with \p text and \p kind, or std::nullopt.
+  std::optional<TermId> Lookup(std::string_view text,
+                               TermKind kind = TermKind::kIri) const;
+
+  /// Id of a term with \p text of either kind, preferring the IRI.
+  std::optional<TermId> LookupAny(std::string_view text) const;
+
+  /// Text of term \p id. \p id must be valid.
+  const std::string& text(TermId id) const { return texts_[id]; }
+
+  TermKind kind(TermId id) const { return kinds_[id]; }
+  bool IsLiteral(TermId id) const { return kinds_[id] == TermKind::kLiteral; }
+
+  /// Number of interned terms; valid ids are [0, size()).
+  size_t size() const { return texts_.size(); }
+
+ private:
+  std::vector<std::string> texts_;
+  std::vector<TermKind> kinds_;
+  std::unordered_map<std::string, TermId> index_;
+};
+
+}  // namespace rdf
+}  // namespace ganswer
+
+#endif  // GANSWER_RDF_TERM_DICTIONARY_H_

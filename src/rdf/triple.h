@@ -1,0 +1,34 @@
+#ifndef GANSWER_RDF_TRIPLE_H_
+#define GANSWER_RDF_TRIPLE_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "rdf/term_dictionary.h"
+
+namespace ganswer {
+namespace rdf {
+
+/// A dictionary-encoded RDF triple <subject, predicate, object>.
+struct Triple {
+  TermId subject = kInvalidTerm;
+  TermId predicate = kInvalidTerm;
+  TermId object = kInvalidTerm;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+  friend auto operator<=>(const Triple&, const Triple&) = default;
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    size_t h = std::hash<uint64_t>()(
+        (static_cast<uint64_t>(t.subject) << 32) | t.predicate);
+    return h ^ (std::hash<uint32_t>()(t.object) + 0x9e3779b97f4a7c15ULL +
+                (h << 6) + (h >> 2));
+  }
+};
+
+}  // namespace rdf
+}  // namespace ganswer
+
+#endif  // GANSWER_RDF_TRIPLE_H_

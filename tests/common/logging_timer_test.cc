@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace ganswer {
+namespace {
+
+TEST(LoggingTest, LevelGateRoundTrips) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold messages are dropped (no crash, no way to observe the
+  // write here beyond it not aborting).
+  GANSWER_LOG(Debug) << "dropped " << 42;
+  GANSWER_LOG(Error) << "emitted " << 1.5;
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, StreamAcceptsMixedTypes) {
+  SetLogLevel(LogLevel::kError);  // keep test output clean
+  GANSWER_LOG(Info) << "s" << 1 << ' ' << 2.5 << true;
+  SetLogLevel(LogLevel::kInfo);
+}
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double ms = t.ElapsedMillis();
+  EXPECT_GE(ms, 4.0);
+  EXPECT_LT(ms, 5000.0);
+  EXPECT_NEAR(t.ElapsedSeconds() * 1e3, t.ElapsedMillis(), 50.0);
+  t.Restart();
+  EXPECT_LT(t.ElapsedMillis(), 100.0);
+}
+
+TEST(WallTimerTest, UnitsAreConsistent) {
+  WallTimer t;
+  double us = t.ElapsedMicros();
+  double ms = t.ElapsedMillis();
+  EXPECT_GE(us, 0.0);
+  EXPECT_GE(ms, 0.0);
+}
+
+}  // namespace
+}  // namespace ganswer

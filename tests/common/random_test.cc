@@ -1,0 +1,95 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+namespace ganswer {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(1000), b.Next(1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool diverged = false;
+  for (int i = 0; i < 50 && !diverged; ++i) {
+    diverged = a.Next(1 << 30) != b.Next(1 << 30);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RngTest, NextStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Next(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Next(1), 0u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, SkewedIndexFavorsSmallValues) {
+  Rng rng(11);
+  size_t low = 0;
+  const size_t n = 100;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    size_t idx = rng.SkewedIndex(n);
+    ASSERT_LT(idx, n);
+    if (idx < n / 4) ++low;
+  }
+  // A uniform draw would put ~25% in the first quartile; the skew should
+  // put clearly more.
+  EXPECT_GT(low, trials / 3u);
+}
+
+TEST(RngTest, PickAndShuffle) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  for (int i = 0; i < 50; ++i) {
+    int x = rng.Pick(v);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 5);
+  }
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v) << "shuffle is a permutation";
+}
+
+}  // namespace
+}  // namespace ganswer

@@ -1,0 +1,111 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ganswer {
+namespace {
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC dEf"), "abc def");
+  EXPECT_EQ(ToLower(""), "");
+  EXPECT_EQ(ToLower("123-X"), "123-x");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\ta b\n"), "a b");
+}
+
+TEST(StringUtilTest, SplitDropsEmptyByDefault) {
+  EXPECT_EQ(Split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,b,,c", ',', true),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_TRUE(Split("", ',').empty());
+  EXPECT_EQ(Split(",", ',', true), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("prefix-rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(EndsWith("name.cc", ".cc"));
+  EXPECT_FALSE(EndsWith("cc", "name.cc"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a_b_c", "_", " "), "a b c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("none", "xyz", "q"), "none");
+  EXPECT_EQ(ReplaceAll("x", "", "q"), "x");
+}
+
+struct EditDistanceCase {
+  const char* a;
+  const char* b;
+  size_t expected;
+};
+
+class EditDistanceTest : public ::testing::TestWithParam<EditDistanceCase> {};
+
+TEST_P(EditDistanceTest, MatchesExpected) {
+  const auto& c = GetParam();
+  EXPECT_EQ(EditDistance(c.a, c.b), c.expected);
+  EXPECT_EQ(EditDistance(c.b, c.a), c.expected) << "symmetry";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EditDistanceTest,
+    ::testing::Values(EditDistanceCase{"", "", 0},
+                      EditDistanceCase{"a", "", 1},
+                      EditDistanceCase{"kitten", "sitting", 3},
+                      EditDistanceCase{"flaw", "lawn", 2},
+                      EditDistanceCase{"same", "same", 0},
+                      EditDistanceCase{"abc", "cba", 2}));
+
+TEST(StringUtilTest, TokenJaccard) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b", "a b"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b", "b c"), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("A", "a"), 1.0) << "case-insensitive";
+  EXPECT_DOUBLE_EQ(TokenJaccard("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("x", "y"), 0.0);
+}
+
+TEST(StringUtilTest, BigramDice) {
+  EXPECT_DOUBLE_EQ(BigramDice("night", "night"), 1.0);
+  EXPECT_GT(BigramDice("night", "nacht"), 0.0);
+  EXPECT_DOUBLE_EQ(BigramDice("a", "ab"), 0.0) << "too short";
+  EXPECT_GT(BigramDice("philadelphia", "philadelphia 76ers"), 0.5);
+}
+
+TEST(StringUtilTest, NormalizeLabel) {
+  EXPECT_EQ(NormalizeLabel("Philadelphia_(film)"), "philadelphia");
+  EXPECT_EQ(NormalizeLabel("Antonio_Banderas"), "antonio banderas");
+  EXPECT_EQ(NormalizeLabel("  Salt_Lake_City "), "salt lake city");
+  EXPECT_EQ(NormalizeLabel("a__b"), "a b");
+  EXPECT_EQ(NormalizeLabel(""), "");
+}
+
+TEST(StringUtilTest, IsAllDigits) {
+  EXPECT_TRUE(IsAllDigits("0123"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits("1.2"));
+}
+
+}  // namespace
+}  // namespace ganswer

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+#include "datagen/kb_generator.h"
+#include "datagen/phrase_dataset_generator.h"
+#include "datagen/schema.h"
+#include "datagen/workload.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace datagen {
+namespace {
+
+using ganswer::testing::World;
+
+TEST(KbGeneratorTest, DeterministicForSeed) {
+  KbGenerator::Options opt;
+  opt.num_families = 20;
+  opt.num_films = 10;
+  auto a = KbGenerator::Generate(opt);
+  auto b = KbGenerator::Generate(opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->graph.NumTriples(), b->graph.NumTriples());
+  EXPECT_EQ(a->people, b->people);
+  EXPECT_EQ(a->films, b->films);
+}
+
+TEST(KbGeneratorTest, SeedEntitiesArePresent) {
+  const auto& kb = World().kb;
+  for (const char* e :
+       {"Antonio_Banderas", "Melanie_Griffith", "Philadelphia",
+        "Philadelphia_(film)", "Philadelphia_76ers", "Berlin",
+        "Klaus_Wowereit", "Minecraft", "Mojang", "Mount_Everest",
+        "John_F._Kennedy", "Ted_Kennedy", "The_Prodigy"}) {
+    EXPECT_TRUE(kb.graph.Find(e).has_value()) << e;
+  }
+}
+
+TEST(KbGeneratorTest, RunningExampleSubgraphIsExact) {
+  const auto& g = World().kb.graph;
+  auto mel = *g.Find("Melanie_Griffith");
+  auto ant = *g.Find("Antonio_Banderas");
+  auto film = *g.Find("Philadelphia_(film)");
+  EXPECT_TRUE(g.HasTriple(mel, *g.Find("spouse"), ant));
+  EXPECT_TRUE(g.HasTriple(film, *g.Find("starring"), ant));
+  EXPECT_TRUE(g.IsInstanceOf(ant, *g.Find("Actor")));
+}
+
+TEST(KbGeneratorTest, EveryEntityRosterMemberIsTyped) {
+  const auto& kb = World().kb;
+  auto check = [&](const std::vector<std::string>& roster,
+                   std::string_view cls_name) {
+    auto cls = kb.graph.Find(cls_name);
+    ASSERT_TRUE(cls.has_value());
+    for (const std::string& e : roster) {
+      auto id = kb.graph.Find(e);
+      ASSERT_TRUE(id.has_value()) << e;
+      EXPECT_TRUE(kb.graph.IsInstanceOf(*id, *cls)) << e;
+    }
+  };
+  check(kb.films, cls::kFilm);
+  check(kb.cities, cls::kCity);
+  check(kb.countries, cls::kCountry);
+  check(kb.companies, cls::kCompany);
+  check(kb.actors, cls::kActor);
+  check(kb.rivers, cls::kRiver);
+}
+
+TEST(KbGeneratorTest, ScaleKnobsControlSize) {
+  KbGenerator::Options small;
+  small.num_families = 10;
+  small.num_films = 5;
+  small.num_cities = 10;
+  small.num_companies = 5;
+  KbGenerator::Options big = small;
+  big.num_families = 100;
+  auto s = KbGenerator::Generate(small);
+  auto b = KbGenerator::Generate(big);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->graph.NumTriples(), s->graph.NumTriples());
+  EXPECT_GT(b->people.size(), s->people.size());
+}
+
+TEST(KbGeneratorTest, AmbiguousFilmNamesExist) {
+  const auto& kb = World().kb;
+  size_t ambiguous = 0;
+  for (const std::string& f : kb.films) {
+    if (f.find("_(film)") != std::string::npos) ++ambiguous;
+  }
+  EXPECT_GT(ambiguous, 5u) << "city-named films drive linker ambiguity";
+}
+
+TEST(PhraseDatasetTest, SupportPairsMostlyInGraph) {
+  const auto& world = World();
+  size_t total = 0, in_graph = 0;
+  for (const auto& spec : world.phrases) {
+    for (const auto& [a, b] : spec.phrase.support) {
+      ++total;
+      if (world.kb.graph.Find(a) && world.kb.graph.Find(b)) ++in_graph;
+    }
+  }
+  ASSERT_GT(total, 100u);
+  // The paper reports ~67% of Patty pairs occur in DBpedia; ours are
+  // sampled from the graph with noise, so well above that.
+  EXPECT_GT(static_cast<double>(in_graph) / total, 0.67);
+}
+
+TEST(PhraseDatasetTest, GoldPathsResolveInGraph) {
+  const auto& world = World();
+  for (const auto& spec : world.phrases) {
+    for (const auto& gold : spec.gold) {
+      EXPECT_TRUE(GoldToPath(gold, world.kb.graph).has_value())
+          << spec.phrase.text;
+    }
+  }
+}
+
+TEST(PhraseDatasetTest, CorePhrasesIncludePaperExamples) {
+  const auto& world = World();
+  std::set<std::string> texts;
+  for (const auto& spec : world.phrases) texts.insert(spec.phrase.text);
+  for (const char* p : {"be married to", "play in", "uncle of", "be born in",
+                        "mayor of"}) {
+    EXPECT_TRUE(texts.count(p)) << p;
+  }
+}
+
+TEST(PhraseDatasetTest, PlayInIsAmbiguousByConstruction) {
+  const auto& world = World();
+  for (const auto& spec : world.phrases) {
+    if (spec.phrase.text != "play in") continue;
+    EXPECT_EQ(spec.gold.size(), 2u) << "starring and playForTeam";
+    return;
+  }
+  FAIL() << "'play in' missing";
+}
+
+TEST(WorkloadTest, GeneratesRequestedQuestionCount) {
+  const auto& world = World();
+  EXPECT_EQ(world.workload.size(), 100u);
+  std::set<std::string> ids;
+  for (const auto& q : world.workload) ids.insert(q.id);
+  EXPECT_EQ(ids.size(), world.workload.size()) << "unique ids";
+}
+
+TEST(WorkloadTest, CategoryMixMatchesPlan) {
+  const auto& world = World();
+  std::map<QuestionCategory, size_t> counts;
+  for (const auto& q : world.workload) ++counts[q.category];
+  EXPECT_EQ(counts[QuestionCategory::kSimpleRelation], 30u);
+  EXPECT_EQ(counts[QuestionCategory::kTypeConstrained], 15u);
+  EXPECT_EQ(counts[QuestionCategory::kMultiEdge], 12u);
+  EXPECT_GE(counts[QuestionCategory::kPredicatePath], 4u);
+  EXPECT_EQ(counts[QuestionCategory::kYesNo], 8u);
+  EXPECT_EQ(counts[QuestionCategory::kLiteral], 12u);
+  EXPECT_EQ(counts[QuestionCategory::kAggregation], 8u);
+  EXPECT_EQ(counts[QuestionCategory::kEntityHard], 5u);
+  EXPECT_EQ(counts[QuestionCategory::kRelationHard], 4u);
+}
+
+TEST(WorkloadTest, NonAskQuestionsHaveGoldAnswers) {
+  const auto& world = World();
+  for (const auto& q : world.workload) {
+    if (q.is_ask) continue;
+    EXPECT_FALSE(q.gold_answers.empty()) << q.id << " " << q.text;
+  }
+}
+
+TEST(WorkloadTest, GoldAnswersNameGraphTerms) {
+  const auto& world = World();
+  for (const auto& q : world.workload) {
+    // Count-question golds are cardinalities, not graph terms.
+    if (q.category == QuestionCategory::kAggregation &&
+        q.text.rfind("How many", 0) == 0) {
+      continue;
+    }
+    for (const std::string& a : q.gold_answers) {
+      // Gold answers may be entities or literal values (heights, dates).
+      EXPECT_TRUE(world.kb.graph.FindTerm(a).has_value())
+          << q.id << " gold '" << a << "'";
+    }
+  }
+}
+
+TEST(WorkloadTest, ExpectedFailuresAreOnlyHardCategories) {
+  const auto& world = World();
+  for (const auto& q : world.workload) {
+    bool hard = q.category == QuestionCategory::kAggregation ||
+                q.category == QuestionCategory::kEntityHard ||
+                q.category == QuestionCategory::kRelationHard;
+    EXPECT_EQ(q.expected_failure, hard) << q.id;
+  }
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  const auto& world = World();
+  auto again = WorkloadGenerator::Generate(world.kb, {});
+  ASSERT_EQ(again.size(), world.workload.size());
+  for (size_t i = 0; i < again.size(); ++i) {
+    EXPECT_EQ(again[i].text, world.workload[i].text);
+    EXPECT_EQ(again[i].gold_answers, world.workload[i].gold_answers);
+  }
+}
+
+TEST(WorkloadTest, GoldConsistentWithGraphSpotCheck) {
+  const auto& world = World();
+  // Re-derive gold for the mayor questions directly.
+  for (const auto& q : world.workload) {
+    if (q.text.rfind("Who is the mayor of ", 0) != 0) continue;
+    std::string mention =
+        q.text.substr(strlen("Who is the mayor of "),
+                      q.text.size() - strlen("Who is the mayor of ") - 2);
+    // The mention maps back to some city whose mayors equal the gold.
+    std::string iri = ReplaceAll(mention, " ", "_");
+    auto city = world.kb.graph.Find(iri);
+    if (!city) continue;  // mention was normalized differently
+    std::vector<std::string> expect;
+    for (auto m :
+         world.kb.graph.Objects(*city, *world.kb.graph.Find("mayor"))) {
+      expect.push_back(world.kb.graph.dict().text(m));
+    }
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(q.gold_answers, expect) << q.text;
+  }
+}
+
+TEST(WorkloadIoTest, SaveLoadRoundTrip) {
+  const auto& world = World();
+  std::ostringstream out;
+  ASSERT_TRUE(SaveWorkload(world.workload, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = LoadWorkload(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), world.workload.size());
+  for (size_t i = 0; i < loaded->size(); ++i) {
+    const GoldQuestion& a = (*loaded)[i];
+    const GoldQuestion& b = world.workload[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(a.category, b.category);
+    EXPECT_EQ(a.is_ask, b.is_ask);
+    EXPECT_EQ(a.gold_ask, b.gold_ask);
+    EXPECT_EQ(a.expected_failure, b.expected_failure);
+    EXPECT_EQ(a.gold_answers, b.gold_answers);
+  }
+}
+
+TEST(WorkloadIoTest, LoadRejectsMalformedLines) {
+  std::istringstream missing_cols("Q1\tsimple-relation\t0");
+  EXPECT_TRUE(LoadWorkload(&missing_cols).status().IsCorruption());
+  std::istringstream bad_category(
+      "Q1\tnot-a-category\t0\t0\t0\tWho ?\tX");
+  EXPECT_TRUE(LoadWorkload(&bad_category).status().IsCorruption());
+}
+
+TEST(WorkloadIoTest, CommentsAndBlankLinesSkipped) {
+  std::istringstream in(
+      "# header comment\n\n"
+      "Q1\tsimple-relation\t0\t0\t0\tWho is X ?\tA|B\n");
+  auto loaded = LoadWorkload(&in);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].gold_answers,
+            (std::vector<std::string>{"A", "B"}));
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace ganswer

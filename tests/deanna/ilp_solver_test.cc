@@ -1,0 +1,160 @@
+#include "deanna/ilp_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ganswer {
+namespace deanna {
+namespace {
+
+TEST(IlpSolverTest, PicksBestCandidatePerGroup) {
+  IlpSolver::Problem p;
+  p.num_vars = 4;
+  p.objective = {0.2, 0.9, 0.7, 0.1};
+  p.exactly_one_groups = {{0, 1}, {2, 3}};
+  auto s = IlpSolver().Solve(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->optimal);
+  EXPECT_DOUBLE_EQ(s->objective, 0.9 + 0.7);
+  EXPECT_FALSE(s->assignment[0]);
+  EXPECT_TRUE(s->assignment[1]);
+  EXPECT_TRUE(s->assignment[2]);
+  EXPECT_FALSE(s->assignment[3]);
+}
+
+TEST(IlpSolverTest, CoherenceVariableRequiresBothEndpoints) {
+  // Two groups; the weaker candidates in both are bridged by a strong
+  // coherence variable that makes the joint choice win.
+  IlpSolver::Problem p;
+  p.num_vars = 5;
+  p.objective = {0.9, 0.5, 0.9, 0.5, 1.5};
+  p.exactly_one_groups = {{0, 1}, {2, 3}};
+  p.implications = {{4, 1}, {4, 3}};  // x4 <= x1, x4 <= x3
+  auto s = IlpSolver().Solve(p);
+  ASSERT_TRUE(s.ok());
+  // 0.5 + 0.5 + 1.5 = 2.5 beats 0.9 + 0.9 = 1.8.
+  EXPECT_DOUBLE_EQ(s->objective, 2.5);
+  EXPECT_TRUE(s->assignment[1]);
+  EXPECT_TRUE(s->assignment[3]);
+  EXPECT_TRUE(s->assignment[4]);
+}
+
+TEST(IlpSolverTest, NegativeFreeVariablesStayZero) {
+  IlpSolver::Problem p;
+  p.num_vars = 2;
+  p.objective = {0.5, -1.0};
+  p.exactly_one_groups = {{0}};
+  auto s = IlpSolver().Solve(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->objective, 0.5);
+  EXPECT_FALSE(s->assignment[1]);
+}
+
+TEST(IlpSolverTest, FreeVariableImplicationChains) {
+  // c1 <= c0 <= x0; both positive: all on.
+  IlpSolver::Problem p;
+  p.num_vars = 3;
+  p.objective = {0.1, 0.2, 0.3};
+  p.exactly_one_groups = {{0}};
+  p.implications = {{1, 0}, {2, 1}};
+  auto s = IlpSolver().Solve(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->objective, 0.6);
+}
+
+TEST(IlpSolverTest, RejectsMalformedProblems) {
+  IlpSolver::Problem bad_obj;
+  bad_obj.num_vars = 2;
+  bad_obj.objective = {1.0};
+  EXPECT_FALSE(IlpSolver().Solve(bad_obj).ok());
+
+  IlpSolver::Problem empty_group;
+  empty_group.num_vars = 1;
+  empty_group.objective = {1.0};
+  empty_group.exactly_one_groups = {{}};
+  EXPECT_FALSE(IlpSolver().Solve(empty_group).ok());
+
+  IlpSolver::Problem oob;
+  oob.num_vars = 1;
+  oob.objective = {1.0};
+  oob.exactly_one_groups = {{5}};
+  EXPECT_FALSE(IlpSolver().Solve(oob).ok());
+}
+
+TEST(IlpSolverTest, NodeBudgetReportsNonOptimal) {
+  IlpSolver::Problem p;
+  p.num_vars = 20;
+  p.objective.assign(20, 1.0);
+  for (int g = 0; g < 5; ++g) {
+    p.exactly_one_groups.push_back({g * 4, g * 4 + 1, g * 4 + 2, g * 4 + 3});
+  }
+  IlpSolver::Options opt;
+  opt.max_nodes = 3;
+  auto s = IlpSolver(opt).Solve(p);
+  // With such a tiny budget the search cannot finish; it either returns a
+  // feasible non-optimal solution or reports failure.
+  if (s.ok()) {
+    EXPECT_FALSE(s->optimal);
+  }
+}
+
+// Property: branch-and-bound equals brute force over all group choices.
+class IlpPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IlpPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  IlpSolver::Problem p;
+  const int groups = 3;
+  const int per_group = 3;
+  p.num_vars = groups * per_group + 4;  // plus 4 conjunction variables
+  for (size_t i = 0; i < p.num_vars; ++i) {
+    p.objective.push_back(rng.NextDouble() * 2 - 0.3);
+  }
+  for (int g = 0; g < groups; ++g) {
+    std::vector<int> group;
+    for (int c = 0; c < per_group; ++c) group.push_back(g * per_group + c);
+    p.exactly_one_groups.push_back(group);
+  }
+  for (int a = 0; a < 4; ++a) {
+    int aux = groups * per_group + a;
+    p.implications.emplace_back(aux,
+                                static_cast<int>(rng.Next(groups * per_group)));
+    p.implications.emplace_back(aux,
+                                static_cast<int>(rng.Next(groups * per_group)));
+  }
+
+  auto solved = IlpSolver().Solve(p);
+  ASSERT_TRUE(solved.ok());
+
+  // Brute force: every combination of group choices, aux vars greedy.
+  double best = -1e18;
+  for (int c0 = 0; c0 < per_group; ++c0) {
+    for (int c1 = 0; c1 < per_group; ++c1) {
+      for (int c2 = 0; c2 < per_group; ++c2) {
+        std::vector<bool> x(p.num_vars, false);
+        x[c0] = x[per_group + c1] = x[2 * per_group + c2] = true;
+        double obj = p.objective[c0] + p.objective[per_group + c1] +
+                     p.objective[2 * per_group + c2];
+        for (int a = 0; a < 4; ++a) {
+          int aux = groups * per_group + a;
+          if (p.objective[aux] <= 0) continue;
+          bool ok = true;
+          for (const auto& [src, req] : p.implications) {
+            if (src == aux && !x[req]) ok = false;
+          }
+          if (ok) obj += p.objective[aux];
+        }
+        best = std::max(best, obj);
+      }
+    }
+  }
+  EXPECT_NEAR(solved->objective, best, 1e-9) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpPropertyTest,
+                         ::testing::Values(41, 42, 43, 44, 45, 46, 47, 48));
+
+}  // namespace
+}  // namespace deanna
+}  // namespace ganswer

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "deanna/deanna_qa.h"
+#include "nlp/tokenizer.h"
+#include "qa/ganswer.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace {
+
+// The pipeline must never crash or error-out unexpectedly on malformed,
+// truncated or shuffled questions — a statistical NLP stack's robustness,
+// asserted over mutations of the real workload.
+class RobustnessTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  RobustnessTest()
+      : world_(ganswer::testing::World()),
+        system_(&world_.kb.graph, &world_.lexicon, world_.verified.get()) {}
+
+  const ganswer::testing::SharedWorld& world_;
+  qa::GAnswer system_;
+};
+
+TEST_P(RobustnessTest, MutatedQuestionsNeverCrash) {
+  Rng rng(GetParam());
+  size_t asked = 0;
+  for (const auto& q : world_.workload) {
+    if (rng.Chance(0.5)) continue;  // sample half per seed
+    std::vector<nlp::Token> toks = nlp::Tokenizer::Tokenize(q.text);
+    std::vector<std::string> words;
+    for (const auto& t : toks) words.push_back(t.text);
+    if (words.empty()) continue;
+
+    // One random mutation per question: drop, duplicate, or swap.
+    switch (rng.Next(3)) {
+      case 0:
+        words.erase(words.begin() + rng.Next(words.size()));
+        break;
+      case 1: {
+        size_t i = rng.Next(words.size());
+        words.insert(words.begin() + i, words[i]);
+        break;
+      }
+      case 2: {
+        size_t i = rng.Next(words.size());
+        size_t j = rng.Next(words.size());
+        std::swap(words[i], words[j]);
+        break;
+      }
+    }
+    std::string mutated;
+    for (const std::string& w : words) {
+      if (!mutated.empty()) mutated += ' ';
+      mutated += w;
+    }
+    auto r = system_.Ask(mutated);  // must not crash; Status failures OK
+    ++asked;
+    if (r.ok()) {
+      EXPECT_LE(r->answers.size(), 10u) << mutated;
+    }
+  }
+  EXPECT_GT(asked, 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessTest,
+                         ::testing::Values(101, 102, 103, 104));
+
+TEST(RobustnessEdgeCasesTest, DegenerateInputs) {
+  const auto& world = ganswer::testing::World();
+  qa::GAnswer system(&world.kb.graph, &world.lexicon, world.verified.get());
+  deanna::DeannaQa baseline(&world.kb.graph, &world.lexicon,
+                            world.verified.get());
+  const char* inputs[] = {
+      "?",
+      "who",
+      "who who who who who",
+      "the the the",
+      "Who is the mayor of",  // truncated
+      "in in in of of by",
+      "Who is the mayor of Berlin Berlin Berlin Berlin ?",
+      "Is is is Michelle Obama ?",
+      "Give me",
+      "married married married to to",
+      "Who was married to an actor that played in ?",
+      "12345 67890 ?",
+      "Wh@t h@ppens with we#rd bytes ?",
+  };
+  for (const char* q : inputs) {
+    auto a = system.Ask(q);     // Status failures fine, crashes not
+    auto d = baseline.Ask(q);
+    (void)a;
+    (void)d;
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessEdgeCasesTest, VeryLongQuestion) {
+  const auto& world = ganswer::testing::World();
+  qa::GAnswer system(&world.kb.graph, &world.lexicon, world.verified.get());
+  std::string q = "Who was married to an actor";
+  for (int i = 0; i < 40; ++i) q += " that played in Philadelphia";
+  q += " ?";
+  auto r = system.Ask(q);
+  EXPECT_TRUE(r.ok() || !r.status().message().empty());
+}
+
+}  // namespace
+}  // namespace ganswer

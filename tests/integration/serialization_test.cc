@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qa/ganswer.h"
+#include "rdf/ntriples.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace {
+
+// The full offline/online handover through files: the KB round-trips as
+// N-Triples, the verified dictionary through its text format, and the
+// reconstructed system answers exactly like the in-memory one.
+TEST(SerializationIntegrationTest, KbAndDictionaryRoundTripPreserveAnswers) {
+  const auto& world = ganswer::testing::World();
+
+  // 1) KB -> N-Triples -> KB'.
+  std::ostringstream nt;
+  ASSERT_TRUE(rdf::NTriplesWriter::Write(world.kb.graph, &nt).ok());
+  rdf::RdfGraph reloaded_graph;
+  ASSERT_TRUE(rdf::NTriplesReader::ParseString(nt.str(), &reloaded_graph).ok());
+  ASSERT_TRUE(reloaded_graph.Finalize().ok());
+  EXPECT_EQ(reloaded_graph.NumTriples(), world.kb.graph.NumTriples());
+
+  // 2) Dictionary -> text -> dictionary', resolved against KB'.
+  std::ostringstream dict_text;
+  ASSERT_TRUE(world.verified->Save(&dict_text, world.kb.graph.dict()).ok());
+  nlp::Lexicon lexicon;
+  paraphrase::ParaphraseDictionary reloaded_dict(&lexicon);
+  std::istringstream dict_in(dict_text.str());
+  ASSERT_TRUE(reloaded_dict.Load(&dict_in, &reloaded_graph).ok());
+  EXPECT_EQ(reloaded_dict.NumPhrases(), world.verified->NumPhrases());
+
+  // 3) Same answers from the reconstructed system.
+  qa::GAnswer original(&world.kb.graph, &world.lexicon, world.verified.get());
+  qa::GAnswer rebuilt(&reloaded_graph, &lexicon, &reloaded_dict);
+  size_t compared = 0;
+  for (const auto& q : world.workload) {
+    if (++compared > 25) break;
+    auto a = original.Ask(q.text);
+    auto b = rebuilt.Ask(q.text);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    std::vector<std::string> av, bv;
+    for (const auto& x : a->answers) av.push_back(x.text);
+    for (const auto& x : b->answers) bv.push_back(x.text);
+    std::sort(av.begin(), av.end());
+    std::sort(bv.begin(), bv.end());
+    EXPECT_EQ(av, bv) << q.text;
+    EXPECT_EQ(a->is_ask, b->is_ask);
+    if (a->is_ask) {
+      EXPECT_EQ(a->ask_result, b->ask_result);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ganswer

@@ -1,0 +1,151 @@
+#include "linking/entity_linker.h"
+
+#include <gtest/gtest.h>
+
+#include "linking/entity_index.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace linking {
+namespace {
+
+class EntityLinkerTest : public ::testing::Test {
+ protected:
+  EntityLinkerTest()
+      : index_(ganswer::testing::World().kb.graph), linker_(&index_) {}
+
+  std::vector<std::string> CandidateNames(const std::string& phrase) {
+    std::vector<std::string> out;
+    for (const LinkCandidate& c : linker_.Link(phrase)) {
+      out.push_back(index_.graph().dict().text(c.vertex));
+    }
+    return out;
+  }
+
+  bool Has(const std::vector<std::string>& names, const std::string& name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  }
+
+  EntityIndex index_;
+  EntityLinker linker_;
+};
+
+TEST_F(EntityLinkerTest, PhiladelphiaIsAmbiguousAcrossThreeEntities) {
+  auto names = CandidateNames("Philadelphia");
+  EXPECT_TRUE(Has(names, "Philadelphia"));
+  EXPECT_TRUE(Has(names, "Philadelphia_(film)"));
+  EXPECT_TRUE(Has(names, "Philadelphia_76ers"));
+}
+
+TEST_F(EntityLinkerTest, ExactMatchRanksAboveTokenMatch) {
+  auto cands = linker_.Link("Philadelphia");
+  ASSERT_GE(cands.size(), 2u);
+  // The bare city (exact label match) outranks the film/team whose labels
+  // only share tokens... but the film's stripped parenthetical also
+  // normalizes to "philadelphia", so both can tie at full similarity. The
+  // 76ers (partial token match) must rank strictly below.
+  const auto& dict = index_.graph().dict();
+  size_t seventysixers_rank = cands.size();
+  size_t city_rank = cands.size();
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (dict.text(cands[i].vertex) == "Philadelphia_76ers") {
+      seventysixers_rank = i;
+    }
+    if (dict.text(cands[i].vertex) == "Philadelphia") city_rank = i;
+  }
+  EXPECT_LT(city_rank, seventysixers_rank);
+}
+
+TEST_F(EntityLinkerTest, ActorLinksToClassAndEntity) {
+  auto cands = linker_.Link("actor");
+  bool saw_class = false, saw_book = false;
+  const auto& dict = index_.graph().dict();
+  for (const LinkCandidate& c : cands) {
+    if (c.is_class && dict.text(c.vertex) == "Actor") saw_class = true;
+    if (dict.text(c.vertex) == "An_Actor_Prepares") saw_book = true;
+  }
+  EXPECT_TRUE(saw_class) << "the class <Actor> must be a candidate";
+  EXPECT_TRUE(saw_book) << "the paper's An_Actor_Prepares ambiguity";
+}
+
+TEST_F(EntityLinkerTest, PluralClassMentionLinksToClass) {
+  auto cands = linker_.Link("movies");
+  bool saw_film_class = false;
+  for (const LinkCandidate& c : cands) {
+    if (c.is_class && index_.graph().dict().text(c.vertex) == "Film") {
+      saw_film_class = true;
+    }
+  }
+  EXPECT_TRUE(saw_film_class);
+}
+
+TEST_F(EntityLinkerTest, MultiTokenNameResolves) {
+  auto names = CandidateNames("Antonio Banderas");
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names[0], "Antonio_Banderas");
+}
+
+TEST_F(EntityLinkerTest, RdfsLabelAliasesWork) {
+  // The_Prodigy carries rdfs:label "Prodigy".
+  auto names = CandidateNames("Prodigy");
+  EXPECT_TRUE(Has(names, "The_Prodigy"));
+}
+
+TEST_F(EntityLinkerTest, NameLikeLiteralsAreLinkable) {
+  // "Scarface" is a nickname literal of Al_Capone.
+  auto cands = linker_.Link("Scarface");
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(index_.graph().dict().text(cands[0].vertex), "Scarface");
+  EXPECT_TRUE(index_.graph().dict().IsLiteral(cands[0].vertex));
+}
+
+TEST_F(EntityLinkerTest, UnknownPhraseGivesNoCandidates) {
+  EXPECT_TRUE(linker_.Link("zxqv quux flibbertigibbet").empty());
+  EXPECT_TRUE(linker_.Link("").empty());
+}
+
+TEST_F(EntityLinkerTest, CandidatesSortedByConfidenceAndCapped) {
+  EntityLinker::Options opt;
+  opt.max_candidates = 3;
+  EntityLinker small(&index_, opt);
+  auto cands = small.Link("Philadelphia");
+  EXPECT_LE(cands.size(), 3u);
+  for (size_t i = 1; i < cands.size(); ++i) {
+    EXPECT_GE(cands[i - 1].confidence, cands[i].confidence);
+  }
+}
+
+TEST_F(EntityLinkerTest, ConfidencesAreProbabilityLike) {
+  for (const LinkCandidate& c : linker_.Link("Berlin")) {
+    EXPECT_GT(c.confidence, 0.0);
+    EXPECT_LE(c.confidence, 1.0);
+  }
+}
+
+TEST(EntityIndexTest, IndexesIriAndLabelForms) {
+  const auto& world = ganswer::testing::World();
+  EntityIndex index(world.kb.graph);
+  EXPECT_FALSE(index.ExactMatches("antonio banderas").empty());
+  EXPECT_FALSE(index.ExactMatches("Antonio_Banderas").empty());
+  EXPECT_FALSE(index.TokenMatches("banderas").empty());
+  EXPECT_TRUE(index.ExactMatches("no such thing at all").empty());
+  EXPECT_GT(index.NumIndexedVertices(), 1000u);
+}
+
+TEST(EntityIndexTest, ClassLabelsAreIndexed) {
+  const auto& world = ganswer::testing::World();
+  EntityIndex index(world.kb.graph);
+  auto matches = index.ExactMatches("basketball team");
+  ASSERT_FALSE(matches.empty());
+  EXPECT_TRUE(world.kb.graph.IsClass(matches[0]));
+}
+
+TEST(EntityIndexTest, NumericLiteralsAreNotIndexed) {
+  const auto& world = ganswer::testing::World();
+  EntityIndex index(world.kb.graph);
+  EXPECT_TRUE(index.ExactMatches("1.98").empty());
+}
+
+}  // namespace
+}  // namespace linking
+}  // namespace ganswer

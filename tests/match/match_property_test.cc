@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <set>
+
+#include "common/random.h"
+#include "match/top_k_matcher.h"
+
+namespace ganswer {
+namespace match {
+namespace {
+
+// Brute-force reference: enumerate EVERY injective assignment of query
+// vertices to graph vertices, check Definition 3 directly, score by
+// Definition 6, and keep the top-k (with ties).
+struct BruteForcer {
+  const rdf::RdfGraph& g;
+  const QueryGraph& q;
+
+  bool VertexOk(const QueryVertex& qv, rdf::TermId u, double* delta) const {
+    if (qv.wildcard) {
+      *delta = qv.wildcard_confidence;
+      return true;
+    }
+    double best = -1;
+    for (const linking::LinkCandidate& c : qv.candidates) {
+      if (c.is_class) {
+        if (g.IsInstanceOf(u, c.vertex)) best = std::max(best, c.confidence);
+      } else if (c.vertex == u) {
+        best = std::max(best, c.confidence);
+      }
+    }
+    *delta = best;
+    return best > 0;
+  }
+
+  bool EdgeOk(const QueryEdge& e, rdf::TermId uf, rdf::TermId ut,
+              double* delta) const {
+    auto d = CandidateSpace::EdgeDelta(g, e, e.from, uf, ut);
+    if (!d.has_value()) return false;
+    *delta = *d;
+    return true;
+  }
+
+  std::vector<Match> AllMatches() const {
+    std::vector<Match> out;
+    std::vector<rdf::TermId> assignment(q.vertices.size(), rdf::kInvalidTerm);
+    std::vector<rdf::TermId> universe;
+    for (rdf::TermId v = 0; v < g.dict().size(); ++v) universe.push_back(v);
+
+    std::function<void(size_t, double)> rec = [&](size_t depth, double score) {
+      if (depth == q.vertices.size()) {
+        double edge_score = 0;
+        for (const QueryEdge& e : q.edges) {
+          double d;
+          if (!EdgeOk(e, assignment[e.from], assignment[e.to], &d)) return;
+          edge_score += std::log(d);
+        }
+        Match m;
+        m.assignment = assignment;
+        m.score = score + edge_score;
+        out.push_back(std::move(m));
+        return;
+      }
+      for (rdf::TermId u : universe) {
+        bool used = false;
+        for (size_t i = 0; i < depth; ++i) {
+          if (assignment[i] == u) used = true;
+        }
+        if (used) continue;
+        double d;
+        if (!VertexOk(q.vertices[depth], u, &d)) continue;
+        assignment[depth] = u;
+        rec(depth + 1, score + std::log(d));
+        assignment[depth] = rdf::kInvalidTerm;
+      }
+    };
+    rec(0, 0.0);
+    return out;
+  }
+};
+
+class MatchPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatchPropertyTest, TopKEqualsBruteForceDefinitionThree) {
+  Rng rng(GetParam());
+  rdf::RdfGraph g;
+  std::vector<std::string> vs;
+  for (int i = 0; i < 9; ++i) vs.push_back("v" + std::to_string(i));
+  std::vector<std::string> ps{"p", "q"};
+  for (int i = 0; i < 16; ++i) {
+    g.AddTriple(rng.Pick(vs), rng.Pick(ps), rng.Pick(vs));
+  }
+  // A couple of typed vertices so class candidates participate.
+  g.AddTriple("v0", "rdf:type", "C");
+  g.AddTriple("v1", "rdf:type", "C");
+  ASSERT_TRUE(g.Finalize().ok());
+
+  // Random query: 3 vertices (entity-list, class, wildcard), path topology.
+  QueryGraph query;
+  QueryVertex a;
+  for (int i = 0; i < 3; ++i) {
+    linking::LinkCandidate c;
+    c.vertex = *g.Find(vs[rng.Next(vs.size())]);
+    c.confidence = 0.4 + 0.1 * static_cast<double>(rng.Next(6));
+    a.candidates.push_back(c);
+  }
+  QueryVertex b;
+  linking::LinkCandidate cls;
+  cls.vertex = *g.Find("C");
+  cls.is_class = true;
+  cls.confidence = 0.8;
+  b.candidates = {cls};
+  QueryVertex c;
+  c.wildcard = true;
+  query.vertices = {a, b, c};
+  auto entry = [&](const char* p, double conf) {
+    paraphrase::ParaphraseEntry e;
+    e.path.steps = {{*g.Find(p), true}};
+    e.confidence = conf;
+    return e;
+  };
+  QueryEdge e1{0, 1, {entry("p", 0.9), entry("q", 0.5)}, false, 0.3};
+  QueryEdge e2{1, 2, {entry("q", 0.7)}, false, 0.3};
+  query.edges = {e1, e2};
+
+  TopKMatcher::Options opt;
+  opt.k = 5;
+  auto got = TopKMatcher(&g, opt).FindTopK(query);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+  std::vector<Match> want = BruteForcer{g, query}.AllMatches();
+  std::sort(want.begin(), want.end(), [](const Match& x, const Match& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.assignment < y.assignment;
+  });
+  if (want.size() > opt.k) {
+    double kth = want[opt.k - 1].score;
+    size_t cut = opt.k;
+    while (cut < want.size() && want[cut].score == kth) ++cut;
+    want.resize(cut);
+  }
+
+  ASSERT_EQ(got->size(), want.size()) << "seed=" << GetParam();
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR((*got)[i].score, want[i].score, 1e-9);
+    EXPECT_EQ((*got)[i].assignment, want[i].assignment)
+        << "seed=" << GetParam() << " rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchPropertyTest,
+                         ::testing::Values(51, 52, 53, 54, 55, 56, 57, 58, 59,
+                                           60, 61, 62));
+
+}  // namespace
+}  // namespace match
+}  // namespace ganswer

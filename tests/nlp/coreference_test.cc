@@ -1,0 +1,68 @@
+#include "nlp/coreference.h"
+
+#include <gtest/gtest.h>
+
+#include "nlp/dependency_parser.h"
+
+namespace ganswer {
+namespace nlp {
+namespace {
+
+class CoreferenceTest : public ::testing::Test {
+ protected:
+  CoreferenceTest() : parser_(lexicon_) {}
+
+  DependencyTree Parse(const std::string& q) {
+    auto tree = parser_.Parse(q);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    return std::move(tree).value();
+  }
+
+  static int NodeOf(const DependencyTree& t, const std::string& w) {
+    for (int i = 0; i < static_cast<int>(t.size()); ++i) {
+      if (t.node(i).token.text == w) return i;
+    }
+    return -1;
+  }
+
+  Lexicon lexicon_;
+  DependencyParser parser_;
+};
+
+TEST_F(CoreferenceTest, RelativeThatResolvesToModifiedNoun) {
+  DependencyTree t =
+      Parse("Who was married to an actor that played in Philadelphia ?");
+  int that = NodeOf(t, "that");
+  int actor = NodeOf(t, "actor");
+  EXPECT_EQ(CoreferenceResolver::Antecedent(t, that), actor);
+}
+
+TEST_F(CoreferenceTest, MainClauseWhIsNotAnaphoric) {
+  DependencyTree t = Parse("Who developed Minecraft ?");
+  int who = NodeOf(t, "Who");
+  EXPECT_EQ(CoreferenceResolver::Antecedent(t, who), -1);
+}
+
+TEST_F(CoreferenceTest, DeepRelativePronounStillResolves) {
+  DependencyTree t =
+      Parse("Give me all people that were born in Vienna and died in Berlin ?");
+  int that = NodeOf(t, "that");
+  int people = NodeOf(t, "people");
+  EXPECT_EQ(CoreferenceResolver::Antecedent(t, that), people);
+}
+
+TEST_F(CoreferenceTest, NonPronounReturnsMinusOne) {
+  DependencyTree t = Parse("Who is the mayor of Berlin ?");
+  EXPECT_EQ(CoreferenceResolver::Antecedent(t, NodeOf(t, "Berlin")), -1);
+  EXPECT_EQ(CoreferenceResolver::Antecedent(t, NodeOf(t, "mayor")), -1);
+}
+
+TEST_F(CoreferenceTest, OutOfRangeIsSafe) {
+  DependencyTree t = Parse("Who developed Minecraft ?");
+  EXPECT_EQ(CoreferenceResolver::Antecedent(t, -5), -1);
+  EXPECT_EQ(CoreferenceResolver::Antecedent(t, 1000), -1);
+}
+
+}  // namespace
+}  // namespace nlp
+}  // namespace ganswer

@@ -1,0 +1,209 @@
+#include "nlp/dependency_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/workload.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace nlp {
+namespace {
+
+class DependencyParserTest : public ::testing::Test {
+ protected:
+  DependencyParserTest() : parser_(lexicon_) {}
+
+  DependencyTree Parse(const std::string& q) {
+    auto tree = parser_.Parse(q);
+    EXPECT_TRUE(tree.ok()) << q << ": " << tree.status().ToString();
+    return std::move(tree).value();
+  }
+
+  // Index of the first token whose text equals w.
+  static int NodeOf(const DependencyTree& t, const std::string& w) {
+    for (int i = 0; i < static_cast<int>(t.size()); ++i) {
+      if (t.node(i).token.text == w) return i;
+    }
+    ADD_FAILURE() << "token not found: " << w;
+    return -1;
+  }
+
+  static void ExpectDep(const DependencyTree& t, const std::string& child,
+                        const std::string& parent, std::string_view rel) {
+    int c = NodeOf(t, child);
+    int p = NodeOf(t, parent);
+    ASSERT_GE(c, 0);
+    ASSERT_GE(p, 0);
+    EXPECT_EQ(t.node(c).parent, p)
+        << child << " should attach to " << parent << "\n"
+        << t.ToString();
+    EXPECT_EQ(t.node(c).relation, rel) << t.ToString();
+  }
+
+  Lexicon lexicon_;
+  DependencyParser parser_;
+};
+
+TEST_F(DependencyParserTest, RunningExampleMatchesFigure5) {
+  DependencyTree t =
+      Parse("Who was married to an actor that played in Philadelphia ?");
+  EXPECT_EQ(t.node(t.root()).token.text, "married");
+  ExpectDep(t, "Who", "married", dep::kNsubjPass);
+  ExpectDep(t, "was", "married", dep::kAuxPass);
+  ExpectDep(t, "to", "married", dep::kPrep);
+  ExpectDep(t, "actor", "to", dep::kPobj);
+  ExpectDep(t, "played", "actor", dep::kRcmod);
+  ExpectDep(t, "that", "played", dep::kNsubj);
+  ExpectDep(t, "in", "played", dep::kPrep);
+  ExpectDep(t, "Philadelphia", "in", dep::kPobj);
+}
+
+TEST_F(DependencyParserTest, FrontedAndStrandedPrepositionsGiveSameTree) {
+  DependencyTree stranded =
+      Parse("Which movies did Antonio Banderas star in ?");
+  DependencyTree fronted = Parse("In which movies did Antonio Banderas star ?");
+  for (const DependencyTree* t : {&stranded, &fronted}) {
+    EXPECT_EQ(t->node(t->root()).token.lower, "star");
+    int in = NodeOf(*t, t == &stranded ? "in" : "In");
+    int movies = NodeOf(*t, "movies");
+    EXPECT_EQ(t->node(in).parent, t->root());
+    EXPECT_EQ(t->node(movies).parent, in);
+    EXPECT_EQ(t->node(movies).relation, dep::kPobj);
+    int banderas = NodeOf(*t, "Banderas");
+    EXPECT_EQ(t->node(banderas).relation, dep::kNsubj);
+  }
+}
+
+TEST_F(DependencyParserTest, CopularQuestion) {
+  DependencyTree t = Parse("Who is the mayor of Berlin ?");
+  EXPECT_EQ(t.node(t.root()).token.text, "mayor");
+  ExpectDep(t, "Who", "mayor", dep::kNsubj);
+  ExpectDep(t, "is", "mayor", dep::kCop);
+  ExpectDep(t, "the", "mayor", dep::kDet);
+  ExpectDep(t, "of", "mayor", dep::kPrep);
+  ExpectDep(t, "Berlin", "of", dep::kPobj);
+}
+
+TEST_F(DependencyParserTest, ImperativeWithParticipialModifier) {
+  DependencyTree t =
+      Parse("Give me all movies directed by Francis Ford Coppola .");
+  EXPECT_EQ(t.node(t.root()).token.text, "Give");
+  ExpectDep(t, "me", "Give", dep::kIobj);
+  ExpectDep(t, "movies", "Give", dep::kDobj);
+  ExpectDep(t, "directed", "movies", dep::kPartmod);
+  ExpectDep(t, "by", "directed", dep::kPrep);
+  ExpectDep(t, "Coppola", "by", dep::kPobj);
+  ExpectDep(t, "Francis", "Coppola", dep::kNn);
+}
+
+TEST_F(DependencyParserTest, AdjectivePredicate) {
+  DependencyTree t = Parse("How tall is Michael Jordan ?");
+  EXPECT_EQ(t.node(t.root()).token.text, "tall");
+  ExpectDep(t, "How", "tall", dep::kAdvmod);
+  ExpectDep(t, "is", "tall", dep::kCop);
+  ExpectDep(t, "Jordan", "tall", dep::kNsubj);
+}
+
+TEST_F(DependencyParserTest, YesNoCopular) {
+  DependencyTree t = Parse("Is Michelle Obama the wife of Barack Obama ?");
+  EXPECT_EQ(t.node(t.root()).token.text, "wife");
+  ExpectDep(t, "Is", "wife", dep::kCop);
+  int michelle_obama = 2;  // "Obama" of Michelle
+  EXPECT_EQ(t.node(michelle_obama).relation, dep::kNsubj);
+}
+
+TEST_F(DependencyParserTest, CoordinatedVerbPhrases) {
+  DependencyTree t =
+      Parse("Give me all people that were born in Vienna and died in Berlin ?");
+  ExpectDep(t, "born", "people", dep::kRcmod);
+  ExpectDep(t, "that", "born", dep::kNsubjPass);
+  ExpectDep(t, "died", "born", dep::kConj);
+  ExpectDep(t, "and", "born", dep::kCc);
+  // "Berlin" hangs off the SECOND "in", which itself attaches to "died".
+  int berlin = NodeOf(t, "Berlin");
+  ASSERT_GE(berlin, 0);
+  EXPECT_EQ(t.node(berlin).relation, dep::kPobj);
+  int in2 = t.node(berlin).parent;
+  ASSERT_GE(in2, 0);
+  EXPECT_EQ(t.node(in2).token.lower, "in");
+  EXPECT_EQ(t.node(in2).parent, NodeOf(t, "died"));
+}
+
+TEST_F(DependencyParserTest, SubjectWithEmbeddedPp) {
+  DependencyTree t = Parse("Which country does the creator of Miffy come from ?");
+  EXPECT_EQ(t.node(t.root()).token.text, "come");
+  ExpectDep(t, "creator", "come", dep::kNsubj);
+  ExpectDep(t, "of", "creator", dep::kPrep);
+  ExpectDep(t, "Miffy", "of", dep::kPobj);
+  ExpectDep(t, "country", "from", dep::kPobj);
+}
+
+TEST_F(DependencyParserTest, SimpleWhSubjectVerbObject) {
+  DependencyTree t = Parse("Who developed Minecraft ?");
+  EXPECT_EQ(t.node(t.root()).token.text, "developed");
+  ExpectDep(t, "Who", "developed", dep::kNsubj);
+  ExpectDep(t, "Minecraft", "developed", dep::kDobj);
+}
+
+TEST_F(DependencyParserTest, WhenQuestionAdvmod) {
+  DependencyTree t = Parse("When did Michael Jackson die ?");
+  EXPECT_EQ(t.node(t.root()).token.lower, "die");
+  ExpectDep(t, "When", "die", dep::kAdvmod);
+  ExpectDep(t, "Jackson", "die", dep::kNsubj);
+}
+
+TEST_F(DependencyParserTest, NounAttachedPp) {
+  DependencyTree t = Parse("Give me all companies in Munich .");
+  ExpectDep(t, "in", "companies", dep::kPrep);
+  ExpectDep(t, "Munich", "in", dep::kPobj);
+}
+
+TEST_F(DependencyParserTest, PassiveWithSubjectPp) {
+  DependencyTree t = Parse("Which books by Kerouac were published by Viking Press ?");
+  EXPECT_EQ(t.node(t.root()).token.text, "published");
+  ExpectDep(t, "books", "published", dep::kNsubjPass);
+  // First "by" modifies "books" (pobj Kerouac); the second modifies the
+  // verb (pobj Press).
+  int kerouac = NodeOf(t, "Kerouac");
+  int press = NodeOf(t, "Press");
+  EXPECT_EQ(t.node(kerouac).relation, dep::kPobj);
+  EXPECT_EQ(t.node(t.node(kerouac).parent).parent, NodeOf(t, "books"));
+  EXPECT_EQ(t.node(press).relation, dep::kPobj);
+  EXPECT_EQ(t.node(t.node(press).parent).parent, t.root());
+}
+
+TEST_F(DependencyParserTest, EmptyQuestionFails) {
+  EXPECT_FALSE(parser_.Parse("").ok());
+  EXPECT_FALSE(parser_.Parse("???").ok());
+}
+
+TEST_F(DependencyParserTest, PunctuationAttachesToRoot) {
+  DependencyTree t = Parse("Who developed Minecraft ?");
+  int q = NodeOf(t, "?");
+  EXPECT_EQ(t.node(q).parent, t.root());
+  EXPECT_EQ(t.node(q).relation, dep::kPunct);
+}
+
+// Property: every question of the generated workload parses into a valid
+// single-rooted tree (a statistical parser's totality, rule-based here).
+class WorkloadParseTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WorkloadParseTest, WorkloadQuestionsParseToValidTrees) {
+  const auto& world = ganswer::testing::World();
+  DependencyParser parser(world.lexicon);
+  size_t chunk = GetParam();
+  for (size_t i = chunk; i < world.workload.size(); i += 4) {
+    const auto& q = world.workload[i];
+    auto tree = parser.Parse(q.text);
+    ASSERT_TRUE(tree.ok()) << q.text << ": " << tree.status().ToString();
+    EXPECT_TRUE(tree->Validate().ok()) << q.text << "\n" << tree->ToString();
+    EXPECT_EQ(tree->size(), Tokenizer::Tokenize(q.text).size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, WorkloadParseTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace nlp
+}  // namespace ganswer

@@ -1,0 +1,100 @@
+#include "nlp/dependency_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "nlp/tokenizer.h"
+
+namespace ganswer {
+namespace nlp {
+namespace {
+
+DependencyTree MakeTree(const std::string& text) {
+  return DependencyTree(Tokenizer::Tokenize(text));
+}
+
+TEST(DependencyTreeTest, AttachAndValidate) {
+  DependencyTree t = MakeTree("a b c d");
+  t.SetRoot(1);
+  t.Attach(0, 1, dep::kNsubj);
+  t.Attach(2, 1, dep::kDobj);
+  t.Attach(3, 2, dep::kNn);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.node(0).parent, 1);
+  EXPECT_EQ(t.node(0).relation, dep::kNsubj);
+  EXPECT_EQ(t.node(1).children.size(), 2u);
+}
+
+TEST(DependencyTreeTest, ValidateRejectsUnattachedNodes) {
+  DependencyTree t = MakeTree("a b c");
+  t.SetRoot(0);
+  t.Attach(1, 0, dep::kDobj);
+  Status s = t.Validate();
+  EXPECT_TRUE(s.IsInternal());
+  EXPECT_NE(s.message().find("unattached"), std::string::npos);
+}
+
+TEST(DependencyTreeTest, ValidateRejectsMissingRoot) {
+  DependencyTree t = MakeTree("a b");
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(DependencyTreeTest, ReattachMovesChild) {
+  DependencyTree t = MakeTree("a b c");
+  t.SetRoot(0);
+  t.Attach(1, 0, dep::kDobj);
+  t.Attach(2, 1, dep::kNn);
+  // Move node 2 under the root.
+  t.Attach(2, 0, dep::kDep);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.node(2).parent, 0);
+  EXPECT_TRUE(t.node(1).children.empty());
+}
+
+TEST(DependencyTreeTest, SubtreeAndDescendants) {
+  DependencyTree t = MakeTree("a b c d e");
+  t.SetRoot(0);
+  t.Attach(1, 0, dep::kDobj);
+  t.Attach(2, 1, dep::kNn);
+  t.Attach(3, 1, dep::kAmod);
+  t.Attach(4, 0, dep::kPunct);
+  EXPECT_EQ(t.Subtree(1), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(t.Subtree(0), (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(t.IsDescendant(2, 0));
+  EXPECT_TRUE(t.IsDescendant(2, 1));
+  EXPECT_FALSE(t.IsDescendant(4, 1));
+  EXPECT_TRUE(t.IsDescendant(1, 1)) << "a node descends from itself";
+}
+
+TEST(DependencyTreeTest, ToStringShowsStructure) {
+  DependencyTree t = MakeTree("runs dog");
+  t.SetRoot(0);
+  t.Attach(1, 0, dep::kNsubj);
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("runs [root"), std::string::npos) << s;
+  EXPECT_NE(s.find("  dog [nsubj"), std::string::npos) << s;
+}
+
+TEST(DependencyTreeTest, SubjectObjectRelationSets) {
+  for (const char* r : {"subj", "nsubj", "nsubjpass", "csubj", "csubjpass",
+                        "xsubj", "poss"}) {
+    EXPECT_TRUE(dep::IsSubjectLike(r)) << r;
+  }
+  for (const char* r : {"obj", "pobj", "dobj", "iobj"}) {
+    EXPECT_TRUE(dep::IsObjectLike(r)) << r;
+  }
+  EXPECT_FALSE(dep::IsSubjectLike("dobj"));
+  EXPECT_FALSE(dep::IsObjectLike("nsubj"));
+  EXPECT_TRUE(dep::IsLightRelation(dep::kPrep));
+  EXPECT_TRUE(dep::IsLightRelation(dep::kAuxPass));
+  EXPECT_FALSE(dep::IsLightRelation(dep::kDobj));
+}
+
+TEST(DependencyTreeTest, EmptyTreeIsValid) {
+  DependencyTree t;
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_TRUE(t.empty());
+}
+
+}  // namespace
+}  // namespace nlp
+}  // namespace ganswer

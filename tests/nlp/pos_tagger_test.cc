@@ -1,0 +1,98 @@
+#include "nlp/pos_tagger.h"
+
+#include <gtest/gtest.h>
+
+#include "nlp/tokenizer.h"
+
+namespace ganswer {
+namespace nlp {
+namespace {
+
+std::vector<Token> Tag(const std::string& text) {
+  static Lexicon lexicon;
+  PosTagger tagger(lexicon);
+  std::vector<Token> toks = Tokenizer::Tokenize(text);
+  tagger.Tag(&toks);
+  return toks;
+}
+
+std::vector<PosTag> Tags(const std::string& text) {
+  std::vector<PosTag> out;
+  for (const Token& t : Tag(text)) out.push_back(t.pos);
+  return out;
+}
+
+TEST(PosTaggerTest, WhQuestion) {
+  EXPECT_EQ(Tags("Who is the mayor of Berlin ?"),
+            (std::vector<PosTag>{PosTag::kWhWord, PosTag::kAux,
+                                 PosTag::kDeterminer, PosTag::kNoun,
+                                 PosTag::kPreposition, PosTag::kProperNoun,
+                                 PosTag::kPunct}));
+}
+
+TEST(PosTaggerTest, PassiveWithParticiple) {
+  auto toks = Tag("Who was married to an actor ?");
+  EXPECT_EQ(toks[1].pos, PosTag::kAux);
+  EXPECT_EQ(toks[2].pos, PosTag::kVerb);
+  EXPECT_TRUE(toks[2].is_participle);
+  EXPECT_EQ(toks[2].lemma, "marry");
+}
+
+TEST(PosTaggerTest, ThatAsRelativePronounAfterNoun) {
+  auto toks = Tag("an actor that played in Philadelphia");
+  EXPECT_EQ(toks[2].pos, PosTag::kPronoun) << "'that' after noun is relative";
+  auto toks2 = Tag("that actor played");
+  EXPECT_EQ(toks2[0].pos, PosTag::kDeterminer) << "'that' sentence-initial";
+}
+
+TEST(PosTaggerTest, CapitalizedMidSentenceIsProperNoun) {
+  auto toks = Tag("films starring Antonio Banderas");
+  EXPECT_EQ(toks[2].pos, PosTag::kProperNoun);
+  EXPECT_EQ(toks[3].pos, PosTag::kProperNoun);
+}
+
+TEST(PosTaggerTest, SentenceInitialNameIsProperNoun) {
+  auto toks = Tag("Sean Parnell is the governor");
+  EXPECT_EQ(toks[0].pos, PosTag::kProperNoun);
+}
+
+TEST(PosTaggerTest, SentenceInitialVerbStaysVerb) {
+  auto toks = Tag("Give me all movies");
+  EXPECT_EQ(toks[0].pos, PosTag::kVerb);
+}
+
+TEST(PosTaggerTest, NounVerbAmbiguityResolvedByContext) {
+  // "flow" after a proper noun is a verb; "name" after a noun compound is a
+  // noun.
+  auto flow = Tag("does the Weser flow through cities ?");
+  EXPECT_EQ(flow[3].pos, PosTag::kVerb);
+  auto name = Tag("the birth name of Angela");
+  EXPECT_EQ(name[2].pos, PosTag::kNoun);
+}
+
+TEST(PosTaggerTest, NumbersAndConjunctions) {
+  auto toks = Tag("born in 1950 and died");
+  EXPECT_EQ(toks[2].pos, PosTag::kNumber);
+  EXPECT_EQ(toks[3].pos, PosTag::kConj);
+}
+
+TEST(PosTaggerTest, HowIsWhWord) {
+  auto toks = Tag("How tall is Michael Jordan ?");
+  EXPECT_EQ(toks[0].pos, PosTag::kWhWord);
+  EXPECT_EQ(toks[1].pos, PosTag::kAdjective);
+}
+
+TEST(PosTaggerTest, UnknownLowercaseWordDefaultsToNoun) {
+  auto toks = Tag("the blorple of Berlin");
+  EXPECT_EQ(toks[1].pos, PosTag::kNoun);
+}
+
+TEST(PosTaggerTest, LemmaFilledForAllTokens) {
+  for (const Token& t : Tag("Which movies did Antonio Banderas star in ?")) {
+    EXPECT_FALSE(t.lemma.empty()) << t.text;
+  }
+}
+
+}  // namespace
+}  // namespace nlp
+}  // namespace ganswer

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "nlp/dependency_parser.h"
+#include "qa/ganswer.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace nlp {
+namespace {
+
+class PossessiveTest : public ::testing::Test {
+ protected:
+  PossessiveTest() : parser_(lexicon_) {}
+
+  DependencyTree Parse(const std::string& q) {
+    auto tree = parser_.Parse(q);
+    EXPECT_TRUE(tree.ok());
+    return std::move(tree).value();
+  }
+
+  static int NodeOf(const DependencyTree& t, const std::string& w) {
+    for (int i = 0; i < static_cast<int>(t.size()); ++i) {
+      if (t.node(i).token.text == w) return i;
+    }
+    return -1;
+  }
+
+  Lexicon lexicon_;
+  DependencyParser parser_;
+};
+
+TEST_F(PossessiveTest, CliticStrippedAndPossAttached) {
+  DependencyTree t = Parse("Who is Barack Obama's wife ?");
+  int obama = NodeOf(t, "Obama");
+  int wife = NodeOf(t, "wife");
+  int barack = NodeOf(t, "Barack");
+  ASSERT_GE(obama, 0);
+  ASSERT_GE(wife, 0);
+  EXPECT_EQ(t.node(obama).parent, wife);
+  EXPECT_EQ(t.node(obama).relation, dep::kPoss);
+  EXPECT_EQ(t.node(barack).parent, obama) << "name parts compound under the possessor";
+  EXPECT_EQ(t.node(barack).relation, dep::kNn);
+}
+
+TEST_F(PossessiveTest, PossIsSubjectLikePerThePaper) {
+  EXPECT_TRUE(dep::IsSubjectLike(dep::kPoss));
+}
+
+TEST_F(PossessiveTest, ProperNounHeadsAreNotSplit) {
+  // "Chicago Bulls": NNP head, no possessive misanalysis.
+  DependencyTree t = Parse("Who plays for the Chicago Bulls ?");
+  int chicago = NodeOf(t, "Chicago");
+  ASSERT_GE(chicago, 0);
+  EXPECT_EQ(t.node(chicago).relation, dep::kNn);
+}
+
+TEST_F(PossessiveTest, DigitLedHeadsAreNotSplit) {
+  // "76ers" is a common-noun-tagged token but not a lowercase word; the
+  // possessive rule must not split the team name.
+  DependencyTree t = Parse("Who plays for the Frostholm Bay 76ers ?");
+  int bay = NodeOf(t, "Bay");
+  ASSERT_GE(bay, 0);
+  EXPECT_NE(t.node(bay).relation, dep::kPoss);
+}
+
+class PossessiveEndToEndTest : public ::testing::Test {
+ protected:
+  PossessiveEndToEndTest()
+      : world_(ganswer::testing::World()),
+        system_(&world_.kb.graph, &world_.lexicon, world_.verified.get()) {}
+
+  const ganswer::testing::SharedWorld& world_;
+  qa::GAnswer system_;
+};
+
+TEST_F(PossessiveEndToEndTest, PossessiveSpouseQuestion) {
+  auto r = system_.Ask("Who is Barack Obama's wife ?");
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->answers.empty());
+  EXPECT_EQ(r->answers[0].text, "Michelle_Obama");
+}
+
+TEST_F(PossessiveEndToEndTest, PossessiveCapitalQuestion) {
+  auto r = system_.Ask("What is Canada's capital ?");
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->answers.empty());
+  EXPECT_EQ(r->answers[0].text, "Ottawa");
+}
+
+}  // namespace
+}  // namespace nlp
+}  // namespace ganswer

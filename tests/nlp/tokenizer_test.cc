@@ -1,0 +1,65 @@
+#include "nlp/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace ganswer {
+namespace nlp {
+namespace {
+
+std::vector<std::string> Texts(const std::vector<Token>& toks) {
+  std::vector<std::string> out;
+  for (const Token& t : toks) out.push_back(t.text);
+  return out;
+}
+
+TEST(TokenizerTest, SplitsWordsAndPunctuation) {
+  auto toks = Tokenizer::Tokenize("Who is the mayor of Berlin?");
+  EXPECT_EQ(Texts(toks), (std::vector<std::string>{"Who", "is", "the", "mayor",
+                                                   "of", "Berlin", "?"}));
+}
+
+TEST(TokenizerTest, PunctuationTokensAreTagged) {
+  auto toks = Tokenizer::Tokenize("Really ?");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[1].pos, PosTag::kPunct);
+}
+
+TEST(TokenizerTest, LowercaseIsFilled) {
+  auto toks = Tokenizer::Tokenize("Antonio Banderas");
+  EXPECT_EQ(toks[0].lower, "antonio");
+  EXPECT_EQ(toks[1].lower, "banderas");
+}
+
+TEST(TokenizerTest, FirstTokenIsSentenceInitial) {
+  auto toks = Tokenizer::Tokenize("Give me all movies .");
+  EXPECT_TRUE(toks[0].sentence_initial);
+  for (size_t i = 1; i < toks.size(); ++i) {
+    EXPECT_FALSE(toks[i].sentence_initial);
+  }
+}
+
+TEST(TokenizerTest, StripsPossessiveClitic) {
+  auto toks = Tokenizer::Tokenize("Obama's wife");
+  EXPECT_EQ(toks[0].text, "Obama");
+  EXPECT_EQ(toks[1].text, "wife");
+}
+
+TEST(TokenizerTest, KeepsHyphensAndDigitsInsideWords) {
+  auto toks = Tokenizer::Tokenize("76ers played in mid-town");
+  EXPECT_EQ(toks[0].text, "76ers");
+  EXPECT_EQ(toks[3].text, "mid-town");
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceInput) {
+  EXPECT_TRUE(Tokenizer::Tokenize("").empty());
+  EXPECT_TRUE(Tokenizer::Tokenize("   \t\n").empty());
+}
+
+TEST(TokenizerTest, MultiplePunctuationSeparated) {
+  auto toks = Tokenizer::Tokenize("really?!");
+  EXPECT_EQ(Texts(toks), (std::vector<std::string>{"really", "?", "!"}));
+}
+
+}  // namespace
+}  // namespace nlp
+}  // namespace ganswer

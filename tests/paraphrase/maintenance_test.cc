@@ -1,0 +1,130 @@
+#include "paraphrase/maintenance.h"
+
+#include <gtest/gtest.h>
+
+namespace ganswer {
+namespace paraphrase {
+namespace {
+
+// Small KB with two predicate families so maintenance can be selective.
+rdf::RdfGraph BuildKb(bool with_directed_by) {
+  rdf::RdfGraph g;
+  for (int i = 0; i < 5; ++i) {
+    std::string h = "h" + std::to_string(i);
+    std::string w = "w" + std::to_string(i);
+    std::string f = "f" + std::to_string(i);
+    g.AddTriple(h, "spouse", w);
+    g.AddTriple(f, "starring", h);
+    if (with_directed_by) g.AddTriple(f, "directedBy", w);
+  }
+  EXPECT_TRUE(g.Finalize().ok());
+  return g;
+}
+
+std::vector<RelationPhrase> Dataset() {
+  std::vector<RelationPhrase> out(2);
+  out[0].text = "be married to";
+  out[1].text = "direct";
+  for (int i = 0; i < 5; ++i) {
+    out[0].support.emplace_back("h" + std::to_string(i),
+                                "w" + std::to_string(i));
+    out[1].support.emplace_back("w" + std::to_string(i),
+                                "f" + std::to_string(i));
+  }
+  return out;
+}
+
+TEST(DictionaryMaintainerTest, RemovedPredicatesDropTheirEntries) {
+  rdf::RdfGraph g = BuildKb(true);
+  nlp::Lexicon lexicon;
+  ParaphraseDictionary dict(&lexicon);
+  DictionaryBuilder::Options opt;
+  opt.max_path_length = 2;
+  opt.top_k = 5;
+  ASSERT_TRUE(DictionaryBuilder(opt).Build(g, Dataset(), &dict).ok());
+
+  auto direct = dict.FindByLemmas({"direct"});
+  ASSERT_TRUE(direct.has_value());
+  ASSERT_FALSE(dict.Entries(*direct).empty());
+
+  DictionaryMaintainer maintainer(opt);
+  DictionaryMaintainer::MaintenanceStats stats;
+  ASSERT_TRUE(
+      maintainer.OnPredicatesRemoved({"directedBy"}, g, &dict, &stats).ok());
+  EXPECT_GT(stats.entries_dropped, 0u);
+  for (PhraseId id = 0; id < dict.NumPhrases(); ++id) {
+    for (const ParaphraseEntry& e : dict.Entries(id)) {
+      for (const PathStep& s : e.path.steps) {
+        EXPECT_NE(g.dict().text(s.predicate), "directedBy");
+      }
+    }
+  }
+}
+
+TEST(DictionaryMaintainerTest, RemovalKeepsUnrelatedEntries) {
+  rdf::RdfGraph g = BuildKb(true);
+  nlp::Lexicon lexicon;
+  ParaphraseDictionary dict(&lexicon);
+  DictionaryBuilder::Options opt;
+  opt.max_path_length = 1;
+  ASSERT_TRUE(DictionaryBuilder(opt).Build(g, Dataset(), &dict).ok());
+  auto married = dict.FindByLemmas({"be", "marry", "to"});
+  ASSERT_TRUE(married.has_value());
+  size_t before = dict.Entries(*married).size();
+  ASSERT_TRUE(DictionaryMaintainer(opt)
+                  .OnPredicatesRemoved({"directedBy"}, g, &dict)
+                  .ok());
+  EXPECT_EQ(dict.Entries(*married).size(), before);
+}
+
+TEST(DictionaryMaintainerTest, AddedPredicatesRemineAffectedPhrasesOnly) {
+  // Mine first without directedBy, then add it and maintain.
+  rdf::RdfGraph without = BuildKb(false);
+  nlp::Lexicon lexicon;
+  ParaphraseDictionary dict(&lexicon);
+  DictionaryBuilder::Options opt;
+  opt.max_path_length = 1;
+  opt.top_k = 5;
+  ASSERT_TRUE(DictionaryBuilder(opt).Build(without, Dataset(), &dict).ok());
+  auto direct = dict.FindByLemmas({"direct"});
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_TRUE(dict.Entries(*direct).empty())
+      << "no predicate connects (w, f) pairs yet";
+
+  rdf::RdfGraph with = BuildKb(true);
+  DictionaryMaintainer maintainer(opt);
+  DictionaryMaintainer::MaintenanceStats stats;
+  ASSERT_TRUE(maintainer
+                  .OnPredicatesAdded({"directedBy"}, with, Dataset(), &dict,
+                                     &stats)
+                  .ok());
+  EXPECT_GT(stats.phrases_remined, 0u);
+
+  // "direct" now maps to the new predicate...
+  ASSERT_FALSE(dict.Entries(*direct).empty());
+  bool found = false;
+  for (const ParaphraseEntry& e : dict.Entries(*direct)) {
+    if (e.path.IsSinglePredicate() &&
+        with.dict().text(e.path.steps[0].predicate) == "directedBy") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DictionaryMaintainerTest, NullAndUnfinalizedRejected) {
+  rdf::RdfGraph g = BuildKb(true);
+  DictionaryMaintainer maintainer;
+  EXPECT_TRUE(
+      maintainer.OnPredicatesRemoved({"x"}, g, nullptr).IsInvalidArgument());
+  rdf::RdfGraph unfinalized;
+  unfinalized.AddTriple("a", "p", "b");
+  nlp::Lexicon lexicon;
+  ParaphraseDictionary dict(&lexicon);
+  EXPECT_TRUE(maintainer.OnPredicatesAdded({"p"}, unfinalized, {}, &dict)
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace paraphrase
+}  // namespace ganswer

@@ -1,0 +1,136 @@
+#include "paraphrase/paraphrase_dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rdf/rdf_graph.h"
+
+namespace ganswer {
+namespace paraphrase {
+namespace {
+
+class ParaphraseDictionaryTest : public ::testing::Test {
+ protected:
+  ParaphraseDictionaryTest() : dict_(&lexicon_) {
+    graph_.AddTriple("a", "spouse", "b");
+    graph_.AddTriple("a", "hasChild", "c");
+    EXPECT_TRUE(graph_.Finalize().ok());
+    spouse_ = *graph_.Find("spouse");
+    has_child_ = *graph_.Find("hasChild");
+  }
+
+  ParaphraseEntry Entry(rdf::TermId pred, bool fwd, double conf) {
+    ParaphraseEntry e;
+    e.path.steps = {{pred, fwd}};
+    e.confidence = conf;
+    return e;
+  }
+
+  nlp::Lexicon lexicon_;
+  ParaphraseDictionary dict_;
+  rdf::RdfGraph graph_;
+  rdf::TermId spouse_, has_child_;
+};
+
+TEST_F(ParaphraseDictionaryTest, AddAndLookupByLemmas) {
+  PhraseId id = dict_.AddPhrase("be married to", {Entry(spouse_, true, 1.0)});
+  EXPECT_EQ(dict_.NumPhrases(), 1u);
+  EXPECT_EQ(dict_.PhraseText(id), "be married to");
+  EXPECT_EQ(dict_.PhraseLemmas(id),
+            (std::vector<std::string>{"be", "marry", "to"}));
+  auto found = dict_.FindByLemmas({"be", "marry", "to"});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, id);
+  EXPECT_FALSE(dict_.FindByLemmas({"be", "marry"}).has_value());
+}
+
+TEST_F(ParaphraseDictionaryTest, EntriesAreSortedByConfidence) {
+  PhraseId id = dict_.AddPhrase(
+      "play in", {Entry(spouse_, true, 0.3), Entry(has_child_, true, 0.9)});
+  const auto& entries = dict_.Entries(id);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_GT(entries[0].confidence, entries[1].confidence);
+}
+
+TEST_F(ParaphraseDictionaryTest, InvertedIndexFindsPhrasesByWord) {
+  PhraseId married = dict_.AddPhrase("be married to", {});
+  PhraseId born = dict_.AddPhrase("be born in", {});
+  dict_.AddPhrase("play in", {});
+  auto with_be = dict_.PhrasesContaining("be");
+  EXPECT_EQ(with_be.size(), 2u);
+  EXPECT_TRUE(std::find(with_be.begin(), with_be.end(), married) !=
+              with_be.end());
+  EXPECT_TRUE(std::find(with_be.begin(), with_be.end(), born) !=
+              with_be.end());
+  EXPECT_EQ(dict_.PhrasesContaining("in").size(), 2u);
+  EXPECT_TRUE(dict_.PhrasesContaining("zzz").empty());
+}
+
+TEST_F(ParaphraseDictionaryTest, InvertedIndexUsesLemmas) {
+  dict_.AddPhrase("be married to", {});
+  // Question-side lemma "marry" (from "married") must hit the phrase.
+  EXPECT_EQ(dict_.PhrasesContaining("marry").size(), 1u);
+  EXPECT_TRUE(dict_.PhrasesContaining("married").empty())
+      << "index stores lemmas, not surface forms";
+}
+
+TEST_F(ParaphraseDictionaryTest, ReAddReplacesEntries) {
+  PhraseId id = dict_.AddPhrase("play in", {Entry(spouse_, true, 1.0)});
+  PhraseId id2 = dict_.AddPhrase("play in", {Entry(has_child_, true, 0.5),
+                                             Entry(spouse_, false, 0.2)});
+  EXPECT_EQ(id, id2);
+  EXPECT_EQ(dict_.NumPhrases(), 1u);
+  EXPECT_EQ(dict_.Entries(id).size(), 2u);
+}
+
+TEST_F(ParaphraseDictionaryTest, NormalizeConfidencesScalesBestToOne) {
+  PhraseId id = dict_.AddPhrase(
+      "play in", {Entry(spouse_, true, 4.0), Entry(has_child_, true, 2.0)});
+  dict_.NormalizeConfidences();
+  EXPECT_DOUBLE_EQ(dict_.Entries(id)[0].confidence, 1.0);
+  EXPECT_DOUBLE_EQ(dict_.Entries(id)[1].confidence, 0.5);
+}
+
+TEST_F(ParaphraseDictionaryTest, SaveLoadRoundTrip) {
+  ParaphraseEntry multi;
+  multi.path.steps = {{has_child_, false}, {has_child_, true}};
+  multi.confidence = 0.75;
+  dict_.AddPhrase("uncle of", {multi});
+  dict_.AddPhrase("be married to", {Entry(spouse_, true, 1.0)});
+  dict_.AddPhrase("orphan phrase", {});
+
+  std::ostringstream out;
+  ASSERT_TRUE(dict_.Save(&out, graph_.dict()).ok());
+
+  ParaphraseDictionary loaded(&lexicon_);
+  std::istringstream in(out.str());
+  ASSERT_TRUE(loaded.Load(&in, &graph_).ok()) << out.str();
+  EXPECT_EQ(loaded.NumPhrases(), 3u);
+
+  auto uncle = loaded.FindByLemmas({"uncle", "of"});
+  ASSERT_TRUE(uncle.has_value());
+  ASSERT_EQ(loaded.Entries(*uncle).size(), 1u);
+  const ParaphraseEntry& e = loaded.Entries(*uncle)[0];
+  EXPECT_EQ(e.path.steps.size(), 2u);
+  EXPECT_FALSE(e.path.steps[0].forward);
+  EXPECT_DOUBLE_EQ(e.confidence, 0.75);
+
+  auto orphan = loaded.FindByLemmas({"orphan", "phrase"});
+  ASSERT_TRUE(orphan.has_value());
+  EXPECT_TRUE(loaded.Entries(*orphan).empty());
+}
+
+TEST_F(ParaphraseDictionaryTest, LoadRejectsMalformedLines) {
+  ParaphraseDictionary loaded(&lexicon_);
+  std::istringstream bad_cols("only one column");
+  EXPECT_TRUE(loaded.Load(&bad_cols, &graph_).IsCorruption());
+  std::istringstream bad_step("phrase\tspouse\t1.0");  // missing +/- prefix
+  EXPECT_TRUE(loaded.Load(&bad_step, &graph_).IsCorruption());
+  std::istringstream bad_conf("phrase\t+spouse\tnotanumber");
+  EXPECT_TRUE(loaded.Load(&bad_conf, &graph_).IsCorruption());
+}
+
+}  // namespace
+}  // namespace paraphrase
+}  // namespace ganswer

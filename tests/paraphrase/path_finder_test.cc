@@ -1,0 +1,201 @@
+#include "paraphrase/path_finder.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "common/random.h"
+
+namespace ganswer {
+namespace paraphrase {
+namespace {
+
+rdf::RdfGraph KennedyGraph() {
+  rdf::RdfGraph g;
+  g.AddTriple("Joseph", "hasChild", "JFK");
+  g.AddTriple("Joseph", "hasChild", "Ted");
+  g.AddTriple("JFK", "hasChild", "JFK_Jr");
+  g.AddTriple("Ted", "hasGender", "male");
+  g.AddTriple("JFK_Jr", "hasGender", "male");
+  g.AddTriple("Ted", "rdf:type", "Person");
+  g.AddTriple("JFK_Jr", "rdf:type", "Person");
+  EXPECT_TRUE(g.Finalize().ok());
+  return g;
+}
+
+TEST(PathFinderTest, FindsUnclePathIgnoringDirections) {
+  rdf::RdfGraph g = KennedyGraph();
+  PathFinder::Options opt;
+  opt.max_length = 3;
+  PathFinder finder(g, opt);
+  auto paths = finder.FindPaths(*g.Find("Ted"), *g.Find("JFK_Jr"));
+  // Expect <-hasChild ->hasChild ->hasChild (the uncle path) and
+  // ->hasGender <-hasGender (the noise path) at least.
+  std::set<std::string> texts;
+  for (const auto& p : paths) texts.insert(p.ToString(g.dict()));
+  EXPECT_TRUE(texts.count("<-hasChild ->hasChild ->hasChild"))
+      << ::testing::PrintToString(texts);
+  EXPECT_TRUE(texts.count("->hasGender <-hasGender"));
+}
+
+TEST(PathFinderTest, SchemaEdgesAreSkippedByDefault) {
+  rdf::RdfGraph g = KennedyGraph();
+  PathFinder::Options opt;
+  opt.max_length = 2;
+  PathFinder finder(g, opt);
+  auto paths = finder.FindPaths(*g.Find("Ted"), *g.Find("JFK_Jr"));
+  for (const auto& p : paths) {
+    for (const PathStep& s : p.steps) {
+      EXPECT_NE(s.predicate, g.type_predicate())
+          << "rdf:type must not appear: " << p.ToString(g.dict());
+    }
+  }
+  // With schema edges allowed, the type-hub path appears.
+  opt.skip_schema_edges = false;
+  PathFinder with_schema(g, opt);
+  auto more = with_schema.FindPaths(*g.Find("Ted"), *g.Find("JFK_Jr"));
+  EXPECT_GT(more.size(), paths.size());
+}
+
+TEST(PathFinderTest, RespectsLengthThreshold) {
+  rdf::RdfGraph g = KennedyGraph();
+  PathFinder::Options opt;
+  opt.max_length = 2;
+  PathFinder finder(g, opt);
+  auto paths = finder.FindPaths(*g.Find("Ted"), *g.Find("JFK_Jr"));
+  for (const auto& p : paths) {
+    EXPECT_LE(p.Length(), 2u);
+  }
+  // The length-3 uncle path needs threshold 3.
+  std::set<std::string> texts;
+  for (const auto& p : paths) texts.insert(p.ToString(g.dict()));
+  EXPECT_FALSE(texts.count("<-hasChild ->hasChild ->hasChild"));
+}
+
+TEST(PathFinderTest, DisconnectedPairGivesNoPaths) {
+  rdf::RdfGraph g;
+  g.AddTriple("a", "p", "b");
+  g.AddTriple("x", "p", "y");
+  ASSERT_TRUE(g.Finalize().ok());
+  PathFinder finder(g);
+  EXPECT_TRUE(finder.FindPaths(*g.Find("a"), *g.Find("x")).empty());
+}
+
+TEST(PathFinderTest, SameVertexGivesNoPaths) {
+  rdf::RdfGraph g = KennedyGraph();
+  PathFinder finder(g);
+  EXPECT_TRUE(finder.FindPaths(*g.Find("Ted"), *g.Find("Ted")).empty());
+}
+
+TEST(PathFinderTest, MaxPathsCapsOutput) {
+  // Dense bipartite-ish graph with many parallel 2-paths.
+  rdf::RdfGraph g;
+  for (int i = 0; i < 10; ++i) {
+    std::string mid = "m" + std::to_string(i);
+    g.AddTriple("a", "p" + std::to_string(i), mid);
+    g.AddTriple(mid, "q" + std::to_string(i), "b");
+  }
+  ASSERT_TRUE(g.Finalize().ok());
+  PathFinder::Options opt;
+  opt.max_length = 2;
+  opt.max_paths = 4;
+  PathFinder finder(g, opt);
+  EXPECT_EQ(finder.FindPaths(*g.Find("a"), *g.Find("b")).size(), 4u);
+}
+
+TEST(PathFinderTest, HubGuardBlocksHighDegreeIntermediates) {
+  rdf::RdfGraph g;
+  // a - hub - b where hub has high degree, plus a direct quiet path.
+  g.AddTriple("a", "p", "hub");
+  g.AddTriple("hub", "p", "b");
+  g.AddTriple("a", "q", "mid");
+  g.AddTriple("mid", "q", "b");
+  for (int i = 0; i < 20; ++i) {
+    g.AddTriple("hub", "noise", "n" + std::to_string(i));
+  }
+  ASSERT_TRUE(g.Finalize().ok());
+  PathFinder::Options opt;
+  opt.max_length = 2;
+  opt.max_intermediate_degree = 5;
+  PathFinder finder(g, opt);
+  auto paths = finder.FindPaths(*g.Find("a"), *g.Find("b"));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].ToString(g.dict()), "->q ->q");
+}
+
+// ---------------------------------------------------------------------------
+// Property: on random small graphs, FindPaths equals a brute-force
+// enumeration of simple undirected paths.
+// ---------------------------------------------------------------------------
+
+std::set<std::string> BruteForcePaths(const rdf::RdfGraph& g, rdf::TermId from,
+                                      rdf::TermId to, size_t max_len) {
+  std::set<std::string> out;
+  std::vector<rdf::TermId> chain{from};
+  PredicatePath current;
+  std::function<void(rdf::TermId)> dfs = [&](rdf::TermId v) {
+    if (v == to && !current.steps.empty()) {
+      out.insert(current.ToString(g.dict()));
+      return;
+    }
+    if (current.steps.size() >= max_len) return;
+    auto step = [&](const rdf::Edge& e, bool fwd) {
+      if (e.predicate == g.type_predicate() ||
+          e.predicate == g.subclass_predicate() ||
+          e.predicate == g.label_predicate()) {
+        return;
+      }
+      if (std::find(chain.begin(), chain.end(), e.neighbor) != chain.end()) {
+        return;
+      }
+      chain.push_back(e.neighbor);
+      current.steps.push_back({e.predicate, fwd});
+      dfs(e.neighbor);
+      current.steps.pop_back();
+      chain.pop_back();
+    };
+    for (const rdf::Edge& e : g.OutEdges(v)) step(e, true);
+    for (const rdf::Edge& e : g.InEdges(v)) step(e, false);
+  };
+  dfs(from);
+  return out;
+}
+
+class PathFinderPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PathFinderPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  rdf::RdfGraph g;
+  std::vector<std::string> vs;
+  for (int i = 0; i < 7; ++i) vs.push_back("v" + std::to_string(i));
+  std::vector<std::string> ps{"p", "q", "r"};
+  for (int i = 0; i < 14; ++i) {
+    g.AddTriple(rng.Pick(vs), rng.Pick(ps), rng.Pick(vs));
+  }
+  ASSERT_TRUE(g.Finalize().ok());
+
+  for (size_t max_len : {1u, 2u, 3u, 4u}) {
+    PathFinder::Options opt;
+    opt.max_length = max_len;
+    PathFinder finder(g, opt);
+    for (const auto& a : vs) {
+      for (const auto& b : vs) {
+        if (a == b) continue;
+        auto got_paths = finder.FindPaths(*g.Find(a), *g.Find(b));
+        std::set<std::string> got;
+        for (const auto& p : got_paths) got.insert(p.ToString(g.dict()));
+        EXPECT_EQ(got, BruteForcePaths(g, *g.Find(a), *g.Find(b), max_len))
+            << a << "->" << b << " len=" << max_len
+            << " seed=" << GetParam();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, PathFinderPropertyTest,
+                         ::testing::Values(10, 11, 12, 13, 14, 15));
+
+}  // namespace
+}  // namespace paraphrase
+}  // namespace ganswer

@@ -1,0 +1,109 @@
+#include "paraphrase/predicate_path.h"
+
+#include <gtest/gtest.h>
+
+namespace ganswer {
+namespace paraphrase {
+namespace {
+
+rdf::RdfGraph KennedyGraph() {
+  rdf::RdfGraph g;
+  g.AddTriple("Joseph", "hasChild", "JFK");
+  g.AddTriple("Joseph", "hasChild", "Ted");
+  g.AddTriple("JFK", "hasChild", "JFK_Jr");
+  g.AddTriple("Ted", "hasGender", "male");
+  g.AddTriple("JFK", "hasGender", "male");
+  EXPECT_TRUE(g.Finalize().ok());
+  return g;
+}
+
+PredicatePath MakePath(const rdf::RdfGraph& g,
+                       std::initializer_list<std::pair<const char*, bool>>
+                           steps) {
+  PredicatePath p;
+  for (const auto& [name, fwd] : steps) {
+    p.steps.push_back({*g.Find(name), fwd});
+  }
+  return p;
+}
+
+TEST(PredicatePathTest, ReversedFlipsOrderAndOrientation) {
+  rdf::RdfGraph g = KennedyGraph();
+  PredicatePath uncle =
+      MakePath(g, {{"hasChild", false}, {"hasChild", true}, {"hasChild", true}});
+  PredicatePath rev = uncle.Reversed();
+  ASSERT_EQ(rev.steps.size(), 3u);
+  EXPECT_FALSE(rev.steps[0].forward);
+  EXPECT_FALSE(rev.steps[1].forward);
+  EXPECT_TRUE(rev.steps[2].forward);
+  EXPECT_EQ(rev.Reversed(), uncle) << "double reverse is identity";
+}
+
+TEST(PredicatePathTest, ToStringShowsOrientation) {
+  rdf::RdfGraph g = KennedyGraph();
+  PredicatePath p = MakePath(g, {{"hasChild", false}, {"hasGender", true}});
+  EXPECT_EQ(p.ToString(g.dict()), "<-hasChild ->hasGender");
+}
+
+TEST(PredicatePathTest, HashDistinguishesOrientation) {
+  rdf::RdfGraph g = KennedyGraph();
+  PredicatePath fwd = MakePath(g, {{"hasChild", true}});
+  PredicatePath bwd = MakePath(g, {{"hasChild", false}});
+  EXPECT_NE(fwd, bwd);
+  EXPECT_NE(PredicatePathHash()(fwd), PredicatePathHash()(bwd));
+}
+
+TEST(PredicatePathTest, EndpointsOfSingleStep) {
+  rdf::RdfGraph g = KennedyGraph();
+  PredicatePath fwd = MakePath(g, {{"hasChild", true}});
+  auto ends = PathEndpoints(g, *g.Find("Joseph"), fwd);
+  EXPECT_EQ(ends.size(), 2u);  // JFK, Ted
+}
+
+TEST(PredicatePathTest, EndpointsOfUnclePath) {
+  rdf::RdfGraph g = KennedyGraph();
+  // From Ted: <-hasChild (Joseph), ->hasChild (JFK), ->hasChild (JFK_Jr).
+  PredicatePath uncle =
+      MakePath(g, {{"hasChild", false}, {"hasChild", true}, {"hasChild", true}});
+  auto ends = PathEndpoints(g, *g.Find("Ted"), uncle);
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(ends[0], *g.Find("JFK_Jr"));
+}
+
+TEST(PredicatePathTest, EndpointsRespectSimplePathConstraint) {
+  // a -p-> b -p-> a would revisit a; endpoints must exclude it.
+  rdf::RdfGraph g;
+  g.AddTriple("a", "p", "b");
+  g.AddTriple("b", "p", "a");
+  g.AddTriple("b", "p", "c");
+  ASSERT_TRUE(g.Finalize().ok());
+  PredicatePath two;
+  two.steps = {{*g.Find("p"), true}, {*g.Find("p"), true}};
+  auto ends = PathEndpoints(g, *g.Find("a"), two);
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(ends[0], *g.Find("c"));
+}
+
+TEST(PredicatePathTest, PathConnects) {
+  rdf::RdfGraph g = KennedyGraph();
+  PredicatePath uncle =
+      MakePath(g, {{"hasChild", false}, {"hasChild", true}, {"hasChild", true}});
+  EXPECT_TRUE(PathConnects(g, *g.Find("Ted"), *g.Find("JFK_Jr"), uncle));
+  EXPECT_FALSE(PathConnects(g, *g.Find("Ted"), *g.Find("Joseph"), uncle));
+  EXPECT_FALSE(PathConnects(g, *g.Find("JFK_Jr"), *g.Find("Ted"), uncle))
+      << "orientation matters for multi-step paths";
+  EXPECT_TRUE(
+      PathConnects(g, *g.Find("JFK_Jr"), *g.Find("Ted"), uncle.Reversed()));
+}
+
+TEST(PredicatePathTest, EmptyPathHasNoEndpoints) {
+  rdf::RdfGraph g = KennedyGraph();
+  PredicatePath empty;
+  auto ends = PathEndpoints(g, *g.Find("Ted"), empty);
+  ASSERT_EQ(ends.size(), 1u) << "zero steps: the start itself";
+  EXPECT_EQ(ends[0], *g.Find("Ted"));
+}
+
+}  // namespace
+}  // namespace paraphrase
+}  // namespace ganswer

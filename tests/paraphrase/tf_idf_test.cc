@@ -1,0 +1,76 @@
+#include "paraphrase/tf_idf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ganswer {
+namespace paraphrase {
+namespace {
+
+PredicatePath P(std::initializer_list<std::pair<uint32_t, bool>> steps) {
+  PredicatePath p;
+  for (const auto& [pred, fwd] : steps) p.steps.push_back({pred, fwd});
+  return p;
+}
+
+TEST(TfIdfTest, TfCountsSupportPairsNotOccurrences) {
+  PredicatePath spouse = P({{1, true}});
+  PredicatePath noise = P({{2, true}, {2, false}});
+  // Phrase 0: three pairs; spouse appears in two of them, noise in all.
+  std::vector<PathSets> corpus(1);
+  corpus[0] = {{spouse, noise}, {spouse, noise}, {noise}};
+  TfIdfModel model(&corpus);
+  EXPECT_EQ(model.Tf(spouse, 0), 2u);
+  EXPECT_EQ(model.Tf(noise, 0), 3u);
+  EXPECT_EQ(model.Tf(P({{9, true}}), 0), 0u);
+}
+
+TEST(TfIdfTest, IdfPenalizesUbiquitousPaths) {
+  PredicatePath spouse = P({{1, true}});
+  PredicatePath gender = P({{2, true}, {2, false}});
+  // 4 phrases; gender noise appears in all, spouse only in phrase 0.
+  std::vector<PathSets> corpus(4);
+  corpus[0] = {{spouse, gender}};
+  corpus[1] = {{gender}};
+  corpus[2] = {{gender}};
+  corpus[3] = {{gender}};
+  TfIdfModel model(&corpus);
+  EXPECT_EQ(model.DocumentFrequency(spouse), 1u);
+  EXPECT_EQ(model.DocumentFrequency(gender), 4u);
+  EXPECT_DOUBLE_EQ(model.Idf(spouse), std::log(4.0 / 2.0));
+  EXPECT_DOUBLE_EQ(model.Idf(gender), std::log(4.0 / 5.0));
+  EXPECT_LT(model.Idf(gender), 0.0) << "ubiquitous path gets negative idf";
+  EXPECT_GT(model.TfIdf(spouse, 0), model.TfIdf(gender, 0));
+}
+
+TEST(TfIdfTest, UnknownPathHasZeroDfAndMaxIdf) {
+  std::vector<PathSets> corpus(3);
+  corpus[0] = {{P({{1, true}})}};
+  TfIdfModel model(&corpus);
+  PredicatePath unseen = P({{7, false}});
+  EXPECT_EQ(model.DocumentFrequency(unseen), 0u);
+  EXPECT_DOUBLE_EQ(model.Idf(unseen), std::log(3.0));
+  EXPECT_DOUBLE_EQ(model.TfIdf(unseen, 0), 0.0) << "tf=0 dominates";
+}
+
+TEST(TfIdfTest, DefinitionFourArithmetic) {
+  // tf-idf(L, PS(rel_i), T) = tf * idf exactly.
+  PredicatePath L = P({{5, true}});
+  std::vector<PathSets> corpus(2);
+  corpus[0] = {{L}, {L}, {L}};  // tf = 3
+  corpus[1] = {{P({{6, true}})}};
+  TfIdfModel model(&corpus);
+  double expected = 3.0 * std::log(2.0 / 2.0);
+  EXPECT_DOUBLE_EQ(model.TfIdf(L, 0), expected);
+}
+
+TEST(TfIdfTest, CorpusSize) {
+  std::vector<PathSets> corpus(5);
+  TfIdfModel model(&corpus);
+  EXPECT_EQ(model.corpus_size(), 5u);
+}
+
+}  // namespace
+}  // namespace paraphrase
+}  // namespace ganswer

@@ -1,0 +1,172 @@
+#include "qa/argument_finder.h"
+
+#include <gtest/gtest.h>
+
+#include "nlp/dependency_parser.h"
+#include "qa/relation_extractor.h"
+
+namespace ganswer {
+namespace qa {
+namespace {
+
+class ArgumentFinderTest : public ::testing::Test {
+ protected:
+  ArgumentFinderTest() : dict_(&lexicon_), parser_(lexicon_) {
+    for (const char* p :
+         {"be married to", "play in", "star in", "mayor of", "be born in",
+          "die in", "members of", "be directed by", "direct", "tall", "creator of",
+          "come from", "children of"}) {
+      dict_.AddPhrase(p, {});
+    }
+  }
+
+  // Extracts the relation for the given phrase and finds its arguments.
+  SemanticRelation Extract(const std::string& question,
+                           const std::string& phrase,
+                           ArgumentFinder::Options opt = {}) {
+    auto tree = parser_.Parse(question);
+    EXPECT_TRUE(tree.ok());
+    tree_ = std::move(tree).value();
+    RelationExtractor extractor(&dict_);
+    for (const Embedding& e : extractor.FindEmbeddings(tree_)) {
+      if (e.phrase != kNoPhrase && dict_.PhraseText(e.phrase) == phrase) {
+        SemanticRelation rel;
+        rel.phrase = e.phrase;
+        rel.embedding = e;
+        found_ = ArgumentFinder(opt).FindArguments(tree_, &rel);
+        return rel;
+      }
+    }
+    ADD_FAILURE() << "phrase not embedded: " << phrase;
+    return {};
+  }
+
+  nlp::Lexicon lexicon_;
+  paraphrase::ParaphraseDictionary dict_;
+  nlp::DependencyParser parser_;
+  nlp::DependencyTree tree_;
+  bool found_ = false;
+};
+
+TEST_F(ArgumentFinderTest, SubjectAndPrepositionObject) {
+  SemanticRelation rel = Extract(
+      "Who was married to an actor that played in Philadelphia ?",
+      "be married to");
+  ASSERT_TRUE(found_);
+  EXPECT_EQ(rel.arg1_text, "Who");
+  EXPECT_EQ(rel.arg2_text, "actor");
+}
+
+TEST_F(ArgumentFinderTest, RelativeClauseSubject) {
+  SemanticRelation rel = Extract(
+      "Who was married to an actor that played in Philadelphia ?", "play in");
+  ASSERT_TRUE(found_);
+  EXPECT_EQ(rel.arg1_text, "that");
+  EXPECT_EQ(rel.arg2_text, "Philadelphia");
+}
+
+TEST_F(ArgumentFinderTest, CopularNounPhrase) {
+  SemanticRelation rel = Extract("Who is the mayor of Berlin ?", "mayor of");
+  ASSERT_TRUE(found_);
+  EXPECT_EQ(rel.arg1_text, "Who");
+  EXPECT_EQ(rel.arg2_text, "Berlin");
+}
+
+TEST_F(ArgumentFinderTest, Rule2PartmodGovernorBecomesArgument) {
+  // The reduced relative has no "be", so the embedded phrase is "direct";
+  // Rule 1 extends over the light "by" for arg2, Rule 2 supplies the
+  // modified NP as arg1.
+  SemanticRelation rel = Extract(
+      "Give me all movies directed by Francis Ford Coppola .", "direct");
+  ASSERT_TRUE(found_);
+  EXPECT_EQ(rel.arg1_text, "movies") << "the modified NP (Rule 2)";
+  EXPECT_EQ(rel.arg2_text, "Francis Ford Coppola");
+}
+
+TEST_F(ArgumentFinderTest, Rule2RootAsAnswerVariable) {
+  SemanticRelation rel =
+      Extract("Give me all members of Prodigy ?", "members of");
+  ASSERT_TRUE(found_);
+  EXPECT_EQ(rel.arg1_text, "members")
+      << "the head noun doubles as the answer argument";
+  EXPECT_EQ(rel.arg2_text, "Prodigy");
+}
+
+TEST_F(ArgumentFinderTest, Rule3ConjoinedVerbInheritsSubject) {
+  SemanticRelation rel = Extract(
+      "Give me all people that were born in Vienna and died in Berlin ?",
+      "die in");
+  ASSERT_TRUE(found_);
+  EXPECT_EQ(rel.arg1_text, "that") << "inherited from the parent verb";
+  EXPECT_EQ(rel.arg2_text, "Berlin");
+}
+
+TEST_F(ArgumentFinderTest, Rule4WhFallbackForAdjectivePredicate) {
+  SemanticRelation rel = Extract("How tall is Michael Jordan ?", "tall");
+  ASSERT_TRUE(found_);
+  EXPECT_EQ(rel.arg1_text, "Michael Jordan");
+  EXPECT_EQ(rel.arg2_text, "How") << "nearest wh-word (Rule 4)";
+}
+
+TEST_F(ArgumentFinderTest, SharedVertexAcrossRelations) {
+  // "creator of Miffy" and "come from" share the 'creator' argument.
+  SemanticRelation creator = Extract(
+      "Which country does the creator of Miffy come from ?", "creator of");
+  ASSERT_TRUE(found_);
+  EXPECT_EQ(creator.arg1_text, "creator");
+  EXPECT_EQ(creator.arg2_text, "Miffy");
+  SemanticRelation come = Extract(
+      "Which country does the creator of Miffy come from ?", "come from");
+  ASSERT_TRUE(found_);
+  EXPECT_EQ(come.arg1_text, "creator");
+  EXPECT_EQ(come.arg2_text, "country");
+  EXPECT_EQ(come.arg1_node, creator.arg1_node);
+}
+
+TEST_F(ArgumentFinderTest, RulesDisabledLosesRecoverableArguments) {
+  ArgumentFinder::Options off;
+  off.rule1_extend_light_words = false;
+  off.rule2_root_parent = false;
+  off.rule3_parent_subject = false;
+  off.rule4_wh_fallback = false;
+  // Rule 1/2 case: without the rules the partmod relation has neither
+  // argument.
+  auto tree = parser_.Parse("Give me all movies directed by Coppola .");
+  ASSERT_TRUE(tree.ok());
+  RelationExtractor extractor(&dict_);
+  auto embeddings = extractor.FindEmbeddings(*tree);
+  ASSERT_FALSE(embeddings.empty());
+  SemanticRelation rel;
+  rel.phrase = embeddings[0].phrase;
+  rel.embedding = embeddings[0];
+  EXPECT_FALSE(ArgumentFinder(off).FindArguments(*tree, &rel))
+      << "the paper discards relations with missing arguments";
+  EXPECT_TRUE(ArgumentFinder().FindArguments(*tree, &rel));
+}
+
+TEST_F(ArgumentFinderTest, MultiWordArgumentPhrases) {
+  SemanticRelation rel = Extract(
+      "Give me all movies directed by Francis Ford Coppola .", "direct");
+  ASSERT_TRUE(found_);
+  EXPECT_EQ(rel.arg2_text, "Francis Ford Coppola")
+      << "nn-compounds joined in sentence order";
+}
+
+TEST_F(ArgumentFinderTest, DefaultPrepArgumentsAreParentAndPobj) {
+  auto tree = parser_.Parse("Give me all companies in Munich .");
+  ASSERT_TRUE(tree.ok());
+  RelationExtractor extractor(&dict_);
+  auto defaults = extractor.FindDefaultPrepEmbeddings(
+      *tree, extractor.FindEmbeddings(*tree));
+  ASSERT_EQ(defaults.size(), 1u);
+  SemanticRelation rel;
+  rel.phrase = kNoPhrase;
+  rel.embedding = defaults[0];
+  ASSERT_TRUE(ArgumentFinder().FindArguments(*tree, &rel));
+  EXPECT_EQ(rel.arg1_text, "companies");
+  EXPECT_EQ(rel.arg2_text, "Munich");
+}
+
+}  // namespace
+}  // namespace qa
+}  // namespace ganswer

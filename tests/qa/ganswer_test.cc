@@ -1,0 +1,152 @@
+#include "qa/ganswer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ganswer {
+namespace qa {
+namespace {
+
+class GAnswerTest : public ::testing::Test {
+ protected:
+  GAnswerTest()
+      : world_(ganswer::testing::World()),
+        system_(&world_.kb.graph, &world_.lexicon, world_.verified.get()) {}
+
+  std::vector<std::string> Answers(const std::string& q) {
+    auto r = system_.Ask(q);
+    EXPECT_TRUE(r.ok()) << q;
+    std::vector<std::string> out;
+    for (const auto& a : r->answers) out.push_back(a.text);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  const ganswer::testing::SharedWorld& world_;
+  GAnswer system_;
+};
+
+TEST_F(GAnswerTest, RunningExample) {
+  EXPECT_EQ(Answers("Who was married to an actor that played in Philadelphia ?"),
+            std::vector<std::string>{"Melanie_Griffith"});
+}
+
+TEST_F(GAnswerTest, SimpleFactoids) {
+  EXPECT_EQ(Answers("Who is the mayor of Berlin ?"),
+            std::vector<std::string>{"Klaus_Wowereit"});
+  EXPECT_EQ(Answers("What is the capital of Canada ?"),
+            std::vector<std::string>{"Ottawa"});
+  EXPECT_EQ(Answers("Who developed Minecraft ?"),
+            std::vector<std::string>{"Mojang"});
+  EXPECT_EQ(Answers("Who was the successor of John F. Kennedy ?"),
+            std::vector<std::string>{"Lyndon_B._Johnson"});
+  EXPECT_EQ(Answers("Who was the father of Queen Elizabeth II ?"),
+            std::vector<std::string>{"George_VI"});
+}
+
+TEST_F(GAnswerTest, TypeConstrainedImperative) {
+  EXPECT_EQ(Answers("Give me all movies directed by Francis Ford Coppola ."),
+            (std::vector<std::string>{"Apocalypse_Now", "The_Conversation",
+                                      "The_Godfather"}));
+}
+
+TEST_F(GAnswerTest, BandMembers) {
+  EXPECT_EQ(Answers("Give me all members of Prodigy ?"),
+            (std::vector<std::string>{"Keith_Flint", "Liam_Howlett",
+                                      "Maxim_Reality"}));
+}
+
+TEST_F(GAnswerTest, LiteralAnswers) {
+  EXPECT_EQ(Answers("How tall is Michael Jordan ?"),
+            std::vector<std::string>{"1.98"});
+  EXPECT_EQ(Answers("When did Michael Jackson die ?"),
+            std::vector<std::string>{"2009-06-25"});
+  EXPECT_EQ(Answers("How high is Mount Everest ?"),
+            std::vector<std::string>{"8848"});
+  EXPECT_EQ(Answers("What is the time zone of Salt Lake City ?"),
+            std::vector<std::string>{"Mountain Standard Time"});
+}
+
+TEST_F(GAnswerTest, PredicatePathQuestion) {
+  EXPECT_EQ(Answers("Who is the uncle of John F. Kennedy Jr. ?"),
+            std::vector<std::string>{"Ted_Kennedy"});
+}
+
+TEST_F(GAnswerTest, AskQuestions) {
+  auto yes = system_.Ask("Is Michelle Obama the wife of Barack Obama ?");
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(yes->is_ask);
+  EXPECT_TRUE(yes->ask_result);
+  auto no = system_.Ask("Is Melanie Griffith the wife of Barack Obama ?");
+  ASSERT_TRUE(no.ok());
+  EXPECT_TRUE(no->is_ask);
+  EXPECT_FALSE(no->ask_result);
+}
+
+TEST_F(GAnswerTest, NicknameLiteralLinking) {
+  EXPECT_EQ(Answers("Who was called Scarface ?"),
+            std::vector<std::string>{"Al_Capone"});
+}
+
+TEST_F(GAnswerTest, MultiHopThroughSharedVertex) {
+  EXPECT_EQ(Answers("Which country does the creator of Miffy come from ?"),
+            std::vector<std::string>{"Netherlands"});
+}
+
+TEST_F(GAnswerTest, DisambiguationIsDataDriven) {
+  // "Philadelphia" must bind to the film in the starred-in reading and to
+  // the basketball team in the plays-for reading.
+  auto film = system_.Ask("Which movies did Antonio Banderas star in ?");
+  ASSERT_TRUE(film.ok());
+  bool saw_film = false;
+  for (const auto& a : film->answers) {
+    saw_film |= a.text == "Philadelphia_(film)";
+    EXPECT_NE(a.text, "Philadelphia");
+    EXPECT_NE(a.text, "Philadelphia_76ers");
+  }
+  EXPECT_TRUE(saw_film);
+}
+
+TEST_F(GAnswerTest, AggregationQuestionFails) {
+  auto r = system_.Ask("Who is the youngest player in the Chicago Bulls ?");
+  ASSERT_TRUE(r.ok());
+  // The pipeline produces no aggregation; whatever it returns cannot equal
+  // a superlative gold. It should either fail or return plain members.
+  EXPECT_NE(r->failure, GAnswer::FailureStage::kParse);
+}
+
+TEST_F(GAnswerTest, UnlinkableEntityDegradesOrFails) {
+  // "ZZX9" cannot be linked; the company vertex degrades to a wildcard and
+  // whatever comes back cannot name the company's actual headquarters with
+  // confidence (the Table 10 entity-linking failure mode).
+  auto r = system_.Ask("In which city are the headquarters of the ZZX9 ?");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->failure, GAnswer::FailureStage::kParse);
+}
+
+TEST_F(GAnswerTest, FullyUnlinkableQuestionReportsNoLinking) {
+  auto r = system_.Ask("Who quarreled with Zxqvutopia ?");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->answers.empty());
+  EXPECT_NE(r->failure, GAnswer::FailureStage::kNone);
+}
+
+TEST_F(GAnswerTest, AnswersComeRankedWithScores) {
+  auto r = system_.Ask("Who was married to an actor that played in Philadelphia ?");
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 1; i < r->answers.size(); ++i) {
+    EXPECT_GE(r->answers[i - 1].score, r->answers[i].score);
+  }
+  EXPECT_FALSE(r->matches.empty());
+}
+
+TEST_F(GAnswerTest, ResponseTimesAreMilliseconds) {
+  auto r = system_.Ask("Who is the mayor of Berlin ?");
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->TotalMs(), 3000.0) << "paper's Table 11 range";
+}
+
+}  // namespace
+}  // namespace qa
+}  // namespace ganswer

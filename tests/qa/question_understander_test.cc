@@ -1,0 +1,147 @@
+#include "qa/question_understander.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ganswer {
+namespace qa {
+namespace {
+
+class QuestionUnderstanderTest : public ::testing::Test {
+ protected:
+  QuestionUnderstanderTest()
+      : world_(ganswer::testing::World()),
+        parser_(world_.lexicon),
+        index_(world_.kb.graph),
+        linker_(&index_),
+        understander_(&parser_, world_.verified.get(), &linker_) {}
+
+  QuestionUnderstander::Result Understand(const std::string& q) {
+    auto r = understander_.Understand(q);
+    EXPECT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  const ganswer::testing::SharedWorld& world_;
+  nlp::DependencyParser parser_;
+  linking::EntityIndex index_;
+  linking::EntityLinker linker_;
+  QuestionUnderstander understander_;
+};
+
+TEST_F(QuestionUnderstanderTest, RunningExampleBuildsFigure2QueryGraph) {
+  auto r = Understand(
+      "Who was married to an actor that played in Philadelphia ?");
+  const SemanticQueryGraph& sqg = r.sqg;
+  ASSERT_EQ(sqg.vertices.size(), 3u) << sqg.ToString();
+  ASSERT_EQ(sqg.edges.size(), 2u) << sqg.ToString();
+  // The two edges share the 'actor' vertex through coreference.
+  int shared = -1;
+  for (size_t i = 0; i < sqg.vertices.size(); ++i) {
+    auto incident = sqg.IncidentEdges(static_cast<int>(i));
+    if (incident.size() == 2) shared = static_cast<int>(i);
+  }
+  ASSERT_GE(shared, 0) << "coreference must merge 'that' into 'actor'";
+  EXPECT_EQ(sqg.vertices[shared].text, "actor");
+  // Target is the wh vertex.
+  ASSERT_GE(sqg.target_vertex, 0);
+  EXPECT_TRUE(sqg.vertices[sqg.target_vertex].is_wh);
+  EXPECT_EQ(sqg.form, SemanticQueryGraph::QuestionForm::kSelect);
+}
+
+TEST_F(QuestionUnderstanderTest, AmbiguityIsPreservedNotResolved) {
+  auto r = Understand(
+      "Who was married to an actor that played in Philadelphia ?");
+  const SemanticQueryGraph& sqg = r.sqg;
+  // The Philadelphia vertex must still carry multiple candidates.
+  int phila = -1;
+  for (size_t i = 0; i < sqg.vertices.size(); ++i) {
+    if (sqg.vertices[i].text == "Philadelphia") phila = static_cast<int>(i);
+  }
+  ASSERT_GE(phila, 0);
+  EXPECT_GE(sqg.vertices[phila].candidates.size(), 3u)
+      << "city, film and team all stay candidates at this stage";
+}
+
+TEST_F(QuestionUnderstanderTest, WhDeterminerVertexIsTargetWithClass) {
+  auto r = Understand("Which movies did Antonio Banderas star in ?");
+  const SemanticQueryGraph& sqg = r.sqg;
+  ASSERT_GE(sqg.target_vertex, 0);
+  const SqgVertex& target = sqg.vertices[sqg.target_vertex];
+  EXPECT_EQ(target.text, "movies");
+  EXPECT_FALSE(target.is_wh);
+  EXPECT_TRUE(target.is_wh_target);
+  bool has_film_class = false;
+  for (const auto& c : target.candidates) {
+    if (c.is_class) has_film_class = true;
+  }
+  EXPECT_TRUE(has_film_class) << "class constraint survives targeting";
+}
+
+TEST_F(QuestionUnderstanderTest, AskFormDetected) {
+  auto r = Understand("Is Michelle Obama the wife of Barack Obama ?");
+  EXPECT_EQ(r.sqg.form, SemanticQueryGraph::QuestionForm::kAsk);
+  EXPECT_EQ(r.sqg.target_vertex, -1);
+}
+
+TEST_F(QuestionUnderstanderTest, ImperativeTargetsTheObject) {
+  auto r = Understand("Give me all members of Prodigy ?");
+  ASSERT_GE(r.sqg.target_vertex, 0);
+  EXPECT_EQ(r.sqg.vertices[r.sqg.target_vertex].text, "members");
+}
+
+TEST_F(QuestionUnderstanderTest, WildcardEdgesForDefaultPrepositions) {
+  auto r = Understand("Give me all companies in Munich .");
+  ASSERT_EQ(r.sqg.edges.size(), 1u);
+  EXPECT_TRUE(r.sqg.edges[0].wildcard);
+}
+
+TEST_F(QuestionUnderstanderTest, EdgeCandidatesComeFromDictionary) {
+  auto r = Understand("Who is the mayor of Berlin ?");
+  ASSERT_EQ(r.sqg.edges.size(), 1u);
+  const SqgEdge& e = r.sqg.edges[0];
+  ASSERT_FALSE(e.candidates.empty());
+  EXPECT_EQ(e.candidates[0].path.ToString(world_.kb.graph.dict()),
+            "<-mayor");
+}
+
+TEST_F(QuestionUnderstanderTest, UnlinkableVertexBecomesWildcard) {
+  auto r = Understand("Who is the mayor of Zxqvutopia ?");
+  bool any_wildcard = false;
+  for (const SqgVertex& v : r.sqg.vertices) {
+    if (v.text == "Zxqvutopia") {
+      EXPECT_TRUE(v.wildcard);
+      any_wildcard = true;
+    }
+  }
+  EXPECT_TRUE(any_wildcard);
+}
+
+TEST_F(QuestionUnderstanderTest, NoRelationFallbackSingleVertex) {
+  auto r = Understand("Give me all politicians .");
+  EXPECT_TRUE(r.sqg.edges.empty());
+  ASSERT_EQ(r.sqg.vertices.size(), 1u);
+  bool has_class = false;
+  for (const auto& c : r.sqg.vertices[0].candidates) {
+    has_class |= c.is_class;
+  }
+  EXPECT_TRUE(has_class);
+}
+
+TEST_F(QuestionUnderstanderTest, TimingsArePopulated) {
+  auto r = Understand("Who is the mayor of Berlin ?");
+  EXPECT_GE(r.timings.TotalMs(), 0.0);
+  EXPECT_GE(r.timings.parse_ms, 0.0);
+}
+
+TEST_F(QuestionUnderstanderTest, QuestionUnderstandingIsFast) {
+  // The paper's claim: question understanding stays under 100 ms.
+  auto r = Understand(
+      "Who was married to an actor that played in Philadelphia ?");
+  EXPECT_LT(r.timings.TotalMs(), 100.0);
+}
+
+}  // namespace
+}  // namespace qa
+}  // namespace ganswer

@@ -1,0 +1,140 @@
+#include "qa/relation_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "nlp/dependency_parser.h"
+
+namespace ganswer {
+namespace qa {
+namespace {
+
+class RelationExtractorTest : public ::testing::Test {
+ protected:
+  RelationExtractorTest() : dict_(&lexicon_), parser_(lexicon_) {
+    dict_.AddPhrase("be married to", {});
+    dict_.AddPhrase("play in", {});
+    dict_.AddPhrase("star in", {});
+    dict_.AddPhrase("mayor of", {});
+    dict_.AddPhrase("be born in", {});
+    dict_.AddPhrase("die in", {});
+    dict_.AddPhrase("marry", {});  // strict sub-phrase of "be married to"
+  }
+
+  nlp::DependencyTree Parse(const std::string& q) {
+    auto tree = parser_.Parse(q);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    return std::move(tree).value();
+  }
+
+  std::string PhraseOf(const Embedding& e) {
+    return e.phrase == kNoPhrase ? "<none>" : dict_.PhraseText(e.phrase);
+  }
+
+  nlp::Lexicon lexicon_;
+  paraphrase::ParaphraseDictionary dict_;
+  nlp::DependencyParser parser_;
+};
+
+TEST_F(RelationExtractorTest, FindsBothRelationsOfRunningExample) {
+  nlp::DependencyTree tree =
+      Parse("Who was married to an actor that played in Philadelphia ?");
+  RelationExtractor extractor(&dict_);
+  auto embeddings = extractor.FindEmbeddings(tree);
+  ASSERT_EQ(embeddings.size(), 2u);
+  std::set<std::string> phrases;
+  for (const auto& e : embeddings) phrases.insert(PhraseOf(e));
+  EXPECT_TRUE(phrases.count("be married to"));
+  EXPECT_TRUE(phrases.count("play in"));
+}
+
+TEST_F(RelationExtractorTest, MaximalityPrefersLongerPhrase) {
+  // "marry" is also in the dictionary; Def. 5 condition 2 keeps only the
+  // maximal "be married to" embedding.
+  nlp::DependencyTree tree = Parse("Who was married to Amanda Palmer ?");
+  RelationExtractor extractor(&dict_);
+  auto embeddings = extractor.FindEmbeddings(tree);
+  ASSERT_EQ(embeddings.size(), 1u);
+  EXPECT_EQ(PhraseOf(embeddings[0]), "be married to");
+  EXPECT_EQ(embeddings[0].nodes.size(), 3u) << "was + married + to";
+}
+
+TEST_F(RelationExtractorTest, EmbeddingIsConnectedSubtree) {
+  nlp::DependencyTree tree =
+      Parse("Who was married to an actor that played in Philadelphia ?");
+  RelationExtractor extractor(&dict_);
+  for (const auto& e : extractor.FindEmbeddings(tree)) {
+    for (int n : e.nodes) {
+      if (n == e.root) continue;
+      EXPECT_TRUE(tree.IsDescendant(n, e.root))
+          << "embedding nodes hang under the embedding root";
+      // Walking up from n stays inside the embedding until the root.
+      int cur = tree.node(n).parent;
+      while (cur != e.root && cur >= 0) {
+        EXPECT_TRUE(e.Contains(cur));
+        cur = tree.node(cur).parent;
+      }
+    }
+  }
+}
+
+TEST_F(RelationExtractorTest, FrontedPrepositionStillEmbeds) {
+  nlp::DependencyTree tree =
+      Parse("In which movies did Antonio Banderas star ?");
+  RelationExtractor extractor(&dict_);
+  auto embeddings = extractor.FindEmbeddings(tree);
+  ASSERT_EQ(embeddings.size(), 1u);
+  EXPECT_EQ(PhraseOf(embeddings[0]), "star in");
+}
+
+TEST_F(RelationExtractorTest, NoPhraseNoEmbedding) {
+  nlp::DependencyTree tree = Parse("Who quarreled with Edison ?");
+  RelationExtractor extractor(&dict_);
+  EXPECT_TRUE(extractor.FindEmbeddings(tree).empty());
+}
+
+TEST_F(RelationExtractorTest, OverlapResolutionIsNodeDisjoint) {
+  nlp::DependencyTree tree =
+      Parse("Give me all people that were born in Vienna and died in Berlin ?");
+  RelationExtractor extractor(&dict_);
+  auto embeddings = extractor.FindEmbeddings(tree);
+  ASSERT_EQ(embeddings.size(), 2u);
+  std::set<int> seen;
+  for (const auto& e : embeddings) {
+    for (int n : e.nodes) {
+      EXPECT_TRUE(seen.insert(n).second) << "embeddings share node " << n;
+    }
+  }
+}
+
+TEST_F(RelationExtractorTest, DefaultPrepRelationForUncoveredNounPp) {
+  nlp::DependencyTree tree = Parse("Give me all companies in Munich .");
+  RelationExtractor extractor(&dict_);
+  auto embeddings = extractor.FindEmbeddings(tree);
+  auto defaults = extractor.FindDefaultPrepEmbeddings(tree, embeddings);
+  ASSERT_EQ(defaults.size(), 1u);
+  EXPECT_EQ(defaults[0].phrase, kNoPhrase);
+  EXPECT_EQ(tree.node(defaults[0].root).token.lower, "in");
+}
+
+TEST_F(RelationExtractorTest, DefaultPrepSkippedWhenCoveredByPhrase) {
+  nlp::DependencyTree tree = Parse("Who is the mayor of Berlin ?");
+  RelationExtractor extractor(&dict_);
+  auto embeddings = extractor.FindEmbeddings(tree);
+  ASSERT_EQ(embeddings.size(), 1u);  // "mayor of"
+  auto defaults = extractor.FindDefaultPrepEmbeddings(tree, embeddings);
+  EXPECT_TRUE(defaults.empty()) << "'of' already claimed by 'mayor of'";
+}
+
+TEST_F(RelationExtractorTest, DefaultPrepCanBeDisabled) {
+  RelationExtractor::Options opt;
+  opt.default_prep_relations = false;
+  RelationExtractor extractor(&dict_, opt);
+  nlp::DependencyTree tree = Parse("Give me all companies in Munich .");
+  auto defaults = extractor.FindDefaultPrepEmbeddings(
+      tree, extractor.FindEmbeddings(tree));
+  EXPECT_TRUE(defaults.empty());
+}
+
+}  // namespace
+}  // namespace qa
+}  // namespace ganswer

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "qa/ganswer.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace qa {
+namespace {
+
+// Table 9, at rule granularity: disabling any single heuristic rule must
+// never IMPROVE the number of questions whose arguments are found, and
+// disabling all of them must hurt. Parameterized over which rule is off.
+class RuleSweepTest : public ::testing::TestWithParam<int> {
+ public:
+  static size_t QuestionsWithRelations(const ArgumentFinder::Options& rules) {
+    const auto& world = ganswer::testing::World();
+    GAnswer::Options opt;
+    opt.understanding.argument_options = rules;
+    GAnswer system(&world.kb.graph, &world.lexicon, world.verified.get(),
+                   opt);
+    size_t found = 0;
+    for (const auto& q : world.workload) {
+      auto r = system.Ask(q.text);
+      if (r.ok() && !r->understanding.relations.empty()) ++found;
+    }
+    return found;
+  }
+};
+
+TEST_P(RuleSweepTest, DisablingOneRuleNeverHelps) {
+  ArgumentFinder::Options all_on;
+  size_t baseline = QuestionsWithRelations(all_on);
+
+  ArgumentFinder::Options one_off;
+  switch (GetParam()) {
+    case 1:
+      one_off.rule1_extend_light_words = false;
+      break;
+    case 2:
+      one_off.rule2_root_parent = false;
+      break;
+    case 3:
+      one_off.rule3_parent_subject = false;
+      break;
+    case 4:
+      one_off.rule4_wh_fallback = false;
+      break;
+  }
+  EXPECT_LE(QuestionsWithRelations(one_off), baseline)
+      << "rule " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Rules, RuleSweepTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(RuleSweepAllOffTest, AllRulesOffHurtsMaterially) {
+  ArgumentFinder::Options all_on;
+  ArgumentFinder::Options all_off;
+  all_off.rule1_extend_light_words = false;
+  all_off.rule2_root_parent = false;
+  all_off.rule3_parent_subject = false;
+  all_off.rule4_wh_fallback = false;
+  size_t with = RuleSweepTest::QuestionsWithRelations(all_on);
+  size_t without = RuleSweepTest::QuestionsWithRelations(all_off);
+  EXPECT_GT(with, without + 5) << with << " vs " << without;
+}
+
+}  // namespace
+}  // namespace qa
+}  // namespace ganswer

@@ -1,0 +1,116 @@
+#include "qa/sparql_output.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "qa/ganswer.h"
+#include "rdf/sparql_engine.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace qa {
+namespace {
+
+class SparqlOutputTest : public ::testing::Test {
+ protected:
+  SparqlOutputTest()
+      : world_(ganswer::testing::World()),
+        system_(&world_.kb.graph, &world_.lexicon, world_.verified.get()),
+        engine_(world_.kb.graph) {}
+
+  GAnswer::Response Ask(const std::string& q) {
+    auto r = system_.Ask(q);
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
+  }
+
+  const ganswer::testing::SharedWorld& world_;
+  GAnswer system_;
+  rdf::SparqlEngine engine_;
+};
+
+TEST_F(SparqlOutputTest, RunningExampleLowersToThePaperQuery) {
+  auto r = Ask("Who was married to an actor that played in Philadelphia ?");
+  ASSERT_FALSE(r.matches.empty());
+  auto q = SparqlOutput::MatchToSparql(r.understanding.sqg, r.matches[0],
+                                       world_.kb.graph);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  std::string text = q->ToString();
+  EXPECT_NE(text.find("<spouse>"), std::string::npos) << text;
+  EXPECT_NE(text.find("<starring>"), std::string::npos) << text;
+  EXPECT_NE(text.find("<Philadelphia_(film)>"), std::string::npos)
+      << "the disambiguated entity is frozen into the query: " << text;
+}
+
+TEST_F(SparqlOutputTest, GeneratedQueryEvaluatesToTheMatchAnswer) {
+  for (const char* question :
+       {"Who was married to an actor that played in Philadelphia ?",
+        "Who is the mayor of Berlin ?",
+        "Which movies did Antonio Banderas star in ?",
+        "Who is the uncle of John F. Kennedy Jr. ?"}) {
+    auto r = Ask(question);
+    ASSERT_FALSE(r.matches.empty()) << question;
+    const auto& sqg = r.understanding.sqg;
+    auto q = SparqlOutput::MatchToSparql(sqg, r.matches[0], world_.kb.graph);
+    ASSERT_TRUE(q.ok()) << question << ": " << q.status().ToString();
+    auto result = engine_.Execute(*q);
+    ASSERT_TRUE(result.ok()) << q->ToString();
+    // The match's target binding appears among the query's results.
+    rdf::TermId expected = r.matches[0].assignment[sqg.target_vertex];
+    bool found = false;
+    for (const auto& row : result->rows) {
+      if (!row.empty() && row[0] == expected) found = true;
+    }
+    EXPECT_TRUE(found) << question << "\n" << q->ToString();
+  }
+}
+
+TEST_F(SparqlOutputTest, ClassMatchedTargetGetsTypePattern) {
+  auto r = Ask("Which movies did Antonio Banderas star in ?");
+  ASSERT_FALSE(r.matches.empty());
+  auto q = SparqlOutput::MatchToSparql(r.understanding.sqg, r.matches[0],
+                                       world_.kb.graph);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NE(q->ToString().find("rdf:type"), std::string::npos)
+      << q->ToString();
+}
+
+TEST_F(SparqlOutputTest, PredicatePathLowersToChain) {
+  auto r = Ask("Who is the uncle of John F. Kennedy Jr. ?");
+  ASSERT_FALSE(r.matches.empty());
+  auto q = SparqlOutput::MatchToSparql(r.understanding.sqg, r.matches[0],
+                                       world_.kb.graph);
+  ASSERT_TRUE(q.ok());
+  EXPECT_GE(q->patterns.size(), 3u) << "length-3 path chains three patterns: "
+                                    << q->ToString();
+}
+
+TEST_F(SparqlOutputTest, TopKQueriesDeduplicates) {
+  auto r = Ask("Give me all movies directed by Francis Ford Coppola .");
+  ASSERT_GE(r.matches.size(), 2u);
+  auto queries = SparqlOutput::TopKQueries(r.understanding.sqg, r.matches,
+                                           world_.kb.graph, 10);
+  // All three film matches differ only in the target binding, so they
+  // lower to ONE query.
+  ASSERT_FALSE(queries.empty());
+  std::set<std::string> texts;
+  for (const auto& q : queries) texts.insert(q.ToString());
+  EXPECT_EQ(texts.size(), queries.size());
+  EXPECT_LT(queries.size(), r.matches.size());
+}
+
+TEST_F(SparqlOutputTest, SizeMismatchRejected) {
+  auto r = Ask("Who is the mayor of Berlin ?");
+  match::Match bogus;
+  bogus.assignment = {0};
+  auto q = SparqlOutput::MatchToSparql(r.understanding.sqg, bogus,
+                                       world_.kb.graph);
+  if (r.understanding.sqg.vertices.size() != 1) {
+    EXPECT_FALSE(q.ok());
+  }
+}
+
+}  // namespace
+}  // namespace qa
+}  // namespace ganswer

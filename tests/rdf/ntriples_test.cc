@@ -1,0 +1,139 @@
+#include "rdf/ntriples.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ganswer {
+namespace rdf {
+namespace {
+
+TEST(NTriplesTest, ParsesIriTriples) {
+  RdfGraph g;
+  Status s = NTriplesReader::ParseString(
+      "<Melanie> <spouse> <Antonio> .\n<Film> <starring> <Antonio> .", &g);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_EQ(g.NumTriples(), 2u);
+  EXPECT_TRUE(g.Find("Melanie").has_value());
+}
+
+TEST(NTriplesTest, ParsesLiteralObjects) {
+  RdfGraph g;
+  Status s = NTriplesReader::ParseString(
+      "<MJ> <height> \"1.98\" .\n", &g);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_TRUE(g.Finalize().ok());
+  auto lit = g.dict().Lookup("1.98", TermKind::kLiteral);
+  ASSERT_TRUE(lit.has_value());
+  EXPECT_TRUE(g.dict().IsLiteral(*lit));
+  EXPECT_FALSE(g.Find("1.98").has_value()) << "not an IRI";
+}
+
+TEST(NTriplesTest, SkipsCommentsAndBlankLines) {
+  RdfGraph g;
+  Status s = NTriplesReader::ParseString(
+      "# a comment\n\n<a> <p> <b> .\n   \n# another\n", &g);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_EQ(g.NumTriples(), 1u);
+}
+
+TEST(NTriplesTest, HandlesEscapesInLiterals) {
+  RdfGraph g;
+  Status s = NTriplesReader::ParseString(
+      "<a> <p> \"line\\nbreak \\\"quoted\\\" back\\\\slash\" .", &g);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(g.dict()
+                  .Lookup("line\nbreak \"quoted\" back\\slash",
+                          TermKind::kLiteral)
+                  .has_value());
+}
+
+TEST(NTriplesTest, IgnoresDatatypeAndLanguageTags) {
+  RdfGraph g;
+  Status s = NTriplesReader::ParseString(
+      "<a> <p> \"42\"^^<http://www.w3.org/2001/XMLSchema#int> .\n"
+      "<a> <q> \"bonjour\"@fr .",
+      &g);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(g.dict().Lookup("42", TermKind::kLiteral).has_value());
+  EXPECT_TRUE(g.dict().Lookup("bonjour", TermKind::kLiteral).has_value());
+}
+
+TEST(NTriplesTest, CanonicalizesWellKnownPredicates) {
+  RdfGraph g;
+  Status s = NTriplesReader::ParseString(
+      "<a> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <C> .", &g);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_TRUE(g.Finalize().ok());
+  EXPECT_TRUE(g.IsClass(*g.Find("C")));
+}
+
+TEST(NTriplesTest, RejectsUnterminatedIri) {
+  RdfGraph g;
+  Status s = NTriplesReader::ParseString("<a> <p> <b .", &g);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(NTriplesTest, RejectsUnterminatedLiteral) {
+  RdfGraph g;
+  Status s = NTriplesReader::ParseString("<a> <p> \"open .", &g);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(NTriplesTest, RejectsMissingDot) {
+  RdfGraph g;
+  Status s = NTriplesReader::ParseString("<a> <p> <b>", &g);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(NTriplesTest, RejectsLiteralSubject) {
+  RdfGraph g;
+  Status s = NTriplesReader::ParseString("\"lit\" <p> <b> .", &g);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(NTriplesTest, ErrorsCarryLineNumbers) {
+  RdfGraph g;
+  Status s = NTriplesReader::ParseString("<a> <p> <b> .\n<broken", &g);
+  ASSERT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("line 2"), std::string::npos) << s.ToString();
+}
+
+TEST(NTriplesTest, WriteReadRoundTrip) {
+  RdfGraph g;
+  g.AddTriple("Melanie", "spouse", "Antonio");
+  g.AddTriple("MJ", "height", "1.98", TermKind::kLiteral);
+  g.AddTriple("x", "note", "with \"quotes\" and \\", TermKind::kLiteral);
+  ASSERT_TRUE(g.Finalize().ok());
+
+  std::ostringstream out;
+  ASSERT_TRUE(NTriplesWriter::Write(g, &out).ok());
+
+  RdfGraph g2;
+  Status s = NTriplesReader::ParseString(out.str(), &g2);
+  ASSERT_TRUE(s.ok()) << s.ToString() << "\nserialized:\n" << out.str();
+  ASSERT_TRUE(g2.Finalize().ok());
+  EXPECT_EQ(g2.NumTriples(), g.NumTriples());
+  EXPECT_TRUE(g2.dict()
+                  .Lookup("with \"quotes\" and \\", TermKind::kLiteral)
+                  .has_value());
+}
+
+TEST(NTriplesTest, WriterRequiresFinalizedGraph) {
+  RdfGraph g;
+  g.AddTriple("a", "p", "b");
+  std::ostringstream out;
+  EXPECT_TRUE(NTriplesWriter::Write(g, &out).IsInvalidArgument());
+}
+
+TEST(NTriplesTest, ParseFileMissingPathFails) {
+  RdfGraph g;
+  EXPECT_TRUE(
+      NTriplesReader::ParseFile("/nonexistent/file.nt", &g).IsIoError());
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace ganswer

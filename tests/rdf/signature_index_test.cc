@@ -1,0 +1,105 @@
+#include "rdf/signature_index.h"
+
+#include <gtest/gtest.h>
+
+#include "match/candidates.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace rdf {
+namespace {
+
+TEST(SignatureIndexTest, NoFalseNegativesOnGeneratedKb) {
+  const auto& g = ganswer::testing::World().kb.graph;
+  SignatureIndex index(g);
+  // Every actual incident predicate must be "maybe present".
+  for (TermId v = 0; v < g.dict().size(); ++v) {
+    for (const Edge& e : g.OutEdges(v)) {
+      EXPECT_TRUE(index.MaybeHasOut(v, e.predicate));
+      EXPECT_TRUE(index.MaybeHasIn(e.neighbor, e.predicate));
+    }
+  }
+}
+
+TEST(SignatureIndexTest, DefinitelyAbsentPredicatesCanBeRejected) {
+  // A vertex with a single incident predicate rejects most others (modulo
+  // 64-bit hash collisions).
+  RdfGraph g;
+  g.AddTriple("lonely", "p0", "other");
+  for (int i = 1; i < 30; ++i) {
+    g.AddTriple("hub", "p" + std::to_string(i), "x" + std::to_string(i));
+  }
+  ASSERT_TRUE(g.Finalize().ok());
+  SignatureIndex index(g);
+  TermId lonely = *g.Find("lonely");
+  size_t rejected = 0;
+  for (int i = 1; i < 30; ++i) {
+    if (!index.MaybeHasOut(lonely, *g.Find("p" + std::to_string(i)))) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 20u) << "most absent predicates rejected in O(1)";
+}
+
+TEST(SignatureIndexTest, CoversIsContainment) {
+  SignatureIndex::Signature sig = 0b1011;
+  EXPECT_TRUE(SignatureIndex::Covers(sig, 0b0011));
+  EXPECT_TRUE(SignatureIndex::Covers(sig, 0b1011));
+  EXPECT_FALSE(SignatureIndex::Covers(sig, 0b0100));
+  EXPECT_TRUE(SignatureIndex::Covers(sig, 0));
+}
+
+TEST(SignatureIndexTest, UnknownVertexHasEmptySignature) {
+  RdfGraph g;
+  g.AddTriple("a", "p", "b");
+  ASSERT_TRUE(g.Finalize().ok());
+  SignatureIndex index(g);
+  EXPECT_EQ(index.OutSignature(100000), 0u);
+  EXPECT_EQ(index.InSignature(100000), 0u);
+}
+
+TEST(SignatureIndexTest, PruningIdenticalWithAndWithoutSignatures) {
+  // The signature pre-check must never change the pruned candidate space.
+  const auto& world = ganswer::testing::World();
+  const RdfGraph& g = world.kb.graph;
+  SignatureIndex index(g);
+
+  match::QueryGraph query;
+  match::QueryVertex actor;
+  linking::LinkCandidate cls;
+  cls.vertex = *g.Find("Actor");
+  cls.is_class = true;
+  cls.confidence = 1.0;
+  actor.candidates = {cls};
+  match::QueryVertex phila;
+  for (const char* name :
+       {"Philadelphia", "Philadelphia_(film)", "Philadelphia_76ers"}) {
+    linking::LinkCandidate c;
+    c.vertex = *g.Find(name);
+    c.confidence = 0.9;
+    phila.candidates.push_back(c);
+  }
+  query.vertices = {actor, phila};
+  match::QueryEdge play;
+  play.from = 0;
+  play.to = 1;
+  paraphrase::ParaphraseEntry starring;
+  starring.path.steps = {{*g.Find("starring"), false}};
+  starring.confidence = 1.0;
+  play.candidates = {starring};
+  query.edges = {play};
+
+  auto plain = match::CandidateSpace::Build(g, query, true, nullptr);
+  auto fast = match::CandidateSpace::Build(g, query, true, &index);
+  for (int v : {0, 1}) {
+    ASSERT_EQ(plain.domain(v).items.size(), fast.domain(v).items.size());
+    for (size_t i = 0; i < plain.domain(v).items.size(); ++i) {
+      EXPECT_EQ(plain.domain(v).items[i].vertex,
+                fast.domain(v).items[i].vertex);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace ganswer

@@ -1,0 +1,206 @@
+#include "rdf/sparql_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "common/random.h"
+
+namespace ganswer {
+namespace rdf {
+namespace {
+
+RdfGraph FamilyGraph() {
+  RdfGraph g;
+  g.AddTriple("Melanie", "spouse", "Antonio");
+  g.AddTriple("Antonio", "rdf:type", "Actor");
+  g.AddTriple("Melanie", "rdf:type", "Actor");
+  g.AddTriple("Philadelphia_(film)", "starring", "Antonio");
+  g.AddTriple("Philadelphia_(film)", "director", "Demme");
+  g.AddTriple("Assassins", "starring", "Antonio");
+  g.AddTriple("MJ", "height", "1.98", TermKind::kLiteral);
+  EXPECT_TRUE(g.Finalize().ok());
+  return g;
+}
+
+std::set<std::string> Names(const RdfGraph& g, const SparqlResult& r,
+                            size_t col = 0) {
+  std::set<std::string> out;
+  for (const auto& row : r.rows) out.insert(g.dict().text(row[col]));
+  return out;
+}
+
+TEST(SparqlEngineTest, SingleBoundPattern) {
+  RdfGraph g = FamilyGraph();
+  SparqlEngine engine(g);
+  auto r = engine.ExecuteText("SELECT ?x WHERE { ?x <starring> <Antonio> }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Names(g, *r),
+            (std::set<std::string>{"Philadelphia_(film)", "Assassins"}));
+}
+
+TEST(SparqlEngineTest, JoinAcrossPatterns) {
+  RdfGraph g = FamilyGraph();
+  SparqlEngine engine(g);
+  auto r = engine.ExecuteText(
+      "SELECT ?w WHERE { ?w <spouse> ?a . ?f <starring> ?a . "
+      "?f <director> <Demme> }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Names(g, *r), std::set<std::string>{"Melanie"});
+}
+
+TEST(SparqlEngineTest, VariablePredicate) {
+  RdfGraph g = FamilyGraph();
+  SparqlEngine engine(g);
+  auto r = engine.ExecuteText(
+      "SELECT ?p WHERE { <Philadelphia_(film)> ?p <Antonio> }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Names(g, *r), std::set<std::string>{"starring"});
+}
+
+TEST(SparqlEngineTest, AskTrueAndFalse) {
+  RdfGraph g = FamilyGraph();
+  SparqlEngine engine(g);
+  auto yes = engine.ExecuteText("ASK { <Melanie> <spouse> <Antonio> }");
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(yes->ask_result);
+  auto no = engine.ExecuteText("ASK { <Antonio> <spouse> <Melanie> }");
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(no->ask_result);
+}
+
+TEST(SparqlEngineTest, UnknownConstantYieldsEmptyNotError) {
+  RdfGraph g = FamilyGraph();
+  SparqlEngine engine(g);
+  auto r = engine.ExecuteText("SELECT ?x WHERE { ?x <spouse> <Nobody> }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows.empty());
+}
+
+TEST(SparqlEngineTest, SelectedVariableMustBeBound) {
+  RdfGraph g = FamilyGraph();
+  SparqlEngine engine(g);
+  auto r = engine.ExecuteText("SELECT ?zzz WHERE { ?x <spouse> ?y }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(SparqlEngineTest, DistinctCollapsesDuplicates) {
+  RdfGraph g = FamilyGraph();
+  SparqlEngine engine(g);
+  // ?a appears with two bindings of ?f; without DISTINCT, duplicates.
+  auto all = engine.ExecuteText("SELECT ?a WHERE { ?f <starring> ?a }");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->rows.size(), 2u);
+  auto distinct =
+      engine.ExecuteText("SELECT DISTINCT ?a WHERE { ?f <starring> ?a }");
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ(distinct->rows.size(), 1u);
+}
+
+TEST(SparqlEngineTest, LimitTruncates) {
+  RdfGraph g = FamilyGraph();
+  SparqlEngine engine(g);
+  auto r = engine.ExecuteText("SELECT ?s WHERE { ?s ?p ?o } LIMIT 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 3u);
+}
+
+TEST(SparqlEngineTest, SelectStarBindsAllVariables) {
+  RdfGraph g = FamilyGraph();
+  SparqlEngine engine(g);
+  auto r = engine.ExecuteText("SELECT * WHERE { ?s <starring> ?o }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->var_names.size(), 2u);
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST(SparqlEngineTest, RepeatedVariableInPattern) {
+  RdfGraph g;
+  g.AddTriple("narcissus", "loves", "narcissus");
+  g.AddTriple("echo", "loves", "narcissus");
+  ASSERT_TRUE(g.Finalize().ok());
+  SparqlEngine engine(g);
+  auto r = engine.ExecuteText("SELECT ?x WHERE { ?x <loves> ?x }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Names(g, *r), std::set<std::string>{"narcissus"});
+}
+
+TEST(SparqlEngineTest, LiteralConstantsMatchLiterals) {
+  RdfGraph g = FamilyGraph();
+  SparqlEngine engine(g);
+  auto r = engine.ExecuteText("SELECT ?x WHERE { ?x <height> \"1.98\" }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Names(g, *r), std::set<std::string>{"MJ"});
+}
+
+TEST(SparqlEngineTest, EmptyBgpSelectsOneEmptySolutionForAsk) {
+  RdfGraph g = FamilyGraph();
+  SparqlEngine engine(g);
+  auto r = engine.ExecuteText("ASK { }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->ask_result);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: the engine agrees with a brute-force evaluator on random
+// small graphs and random 2-pattern queries.
+// ---------------------------------------------------------------------------
+
+class SparqlEnginePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SparqlEnginePropertyTest, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(GetParam());
+  RdfGraph g;
+  const int kVertices = 8;
+  const int kPreds = 3;
+  std::vector<std::string> vs, ps;
+  for (int i = 0; i < kVertices; ++i) vs.push_back("v" + std::to_string(i));
+  for (int i = 0; i < kPreds; ++i) ps.push_back("p" + std::to_string(i));
+  for (int i = 0; i < 20; ++i) {
+    g.AddTriple(rng.Pick(vs), rng.Pick(ps), rng.Pick(vs));
+  }
+  ASSERT_TRUE(g.Finalize().ok());
+  // Collect concrete triples back.
+  std::vector<std::array<TermId, 3>> all;
+  for (TermId s = 0; s < g.dict().size(); ++s) {
+    for (const Edge& e : g.OutEdges(s)) {
+      all.push_back({s, e.predicate, e.neighbor});
+    }
+  }
+
+  SparqlEngine engine(g);
+  // Query: ?x p_a ?y . ?y p_b ?z  — brute force over triple pairs.
+  for (int qa = 0; qa < kPreds; ++qa) {
+    for (int qb = 0; qb < kPreds; ++qb) {
+      std::string text = "SELECT ?x ?y ?z WHERE { ?x <p" +
+                         std::to_string(qa) + "> ?y . ?y <p" +
+                         std::to_string(qb) + "> ?z }";
+      auto r = engine.ExecuteText(text);
+      ASSERT_TRUE(r.ok()) << text;
+      std::set<std::vector<TermId>> got(r->rows.begin(), r->rows.end());
+
+      std::set<std::vector<TermId>> want;
+      TermId pa = *g.Find("p" + std::to_string(qa));
+      TermId pb = *g.Find("p" + std::to_string(qb));
+      for (const auto& t1 : all) {
+        if (t1[1] != pa) continue;
+        for (const auto& t2 : all) {
+          if (t2[1] != pb) continue;
+          if (t1[2] != t2[0]) continue;
+          want.insert({t1[0], t1[2], t2[2]});
+        }
+      }
+      EXPECT_EQ(got, want) << text << " seed=" << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, SparqlEnginePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace rdf
+}  // namespace ganswer

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "rdf/sparql_engine.h"
+#include "rdf/sparql_parser.h"
+
+namespace ganswer {
+namespace rdf {
+namespace {
+
+RdfGraph PeaksGraph() {
+  RdfGraph g;
+  g.AddTriple("everest", "elevation", "8848", TermKind::kLiteral);
+  g.AddTriple("k2", "elevation", "8611", TermKind::kLiteral);
+  g.AddTriple("mont_blanc", "elevation", "4808", TermKind::kLiteral);
+  g.AddTriple("hill", "elevation", "999", TermKind::kLiteral);
+  EXPECT_TRUE(g.Finalize().ok());
+  return g;
+}
+
+std::vector<std::string> Column(const RdfGraph& g, const SparqlResult& r,
+                                size_t col = 0) {
+  std::vector<std::string> out;
+  for (const auto& row : r.rows) out.push_back(g.dict().text(row[col]));
+  return out;
+}
+
+TEST(SparqlOrderByTest, ParsesOrderByForms) {
+  auto q = SparqlParser::Parse(
+      "SELECT ?m WHERE { ?m <elevation> ?e } ORDER BY DESC(?e) LIMIT 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q->order_by.has_value());
+  EXPECT_EQ(q->order_by->var, "e");
+  EXPECT_TRUE(q->order_by->descending);
+  auto asc = SparqlParser::Parse(
+      "SELECT ?m WHERE { ?m <elevation> ?e } ORDER BY ASC ( ?e )");
+  ASSERT_TRUE(asc.ok());
+  EXPECT_FALSE(asc->order_by->descending);
+  auto bare = SparqlParser::Parse(
+      "SELECT ?m WHERE { ?m <elevation> ?e } ORDER BY ?e");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_FALSE(bare->order_by->descending);
+}
+
+TEST(SparqlOrderByTest, ParsesOffset) {
+  auto q = SparqlParser::Parse(
+      "SELECT ?m WHERE { ?m <elevation> ?e } ORDER BY DESC(?e) "
+      "OFFSET 1 LIMIT 2");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q->offset, 1u);
+  EXPECT_EQ(*q->limit, 2u);
+}
+
+TEST(SparqlOrderByTest, RejectsMalformed) {
+  EXPECT_FALSE(SparqlParser::Parse("SELECT ?m { ?m <p> ?e } ORDER ?e").ok());
+  EXPECT_FALSE(
+      SparqlParser::Parse("SELECT ?m { ?m <p> ?e } ORDER BY DESC(?e").ok());
+  EXPECT_FALSE(
+      SparqlParser::Parse("SELECT ?m { ?m <p> ?e } ORDER BY <notavar>").ok());
+  EXPECT_FALSE(
+      SparqlParser::Parse("SELECT ?m { ?m <p> ?e } OFFSET ?x").ok());
+}
+
+TEST(SparqlOrderByTest, NumericDescendingOrder) {
+  RdfGraph g = PeaksGraph();
+  SparqlEngine engine(g);
+  auto r = engine.ExecuteText(
+      "SELECT ?m ?e WHERE { ?m <elevation> ?e } ORDER BY DESC(?e)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Column(g, *r),
+            (std::vector<std::string>{"everest", "k2", "mont_blanc", "hill"}))
+      << "999 sorts below 4808 numerically, not lexicographically";
+}
+
+TEST(SparqlOrderByTest, ThePapersAggregationIdiom) {
+  // The paper's Table 10 example: ORDER BY DESC(?x) OFFSET 0 LIMIT 1.
+  RdfGraph g = PeaksGraph();
+  SparqlEngine engine(g);
+  auto r = engine.ExecuteText(
+      "SELECT ?m ?e WHERE { ?m <elevation> ?e } ORDER BY DESC(?e) "
+      "OFFSET 0 LIMIT 1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(g.dict().text(r->rows[0][0]), "everest");
+}
+
+TEST(SparqlOrderByTest, OffsetSkipsRows) {
+  RdfGraph g = PeaksGraph();
+  SparqlEngine engine(g);
+  auto r = engine.ExecuteText(
+      "SELECT ?m ?e WHERE { ?m <elevation> ?e } ORDER BY ASC(?e) OFFSET 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Column(g, *r), (std::vector<std::string>{"k2", "everest"}));
+  auto beyond = engine.ExecuteText(
+      "SELECT ?m WHERE { ?m <elevation> ?e } OFFSET 99");
+  ASSERT_TRUE(beyond.ok());
+  EXPECT_TRUE(beyond->rows.empty());
+}
+
+TEST(SparqlOrderByTest, OrderVariableMustBeInResults) {
+  RdfGraph g = PeaksGraph();
+  SparqlEngine engine(g);
+  auto r = engine.ExecuteText(
+      "SELECT ?m WHERE { ?m <elevation> ?e } ORDER BY DESC(?z)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SparqlOrderByTest, ToStringRoundTrips) {
+  auto q = SparqlParser::Parse(
+      "SELECT ?m ?e WHERE { ?m <elevation> ?e } ORDER BY DESC(?e) "
+      "LIMIT 1 OFFSET 2");
+  ASSERT_TRUE(q.ok());
+  auto q2 = SparqlParser::Parse(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q->ToString();
+  EXPECT_EQ(q2->order_by->var, "e");
+  EXPECT_TRUE(q2->order_by->descending);
+  EXPECT_EQ(*q2->limit, 1u);
+  EXPECT_EQ(*q2->offset, 2u);
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace ganswer

@@ -1,0 +1,96 @@
+#include "rdf/sparql_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace ganswer {
+namespace rdf {
+namespace {
+
+TEST(SparqlParserTest, ParsesSimpleSelect) {
+  auto q = SparqlParser::Parse(
+      "SELECT ?x WHERE { ?x <spouse> <Antonio> . }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->form, SparqlQuery::Form::kSelect);
+  EXPECT_EQ(q->select_vars, std::vector<std::string>{"x"});
+  ASSERT_EQ(q->patterns.size(), 1u);
+  EXPECT_TRUE(q->patterns[0].subject.is_var);
+  EXPECT_EQ(q->patterns[0].predicate.text, "spouse");
+  EXPECT_EQ(q->patterns[0].object.text, "Antonio");
+}
+
+TEST(SparqlParserTest, ParsesDistinctAndLimit) {
+  auto q = SparqlParser::Parse(
+      "SELECT DISTINCT ?x ?y WHERE { ?x <p> ?y } LIMIT 5");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->distinct);
+  EXPECT_EQ(q->select_vars.size(), 2u);
+  ASSERT_TRUE(q->limit.has_value());
+  EXPECT_EQ(*q->limit, 5u);
+}
+
+TEST(SparqlParserTest, ParsesSelectStar) {
+  auto q = SparqlParser::Parse("SELECT * WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->select_all);
+}
+
+TEST(SparqlParserTest, ParsesAsk) {
+  auto q = SparqlParser::Parse("ASK { <a> <p> <b> }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->form, SparqlQuery::Form::kAsk);
+  EXPECT_EQ(q->patterns.size(), 1u);
+}
+
+TEST(SparqlParserTest, KeywordsAreCaseInsensitive) {
+  auto q = SparqlParser::Parse("select ?x where { ?x <p> <b> } limit 2");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->select_vars, std::vector<std::string>{"x"});
+}
+
+TEST(SparqlParserTest, ParsesMultiplePatternsAndOptionalDots) {
+  auto q = SparqlParser::Parse(
+      "SELECT ?x WHERE { ?x <p> ?y . ?y <q> <c> . ?x <r> \"lit\" }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->patterns.size(), 3u);
+  EXPECT_EQ(q->patterns[2].object.kind, TermKind::kLiteral);
+}
+
+TEST(SparqlParserTest, ParsesPrefixedNamesAndAShorthand) {
+  auto q = SparqlParser::Parse(
+      "SELECT ?x WHERE { ?x rdf:type <Actor> . ?x a <Person> }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->patterns[0].predicate.text, "rdf:type");
+  EXPECT_EQ(q->patterns[1].predicate.text, "rdf:type") << "'a' expands";
+}
+
+TEST(SparqlParserTest, RejectsGarbage) {
+  EXPECT_FALSE(SparqlParser::Parse("FROB ?x { }").ok());
+  EXPECT_FALSE(SparqlParser::Parse("SELECT WHERE { }").ok());
+  EXPECT_FALSE(SparqlParser::Parse("SELECT ?x WHERE { ?x <p> }").ok());
+  EXPECT_FALSE(SparqlParser::Parse("SELECT ?x WHERE { ?x <p> ?y").ok());
+  EXPECT_FALSE(SparqlParser::Parse("SELECT ?x { ?x <p> ?y } LIMIT ?z").ok());
+  EXPECT_FALSE(
+      SparqlParser::Parse("SELECT ?x { ?x <p> ?y } trailing").ok());
+}
+
+TEST(SparqlParserTest, RejectsUnterminatedTokens) {
+  EXPECT_FALSE(SparqlParser::Parse("SELECT ?x { ?x <p ?y }").ok());
+  EXPECT_FALSE(SparqlParser::Parse("SELECT ?x { ?x <p> \"lit }").ok());
+}
+
+TEST(SparqlParserTest, ToStringRoundTripsThroughParser) {
+  auto q = SparqlParser::Parse(
+      "SELECT DISTINCT ?v0 WHERE { ?v0 <spouse> ?v1 . ?v1 rdf:type <Actor> . "
+      "<Philadelphia_(film)> <starring> ?v1 . } LIMIT 10");
+  ASSERT_TRUE(q.ok());
+  auto q2 = SparqlParser::Parse(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q->ToString();
+  EXPECT_EQ(q2->patterns, q->patterns);
+  EXPECT_EQ(q2->select_vars, q->select_vars);
+  EXPECT_EQ(q2->distinct, q->distinct);
+  EXPECT_EQ(q2->limit, q->limit);
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace ganswer

@@ -1,0 +1,83 @@
+#include "rdf/term_dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace ganswer {
+namespace rdf {
+namespace {
+
+TEST(TermDictionaryTest, InternAssignsDenseIds) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.size(), 0u);
+  TermId a = dict.Intern("a");
+  TermId b = dict.Intern("b");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(TermDictionaryTest, ReInternReturnsSameId) {
+  TermDictionary dict;
+  TermId a = dict.Intern("thing");
+  EXPECT_EQ(dict.Intern("thing"), a);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(TermDictionaryTest, LookupFindsInterned) {
+  TermDictionary dict;
+  TermId a = dict.Intern("x");
+  ASSERT_TRUE(dict.Lookup("x").has_value());
+  EXPECT_EQ(*dict.Lookup("x"), a);
+  EXPECT_FALSE(dict.Lookup("y").has_value());
+}
+
+TEST(TermDictionaryTest, TextRoundTrips) {
+  TermDictionary dict;
+  TermId a = dict.Intern("Antonio_Banderas");
+  EXPECT_EQ(dict.text(a), "Antonio_Banderas");
+}
+
+TEST(TermDictionaryTest, IriAndLiteralSpacesAreSeparate) {
+  // The literal "country" (a label value) and the IRI <country> (a
+  // predicate) are distinct terms — the collision that would otherwise
+  // corrupt serialization.
+  TermDictionary dict;
+  TermId lit = dict.Intern("country", TermKind::kLiteral);
+  TermId iri = dict.Intern("country", TermKind::kIri);
+  EXPECT_NE(lit, iri);
+  EXPECT_TRUE(dict.IsLiteral(lit));
+  EXPECT_FALSE(dict.IsLiteral(iri));
+  EXPECT_EQ(dict.text(lit), dict.text(iri));
+  EXPECT_EQ(*dict.Lookup("country", TermKind::kLiteral), lit);
+  EXPECT_EQ(*dict.Lookup("country", TermKind::kIri), iri);
+  EXPECT_EQ(*dict.LookupAny("country"), iri) << "IRI preferred";
+  // Re-interning each kind is idempotent.
+  EXPECT_EQ(dict.Intern("country", TermKind::kLiteral), lit);
+  EXPECT_EQ(dict.Intern("country", TermKind::kIri), iri);
+}
+
+TEST(TermDictionaryTest, EmptyStringIsValidTerm) {
+  TermDictionary dict;
+  TermId e = dict.Intern("", TermKind::kLiteral);
+  EXPECT_EQ(dict.text(e), "");
+  EXPECT_TRUE(dict.Lookup("", TermKind::kLiteral).has_value());
+  EXPECT_FALSE(dict.Lookup("", TermKind::kIri).has_value());
+}
+
+TEST(TermDictionaryTest, ManyTermsStayConsistent) {
+  TermDictionary dict;
+  for (int i = 0; i < 1000; ++i) {
+    dict.Intern("t" + std::to_string(i));
+  }
+  EXPECT_EQ(dict.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    std::string name = "t" + std::to_string(i);
+    auto id = dict.Lookup(name);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(dict.text(*id), name);
+  }
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace ganswer

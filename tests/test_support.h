@@ -1,0 +1,58 @@
+#ifndef GANSWER_TESTS_TEST_SUPPORT_H_
+#define GANSWER_TESTS_TEST_SUPPORT_H_
+
+#include <memory>
+
+#include "datagen/kb_generator.h"
+#include "datagen/phrase_dataset_generator.h"
+#include "datagen/workload.h"
+#include "nlp/lexicon.h"
+#include "paraphrase/dictionary_builder.h"
+#include "paraphrase/paraphrase_dictionary.h"
+
+namespace ganswer {
+namespace testing {
+
+/// Shared, lazily built artifacts so a test binary generates the KB and
+/// mines the dictionary once. All pieces are deterministic (fixed seeds).
+struct SharedWorld {
+  datagen::KbGenerator::GeneratedKb kb;
+  std::vector<datagen::PhraseWithGold> phrases;
+  nlp::Lexicon lexicon;
+  /// Raw Algorithm-1 output.
+  std::unique_ptr<paraphrase::ParaphraseDictionary> mined;
+  /// After the simulated human-verification pass (the online dictionary).
+  std::unique_ptr<paraphrase::ParaphraseDictionary> verified;
+  std::vector<datagen::GoldQuestion> workload;
+};
+
+inline const SharedWorld& World() {
+  static SharedWorld* world = [] {
+    auto* w = new SharedWorld();
+    datagen::KbGenerator::Options kopt;
+    auto kb = datagen::KbGenerator::Generate(kopt);
+    if (!kb.ok()) std::abort();
+    w->kb = std::move(kb).value();
+    w->phrases = datagen::PhraseDatasetGenerator::Generate(w->kb, {});
+    auto dataset = datagen::PhraseDatasetGenerator::StripGold(w->phrases);
+    w->mined = std::make_unique<paraphrase::ParaphraseDictionary>(&w->lexicon);
+    paraphrase::DictionaryBuilder::Options bopt;
+    bopt.max_path_length = 3;
+    paraphrase::DictionaryBuilder builder(bopt);
+    if (!builder.Build(w->kb.graph, dataset, w->mined.get()).ok()) {
+      std::abort();
+    }
+    w->verified =
+        std::make_unique<paraphrase::ParaphraseDictionary>(&w->lexicon);
+    datagen::VerifyDictionary(w->phrases, w->kb.graph, *w->mined,
+                              w->verified.get());
+    w->workload = datagen::WorkloadGenerator::Generate(w->kb, {});
+    return w;
+  }();
+  return *world;
+}
+
+}  // namespace testing
+}  // namespace ganswer
+
+#endif  // GANSWER_TESTS_TEST_SUPPORT_H_
