@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_kb.dir/bench_scale_kb.cc.o"
+  "CMakeFiles/bench_scale_kb.dir/bench_scale_kb.cc.o.d"
+  "bench_scale_kb"
+  "bench_scale_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_question_times.dir/bench_table11_question_times.cc.o"
+  "CMakeFiles/bench_table11_question_times.dir/bench_table11_question_times.cc.o.d"
+  "bench_table11_question_times"
+  "bench_table11_question_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_question_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

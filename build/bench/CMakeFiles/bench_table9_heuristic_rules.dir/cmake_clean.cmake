@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_heuristic_rules.dir/bench_table9_heuristic_rules.cc.o"
+  "CMakeFiles/bench_table9_heuristic_rules.dir/bench_table9_heuristic_rules.cc.o.d"
+  "bench_table9_heuristic_rules"
+  "bench_table9_heuristic_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_heuristic_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

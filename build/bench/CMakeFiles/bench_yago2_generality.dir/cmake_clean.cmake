@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_yago2_generality.dir/bench_yago2_generality.cc.o"
+  "CMakeFiles/bench_yago2_generality.dir/bench_yago2_generality.cc.o.d"
+  "bench_yago2_generality"
+  "bench_yago2_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_yago2_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_cli.dir/ganswer_cli.cpp.o"
+  "CMakeFiles/ganswer_cli.dir/ganswer_cli.cpp.o.d"
+  "ganswer_cli"
+  "ganswer_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

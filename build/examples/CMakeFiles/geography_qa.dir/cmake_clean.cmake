@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geography_qa.dir/geography_qa.cpp.o"
+  "CMakeFiles/geography_qa.dir/geography_qa.cpp.o.d"
+  "geography_qa"
+  "geography_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geography_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_dictionary.dir/offline_dictionary.cpp.o"
+  "CMakeFiles/offline_dictionary.dir/offline_dictionary.cpp.o.d"
+  "offline_dictionary"
+  "offline_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ganswer_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_deanna.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_paraphrase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

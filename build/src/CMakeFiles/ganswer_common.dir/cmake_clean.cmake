@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_common.dir/common/logging.cc.o"
+  "CMakeFiles/ganswer_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/ganswer_common.dir/common/status.cc.o"
+  "CMakeFiles/ganswer_common.dir/common/status.cc.o.d"
+  "CMakeFiles/ganswer_common.dir/common/string_util.cc.o"
+  "CMakeFiles/ganswer_common.dir/common/string_util.cc.o.d"
+  "libganswer_common.a"
+  "libganswer_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

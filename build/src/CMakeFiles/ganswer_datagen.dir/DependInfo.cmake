@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/kb_generator.cc" "src/CMakeFiles/ganswer_datagen.dir/datagen/kb_generator.cc.o" "gcc" "src/CMakeFiles/ganswer_datagen.dir/datagen/kb_generator.cc.o.d"
+  "/root/repo/src/datagen/name_pools.cc" "src/CMakeFiles/ganswer_datagen.dir/datagen/name_pools.cc.o" "gcc" "src/CMakeFiles/ganswer_datagen.dir/datagen/name_pools.cc.o.d"
+  "/root/repo/src/datagen/phrase_dataset_generator.cc" "src/CMakeFiles/ganswer_datagen.dir/datagen/phrase_dataset_generator.cc.o" "gcc" "src/CMakeFiles/ganswer_datagen.dir/datagen/phrase_dataset_generator.cc.o.d"
+  "/root/repo/src/datagen/schema_rename.cc" "src/CMakeFiles/ganswer_datagen.dir/datagen/schema_rename.cc.o" "gcc" "src/CMakeFiles/ganswer_datagen.dir/datagen/schema_rename.cc.o.d"
+  "/root/repo/src/datagen/workload.cc" "src/CMakeFiles/ganswer_datagen.dir/datagen/workload.cc.o" "gcc" "src/CMakeFiles/ganswer_datagen.dir/datagen/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ganswer_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_paraphrase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

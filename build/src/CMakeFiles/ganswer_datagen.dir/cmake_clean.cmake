@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_datagen.dir/datagen/kb_generator.cc.o"
+  "CMakeFiles/ganswer_datagen.dir/datagen/kb_generator.cc.o.d"
+  "CMakeFiles/ganswer_datagen.dir/datagen/name_pools.cc.o"
+  "CMakeFiles/ganswer_datagen.dir/datagen/name_pools.cc.o.d"
+  "CMakeFiles/ganswer_datagen.dir/datagen/phrase_dataset_generator.cc.o"
+  "CMakeFiles/ganswer_datagen.dir/datagen/phrase_dataset_generator.cc.o.d"
+  "CMakeFiles/ganswer_datagen.dir/datagen/schema_rename.cc.o"
+  "CMakeFiles/ganswer_datagen.dir/datagen/schema_rename.cc.o.d"
+  "CMakeFiles/ganswer_datagen.dir/datagen/workload.cc.o"
+  "CMakeFiles/ganswer_datagen.dir/datagen/workload.cc.o.d"
+  "libganswer_datagen.a"
+  "libganswer_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

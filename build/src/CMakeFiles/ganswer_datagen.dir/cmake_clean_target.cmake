@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libganswer_datagen.a"
+)

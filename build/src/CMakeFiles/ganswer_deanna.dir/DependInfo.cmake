@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deanna/deanna_qa.cc" "src/CMakeFiles/ganswer_deanna.dir/deanna/deanna_qa.cc.o" "gcc" "src/CMakeFiles/ganswer_deanna.dir/deanna/deanna_qa.cc.o.d"
+  "/root/repo/src/deanna/disambiguation_graph.cc" "src/CMakeFiles/ganswer_deanna.dir/deanna/disambiguation_graph.cc.o" "gcc" "src/CMakeFiles/ganswer_deanna.dir/deanna/disambiguation_graph.cc.o.d"
+  "/root/repo/src/deanna/ilp_solver.cc" "src/CMakeFiles/ganswer_deanna.dir/deanna/ilp_solver.cc.o" "gcc" "src/CMakeFiles/ganswer_deanna.dir/deanna/ilp_solver.cc.o.d"
+  "/root/repo/src/deanna/sparql_generator.cc" "src/CMakeFiles/ganswer_deanna.dir/deanna/sparql_generator.cc.o" "gcc" "src/CMakeFiles/ganswer_deanna.dir/deanna/sparql_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ganswer_qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_paraphrase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

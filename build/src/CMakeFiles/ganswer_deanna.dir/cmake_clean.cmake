@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_deanna.dir/deanna/deanna_qa.cc.o"
+  "CMakeFiles/ganswer_deanna.dir/deanna/deanna_qa.cc.o.d"
+  "CMakeFiles/ganswer_deanna.dir/deanna/disambiguation_graph.cc.o"
+  "CMakeFiles/ganswer_deanna.dir/deanna/disambiguation_graph.cc.o.d"
+  "CMakeFiles/ganswer_deanna.dir/deanna/ilp_solver.cc.o"
+  "CMakeFiles/ganswer_deanna.dir/deanna/ilp_solver.cc.o.d"
+  "CMakeFiles/ganswer_deanna.dir/deanna/sparql_generator.cc.o"
+  "CMakeFiles/ganswer_deanna.dir/deanna/sparql_generator.cc.o.d"
+  "libganswer_deanna.a"
+  "libganswer_deanna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_deanna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_linking.dir/linking/entity_index.cc.o"
+  "CMakeFiles/ganswer_linking.dir/linking/entity_index.cc.o.d"
+  "CMakeFiles/ganswer_linking.dir/linking/entity_linker.cc.o"
+  "CMakeFiles/ganswer_linking.dir/linking/entity_linker.cc.o.d"
+  "libganswer_linking.a"
+  "libganswer_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/match/candidates.cc" "src/CMakeFiles/ganswer_match.dir/match/candidates.cc.o" "gcc" "src/CMakeFiles/ganswer_match.dir/match/candidates.cc.o.d"
+  "/root/repo/src/match/query_graph.cc" "src/CMakeFiles/ganswer_match.dir/match/query_graph.cc.o" "gcc" "src/CMakeFiles/ganswer_match.dir/match/query_graph.cc.o.d"
+  "/root/repo/src/match/subgraph_matcher.cc" "src/CMakeFiles/ganswer_match.dir/match/subgraph_matcher.cc.o" "gcc" "src/CMakeFiles/ganswer_match.dir/match/subgraph_matcher.cc.o.d"
+  "/root/repo/src/match/top_k_matcher.cc" "src/CMakeFiles/ganswer_match.dir/match/top_k_matcher.cc.o" "gcc" "src/CMakeFiles/ganswer_match.dir/match/top_k_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ganswer_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_paraphrase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_match.dir/match/candidates.cc.o"
+  "CMakeFiles/ganswer_match.dir/match/candidates.cc.o.d"
+  "CMakeFiles/ganswer_match.dir/match/query_graph.cc.o"
+  "CMakeFiles/ganswer_match.dir/match/query_graph.cc.o.d"
+  "CMakeFiles/ganswer_match.dir/match/subgraph_matcher.cc.o"
+  "CMakeFiles/ganswer_match.dir/match/subgraph_matcher.cc.o.d"
+  "CMakeFiles/ganswer_match.dir/match/top_k_matcher.cc.o"
+  "CMakeFiles/ganswer_match.dir/match/top_k_matcher.cc.o.d"
+  "libganswer_match.a"
+  "libganswer_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

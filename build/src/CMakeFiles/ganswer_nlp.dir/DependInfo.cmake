@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/coreference.cc" "src/CMakeFiles/ganswer_nlp.dir/nlp/coreference.cc.o" "gcc" "src/CMakeFiles/ganswer_nlp.dir/nlp/coreference.cc.o.d"
+  "/root/repo/src/nlp/dependency_parser.cc" "src/CMakeFiles/ganswer_nlp.dir/nlp/dependency_parser.cc.o" "gcc" "src/CMakeFiles/ganswer_nlp.dir/nlp/dependency_parser.cc.o.d"
+  "/root/repo/src/nlp/dependency_tree.cc" "src/CMakeFiles/ganswer_nlp.dir/nlp/dependency_tree.cc.o" "gcc" "src/CMakeFiles/ganswer_nlp.dir/nlp/dependency_tree.cc.o.d"
+  "/root/repo/src/nlp/lexicon.cc" "src/CMakeFiles/ganswer_nlp.dir/nlp/lexicon.cc.o" "gcc" "src/CMakeFiles/ganswer_nlp.dir/nlp/lexicon.cc.o.d"
+  "/root/repo/src/nlp/pos_tagger.cc" "src/CMakeFiles/ganswer_nlp.dir/nlp/pos_tagger.cc.o" "gcc" "src/CMakeFiles/ganswer_nlp.dir/nlp/pos_tagger.cc.o.d"
+  "/root/repo/src/nlp/tokenizer.cc" "src/CMakeFiles/ganswer_nlp.dir/nlp/tokenizer.cc.o" "gcc" "src/CMakeFiles/ganswer_nlp.dir/nlp/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ganswer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

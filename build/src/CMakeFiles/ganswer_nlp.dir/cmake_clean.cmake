@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_nlp.dir/nlp/coreference.cc.o"
+  "CMakeFiles/ganswer_nlp.dir/nlp/coreference.cc.o.d"
+  "CMakeFiles/ganswer_nlp.dir/nlp/dependency_parser.cc.o"
+  "CMakeFiles/ganswer_nlp.dir/nlp/dependency_parser.cc.o.d"
+  "CMakeFiles/ganswer_nlp.dir/nlp/dependency_tree.cc.o"
+  "CMakeFiles/ganswer_nlp.dir/nlp/dependency_tree.cc.o.d"
+  "CMakeFiles/ganswer_nlp.dir/nlp/lexicon.cc.o"
+  "CMakeFiles/ganswer_nlp.dir/nlp/lexicon.cc.o.d"
+  "CMakeFiles/ganswer_nlp.dir/nlp/pos_tagger.cc.o"
+  "CMakeFiles/ganswer_nlp.dir/nlp/pos_tagger.cc.o.d"
+  "CMakeFiles/ganswer_nlp.dir/nlp/tokenizer.cc.o"
+  "CMakeFiles/ganswer_nlp.dir/nlp/tokenizer.cc.o.d"
+  "libganswer_nlp.a"
+  "libganswer_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paraphrase/dictionary_builder.cc" "src/CMakeFiles/ganswer_paraphrase.dir/paraphrase/dictionary_builder.cc.o" "gcc" "src/CMakeFiles/ganswer_paraphrase.dir/paraphrase/dictionary_builder.cc.o.d"
+  "/root/repo/src/paraphrase/maintenance.cc" "src/CMakeFiles/ganswer_paraphrase.dir/paraphrase/maintenance.cc.o" "gcc" "src/CMakeFiles/ganswer_paraphrase.dir/paraphrase/maintenance.cc.o.d"
+  "/root/repo/src/paraphrase/paraphrase_dictionary.cc" "src/CMakeFiles/ganswer_paraphrase.dir/paraphrase/paraphrase_dictionary.cc.o" "gcc" "src/CMakeFiles/ganswer_paraphrase.dir/paraphrase/paraphrase_dictionary.cc.o.d"
+  "/root/repo/src/paraphrase/path_finder.cc" "src/CMakeFiles/ganswer_paraphrase.dir/paraphrase/path_finder.cc.o" "gcc" "src/CMakeFiles/ganswer_paraphrase.dir/paraphrase/path_finder.cc.o.d"
+  "/root/repo/src/paraphrase/predicate_path.cc" "src/CMakeFiles/ganswer_paraphrase.dir/paraphrase/predicate_path.cc.o" "gcc" "src/CMakeFiles/ganswer_paraphrase.dir/paraphrase/predicate_path.cc.o.d"
+  "/root/repo/src/paraphrase/tf_idf.cc" "src/CMakeFiles/ganswer_paraphrase.dir/paraphrase/tf_idf.cc.o" "gcc" "src/CMakeFiles/ganswer_paraphrase.dir/paraphrase/tf_idf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ganswer_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_paraphrase.dir/paraphrase/dictionary_builder.cc.o"
+  "CMakeFiles/ganswer_paraphrase.dir/paraphrase/dictionary_builder.cc.o.d"
+  "CMakeFiles/ganswer_paraphrase.dir/paraphrase/maintenance.cc.o"
+  "CMakeFiles/ganswer_paraphrase.dir/paraphrase/maintenance.cc.o.d"
+  "CMakeFiles/ganswer_paraphrase.dir/paraphrase/paraphrase_dictionary.cc.o"
+  "CMakeFiles/ganswer_paraphrase.dir/paraphrase/paraphrase_dictionary.cc.o.d"
+  "CMakeFiles/ganswer_paraphrase.dir/paraphrase/path_finder.cc.o"
+  "CMakeFiles/ganswer_paraphrase.dir/paraphrase/path_finder.cc.o.d"
+  "CMakeFiles/ganswer_paraphrase.dir/paraphrase/predicate_path.cc.o"
+  "CMakeFiles/ganswer_paraphrase.dir/paraphrase/predicate_path.cc.o.d"
+  "CMakeFiles/ganswer_paraphrase.dir/paraphrase/tf_idf.cc.o"
+  "CMakeFiles/ganswer_paraphrase.dir/paraphrase/tf_idf.cc.o.d"
+  "libganswer_paraphrase.a"
+  "libganswer_paraphrase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_paraphrase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

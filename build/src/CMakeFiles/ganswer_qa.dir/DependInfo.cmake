@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qa/argument_finder.cc" "src/CMakeFiles/ganswer_qa.dir/qa/argument_finder.cc.o" "gcc" "src/CMakeFiles/ganswer_qa.dir/qa/argument_finder.cc.o.d"
+  "/root/repo/src/qa/explain.cc" "src/CMakeFiles/ganswer_qa.dir/qa/explain.cc.o" "gcc" "src/CMakeFiles/ganswer_qa.dir/qa/explain.cc.o.d"
+  "/root/repo/src/qa/ganswer.cc" "src/CMakeFiles/ganswer_qa.dir/qa/ganswer.cc.o" "gcc" "src/CMakeFiles/ganswer_qa.dir/qa/ganswer.cc.o.d"
+  "/root/repo/src/qa/question_understander.cc" "src/CMakeFiles/ganswer_qa.dir/qa/question_understander.cc.o" "gcc" "src/CMakeFiles/ganswer_qa.dir/qa/question_understander.cc.o.d"
+  "/root/repo/src/qa/relation_extractor.cc" "src/CMakeFiles/ganswer_qa.dir/qa/relation_extractor.cc.o" "gcc" "src/CMakeFiles/ganswer_qa.dir/qa/relation_extractor.cc.o.d"
+  "/root/repo/src/qa/semantic_query_graph.cc" "src/CMakeFiles/ganswer_qa.dir/qa/semantic_query_graph.cc.o" "gcc" "src/CMakeFiles/ganswer_qa.dir/qa/semantic_query_graph.cc.o.d"
+  "/root/repo/src/qa/semantic_relation.cc" "src/CMakeFiles/ganswer_qa.dir/qa/semantic_relation.cc.o" "gcc" "src/CMakeFiles/ganswer_qa.dir/qa/semantic_relation.cc.o.d"
+  "/root/repo/src/qa/sparql_output.cc" "src/CMakeFiles/ganswer_qa.dir/qa/sparql_output.cc.o" "gcc" "src/CMakeFiles/ganswer_qa.dir/qa/sparql_output.cc.o.d"
+  "/root/repo/src/qa/superlative.cc" "src/CMakeFiles/ganswer_qa.dir/qa/superlative.cc.o" "gcc" "src/CMakeFiles/ganswer_qa.dir/qa/superlative.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ganswer_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_paraphrase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

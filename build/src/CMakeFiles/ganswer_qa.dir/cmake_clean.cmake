@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_qa.dir/qa/argument_finder.cc.o"
+  "CMakeFiles/ganswer_qa.dir/qa/argument_finder.cc.o.d"
+  "CMakeFiles/ganswer_qa.dir/qa/explain.cc.o"
+  "CMakeFiles/ganswer_qa.dir/qa/explain.cc.o.d"
+  "CMakeFiles/ganswer_qa.dir/qa/ganswer.cc.o"
+  "CMakeFiles/ganswer_qa.dir/qa/ganswer.cc.o.d"
+  "CMakeFiles/ganswer_qa.dir/qa/question_understander.cc.o"
+  "CMakeFiles/ganswer_qa.dir/qa/question_understander.cc.o.d"
+  "CMakeFiles/ganswer_qa.dir/qa/relation_extractor.cc.o"
+  "CMakeFiles/ganswer_qa.dir/qa/relation_extractor.cc.o.d"
+  "CMakeFiles/ganswer_qa.dir/qa/semantic_query_graph.cc.o"
+  "CMakeFiles/ganswer_qa.dir/qa/semantic_query_graph.cc.o.d"
+  "CMakeFiles/ganswer_qa.dir/qa/semantic_relation.cc.o"
+  "CMakeFiles/ganswer_qa.dir/qa/semantic_relation.cc.o.d"
+  "CMakeFiles/ganswer_qa.dir/qa/sparql_output.cc.o"
+  "CMakeFiles/ganswer_qa.dir/qa/sparql_output.cc.o.d"
+  "CMakeFiles/ganswer_qa.dir/qa/superlative.cc.o"
+  "CMakeFiles/ganswer_qa.dir/qa/superlative.cc.o.d"
+  "libganswer_qa.a"
+  "libganswer_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

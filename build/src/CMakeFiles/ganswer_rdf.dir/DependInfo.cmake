@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdf/ntriples.cc" "src/CMakeFiles/ganswer_rdf.dir/rdf/ntriples.cc.o" "gcc" "src/CMakeFiles/ganswer_rdf.dir/rdf/ntriples.cc.o.d"
+  "/root/repo/src/rdf/rdf_graph.cc" "src/CMakeFiles/ganswer_rdf.dir/rdf/rdf_graph.cc.o" "gcc" "src/CMakeFiles/ganswer_rdf.dir/rdf/rdf_graph.cc.o.d"
+  "/root/repo/src/rdf/signature_index.cc" "src/CMakeFiles/ganswer_rdf.dir/rdf/signature_index.cc.o" "gcc" "src/CMakeFiles/ganswer_rdf.dir/rdf/signature_index.cc.o.d"
+  "/root/repo/src/rdf/sparql_engine.cc" "src/CMakeFiles/ganswer_rdf.dir/rdf/sparql_engine.cc.o" "gcc" "src/CMakeFiles/ganswer_rdf.dir/rdf/sparql_engine.cc.o.d"
+  "/root/repo/src/rdf/sparql_parser.cc" "src/CMakeFiles/ganswer_rdf.dir/rdf/sparql_parser.cc.o" "gcc" "src/CMakeFiles/ganswer_rdf.dir/rdf/sparql_parser.cc.o.d"
+  "/root/repo/src/rdf/term_dictionary.cc" "src/CMakeFiles/ganswer_rdf.dir/rdf/term_dictionary.cc.o" "gcc" "src/CMakeFiles/ganswer_rdf.dir/rdf/term_dictionary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ganswer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_rdf.dir/rdf/ntriples.cc.o"
+  "CMakeFiles/ganswer_rdf.dir/rdf/ntriples.cc.o.d"
+  "CMakeFiles/ganswer_rdf.dir/rdf/rdf_graph.cc.o"
+  "CMakeFiles/ganswer_rdf.dir/rdf/rdf_graph.cc.o.d"
+  "CMakeFiles/ganswer_rdf.dir/rdf/signature_index.cc.o"
+  "CMakeFiles/ganswer_rdf.dir/rdf/signature_index.cc.o.d"
+  "CMakeFiles/ganswer_rdf.dir/rdf/sparql_engine.cc.o"
+  "CMakeFiles/ganswer_rdf.dir/rdf/sparql_engine.cc.o.d"
+  "CMakeFiles/ganswer_rdf.dir/rdf/sparql_parser.cc.o"
+  "CMakeFiles/ganswer_rdf.dir/rdf/sparql_parser.cc.o.d"
+  "CMakeFiles/ganswer_rdf.dir/rdf/term_dictionary.cc.o"
+  "CMakeFiles/ganswer_rdf.dir/rdf/term_dictionary.cc.o.d"
+  "libganswer_rdf.a"
+  "libganswer_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

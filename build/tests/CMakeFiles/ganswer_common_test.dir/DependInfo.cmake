@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/logging_timer_test.cc" "tests/CMakeFiles/ganswer_common_test.dir/common/logging_timer_test.cc.o" "gcc" "tests/CMakeFiles/ganswer_common_test.dir/common/logging_timer_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/ganswer_common_test.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/ganswer_common_test.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/ganswer_common_test.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/ganswer_common_test.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/string_util_test.cc" "tests/CMakeFiles/ganswer_common_test.dir/common/string_util_test.cc.o" "gcc" "tests/CMakeFiles/ganswer_common_test.dir/common/string_util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ganswer_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_deanna.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_paraphrase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_common_test.dir/common/logging_timer_test.cc.o"
+  "CMakeFiles/ganswer_common_test.dir/common/logging_timer_test.cc.o.d"
+  "CMakeFiles/ganswer_common_test.dir/common/random_test.cc.o"
+  "CMakeFiles/ganswer_common_test.dir/common/random_test.cc.o.d"
+  "CMakeFiles/ganswer_common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/ganswer_common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/ganswer_common_test.dir/common/string_util_test.cc.o"
+  "CMakeFiles/ganswer_common_test.dir/common/string_util_test.cc.o.d"
+  "ganswer_common_test"
+  "ganswer_common_test.pdb"
+  "ganswer_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_datagen_test.dir/datagen/datagen_test.cc.o"
+  "CMakeFiles/ganswer_datagen_test.dir/datagen/datagen_test.cc.o.d"
+  "CMakeFiles/ganswer_datagen_test.dir/datagen/schema_rename_test.cc.o"
+  "CMakeFiles/ganswer_datagen_test.dir/datagen/schema_rename_test.cc.o.d"
+  "ganswer_datagen_test"
+  "ganswer_datagen_test.pdb"
+  "ganswer_datagen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_datagen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_deanna_test.dir/deanna/deanna_qa_test.cc.o"
+  "CMakeFiles/ganswer_deanna_test.dir/deanna/deanna_qa_test.cc.o.d"
+  "CMakeFiles/ganswer_deanna_test.dir/deanna/ilp_solver_test.cc.o"
+  "CMakeFiles/ganswer_deanna_test.dir/deanna/ilp_solver_test.cc.o.d"
+  "ganswer_deanna_test"
+  "ganswer_deanna_test.pdb"
+  "ganswer_deanna_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_deanna_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_integration_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/ganswer_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/ganswer_integration_test.dir/integration/robustness_test.cc.o"
+  "CMakeFiles/ganswer_integration_test.dir/integration/robustness_test.cc.o.d"
+  "CMakeFiles/ganswer_integration_test.dir/integration/serialization_test.cc.o"
+  "CMakeFiles/ganswer_integration_test.dir/integration/serialization_test.cc.o.d"
+  "ganswer_integration_test"
+  "ganswer_integration_test.pdb"
+  "ganswer_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_linking_test.dir/linking/entity_linker_test.cc.o"
+  "CMakeFiles/ganswer_linking_test.dir/linking/entity_linker_test.cc.o.d"
+  "ganswer_linking_test"
+  "ganswer_linking_test.pdb"
+  "ganswer_linking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_linking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

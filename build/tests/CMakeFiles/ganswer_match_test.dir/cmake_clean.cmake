@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_match_test.dir/match/candidates_test.cc.o"
+  "CMakeFiles/ganswer_match_test.dir/match/candidates_test.cc.o.d"
+  "CMakeFiles/ganswer_match_test.dir/match/match_property_test.cc.o"
+  "CMakeFiles/ganswer_match_test.dir/match/match_property_test.cc.o.d"
+  "CMakeFiles/ganswer_match_test.dir/match/subgraph_matcher_test.cc.o"
+  "CMakeFiles/ganswer_match_test.dir/match/subgraph_matcher_test.cc.o.d"
+  "CMakeFiles/ganswer_match_test.dir/match/top_k_matcher_test.cc.o"
+  "CMakeFiles/ganswer_match_test.dir/match/top_k_matcher_test.cc.o.d"
+  "ganswer_match_test"
+  "ganswer_match_test.pdb"
+  "ganswer_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_nlp_test.dir/nlp/coreference_test.cc.o"
+  "CMakeFiles/ganswer_nlp_test.dir/nlp/coreference_test.cc.o.d"
+  "CMakeFiles/ganswer_nlp_test.dir/nlp/dependency_parser_test.cc.o"
+  "CMakeFiles/ganswer_nlp_test.dir/nlp/dependency_parser_test.cc.o.d"
+  "CMakeFiles/ganswer_nlp_test.dir/nlp/dependency_tree_test.cc.o"
+  "CMakeFiles/ganswer_nlp_test.dir/nlp/dependency_tree_test.cc.o.d"
+  "CMakeFiles/ganswer_nlp_test.dir/nlp/lexicon_test.cc.o"
+  "CMakeFiles/ganswer_nlp_test.dir/nlp/lexicon_test.cc.o.d"
+  "CMakeFiles/ganswer_nlp_test.dir/nlp/pos_tagger_test.cc.o"
+  "CMakeFiles/ganswer_nlp_test.dir/nlp/pos_tagger_test.cc.o.d"
+  "CMakeFiles/ganswer_nlp_test.dir/nlp/possessive_test.cc.o"
+  "CMakeFiles/ganswer_nlp_test.dir/nlp/possessive_test.cc.o.d"
+  "CMakeFiles/ganswer_nlp_test.dir/nlp/tokenizer_test.cc.o"
+  "CMakeFiles/ganswer_nlp_test.dir/nlp/tokenizer_test.cc.o.d"
+  "ganswer_nlp_test"
+  "ganswer_nlp_test.pdb"
+  "ganswer_nlp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_nlp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

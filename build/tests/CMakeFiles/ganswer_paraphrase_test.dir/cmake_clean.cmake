@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_paraphrase_test.dir/paraphrase/dictionary_builder_test.cc.o"
+  "CMakeFiles/ganswer_paraphrase_test.dir/paraphrase/dictionary_builder_test.cc.o.d"
+  "CMakeFiles/ganswer_paraphrase_test.dir/paraphrase/maintenance_test.cc.o"
+  "CMakeFiles/ganswer_paraphrase_test.dir/paraphrase/maintenance_test.cc.o.d"
+  "CMakeFiles/ganswer_paraphrase_test.dir/paraphrase/paraphrase_dictionary_test.cc.o"
+  "CMakeFiles/ganswer_paraphrase_test.dir/paraphrase/paraphrase_dictionary_test.cc.o.d"
+  "CMakeFiles/ganswer_paraphrase_test.dir/paraphrase/path_finder_test.cc.o"
+  "CMakeFiles/ganswer_paraphrase_test.dir/paraphrase/path_finder_test.cc.o.d"
+  "CMakeFiles/ganswer_paraphrase_test.dir/paraphrase/predicate_path_test.cc.o"
+  "CMakeFiles/ganswer_paraphrase_test.dir/paraphrase/predicate_path_test.cc.o.d"
+  "CMakeFiles/ganswer_paraphrase_test.dir/paraphrase/tf_idf_test.cc.o"
+  "CMakeFiles/ganswer_paraphrase_test.dir/paraphrase/tf_idf_test.cc.o.d"
+  "ganswer_paraphrase_test"
+  "ganswer_paraphrase_test.pdb"
+  "ganswer_paraphrase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_paraphrase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/qa/argument_finder_test.cc" "tests/CMakeFiles/ganswer_qa_test.dir/qa/argument_finder_test.cc.o" "gcc" "tests/CMakeFiles/ganswer_qa_test.dir/qa/argument_finder_test.cc.o.d"
+  "/root/repo/tests/qa/explain_test.cc" "tests/CMakeFiles/ganswer_qa_test.dir/qa/explain_test.cc.o" "gcc" "tests/CMakeFiles/ganswer_qa_test.dir/qa/explain_test.cc.o.d"
+  "/root/repo/tests/qa/ganswer_test.cc" "tests/CMakeFiles/ganswer_qa_test.dir/qa/ganswer_test.cc.o" "gcc" "tests/CMakeFiles/ganswer_qa_test.dir/qa/ganswer_test.cc.o.d"
+  "/root/repo/tests/qa/question_understander_test.cc" "tests/CMakeFiles/ganswer_qa_test.dir/qa/question_understander_test.cc.o" "gcc" "tests/CMakeFiles/ganswer_qa_test.dir/qa/question_understander_test.cc.o.d"
+  "/root/repo/tests/qa/relation_extractor_test.cc" "tests/CMakeFiles/ganswer_qa_test.dir/qa/relation_extractor_test.cc.o" "gcc" "tests/CMakeFiles/ganswer_qa_test.dir/qa/relation_extractor_test.cc.o.d"
+  "/root/repo/tests/qa/rule_sweep_test.cc" "tests/CMakeFiles/ganswer_qa_test.dir/qa/rule_sweep_test.cc.o" "gcc" "tests/CMakeFiles/ganswer_qa_test.dir/qa/rule_sweep_test.cc.o.d"
+  "/root/repo/tests/qa/sparql_output_test.cc" "tests/CMakeFiles/ganswer_qa_test.dir/qa/sparql_output_test.cc.o" "gcc" "tests/CMakeFiles/ganswer_qa_test.dir/qa/sparql_output_test.cc.o.d"
+  "/root/repo/tests/qa/superlative_test.cc" "tests/CMakeFiles/ganswer_qa_test.dir/qa/superlative_test.cc.o" "gcc" "tests/CMakeFiles/ganswer_qa_test.dir/qa/superlative_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ganswer_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_deanna.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_qa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_paraphrase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ganswer_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

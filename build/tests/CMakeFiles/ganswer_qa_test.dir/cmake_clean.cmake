@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_qa_test.dir/qa/argument_finder_test.cc.o"
+  "CMakeFiles/ganswer_qa_test.dir/qa/argument_finder_test.cc.o.d"
+  "CMakeFiles/ganswer_qa_test.dir/qa/explain_test.cc.o"
+  "CMakeFiles/ganswer_qa_test.dir/qa/explain_test.cc.o.d"
+  "CMakeFiles/ganswer_qa_test.dir/qa/ganswer_test.cc.o"
+  "CMakeFiles/ganswer_qa_test.dir/qa/ganswer_test.cc.o.d"
+  "CMakeFiles/ganswer_qa_test.dir/qa/question_understander_test.cc.o"
+  "CMakeFiles/ganswer_qa_test.dir/qa/question_understander_test.cc.o.d"
+  "CMakeFiles/ganswer_qa_test.dir/qa/relation_extractor_test.cc.o"
+  "CMakeFiles/ganswer_qa_test.dir/qa/relation_extractor_test.cc.o.d"
+  "CMakeFiles/ganswer_qa_test.dir/qa/rule_sweep_test.cc.o"
+  "CMakeFiles/ganswer_qa_test.dir/qa/rule_sweep_test.cc.o.d"
+  "CMakeFiles/ganswer_qa_test.dir/qa/sparql_output_test.cc.o"
+  "CMakeFiles/ganswer_qa_test.dir/qa/sparql_output_test.cc.o.d"
+  "CMakeFiles/ganswer_qa_test.dir/qa/superlative_test.cc.o"
+  "CMakeFiles/ganswer_qa_test.dir/qa/superlative_test.cc.o.d"
+  "ganswer_qa_test"
+  "ganswer_qa_test.pdb"
+  "ganswer_qa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_qa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

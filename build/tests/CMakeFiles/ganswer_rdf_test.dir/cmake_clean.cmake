@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganswer_rdf_test.dir/rdf/ntriples_test.cc.o"
+  "CMakeFiles/ganswer_rdf_test.dir/rdf/ntriples_test.cc.o.d"
+  "CMakeFiles/ganswer_rdf_test.dir/rdf/rdf_graph_test.cc.o"
+  "CMakeFiles/ganswer_rdf_test.dir/rdf/rdf_graph_test.cc.o.d"
+  "CMakeFiles/ganswer_rdf_test.dir/rdf/signature_index_test.cc.o"
+  "CMakeFiles/ganswer_rdf_test.dir/rdf/signature_index_test.cc.o.d"
+  "CMakeFiles/ganswer_rdf_test.dir/rdf/sparql_engine_test.cc.o"
+  "CMakeFiles/ganswer_rdf_test.dir/rdf/sparql_engine_test.cc.o.d"
+  "CMakeFiles/ganswer_rdf_test.dir/rdf/sparql_orderby_test.cc.o"
+  "CMakeFiles/ganswer_rdf_test.dir/rdf/sparql_orderby_test.cc.o.d"
+  "CMakeFiles/ganswer_rdf_test.dir/rdf/sparql_parser_test.cc.o"
+  "CMakeFiles/ganswer_rdf_test.dir/rdf/sparql_parser_test.cc.o.d"
+  "CMakeFiles/ganswer_rdf_test.dir/rdf/term_dictionary_test.cc.o"
+  "CMakeFiles/ganswer_rdf_test.dir/rdf/term_dictionary_test.cc.o.d"
+  "ganswer_rdf_test"
+  "ganswer_rdf_test.pdb"
+  "ganswer_rdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganswer_rdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

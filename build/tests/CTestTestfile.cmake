@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ganswer_common_test[1]_include.cmake")
+include("/root/repo/build/tests/ganswer_rdf_test[1]_include.cmake")
+include("/root/repo/build/tests/ganswer_nlp_test[1]_include.cmake")
+include("/root/repo/build/tests/ganswer_paraphrase_test[1]_include.cmake")
+include("/root/repo/build/tests/ganswer_linking_test[1]_include.cmake")
+include("/root/repo/build/tests/ganswer_match_test[1]_include.cmake")
+include("/root/repo/build/tests/ganswer_qa_test[1]_include.cmake")
+include("/root/repo/build/tests/ganswer_deanna_test[1]_include.cmake")
+include("/root/repo/build/tests/ganswer_datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/ganswer_integration_test[1]_include.cmake")
