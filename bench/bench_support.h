@@ -120,6 +120,75 @@ inline PrEntry PrecisionRecall(const datagen::GoldQuestion& q, bool is_ask,
   return out;
 }
 
+/// \brief One machine-readable result line: a flat JSON object printed as
+/// `BENCH_JSON {...}` on stdout.
+///
+/// The prefix makes the lines grep-able out of the human-readable tables,
+/// so trajectory tooling can do `grep ^BENCH_JSON out.txt | cut -c12- >>
+/// BENCH_<name>.json` and track phase timings, thread counts and KB sizes
+/// across commits. Keys are emitted in insertion order; every line carries
+/// the bench name as its first field.
+class JsonLine {
+ public:
+  explicit JsonLine(const std::string& bench) { Field("bench", bench); }
+
+  JsonLine& Field(const std::string& key, const std::string& value) {
+    AppendKey(key);
+    body_ += '"';
+    AppendEscaped(value);
+    body_ += '"';
+    return *this;
+  }
+  JsonLine& Field(const std::string& key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  JsonLine& Field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    AppendKey(key);
+    body_ += buf;
+    return *this;
+  }
+  JsonLine& Field(const std::string& key, size_t value) {
+    AppendKey(key);
+    body_ += std::to_string(value);
+    return *this;
+  }
+  JsonLine& Field(const std::string& key, int value) {
+    AppendKey(key);
+    body_ += std::to_string(value);
+    return *this;
+  }
+  JsonLine& Field(const std::string& key, bool value) {
+    AppendKey(key);
+    body_ += value ? "true" : "false";
+    return *this;
+  }
+
+  /// Prints the line. Call once; the object is spent afterwards.
+  void Emit() { std::printf("BENCH_JSON {%s}\n", body_.c_str()); }
+
+ private:
+  void AppendKey(const std::string& key) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"';
+    AppendEscaped(key);
+    body_ += "\":";
+  }
+  void AppendEscaped(const std::string& s) {
+    for (char c : s) {
+      if (c == '"' || c == '\\') body_ += '\\';
+      if (c == '\n') {
+        body_ += "\\n";
+        continue;
+      }
+      body_ += c;
+    }
+  }
+
+  std::string body_;
+};
+
 /// Prints a horizontal rule and a centered header, bench-report style.
 inline void Header(const std::string& title) {
   std::printf("\n================================================================\n");

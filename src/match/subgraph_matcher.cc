@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 
 namespace ganswer {
 namespace match {
@@ -83,6 +84,11 @@ void SubgraphMatcher::FindMatchesFrom(int anchor_qv, rdf::TermId anchor_u,
   std::vector<rdf::TermId> assignment(query_->vertices.size(),
                                       rdf::kInvalidTerm);
   assignment[anchor_qv] = anchor_u;
+  // Graph vertices currently bound by `assignment`, for the O(1)
+  // injectivity check below.
+  std::unordered_set<rdf::TermId> used;
+  used.reserve(plan.order.size());
+  used.insert(anchor_u);
   size_t found_at_entry = out->size();
 
   std::function<void(size_t)> extend = [&](size_t depth) {
@@ -114,14 +120,7 @@ void SubgraphMatcher::FindMatchesFrom(int anchor_qv, rdf::TermId anchor_u,
       if (!space_->VertexDelta(qv, u).has_value()) continue;
       // Injectivity: subgraph isomorphism maps query vertices to distinct
       // graph vertices.
-      bool used = false;
-      for (int ov : plan.order) {
-        if (assignment[ov] == u) {
-          used = true;
-          break;
-        }
-      }
-      if (used) continue;
+      if (used.contains(u)) continue;
       bool edges_ok = true;
       for (size_t bi = 1; bi < back.size() && edges_ok; ++bi) {
         const QueryEdge& e = query_->edges[back[bi]];
@@ -132,7 +131,9 @@ void SubgraphMatcher::FindMatchesFrom(int anchor_qv, rdf::TermId anchor_u,
       }
       if (!edges_ok) continue;
       assignment[qv] = u;
+      used.insert(u);
       extend(depth + 1);
+      used.erase(u);
       assignment[qv] = rdf::kInvalidTerm;
       if (limit > 0 && out->size() - found_at_entry >= limit) return;
     }

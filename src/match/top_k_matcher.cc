@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <set>
 
 namespace ganswer {
@@ -66,8 +67,6 @@ StatusOr<std::vector<Match>> TopKMatcher::FindTopK(const QueryGraph& query,
       }
     }
   } else {
-    SubgraphMatcher matcher(graph_, &query, &space);
-
     // Cursor per non-wildcard vertex list.
     std::vector<int> cursor_vertex;  // query vertex index per cursor
     for (size_t i = 0; i < query.vertices.size(); ++i) {
@@ -86,6 +85,17 @@ StatusOr<std::vector<Match>> TopKMatcher::FindTopK(const QueryGraph& query,
     double edge_best_sum = BestEdgeLogSum(query);
     double theta = -std::numeric_limits<double>::infinity();
 
+    // One pool for the whole TA loop when more than one anchored search can
+    // run per round; every worker task gets its own SubgraphMatcher (the
+    // graph and candidate space are shared read-only), so the only
+    // cross-thread state is the per-task output buffer it owns.
+    int threads = ThreadPool::ResolveThreads(options_.exec.threads);
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1 && cursor_vertex.size() > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+    }
+    size_t total_expansions = 0;
+
     auto update_theta = [&]() {
       if (all.size() < options_.k) return;
       std::vector<double> scores;
@@ -101,18 +111,42 @@ StatusOr<std::vector<Match>> TopKMatcher::FindTopK(const QueryGraph& query,
       ++local.rounds;
       progress = false;
 
+      // Collect this round's anchored searches (one per in-range cursor),
+      // run them — fanned across the pool when present — into per-task
+      // buffers, then merge in cursor order. The merge sequence is exactly
+      // the serial execution's, so dedup against `seen` and the
+      // max_total_matches cut behave identically for any thread count.
+      struct AnchorTask {
+        int qv;
+        rdf::TermId anchor;
+      };
+      std::vector<AnchorTask> tasks;
       for (size_t ci = 0; ci < cursor_vertex.size(); ++ci) {
         int qv = cursor_vertex[ci];
         const auto& items = space.domain(qv).items;
         if (cursor[ci] >= items.size()) continue;
         progress = true;
+        tasks.push_back({qv, items[cursor[ci]].vertex});
+      }
 
-        const CandidateSpace::Item& item = items[cursor[ci]];
-        std::vector<Match> found;
-        matcher.FindMatchesFrom(qv, item.vertex,
-                                options_.max_matches_per_anchor, &found);
-        ++local.anchored_searches;
-        for (Match& m : found) {
+      std::vector<std::vector<Match>> found(tasks.size());
+      std::vector<size_t> expansions(tasks.size(), 0);
+      auto run_task = [&](size_t t) {
+        SubgraphMatcher matcher(graph_, &query, &space);
+        matcher.FindMatchesFrom(tasks[t].qv, tasks[t].anchor,
+                                options_.max_matches_per_anchor, &found[t]);
+        expansions[t] = matcher.stats().expansions;
+      };
+      if (pool != nullptr && tasks.size() > 1) {
+        pool->ParallelFor(0, tasks.size(), run_task);
+      } else {
+        for (size_t t = 0; t < tasks.size(); ++t) run_task(t);
+      }
+
+      local.anchored_searches += tasks.size();
+      for (size_t t = 0; t < tasks.size(); ++t) {
+        total_expansions += expansions[t];
+        for (Match& m : found[t]) {
           if (seen.size() >= options_.max_total_matches) break;
           if (seen.insert(m.assignment).second) {
             all.push_back(std::move(m));
@@ -150,7 +184,7 @@ StatusOr<std::vector<Match>> TopKMatcher::FindTopK(const QueryGraph& query,
       }
       if (seen.size() >= options_.max_total_matches) break;
     }
-    local.expansions = matcher.stats().expansions;
+    local.expansions = total_expansions;
   }
 
   // Rank and cut to k, keeping ties with the k-th score (the paper counts

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "match/candidates.h"
 #include "match/query_graph.h"
 #include "match/subgraph_matcher.h"
@@ -44,6 +45,12 @@ class TopKMatcher {
     /// as a fast pre-check by the neighborhood pruning. Must outlive the
     /// matcher. Results are identical with or without it.
     const rdf::SignatureIndex* signatures = nullptr;
+    /// Parallelism for the per-round anchored searches: each round's cursor
+    /// candidates fan out across a thread pool, every worker running an
+    /// independent SubgraphMatcher into a thread-local buffer over the
+    /// shared read-only graph and candidate space; buffers merge back in
+    /// cursor order, so the match list is byte-identical to threads=1.
+    ExecutionOptions exec;
   };
 
   struct RunStats {

@@ -1,6 +1,7 @@
 #include "paraphrase/dictionary_builder.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 namespace ganswer {
@@ -24,26 +25,44 @@ Status DictionaryBuilder::Build(const rdf::RdfGraph& graph,
   BuildStats local_stats;
   local_stats.phrases = dataset.size();
 
+  int threads = ThreadPool::ResolveThreads(options_.exec.threads);
+
   // Phase 1 (Alg. 1, lines 1-4): enumerate Path(v, v') for every supporting
-  // pair of every phrase; PS(rel_i) is the collection per phrase.
+  // pair of every phrase; PS(rel_i) is the collection per phrase. Phrases
+  // are independent — each worker reads the shared finalized graph and
+  // writes only corpus[i], so corpus is identical for any thread count.
   std::vector<PathSets> corpus(dataset.size());
-  for (size_t i = 0; i < dataset.size(); ++i) {
+  std::atomic<size_t> pairs_total{0};
+  std::atomic<size_t> pairs_in_graph{0};
+  std::atomic<size_t> paths_enumerated{0};
+  ThreadPool::Run(threads, 0, dataset.size(), [&](size_t i) {
     const RelationPhrase& rel = dataset[i];
+    size_t my_total = 0, my_in_graph = 0, my_paths = 0;
     for (const auto& [a_name, b_name] : rel.support) {
-      ++local_stats.pairs_total;
+      ++my_total;
       auto a = graph.FindTerm(a_name);
       auto b = graph.FindTerm(b_name);
       if (!a.has_value() || !b.has_value()) continue;  // pair not in graph
-      ++local_stats.pairs_in_graph;
+      ++my_in_graph;
       std::vector<PredicatePath> paths = finder.FindPaths(*a, *b);
-      local_stats.paths_enumerated += paths.size();
+      my_paths += paths.size();
       if (!paths.empty()) corpus[i].push_back(std::move(paths));
     }
-  }
+    pairs_total.fetch_add(my_total, std::memory_order_relaxed);
+    pairs_in_graph.fetch_add(my_in_graph, std::memory_order_relaxed);
+    paths_enumerated.fetch_add(my_paths, std::memory_order_relaxed);
+  });
+  local_stats.pairs_total = pairs_total.load();
+  local_stats.pairs_in_graph = pairs_in_graph.load();
+  local_stats.paths_enumerated = paths_enumerated.load();
 
   // Phase 2 (Alg. 1, lines 5-8): tf-idf scoring, keep top-k per phrase.
+  // Scoring reads the shared model and writes scored[i]; the dictionary is
+  // then filled serially in phrase order, so AddPhrase ids and the inverted
+  // index are deterministic.
   TfIdfModel model(&corpus);
-  for (size_t i = 0; i < dataset.size(); ++i) {
+  std::vector<std::vector<ParaphraseEntry>> scored(dataset.size());
+  ThreadPool::Run(threads, 0, dataset.size(), [&](size_t i) {
     std::unordered_set<PredicatePath, PredicatePathHash> distinct;
     for (const auto& pair_paths : corpus[i]) {
       for (const PredicatePath& p : pair_paths) distinct.insert(p);
@@ -70,7 +89,10 @@ Status DictionaryBuilder::Build(const rdf::RdfGraph& graph,
                 return a.path < b.path;  // deterministic tie-break
               });
     if (entries.size() > options_.top_k) entries.resize(options_.top_k);
-    dict->AddPhrase(dataset[i].text, std::move(entries));
+    scored[i] = std::move(entries);
+  });
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    dict->AddPhrase(dataset[i].text, std::move(scored[i]));
   }
 
   if (options_.normalize) dict->NormalizeConfidences();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "paraphrase/paraphrase_dictionary.h"
 #include "paraphrase/path_finder.h"
 #include "paraphrase/tf_idf.h"
@@ -43,6 +44,11 @@ class DictionaryBuilder {
     size_t max_paths_per_pair = 2000;
     /// Normalize confidences per phrase so the best is 1.0 (Table 6).
     bool normalize = true;
+    /// Parallelism for the per-phrase path enumeration and scoring stages.
+    /// Phrases are partitioned across a thread pool sharing the finalized
+    /// (read-only) graph; the mined dictionary is identical for any thread
+    /// count (threads=1 reproduces the serial build exactly).
+    ExecutionOptions exec;
   };
 
   struct BuildStats {

@@ -5,6 +5,7 @@
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 namespace ganswer {
 namespace paraphrase {
@@ -28,22 +29,35 @@ std::vector<PredicatePath> PathFinder::FindPaths(rdf::TermId from,
 
   // Reverse undirected BFS from `to`: dist[v] = undirected hop distance,
   // capped at max_length. Vertices not reached within the budget cannot be
-  // on any admissible path.
+  // on any admissible path. The queue carries (vertex, dist) so a popped
+  // vertex never re-probes the map, and insertion uses a single emplace.
   std::unordered_map<rdf::TermId, size_t> dist;
   {
-    std::queue<rdf::TermId> q;
-    dist[to] = 0;
-    q.push(to);
+    // Reserve from a geometric reachability estimate (average undirected
+    // degree to the max_length-th power, clamped to the vertex count) to
+    // avoid rehashing during the flood.
+    size_t num_terms = graph_.NumTerms();
+    size_t avg_degree =
+        num_terms == 0
+            ? 1
+            : std::max<size_t>(1, 2 * graph_.NumTriples() / num_terms);
+    size_t estimate = 1;
+    for (size_t i = 0; i < options_.max_length && estimate < num_terms; ++i) {
+      estimate = std::min(num_terms, estimate * avg_degree + 1);
+    }
+    dist.reserve(estimate);
+
+    std::queue<std::pair<rdf::TermId, size_t>> q;
+    dist.emplace(to, 0);
+    q.emplace(to, 0);
     while (!q.empty()) {
-      rdf::TermId v = q.front();
+      auto [v, d] = q.front();
       q.pop();
-      size_t d = dist[v];
       if (d >= options_.max_length) continue;
       auto visit = [&](const rdf::Edge& e) {
         if (IsSchemaPredicate(e.predicate)) return;
-        if (!dist.count(e.neighbor)) {
-          dist[e.neighbor] = d + 1;
-          q.push(e.neighbor);
+        if (dist.emplace(e.neighbor, d + 1).second) {
+          q.emplace(e.neighbor, d + 1);
         }
       };
       for (const rdf::Edge& e : graph_.OutEdges(v)) visit(e);

@@ -53,6 +53,16 @@ match::QueryGraph GAnswer::ToQueryGraph(const SemanticQueryGraph& sqg) const {
   return q;
 }
 
+std::vector<StatusOr<GAnswer::Response>> GAnswer::BatchAnswer(
+    const std::vector<std::string>& questions) const {
+  std::vector<StatusOr<Response>> out(
+      questions.size(),
+      StatusOr<Response>(Status::Internal("question not processed")));
+  ThreadPool::Run(options_.exec.threads, 0, questions.size(),
+                  [&](size_t i) { out[i] = Ask(questions[i]); });
+  return out;
+}
+
 StatusOr<GAnswer::Response> GAnswer::Ask(std::string_view question) const {
   Response resp;
   WallTimer timer;

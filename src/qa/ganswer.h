@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "linking/entity_index.h"
 #include "linking/entity_linker.h"
 #include "match/top_k_matcher.h"
@@ -40,6 +41,12 @@ class GAnswer {
     /// aggregation questions ("youngest player in ...") by argmax/argmin
     /// post-processing over the matched answers (see qa/superlative.h).
     bool enable_superlatives = false;
+    /// Parallelism for BatchAnswer: questions fan out across a thread pool,
+    /// each answered by an independent Ask() over the shared read-only
+    /// graph, dictionary and indexes. Per-question matching parallelism is
+    /// controlled separately via matching.exec; batch-parallel callers
+    /// usually pin matching.exec.threads = 1 to avoid oversubscription.
+    ExecutionOptions exec;
   };
 
   /// Why a question produced no answers; used by failure analysis
@@ -81,8 +88,17 @@ class GAnswer {
   GAnswer(const rdf::RdfGraph* graph, const nlp::Lexicon* lexicon,
           const paraphrase::ParaphraseDictionary* dict, Options options);
 
-  /// Answers one natural-language question.
+  /// Answers one natural-language question. Thread-safe: the pipeline is
+  /// stateless over the shared read-only inputs, so concurrent Ask() calls
+  /// are allowed (BatchAnswer relies on this).
   StatusOr<Response> Ask(std::string_view question) const;
+
+  /// Answers a batch of questions; result i corresponds to questions[i],
+  /// identical to calling Ask(questions[i]) serially. With
+  /// options().exec.threads != 1 the questions fan out across a thread
+  /// pool — the QPS entry point the throughput benches measure.
+  std::vector<StatusOr<Response>> BatchAnswer(
+      const std::vector<std::string>& questions) const;
 
   /// Builds the matcher-facing query graph from an understood question.
   /// Exposed for benchmarks that time the stages separately.

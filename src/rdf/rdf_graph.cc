@@ -28,54 +28,78 @@ void RdfGraph::AddTriple(Triple t) {
   finalized_ = false;
 }
 
-void RdfGraph::EnsureVertex(TermId v) {
-  if (out_.size() <= v) {
-    out_.resize(v + 1);
-    in_.resize(v + 1);
-  }
-}
-
 Status RdfGraph::Finalize() {
   if (finalized_ && pending_.empty()) return Status::Ok();
-
-  // Size vectors to the whole dictionary so unknown lookups are safe.
-  size_t n = dict_.size();
-  if (out_.size() < n) {
-    out_.resize(n);
-    in_.resize(n);
-  }
-  if (predicate_freq_.size() < n) predicate_freq_.resize(n, 0);
 
   for (const Triple& t : pending_) {
     if (t.subject == kInvalidTerm || t.predicate == kInvalidTerm ||
         t.object == kInvalidTerm) {
       return Status::InvalidArgument("triple with invalid term id");
     }
-    EnsureVertex(std::max({t.subject, t.object, t.predicate}));
-    out_[t.subject].push_back({t.predicate, t.object});
-    in_[t.object].push_back({t.predicate, t.subject});
   }
+
+  // Gather every triple: the ones already flattened into the CSR (from a
+  // previous Finalize) plus the pending batch.
+  std::vector<Triple> triples;
+  triples.reserve(num_triples_ + pending_.size());
+  for (size_t v = 0; v + 1 < out_offsets_.size(); ++v) {
+    for (size_t i = out_offsets_[v]; i < out_offsets_[v + 1]; ++i) {
+      triples.push_back({static_cast<TermId>(v), out_edges_[i].predicate,
+                         out_edges_[i].neighbor});
+    }
+  }
+  triples.insert(triples.end(), pending_.begin(), pending_.end());
   pending_.clear();
   pending_.shrink_to_fit();
 
-  num_triples_ = 0;
+  // Size the vertex space to the whole dictionary (so unknown lookups are
+  // safe) and to the largest id any triple mentions.
+  size_t n = dict_.size();
+  for (const Triple& t : triples) {
+    size_t top = std::max({t.subject, t.object, t.predicate});
+    n = std::max(n, top + 1);
+  }
+
+  // Out-CSR: Triple's (subject, predicate, object) order lays each
+  // subject's edges out contiguously, already sorted by (predicate,
+  // neighbor).
+  std::sort(triples.begin(), triples.end());
+  triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
+  num_triples_ = triples.size();
+
+  predicate_freq_.assign(n, 0);
+  out_offsets_.assign(n + 1, 0);
+  for (const Triple& t : triples) {
+    ++out_offsets_[t.subject + 1];
+    ++predicate_freq_[t.predicate];
+  }
+  for (size_t v = 0; v < n; ++v) out_offsets_[v + 1] += out_offsets_[v];
+  out_edges_.clear();
+  out_edges_.reserve(num_triples_);
+  for (const Triple& t : triples) out_edges_.push_back({t.predicate, t.object});
+
+  // In-CSR: counting sort by object, then per-vertex sort so each run is
+  // ordered by (predicate, neighbor) like before.
+  in_offsets_.assign(n + 1, 0);
+  for (const Triple& t : triples) ++in_offsets_[t.object + 1];
+  for (size_t v = 0; v < n; ++v) in_offsets_[v + 1] += in_offsets_[v];
+  in_edges_.assign(num_triples_, Edge{});
+  {
+    std::vector<size_t> fill(in_offsets_.begin(), in_offsets_.end() - 1);
+    for (const Triple& t : triples) {
+      in_edges_[fill[t.object]++] = {t.predicate, t.subject};
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    std::sort(in_edges_.begin() + in_offsets_[v],
+              in_edges_.begin() + in_offsets_[v + 1]);
+  }
+
   max_degree_ = 0;
-  std::fill(predicate_freq_.begin(), predicate_freq_.end(), 0);
-  if (predicate_freq_.size() < dict_.size()) {
-    predicate_freq_.resize(dict_.size(), 0);
-  }
-  for (size_t v = 0; v < out_.size(); ++v) {
-    auto& edges = out_[v];
-    std::sort(edges.begin(), edges.end());
-    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-    num_triples_ += edges.size();
-    for (const Edge& e : edges) ++predicate_freq_[e.predicate];
-  }
-  for (size_t v = 0; v < in_.size(); ++v) {
-    auto& edges = in_[v];
-    std::sort(edges.begin(), edges.end());
-    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-    max_degree_ = std::max(max_degree_, out_[v].size() + edges.size());
+  for (size_t v = 0; v < n; ++v) {
+    size_t deg = (out_offsets_[v + 1] - out_offsets_[v]) +
+                 (in_offsets_[v + 1] - in_offsets_[v]);
+    max_degree_ = std::max(max_degree_, deg);
   }
 
   predicates_.clear();
@@ -85,14 +109,12 @@ Status RdfGraph::Finalize() {
 
   // A vertex is a class iff it is the object of rdf:type or touches
   // rdfs:subClassOf on either side.
-  is_class_.assign(dict_.size(), false);
-  for (TermId v = 0; v < out_.size(); ++v) {
-    for (const Edge& e : out_[v]) {
-      if (e.predicate == type_pred_) is_class_[e.neighbor] = true;
-      if (e.predicate == subclass_pred_) {
-        is_class_[v] = true;
-        is_class_[e.neighbor] = true;
-      }
+  is_class_.assign(n, false);
+  for (const Triple& t : triples) {
+    if (t.predicate == type_pred_) is_class_[t.object] = true;
+    if (t.predicate == subclass_pred_) {
+      is_class_[t.subject] = true;
+      is_class_[t.object] = true;
     }
   }
 
@@ -101,13 +123,17 @@ Status RdfGraph::Finalize() {
 }
 
 std::span<const Edge> RdfGraph::OutEdges(TermId v) const {
-  if (v >= out_.size()) return {};
-  return out_[v];
+  size_t idx = static_cast<size_t>(v);
+  if (idx + 1 >= out_offsets_.size()) return {};
+  return {out_edges_.data() + out_offsets_[idx],
+          out_offsets_[idx + 1] - out_offsets_[idx]};
 }
 
 std::span<const Edge> RdfGraph::InEdges(TermId v) const {
-  if (v >= in_.size()) return {};
-  return in_[v];
+  size_t idx = static_cast<size_t>(v);
+  if (idx + 1 >= in_offsets_.size()) return {};
+  return {in_edges_.data() + in_offsets_[idx],
+          in_offsets_[idx + 1] - in_offsets_[idx]};
 }
 
 bool RdfGraph::HasTriple(TermId s, TermId p, TermId o) const {

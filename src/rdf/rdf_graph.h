@@ -30,15 +30,25 @@ struct Edge {
 };
 
 /// \brief In-memory RDF graph: dictionary-encoded triples with per-vertex
-/// sorted adjacency lists (out- and in-edges), plus the type machinery the
-/// paper's match semantics need (class vertices, rdf:type with subclass
-/// closure).
+/// sorted adjacency in CSR form (out- and in-edges), plus the type
+/// machinery the paper's match semantics need (class vertices, rdf:type
+/// with subclass closure).
+///
+/// Adjacency is stored as two flat arrays per direction: one Edge array
+/// holding every vertex's edges contiguously, sorted by (predicate,
+/// neighbor) within a vertex, and one offset array indexed by vertex id.
+/// OutEdges/InEdges return spans into these arrays. After Finalize() the
+/// structure is immutable, so concurrent readers (the parallel miner and
+/// matcher) share it without locks, and a hop touches one contiguous cache
+/// run instead of chasing a per-vertex heap allocation.
 ///
 /// Vertex ids are TermIds from the owned TermDictionary, so graph ids and
 /// dictionary ids can be used interchangeably.
 ///
 /// Construction protocol: Intern terms / AddTriple in any order, then call
-/// Finalize() once. Queries before Finalize() are undefined.
+/// Finalize() once. Queries before Finalize() are undefined. Adding more
+/// triples after Finalize() and finalizing again rebuilds the CSR from the
+/// union of old and new triples.
 class RdfGraph {
  public:
   RdfGraph();
@@ -133,12 +143,15 @@ class RdfGraph {
   TermId label_predicate() const { return label_pred_; }
 
  private:
-  void EnsureVertex(TermId v);
-
   TermDictionary dict_;
   std::vector<Triple> pending_;
-  std::vector<std::vector<Edge>> out_;
-  std::vector<std::vector<Edge>> in_;
+  // CSR adjacency: edges of vertex v live in *_edges_[*_offsets_[v] ..
+  // *_offsets_[v + 1]), sorted by (predicate, neighbor). Offset arrays have
+  // num_vertices + 1 entries; empty before the first Finalize().
+  std::vector<Edge> out_edges_;
+  std::vector<size_t> out_offsets_;
+  std::vector<Edge> in_edges_;
+  std::vector<size_t> in_offsets_;
   std::vector<bool> is_class_;
   std::vector<TermId> predicates_;
   std::vector<size_t> predicate_freq_;  // indexed by TermId, 0 if not a pred

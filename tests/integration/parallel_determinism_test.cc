@@ -1,0 +1,169 @@
+// Determinism contract of the parallel execution engine: every parallel
+// stage (offline mining, top-k matching, batch answering) must produce
+// results identical to its serial (threads=1) run — same entries, same
+// confidences, same match lists, same scores, in the same order.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/kb_generator.h"
+#include "datagen/phrase_dataset_generator.h"
+#include "datagen/workload.h"
+#include "nlp/lexicon.h"
+#include "paraphrase/dictionary_builder.h"
+#include "paraphrase/paraphrase_dictionary.h"
+#include "qa/ganswer.h"
+
+namespace ganswer {
+namespace {
+
+datagen::KbGenerator::GeneratedKb& Kb() {
+  static auto* kb = [] {
+    datagen::KbGenerator::Options opt;
+    opt.num_families = 80;
+    opt.num_films = 60;
+    opt.num_cities = 30;
+    opt.num_companies = 30;
+    auto generated = datagen::KbGenerator::Generate(opt);
+    EXPECT_TRUE(generated.ok());
+    return new datagen::KbGenerator::GeneratedKb(std::move(generated).value());
+  }();
+  return *kb;
+}
+
+std::vector<paraphrase::RelationPhrase> Dataset() {
+  datagen::PhraseDatasetGenerator::Options opt;
+  opt.num_filler_phrases = 25;
+  auto phrases = datagen::PhraseDatasetGenerator::Generate(Kb(), opt);
+  return datagen::PhraseDatasetGenerator::StripGold(phrases);
+}
+
+void MineWith(int threads, paraphrase::ParaphraseDictionary* dict,
+              paraphrase::DictionaryBuilder::BuildStats* stats) {
+  paraphrase::DictionaryBuilder::Options opt;
+  opt.max_path_length = 3;
+  opt.exec.threads = threads;
+  paraphrase::DictionaryBuilder builder(opt);
+  ASSERT_TRUE(builder.Build(Kb().graph, Dataset(), dict, stats).ok());
+}
+
+TEST(ParallelDeterminismTest, MinedDictionaryIdenticalAcrossThreadCounts) {
+  nlp::Lexicon lex1, lex4;
+  paraphrase::ParaphraseDictionary serial(&lex1), parallel(&lex4);
+  paraphrase::DictionaryBuilder::BuildStats s1, s4;
+  MineWith(1, &serial, &s1);
+  MineWith(4, &parallel, &s4);
+
+  EXPECT_EQ(s1.pairs_total, s4.pairs_total);
+  EXPECT_EQ(s1.pairs_in_graph, s4.pairs_in_graph);
+  EXPECT_EQ(s1.paths_enumerated, s4.paths_enumerated);
+
+  ASSERT_EQ(serial.NumPhrases(), parallel.NumPhrases());
+  ASSERT_GT(serial.NumPhrases(), 0u);
+  size_t phrases_with_entries = 0;
+  for (paraphrase::PhraseId id = 0; id < serial.NumPhrases(); ++id) {
+    EXPECT_EQ(serial.PhraseText(id), parallel.PhraseText(id));
+    const auto& a = serial.Entries(id);
+    const auto& b = parallel.Entries(id);
+    ASSERT_EQ(a.size(), b.size()) << "phrase " << serial.PhraseText(id);
+    if (!a.empty()) ++phrases_with_entries;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].path, b[i].path)
+          << "phrase " << serial.PhraseText(id) << " entry " << i;
+      EXPECT_EQ(a[i].confidence, b[i].confidence)
+          << "phrase " << serial.PhraseText(id) << " entry " << i;
+    }
+  }
+  EXPECT_GT(phrases_with_entries, 0u) << "mining produced nothing to compare";
+}
+
+struct QaWorld {
+  nlp::Lexicon lexicon;
+  paraphrase::ParaphraseDictionary dict;
+  std::vector<datagen::GoldQuestion> workload;
+  QaWorld() : dict(&lexicon) {
+    paraphrase::DictionaryBuilder::Options opt;
+    opt.max_path_length = 3;
+    paraphrase::DictionaryBuilder builder(opt);
+    EXPECT_TRUE(builder.Build(Kb().graph, Dataset(), &dict).ok());
+    workload = datagen::WorkloadGenerator::Generate(Kb(), {});
+  }
+};
+
+QaWorld& World() {
+  static auto* world = new QaWorld();
+  return *world;
+}
+
+void ExpectSameResponse(const StatusOr<qa::GAnswer::Response>& a,
+                        const StatusOr<qa::GAnswer::Response>& b,
+                        const std::string& question) {
+  ASSERT_EQ(a.ok(), b.ok()) << question;
+  if (!a.ok()) return;
+  EXPECT_EQ(a->is_ask, b->is_ask) << question;
+  EXPECT_EQ(a->ask_result, b->ask_result) << question;
+  ASSERT_EQ(a->matches.size(), b->matches.size()) << question;
+  for (size_t i = 0; i < a->matches.size(); ++i) {
+    EXPECT_EQ(a->matches[i].assignment, b->matches[i].assignment) << question;
+    EXPECT_EQ(a->matches[i].score, b->matches[i].score) << question;
+  }
+  ASSERT_EQ(a->answers.size(), b->answers.size()) << question;
+  for (size_t i = 0; i < a->answers.size(); ++i) {
+    EXPECT_EQ(a->answers[i].term, b->answers[i].term) << question;
+    EXPECT_EQ(a->answers[i].text, b->answers[i].text) << question;
+    EXPECT_EQ(a->answers[i].score, b->answers[i].score) << question;
+  }
+}
+
+TEST(ParallelDeterminismTest, TopKMatchesIdenticalAcrossThreadCounts) {
+  QaWorld& w = World();
+  qa::GAnswer::Options serial_opt;
+  serial_opt.matching.exec.threads = 1;
+  qa::GAnswer::Options parallel_opt;
+  parallel_opt.matching.exec.threads = 4;
+  qa::GAnswer serial(&Kb().graph, &w.lexicon, &w.dict, serial_opt);
+  qa::GAnswer parallel(&Kb().graph, &w.lexicon, &w.dict, parallel_opt);
+
+  ASSERT_FALSE(w.workload.empty());
+  size_t asked = 0;
+  size_t answered = 0;
+  for (const datagen::GoldQuestion& q : w.workload) {
+    if (++asked > 20) break;
+    auto a = serial.Ask(q.text);
+    auto b = parallel.Ask(q.text);
+    ExpectSameResponse(a, b, q.text);
+    if (a.ok() && !a->answers.empty()) ++answered;
+  }
+  EXPECT_GT(answered, 0u) << "no question produced answers to compare";
+}
+
+TEST(ParallelDeterminismTest, BatchAnswerMatchesSerialAsk) {
+  QaWorld& w = World();
+  qa::GAnswer::Options serial_opt;
+  serial_opt.matching.exec.threads = 1;
+  qa::GAnswer serial(&Kb().graph, &w.lexicon, &w.dict, serial_opt);
+
+  qa::GAnswer::Options batch_opt;
+  batch_opt.exec.threads = 4;
+  batch_opt.matching.exec.threads = 1;
+  qa::GAnswer batch(&Kb().graph, &w.lexicon, &w.dict, batch_opt);
+
+  std::vector<std::string> questions;
+  for (const datagen::GoldQuestion& q : w.workload) {
+    questions.push_back(q.text);
+    if (questions.size() >= 16) break;
+  }
+  ASSERT_FALSE(questions.empty());
+
+  auto results = batch.BatchAnswer(questions);
+  ASSERT_EQ(results.size(), questions.size());
+  for (size_t i = 0; i < questions.size(); ++i) {
+    auto expected = serial.Ask(questions[i]);
+    ExpectSameResponse(expected, results[i], questions[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ganswer
