@@ -1,0 +1,190 @@
+// Build-once, serve-many: the snapshot workflow for production startups.
+//
+//   ./build/examples/snapshot_server build kb.snap   # offline, pay once
+//   ./build/examples/snapshot_server serve kb.snap   # online, starts cold
+//   ./build/examples/snapshot_server demo            # both, self-contained
+//
+// `build` runs the full offline phase on the generated demo KB — mining
+// the paraphrase dictionary (Algorithm 1) and constructing the entity and
+// signature indexes — then writes everything into one versioned,
+// checksummed snapshot file. `serve` loads that file with bulk reads (no
+// re-interning, no re-indexing), wires the prebuilt indexes straight into
+// GAnswer with the question cache on, and answers questions from stdin.
+// `demo` runs build then serve-with-canned-questions and reports the
+// rebuild-vs-load timings and the cache counters.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/timer.h"
+#include "datagen/kb_generator.h"
+#include "datagen/phrase_dataset_generator.h"
+#include "linking/entity_index.h"
+#include "nlp/lexicon.h"
+#include "paraphrase/dictionary_builder.h"
+#include "qa/ganswer.h"
+#include "rdf/signature_index.h"
+#include "store/snapshot.h"
+
+using namespace ganswer;
+
+namespace {
+
+// The offline phase: demo KB + mined-and-verified dictionary + indexes,
+// serialized into `path`. Returns the wall-clock cost of the rebuild work
+// the snapshot will replace.
+int BuildSnapshot(const std::string& path, double* rebuild_ms) {
+  WallTimer timer;
+  auto kb = datagen::KbGenerator::Generate({});
+  if (!kb.ok()) {
+    std::fprintf(stderr, "KB generation failed: %s\n",
+                 kb.status().ToString().c_str());
+    return 1;
+  }
+  auto phrases = datagen::PhraseDatasetGenerator::Generate(*kb, {});
+  auto dataset = datagen::PhraseDatasetGenerator::StripGold(phrases);
+
+  nlp::Lexicon lexicon;
+  paraphrase::ParaphraseDictionary mined(&lexicon);
+  paraphrase::DictionaryBuilder::Options mopt;
+  mopt.max_path_length = 3;
+  paraphrase::DictionaryBuilder builder(mopt);
+  Status st = builder.Build(kb->graph, dataset, &mined);
+  if (!st.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  paraphrase::ParaphraseDictionary verified(&lexicon);
+  datagen::VerifyDictionary(phrases, kb->graph, mined, &verified);
+
+  rdf::SignatureIndex signatures(kb->graph);
+  linking::EntityIndex entity_index(kb->graph);
+  if (rebuild_ms != nullptr) *rebuild_ms = timer.ElapsedMillis();
+
+  std::string bytes;
+  store::SnapshotStats stats;
+  st = store::WriteSnapshot(kb->graph, signatures, entity_index, verified,
+                            &bytes, &stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "snapshot write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %.2f MB (graph %zu B, signatures %zu B, "
+              "entity index %zu B, dictionary %zu B), fingerprint %016llx\n",
+              path.c_str(), stats.total_bytes / (1024.0 * 1024.0),
+              stats.graph_bytes, stats.signature_bytes,
+              stats.entity_index_bytes, stats.dictionary_bytes,
+              static_cast<unsigned long long>(stats.fingerprint));
+  return 0;
+}
+
+struct Server {
+  nlp::Lexicon lexicon;
+  store::Snapshot snapshot;
+  std::unique_ptr<qa::GAnswer> system;
+  double load_ms = 0;
+};
+
+// The online phase: one snapshot read, zero rebuilds, cache on.
+int StartServer(const std::string& path, Server* server) {
+  WallTimer timer;
+  auto snapshot = store::ReadSnapshotFile(path, &server->lexicon);
+  server->load_ms = timer.ElapsedMillis();
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  server->snapshot = std::move(snapshot).value();
+
+  qa::GAnswer::Options opt;
+  opt.entity_index = server->snapshot.entity_index.get();
+  opt.matching.signatures = server->snapshot.signatures.get();
+  opt.snapshot_identity = server->snapshot.fingerprint;
+  opt.question_cache_capacity = 1024;
+  server->system = std::make_unique<qa::GAnswer>(
+      server->snapshot.graph.get(), &server->lexicon,
+      server->snapshot.dictionary.get(), opt);
+  std::printf("serving %zu triples, snapshot loaded in %.2f ms\n",
+              server->snapshot.graph->NumTriples(), server->load_ms);
+  return 0;
+}
+
+void AnswerOne(const qa::GAnswer& system, const std::string& q) {
+  auto r = system.Ask(q);
+  if (!r.ok()) {
+    std::printf("  error: %s\n", r.status().ToString().c_str());
+    return;
+  }
+  std::printf("Q: %s%s\n", q.c_str(), r->cache_hit ? "   [cache hit]" : "");
+  if (r->is_ask) {
+    std::printf("  %s\n", r->ask_result ? "yes" : "no");
+  } else if (r->answers.empty()) {
+    std::printf("  (no answers)\n");
+  } else {
+    for (const auto& a : r->answers) {
+      std::printf("  %s  (%.3f)\n", a.text.c_str(), a.score);
+    }
+  }
+  std::printf("  understanding %.2f ms, matching %.2f ms\n",
+              r->understanding_ms, r->evaluation_ms);
+}
+
+int RunDemo() {
+  const std::string path = "snapshot_server_demo.snap";
+  double rebuild_ms = 0;
+  if (int rc = BuildSnapshot(path, &rebuild_ms); rc != 0) return rc;
+
+  Server server;
+  if (int rc = StartServer(path, &server); rc != 0) return rc;
+  std::printf("offline rebuild was %.1f ms -> %.0fx faster startup\n\n",
+              rebuild_ms,
+              server.load_ms > 0 ? rebuild_ms / server.load_ms : 0.0);
+
+  const char* questions[] = {
+      "Who is the mayor of Berlin ?",
+      "What is the capital of Canada ?",
+      "Who is the mayor of Berlin ?",  // repeat: served from the cache
+  };
+  for (const char* q : questions) AnswerOne(*server.system, q);
+
+  auto stats = server.system->cache_stats();
+  std::printf("\ncache: %llu hits, %llu misses, %zu entries\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses), stats.entries);
+  std::remove(path.c_str());
+  return stats.hits >= 1 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "build") == 0) {
+    return BuildSnapshot(argv[2], nullptr);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "serve") == 0) {
+    Server server;
+    if (int rc = StartServer(argv[2], &server); rc != 0) return rc;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) AnswerOne(*server.system, line);
+    }
+    return 0;
+  }
+  if (argc == 1 || std::strcmp(argv[1], "demo") == 0) {
+    return RunDemo();
+  }
+  std::fprintf(stderr,
+               "usage: %s build FILE | serve FILE | demo\n", argv[0]);
+  return 2;
+}

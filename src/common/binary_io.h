@@ -1,0 +1,126 @@
+#ifndef GANSWER_COMMON_BINARY_IO_H_
+#define GANSWER_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ganswer {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib one) of \p n bytes. Chain blocks
+/// by passing the previous result as \p seed.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// \brief Append-only binary encoder backing the snapshot subsystem.
+///
+/// Fixed-width integers are written little-endian via memcpy (the snapshot
+/// header carries a byte-order mark, so a snapshot written on a weird
+/// platform is rejected rather than misread). Counts and lengths use LEB128
+/// varints. Vectors of trivially-copyable structs are written as one
+/// contiguous memcpy so the matching read is a single bulk copy.
+class BinaryWriter {
+ public:
+  void WriteU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteVarint(uint64_t v) {
+    while (v >= 0x80) {
+      WriteU8(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    WriteU8(static_cast<uint8_t>(v));
+  }
+
+  /// Varint length + raw bytes.
+  void WriteString(std::string_view s) {
+    WriteVarint(s.size());
+    WriteRaw(s.data(), s.size());
+  }
+
+  /// Varint count + one contiguous memcpy of the elements.
+  template <typename T>
+  void WritePodVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteVarint(v.size());
+    WriteRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Varint count + bit-packed payload (vector<bool> has no contiguous
+  /// storage to memcpy).
+  void WriteBoolVector(const std::vector<bool>& v);
+
+  size_t size() const { return buffer_.size(); }
+  const std::string& buffer() const { return buffer_; }
+  std::string Release() { return std::move(buffer_); }
+
+ private:
+  void WriteRaw(const void* data, size_t n) {
+    buffer_.append(static_cast<const char*>(data), n);
+  }
+
+  std::string buffer_;
+};
+
+/// \brief Bounds-checked binary decoder over a caller-owned byte range.
+///
+/// Every read validates the remaining length first and fails with
+/// Status::Corruption instead of reading past the end, so a truncated or
+/// garbage snapshot can never crash the loader. Element counts are checked
+/// against the bytes actually remaining before any allocation, so a corrupt
+/// count cannot trigger a huge resize.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Status ReadU8(uint8_t* out);
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadDouble(double* out);
+  Status ReadVarint(uint64_t* out);
+  Status ReadString(std::string* out);
+  /// Zero-copy view of the next length-prefixed string; valid while the
+  /// underlying bytes live.
+  Status ReadStringView(std::string_view* out);
+
+  template <typename T>
+  Status ReadPodVector(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    GANSWER_RETURN_NOT_OK(ReadVarint(&count));
+    if (count > remaining() / sizeof(T)) {
+      return Status::Corruption("vector count exceeds remaining bytes");
+    }
+    out->resize(count);
+    std::memcpy(out->data(), data_.data() + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+    return Status::Ok();
+  }
+
+  Status ReadBoolVector(std::vector<bool>* out);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n) {
+    if (n > remaining()) {
+      return Status::Corruption("truncated input: need " + std::to_string(n) +
+                                " bytes, have " + std::to_string(remaining()));
+    }
+    return Status::Ok();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ganswer
+
+#endif  // GANSWER_COMMON_BINARY_IO_H_

@@ -1,0 +1,135 @@
+#ifndef GANSWER_COMMON_LRU_CACHE_H_
+#define GANSWER_COMMON_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ganswer {
+
+/// \brief Thread-safe sharded LRU cache, string keys to shared immutable
+/// values.
+///
+/// Keys hash to one of `shards` independent LRU lists, each behind its own
+/// mutex, so concurrent lookups from a BatchAnswer fan-out contend only
+/// when they land on the same shard. Values are handed out as
+/// shared_ptr<const V>: a hit never copies the value under the lock, and an
+/// entry evicted while a reader still holds it stays alive until the reader
+/// drops it.
+template <typename V>
+class ShardedLruCache {
+ public:
+  struct Options {
+    /// Total entry capacity across all shards (rounded up to shards).
+    size_t capacity = 1024;
+    size_t shards = 8;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+
+  explicit ShardedLruCache(Options options) : options_(options) {
+    if (options_.shards == 0) options_.shards = 1;
+    if (options_.capacity < options_.shards) {
+      options_.capacity = options_.shards;
+    }
+    per_shard_capacity_ = options_.capacity / options_.shards;
+    if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+    shards_ = std::vector<Shard>(options_.shards);
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// The cached value for \p key, moved to most-recently-used, or nullptr.
+  std::shared_ptr<const V> Get(const std::string& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+  }
+
+  /// Inserts or replaces \p key, evicting the least-recently-used entry of
+  /// the key's shard when that shard is full.
+  void Put(const std::string& key, V value) {
+    auto holder = std::make_shared<const V>(std::move(value));
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(holder);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    shard.lru.emplace_front(key, std::move(holder));
+    shard.index.emplace(key, shard.lru.begin());
+    if (shard.lru.size() > per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Drops every entry (hit/miss/eviction counters are kept).
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.index.clear();
+      shard.lru.clear();
+    }
+  }
+
+  Stats stats() const {
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      s.entries += shard.lru.size();
+    }
+    return s;
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const V>>;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, typename std::list<Entry>::iterator> index;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  Options options_;
+  size_t per_shard_capacity_ = 1;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace ganswer
+
+#endif  // GANSWER_COMMON_LRU_CACHE_H_

@@ -4,6 +4,7 @@
 
 #include <cstring>
 
+#include "common/binary_io.h"
 #include "common/string_util.h"
 
 namespace ganswer {
@@ -25,6 +26,7 @@ EntityIndex::EntityIndex(const rdf::RdfGraph& graph) : graph_(graph) {
     if (!graph.IsEntity(v) && !graph.IsClass(v)) continue;
     IndexVertex(v);
   }
+  FinalizePostings();
 }
 
 void EntityIndex::IndexVertex(rdf::TermId v) {
@@ -50,18 +52,100 @@ void EntityIndex::AddLabel(rdf::TermId v, std::string_view raw_label) {
   }
   auto& labels = labels_of_[v];
   if (std::find(labels.begin(), labels.end(), norm) != labels.end()) return;
-  labels.push_back(norm);
 
-  auto& exact = by_label_[norm];
-  if (std::find(exact.begin(), exact.end(), v) == exact.end()) {
-    exact.push_back(v);
-  }
+  by_label_[norm].push_back(v);
   for (const std::string& token : SplitWhitespace(norm)) {
-    auto& list = by_token_[token];
-    if (std::find(list.begin(), list.end(), v) == list.end()) {
-      list.push_back(v);
+    by_token_[token].push_back(v);
+  }
+  labels.push_back(std::move(norm));
+}
+
+void EntityIndex::FinalizePostings() {
+  for (auto& [label, list] : by_label_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  for (auto& [token, list] : by_token_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+}
+
+void EntityIndex::SaveBinary(BinaryWriter* out) const {
+  auto write_postings =
+      [&](const std::unordered_map<std::string, std::vector<rdf::TermId>>& m) {
+        std::vector<const std::string*> keys;
+        keys.reserve(m.size());
+        for (const auto& [key, list] : m) keys.push_back(&key);
+        std::sort(keys.begin(), keys.end(),
+                  [](const std::string* a, const std::string* b) {
+                    return *a < *b;
+                  });
+        out->WriteVarint(keys.size());
+        for (const std::string* key : keys) {
+          out->WriteString(*key);
+          out->WritePodVector(m.at(*key));
+        }
+      };
+  write_postings(by_label_);
+  write_postings(by_token_);
+
+  std::vector<rdf::TermId> vertices;
+  vertices.reserve(labels_of_.size());
+  for (const auto& [v, labels] : labels_of_) vertices.push_back(v);
+  std::sort(vertices.begin(), vertices.end());
+  out->WriteVarint(vertices.size());
+  for (rdf::TermId v : vertices) {
+    const std::vector<std::string>& labels = labels_of_.at(v);
+    out->WriteU32(v);
+    out->WriteVarint(labels.size());
+    for (const std::string& label : labels) out->WriteString(label);
+  }
+}
+
+StatusOr<std::unique_ptr<EntityIndex>> EntityIndex::LoadBinary(
+    const rdf::RdfGraph& graph, BinaryReader* in) {
+  auto index =
+      std::unique_ptr<EntityIndex>(new EntityIndex(graph, LoadTag{}));
+  auto read_postings =
+      [&](std::unordered_map<std::string, std::vector<rdf::TermId>>* m) {
+        uint64_t count = 0;
+        GANSWER_RETURN_NOT_OK(in->ReadVarint(&count));
+        m->reserve(count);
+        for (uint64_t i = 0; i < count; ++i) {
+          std::string key;
+          GANSWER_RETURN_NOT_OK(in->ReadString(&key));
+          std::vector<rdf::TermId> list;
+          GANSWER_RETURN_NOT_OK(in->ReadPodVector(&list));
+          if (!m->emplace(std::move(key), std::move(list)).second) {
+            return Status::Corruption("duplicate entity index key");
+          }
+        }
+        return Status::Ok();
+      };
+  GANSWER_RETURN_NOT_OK(read_postings(&index->by_label_));
+  GANSWER_RETURN_NOT_OK(read_postings(&index->by_token_));
+
+  uint64_t num_vertices = 0;
+  GANSWER_RETURN_NOT_OK(in->ReadVarint(&num_vertices));
+  index->labels_of_.reserve(num_vertices);
+  for (uint64_t i = 0; i < num_vertices; ++i) {
+    rdf::TermId v = rdf::kInvalidTerm;
+    GANSWER_RETURN_NOT_OK(in->ReadU32(&v));
+    if (v >= graph.dict().size()) {
+      return Status::Corruption("entity index vertex out of range");
+    }
+    uint64_t num_labels = 0;
+    GANSWER_RETURN_NOT_OK(in->ReadVarint(&num_labels));
+    std::vector<std::string>& labels = index->labels_of_[v];
+    labels.reserve(num_labels);
+    for (uint64_t j = 0; j < num_labels; ++j) {
+      std::string label;
+      GANSWER_RETURN_NOT_OK(in->ReadString(&label));
+      labels.push_back(std::move(label));
     }
   }
+  return index;
 }
 
 const std::vector<rdf::TermId>& EntityIndex::ExactMatches(

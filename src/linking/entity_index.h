@@ -1,11 +1,13 @@
 #ifndef GANSWER_LINKING_ENTITY_INDEX_H_
 #define GANSWER_LINKING_ENTITY_INDEX_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "rdf/rdf_graph.h"
 
 namespace ganswer {
@@ -38,9 +40,25 @@ class EntityIndex {
   const rdf::RdfGraph& graph() const { return graph_; }
   size_t NumIndexedVertices() const { return labels_of_.size(); }
 
+  /// Snapshot serialization of the three label maps, with deterministic key
+  /// order so identical indexes produce identical bytes.
+  void SaveBinary(BinaryWriter* out) const;
+  /// Restores an index over \p graph (the same graph the saved index was
+  /// built from; postings are restored verbatim, nothing is re-derived).
+  static StatusOr<std::unique_ptr<EntityIndex>> LoadBinary(
+      const rdf::RdfGraph& graph, BinaryReader* in);
+
  private:
+  struct LoadTag {};
+  EntityIndex(const rdf::RdfGraph& graph, LoadTag) : graph_(graph) {}
+
   void IndexVertex(rdf::TermId v);
   void AddLabel(rdf::TermId v, std::string_view raw_label);
+  /// Construction appends postings without duplicate checks (the scans were
+  /// quadratic on hub tokens); this one pass sort+uniques every postings
+  /// list. Insertion happens in ascending vertex order, so the sorted lists
+  /// equal the old first-occurrence order exactly.
+  void FinalizePostings();
 
   const rdf::RdfGraph& graph_;
   std::unordered_map<std::string, std::vector<rdf::TermId>> by_label_;

@@ -1,10 +1,39 @@
 #include "match/candidates.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <utility>
 
 namespace ganswer {
 namespace match {
+
+const std::vector<rdf::TermId>* EdgeMemo::FindExpand(const QueryEdge* edge,
+                                                     int side,
+                                                     rdf::TermId u) const {
+  auto it = expand_.find(ExpandKey{edge, side, u});
+  return it == expand_.end() ? nullptr : &it->second;
+}
+
+const std::vector<rdf::TermId>& EdgeMemo::StoreExpand(
+    const QueryEdge* edge, int side, rdf::TermId u,
+    std::vector<rdf::TermId> result) {
+  return expand_
+      .insert_or_assign(ExpandKey{edge, side, u}, std::move(result))
+      .first->second;
+}
+
+std::optional<bool> EdgeMemo::FindConnects(const paraphrase::PredicatePath* path,
+                                           bool reversed, rdf::TermId from,
+                                           rdf::TermId to) const {
+  auto it = connects_.find(ConnectsKey{path, reversed, from, to});
+  if (it == connects_.end()) return std::nullopt;
+  return it->second;
+}
+
+void EdgeMemo::StoreConnects(const paraphrase::PredicatePath* path,
+                             bool reversed, rdf::TermId from, rdf::TermId to,
+                             bool connects) {
+  connects_.insert_or_assign(ConnectsKey{path, reversed, from, to}, connects);
+}
 
 namespace {
 
@@ -134,7 +163,8 @@ std::optional<double> CandidateSpace::EdgeDelta(const rdf::RdfGraph& graph,
                                                 const QueryEdge& edge,
                                                 int qv_from,
                                                 rdf::TermId u_from,
-                                                rdf::TermId u_to) {
+                                                rdf::TermId u_to,
+                                                EdgeMemo* memo) {
   bool u_is_arg1 = qv_from == edge.from;
   if (edge.wildcard) {
     // Any direct predicate, either direction.
@@ -155,9 +185,24 @@ std::optional<double> CandidateSpace::EdgeDelta(const rdf::RdfGraph& graph,
       connects = graph.HasTriple(u_from, p, u_to) ||
                  graph.HasTriple(u_to, p, u_from);
     } else {
-      const PredicatePath oriented =
-          u_is_arg1 ? cand.path : cand.path.Reversed();
-      connects = paraphrase::PathConnects(graph, u_from, u_to, oriented);
+      // Multi-hop connectivity is the expensive probe (a walk per step);
+      // the memo keys it by the candidate path's identity plus the
+      // orientation actually walked.
+      const bool reversed = !u_is_arg1;
+      std::optional<bool> cached =
+          memo != nullptr
+              ? memo->FindConnects(&cand.path, reversed, u_from, u_to)
+              : std::nullopt;
+      if (cached.has_value()) {
+        connects = *cached;
+      } else {
+        const PredicatePath oriented =
+            u_is_arg1 ? cand.path : cand.path.Reversed();
+        connects = paraphrase::PathConnects(graph, u_from, u_to, oriented);
+        if (memo != nullptr) {
+          memo->StoreConnects(&cand.path, reversed, u_from, u_to, connects);
+        }
+      }
     }
     if (connects) best = cand.confidence;
   }
@@ -167,30 +212,35 @@ std::optional<double> CandidateSpace::EdgeDelta(const rdf::RdfGraph& graph,
 std::vector<rdf::TermId> CandidateSpace::Expand(const rdf::RdfGraph& graph,
                                                 const QueryEdge& edge,
                                                 int side, rdf::TermId u) {
-  std::unordered_set<rdf::TermId> seen;
+  // Collect everything, then one sort + unique: no per-call hash set, and
+  // the sorted output doubles as a canonical order for memoized reuse.
   std::vector<rdf::TermId> out;
-  auto add = [&](rdf::TermId v) {
-    if (seen.insert(v).second) out.push_back(v);
-  };
   if (edge.wildcard) {
-    for (const rdf::Edge& e : graph.OutEdges(u)) add(e.neighbor);
-    for (const rdf::Edge& e : graph.InEdges(u)) add(e.neighbor);
-    return out;
-  }
-  bool u_is_arg1 = side == edge.from;
-  for (const paraphrase::ParaphraseEntry& cand : edge.candidates) {
-    if (cand.path.IsSinglePredicate()) {
-      rdf::TermId p = cand.path.steps[0].predicate;
-      for (rdf::TermId v : graph.Objects(u, p)) add(v);
-      for (rdf::TermId v : graph.Subjects(p, u)) add(v);
-    } else {
-      const PredicatePath oriented =
-          u_is_arg1 ? cand.path : cand.path.Reversed();
-      for (rdf::TermId v : paraphrase::PathEndpoints(graph, u, oriented)) {
-        add(v);
+    auto outs = graph.OutEdges(u);
+    auto ins = graph.InEdges(u);
+    out.reserve(outs.size() + ins.size());
+    for (const rdf::Edge& e : outs) out.push_back(e.neighbor);
+    for (const rdf::Edge& e : ins) out.push_back(e.neighbor);
+  } else {
+    bool u_is_arg1 = side == edge.from;
+    for (const paraphrase::ParaphraseEntry& cand : edge.candidates) {
+      if (cand.path.IsSinglePredicate()) {
+        rdf::TermId p = cand.path.steps[0].predicate;
+        auto objects = graph.Objects(u, p);
+        out.insert(out.end(), objects.begin(), objects.end());
+        auto subjects = graph.Subjects(p, u);
+        out.insert(out.end(), subjects.begin(), subjects.end());
+      } else {
+        const PredicatePath oriented =
+            u_is_arg1 ? cand.path : cand.path.Reversed();
+        std::vector<rdf::TermId> ends =
+            paraphrase::PathEndpoints(graph, u, oriented);
+        out.insert(out.end(), ends.begin(), ends.end());
       }
     }
   }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

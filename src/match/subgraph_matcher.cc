@@ -11,8 +11,8 @@ namespace match {
 
 SubgraphMatcher::SubgraphMatcher(const rdf::RdfGraph* graph,
                                  const QueryGraph* query,
-                                 const CandidateSpace* space)
-    : graph_(graph), query_(query), space_(space) {}
+                                 const CandidateSpace* space, EdgeMemo* memo)
+    : graph_(graph), query_(query), space_(space), memo_(memo) {}
 
 SubgraphMatcher::SearchPlan SubgraphMatcher::PlanFrom(int anchor_qv) const {
   SearchPlan plan;
@@ -68,7 +68,8 @@ double SubgraphMatcher::ScoreAssignment(
     rdf::TermId uf = assignment[edge.from];
     rdf::TermId ut = assignment[edge.to];
     if (uf == rdf::kInvalidTerm || ut == rdf::kInvalidTerm) continue;
-    auto delta = CandidateSpace::EdgeDelta(*graph_, edge, edge.from, uf, ut);
+    auto delta =
+        CandidateSpace::EdgeDelta(*graph_, edge, edge.from, uf, ut, memo_);
     if (!delta.has_value() || *delta <= 0) return -1e18;
     score += std::log(*delta);
   }
@@ -112,10 +113,26 @@ void SubgraphMatcher::FindMatchesFrom(int anchor_qv, rdf::TermId anchor_u,
     int matched_side =
         first_edge.from == qv ? first_edge.to : first_edge.from;
     rdf::TermId matched_u = assignment[matched_side];
-    std::vector<rdf::TermId> neighbors =
-        CandidateSpace::Expand(*graph_, first_edge, matched_side, matched_u);
+    // Neighbor expansion is the hot inner walk; with a memo each distinct
+    // (edge, side, u) triple is computed once per Ask and then served as a
+    // reference into the memo (values are stable across rehashes).
+    std::vector<rdf::TermId> scratch;
+    const std::vector<rdf::TermId>* neighbors;
+    if (memo_ != nullptr) {
+      neighbors = memo_->FindExpand(&first_edge, matched_side, matched_u);
+      if (neighbors == nullptr) {
+        neighbors = &memo_->StoreExpand(
+            &first_edge, matched_side, matched_u,
+            CandidateSpace::Expand(*graph_, first_edge, matched_side,
+                                   matched_u));
+      }
+    } else {
+      scratch =
+          CandidateSpace::Expand(*graph_, first_edge, matched_side, matched_u);
+      neighbors = &scratch;
+    }
 
-    for (rdf::TermId u : neighbors) {
+    for (rdf::TermId u : *neighbors) {
       ++stats_.expansions;
       if (!space_->VertexDelta(qv, u).has_value()) continue;
       // Injectivity: subgraph isomorphism maps query vertices to distinct
@@ -126,7 +143,7 @@ void SubgraphMatcher::FindMatchesFrom(int anchor_qv, rdf::TermId anchor_u,
         const QueryEdge& e = query_->edges[back[bi]];
         int other = e.from == qv ? e.to : e.from;
         edges_ok = CandidateSpace::EdgeDelta(*graph_, e, other,
-                                             assignment[other], u)
+                                             assignment[other], u, memo_)
                        .has_value();
       }
       if (!edges_ok) continue;

@@ -26,9 +26,13 @@ class SubgraphMatcher {
     size_t complete_matches = 0;
   };
 
-  /// \p graph, \p query and \p space must outlive the matcher.
+  /// \p graph, \p query and \p space must outlive the matcher. \p memo,
+  /// when non-null, caches Expand() neighbor lists and multi-hop
+  /// connectivity probes across anchored searches over the same query —
+  /// pass the same memo to successive matchers (from one thread at a time)
+  /// so later TA rounds reuse the earlier rounds' walks.
   SubgraphMatcher(const rdf::RdfGraph* graph, const QueryGraph* query,
-                  const CandidateSpace* space);
+                  const CandidateSpace* space, EdgeMemo* memo = nullptr);
 
   /// Appends to \p out every match whose query vertex \p anchor_qv maps to
   /// graph vertex \p anchor_u, stopping after \p limit matches (0 = no
@@ -55,6 +59,7 @@ class SubgraphMatcher {
   const rdf::RdfGraph* graph_;
   const QueryGraph* query_;
   const CandidateSpace* space_;
+  EdgeMemo* memo_;
   mutable Stats stats_;
 };
 

@@ -80,6 +80,12 @@ StatusOr<std::vector<Match>> TopKMatcher::FindTopK(const QueryGraph& query,
       return std::vector<Match>{};
     }
     std::vector<size_t> cursor(cursor_vertex.size(), 0);
+    // One edge memo per cursor, persisting across TA rounds: round r+1's
+    // anchored search down a list re-walks much of round r's neighborhood,
+    // and the memo turns those repeats into hash lookups. Each round spawns
+    // at most one task per cursor, so a memo is only ever touched by one
+    // worker thread at a time.
+    std::vector<EdgeMemo> memos(cursor_vertex.size());
 
     std::set<std::vector<rdf::TermId>> seen;
     double edge_best_sum = BestEdgeLogSum(query);
@@ -119,6 +125,7 @@ StatusOr<std::vector<Match>> TopKMatcher::FindTopK(const QueryGraph& query,
       struct AnchorTask {
         int qv;
         rdf::TermId anchor;
+        size_t ci;  // owning cursor; selects the task's persistent memo
       };
       std::vector<AnchorTask> tasks;
       for (size_t ci = 0; ci < cursor_vertex.size(); ++ci) {
@@ -126,13 +133,13 @@ StatusOr<std::vector<Match>> TopKMatcher::FindTopK(const QueryGraph& query,
         const auto& items = space.domain(qv).items;
         if (cursor[ci] >= items.size()) continue;
         progress = true;
-        tasks.push_back({qv, items[cursor[ci]].vertex});
+        tasks.push_back({qv, items[cursor[ci]].vertex, ci});
       }
 
       std::vector<std::vector<Match>> found(tasks.size());
       std::vector<size_t> expansions(tasks.size(), 0);
       auto run_task = [&](size_t t) {
-        SubgraphMatcher matcher(graph_, &query, &space);
+        SubgraphMatcher matcher(graph_, &query, &space, &memos[tasks[t].ci]);
         matcher.FindMatchesFrom(tasks[t].qv, tasks[t].anchor,
                                 options_.max_matches_per_anchor, &found[t]);
         expansions[t] = matcher.stats().expansions;

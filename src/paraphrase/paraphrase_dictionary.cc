@@ -1,11 +1,13 @@
 #include "paraphrase/paraphrase_dictionary.h"
 
 #include <algorithm>
+#include <charconv>
 #include <istream>
 #include <ostream>
 #include <set>
 #include <sstream>
 
+#include "common/binary_io.h"
 #include "common/string_util.h"
 
 namespace ganswer {
@@ -67,6 +69,105 @@ void ParaphraseDictionary::NormalizeConfidences() {
   }
 }
 
+void ParaphraseDictionary::SaveBinary(BinaryWriter* out) const {
+  out->WriteVarint(phrases_.size());
+  for (const PhraseRecord& rec : phrases_) {
+    out->WriteString(rec.text);
+    out->WriteVarint(rec.lemmas.size());
+    for (const std::string& lemma : rec.lemmas) out->WriteString(lemma);
+    out->WriteVarint(rec.entries.size());
+    for (const ParaphraseEntry& e : rec.entries) {
+      out->WriteDouble(e.confidence);
+      out->WriteVarint(e.path.steps.size());
+      for (const PathStep& s : e.path.steps) {
+        out->WriteU32(s.predicate);
+        out->WriteU8(s.forward ? 1 : 0);
+      }
+    }
+  }
+  // Lemma inverted index, keys sorted for deterministic bytes. by_text_ is
+  // not written: it is exactly phrase text -> phrase id.
+  std::vector<const std::string*> lemmas;
+  lemmas.reserve(inverted_.size());
+  for (const auto& [lemma, ids] : inverted_) lemmas.push_back(&lemma);
+  std::sort(lemmas.begin(), lemmas.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  out->WriteVarint(lemmas.size());
+  for (const std::string* lemma : lemmas) {
+    out->WriteString(*lemma);
+    out->WritePodVector(inverted_.at(*lemma));
+  }
+}
+
+Status ParaphraseDictionary::LoadBinary(BinaryReader* in, size_t num_terms) {
+  phrases_.clear();
+  by_text_.clear();
+  inverted_.clear();
+
+  uint64_t num_phrases = 0;
+  GANSWER_RETURN_NOT_OK(in->ReadVarint(&num_phrases));
+  phrases_.reserve(num_phrases);
+  by_text_.reserve(num_phrases);
+  for (uint64_t i = 0; i < num_phrases; ++i) {
+    PhraseRecord rec;
+    GANSWER_RETURN_NOT_OK(in->ReadString(&rec.text));
+    uint64_t num_lemmas = 0;
+    GANSWER_RETURN_NOT_OK(in->ReadVarint(&num_lemmas));
+    rec.lemmas.reserve(num_lemmas);
+    for (uint64_t j = 0; j < num_lemmas; ++j) {
+      std::string lemma;
+      GANSWER_RETURN_NOT_OK(in->ReadString(&lemma));
+      rec.lemmas.push_back(std::move(lemma));
+    }
+    uint64_t num_entries = 0;
+    GANSWER_RETURN_NOT_OK(in->ReadVarint(&num_entries));
+    rec.entries.reserve(num_entries);
+    for (uint64_t j = 0; j < num_entries; ++j) {
+      ParaphraseEntry entry;
+      GANSWER_RETURN_NOT_OK(in->ReadDouble(&entry.confidence));
+      uint64_t num_steps = 0;
+      GANSWER_RETURN_NOT_OK(in->ReadVarint(&num_steps));
+      entry.path.steps.reserve(num_steps);
+      for (uint64_t s = 0; s < num_steps; ++s) {
+        PathStep step;
+        GANSWER_RETURN_NOT_OK(in->ReadU32(&step.predicate));
+        uint8_t forward = 0;
+        GANSWER_RETURN_NOT_OK(in->ReadU8(&forward));
+        step.forward = forward != 0;
+        if (step.predicate >= num_terms) {
+          return Status::Corruption("paraphrase path predicate out of range");
+        }
+        entry.path.steps.push_back(step);
+      }
+      rec.entries.push_back(std::move(entry));
+    }
+    if (!by_text_.emplace(rec.text, static_cast<PhraseId>(i)).second) {
+      return Status::Corruption("duplicate paraphrase phrase '" + rec.text +
+                                "'");
+    }
+    phrases_.push_back(std::move(rec));
+  }
+
+  uint64_t num_inverted = 0;
+  GANSWER_RETURN_NOT_OK(in->ReadVarint(&num_inverted));
+  inverted_.reserve(num_inverted);
+  for (uint64_t i = 0; i < num_inverted; ++i) {
+    std::string lemma;
+    GANSWER_RETURN_NOT_OK(in->ReadString(&lemma));
+    std::vector<PhraseId> ids;
+    GANSWER_RETURN_NOT_OK(in->ReadPodVector(&ids));
+    for (PhraseId id : ids) {
+      if (id >= phrases_.size()) {
+        return Status::Corruption("inverted index phrase id out of range");
+      }
+    }
+    if (!inverted_.emplace(std::move(lemma), std::move(ids)).second) {
+      return Status::Corruption("duplicate inverted index lemma");
+    }
+  }
+  return Status::Ok();
+}
+
 Status ParaphraseDictionary::Save(std::ostream* out,
                                   const rdf::TermDictionary& dict) const {
   if (out == nullptr) return Status::InvalidArgument("null stream");
@@ -104,8 +205,9 @@ Status ParaphraseDictionary::Load(std::istream* in, rdf::RdfGraph* graph) {
                                 std::to_string(line_no) +
                                 ": expected 3 tab-separated columns");
     }
-    if (!grouped.count(cols[0])) order.push_back(cols[0]);
-    auto& entries = grouped[cols[0]];
+    auto [group_it, first_seen] = grouped.try_emplace(std::move(cols[0]));
+    if (first_seen) order.push_back(group_it->first);
+    auto& entries = group_it->second;
     if (cols[1].empty()) continue;  // phrase with no mined paths
     ParaphraseEntry entry;
     for (const std::string& step_text : SplitWhitespace(cols[1])) {
@@ -120,9 +222,12 @@ Status ParaphraseDictionary::Load(std::istream* in, rdf::RdfGraph* graph) {
       step.predicate = graph->dict().Intern(step_text.substr(1));
       entry.path.steps.push_back(step);
     }
-    try {
-      entry.confidence = std::stod(cols[2]);
-    } catch (...) {
+    // std::from_chars: no exceptions, no locale, and a trailing-garbage
+    // check std::stod would silently accept.
+    std::string_view conf = Trim(cols[2]);
+    auto [end, ec] = std::from_chars(conf.data(), conf.data() + conf.size(),
+                                     entry.confidence);
+    if (ec != std::errc() || end != conf.data() + conf.size()) {
       return Status::Corruption("paraphrase dictionary line " +
                                 std::to_string(line_no) +
                                 ": bad confidence '" + cols[2] + "'");

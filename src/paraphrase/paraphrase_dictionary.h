@@ -13,6 +13,10 @@
 #include "paraphrase/predicate_path.h"
 
 namespace ganswer {
+
+class BinaryWriter;
+class BinaryReader;
+
 namespace paraphrase {
 
 /// One mined mapping: a predicate path with its confidence probability
@@ -77,6 +81,16 @@ class ParaphraseDictionary {
   /// that intern the same predicate names.
   Status Save(std::ostream* out, const rdf::TermDictionary& dict) const;
   Status Load(std::istream* in, rdf::RdfGraph* graph);
+
+  /// Snapshot serialization: phrase records (text, lemmas, entries with
+  /// predicate paths) plus the lemma inverted index. Predicate ids are raw
+  /// TermIds, so a binary dictionary is only valid together with the graph
+  /// it was saved with — the snapshot container keeps them paired.
+  void SaveBinary(BinaryWriter* out) const;
+  /// Replaces the contents with a previously saved dictionary. No
+  /// re-lemmatization or re-interning happens; \p num_terms bounds the
+  /// stored predicate ids (pass graph.dict().size()).
+  Status LoadBinary(BinaryReader* in, size_t num_terms);
 
  private:
   struct PhraseRecord {

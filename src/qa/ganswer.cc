@@ -1,6 +1,7 @@
 #include "qa/ganswer.h"
 
 #include <algorithm>
+#include <cctype>
 #include <unordered_map>
 
 #include "common/timer.h"
@@ -16,17 +17,59 @@ GAnswer::GAnswer(const rdf::RdfGraph* graph, const nlp::Lexicon* lexicon,
                  const paraphrase::ParaphraseDictionary* dict, Options options)
     : graph_(graph), options_(options) {
   parser_ = std::make_unique<nlp::DependencyParser>(*lexicon);
-  entity_index_ = std::make_unique<linking::EntityIndex>(*graph);
-  linker_ = std::make_unique<linking::EntityLinker>(entity_index_.get());
+  // Snapshot-served startup: prebuilt indexes skip the per-vertex rebuild
+  // passes entirely; the from-scratch path builds them as before.
+  const linking::EntityIndex* entity_index = options.entity_index;
+  if (entity_index == nullptr) {
+    entity_index_ = std::make_unique<linking::EntityIndex>(*graph);
+    entity_index = entity_index_.get();
+  }
+  linker_ = std::make_unique<linking::EntityLinker>(entity_index);
   understander_ = std::make_unique<QuestionUnderstander>(
       parser_.get(), dict, linker_.get(), options.understanding);
-  signatures_ = std::make_unique<rdf::SignatureIndex>(*graph);
   match::TopKMatcher::Options matching = options.matching;
   if (matching.signatures == nullptr) {
+    signatures_ = std::make_unique<rdf::SignatureIndex>(*graph);
     matching.signatures = signatures_.get();
   }
   matcher_ = std::make_unique<match::TopKMatcher>(graph, matching);
   superlatives_ = std::make_unique<SuperlativeResolver>(graph);
+  if (options.question_cache_capacity > 0) {
+    cache_ = std::make_unique<ShardedLruCache<Response>>(
+        ShardedLruCache<Response>::Options{options.question_cache_capacity,
+                                           options.question_cache_shards});
+  }
+}
+
+std::string GAnswer::CacheKey(std::string_view question) const {
+  // Normalized question text: lowercase, runs of whitespace collapsed to
+  // one space, leading/trailing whitespace dropped — "Who  likes X?" and
+  // "who likes X?" share an entry. The snapshot identity prefix makes
+  // entries from different offline data unservable by construction.
+  std::string key = std::to_string(options_.snapshot_identity);
+  key += '\x1f';
+  const size_t prefix_len = key.size();
+  bool pending_space = false;
+  for (char c : question) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = key.size() > prefix_len;
+      continue;
+    }
+    if (pending_space) {
+      key += ' ';
+      pending_space = false;
+    }
+    key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return key;
+}
+
+GAnswer::CacheStats GAnswer::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : CacheStats{};
+}
+
+void GAnswer::InvalidateCache() const {
+  if (cache_ != nullptr) cache_->Clear();
 }
 
 match::QueryGraph GAnswer::ToQueryGraph(const SemanticQueryGraph& sqg) const {
@@ -64,6 +107,24 @@ std::vector<StatusOr<GAnswer::Response>> GAnswer::BatchAnswer(
 }
 
 StatusOr<GAnswer::Response> GAnswer::Ask(std::string_view question) const {
+  if (cache_ == nullptr) return AskUncached(question);
+  std::string key = CacheKey(question);
+  if (std::shared_ptr<const Response> hit = cache_->Get(key)) {
+    // Served entirely from the cache: neither understanding nor matching
+    // ran, which the zeroed stage timers make observable.
+    Response resp = *hit;
+    resp.cache_hit = true;
+    resp.understanding_ms = 0;
+    resp.evaluation_ms = 0;
+    return resp;
+  }
+  StatusOr<Response> computed = AskUncached(question);
+  if (computed.ok()) cache_->Put(key, *computed);
+  return computed;
+}
+
+StatusOr<GAnswer::Response> GAnswer::AskUncached(
+    std::string_view question) const {
   Response resp;
   WallTimer timer;
 

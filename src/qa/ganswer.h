@@ -1,11 +1,13 @@
 #ifndef GANSWER_QA_GANSWER_H_
 #define GANSWER_QA_GANSWER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "linking/entity_index.h"
@@ -47,6 +49,22 @@ class GAnswer {
     /// controlled separately via matching.exec; batch-parallel callers
     /// usually pin matching.exec.threads = 1 to avoid oversubscription.
     ExecutionOptions exec;
+    /// Question-result cache capacity (entries). 0 disables the cache (the
+    /// default, preserving per-call behavior). When on, Ask() first probes
+    /// a sharded LRU keyed by the normalized question text and a hit is
+    /// served without running understanding or matching.
+    size_t question_cache_capacity = 0;
+    size_t question_cache_shards = 8;
+    /// Identity of the offline data this system serves (use the snapshot
+    /// fingerprint, store::Snapshot::fingerprint). Mixed into every cache
+    /// key, so entries cached against different snapshot contents can never
+    /// be served — the cache is invalidated by snapshot identity.
+    uint64_t snapshot_identity = 0;
+    /// Prebuilt entity index from a loaded snapshot; must be built over
+    /// *graph and outlive the system. When null the constructor builds one
+    /// (the from-scratch path). The analogous prebuilt SignatureIndex is
+    /// passed via matching.signatures.
+    const linking::EntityIndex* entity_index = nullptr;
   };
 
   /// Why a question produced no answers; used by failure analysis
@@ -68,6 +86,10 @@ class GAnswer {
   struct Response {
     bool is_ask = false;
     bool ask_result = false;
+    /// True when this response was served from the question cache without
+    /// invoking understanding or matching (the stage timers then measure
+    /// only the lookup, ≈ 0).
+    bool cache_hit = false;
     /// Set when the superlative extension rewrote the answer set.
     bool superlative_applied = false;
     /// Distinct bindings of the target vertex, best score first.
@@ -81,6 +103,9 @@ class GAnswer {
     double TotalMs() const { return understanding_ms + evaluation_ms; }
     match::TopKMatcher::RunStats match_stats;
   };
+
+  /// Hit/miss counters of the question cache, cumulative for the system.
+  using CacheStats = ShardedLruCache<Response>::Stats;
 
   /// \p graph (finalized), \p lexicon and \p dict must outlive the system.
   GAnswer(const rdf::RdfGraph* graph, const nlp::Lexicon* lexicon,
@@ -104,11 +129,23 @@ class GAnswer {
   /// Exposed for benchmarks that time the stages separately.
   match::QueryGraph ToQueryGraph(const SemanticQueryGraph& sqg) const;
 
+  /// Cumulative question-cache counters (all zero when the cache is off).
+  CacheStats cache_stats() const;
+  /// Drops every cached response; call after the underlying offline data
+  /// changes identity. Thread-safe.
+  void InvalidateCache() const;
+  /// The cache key Ask() uses for \p question: lowercased, whitespace-
+  /// collapsed, prefixed with the snapshot identity.
+  std::string CacheKey(std::string_view question) const;
+
   const rdf::RdfGraph& graph() const { return *graph_; }
   const QuestionUnderstander& understander() const { return *understander_; }
   const Options& options() const { return options_; }
 
  private:
+  /// The uncached pipeline behind Ask(): understanding + matching.
+  StatusOr<Response> AskUncached(std::string_view question) const;
+
   const rdf::RdfGraph* graph_;
   Options options_;
   std::unique_ptr<nlp::DependencyParser> parser_;
@@ -118,6 +155,9 @@ class GAnswer {
   std::unique_ptr<match::TopKMatcher> matcher_;
   std::unique_ptr<SuperlativeResolver> superlatives_;
   std::unique_ptr<rdf::SignatureIndex> signatures_;
+  /// Online-path result cache; null when question_cache_capacity == 0.
+  /// Mutable: Ask() is logically const and the cache is internally locked.
+  mutable std::unique_ptr<ShardedLruCache<Response>> cache_;
 };
 
 }  // namespace qa

@@ -3,8 +3,30 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/binary_io.h"
+
 namespace ganswer {
 namespace rdf {
+
+namespace {
+
+// A CSR offset array must have one entry per vertex plus one, start at 0,
+// be non-decreasing, and end at the edge count.
+Status ValidateOffsets(const std::vector<size_t>& offsets, size_t num_vertices,
+                       size_t num_edges, const char* which) {
+  if (offsets.size() != num_vertices + 1 || offsets.front() != 0 ||
+      offsets.back() != num_edges) {
+    return Status::Corruption(std::string(which) + " offset array malformed");
+  }
+  for (size_t v = 0; v < num_vertices; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Status::Corruption(std::string(which) + " offsets not monotone");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 RdfGraph::RdfGraph() {
   // Reserve the well-known predicates up front so their ids exist even for
@@ -234,6 +256,86 @@ std::vector<TermId> RdfGraph::InstancesOf(TermId cls) const {
   }
   std::sort(result.begin(), result.end());
   return result;
+}
+
+Status RdfGraph::SaveBinary(BinaryWriter* out) const {
+  if (!finalized_) {
+    return Status::InvalidArgument("SaveBinary requires a finalized graph");
+  }
+  dict_.SaveBinary(out);
+  out->WriteU64(num_triples_);
+  out->WriteU64(max_degree_);
+  out->WriteU32(type_pred_);
+  out->WriteU32(subclass_pred_);
+  out->WriteU32(label_pred_);
+  // size_t offsets are written as u64 so the format does not depend on the
+  // host's size_t width.
+  auto write_offsets = [&](const std::vector<size_t>& offsets) {
+    std::vector<uint64_t> v(offsets.begin(), offsets.end());
+    out->WritePodVector(v);
+  };
+  out->WritePodVector(out_edges_);
+  write_offsets(out_offsets_);
+  out->WritePodVector(in_edges_);
+  write_offsets(in_offsets_);
+  out->WriteBoolVector(is_class_);
+  out->WritePodVector(predicates_);
+  write_offsets(predicate_freq_);
+  return Status::Ok();
+}
+
+Status RdfGraph::LoadBinary(BinaryReader* in) {
+  GANSWER_RETURN_NOT_OK(dict_.LoadBinary(in));
+  uint64_t num_triples = 0, max_degree = 0;
+  GANSWER_RETURN_NOT_OK(in->ReadU64(&num_triples));
+  GANSWER_RETURN_NOT_OK(in->ReadU64(&max_degree));
+  GANSWER_RETURN_NOT_OK(in->ReadU32(&type_pred_));
+  GANSWER_RETURN_NOT_OK(in->ReadU32(&subclass_pred_));
+  GANSWER_RETURN_NOT_OK(in->ReadU32(&label_pred_));
+  auto read_offsets = [&](std::vector<size_t>* offsets) {
+    std::vector<uint64_t> v;
+    GANSWER_RETURN_NOT_OK(in->ReadPodVector(&v));
+    offsets->assign(v.begin(), v.end());
+    return Status::Ok();
+  };
+  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&out_edges_));
+  GANSWER_RETURN_NOT_OK(read_offsets(&out_offsets_));
+  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&in_edges_));
+  GANSWER_RETURN_NOT_OK(read_offsets(&in_offsets_));
+  GANSWER_RETURN_NOT_OK(in->ReadBoolVector(&is_class_));
+  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&predicates_));
+  GANSWER_RETURN_NOT_OK(read_offsets(&predicate_freq_));
+
+  num_triples_ = num_triples;
+  max_degree_ = max_degree;
+  size_t n = out_offsets_.empty() ? 0 : out_offsets_.size() - 1;
+  if (n < dict_.size() || out_edges_.size() != num_triples_ ||
+      in_edges_.size() != num_triples_) {
+    return Status::Corruption("graph CSR sizes inconsistent");
+  }
+  if (type_pred_ >= n || subclass_pred_ >= n || label_pred_ >= n) {
+    return Status::Corruption("well-known predicate id out of range");
+  }
+  GANSWER_RETURN_NOT_OK(ValidateOffsets(out_offsets_, n, out_edges_.size(),
+                                        "out-edge"));
+  GANSWER_RETURN_NOT_OK(ValidateOffsets(in_offsets_, n, in_edges_.size(),
+                                        "in-edge"));
+  if (is_class_.size() != n || predicate_freq_.size() != n ||
+      in_offsets_.size() != out_offsets_.size()) {
+    return Status::Corruption("graph auxiliary array sizes inconsistent");
+  }
+  for (const Edge& e : out_edges_) {
+    if (e.predicate >= n || e.neighbor >= n) {
+      return Status::Corruption("graph edge references unknown vertex");
+    }
+  }
+  for (TermId p : predicates_) {
+    if (p >= n) return Status::Corruption("predicate id out of range");
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+  finalized_ = true;
+  return Status::Ok();
 }
 
 size_t RdfGraph::PredicateFrequency(TermId p) const {

@@ -142,6 +142,15 @@ class RdfGraph {
   TermId subclass_predicate() const { return subclass_pred_; }
   TermId label_predicate() const { return label_pred_; }
 
+  /// Snapshot serialization of a finalized graph: the term dictionary plus
+  /// the flat CSR arrays and class bitmap, so loading restores a servable
+  /// graph with bulk reads — no re-interning, no re-sorting, no Finalize().
+  Status SaveBinary(BinaryWriter* out) const;
+  /// Replaces the contents with a previously saved graph; the loaded graph
+  /// is immediately finalized. Structural invariants (offset monotonicity,
+  /// edge bounds) are validated so a corrupt payload is rejected.
+  Status LoadBinary(BinaryReader* in);
+
  private:
   TermDictionary dict_;
   std::vector<Triple> pending_;

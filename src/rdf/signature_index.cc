@@ -1,5 +1,7 @@
 #include "rdf/signature_index.h"
 
+#include "common/binary_io.h"
+
 namespace ganswer {
 namespace rdf {
 
@@ -19,6 +21,21 @@ SignatureIndex::Signature SignatureIndex::PredicateBit(TermId p) {
   // Fibonacci hash of the predicate id onto one of 64 bits.
   uint64_t h = static_cast<uint64_t>(p) * 0x9e3779b97f4a7c15ULL;
   return Signature{1} << (h >> 58);
+}
+
+void SignatureIndex::SaveBinary(BinaryWriter* out) const {
+  out->WritePodVector(out_);
+  out->WritePodVector(in_);
+}
+
+StatusOr<SignatureIndex> SignatureIndex::LoadBinary(BinaryReader* in) {
+  SignatureIndex index;
+  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&index.out_));
+  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&index.in_));
+  if (index.out_.size() != index.in_.size()) {
+    return Status::Corruption("signature arrays differ in length");
+  }
+  return index;
 }
 
 SignatureIndex::Signature SignatureIndex::OutSignature(TermId v) const {

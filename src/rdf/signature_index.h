@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "rdf/rdf_graph.h"
 
 namespace ganswer {
@@ -57,7 +58,15 @@ class SignatureIndex {
 
   size_t NumVertices() const { return out_.size(); }
 
+  /// Snapshot serialization: the two per-vertex signature arrays as-is.
+  void SaveBinary(BinaryWriter* out) const;
+  /// Restores an index previously saved with SaveBinary, skipping the
+  /// per-edge rebuild of the graph constructor.
+  static StatusOr<SignatureIndex> LoadBinary(BinaryReader* in);
+
  private:
+  SignatureIndex() = default;  // empty shell for LoadBinary
+
   std::vector<Signature> out_;
   std::vector<Signature> in_;
 };

@@ -1,5 +1,7 @@
 #include "rdf/term_dictionary.h"
 
+#include "common/binary_io.h"
+
 namespace ganswer {
 namespace rdf {
 
@@ -33,6 +35,64 @@ std::optional<TermId> TermDictionary::Lookup(std::string_view text,
   auto it = index_.find(IndexKey(text, kind));
   if (it == index_.end()) return std::nullopt;
   return it->second;
+}
+
+void TermDictionary::SaveBinary(BinaryWriter* out) const {
+  std::vector<uint64_t> offsets;
+  offsets.reserve(texts_.size() + 1);
+  uint64_t total = 0;
+  offsets.push_back(0);
+  for (const std::string& t : texts_) {
+    total += t.size();
+    offsets.push_back(total);
+  }
+  out->WritePodVector(offsets);
+  std::string arena;
+  arena.reserve(total);
+  for (const std::string& t : texts_) arena += t;
+  out->WriteString(arena);
+  std::vector<uint8_t> kinds(kinds_.size());
+  for (size_t i = 0; i < kinds_.size(); ++i) {
+    kinds[i] = static_cast<uint8_t>(kinds_[i]);
+  }
+  out->WritePodVector(kinds);
+}
+
+Status TermDictionary::LoadBinary(BinaryReader* in) {
+  std::vector<uint64_t> offsets;
+  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&offsets));
+  std::string_view arena;
+  GANSWER_RETURN_NOT_OK(in->ReadStringView(&arena));
+  std::vector<uint8_t> kinds;
+  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&kinds));
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != arena.size() || kinds.size() + 1 != offsets.size()) {
+    return Status::Corruption("term dictionary arena/offset mismatch");
+  }
+  size_t n = kinds.size();
+  texts_.clear();
+  texts_.reserve(n);
+  kinds_.resize(n);
+  index_.clear();
+  index_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::Corruption("term dictionary offsets not monotone");
+    }
+    if (kinds[i] > static_cast<uint8_t>(TermKind::kLiteral)) {
+      return Status::Corruption("term dictionary bad term kind");
+    }
+    std::string_view text = arena.substr(offsets[i], offsets[i + 1] - offsets[i]);
+    kinds_[i] = static_cast<TermKind>(kinds[i]);
+    texts_.emplace_back(text);
+    auto [it, inserted] =
+        index_.emplace(IndexKey(text, kinds_[i]), static_cast<TermId>(i));
+    if (!inserted) {
+      return Status::Corruption("term dictionary duplicate term '" +
+                                std::string(text) + "'");
+    }
+  }
+  return Status::Ok();
 }
 
 std::optional<TermId> TermDictionary::LookupAny(std::string_view text) const {

@@ -8,7 +8,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
+
 namespace ganswer {
+
+class BinaryWriter;
+class BinaryReader;
+
 namespace rdf {
 
 /// Integer id of an interned RDF term. Ids are dense, starting at 0, and
@@ -58,6 +64,13 @@ class TermDictionary {
 
   /// Number of interned terms; valid ids are [0, size()).
   size_t size() const { return texts_.size(); }
+
+  /// Snapshot serialization: one contiguous string arena + an offset array
+  /// + the kind array, so the matching load is three bulk reads.
+  void SaveBinary(BinaryWriter* out) const;
+  /// Replaces the contents with a previously saved dictionary. Term ids are
+  /// preserved exactly; the lookup index is rebuilt in one reserving pass.
+  Status LoadBinary(BinaryReader* in);
 
  private:
   std::vector<std::string> texts_;

@@ -1,0 +1,251 @@
+#include "store/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/binary_io.h"
+
+namespace ganswer {
+namespace store {
+
+namespace {
+
+// Layout:
+//   magic(8) | byte-order mark u32 | version u32 | section count u32
+//   section table: per section { id u32, offset u64, size u64, crc32 u32 }
+//   section payloads (offsets are absolute, payloads contiguous)
+// The fingerprint is the CRC32 of the section table, i.e. of all section
+// CRCs — a cheap stable identity for the whole container.
+constexpr char kMagic[8] = {'G', 'A', 'N', 'S', 'S', 'N', 'A', 'P'};
+constexpr uint32_t kByteOrderMark = 0x01020304u;
+
+enum SectionId : uint32_t {
+  kGraphSection = 1,        // term dictionary + CSR adjacency + class bitmap
+  kSignatureSection = 2,    // per-vertex signature arrays
+  kEntityIndexSection = 3,  // label/token postings
+  kDictionarySection = 4,   // paraphrase phrase records + inverted index
+};
+
+struct SectionEntry {
+  uint32_t id = 0;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint32_t crc = 0;
+};
+
+}  // namespace
+
+Status WriteSnapshot(const rdf::RdfGraph& graph,
+                     const rdf::SignatureIndex& signatures,
+                     const linking::EntityIndex& entity_index,
+                     const paraphrase::ParaphraseDictionary& dict,
+                     std::string* out, SnapshotStats* stats) {
+  if (out == nullptr) return Status::InvalidArgument("null output");
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("snapshot requires a finalized graph");
+  }
+
+  std::vector<std::pair<uint32_t, std::string>> sections;
+  {
+    BinaryWriter w;
+    GANSWER_RETURN_NOT_OK(graph.SaveBinary(&w));
+    sections.emplace_back(kGraphSection, w.Release());
+  }
+  {
+    BinaryWriter w;
+    signatures.SaveBinary(&w);
+    sections.emplace_back(kSignatureSection, w.Release());
+  }
+  {
+    BinaryWriter w;
+    entity_index.SaveBinary(&w);
+    sections.emplace_back(kEntityIndexSection, w.Release());
+  }
+  {
+    BinaryWriter w;
+    dict.SaveBinary(&w);
+    sections.emplace_back(kDictionarySection, w.Release());
+  }
+
+  size_t header_size = sizeof(kMagic) + 3 * sizeof(uint32_t) +
+                       sections.size() * (sizeof(uint32_t) + 2 * sizeof(uint64_t) +
+                                          sizeof(uint32_t));
+  BinaryWriter table;
+  uint64_t offset = header_size;
+  for (const auto& [id, payload] : sections) {
+    table.WriteU32(id);
+    table.WriteU64(offset);
+    table.WriteU64(payload.size());
+    table.WriteU32(Crc32(payload.data(), payload.size()));
+    offset += payload.size();
+  }
+  uint64_t fingerprint =
+      Crc32(table.buffer().data(), table.buffer().size());
+
+  out->clear();
+  out->reserve(offset);
+  out->append(kMagic, sizeof(kMagic));
+  BinaryWriter fixed;
+  fixed.WriteU32(kByteOrderMark);
+  fixed.WriteU32(kSnapshotVersion);
+  fixed.WriteU32(static_cast<uint32_t>(sections.size()));
+  out->append(fixed.buffer());
+  out->append(table.buffer());
+  for (const auto& [id, payload] : sections) out->append(payload);
+
+  if (stats != nullptr) {
+    stats->graph_bytes = sections[0].second.size();
+    stats->signature_bytes = sections[1].second.size();
+    stats->entity_index_bytes = sections[2].second.size();
+    stats->dictionary_bytes = sections[3].second.size();
+    stats->total_bytes = out->size();
+    stats->fingerprint = fingerprint;
+  }
+  return Status::Ok();
+}
+
+Status WriteSnapshot(const rdf::RdfGraph& graph,
+                     const paraphrase::ParaphraseDictionary& dict,
+                     std::string* out, SnapshotStats* stats) {
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("snapshot requires a finalized graph");
+  }
+  rdf::SignatureIndex signatures(graph);
+  linking::EntityIndex entity_index(graph);
+  return WriteSnapshot(graph, signatures, entity_index, dict, out, stats);
+}
+
+Status WriteSnapshotFile(const rdf::RdfGraph& graph,
+                         const paraphrase::ParaphraseDictionary& dict,
+                         const std::string& path, SnapshotStats* stats) {
+  std::string bytes;
+  GANSWER_RETURN_NOT_OK(WriteSnapshot(graph, dict, &bytes, stats));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::IoError("short write to '" + path + "'");
+  return Status::Ok();
+}
+
+StatusOr<Snapshot> ReadSnapshot(std::string_view bytes,
+                                const nlp::Lexicon* lexicon) {
+  if (lexicon == nullptr) return Status::InvalidArgument("null lexicon");
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a gAnswer snapshot (bad magic)");
+  }
+  BinaryReader header(bytes.substr(sizeof(kMagic)));
+  uint32_t bom = 0, version = 0, section_count = 0;
+  GANSWER_RETURN_NOT_OK(header.ReadU32(&bom));
+  if (bom != kByteOrderMark) {
+    return Status::Corruption("snapshot written with foreign byte order");
+  }
+  GANSWER_RETURN_NOT_OK(header.ReadU32(&version));
+  if (version != kSnapshotVersion) {
+    return Status::Corruption(
+        "snapshot version " + std::to_string(version) +
+        " does not match this binary's version " +
+        std::to_string(kSnapshotVersion) + "; rebuild the snapshot");
+  }
+  GANSWER_RETURN_NOT_OK(header.ReadU32(&section_count));
+  if (section_count > 64) {
+    return Status::Corruption("implausible snapshot section count");
+  }
+
+  size_t table_start = sizeof(kMagic) + 3 * sizeof(uint32_t);
+  size_t table_bytes =
+      section_count * (sizeof(uint32_t) + 2 * sizeof(uint64_t) + sizeof(uint32_t));
+  if (bytes.size() < table_start + table_bytes) {
+    return Status::Corruption("truncated snapshot section table");
+  }
+  uint64_t fingerprint = Crc32(bytes.data() + table_start, table_bytes);
+
+  std::vector<SectionEntry> table(section_count);
+  for (SectionEntry& entry : table) {
+    GANSWER_RETURN_NOT_OK(header.ReadU32(&entry.id));
+    GANSWER_RETURN_NOT_OK(header.ReadU64(&entry.offset));
+    GANSWER_RETURN_NOT_OK(header.ReadU64(&entry.size));
+    GANSWER_RETURN_NOT_OK(header.ReadU32(&entry.crc));
+  }
+
+  auto find_section = [&](uint32_t id,
+                          std::string_view* payload) -> Status {
+    for (const SectionEntry& entry : table) {
+      if (entry.id != id) continue;
+      if (entry.offset > bytes.size() ||
+          entry.size > bytes.size() - entry.offset) {
+        return Status::Corruption("snapshot section " + std::to_string(id) +
+                                  " out of bounds");
+      }
+      *payload = bytes.substr(entry.offset, entry.size);
+      if (Crc32(payload->data(), payload->size()) != entry.crc) {
+        return Status::Corruption("snapshot section " + std::to_string(id) +
+                                  " checksum mismatch");
+      }
+      return Status::Ok();
+    }
+    return Status::Corruption("snapshot section " + std::to_string(id) +
+                              " missing");
+  };
+
+  Snapshot snapshot;
+  snapshot.fingerprint = fingerprint;
+
+  std::string_view payload;
+  GANSWER_RETURN_NOT_OK(find_section(kGraphSection, &payload));
+  snapshot.graph = std::make_unique<rdf::RdfGraph>();
+  {
+    BinaryReader r(payload);
+    GANSWER_RETURN_NOT_OK(snapshot.graph->LoadBinary(&r));
+  }
+
+  GANSWER_RETURN_NOT_OK(find_section(kSignatureSection, &payload));
+  {
+    BinaryReader r(payload);
+    auto signatures = rdf::SignatureIndex::LoadBinary(&r);
+    if (!signatures.ok()) return signatures.status();
+    if (signatures->NumVertices() != snapshot.graph->dict().size()) {
+      return Status::Corruption("signature index size does not match graph");
+    }
+    snapshot.signatures =
+        std::make_unique<rdf::SignatureIndex>(std::move(signatures).value());
+  }
+
+  GANSWER_RETURN_NOT_OK(find_section(kEntityIndexSection, &payload));
+  {
+    BinaryReader r(payload);
+    auto index = linking::EntityIndex::LoadBinary(*snapshot.graph, &r);
+    if (!index.ok()) return index.status();
+    snapshot.entity_index = std::move(index).value();
+  }
+
+  GANSWER_RETURN_NOT_OK(find_section(kDictionarySection, &payload));
+  snapshot.dictionary =
+      std::make_unique<paraphrase::ParaphraseDictionary>(lexicon);
+  {
+    BinaryReader r(payload);
+    GANSWER_RETURN_NOT_OK(snapshot.dictionary->LoadBinary(
+        &r, snapshot.graph->dict().size()));
+  }
+
+  return snapshot;
+}
+
+StatusOr<Snapshot> ReadSnapshotFile(const std::string& path,
+                                    const nlp::Lexicon* lexicon) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::IoError("read error on '" + path + "'");
+  }
+  std::string bytes = std::move(buffer).str();
+  return ReadSnapshot(bytes, lexicon);
+}
+
+}  // namespace store
+}  // namespace ganswer

@@ -1,0 +1,84 @@
+#ifndef GANSWER_STORE_SNAPSHOT_H_
+#define GANSWER_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "linking/entity_index.h"
+#include "nlp/lexicon.h"
+#include "paraphrase/paraphrase_dictionary.h"
+#include "rdf/rdf_graph.h"
+#include "rdf/signature_index.h"
+
+namespace ganswer {
+namespace store {
+
+/// Container format version. Bumped whenever any section's binary layout
+/// changes; a snapshot with a different version is rejected (stale), never
+/// migrated in place — re-run the offline build instead.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// \brief Everything the online phase needs, reconstructed from one
+/// snapshot: the finalized graph, both offline indexes and the paraphrase
+/// dictionary. The indexes reference the owned graph, so the bundle keeps
+/// them alive together; members are heap-allocated so moving the bundle
+/// never invalidates those references.
+struct Snapshot {
+  std::unique_ptr<rdf::RdfGraph> graph;
+  std::unique_ptr<rdf::SignatureIndex> signatures;
+  std::unique_ptr<linking::EntityIndex> entity_index;
+  std::unique_ptr<paraphrase::ParaphraseDictionary> dictionary;
+  /// Identity of the snapshot contents (derived from the per-section
+  /// checksums). Two byte-identical snapshots share a fingerprint; use it
+  /// to invalidate caches keyed on snapshot data.
+  uint64_t fingerprint = 0;
+};
+
+/// Per-section byte counts of a written snapshot, for bench reporting.
+struct SnapshotStats {
+  size_t graph_bytes = 0;
+  size_t signature_bytes = 0;
+  size_t entity_index_bytes = 0;
+  size_t dictionary_bytes = 0;
+  size_t total_bytes = 0;
+  uint64_t fingerprint = 0;
+};
+
+/// Serializes \p graph (finalized) and \p dict together with prebuilt
+/// indexes into one versioned, checksummed container in \p out.
+Status WriteSnapshot(const rdf::RdfGraph& graph,
+                     const rdf::SignatureIndex& signatures,
+                     const linking::EntityIndex& entity_index,
+                     const paraphrase::ParaphraseDictionary& dict,
+                     std::string* out, SnapshotStats* stats = nullptr);
+
+/// Convenience for offline builders that only hold the graph and the mined
+/// dictionary: builds the SignatureIndex and EntityIndex (deterministic
+/// functions of the graph) and writes the full container.
+Status WriteSnapshot(const rdf::RdfGraph& graph,
+                     const paraphrase::ParaphraseDictionary& dict,
+                     std::string* out, SnapshotStats* stats = nullptr);
+
+Status WriteSnapshotFile(const rdf::RdfGraph& graph,
+                         const paraphrase::ParaphraseDictionary& dict,
+                         const std::string& path,
+                         SnapshotStats* stats = nullptr);
+
+/// Reconstructs a Snapshot from container bytes. Rejects wrong magic,
+/// foreign byte order, version mismatches, malformed section tables and
+/// per-section CRC failures with Status::Corruption — a bad file can never
+/// produce a partially initialized bundle. \p lexicon backs the paraphrase
+/// dictionary and must outlive the returned bundle.
+StatusOr<Snapshot> ReadSnapshot(std::string_view bytes,
+                                const nlp::Lexicon* lexicon);
+
+StatusOr<Snapshot> ReadSnapshotFile(const std::string& path,
+                                    const nlp::Lexicon* lexicon);
+
+}  // namespace store
+}  // namespace ganswer
+
+#endif  // GANSWER_STORE_SNAPSHOT_H_

@@ -1,0 +1,160 @@
+#include "common/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ganswer {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xcbf43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, ChainingMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t one_shot = Crc32(data.data(), data.size());
+  uint32_t chained = Crc32(data.data(), 10);
+  chained = Crc32(data.data() + 10, data.size() - 10, chained);
+  EXPECT_EQ(chained, one_shot);
+}
+
+TEST(BinaryIoTest, PrimitivesRoundTrip) {
+  BinaryWriter w;
+  w.WriteU8(0xab);
+  w.WriteU32(0xdeadbeefu);
+  w.WriteU64(0x0123456789abcdefull);
+  w.WriteDouble(3.5);
+  w.WriteString("hello");
+  std::string bytes = w.Release();
+
+  BinaryReader r(bytes);
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  double d = 0;
+  std::string s;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadDouble(&d).ok());
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_EQ(d, 3.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, VarintBoundaries) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ull << 32) - 1,
+                             1ull << 32,
+                             std::numeric_limits<uint64_t>::max()};
+  BinaryWriter w;
+  for (uint64_t v : values) w.WriteVarint(v);
+  std::string bytes = w.Release();
+  BinaryReader r(bytes);
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(r.ReadVarint(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, PodVectorRoundTrip) {
+  struct Pair {
+    uint32_t a;
+    uint32_t b;
+  };
+  std::vector<Pair> in = {{1, 2}, {3, 4}, {0xffffffffu, 0}};
+  BinaryWriter w;
+  w.WritePodVector(in);
+  std::string bytes = w.Release();
+  BinaryReader r(bytes);
+  std::vector<Pair> out;
+  ASSERT_TRUE(r.ReadPodVector(&out).ok());
+  ASSERT_EQ(out.size(), in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].a, in[i].a);
+    EXPECT_EQ(out[i].b, in[i].b);
+  }
+}
+
+TEST(BinaryIoTest, BoolVectorRoundTrip) {
+  for (size_t n : {0u, 1u, 7u, 8u, 9u, 64u, 100u}) {
+    std::vector<bool> in(n);
+    for (size_t i = 0; i < n; ++i) in[i] = (i % 3) == 0;
+    BinaryWriter w;
+    w.WriteBoolVector(in);
+    std::string bytes = w.Release();
+    BinaryReader r(bytes);
+    std::vector<bool> out;
+    ASSERT_TRUE(r.ReadBoolVector(&out).ok());
+    EXPECT_EQ(out, in) << "n=" << n;
+  }
+}
+
+TEST(BinaryIoTest, TruncatedReadsFailWithCorruption) {
+  BinaryWriter w;
+  w.WriteU64(42);
+  w.WriteString("payload");
+  std::string bytes = w.Release();
+  // Every proper prefix must fail cleanly, never read out of bounds.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    BinaryReader r(std::string_view(bytes).substr(0, cut));
+    uint64_t v = 0;
+    std::string s;
+    Status st = r.ReadU64(&v);
+    if (st.ok()) st = r.ReadString(&s);
+    EXPECT_FALSE(st.ok()) << "prefix length " << cut;
+  }
+}
+
+TEST(BinaryIoTest, CorruptCountIsRejectedBeforeAllocation) {
+  // A varint count far larger than the remaining bytes must not resize.
+  BinaryWriter w;
+  w.WriteVarint(std::numeric_limits<uint64_t>::max() / 2);
+  std::string bytes = w.Release();
+  BinaryReader r(bytes);
+  std::vector<uint64_t> out;
+  Status st = r.ReadPodVector(&out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BinaryIoTest, OverlongVarintIsRejected) {
+  // 10 continuation bytes encode more than 64 bits.
+  std::string bytes(11, static_cast<char>(0x80));
+  bytes.back() = 0x01;
+  BinaryReader r(bytes);
+  uint64_t v = 0;
+  EXPECT_FALSE(r.ReadVarint(&v).ok());
+}
+
+TEST(BinaryIoTest, ReadStringViewIsZeroCopy) {
+  BinaryWriter w;
+  w.WriteString("abcdef");
+  std::string bytes = w.Release();
+  BinaryReader r(bytes);
+  std::string_view sv;
+  ASSERT_TRUE(r.ReadStringView(&sv).ok());
+  EXPECT_EQ(sv, "abcdef");
+  EXPECT_GE(sv.data(), bytes.data());
+  EXPECT_LT(sv.data(), bytes.data() + bytes.size());
+}
+
+}  // namespace
+}  // namespace ganswer

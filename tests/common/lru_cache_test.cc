@@ -1,0 +1,101 @@
+#include "common/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ganswer {
+namespace {
+
+using Cache = ShardedLruCache<std::string>;
+
+TEST(ShardedLruCacheTest, MissThenHit) {
+  Cache cache(Cache::Options{8, 1});
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  cache.Put("a", "alpha");
+  auto hit = cache.Get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "alpha");
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ShardedLruCacheTest, PutReplacesExistingValue) {
+  Cache cache(Cache::Options{8, 1});
+  cache.Put("k", "old");
+  cache.Put("k", "new");
+  auto hit = cache.Get("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "new");
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard of capacity 2 makes the eviction order deterministic.
+  Cache cache(Cache::Options{2, 1});
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  ASSERT_NE(cache.Get("a"), nullptr);  // "a" is now most recent
+  cache.Put("c", "3");                 // evicts "b"
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ShardedLruCacheTest, EvictedValueSurvivesWhileHeld) {
+  Cache cache(Cache::Options{1, 1});
+  cache.Put("a", "alpha");
+  std::shared_ptr<const std::string> held = cache.Get("a");
+  ASSERT_NE(held, nullptr);
+  cache.Put("b", "beta");  // evicts "a"
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(*held, "alpha");  // the reader's copy is unaffected
+}
+
+TEST(ShardedLruCacheTest, ClearDropsEntriesKeepsCounters) {
+  Cache cache(Cache::Options{8, 2});
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  ASSERT_NE(cache.Get("a"), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);  // counters are cumulative across Clear
+}
+
+TEST(ShardedLruCacheTest, CapacityRoundsUpToShardCount) {
+  Cache cache(Cache::Options{2, 8});
+  EXPECT_EQ(cache.options().capacity, 8u);
+  EXPECT_EQ(cache.options().shards, 8u);
+}
+
+TEST(ShardedLruCacheTest, ConcurrentMixedUseIsSafe) {
+  Cache cache(Cache::Options{64, 8});
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        std::string key = "k" + std::to_string((t * 31 + i) % 100);
+        if (auto hit = cache.Get(key)) {
+          EXPECT_FALSE(hit->empty());
+        } else {
+          cache.Put(key, "v" + std::to_string(i));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 4u * 500u);
+  EXPECT_LE(stats.entries, 64u);
+}
+
+}  // namespace
+}  // namespace ganswer

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "qa/ganswer.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace qa {
+namespace {
+
+std::vector<std::string> AnswerTexts(const GAnswer::Response& r) {
+  std::vector<std::string> out;
+  for (const auto& a : r.answers) out.push_back(a.text);
+  return out;
+}
+
+GAnswer::Options CachedOptions(size_t capacity, uint64_t identity = 7) {
+  GAnswer::Options opt;
+  opt.question_cache_capacity = capacity;
+  opt.question_cache_shards = 1;  // deterministic eviction for the tests
+  opt.snapshot_identity = identity;
+  return opt;
+}
+
+TEST(QuestionCacheTest, HitServesWithoutUnderstandingOrMatching) {
+  const auto& world = ganswer::testing::World();
+  GAnswer system(&world.kb.graph, &world.lexicon, world.verified.get(),
+                 CachedOptions(16));
+  const std::string q = "Who is the mayor of Berlin ?";
+
+  auto first = system.Ask(q);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+  EXPECT_GT(first->TotalMs(), 0.0);
+
+  auto second = system.Ask(q);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  // Neither stage ran: the stage timers are zeroed on a hit.
+  EXPECT_EQ(second->understanding_ms, 0.0);
+  EXPECT_EQ(second->evaluation_ms, 0.0);
+  EXPECT_EQ(AnswerTexts(*second), AnswerTexts(*first));
+
+  auto stats = system.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(QuestionCacheTest, NormalizedKeySharesEntries) {
+  const auto& world = ganswer::testing::World();
+  GAnswer system(&world.kb.graph, &world.lexicon, world.verified.get(),
+                 CachedOptions(16));
+  auto first = system.Ask("Who is the mayor of Berlin ?");
+  ASSERT_TRUE(first.ok());
+  // Case and whitespace differences hit the same entry.
+  auto second = system.Ask("  who  IS the MAYOR of Berlin ?  ");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(AnswerTexts(*second), AnswerTexts(*first));
+  EXPECT_EQ(system.CacheKey("A  b\tC"), system.CacheKey("a b c"));
+  EXPECT_NE(system.CacheKey("a b c"), system.CacheKey("a bc"));
+}
+
+TEST(QuestionCacheTest, SnapshotIdentityPartitionsKeys) {
+  const auto& world = ganswer::testing::World();
+  GAnswer a(&world.kb.graph, &world.lexicon, world.verified.get(),
+            CachedOptions(16, /*identity=*/1));
+  GAnswer b(&world.kb.graph, &world.lexicon, world.verified.get(),
+            CachedOptions(16, /*identity=*/2));
+  // Entries cached under one snapshot identity can never serve another.
+  EXPECT_NE(a.CacheKey("who is x ?"), b.CacheKey("who is x ?"));
+}
+
+TEST(QuestionCacheTest, EvictionDropsLeastRecentQuestion) {
+  const auto& world = ganswer::testing::World();
+  GAnswer system(&world.kb.graph, &world.lexicon, world.verified.get(),
+                 CachedOptions(2));
+  ASSERT_TRUE(system.Ask("Who is the mayor of Berlin ?").ok());
+  ASSERT_TRUE(system.Ask("What is the capital of Canada ?").ok());
+  // Capacity 2: a third distinct question evicts the Berlin entry.
+  ASSERT_TRUE(system.Ask("Who developed Minecraft ?").ok());
+  auto again = system.Ask("Who is the mayor of Berlin ?");
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->cache_hit);
+  EXPECT_GE(system.cache_stats().evictions, 1u);
+}
+
+TEST(QuestionCacheTest, InvalidateCacheForcesRecompute) {
+  const auto& world = ganswer::testing::World();
+  GAnswer system(&world.kb.graph, &world.lexicon, world.verified.get(),
+                 CachedOptions(16));
+  const std::string q = "What is the capital of Canada ?";
+  ASSERT_TRUE(system.Ask(q).ok());
+  system.InvalidateCache();
+  auto after = system.Ask(q);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->cache_hit);
+  EXPECT_EQ(system.cache_stats().entries, 1u);
+}
+
+TEST(QuestionCacheTest, DisabledByDefault) {
+  const auto& world = ganswer::testing::World();
+  GAnswer system(&world.kb.graph, &world.lexicon, world.verified.get());
+  const std::string q = "Who developed Minecraft ?";
+  ASSERT_TRUE(system.Ask(q).ok());
+  auto second = system.Ask(q);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->cache_hit);
+  auto stats = system.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(QuestionCacheTest, BatchAnswerCountsRepeatsAsHits) {
+  const auto& world = ganswer::testing::World();
+  GAnswer::Options opt = CachedOptions(16);
+  // Serial batch: every repeat after the first answer must be a hit (there
+  // is no miss coalescing, so a parallel batch could miss more than once).
+  opt.exec.threads = 1;
+  GAnswer system(&world.kb.graph, &world.lexicon, world.verified.get(), opt);
+  std::vector<std::string> questions;
+  for (int i = 0; i < 6; ++i) {
+    questions.push_back("Who is the mayor of Berlin ?");
+  }
+  auto results = system.BatchAnswer(questions);
+  ASSERT_EQ(results.size(), questions.size());
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+  auto stats = system.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, questions.size() - 1);
+}
+
+}  // namespace
+}  // namespace qa
+}  // namespace ganswer
