@@ -1,7 +1,24 @@
 #include "match/query_graph.h"
 
+#include <algorithm>
+
 namespace ganswer {
 namespace match {
+
+bool MatchOrder(const Match& a, const Match& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.assignment < b.assignment;
+}
+
+void SortAndCutTopK(std::vector<Match>* matches, size_t k) {
+  std::sort(matches->begin(), matches->end(), MatchOrder);
+  if (matches->size() > k && k > 0) {
+    double kth = (*matches)[k - 1].score;
+    size_t cut = k;
+    while (cut < matches->size() && (*matches)[cut].score == kth) ++cut;
+    matches->resize(cut);
+  }
+}
 
 std::vector<int> QueryGraph::IncidentEdges(int v) const {
   std::vector<int> out;

@@ -57,6 +57,20 @@ struct Match {
   }
 };
 
+/// The pinned total order on matches: score descending, ties broken by the
+/// assignment vector lexicographically ascending. This is the ONE ranking
+/// every ranked-match producer must use — TopKMatcher's serial, parallel
+/// and memoized paths all sort with it, and the reference oracles under
+/// tests/oracle/ compare against it — so equal-score matches come back in
+/// the same order everywhere.
+bool MatchOrder(const Match& a, const Match& b);
+
+/// Sorts \p matches by MatchOrder and cuts to the top \p k, keeping every
+/// match tied with the k-th score (the paper counts equal-score matches
+/// once). Shared by TopKMatcher and the enumerate-and-rank oracle so both
+/// apply the identical cut rule.
+void SortAndCutTopK(std::vector<Match>* matches, size_t k);
+
 }  // namespace match
 }  // namespace ganswer
 

@@ -194,18 +194,9 @@ StatusOr<std::vector<Match>> TopKMatcher::FindTopK(const QueryGraph& query,
     local.expansions = total_expansions;
   }
 
-  // Rank and cut to k, keeping ties with the k-th score (the paper counts
-  // equal-score matches once).
-  std::sort(all.begin(), all.end(), [](const Match& a, const Match& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.assignment < b.assignment;
-  });
-  if (all.size() > options_.k) {
-    double kth = all[options_.k - 1].score;
-    size_t cut = options_.k;
-    while (cut < all.size() && all[cut].score == kth) ++cut;
-    all.resize(cut);
-  }
+  // Rank by the pinned MatchOrder and cut to k, keeping ties with the k-th
+  // score (the paper counts equal-score matches once).
+  SortAndCutTopK(&all, options_.k);
   local.distinct_matches = all.size();
   if (stats != nullptr) *stats = local;
   return all;

@@ -28,6 +28,11 @@ namespace match {
 /// would have found it), so its score cannot exceed Upbound; the loop stops
 /// as soon as theta >= Upbound (the TA stopping rule). Matches tied with
 /// the k-th score are all kept, as the paper specifies.
+///
+/// Result order is the pinned total order MatchOrder (query_graph.h): score
+/// descending, equal scores broken by assignment lexicographically — so the
+/// serial, parallel and memoized paths return byte-identical lists, and the
+/// enumerate-and-rank oracle (tests/oracle/) can compare rank by rank.
 class TopKMatcher {
  public:
   struct Options {

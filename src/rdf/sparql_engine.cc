@@ -57,6 +57,10 @@ StatusOr<std::vector<std::vector<TermId>>> SparqlEngine::EvaluateBgp(
 
   std::vector<ResolvedPattern> resolved;
   resolved.reserve(patterns.size());
+  // An unknown constant makes the whole BGP unsatisfiable, but every
+  // pattern must still be walked so all written variables get slots: a
+  // selected variable appearing only alongside an unknown constant is
+  // bound-but-empty (SPARQL semantics), not an InvalidArgument.
   bool impossible = false;
   for (const TriplePattern& tp : patterns) {
     ResolvedPattern rp;
@@ -69,13 +73,12 @@ StatusOr<std::vector<std::vector<TermId>>> SparqlEngine::EvaluateBgp(
         auto id = graph_.dict().Lookup(terms[i]->text, terms[i]->kind);
         if (!id.has_value()) {
           impossible = true;  // constant never interned: no matches
-          break;
+          continue;
         }
         rp.is_var[i] = false;
         rp.constant[i] = *id;
       }
     }
-    if (impossible) break;
     resolved.push_back(rp);
   }
 

@@ -1,6 +1,7 @@
 #include "rdf/sparql_parser.h"
 
 #include <cctype>
+#include <charconv>
 #include <vector>
 
 #include "common/string_util.h"
@@ -15,7 +16,14 @@ enum class TokKind { kWord, kVar, kIri, kLiteral, kPunct, kEnd };
 struct Token {
   TokKind kind = TokKind::kEnd;
   std::string text;
+  /// Byte offset of the token's first character in the input, so every
+  /// error can point at where it happened.
+  size_t pos = 0;
 };
+
+std::string AtByte(size_t pos) {
+  return " at byte " + std::to_string(pos);
+}
 
 class Lexer {
  public:
@@ -25,6 +33,7 @@ class Lexer {
     std::vector<Token> out;
     while (pos_ < text_.size()) {
       char c = text_[pos_];
+      size_t start_pos = pos_;
       if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
         continue;
@@ -33,17 +42,24 @@ class Lexer {
         ++pos_;
         size_t start = pos_;
         while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
-        if (pos_ == start) return Status::InvalidArgument("empty variable name");
-        out.push_back({TokKind::kVar, std::string(text_.substr(start, pos_ - start))});
+        if (pos_ == start) {
+          return Status::InvalidArgument("empty variable name" +
+                                         AtByte(start_pos));
+        }
+        out.push_back({TokKind::kVar,
+                       std::string(text_.substr(start, pos_ - start)),
+                       start_pos});
         continue;
       }
       if (c == '<') {
         size_t end = text_.find('>', pos_ + 1);
         if (end == std::string_view::npos) {
-          return Status::InvalidArgument("unterminated IRI");
+          return Status::InvalidArgument("unterminated IRI" +
+                                         AtByte(start_pos));
         }
         out.push_back({TokKind::kIri,
-                       std::string(text_.substr(pos_ + 1, end - pos_ - 1))});
+                       std::string(text_.substr(pos_ + 1, end - pos_ - 1)),
+                       start_pos});
         pos_ = end + 1;
         continue;
       }
@@ -66,13 +82,16 @@ class Lexer {
           value += d;
           ++pos_;
         }
-        if (!closed) return Status::InvalidArgument("unterminated literal");
-        out.push_back({TokKind::kLiteral, std::move(value)});
+        if (!closed) {
+          return Status::InvalidArgument("unterminated literal" +
+                                         AtByte(start_pos));
+        }
+        out.push_back({TokKind::kLiteral, std::move(value), start_pos});
         continue;
       }
       if (c == '{' || c == '}' || c == '.' || c == '*' || c == ';' ||
           c == '(' || c == ')') {
-        out.push_back({TokKind::kPunct, std::string(1, c)});
+        out.push_back({TokKind::kPunct, std::string(1, c), start_pos});
         ++pos_;
         continue;
       }
@@ -82,13 +101,14 @@ class Lexer {
           ++pos_;
         }
         out.push_back({TokKind::kWord,
-                       std::string(text_.substr(start, pos_ - start))});
+                       std::string(text_.substr(start, pos_ - start)),
+                       start_pos});
         continue;
       }
       return Status::InvalidArgument(std::string("unexpected character '") +
-                                     c + "'");
+                                     c + "'" + AtByte(start_pos));
     }
-    out.push_back({TokKind::kEnd, ""});
+    out.push_back({TokKind::kEnd, "", text_.size()});
     return out;
   }
 
@@ -118,13 +138,15 @@ class Parser {
           q.select_vars.push_back(Next().text);
         }
         if (q.select_vars.empty()) {
-          return Status::InvalidArgument("SELECT requires '*' or variables");
+          return Status::InvalidArgument("SELECT requires '*' or variables" +
+                                         Here());
         }
       }
     } else if (MatchKeyword("ASK")) {
       q.form = SparqlQuery::Form::kAsk;
     } else {
-      return Status::InvalidArgument("query must start with SELECT or ASK");
+      return Status::InvalidArgument("query must start with SELECT or ASK" +
+                                     Here());
     }
 
     MatchKeyword("WHERE");  // optional
@@ -132,7 +154,8 @@ class Parser {
 
     if (MatchKeyword("ORDER")) {
       if (!MatchKeyword("BY")) {
-        return Status::InvalidArgument("ORDER must be followed by BY");
+        return Status::InvalidArgument("ORDER must be followed by BY" +
+                                       Here());
       }
       SparqlQuery::OrderBy order;
       if (MatchKeyword("DESC")) {
@@ -142,11 +165,13 @@ class Parser {
       }
       bool parenthesized = MatchPunct("(");
       if (Peek().kind != TokKind::kVar) {
-        return Status::InvalidArgument("ORDER BY requires a variable");
+        return Status::InvalidArgument("ORDER BY requires a variable" +
+                                       Here());
       }
       order.var = Next().text;
       if (parenthesized && !MatchPunct(")")) {
-        return Status::InvalidArgument("unterminated ORDER BY (...)");
+        return Status::InvalidArgument("unterminated ORDER BY (...)" +
+                                       Here());
       }
       q.order_by = std::move(order);
     }
@@ -154,9 +179,19 @@ class Parser {
       const Token& t = Peek();
       if (t.kind != TokKind::kWord || !IsAllDigits(t.text)) {
         return Status::InvalidArgument(std::string(kw) +
-                                       " requires an integer");
+                                       " requires an integer" + Here());
       }
-      *out = static_cast<size_t>(std::stoull(Next().text));
+      // from_chars, not stoull: a digit string exceeding the size_t range
+      // must surface as a parse error, never as a thrown exception.
+      size_t value = 0;
+      auto [ptr, ec] = std::from_chars(t.text.data(),
+                                       t.text.data() + t.text.size(), value);
+      if (ec != std::errc() || ptr != t.text.data() + t.text.size()) {
+        return Status::InvalidArgument(std::string(kw) + " value '" + t.text +
+                                       "' out of range" + Here());
+      }
+      Next();
+      *out = value;
       return Status::Ok();
     };
     // LIMIT and OFFSET in either order (SPARQL allows both orders).
@@ -169,17 +204,19 @@ class Parser {
     }
     if (Peek().kind != TokKind::kEnd) {
       return Status::InvalidArgument("trailing tokens after query: '" +
-                                     Peek().text + "'");
+                                     Peek().text + "'" + Here());
     }
     return q;
   }
 
  private:
   Status ParseGroup(SparqlQuery* q) {
-    if (!MatchPunct("{")) return Status::InvalidArgument("expected '{'");
+    if (!MatchPunct("{")) {
+      return Status::InvalidArgument("expected '{'" + Here());
+    }
     while (!MatchPunct("}")) {
       if (Peek().kind == TokKind::kEnd) {
-        return Status::InvalidArgument("unterminated group pattern");
+        return Status::InvalidArgument("unterminated group pattern" + Here());
       }
       TriplePattern tp;
       GANSWER_RETURN_NOT_OK(ParseTerm(&tp.subject));
@@ -211,12 +248,15 @@ class Parser {
         return Status::Ok();
       }
       default:
-        return Status::InvalidArgument("expected a term, got '" + t.text + "'");
+        return Status::InvalidArgument("expected a term, got '" + t.text +
+                                       "'" + Here());
     }
   }
 
   const Token& Peek() const { return tokens_[pos_]; }
   Token Next() { return tokens_[pos_++]; }
+  /// Position suffix for errors: byte offset of the current token.
+  std::string Here() const { return AtByte(Peek().pos); }
 
   bool MatchKeyword(std::string_view kw) {
     const Token& t = Peek();

@@ -22,6 +22,11 @@ namespace rdf {
 ///
 /// Keywords are case-insensitive. PREFIXED_NAME ("rdf:type") is kept
 /// verbatim as an IRI text.
+///
+/// Malformed input always fails with Status::InvalidArgument whose message
+/// carries the byte offset of the offending token ("... at byte N") — the
+/// parser never throws and never crashes, whatever the bytes (the fuzz
+/// drivers under tests/fuzz/ enforce this).
 class SparqlParser {
  public:
   static StatusOr<SparqlQuery> Parse(std::string_view text);

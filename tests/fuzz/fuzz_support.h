@@ -1,0 +1,139 @@
+#ifndef GANSWER_TESTS_FUZZ_FUZZ_SUPPORT_H_
+#define GANSWER_TESTS_FUZZ_FUZZ_SUPPORT_H_
+
+// Support for the structured byte-fuzz drivers.
+//
+// Two input sources feed every driver:
+//   1. The checked-in regression corpus under tests/fuzz_corpus/<area>/ —
+//      inputs that previously crashed, hung, or mis-parsed, kept forever.
+//      Text corpora are stored verbatim; binary corpora as hex (.hex) so
+//      diffs stay reviewable.
+//   2. Seeded mutations of valid inputs (bit flips, byte smashes,
+//      truncations, splices), deterministic per seed so a failure replays
+//      with GANSWER_PROP_SEED like any property test.
+//
+// The drivers assert the no-crash/no-UB contract: parsers must return an
+// error Status on malformed bytes, never throw, never read out of bounds
+// (the sanitizer jobs run these same tests under ASan/UBSan).
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+#ifndef GANSWER_FUZZ_CORPUS_DIR
+#error "GANSWER_FUZZ_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace ganswer {
+namespace testing {
+
+struct CorpusEntry {
+  std::string name;
+  std::string bytes;
+};
+
+inline std::string HexDecode(const std::string& text) {
+  std::string out;
+  int hi = -1;
+  for (char c : text) {
+    int v;
+    if (c >= '0' && c <= '9') {
+      v = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      v = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      v = c - 'A' + 10;
+    } else {
+      continue;  // whitespace / separators between byte pairs
+    }
+    if (hi < 0) {
+      hi = v;
+    } else {
+      out.push_back(static_cast<char>((hi << 4) | v));
+      hi = -1;
+    }
+  }
+  return out;
+}
+
+/// All corpus entries under tests/fuzz_corpus/<area>, sorted by file name.
+/// Files ending in .hex are hex-decoded; everything else is read raw.
+inline std::vector<CorpusEntry> LoadCorpus(const std::string& area) {
+  namespace fs = std::filesystem;
+  std::vector<CorpusEntry> entries;
+  fs::path dir = fs::path(GANSWER_FUZZ_CORPUS_DIR) / area;
+  if (!fs::exists(dir)) return entries;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    if (!e.is_regular_file()) continue;
+    std::ifstream in(e.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    CorpusEntry entry;
+    entry.name = e.path().filename().string();
+    entry.bytes = e.path().extension() == ".hex" ? HexDecode(buf.str())
+                                                 : buf.str();
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CorpusEntry& a, const CorpusEntry& b) {
+              return a.name < b.name;
+            });
+  return entries;
+}
+
+/// One deterministic structured mutation of \p input.
+inline std::string Mutate(const std::string& input, Rng& rng) {
+  std::string s = input;
+  switch (rng.Next(5)) {
+    case 0:  // flip a bit
+      if (!s.empty()) {
+        size_t i = rng.Next(s.size());
+        s[i] = static_cast<char>(s[i] ^ (1u << rng.Next(8)));
+      }
+      break;
+    case 1:  // smash a byte
+      if (!s.empty()) s[rng.Next(s.size())] = static_cast<char>(rng.Next(256));
+      break;
+    case 2:  // truncate
+      if (!s.empty()) s.resize(rng.Next(s.size()));
+      break;
+    case 3: {  // splice a chunk of itself somewhere else
+      if (s.size() > 1) {
+        size_t from = rng.Next(s.size());
+        size_t len = 1 + rng.Next(std::min<size_t>(8, s.size() - from));
+        size_t at = rng.Next(s.size());
+        s.insert(at, s.substr(from, len));
+      }
+      break;
+    }
+    default: {  // insert random bytes
+      size_t at = s.empty() ? 0 : rng.Next(s.size() + 1);
+      size_t len = 1 + rng.Next(6);
+      std::string junk;
+      for (size_t i = 0; i < len; ++i) {
+        junk.push_back(static_cast<char>(rng.Next(256)));
+      }
+      s.insert(at, junk);
+      break;
+    }
+  }
+  return s;
+}
+
+/// \p rounds stacked mutations (each round may compound the previous).
+inline std::string MutateN(const std::string& input, Rng& rng, size_t rounds) {
+  std::string s = input;
+  for (size_t i = 0; i < rounds; ++i) s = Mutate(s, rng);
+  return s;
+}
+
+}  // namespace testing
+}  // namespace ganswer
+
+#endif  // GANSWER_TESTS_FUZZ_FUZZ_SUPPORT_H_

@@ -1,0 +1,61 @@
+// Structured byte-fuzz driver for the N-Triples reader: corpus plus seeded
+// mutations of valid documents. The reader must either accept the input or
+// return an error Status — never crash, never throw — and a graph that
+// accepted triples must still Finalize cleanly.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_support.h"
+#include "prop/prop_support.h"
+#include "rdf/ntriples.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace testing {
+namespace {
+
+void DriveReader(const std::string& input) {
+  rdf::RdfGraph graph;
+  Status s = rdf::NTriplesReader::ParseString(input, &graph);
+  // Whatever was (or was not) added, the graph must remain usable.
+  EXPECT_TRUE(graph.Finalize().ok());
+  (void)s;  // ok or error are both acceptable; crashing is not
+}
+
+TEST(NtriplesFuzzTest, SurvivesRegressionCorpus) {
+  std::vector<CorpusEntry> corpus = LoadCorpus("ntriples");
+  ASSERT_FALSE(corpus.empty());
+  for (const CorpusEntry& e : corpus) {
+    SCOPED_TRACE("corpus file: " + e.name);
+    DriveReader(e.bytes);
+  }
+}
+
+TEST(NtriplesFuzzTest, MalformedLinesReportLineNumbers) {
+  rdf::RdfGraph graph;
+  Status s = rdf::NTriplesReader::ParseString(
+      "<a> <p> <b> .\nthis is not a triple\n", &graph);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("line"), std::string::npos) << s.ToString();
+}
+
+TEST(NtriplesFuzzTest, SurvivesMutatedValidDocuments) {
+  const std::string valid =
+      "# generated corpus seed\n"
+      "<v0> <p0> <v1> .\n"
+      "<v1> <rdf:type> <C0> .\n"
+      "<v1> <rdfs:label> \"vertex one\" .\n"
+      "<v2> <p1> \"literal o\" .\n";
+  ForEachSeed(4100, 80, [&](uint64_t seed) {
+    Rng rng(seed);
+    std::string mutated = MutateN(valid, rng, 1 + rng.Next(5));
+    DriveReader(mutated);
+  });
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace ganswer

@@ -1,0 +1,68 @@
+// Structured byte-fuzz driver for SparqlParser: the whole regression
+// corpus plus seeded mutations of valid queries must never crash or throw,
+// and malformed inputs must come back as InvalidArgument carrying a byte
+// offset. Run under the sanitizer CI jobs, this is the no-UB contract.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_support.h"
+#include "prop/prop_support.h"
+#include "rdf/sparql_parser.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace testing {
+namespace {
+
+// Parsing never throws; a failure Status must be InvalidArgument and must
+// name the byte offset (satellite requirement: position info on every
+// parse error path).
+void DriveParser(const std::string& input) {
+  auto result = rdf::SparqlParser::Parse(input);
+  if (result.ok()) {
+    // A parsed query must survive the ToString round trip.
+    auto again = rdf::SparqlParser::Parse(result->ToString());
+    EXPECT_TRUE(again.ok()) << "reparse of ToString failed: "
+                            << again.status().ToString();
+    return;
+  }
+  EXPECT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
+  EXPECT_NE(result.status().ToString().find("at byte"), std::string::npos)
+      << "parse error lost its position info: " << result.status().ToString();
+}
+
+TEST(SparqlParserFuzzTest, SurvivesRegressionCorpus) {
+  std::vector<CorpusEntry> corpus = LoadCorpus("sparql");
+  ASSERT_FALSE(corpus.empty()) << "corpus missing — check "
+                               << GANSWER_FUZZ_CORPUS_DIR;
+  for (const CorpusEntry& e : corpus) {
+    SCOPED_TRACE("corpus file: " + e.name);
+    DriveParser(e.bytes);
+  }
+}
+
+TEST(SparqlParserFuzzTest, SurvivesMutatedValidQueries) {
+  const std::vector<std::string> valid = {
+      "SELECT ?x WHERE { ?x <knows> ?y . }",
+      "SELECT DISTINCT ?a ?b WHERE { ?a <p> ?b . ?b <q> <v0> . } "
+      "ORDER BY DESC(?a) LIMIT 10 OFFSET 2",
+      "ASK WHERE { <v1> <p> \"literal value\" . }",
+      "SELECT * WHERE { ?s ?p ?o . }",
+  };
+  ForEachSeed(4000, 60, [&](uint64_t seed) {
+    Rng rng(seed);
+    for (const std::string& base : valid) {
+      std::string mutated = MutateN(base, rng, 1 + rng.Next(4));
+      SCOPED_TRACE("input bytes: " + mutated);
+      DriveParser(mutated);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace ganswer

@@ -15,18 +15,15 @@
 #include "paraphrase/dictionary_builder.h"
 #include "paraphrase/paraphrase_dictionary.h"
 #include "qa/ganswer.h"
+#include "test_support.h"
 
 namespace ganswer {
 namespace {
 
 datagen::KbGenerator::GeneratedKb& Kb() {
   static auto* kb = [] {
-    datagen::KbGenerator::Options opt;
-    opt.num_families = 80;
-    opt.num_films = 60;
-    opt.num_cities = 30;
-    opt.num_companies = 30;
-    auto generated = datagen::KbGenerator::Generate(opt);
+    auto generated =
+        datagen::KbGenerator::Generate(testing::SmallKbOptions());
     EXPECT_TRUE(generated.ok());
     return new datagen::KbGenerator::GeneratedKb(std::move(generated).value());
   }();

@@ -1,0 +1,213 @@
+#ifndef GANSWER_TESTS_ORACLE_MATCH_ORACLE_H_
+#define GANSWER_TESTS_ORACLE_MATCH_ORACLE_H_
+
+// Reference oracle for the TA-style top-k matcher: enumerate EVERY
+// injective assignment of query vertices to graph terms, check Definition 3
+// directly against the RAW triple list (own adjacency, own rdf:type /
+// subclass closure — nothing shared with CandidateSpace, SubgraphMatcher or
+// the CSR), score by Definition 6, rank by the pinned MatchOrder and cut
+// with the documented keep-ties rule.
+//
+// Caveat: the oracle assigns every query vertex, so it only agrees with
+// TopKMatcher on CONNECTED query graphs (the matcher leaves vertices
+// outside the anchor's component as kInvalidTerm). Generators must produce
+// connected queries.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "match/query_graph.h"
+#include "paraphrase/predicate_path.h"
+#include "rdf/rdf_graph.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace testing {
+
+class MatchOracle {
+ public:
+  MatchOracle(const rdf::RdfGraph& graph, const std::vector<RawTriple>& raw)
+      : dict_(graph.dict()) {
+    num_terms_ = dict_.size();
+    auto type_id = dict_.Lookup(rdf::kTypePredicate);
+    auto sub_id = dict_.Lookup(rdf::kSubClassOfPredicate);
+    for (const RawTriple& t : raw) {
+      auto s = dict_.Lookup(t.s, rdf::TermKind::kIri);
+      auto p = dict_.Lookup(t.p, rdf::TermKind::kIri);
+      auto o = dict_.Lookup(t.o, t.object_kind);
+      if (!s || !p || !o) std::abort();
+      if (!triples_.insert({*s, *p, *o}).second) continue;
+      out_[*s].push_back({*p, *o});
+      in_[*o].push_back({*p, *s});
+      if (type_id && *p == *type_id) direct_types_[*s].insert(*o);
+      if (sub_id && *p == *sub_id) subclass_[*s].insert(*o);
+    }
+  }
+
+  bool HasTriple(rdf::TermId s, rdf::TermId p, rdf::TermId o) const {
+    return triples_.count({s, p, o}) > 0;
+  }
+
+  /// rdf:type with the reflexive-transitive rdfs:subClassOf closure,
+  /// computed here from the raw triples (differentially checks the graph's
+  /// own type machinery).
+  bool IsInstanceOf(rdf::TermId v, rdf::TermId cls) const {
+    auto it = direct_types_.find(v);
+    if (it == direct_types_.end()) return false;
+    for (rdf::TermId t : it->second) {
+      if (t == cls || ReachesSuper(t, cls)) return true;
+    }
+    return false;
+  }
+
+  /// PathConnects semantics: some vertex-simple instantiation of \p path
+  /// (read from `from`) ends at `to`.
+  bool PathConnects(rdf::TermId from, rdf::TermId to,
+                    const paraphrase::PredicatePath& path) const {
+    std::vector<rdf::TermId> chain{from};
+    return Instantiate(from, path, 0, &chain, to);
+  }
+
+  std::optional<double> VertexDelta(const match::QueryVertex& qv,
+                                    rdf::TermId u) const {
+    if (qv.wildcard) return qv.wildcard_confidence;
+    double best = -1;
+    for (const linking::LinkCandidate& c : qv.candidates) {
+      if (c.is_class) {
+        if (IsInstanceOf(u, c.vertex)) best = std::max(best, c.confidence);
+      } else if (c.vertex == u) {
+        best = std::max(best, c.confidence);
+      }
+    }
+    if (best <= 0) return std::nullopt;
+    return best;
+  }
+
+  std::optional<double> EdgeDelta(const match::QueryEdge& e, rdf::TermId uf,
+                                  rdf::TermId ut) const {
+    if (e.wildcard) {
+      auto it = out_.find(uf);
+      if (it != out_.end()) {
+        for (const auto& [p, o] : it->second) {
+          if (o == ut) return e.wildcard_confidence;
+        }
+      }
+      it = in_.find(uf);
+      if (it != in_.end()) {
+        for (const auto& [p, s] : it->second) {
+          if (s == ut) return e.wildcard_confidence;
+        }
+      }
+      return std::nullopt;
+    }
+    std::optional<double> best;
+    for (const paraphrase::ParaphraseEntry& cand : e.candidates) {
+      if (best.has_value() && cand.confidence <= *best) continue;
+      bool connects;
+      if (cand.path.IsSinglePredicate()) {
+        rdf::TermId p = cand.path.steps[0].predicate;
+        connects = HasTriple(uf, p, ut) || HasTriple(ut, p, uf);
+      } else {
+        // uf stands at the edge's arg1 here (callers pass uf = vertex
+        // matched to e.from), so the path is walked as written.
+        connects = PathConnects(uf, ut, cand.path);
+      }
+      if (connects) best = cand.confidence;
+    }
+    return best;
+  }
+
+  /// Every injective full assignment satisfying Definition 3, scored by
+  /// Definition 6, sorted by the pinned MatchOrder. Not cut to k.
+  std::vector<match::Match> AllMatches(const match::QueryGraph& q) const {
+    std::vector<match::Match> out;
+    std::vector<rdf::TermId> assignment(q.vertices.size(), rdf::kInvalidTerm);
+    std::function<void(size_t, double)> rec = [&](size_t depth, double score) {
+      if (depth == q.vertices.size()) {
+        double edge_score = 0;
+        for (const match::QueryEdge& e : q.edges) {
+          auto d = EdgeDelta(e, assignment[e.from], assignment[e.to]);
+          if (!d.has_value()) return;
+          edge_score += std::log(*d);
+        }
+        match::Match m;
+        m.assignment = assignment;
+        m.score = score + edge_score;
+        out.push_back(std::move(m));
+        return;
+      }
+      for (rdf::TermId u = 0; u < num_terms_; ++u) {
+        bool used = false;
+        for (size_t i = 0; i < depth; ++i) {
+          if (assignment[i] == u) used = true;
+        }
+        if (used) continue;
+        auto d = VertexDelta(q.vertices[depth], u);
+        if (!d.has_value()) continue;
+        assignment[depth] = u;
+        rec(depth + 1, score + std::log(*d));
+        assignment[depth] = rdf::kInvalidTerm;
+      }
+    };
+    rec(0, 0.0);
+    std::sort(out.begin(), out.end(), match::MatchOrder);
+    return out;
+  }
+
+ private:
+  bool ReachesSuper(rdf::TermId cls, rdf::TermId target) const {
+    std::set<rdf::TermId> seen{cls};
+    std::vector<rdf::TermId> stack{cls};
+    while (!stack.empty()) {
+      rdf::TermId c = stack.back();
+      stack.pop_back();
+      if (c == target) return true;
+      auto it = subclass_.find(c);
+      if (it == subclass_.end()) continue;
+      for (rdf::TermId super : it->second) {
+        if (seen.insert(super).second) stack.push_back(super);
+      }
+    }
+    return false;
+  }
+
+  bool Instantiate(rdf::TermId v, const paraphrase::PredicatePath& path,
+                   size_t depth, std::vector<rdf::TermId>* chain,
+                   rdf::TermId target) const {
+    if (depth == path.steps.size()) return v == target;
+    const paraphrase::PathStep& step = path.steps[depth];
+    const auto& adj = step.forward ? out_ : in_;
+    auto it = adj.find(v);
+    if (it == adj.end()) return false;
+    for (const auto& [p, next] : it->second) {
+      if (p != step.predicate) continue;
+      if (std::find(chain->begin(), chain->end(), next) != chain->end()) {
+        continue;
+      }
+      chain->push_back(next);
+      bool hit = Instantiate(next, path, depth + 1, chain, target);
+      chain->pop_back();
+      if (hit) return true;
+    }
+    return false;
+  }
+
+  const rdf::TermDictionary& dict_;
+  rdf::TermId num_terms_ = 0;
+  std::set<std::array<rdf::TermId, 3>> triples_;
+  std::map<rdf::TermId, std::vector<std::pair<rdf::TermId, rdf::TermId>>> out_;
+  std::map<rdf::TermId, std::vector<std::pair<rdf::TermId, rdf::TermId>>> in_;
+  std::map<rdf::TermId, std::set<rdf::TermId>> direct_types_;
+  std::map<rdf::TermId, std::set<rdf::TermId>> subclass_;
+};
+
+}  // namespace testing
+}  // namespace ganswer
+
+#endif  // GANSWER_TESTS_ORACLE_MATCH_ORACLE_H_

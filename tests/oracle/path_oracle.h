@@ -1,0 +1,104 @@
+#ifndef GANSWER_TESTS_ORACLE_PATH_ORACLE_H_
+#define GANSWER_TESTS_ORACLE_PATH_ORACLE_H_
+
+// Reference oracle for PathFinder: enumerate ALL simple undirected paths
+// between two vertices by plain DFS over the raw triple list — no reverse
+// BFS distance map, no pruning — and report the distinct predicate paths.
+// PathFinder's bidirectional pruning must return exactly this set.
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "paraphrase/predicate_path.h"
+#include "paraphrase/path_finder.h"
+#include "rdf/rdf_graph.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace testing {
+
+/// All distinct predicate paths realized by simple paths from \p from to
+/// \p to of length <= options.max_length, mirroring PathFinder's contract:
+/// `to` terminates a path on first arrival, schema edges are skipped when
+/// requested, intermediate vertices (never the endpoints) respect the hub
+/// guard. Result is sorted, like PathFinder's.
+inline std::vector<paraphrase::PredicatePath> NaiveEnumeratePaths(
+    const rdf::RdfGraph& graph, const std::vector<RawTriple>& raw,
+    rdf::TermId from, rdf::TermId to,
+    const paraphrase::PathFinder::Options& options) {
+  std::vector<paraphrase::PredicatePath> result;
+  if (from == to) return result;
+
+  const rdf::TermDictionary& dict = graph.dict();
+  // Own adjacency from the raw triples (deduplicated).
+  std::set<std::array<rdf::TermId, 3>> triples;
+  std::map<rdf::TermId, std::vector<std::pair<rdf::TermId, rdf::TermId>>> out,
+      in;
+  std::map<rdf::TermId, size_t> degree;
+  for (const RawTriple& t : raw) {
+    auto s = dict.Lookup(t.s, rdf::TermKind::kIri);
+    auto p = dict.Lookup(t.p, rdf::TermKind::kIri);
+    auto o = dict.Lookup(t.o, t.object_kind);
+    if (!s || !p || !o) std::abort();
+    if (!triples.insert({*s, *p, *o}).second) continue;
+    out[*s].push_back({*p, *o});
+    in[*o].push_back({*p, *s});
+    ++degree[*s];
+    ++degree[*o];
+  }
+
+  auto is_schema = [&](rdf::TermId p) {
+    if (!options.skip_schema_edges) return false;
+    return p == graph.type_predicate() || p == graph.subclass_predicate() ||
+           p == graph.label_predicate();
+  };
+  auto hub_blocked = [&](rdf::TermId v) {
+    if (options.max_intermediate_degree == 0) return false;
+    auto it = degree.find(v);
+    return it != degree.end() && it->second > options.max_intermediate_degree;
+  };
+
+  std::set<paraphrase::PredicatePath> seen;
+  std::vector<rdf::TermId> chain{from};
+  paraphrase::PredicatePath current;
+
+  std::function<void(rdf::TermId)> dfs = [&](rdf::TermId v) {
+    if (v == to && !current.steps.empty()) {
+      seen.insert(current);
+      return;  // simple paths cannot revisit `to`
+    }
+    if (current.steps.size() >= options.max_length) return;
+    auto try_edge = [&](rdf::TermId p, rdf::TermId next, bool forward) {
+      if (is_schema(p)) return;
+      if (next != to && hub_blocked(next)) return;
+      if (std::find(chain.begin(), chain.end(), next) != chain.end()) return;
+      chain.push_back(next);
+      current.steps.push_back({p, forward});
+      dfs(next);
+      current.steps.pop_back();
+      chain.pop_back();
+    };
+    auto oit = out.find(v);
+    if (oit != out.end()) {
+      for (const auto& [p, o] : oit->second) try_edge(p, o, true);
+    }
+    auto iit = in.find(v);
+    if (iit != in.end()) {
+      for (const auto& [p, s] : iit->second) try_edge(p, s, false);
+    }
+  };
+  dfs(from);
+
+  result.assign(seen.begin(), seen.end());
+  return result;
+}
+
+}  // namespace testing
+}  // namespace ganswer
+
+#endif  // GANSWER_TESTS_ORACLE_PATH_ORACLE_H_

@@ -1,0 +1,104 @@
+// Differential test: PathFinder (reverse-BFS distance pruning, schema
+// skipping, hub guard) vs the naive enumerate-all-simple-paths DFS oracle,
+// over randomized graphs and randomized endpoint pairs. Both sides return
+// sorted distinct predicate paths, so the comparison is exact vector
+// equality.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "oracle/path_oracle.h"
+#include "paraphrase/path_finder.h"
+#include "prop/prop_support.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace testing {
+namespace {
+
+void CheckPair(const RandomGraphData& data, rdf::TermId from, rdf::TermId to,
+               const paraphrase::PathFinder::Options& opt) {
+  SCOPED_TRACE("from=" + data.graph.dict().text(from) +
+               " to=" + data.graph.dict().text(to) +
+               " theta=" + std::to_string(opt.max_length) +
+               " skip_schema=" + std::to_string(opt.skip_schema_edges) +
+               " hub=" + std::to_string(opt.max_intermediate_degree));
+  paraphrase::PathFinder finder(data.graph, opt);
+  std::vector<paraphrase::PredicatePath> got = finder.FindPaths(from, to);
+  std::vector<paraphrase::PredicatePath> want =
+      NaiveEnumeratePaths(data.graph, data.triples, from, to, opt);
+  EXPECT_EQ(got, want);
+}
+
+// 14 random graphs x 5 endpoint pairs x 3 option sets = 210 differential
+// instances at fixed seeds.
+TEST(PathOracleTest, FinderMatchesNaiveDfs) {
+  ForEachSeed(8000, 14, [](uint64_t seed) {
+    Rng rng(seed);
+    RandomGraphOptions gopts;
+    gopts.num_vertices = 6 + rng.Next(5);
+    gopts.num_predicates = 2 + rng.Next(3);
+    gopts.num_triples = 12 + rng.Next(16);
+    gopts.type_rate = 0.4;  // schema edges present so skipping matters
+    RandomGraphData data = BuildRandomGraph(seed * 11 + 2, gopts);
+
+    paraphrase::PathFinder::Options base;
+    base.max_paths = 0;  // oracle has no cap
+
+    for (int pair = 0; pair < 5; ++pair) {
+      auto from = data.graph.Find("v" + std::to_string(rng.Next(gopts.num_vertices)));
+      auto to = data.graph.Find("v" + std::to_string(rng.Next(gopts.num_vertices)));
+      if (!from.has_value() || !to.has_value()) continue;  // vertex never added
+
+      paraphrase::PathFinder::Options a = base;
+      a.max_length = 2;
+      CheckPair(data, *from, *to, a);
+
+      paraphrase::PathFinder::Options b = base;
+      b.max_length = 4;
+      b.skip_schema_edges = rng.Chance(0.5);
+      CheckPair(data, *from, *to, b);
+
+      paraphrase::PathFinder::Options c = base;
+      c.max_length = 3;
+      c.max_intermediate_degree = 2 + rng.Next(4);
+      CheckPair(data, *from, *to, c);
+    }
+  });
+}
+
+// Deterministic corners: self pair, disconnected pair, path through the
+// target (the `to` vertex terminates a path on first arrival — longer
+// continuations through it must not be reported).
+TEST(PathOracleTest, EdgeCases) {
+  RandomGraphData data;
+  auto add = [&](const std::string& s, const std::string& p,
+                 const std::string& o) {
+    data.graph.AddTriple(s, p, o);
+    data.triples.push_back({s, p, o, rdf::TermKind::kIri});
+  };
+  // a -p0-> b -p1-> c -p2-> d, plus b -p3-> d and an isolated edge x->y.
+  add("a", "p0", "b");
+  add("b", "p1", "c");
+  add("c", "p2", "d");
+  add("b", "p3", "d");
+  add("x", "p0", "y");
+  ASSERT_TRUE(data.graph.Finalize().ok());
+
+  paraphrase::PathFinder::Options opt;
+  opt.max_length = 4;
+
+  auto id = [&](const std::string& n) { return *data.graph.Find(n); };
+  CheckPair(data, id("a"), id("d"), opt);  // two routes, one through c
+  CheckPair(data, id("a"), id("b"), opt);  // `to` adjacent: 1-step only path
+  CheckPair(data, id("a"), id("y"), opt);  // disconnected: empty
+
+  paraphrase::PathFinder finder(data.graph, opt);
+  EXPECT_TRUE(finder.FindPaths(id("a"), id("a")).empty());
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace ganswer

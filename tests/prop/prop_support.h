@@ -1,0 +1,67 @@
+#ifndef GANSWER_TESTS_PROP_PROP_SUPPORT_H_
+#define GANSWER_TESTS_PROP_PROP_SUPPORT_H_
+
+// Tiny property-test harness on top of GoogleTest.
+//
+// A property test calls ForEachSeed(base, count, body): `body(seed)` runs
+// for the fixed seeds base, base+1, ..., base+count-1 (so CI is fully
+// deterministic), unless the GANSWER_PROP_SEED environment variable is set,
+// in which case exactly that one seed runs — that is the replay path.
+//
+// When a seed fails (any fatal or non-fatal GoogleTest failure inside
+// `body`), the harness stops and prints a one-line repro:
+//
+//   [prop-repro] GANSWER_PROP_SEED=<seed> ./<binary> --gtest_filter=<test>
+//
+// Re-running the printed command reproduces exactly the failing instance,
+// because every generator in tests/test_support.h is a pure function of its
+// seed. The nightly CI job exports a fresh GANSWER_PROP_SEED per run to
+// widen coverage beyond the fixed ranges.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "test_support.h"
+
+namespace ganswer {
+namespace testing {
+
+inline void PrintSeedRepro(uint64_t seed) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string filter = info == nullptr
+                           ? "<test>"
+                           : std::string(info->test_suite_name()) + "." +
+                                 info->name();
+  std::cerr << "[prop-repro] GANSWER_PROP_SEED=" << seed
+            << " ctest/--gtest_filter=" << filter << std::endl;
+}
+
+template <typename Fn>
+void ForEachSeed(uint64_t base, size_t count, Fn&& body) {
+  if (std::optional<uint64_t> over = PropSeedOverride()) {
+    SCOPED_TRACE("GANSWER_PROP_SEED=" + std::to_string(*over));
+    body(*over);
+    if (::testing::Test::HasFailure()) PrintSeedRepro(*over);
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t seed = base + i;
+    {
+      SCOPED_TRACE("seed=" + std::to_string(seed));
+      body(seed);
+    }
+    if (::testing::Test::HasFailure()) {
+      PrintSeedRepro(seed);
+      return;  // stop at the first failing seed; one repro line, small logs
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace ganswer
+
+#endif  // GANSWER_TESTS_PROP_PROP_SUPPORT_H_

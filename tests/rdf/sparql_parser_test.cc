@@ -78,6 +78,49 @@ TEST(SparqlParserTest, RejectsUnterminatedTokens) {
   EXPECT_FALSE(SparqlParser::Parse("SELECT ?x { ?x <p> \"lit }").ok());
 }
 
+// Every parse error must carry the byte offset of the offending token so a
+// failing query from a log or the fuzz corpus is diagnosable. The offsets
+// below are load-bearing: they point at the first bad byte.
+TEST(SparqlParserTest, ErrorsCarryBytePositions) {
+  auto expect_error_at = [](std::string_view text, size_t byte) {
+    auto q = SparqlParser::Parse(text);
+    ASSERT_FALSE(q.ok()) << text;
+    EXPECT_TRUE(q.status().IsInvalidArgument()) << q.status().ToString();
+    std::string want = "at byte " + std::to_string(byte);
+    EXPECT_NE(q.status().ToString().find(want), std::string::npos)
+        << "for input [" << text << "] got: " << q.status().ToString();
+  };
+  expect_error_at("FROB ?x { }", 0);                       // bad first keyword
+  expect_error_at("SELECT ?x WHERE ?x <p> ?y }", 16);      // missing '{'
+  expect_error_at("SELECT ? WHERE { }", 7);                // empty var name
+  expect_error_at("SELECT ?x WHERE { ?x <p ?y }", 21);     // unterminated IRI
+  expect_error_at("ASK { <a> <p> \"oops }", 14);           // unterminated lit
+  expect_error_at("SELECT ?x { ?x <p> ?y } LIMIT ?z", 30); // LIMIT non-number
+}
+
+// Regression: a LIMIT/OFFSET count too large for uint64 used to throw
+// std::out_of_range out of std::stoull and crash; it must be a clean
+// InvalidArgument now (the fuzz corpus pins the same inputs).
+TEST(SparqlParserTest, RejectsOverflowingLimitAndOffset) {
+  auto q = SparqlParser::Parse(
+      "SELECT ?x WHERE { ?x <p> ?y } LIMIT 99999999999999999999999999");
+  ASSERT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsInvalidArgument());
+  EXPECT_NE(q.status().ToString().find("out of range"), std::string::npos)
+      << q.status().ToString();
+
+  auto q2 = SparqlParser::Parse(
+      "SELECT ?x WHERE { ?x <p> ?y } OFFSET 184467440737095516160");
+  ASSERT_FALSE(q2.ok());
+  EXPECT_TRUE(q2.status().IsInvalidArgument());
+
+  // The largest representable count still parses.
+  auto ok = SparqlParser::Parse(
+      "SELECT ?x WHERE { ?x <p> ?y } LIMIT 18446744073709551615");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(*ok->limit, 18446744073709551615ull);
+}
+
 TEST(SparqlParserTest, ToStringRoundTripsThroughParser) {
   auto q = SparqlParser::Parse(
       "SELECT DISTINCT ?v0 WHERE { ?v0 <spouse> ?v1 . ?v1 rdf:type <Actor> . "

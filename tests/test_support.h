@@ -1,17 +1,180 @@
 #ifndef GANSWER_TESTS_TEST_SUPPORT_H_
 #define GANSWER_TESTS_TEST_SUPPORT_H_
 
+#include <algorithm>
+#include <cstdlib>
 #include <memory>
+#include <optional>
+#include <string>
+#include <vector>
 
+#include "common/random.h"
 #include "datagen/kb_generator.h"
 #include "datagen/phrase_dataset_generator.h"
 #include "datagen/workload.h"
 #include "nlp/lexicon.h"
 #include "paraphrase/dictionary_builder.h"
 #include "paraphrase/paraphrase_dictionary.h"
+#include "rdf/rdf_graph.h"
 
 namespace ganswer {
 namespace testing {
+
+// ---------------------------------------------------------------------------
+// Seed plumbing (property tests / randomized oracles)
+// ---------------------------------------------------------------------------
+
+/// The GANSWER_PROP_SEED environment override, when set to a parsable
+/// integer. Property tests run exactly this one seed instead of their fixed
+/// seed range, which is how a failure printed as
+/// "GANSWER_PROP_SEED=<seed>" is replayed.
+inline std::optional<uint64_t> PropSeedOverride() {
+  const char* env = std::getenv("GANSWER_PROP_SEED");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return std::nullopt;
+  return static_cast<uint64_t>(v);
+}
+
+// ---------------------------------------------------------------------------
+// Random raw graphs (oracle / differential tests)
+// ---------------------------------------------------------------------------
+
+/// One triple as added, in text form. The raw list is the ground truth the
+/// reference oracles evaluate against, independent of RdfGraph's CSR.
+struct RawTriple {
+  std::string s;
+  std::string p;
+  std::string o;
+  rdf::TermKind object_kind = rdf::TermKind::kIri;
+
+  friend bool operator==(const RawTriple&, const RawTriple&) = default;
+  friend auto operator<=>(const RawTriple&, const RawTriple&) = default;
+};
+
+struct RandomGraphOptions {
+  size_t num_vertices = 10;
+  size_t num_predicates = 3;
+  size_t num_triples = 24;
+  /// Class vertices "C0".."C{n-1}"; typed vertices get rdf:type edges.
+  size_t num_classes = 2;
+  /// Probability that a vertex receives an rdf:type triple.
+  double type_rate = 0.3;
+  /// Probability that a triple's object is a literal term.
+  double literal_rate = 0.0;
+  /// Probability that a generated triple duplicates the previous one
+  /// (exercises Finalize()'s dedup).
+  double duplicate_rate = 0.1;
+};
+
+struct RandomGraphData {
+  rdf::RdfGraph graph;
+  /// Deduplicated, sorted list of exactly the triples added.
+  std::vector<RawTriple> triples;
+};
+
+/// Deterministic random multigraph: vertices "v0"..,"p0".. predicates,
+/// optional classes and literals. Same seed + options => same graph,
+/// byte for byte.
+inline RandomGraphData BuildRandomGraph(uint64_t seed,
+                                        const RandomGraphOptions& opts = {}) {
+  Rng rng(seed);
+  RandomGraphData out;
+  std::vector<std::string> vs, ps;
+  for (size_t i = 0; i < opts.num_vertices; ++i) {
+    vs.push_back("v" + std::to_string(i));
+  }
+  for (size_t i = 0; i < opts.num_predicates; ++i) {
+    ps.push_back("p" + std::to_string(i));
+  }
+
+  auto add = [&](RawTriple t) {
+    out.graph.AddTriple(t.s, t.p, t.o, t.object_kind);
+    out.triples.push_back(std::move(t));
+  };
+
+  for (size_t i = 0; i < opts.num_triples; ++i) {
+    if (!out.triples.empty() && rng.Chance(opts.duplicate_rate)) {
+      add(out.triples.back());
+      continue;
+    }
+    RawTriple t;
+    t.s = rng.Pick(vs);
+    t.p = rng.Pick(ps);
+    if (rng.Chance(opts.literal_rate)) {
+      t.o = "lit" + std::to_string(rng.Next(opts.num_vertices));
+      t.object_kind = rdf::TermKind::kLiteral;
+    } else {
+      t.o = rng.Pick(vs);
+    }
+    add(std::move(t));
+  }
+  if (opts.num_classes > 0) {
+    for (const std::string& v : vs) {
+      if (!rng.Chance(opts.type_rate)) continue;
+      RawTriple t{v, std::string(rdf::kTypePredicate),
+                  "C" + std::to_string(rng.Next(opts.num_classes)),
+                  rdf::TermKind::kIri};
+      add(std::move(t));
+    }
+  }
+  std::sort(out.triples.begin(), out.triples.end());
+  out.triples.erase(std::unique(out.triples.begin(), out.triples.end()),
+                    out.triples.end());
+  if (!out.graph.Finalize().ok()) std::abort();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Random generated KBs (pipeline-level tests)
+// ---------------------------------------------------------------------------
+
+/// Scaled-down KbGenerator options shared by the determinism / property
+/// tests: big enough that mining and matching have real work, small enough
+/// that a test binary can afford several generations.
+inline datagen::KbGenerator::Options SmallKbOptions(uint64_t seed = 42) {
+  datagen::KbGenerator::Options opt;
+  opt.seed = seed;
+  opt.num_families = 80;
+  opt.num_films = 60;
+  opt.num_cities = 30;
+  opt.num_companies = 30;
+  return opt;
+}
+
+/// A complete mini QA world — KB, mined dictionary, gold workload — built
+/// from one seed. Everything downstream of the seed is deterministic.
+struct MiniWorld {
+  datagen::KbGenerator::GeneratedKb kb;
+  nlp::Lexicon lexicon;
+  std::unique_ptr<paraphrase::ParaphraseDictionary> dict;
+  std::vector<datagen::GoldQuestion> workload;
+};
+
+inline std::unique_ptr<MiniWorld> BuildMiniWorld(uint64_t seed) {
+  auto w = std::make_unique<MiniWorld>();
+  auto kb = datagen::KbGenerator::Generate(SmallKbOptions(seed));
+  if (!kb.ok()) std::abort();
+  w->kb = std::move(kb).value();
+  datagen::PhraseDatasetGenerator::Options popt;
+  popt.num_filler_phrases = 25;
+  auto phrases = datagen::PhraseDatasetGenerator::Generate(w->kb, popt);
+  auto dataset = datagen::PhraseDatasetGenerator::StripGold(phrases);
+  w->dict = std::make_unique<paraphrase::ParaphraseDictionary>(&w->lexicon);
+  paraphrase::DictionaryBuilder::Options bopt;
+  bopt.max_path_length = 3;
+  paraphrase::DictionaryBuilder builder(bopt);
+  if (!builder.Build(w->kb.graph, dataset, w->dict.get()).ok()) std::abort();
+  datagen::WorkloadGenerator::Options wopt;
+  wopt.seed = seed + 1;
+  w->workload = datagen::WorkloadGenerator::Generate(w->kb, wopt);
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// The default shared world (built once per test binary)
+// ---------------------------------------------------------------------------
 
 /// Shared, lazily built artifacts so a test binary generates the KB and
 /// mines the dictionary once. All pieces are deterministic (fixed seeds).
