@@ -1,0 +1,186 @@
+// Over-the-wire QPS: the loopback load generator for the serving tier.
+//
+// Extends the PR 2 table12 story — in-process BatchAnswer QPS and
+// cached-vs-uncached throughput — to a real socket: the full path is now
+// HTTP parse -> admission queue -> worker Ask() -> JSON response, measured
+// from the client side. Each config boots a QaService on an ephemeral
+// port, runs C closed-loop client threads over keep-alive connections, and
+// reports QPS plus p50/p95/p99 latency as BENCH_JSON lines:
+//
+//   BENCH_JSON {"bench":"httpd_loopback","threads":4,"clients":8,...}
+//
+// Run: ./build/bench/bench_httpd_loopback [requests_per_client]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support.h"
+#include "common/timer.h"
+#include "server/http_client.h"
+#include "server/qa_service.h"
+#include "store/snapshot.h"
+
+using namespace ganswer;
+
+namespace {
+
+struct LoadResult {
+  size_t ok = 0;
+  size_t rejected = 0;  ///< 503 overflow answers.
+  size_t errors = 0;
+  std::vector<double> latencies_ms;
+  double wall_s = 0;
+};
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0;
+  size_t idx = static_cast<size_t>(p * (values->size() - 1));
+  std::nth_element(values->begin(),
+                   values->begin() + static_cast<ptrdiff_t>(idx),
+                   values->end());
+  return (*values)[idx];
+}
+
+/// C closed-loop clients, each issuing `per_client` POST /answer requests
+/// over one keep-alive connection, questions drawn round-robin from the
+/// workload.
+LoadResult RunLoad(int port, const std::vector<std::string>& questions,
+                   int clients, size_t per_client) {
+  std::vector<LoadResult> partial(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  WallTimer wall;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      LoadResult& mine = partial[static_cast<size_t>(c)];
+      server::BlockingHttpClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) return;
+      for (size_t i = 0; i < per_client; ++i) {
+        const std::string& q =
+            questions[(static_cast<size_t>(c) + i) % questions.size()];
+        std::string body = "{\"question\": \"" + q + "\"}";
+        WallTimer timer;
+        auto response = client.Post("/answer", body);
+        double ms = timer.ElapsedMillis();
+        if (!response.ok()) {
+          ++mine.errors;
+          continue;
+        }
+        if (response->status == 200) {
+          ++mine.ok;
+          mine.latencies_ms.push_back(ms);
+        } else if (response->status == 503) {
+          ++mine.rejected;
+        } else {
+          ++mine.errors;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoadResult total;
+  total.wall_s = wall.ElapsedSeconds();
+  for (LoadResult& p : partial) {
+    total.ok += p.ok;
+    total.rejected += p.rejected;
+    total.errors += p.errors;
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              p.latencies_ms.begin(), p.latencies_ms.end());
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t per_client = argc > 1 ? static_cast<size_t>(std::atoll(argv[1]))
+                               : 200;
+
+  bench::Header("Serving tier: over-the-wire QPS and latency (loopback)");
+
+  // Offline once: demo KB -> snapshot file the service cold-starts from.
+  bench::BenchWorld world = bench::BuildWorld();
+  const std::string snapshot_path = "bench_httpd_loopback.snap";
+  if (Status st = store::WriteSnapshotFile(world.kb.graph, *world.verified,
+                                           snapshot_path);
+      !st.ok()) {
+    std::fprintf(stderr, "snapshot write failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::vector<std::string> questions;
+  for (const auto& gold : world.workload) {
+    if (!gold.is_ask) questions.push_back(gold.text);
+    if (questions.size() >= 64) break;
+  }
+  if (questions.empty()) questions.push_back("Who is the mayor of Berlin ?");
+
+  struct Config {
+    int threads;
+    int clients;
+    int max_queue;
+    size_t cache;
+  };
+  const Config configs[] = {
+      {1, 2, 64, 0},      // serial worker, cache off: the floor
+      {4, 8, 64, 0},      // parallel workers, cache off
+      {4, 8, 64, 4096},   // parallel + question cache: the serving config
+      {4, 16, 4, 4096},   // tiny queue under pressure: load shedding story
+  };
+
+  std::printf("%8s %8s %10s %10s %10s %10s %10s %10s\n", "threads",
+              "clients", "max_queue", "qps", "p50_ms", "p95_ms", "p99_ms",
+              "rejected");
+  for (const Config& config : configs) {
+    server::QaService::Options options;
+    options.snapshot_path = snapshot_path;
+    options.port = 0;
+    options.threads = config.threads;
+    options.max_queue = config.max_queue;
+    options.question_cache_capacity = config.cache;
+    server::QaService service(options);
+    if (Status st = service.Start(); !st.ok()) {
+      std::fprintf(stderr, "startup failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    // Warm-up pass primes the cache (when on) and the connection path.
+    RunLoad(service.port(), questions, config.clients,
+            std::max<size_t>(per_client / 10, 1));
+    LoadResult result =
+        RunLoad(service.port(), questions, config.clients, per_client);
+    service.Shutdown();
+
+    double qps = result.wall_s > 0 ? result.ok / result.wall_s : 0;
+    std::vector<double> lat = result.latencies_ms;
+    double p50 = Percentile(&lat, 0.50);
+    double p95 = Percentile(&lat, 0.95);
+    double p99 = Percentile(&lat, 0.99);
+    std::printf("%8d %8d %10d %10.0f %10.3f %10.3f %10.3f %10zu\n",
+                config.threads, config.clients, config.max_queue, qps, p50,
+                p95, p99, result.rejected);
+
+    bench::JsonLine("httpd_loopback")
+        .Field("threads", config.threads)
+        .Field("clients", config.clients)
+        .Field("max_queue", config.max_queue)
+        .Field("cache_capacity", config.cache)
+        .Field("hardware_threads",
+               static_cast<int>(std::thread::hardware_concurrency()))
+        .Field("requests_ok", result.ok)
+        .Field("rejected_503", result.rejected)
+        .Field("errors", result.errors)
+        .Field("wall_s", result.wall_s)
+        .Field("qps", qps)
+        .Field("p50_ms", p50)
+        .Field("p95_ms", p95)
+        .Field("p99_ms", p99)
+        .Emit();
+  }
+  std::remove(snapshot_path.c_str());
+  return 0;
+}

@@ -1,0 +1,151 @@
+// qa_httpd — the production serving binary: snapshot in, HTTP out.
+//
+//   ./build/examples/qa_httpd --snapshot kb.snap --port 8080 \
+//       --threads 4 --max-queue 64
+//
+// Loads one store/snapshot file (build it with `snapshot_server build` or
+// `qa_httpd --build-demo-snapshot`), starts the QaService event loop, and
+// answers until SIGTERM/SIGINT:
+//
+//   curl localhost:8080/healthz
+//   curl -d '{"question": "Who is the mayor of Berlin ?"}' \
+//        localhost:8080/answer
+//   curl -d '{"query": "SELECT ?x WHERE { ?x <is_mayor_of> <Berlin> }"}' \
+//        localhost:8080/sparql
+//   curl localhost:8080/stats
+//
+// Shutdown is graceful: the listen socket closes first, in-flight requests
+// drain, responses flush, then the process exits 0.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "datagen/kb_generator.h"
+#include "datagen/phrase_dataset_generator.h"
+#include "nlp/lexicon.h"
+#include "paraphrase/dictionary_builder.h"
+#include "server/qa_service.h"
+#include "store/snapshot.h"
+
+using namespace ganswer;
+
+namespace {
+
+// SIGTERM/SIGINT land here; a self-pipe write is async-signal-safe and
+// wakes the main thread, which runs the actual (non-signal-safe) shutdown.
+int g_shutdown_pipe[2] = {-1, -1};
+
+void HandleSignal(int) {
+  char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_shutdown_pipe[1], &byte, 1);
+}
+
+int BuildDemoSnapshot(const std::string& path) {
+  auto kb = datagen::KbGenerator::Generate({});
+  if (!kb.ok()) {
+    std::fprintf(stderr, "KB generation failed: %s\n",
+                 kb.status().ToString().c_str());
+    return 1;
+  }
+  auto phrases = datagen::PhraseDatasetGenerator::Generate(*kb, {});
+  auto dataset = datagen::PhraseDatasetGenerator::StripGold(phrases);
+  nlp::Lexicon lexicon;
+  paraphrase::ParaphraseDictionary mined(&lexicon);
+  paraphrase::DictionaryBuilder::Options mopt;
+  mopt.max_path_length = 3;
+  paraphrase::DictionaryBuilder builder(mopt);
+  if (Status st = builder.Build(kb->graph, dataset, &mined); !st.ok()) {
+    std::fprintf(stderr, "mining failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  paraphrase::ParaphraseDictionary verified(&lexicon);
+  datagen::VerifyDictionary(phrases, kb->graph, mined, &verified);
+  if (Status st = store::WriteSnapshotFile(kb->graph, verified, path);
+      !st.ok()) {
+    std::fprintf(stderr, "snapshot write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote demo snapshot to %s\n", path.c_str());
+  return 0;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --snapshot FILE [--port N] [--address A] [--threads N]\n"
+      "          [--max-queue N] [--cache N] [--idle-timeout-ms N]\n"
+      "       %s --build-demo-snapshot FILE\n",
+      argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::QaService::Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--snapshot") == 0 && i + 1 < argc) {
+      options.snapshot_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      options.port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--address") == 0 && i + 1 < argc) {
+      options.bind_address = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-queue") == 0 && i + 1 < argc) {
+      options.max_queue = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      options.question_cache_capacity =
+          static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0 &&
+               i + 1 < argc) {
+      options.idle_timeout_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--build-demo-snapshot") == 0 &&
+               i + 1 < argc) {
+      return BuildDemoSnapshot(argv[++i]);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.snapshot_path.empty()) return Usage(argv[0]);
+
+  if (::pipe(g_shutdown_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // broken client sockets are per-write errors
+
+  server::QaService service(options);
+  if (Status st = service.Start(); !st.ok()) {
+    std::fprintf(stderr, "startup failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("qa_httpd serving on %s:%d (SIGTERM to stop)\n",
+              options.bind_address.c_str(), service.port());
+  std::fflush(stdout);
+
+  // Block until a signal arrives.
+  char byte;
+  while (::read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  service.Shutdown();
+
+  server::QaService::EndpointStats answers = service.answer_stats();
+  std::printf("served %llu /answer requests (%llu errors), rejected %llu\n",
+              static_cast<unsigned long long>(answers.requests),
+              static_cast<unsigned long long>(answers.errors),
+              static_cast<unsigned long long>(service.rejected_total()));
+  return 0;
+}

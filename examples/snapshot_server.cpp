@@ -1,22 +1,26 @@
 // Build-once, serve-many: the snapshot workflow for production startups.
 //
 //   ./build/examples/snapshot_server build kb.snap   # offline, pay once
-//   ./build/examples/snapshot_server serve kb.snap   # online, starts cold
+//   ./build/examples/snapshot_server serve kb.snap   # online over HTTP
 //   ./build/examples/snapshot_server demo            # both, self-contained
 //
 // `build` runs the full offline phase on the generated demo KB — mining
 // the paraphrase dictionary (Algorithm 1) and constructing the entity and
 // signature indexes — then writes everything into one versioned,
-// checksummed snapshot file. `serve` loads that file with bulk reads (no
-// re-interning, no re-indexing), wires the prebuilt indexes straight into
-// GAnswer with the question cache on, and answers questions from stdin.
-// `demo` runs build then serve-with-canned-questions and reports the
+// checksummed snapshot file. `serve` hands that file to the canonical
+// serving path, server::QaService (the same event-loop + worker-pool tier
+// behind qa_httpd), and answers POST /answer over HTTP until SIGINT.
+// `demo` runs build, boots the service on an ephemeral port, and drives it
+// over a real loopback socket with canned questions, reporting the
 // rebuild-vs-load timings and the cache counters.
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/timer.h"
@@ -25,8 +29,9 @@
 #include "linking/entity_index.h"
 #include "nlp/lexicon.h"
 #include "paraphrase/dictionary_builder.h"
-#include "qa/ganswer.h"
 #include "rdf/signature_index.h"
+#include "server/http_client.h"
+#include "server/qa_service.h"
 #include "store/snapshot.h"
 
 using namespace ganswer;
@@ -88,56 +93,27 @@ int BuildSnapshot(const std::string& path, double* rebuild_ms) {
   return 0;
 }
 
-struct Server {
-  nlp::Lexicon lexicon;
-  store::Snapshot snapshot;
-  std::unique_ptr<qa::GAnswer> system;
-  double load_ms = 0;
-};
-
-// The online phase: one snapshot read, zero rebuilds, cache on.
-int StartServer(const std::string& path, Server* server) {
+// The online phase, on the one canonical serving path: QaService loads the
+// snapshot (bulk reads, zero rebuilds, cache on) and serves HTTP.
+int StartService(const std::string& path, int port,
+                 std::unique_ptr<server::QaService>* service,
+                 double* load_ms) {
+  server::QaService::Options options;
+  options.snapshot_path = path;
+  options.port = port;
+  options.threads = 2;
+  options.question_cache_capacity = 1024;
   WallTimer timer;
-  auto snapshot = store::ReadSnapshotFile(path, &server->lexicon);
-  server->load_ms = timer.ElapsedMillis();
-  if (!snapshot.ok()) {
-    std::fprintf(stderr, "snapshot load failed: %s\n",
-                 snapshot.status().ToString().c_str());
+  *service = std::make_unique<server::QaService>(options);
+  if (Status st = (*service)->Start(); !st.ok()) {
+    std::fprintf(stderr, "startup failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  server->snapshot = std::move(snapshot).value();
-
-  qa::GAnswer::Options opt;
-  opt.entity_index = server->snapshot.entity_index.get();
-  opt.matching.signatures = server->snapshot.signatures.get();
-  opt.snapshot_identity = server->snapshot.fingerprint;
-  opt.question_cache_capacity = 1024;
-  server->system = std::make_unique<qa::GAnswer>(
-      server->snapshot.graph.get(), &server->lexicon,
-      server->snapshot.dictionary.get(), opt);
-  std::printf("serving %zu triples, snapshot loaded in %.2f ms\n",
-              server->snapshot.graph->NumTriples(), server->load_ms);
+  if (load_ms != nullptr) *load_ms = timer.ElapsedMillis();
+  std::printf("serving %zu triples on 127.0.0.1:%d\n",
+              (*service)->snapshot().graph->NumTriples(),
+              (*service)->port());
   return 0;
-}
-
-void AnswerOne(const qa::GAnswer& system, const std::string& q) {
-  auto r = system.Ask(q);
-  if (!r.ok()) {
-    std::printf("  error: %s\n", r.status().ToString().c_str());
-    return;
-  }
-  std::printf("Q: %s%s\n", q.c_str(), r->cache_hit ? "   [cache hit]" : "");
-  if (r->is_ask) {
-    std::printf("  %s\n", r->ask_result ? "yes" : "no");
-  } else if (r->answers.empty()) {
-    std::printf("  (no answers)\n");
-  } else {
-    for (const auto& a : r->answers) {
-      std::printf("  %s  (%.3f)\n", a.text.c_str(), a.score);
-    }
-  }
-  std::printf("  understanding %.2f ms, matching %.2f ms\n",
-              r->understanding_ms, r->evaluation_ms);
 }
 
 int RunDemo() {
@@ -145,23 +121,42 @@ int RunDemo() {
   double rebuild_ms = 0;
   if (int rc = BuildSnapshot(path, &rebuild_ms); rc != 0) return rc;
 
-  Server server;
-  if (int rc = StartServer(path, &server); rc != 0) return rc;
-  std::printf("offline rebuild was %.1f ms -> %.0fx faster startup\n\n",
-              rebuild_ms,
-              server.load_ms > 0 ? rebuild_ms / server.load_ms : 0.0);
+  std::unique_ptr<server::QaService> service;
+  double startup_ms = 0;
+  if (int rc = StartService(path, /*port=*/0, &service, &startup_ms);
+      rc != 0) {
+    return rc;
+  }
+  std::printf("offline rebuild was %.1f ms -> served after %.1f ms of "
+              "startup (load + bind)\n\n", rebuild_ms, startup_ms);
 
+  server::BlockingHttpClient client;
+  if (Status st = client.Connect("127.0.0.1", service->port()); !st.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
   const char* questions[] = {
       "Who is the mayor of Berlin ?",
       "What is the capital of Canada ?",
       "Who is the mayor of Berlin ?",  // repeat: served from the cache
   };
-  for (const char* q : questions) AnswerOne(*server.system, q);
+  for (const char* q : questions) {
+    auto r = client.Post("/answer",
+                         std::string("{\"question\": \"") + q + "\"}");
+    if (!r.ok()) {
+      std::fprintf(stderr, "request failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("Q: %s\n  HTTP %d %s\n", q, r->status, r->body.c_str());
+  }
 
-  auto stats = server.system->cache_stats();
+  auto stats = service->system()->cache_stats();
   std::printf("\ncache: %llu hits, %llu misses, %zu entries\n",
               static_cast<unsigned long long>(stats.hits),
               static_cast<unsigned long long>(stats.misses), stats.entries);
+  client.Close();
+  service->Shutdown();
   std::remove(path.c_str());
   return stats.hits >= 1 ? 0 : 1;
 }
@@ -173,18 +168,21 @@ int main(int argc, char** argv) {
     return BuildSnapshot(argv[2], nullptr);
   }
   if (argc >= 3 && std::strcmp(argv[1], "serve") == 0) {
-    Server server;
-    if (int rc = StartServer(argv[2], &server); rc != 0) return rc;
-    std::string line;
-    while (std::getline(std::cin, line)) {
-      if (!line.empty()) AnswerOne(*server.system, line);
+    std::unique_ptr<server::QaService> service;
+    int port = argc >= 4 ? std::atoi(argv[3]) : 8080;
+    if (int rc = StartService(argv[2], port, &service, nullptr); rc != 0) {
+      return rc;
     }
-    return 0;
+    // Serve until the process is killed; qa_httpd is the flagship binary
+    // with the full signal-driven graceful shutdown.
+    std::printf("POST /answer to port %d; Ctrl-C to stop\n",
+                service->port());
+    for (;;) pause();
   }
   if (argc == 1 || std::strcmp(argv[1], "demo") == 0) {
     return RunDemo();
   }
   std::fprintf(stderr,
-               "usage: %s build FILE | serve FILE | demo\n", argv[0]);
+               "usage: %s build FILE | serve FILE [PORT] | demo\n", argv[0]);
   return 2;
 }

@@ -2,11 +2,25 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace ganswer {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+// Leaked on purpose: logging must stay usable during static destruction
+// (worker threads may emit a final line while the process unwinds).
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+LogSink& SinkSlot() {
+  static LogSink* sink = new LogSink;
+  return *sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,7 +49,23 @@ void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  std::lock_guard<std::mutex> lock(LogMutex());
+  const LogSink& sink = SinkSlot();
+  if (sink) {
+    sink(level, message);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  }
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  SinkSlot() = std::move(sink);
+}
+
+void FlushLogs() {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fflush(stderr);
 }
 
 }  // namespace ganswer

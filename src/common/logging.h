@@ -1,6 +1,7 @@
 #ifndef GANSWER_COMMON_LOGGING_H_
 #define GANSWER_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,9 +13,23 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Emits one line to stderr as "[LEVEL] message". Thread-compatible (the
-/// library is single-threaded per pipeline instance).
+/// Emits one line as "[LEVEL] message". Thread-safe: sink invocations are
+/// serialized under an internal mutex, so lines from the event-loop thread
+/// and the worker pool never interleave mid-line (the server logs from
+/// both).
 void LogMessage(LogLevel level, const std::string& message);
+
+/// Replaces the sink (default: one fprintf line to stderr). Passing an
+/// empty function restores the default. The sink runs under the logging
+/// mutex — it sees strictly serialized calls — so it must not log
+/// recursively. Used by tests to capture output and by servers to redirect
+/// into a file.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void SetLogSink(LogSink sink);
+
+/// Flushes the underlying stream of the default sink. Call on shutdown so
+/// the last lines of a terminating server are never lost in stdio buffers.
+void FlushLogs();
 
 namespace internal {
 

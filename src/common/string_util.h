@@ -50,6 +50,18 @@ std::string NormalizeLabel(std::string_view label);
 /// True when \p s consists only of ASCII digits (and is non-empty).
 bool IsAllDigits(std::string_view s);
 
+/// Appends \p s to \p out escaped for inclusion inside a JSON string
+/// literal (the surrounding quotes are the caller's): `"` and `\` are
+/// backslash-escaped, control bytes < 0x20 become `\n`/`\t`/`\r`/`\b`/`\f`
+/// or `\u00XX`, and everything else — including multi-byte UTF-8 — passes
+/// through unchanged. Shared by every JSON producer (server responses,
+/// BENCH_JSON lines) so answer labels containing quotes can never yield
+/// invalid JSON.
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+/// Returns \p s JSON-escaped (AppendJsonEscaped into a fresh string).
+std::string JsonEscape(std::string_view s);
+
 }  // namespace ganswer
 
 #endif  // GANSWER_COMMON_STRING_UTIL_H_

@@ -1,0 +1,241 @@
+#include "server/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ganswer {
+namespace server {
+
+namespace {
+
+uint32_t ToEpoll(uint32_t events) {
+  uint32_t out = 0;
+  if (events & EventLoop::kReadable) out |= EPOLLIN;
+  if (events & EventLoop::kWritable) out |= EPOLLOUT;
+  return out;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() = default;
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
+}
+
+int64_t EventLoop::SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status EventLoop::Init() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::IoError(std::string("epoll_create1: ") +
+                           std::strerror(errno));
+  }
+  wakeup_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wakeup_fd_ < 0) {
+    return Status::IoError(std::string("eventfd: ") + std::strerror(errno));
+  }
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = wakeup_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev) != 0) {
+    return Status::IoError(std::string("epoll_ctl(wakeup): ") +
+                           std::strerror(errno));
+  }
+  now_ms_ = last_tick_ms_ = SteadyNowMs();
+  return Status::Ok();
+}
+
+Status EventLoop::Add(int fd, uint32_t events, IoCallback callback) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = ToEpoll(events);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::IoError(std::string("epoll_ctl(add): ") +
+                           std::strerror(errno));
+  }
+  io_callbacks_[fd] = std::move(callback);
+  return Status::Ok();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  struct epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = ToEpoll(events);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::IoError(std::string("epoll_ctl(mod): ") +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void EventLoop::Remove(int fd) {
+  if (io_callbacks_.erase(fd) == 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  Wake();
+}
+
+void EventLoop::Wake() {
+  uint64_t one = 1;
+  // A full eventfd counter still leaves the loop awake; ignore EAGAIN.
+  [[maybe_unused]] ssize_t n = ::write(wakeup_fd_, &one, sizeof(one));
+}
+
+void EventLoop::DrainWakeup() {
+  uint64_t value = 0;
+  while (::read(wakeup_fd_, &value, sizeof(value)) > 0) {
+  }
+}
+
+void EventLoop::RunPosted() {
+  // Swap out the queue so closures posted from within closures run on the
+  // next iteration — keeps one iteration bounded.
+  std::deque<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+EventLoop::TimerId EventLoop::ScheduleAfter(int64_t delay_ms,
+                                            std::function<void()> callback) {
+  if (delay_ms < 0) delay_ms = 0;
+  uint64_t ticks = static_cast<uint64_t>(delay_ms + kTickMs - 1) / kTickMs;
+  if (ticks == 0) ticks = 1;  // never fire within the current tick
+  size_t slot = (wheel_pos_ + ticks) % kWheelSlots;
+  TimerEntry entry;
+  entry.id = next_timer_id_++;
+  entry.rounds = static_cast<uint32_t>(ticks / kWheelSlots);
+  entry.callback = std::move(callback);
+  TimerId id = entry.id;
+  wheel_[slot].push_back(std::move(entry));
+  timer_slot_[id] = slot;
+  ++live_timers_;
+  return id;
+}
+
+void EventLoop::CancelTimer(TimerId id) {
+  auto it = timer_slot_.find(id);
+  if (it == timer_slot_.end()) return;
+  std::vector<TimerEntry>& slot = wheel_[it->second];
+  for (size_t i = 0; i < slot.size(); ++i) {
+    if (slot[i].id == id) {
+      slot.erase(slot.begin() + static_cast<ptrdiff_t>(i));
+      --live_timers_;
+      break;
+    }
+  }
+  timer_slot_.erase(it);
+}
+
+void EventLoop::AdvanceWheel() {
+  now_ms_ = SteadyNowMs();
+  while (now_ms_ - last_tick_ms_ >= kTickMs) {
+    last_tick_ms_ += kTickMs;
+    wheel_pos_ = (wheel_pos_ + 1) % kWheelSlots;
+    std::vector<TimerEntry>& slot = wheel_[wheel_pos_];
+    std::vector<TimerEntry> due;
+    for (size_t i = 0; i < slot.size();) {
+      if (slot[i].rounds > 0) {
+        --slot[i].rounds;
+        ++i;
+        continue;
+      }
+      due.push_back(std::move(slot[i]));
+      slot.erase(slot.begin() + static_cast<ptrdiff_t>(i));
+    }
+    for (TimerEntry& entry : due) {
+      timer_slot_.erase(entry.id);
+      --live_timers_;
+      entry.callback();
+    }
+  }
+}
+
+bool EventLoop::InLoopThread() const {
+  return std::this_thread::get_id() == loop_thread_;
+}
+
+void EventLoop::Run() {
+  loop_thread_ = std::this_thread::get_id();
+  now_ms_ = last_tick_ms_ = SteadyNowMs();
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(post_mu_);
+      if (stop_) break;
+    }
+    // Sleep until the next wheel tick when timers are armed, else until
+    // I/O or a Post() wakeup.
+    int timeout_ms = -1;
+    if (live_timers_ > 0) {
+      int64_t next_tick = last_tick_ms_ + kTickMs;
+      int64_t wait = next_tick - SteadyNowMs();
+      timeout_ms = wait < 0 ? 0 : static_cast<int>(wait);
+    }
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0 && errno != EINTR) {
+      GANSWER_LOG(Error) << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    now_ms_ = SteadyNowMs();
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wakeup_fd_) {
+        DrainWakeup();
+        continue;
+      }
+      auto it = io_callbacks_.find(fd);
+      if (it == io_callbacks_.end()) continue;  // removed by earlier handler
+      uint32_t fired = 0;
+      if (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+        fired |= kReadable;
+      }
+      if (events[i].events & EPOLLOUT) fired |= kWritable;
+      // Copy: the handler may Remove(fd) and invalidate the iterator.
+      IoCallback callback = it->second;
+      callback(fired);
+    }
+    RunPosted();
+    AdvanceWheel();
+  }
+  // One last drain so Stop() posted behind other closures still runs them.
+  RunPosted();
+  loop_thread_ = std::thread::id();
+}
+
+void EventLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    stop_ = true;
+  }
+  Wake();
+}
+
+}  // namespace server
+}  // namespace ganswer

@@ -1,0 +1,127 @@
+#ifndef GANSWER_SERVER_EVENT_LOOP_H_
+#define GANSWER_SERVER_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ganswer {
+namespace server {
+
+/// \brief Single-threaded epoll event loop with a hashed timer wheel.
+///
+/// All I/O callbacks and timers run on the loop thread (the thread that
+/// called Run()), so connection state needs no locking. The only
+/// thread-safe entry points are Post() — hand a closure to the loop thread,
+/// waking it through an eventfd — and Stop(), which is Post(stop). This is
+/// the standard shared-nothing reactor shape (one epoll, non-blocking fds,
+/// level-triggered readiness); CPU-heavy work never runs here, it is
+/// dispatched to the worker pool and re-enters via Post().
+///
+/// The timer wheel drives idle-connection timeouts: 256 slots of 50 ms give
+/// ~12.8 s per revolution, entries carry a remaining-rounds count so longer
+/// timeouts wrap. Precision is one tick — exactly right for "close after
+/// ~30 s idle", not for microsecond timers.
+class EventLoop {
+ public:
+  /// Bitmask for Add/Modify; mapped onto EPOLLIN/EPOLLOUT internally.
+  static constexpr uint32_t kReadable = 1u << 0;
+  static constexpr uint32_t kWritable = 1u << 1;
+
+  /// \p events carries the kReadable/kWritable bits that fired; error/hangup
+  /// conditions are reported as kReadable so the handler's read() observes
+  /// the EOF/error and cleans up.
+  using IoCallback = std::function<void(uint32_t events)>;
+  using TimerId = uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll and wakeup descriptors. Must be called (and succeed)
+  /// before any other method.
+  Status Init();
+
+  /// Registers \p fd (must already be non-blocking) for \p events.
+  Status Add(int fd, uint32_t events, IoCallback callback);
+  /// Changes the interest set of a registered fd.
+  Status Modify(int fd, uint32_t events);
+  /// Deregisters \p fd. The caller closes the fd itself. Safe to call for
+  /// fds that were never added.
+  void Remove(int fd);
+
+  /// Enqueues \p fn to run on the loop thread. Thread-safe; callable before
+  /// Run() (the closure runs once the loop starts) and from within
+  /// callbacks (runs this iteration, after I/O dispatch).
+  void Post(std::function<void()> fn);
+
+  /// Runs \p callback on the loop thread after roughly \p delay_ms
+  /// (rounded up to a wheel tick). One-shot. Must be called on the loop
+  /// thread (handlers/Post closures); use Post to arm timers from outside.
+  TimerId ScheduleAfter(int64_t delay_ms, std::function<void()> callback);
+  /// Cancels a scheduled timer; a no-op when already fired. Loop thread
+  /// only.
+  void CancelTimer(TimerId id);
+
+  /// Dispatches events until Stop(). The calling thread becomes the loop
+  /// thread.
+  void Run();
+  /// Makes Run() return after the current iteration. Thread-safe.
+  void Stop();
+
+  /// True when called from the thread currently inside Run().
+  bool InLoopThread() const;
+
+  /// Milliseconds on the steady clock, refreshed once per loop iteration
+  /// (cheap timestamp for idle bookkeeping).
+  int64_t NowMs() const { return now_ms_; }
+
+ private:
+  struct TimerEntry {
+    TimerId id = 0;
+    /// Remaining full wheel revolutions before the entry fires.
+    uint32_t rounds = 0;
+    std::function<void()> callback;
+  };
+
+  static constexpr int kTickMs = 50;
+  static constexpr size_t kWheelSlots = 256;
+
+  void Wake();
+  void DrainWakeup();
+  void RunPosted();
+  void AdvanceWheel();
+  static int64_t SteadyNowMs();
+
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;
+  std::unordered_map<int, IoCallback> io_callbacks_;
+
+  std::mutex post_mu_;
+  std::deque<std::function<void()>> posted_;
+  bool stop_ = false;  ///< Guarded by post_mu_.
+
+  // Timer wheel state: loop thread only.
+  std::vector<std::vector<TimerEntry>> wheel_{kWheelSlots};
+  std::unordered_map<TimerId, size_t> timer_slot_;
+  size_t wheel_pos_ = 0;
+  int64_t last_tick_ms_ = 0;
+  TimerId next_timer_id_ = 1;
+  size_t live_timers_ = 0;
+
+  int64_t now_ms_ = 0;
+  std::thread::id loop_thread_;
+};
+
+}  // namespace server
+}  // namespace ganswer
+
+#endif  // GANSWER_SERVER_EVENT_LOOP_H_

@@ -1,0 +1,205 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+namespace ganswer {
+namespace server {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* ClientResponse::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+BlockingHttpClient::~BlockingHttpClient() { Close(); }
+
+void BlockingHttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  leftover_.clear();
+}
+
+Status BlockingHttpClient::Connect(const std::string& host, int port) {
+  Close();
+  host_ = host;
+  port_ = port;
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status st = Status::IoError(std::string("connect: ") +
+                                std::strerror(errno));
+    Close();
+    return st;
+  }
+  return Status::Ok();
+}
+
+StatusOr<ClientResponse> BlockingHttpClient::Get(const std::string& path) {
+  std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host_ +
+                        "\r\n\r\n";
+  return RoundTrip(request);
+}
+
+StatusOr<ClientResponse> BlockingHttpClient::Post(
+    const std::string& path, const std::string& body,
+    const std::string& content_type) {
+  std::string request = "POST " + path + " HTTP/1.1\r\nHost: " + host_ +
+                        "\r\nContent-Type: " + content_type +
+                        "\r\nContent-Length: " + std::to_string(body.size()) +
+                        "\r\n\r\n" + body;
+  return RoundTrip(request);
+}
+
+StatusOr<ClientResponse> BlockingHttpClient::Raw(const std::string& raw) {
+  return RoundTrip(raw);
+}
+
+StatusOr<ClientResponse> BlockingHttpClient::RoundTrip(
+    const std::string& request) {
+  if (fd_ < 0) {
+    GANSWER_RETURN_NOT_OK(Connect(host_, port_));
+  }
+  Status st = WriteAll(request);
+  if (!st.ok()) {
+    // The server may have closed the idle keep-alive connection between
+    // round trips; one reconnect attempt covers that race.
+    GANSWER_RETURN_NOT_OK(Connect(host_, port_));
+    GANSWER_RETURN_NOT_OK(WriteAll(request));
+  }
+  auto response = ReadResponse();
+  if (response.ok() && !response->keep_alive) Close();
+  return response;
+}
+
+Status BlockingHttpClient::WriteAll(std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+StatusOr<ClientResponse> BlockingHttpClient::ReadResponse() {
+  std::string data = std::move(leftover_);
+  leftover_.clear();
+  char buf[16 * 1024];
+
+  // Read until the header block is complete.
+  size_t header_end;
+  while ((header_end = data.find("\r\n\r\n")) == std::string::npos) {
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::IoError("connection closed mid-response");
+    data.append(buf, static_cast<size_t>(n));
+  }
+
+  ClientResponse response;
+  std::string_view head = std::string_view(data).substr(0, header_end);
+  size_t line_end = head.find("\r\n");
+  std::string_view status_line =
+      head.substr(0, line_end == std::string_view::npos ? head.size()
+                                                        : line_end);
+  // "HTTP/1.1 200 OK"
+  if (status_line.size() < 12 || status_line.substr(0, 5) != "HTTP/") {
+    return Status::InvalidArgument("bad status line");
+  }
+  {
+    std::string_view code = status_line.substr(9, 3);
+    auto [ptr, ec] =
+        std::from_chars(code.data(), code.data() + code.size(),
+                        response.status);
+    if (ec != std::errc()) return Status::InvalidArgument("bad status code");
+  }
+  response.keep_alive = status_line.substr(0, 9) == "HTTP/1.1 ";
+
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string_view name = line.substr(0, colon);
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    response.headers.emplace_back(std::string(name), std::string(value));
+  }
+  if (const std::string* conn = response.Header("Connection")) {
+    response.keep_alive = !EqualsIgnoreCase(*conn, "close");
+  }
+
+  size_t body_len = 0;
+  if (const std::string* cl = response.Header("Content-Length")) {
+    auto [ptr, ec] =
+        std::from_chars(cl->data(), cl->data() + cl->size(), body_len);
+    if (ec != std::errc()) return Status::InvalidArgument("bad content-length");
+  }
+
+  size_t body_start = header_end + 4;
+  while (data.size() - body_start < body_len) {
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::IoError("connection closed mid-body");
+    data.append(buf, static_cast<size_t>(n));
+  }
+  response.body = data.substr(body_start, body_len);
+  leftover_ = data.substr(body_start + body_len);
+  return response;
+}
+
+}  // namespace server
+}  // namespace ganswer

@@ -1,0 +1,71 @@
+#ifndef GANSWER_SERVER_HTTP_CLIENT_H_
+#define GANSWER_SERVER_HTTP_CLIENT_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ganswer {
+namespace server {
+
+/// A parsed HTTP response on the client side.
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* Header(std::string_view name) const;
+};
+
+/// \brief Minimal blocking HTTP/1.1 client for loopback testing and the
+/// over-the-wire bench.
+///
+/// Speaks exactly the server's dialect — keep-alive, Content-Length bodies,
+/// no chunked encoding — over one connection that transparently reconnects
+/// when the server closes it (e.g. after a Connection: close error
+/// response). Not a general-purpose client and not thread-safe; each load
+/// generator thread owns its own instance.
+class BlockingHttpClient {
+ public:
+  BlockingHttpClient() = default;
+  ~BlockingHttpClient();
+
+  BlockingHttpClient(const BlockingHttpClient&) = delete;
+  BlockingHttpClient& operator=(const BlockingHttpClient&) = delete;
+
+  /// Connects to \p host:\p port (IPv4 dotted quad, e.g. "127.0.0.1").
+  Status Connect(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  StatusOr<ClientResponse> Get(const std::string& path);
+  StatusOr<ClientResponse> Post(const std::string& path,
+                                const std::string& body,
+                                const std::string& content_type =
+                                    "application/json");
+
+  /// Writes \p raw bytes verbatim and reads one response — the hook for
+  /// malformed-request tests.
+  StatusOr<ClientResponse> Raw(const std::string& raw);
+
+ private:
+  StatusOr<ClientResponse> RoundTrip(const std::string& request);
+  Status WriteAll(std::string_view data);
+  StatusOr<ClientResponse> ReadResponse();
+
+  std::string host_;
+  int port_ = 0;
+  int fd_ = -1;
+  /// Bytes read past the previous response (keep-alive read-ahead).
+  std::string leftover_;
+};
+
+}  // namespace server
+}  // namespace ganswer
+
+#endif  // GANSWER_SERVER_HTTP_CLIENT_H_

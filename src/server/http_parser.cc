@@ -1,0 +1,242 @@
+#include "server/http_parser.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace ganswer {
+namespace server {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// RFC 7230 token characters, the legal alphabet of methods and header
+// names. Rejecting everything else keeps junk bytes out of the router.
+bool IsTokenChar(unsigned char c) {
+  if (std::isalnum(c)) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsToken(std::string_view s) {
+  if (s.empty()) return false;
+  for (unsigned char c : s) {
+    if (!IsTokenChar(c)) return false;
+  }
+  return true;
+}
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+HttpParser::HttpParser(Limits limits) : limits_(limits) {}
+
+void HttpParser::Reset() {
+  state_ = State::kRequestLine;
+  buffer_.clear();
+  header_bytes_ = 0;
+  body_expected_ = 0;
+  suggested_status_ = 400;
+  request_ = HttpRequest();
+}
+
+Status HttpParser::Fail(int http_status, Status status) {
+  state_ = State::kError;
+  suggested_status_ = http_status;
+  return status;
+}
+
+StatusOr<size_t> HttpParser::Feed(std::string_view data) {
+  if (state_ == State::kError) {
+    return Status::Internal("parser poisoned");
+  }
+  size_t consumed = 0;
+  while (consumed < data.size() && state_ != State::kDone) {
+    if (state_ == State::kBody) {
+      size_t want = body_expected_ - request_.body.size();
+      size_t take = std::min(want, data.size() - consumed);
+      request_.body.append(data.substr(consumed, take));
+      consumed += take;
+      if (request_.body.size() == body_expected_) state_ = State::kDone;
+      continue;
+    }
+    // Line-oriented states: accumulate until '\n'. The size caps apply to
+    // the partial line too, so an attacker cannot buffer unbounded bytes by
+    // never sending the newline.
+    size_t nl = data.find('\n', consumed);
+    size_t take = (nl == std::string_view::npos ? data.size() : nl + 1) -
+                  consumed;
+    const size_t cap = state_ == State::kRequestLine
+                           ? limits_.max_request_line
+                           : limits_.max_header_bytes - header_bytes_;
+    if (buffer_.size() + take > cap) {
+      return Fail(state_ == State::kRequestLine ? 414 : 431,
+                  Status::InvalidArgument(state_ == State::kRequestLine
+                                              ? "request line too long"
+                                              : "headers too large"));
+    }
+    buffer_.append(data.substr(consumed, take));
+    consumed += take;
+    if (nl == std::string_view::npos) break;  // need more bytes
+
+    std::string_view line = buffer_;
+    line.remove_suffix(1);  // '\n'
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+    if (state_ == State::kRequestLine) {
+      // RFC 7230 permits (and robust servers tolerate) empty lines before
+      // the request line.
+      if (line.empty()) {
+        buffer_.clear();
+        continue;
+      }
+      GANSWER_RETURN_NOT_OK(ParseRequestLine(line));
+      state_ = State::kHeaders;
+    } else {  // kHeaders
+      header_bytes_ += buffer_.size();
+      if (line.empty()) {
+        GANSWER_RETURN_NOT_OK(FinishHeaders());
+        state_ = body_expected_ > 0 ? State::kBody : State::kDone;
+      } else {
+        GANSWER_RETURN_NOT_OK(ParseHeaderLine(line));
+      }
+    }
+    buffer_.clear();
+  }
+  return consumed;
+}
+
+Status HttpParser::ParseRequestLine(std::string_view line) {
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos
+                   ? std::string_view::npos
+                   : line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Fail(400, Status::InvalidArgument("bad request line"));
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  if (!IsToken(method)) {
+    return Fail(400, Status::InvalidArgument("bad method"));
+  }
+  if (target.empty() || target[0] != '/') {
+    // Absolute-form targets (proxies) and '*' are out of scope.
+    return Fail(400, Status::InvalidArgument("bad target"));
+  }
+  for (unsigned char c : target) {
+    if (c <= 0x20 || c == 0x7f) {
+      return Fail(400, Status::InvalidArgument("bad target"));
+    }
+  }
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+    request_.keep_alive = true;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+    request_.keep_alive = false;
+  } else {
+    return Fail(505, Status::NotSupported("bad http version"));
+  }
+  request_.method.assign(method);
+  request_.target.assign(target);
+  size_t q = target.find('?');
+  request_.path.assign(target.substr(0, q));
+  if (q != std::string_view::npos) {
+    request_.query.assign(target.substr(q + 1));
+  }
+  return Status::Ok();
+}
+
+Status HttpParser::ParseHeaderLine(std::string_view line) {
+  if (request_.headers.size() >= limits_.max_headers) {
+    return Fail(431, Status::InvalidArgument("too many headers"));
+  }
+  // Obsolete line folding (leading whitespace continuing the previous
+  // header) is rejected outright per RFC 7230 §3.2.4.
+  if (line.front() == ' ' || line.front() == '\t') {
+    return Fail(400, Status::InvalidArgument("folded header"));
+  }
+  size_t colon = line.find(':');
+  if (colon == std::string_view::npos) {
+    return Fail(400, Status::InvalidArgument("bad header"));
+  }
+  std::string_view name = line.substr(0, colon);
+  if (!IsToken(name)) {
+    return Fail(400, Status::InvalidArgument("bad header name"));
+  }
+  std::string_view value = TrimOws(line.substr(colon + 1));
+  for (unsigned char c : value) {
+    if ((c < 0x20 && c != '\t') || c == 0x7f) {
+      return Fail(400, Status::InvalidArgument("bad header value"));
+    }
+  }
+  request_.headers.emplace_back(std::string(name), std::string(value));
+  return Status::Ok();
+}
+
+Status HttpParser::FinishHeaders() {
+  if (const std::string* te = request_.Header("Transfer-Encoding")) {
+    (void)te;
+    return Fail(501, Status::NotSupported("chunked body"));
+  }
+  if (const std::string* cl = request_.Header("Content-Length")) {
+    uint64_t value = 0;
+    const char* begin = cl->data();
+    const char* end = begin + cl->size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr != end || cl->empty()) {
+      return Fail(400, Status::InvalidArgument("bad content-length"));
+    }
+    if (value > limits_.max_body_bytes) {
+      return Fail(413, Status::InvalidArgument("body too large"));
+    }
+    body_expected_ = static_cast<size_t>(value);
+    // Reserving up front is safe: the value is already capped, and it turns
+    // the body state into pure bulk appends.
+    request_.body.reserve(body_expected_);
+  }
+  if (const std::string* conn = request_.Header("Connection")) {
+    if (EqualsIgnoreCase(*conn, "close")) {
+      request_.keep_alive = false;
+    } else if (EqualsIgnoreCase(*conn, "keep-alive")) {
+      request_.keep_alive = true;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace server
+}  // namespace ganswer

@@ -1,0 +1,107 @@
+#ifndef GANSWER_SERVER_HTTP_PARSER_H_
+#define GANSWER_SERVER_HTTP_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ganswer {
+namespace server {
+
+/// One parsed HTTP/1.1 request. Header names are kept verbatim; lookups
+/// are case-insensitive.
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ... (token, upper/lower kept).
+  std::string target;  ///< Raw request-target: "/answer?k=3".
+  std::string path;    ///< Target up to '?': "/answer".
+  std::string query;   ///< After '?', may be empty.
+  int version_minor = 1;  ///< HTTP/1.<minor>; only 0 and 1 are accepted.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Connection persistence after this request: HTTP/1.1 defaults to true,
+  /// HTTP/1.0 to false, an explicit Connection header overrides either.
+  bool keep_alive = true;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* Header(std::string_view name) const;
+};
+
+/// \brief Incremental, bounds-checked HTTP/1.1 request parser.
+///
+/// Push bytes in with Feed() as they arrive from the socket — in as many
+/// fragments as the network produces, including mid-token splits — and the
+/// parser consumes exactly up to the end of the current request, leaving
+/// pipelined follow-up bytes to the caller. Malformed input returns a non-OK
+/// Status (and a suggested HTTP status code) instead of crashing or
+/// over-reading: request-line/header/body sizes are capped by Limits, the
+/// Content-Length value is parsed with overflow rejection, and the error
+/// path performs no buffer growth (messages are short literals). The fuzz
+/// driver (tests/fuzz/http_fuzz_test.cc) holds the parser to the
+/// no-crash/no-UB contract under ASan.
+///
+/// Lifecycle per request: Feed() until done(), read request(), then Reset()
+/// before feeding the next pipelined request. After an error the parser is
+/// poisoned until Reset().
+class HttpParser {
+ public:
+  struct Limits {
+    size_t max_request_line = 8 * 1024;
+    /// Cap on the total bytes of the header block (all lines together).
+    size_t max_header_bytes = 16 * 1024;
+    size_t max_headers = 64;
+    size_t max_body_bytes = 1 << 20;
+  };
+
+  HttpParser() : HttpParser(Limits()) {}
+  explicit HttpParser(Limits limits);
+
+  /// Consumes bytes from \p data into the current request; returns how many
+  /// were consumed (always all of them until the request completes; never
+  /// more than up to the end of the request). On malformed input returns a
+  /// non-OK Status and suggested_status() is set.
+  StatusOr<size_t> Feed(std::string_view data);
+
+  /// True when a complete request is buffered and request() is valid.
+  bool done() const { return state_ == State::kDone; }
+  /// True when the parser saw an error; Reset() clears it.
+  bool failed() const { return state_ == State::kError; }
+  /// True when no byte of the current request has arrived yet (the clean
+  /// point to close an idle keep-alive connection).
+  bool idle() const { return state_ == State::kRequestLine && buffer_.empty(); }
+
+  const HttpRequest& request() const { return request_; }
+  HttpRequest& request() { return request_; }
+
+  /// HTTP status code to answer a Feed() error with (400/413/431/501).
+  int suggested_status() const { return suggested_status_; }
+
+  /// Clears all state for the next request on the same connection.
+  void Reset();
+
+ private:
+  enum class State { kRequestLine, kHeaders, kBody, kDone, kError };
+
+  Status Fail(int http_status, Status status);
+  Status ParseRequestLine(std::string_view line);
+  Status ParseHeaderLine(std::string_view line);
+  /// Validates Content-Length / Connection once the blank line arrives.
+  Status FinishHeaders();
+
+  Limits limits_;
+  State state_ = State::kRequestLine;
+  /// Accumulates the current line (request line / header lines).
+  std::string buffer_;
+  size_t header_bytes_ = 0;
+  size_t body_expected_ = 0;
+  int suggested_status_ = 400;
+  HttpRequest request_;
+};
+
+}  // namespace server
+}  // namespace ganswer
+
+#endif  // GANSWER_SERVER_HTTP_PARSER_H_

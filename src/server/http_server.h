@@ -1,0 +1,180 @@
+#ifndef GANSWER_SERVER_HTTP_SERVER_H_
+#define GANSWER_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "server/event_loop.h"
+#include "server/http_parser.h"
+
+namespace ganswer {
+namespace server {
+
+/// The reason phrase for an HTTP status code ("OK", "Bad Request", ...).
+const char* StatusReason(int code);
+
+/// A response a handler sends back. Content-Length and Connection are
+/// filled in by the server during serialization.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+
+  static HttpResponse Json(int status, std::string body) {
+    HttpResponse r;
+    r.status = status;
+    r.body = std::move(body);
+    return r;
+  }
+};
+
+/// \brief Embedded HTTP/1.1 server: one epoll event loop, a method+path
+/// router, keep-alive connections with idle timeouts, and graceful drain.
+///
+/// Threading contract: the loop thread owns all connection state. Handlers
+/// are invoked on the loop thread and must either answer immediately
+/// (cheap endpoints like /healthz) or hand the work to another thread and
+/// return — the ResponseWriter they receive is thread-safe and may be
+/// invoked exactly once from any thread, which is how QaService bridges to
+/// the worker pool. Handlers must never block the loop thread.
+class HttpServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    /// 0 picks an ephemeral port; read it back with port() after Start().
+    int port = 0;
+    /// Keep-alive connections idle longer than this are closed by the
+    /// timer wheel. <= 0 disables the idle sweep.
+    int idle_timeout_ms = 30'000;
+    /// Connections past this are accepted and immediately closed, which
+    /// beats letting the kernel backlog grow unboundedly.
+    size_t max_connections = 1024;
+    /// How long Shutdown() waits for in-flight responses before forcing
+    /// the remaining connections closed.
+    int drain_timeout_ms = 10'000;
+    HttpParser::Limits limits;
+  };
+
+  /// One-shot, thread-safe reply channel for a dispatched request. Copyable
+  /// so it can travel into a worker-pool closure; sending twice or letting
+  /// every copy die without sending simply leaves the connection to the
+  /// idle timeout (the server never deadlocks on a lost writer, but
+  /// handlers are expected to always answer).
+  class ResponseWriter {
+   public:
+    ResponseWriter() = default;
+    /// Sends the response. Safe from any thread; if the connection already
+    /// closed (client went away) the response is dropped.
+    void Send(HttpResponse response) const;
+
+   private:
+    friend class HttpServer;
+    ResponseWriter(HttpServer* server, uint64_t conn_id)
+        : server_(server), conn_id_(conn_id) {}
+    HttpServer* server_ = nullptr;
+    uint64_t conn_id_ = 0;
+  };
+
+  using Handler =
+      std::function<void(const HttpRequest&, const ResponseWriter&)>;
+
+  explicit HttpServer(Options options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers \p handler for exact-match \p path under \p method.
+  /// Call before Start().
+  void Route(std::string_view method, std::string_view path, Handler handler);
+
+  /// Binds, listens and starts the loop thread. Non-blocking.
+  Status Start();
+
+  /// Graceful stop: closes the listen socket, lets dispatched requests
+  /// finish and their responses flush (bounded by drain_timeout_ms), then
+  /// stops the loop and joins it. Idempotent; must not be called from a
+  /// handler.
+  void Shutdown();
+
+  /// The bound port (after Start()).
+  int port() const { return port_; }
+
+  size_t active_connections() const {
+    return connections_open_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  /// Requests dispatched to handlers whose response has not been sent yet.
+  size_t requests_in_flight() const {
+    return requests_pending_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    HttpParser parser;
+    /// Bytes received but not yet fed to the parser (pipelining while a
+    /// response is pending).
+    std::string inbuf;
+    std::string outbuf;
+    size_t out_offset = 0;
+    bool pending_response = false;
+    bool keep_alive = true;
+    bool close_after_write = false;
+    bool writable_armed = false;
+    /// Re-entrancy guard: a synchronous handler's Send lands back in
+    /// ProcessInput; the outer loop already continues, so the inner call
+    /// must not recurse.
+    bool in_process_input = false;
+    int64_t last_activity_ms = 0;
+  };
+
+  void AcceptReady();
+  void ConnectionReady(uint64_t conn_id, uint32_t events);
+  /// Parses buffered input and dispatches at most one request.
+  void ProcessInput(Connection* conn);
+  void DispatchRequest(Connection* conn);
+  void SendOnLoop(uint64_t conn_id, HttpResponse response);
+  void QueueResponse(Connection* conn, const HttpResponse& response,
+                     bool keep_alive);
+  /// Writes as much of outbuf as the socket takes; arms EPOLLOUT on short
+  /// writes; closes/continues per connection flags once drained.
+  void FlushOutput(Connection* conn);
+  void CloseConnection(uint64_t conn_id);
+  void ScheduleIdleSweep();
+  void MaybeFinishDrain();
+
+  Options options_;
+  EventLoop loop_;
+  std::thread loop_thread_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> shut_down_{false};
+
+  std::unordered_map<std::string, Handler> routes_;  ///< "METHOD path".
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 1;
+
+  // Loop-thread state, atomically mirrored for cross-thread reads.
+  bool draining_ = false;
+  std::atomic<size_t> connections_open_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<size_t> requests_pending_{0};
+};
+
+}  // namespace server
+}  // namespace ganswer
+
+#endif  // GANSWER_SERVER_HTTP_SERVER_H_

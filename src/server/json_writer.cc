@@ -1,0 +1,278 @@
+#include "server/json_writer.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace ganswer {
+namespace server {
+
+void JsonWriter::Separate() {
+  if (need_comma_) out_ += ',';
+  need_comma_ = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  Separate();
+  out_ += '"';
+  AppendJsonEscaped(&out_, key);
+  out_ += "\":";
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  Separate();
+  out_ += '"';
+  AppendJsonEscaped(&out_, value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  Separate();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  Separate();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  Separate();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  Separate();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Separate();
+  out_ += "null";
+  return *this;
+}
+
+namespace {
+
+/// Cursor over the request-body JSON; every Next/Peek is bounds-checked.
+struct Scanner {
+  std::string_view s;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= s.size(); }
+  char Peek() const { return s[pos]; }
+
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || s[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+};
+
+void AppendUtf8(std::string* out, uint32_t cp) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+bool ParseHex4(Scanner* in, uint32_t* out) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (in->AtEnd()) return false;
+    char c = in->s[in->pos++];
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<uint32_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+Status ParseString(Scanner* in, std::string* out) {
+  if (!in->Consume('"')) return Status::InvalidArgument("expected string");
+  while (true) {
+    if (in->AtEnd()) return Status::InvalidArgument("unterminated string");
+    char c = in->s[in->pos++];
+    if (c == '"') return Status::Ok();
+    if (static_cast<unsigned char>(c) < 0x20) {
+      return Status::InvalidArgument("raw control byte in string");
+    }
+    if (c != '\\') {
+      if (out != nullptr) out->push_back(c);
+      continue;
+    }
+    if (in->AtEnd()) return Status::InvalidArgument("truncated escape");
+    char e = in->s[in->pos++];
+    char decoded;
+    switch (e) {
+      case '"': decoded = '"'; break;
+      case '\\': decoded = '\\'; break;
+      case '/': decoded = '/'; break;
+      case 'b': decoded = '\b'; break;
+      case 'f': decoded = '\f'; break;
+      case 'n': decoded = '\n'; break;
+      case 'r': decoded = '\r'; break;
+      case 't': decoded = '\t'; break;
+      case 'u': {
+        uint32_t cp = 0;
+        if (!ParseHex4(in, &cp)) {
+          return Status::InvalidArgument("bad \\u escape");
+        }
+        if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need the pair
+          if (!in->Consume('\\') || !in->Consume('u')) {
+            return Status::InvalidArgument("lone surrogate");
+          }
+          uint32_t lo = 0;
+          if (!ParseHex4(in, &lo) || lo < 0xDC00 || lo > 0xDFFF) {
+            return Status::InvalidArgument("bad surrogate pair");
+          }
+          cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+        } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+          return Status::InvalidArgument("lone surrogate");
+        }
+        if (out != nullptr) AppendUtf8(out, cp);
+        continue;
+      }
+      default:
+        return Status::InvalidArgument("bad escape");
+    }
+    if (out != nullptr) out->push_back(decoded);
+  }
+}
+
+/// Skips one JSON value of any type (nesting bounded by input length).
+Status SkipValue(Scanner* in) {
+  in->SkipWs();
+  if (in->AtEnd()) return Status::InvalidArgument("truncated value");
+  char c = in->Peek();
+  if (c == '"') return ParseString(in, nullptr);
+  if (c == '{' || c == '[') {
+    // Generic bracket matching is enough for skipping: the member we care
+    // about is re-parsed strictly, and unbalanced input still terminates.
+    ++in->pos;
+    size_t depth = 1;
+    while (!in->AtEnd() && depth > 0) {
+      char d = in->Peek();
+      if (d == '"') {
+        GANSWER_RETURN_NOT_OK(ParseString(in, nullptr));
+        continue;
+      }
+      if (d == '{' || d == '[') {
+        ++depth;
+      } else if (d == '}' || d == ']') {
+        --depth;
+      }
+      ++in->pos;
+    }
+    if (depth != 0) return Status::InvalidArgument("unbalanced value");
+    return Status::Ok();
+  }
+  // Number / true / false / null: consume the token.
+  size_t start = in->pos;
+  while (!in->AtEnd()) {
+    char d = in->Peek();
+    if (d == ',' || d == '}' || d == ']' ||
+        std::isspace(static_cast<unsigned char>(d))) {
+      break;
+    }
+    ++in->pos;
+  }
+  if (in->pos == start) return Status::InvalidArgument("empty value");
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::string> JsonGetString(std::string_view json,
+                                    std::string_view key) {
+  Scanner in{json};
+  in.SkipWs();
+  if (!in.Consume('{')) return Status::InvalidArgument("not a JSON object");
+  in.SkipWs();
+  if (in.Consume('}')) return Status::NotFound("key absent");
+  while (true) {
+    in.SkipWs();
+    std::string member;
+    GANSWER_RETURN_NOT_OK(ParseString(&in, &member));
+    in.SkipWs();
+    if (!in.Consume(':')) return Status::InvalidArgument("expected ':'");
+    in.SkipWs();
+    if (member == key) {
+      if (in.AtEnd() || in.Peek() != '"') {
+        return Status::NotFound("member is not a string");
+      }
+      std::string value;
+      GANSWER_RETURN_NOT_OK(ParseString(&in, &value));
+      return value;
+    }
+    GANSWER_RETURN_NOT_OK(SkipValue(&in));
+    in.SkipWs();
+    if (in.Consume(',')) continue;
+    if (in.Consume('}')) return Status::NotFound("key absent");
+    return Status::InvalidArgument("expected ',' or '}'");
+  }
+}
+
+}  // namespace server
+}  // namespace ganswer

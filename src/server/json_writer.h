@@ -1,0 +1,86 @@
+#ifndef GANSWER_SERVER_JSON_WRITER_H_
+#define GANSWER_SERVER_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ganswer {
+namespace server {
+
+/// \brief Minimal streaming JSON writer for server responses.
+///
+/// Emits one compact JSON document into an owned string. Comma placement is
+/// automatic; string values run through common/string_util's JsonEscape, so
+/// answer labels containing quotes, backslashes or control bytes are always
+/// legal JSON. The writer trusts its caller to balance Begin/End calls
+/// (handlers are short and covered by tests) — it is a formatter, not a
+/// validator.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits the key of the next object member.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Key/value conveniences.
+  JsonWriter& Field(std::string_view key, std::string_view value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& Field(std::string_view key, const char* value) {
+    return Key(key).String(value);
+  }
+  JsonWriter& Field(std::string_view key, int64_t value) {
+    return Key(key).Int(value);
+  }
+  JsonWriter& Field(std::string_view key, uint64_t value) {
+    return Key(key).UInt(value);
+  }
+  JsonWriter& Field(std::string_view key, int value) {
+    return Key(key).Int(value);
+  }
+  JsonWriter& Field(std::string_view key, double value) {
+    return Key(key).Double(value);
+  }
+  JsonWriter& Field(std::string_view key, bool value) {
+    return Key(key).Bool(value);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  /// Inserts the separating comma before a new value/key when needed.
+  void Separate();
+
+  std::string out_;
+  /// True when the next token at this nesting point needs a ',' first.
+  bool need_comma_ = false;
+};
+
+/// Extracts the string member \p key from the top-level JSON object in
+/// \p json: `{"question": "who ..."}` -> `who ...`. Handles the standard
+/// escapes (\" \\ \/ \b \f \n \r \t and \uXXXX, surrogate pairs included)
+/// and skips other members of any value type. Returns InvalidArgument when
+/// \p json is not an object or the member is malformed, NotFound when the
+/// key is absent or not a string. This deliberately covers exactly the
+/// request bodies the service accepts — one flat object — not all of JSON.
+StatusOr<std::string> JsonGetString(std::string_view json,
+                                    std::string_view key);
+
+}  // namespace server
+}  // namespace ganswer
+
+#endif  // GANSWER_SERVER_JSON_WRITER_H_

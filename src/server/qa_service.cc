@@ -1,0 +1,343 @@
+#include "server/qa_service.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "qa/sparql_output.h"
+#include "server/json_writer.h"
+
+namespace ganswer {
+namespace server {
+
+namespace {
+
+const char* FailureName(qa::GAnswer::FailureStage stage) {
+  switch (stage) {
+    case qa::GAnswer::FailureStage::kNone:
+      return "none";
+    case qa::GAnswer::FailureStage::kParse:
+      return "parse";
+    case qa::GAnswer::FailureStage::kNoRelations:
+      return "no_relations";
+    case qa::GAnswer::FailureStage::kNoLinking:
+      return "no_linking";
+    case qa::GAnswer::FailureStage::kNoMatches:
+      return "no_matches";
+  }
+  return "unknown";
+}
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, fingerprint);
+  return buf;
+}
+
+/// Extracts the request payload: the \p key member of a JSON object body,
+/// or the raw body for text/plain clients (curl without -H).
+StatusOr<std::string> ExtractField(const HttpRequest& request,
+                                   std::string_view key) {
+  std::string_view body = request.body;
+  std::string_view trimmed = Trim(body);
+  if (!trimmed.empty() && trimmed.front() == '{') {
+    return JsonGetString(trimmed, key);
+  }
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty request body");
+  }
+  return std::string(trimmed);
+}
+
+HttpResponse ErrorResponse(int status, std::string_view message) {
+  JsonWriter w;
+  w.BeginObject().Field("error", message).EndObject();
+  return HttpResponse::Json(status, w.Take());
+}
+
+}  // namespace
+
+QaService::QaService(Options options) : options_(std::move(options)) {}
+
+QaService::~QaService() { Shutdown(); }
+
+Status QaService::Start() {
+  WallTimer timer;
+  auto snapshot = store::ReadSnapshotFile(options_.snapshot_path, &lexicon_);
+  if (!snapshot.ok()) return snapshot.status();
+  snapshot_ = std::move(snapshot).value();
+  double load_ms = timer.ElapsedMillis();
+
+  qa::GAnswer::Options qa_options;
+  qa_options.entity_index = snapshot_.entity_index.get();
+  qa_options.matching.signatures = snapshot_.signatures.get();
+  qa_options.snapshot_identity = snapshot_.fingerprint;
+  qa_options.question_cache_capacity = options_.question_cache_capacity;
+  // Per-question matching stays serial: parallelism comes from answering
+  // many requests at once on the worker pool, not from splitting one.
+  qa_options.matching.exec.threads = 1;
+  system_ = std::make_unique<qa::GAnswer>(snapshot_.graph.get(), &lexicon_,
+                                          snapshot_.dictionary.get(),
+                                          qa_options);
+  engine_ = std::make_unique<rdf::SparqlEngine>(*snapshot_.graph);
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+
+  HttpServer::Options http_options;
+  http_options.bind_address = options_.bind_address;
+  http_options.port = options_.port;
+  http_options.idle_timeout_ms = options_.idle_timeout_ms;
+  http_options.drain_timeout_ms = options_.drain_timeout_ms;
+  http_ = std::make_unique<HttpServer>(http_options);
+  RegisterRoutes();
+  GANSWER_RETURN_NOT_OK(http_->Start());
+  start_ms_ = SteadyNowMs();
+  started_ = true;
+  GANSWER_LOG(Info) << "qa service up: " << snapshot_.graph->NumTriples()
+                    << " triples, snapshot " << options_.snapshot_path
+                    << " loaded in " << load_ms << " ms, "
+                    << pool_->size() << " worker(s), max queue "
+                    << options_.max_queue;
+  return Status::Ok();
+}
+
+void QaService::Shutdown() {
+  if (!started_ || shut_down_.exchange(true)) return;
+  GANSWER_LOG(Info) << "qa service shutting down: draining "
+                    << queue_depth() << " in-flight request(s)";
+  // Order matters: the HTTP drain waits for every dispatched request's
+  // response to flush (workers Send() as they finish), then the pool
+  // destructor joins the now-idle workers.
+  http_->Shutdown();
+  pool_.reset();
+  GANSWER_LOG(Info) << "qa service stopped";
+  FlushLogs();
+}
+
+void QaService::RegisterRoutes() {
+  http_->Route("POST", "/answer",
+               [this](const HttpRequest& request,
+                      const HttpServer::ResponseWriter& writer) {
+                 HandleAnswer(request, writer);
+               });
+  http_->Route("POST", "/sparql",
+               [this](const HttpRequest& request,
+                      const HttpServer::ResponseWriter& writer) {
+                 HandleSparql(request, writer);
+               });
+  http_->Route("GET", "/healthz",
+               [this](const HttpRequest&,
+                      const HttpServer::ResponseWriter& writer) {
+                 HandleHealthz(writer);
+               });
+  http_->Route("GET", "/stats",
+               [this](const HttpRequest&,
+                      const HttpServer::ResponseWriter& writer) {
+                 HandleStats(writer);
+               });
+}
+
+void QaService::Record(StatsCell* cell, double ms, int status) {
+  std::lock_guard<std::mutex> lock(cell->mu);
+  ++cell->stats.requests;
+  if (status >= 400) ++cell->stats.errors;
+  cell->stats.total_ms += ms;
+  if (ms > cell->stats.max_ms) cell->stats.max_ms = ms;
+}
+
+QaService::EndpointStats QaService::answer_stats() const {
+  std::lock_guard<std::mutex> lock(answer_stats_.mu);
+  return answer_stats_.stats;
+}
+
+QaService::EndpointStats QaService::sparql_stats() const {
+  std::lock_guard<std::mutex> lock(sparql_stats_.mu);
+  return sparql_stats_.stats;
+}
+
+bool QaService::Admit(const HttpServer::ResponseWriter& writer,
+                      StatsCell* cell, std::function<HttpResponse()> work) {
+  // fetch_add first so two racing admissions cannot both squeeze into the
+  // last slot; the loser backs out and sheds load.
+  if (admitted_.fetch_add(1, std::memory_order_relaxed) >=
+      options_.max_queue) {
+    admitted_.fetch_sub(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    Record(cell, 0.0, 503);
+    JsonWriter w;
+    w.BeginObject()
+        .Field("error", "overloaded")
+        .Field("max_queue", static_cast<int64_t>(options_.max_queue))
+        .EndObject();
+    writer.Send(HttpResponse::Json(503, w.Take()));
+    return false;
+  }
+  pool_->Submit([this, writer, cell, work = std::move(work)] {
+    WallTimer timer;
+    if (options_.worker_hook) options_.worker_hook();
+    HttpResponse response = work();
+    double ms = timer.ElapsedMillis();
+    Record(cell, ms, response.status);
+    writer.Send(std::move(response));
+    admitted_.fetch_sub(1, std::memory_order_relaxed);
+  });
+  return true;
+}
+
+void QaService::HandleAnswer(const HttpRequest& request,
+                             const HttpServer::ResponseWriter& writer) {
+  auto question = ExtractField(request, "question");
+  if (!question.ok()) {
+    Record(&answer_stats_, 0.0, 400);
+    writer.Send(ErrorResponse(400, question.status().ToString()));
+    return;
+  }
+  std::string q = std::move(question).value();
+  Admit(writer, &answer_stats_, [this, q = std::move(q)]() -> HttpResponse {
+    auto response = system_->Ask(q);
+    if (!response.ok()) {
+      return ErrorResponse(422, response.status().ToString());
+    }
+    return HttpResponse::Json(200, AnswerToJson(q, *response));
+  });
+}
+
+void QaService::HandleSparql(const HttpRequest& request,
+                             const HttpServer::ResponseWriter& writer) {
+  auto query = ExtractField(request, "query");
+  if (!query.ok()) {
+    Record(&sparql_stats_, 0.0, 400);
+    writer.Send(ErrorResponse(400, query.status().ToString()));
+    return;
+  }
+  std::string text = std::move(query).value();
+  Admit(writer, &sparql_stats_,
+        [this, text = std::move(text)]() -> HttpResponse {
+          auto result = engine_->ExecuteText(text);
+          if (!result.ok()) {
+            return ErrorResponse(422, result.status().ToString());
+          }
+          return HttpResponse::Json(200, SparqlResultToJson(*result));
+        });
+}
+
+void QaService::HandleHealthz(const HttpServer::ResponseWriter& writer) {
+  JsonWriter w;
+  w.BeginObject()
+      .Field("status", "ok")
+      .Field("triples", snapshot_.graph->NumTriples())
+      .Field("snapshot_fingerprint", FingerprintHex(snapshot_.fingerprint))
+      .Field("uptime_ms",
+             static_cast<int64_t>(SteadyNowMs() - start_ms_))
+      .EndObject();
+  writer.Send(HttpResponse::Json(200, w.Take()));
+}
+
+void QaService::HandleStats(const HttpServer::ResponseWriter& writer) {
+  qa::GAnswer::CacheStats cache = system_->cache_stats();
+  EndpointStats answer = answer_stats();
+  EndpointStats sparql = sparql_stats();
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("uptime_ms", static_cast<int64_t>(SteadyNowMs() - start_ms_));
+  w.Field("queue_depth", static_cast<int64_t>(queue_depth()));
+  w.Field("max_queue", static_cast<int64_t>(options_.max_queue));
+  w.Field("rejected", rejected_total());
+  w.Key("question_cache").BeginObject();
+  w.Field("hits", cache.hits)
+      .Field("misses", cache.misses)
+      .Field("evictions", cache.evictions)
+      .Field("entries", cache.entries)
+      .EndObject();
+  w.Key("server").BeginObject();
+  w.Field("connections_active", http_->active_connections())
+      .Field("connections_accepted", http_->connections_accepted())
+      .Field("requests_in_flight", http_->requests_in_flight())
+      .EndObject();
+  w.Key("endpoints").BeginObject();
+  auto emit_endpoint = [&w](const char* name, const EndpointStats& stats) {
+    w.Key(name).BeginObject();
+    w.Field("requests", stats.requests)
+        .Field("errors", stats.errors)
+        .Field("total_ms", stats.total_ms)
+        .Field("max_ms", stats.max_ms)
+        .Field("mean_ms", stats.requests > 0
+                              ? stats.total_ms / stats.requests
+                              : 0.0)
+        .EndObject();
+  };
+  emit_endpoint("/answer", answer);
+  emit_endpoint("/sparql", sparql);
+  w.EndObject();
+  w.EndObject();
+  writer.Send(HttpResponse::Json(200, w.Take()));
+}
+
+std::string QaService::AnswerToJson(
+    std::string_view question, const qa::GAnswer::Response& response) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("question", question);
+  w.Field("cache_hit", response.cache_hit);
+  w.Field("is_ask", response.is_ask);
+  if (response.is_ask) w.Field("ask_result", response.ask_result);
+  w.Field("failure", FailureName(response.failure));
+  w.Key("answers").BeginArray();
+  for (const auto& answer : response.answers) {
+    w.BeginObject()
+        .Field("text", answer.text)
+        .Field("score", answer.score)
+        .EndObject();
+  }
+  w.EndArray();
+  // The disambiguated interpretations as SPARQL (Algorithm 3): one query
+  // per distinct top-k match, runnable against any endpoint.
+  w.Key("sparql").BeginArray();
+  if (!response.matches.empty()) {
+    for (const rdf::SparqlQuery& query : qa::SparqlOutput::TopKQueries(
+             response.understanding.sqg, response.matches, *snapshot_.graph,
+             options_.sparql_top_k)) {
+      w.String(query.ToString());
+    }
+  }
+  w.EndArray();
+  w.Field("understanding_ms", response.understanding_ms);
+  w.Field("evaluation_ms", response.evaluation_ms);
+  w.EndObject();
+  return w.Take();
+}
+
+std::string QaService::SparqlResultToJson(
+    const rdf::SparqlResult& result) const {
+  const rdf::TermDictionary& dict = snapshot_.graph->dict();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("vars").BeginArray();
+  for (const std::string& var : result.var_names) w.String(var);
+  w.EndArray();
+  w.Field("ask_result", result.ask_result);
+  w.Key("rows").BeginArray();
+  for (const auto& row : result.rows) {
+    w.BeginArray();
+    for (rdf::TermId id : row) w.String(dict.text(id));
+    w.EndArray();
+  }
+  w.EndArray();
+  w.Field("row_count", result.rows.size());
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace server
+}  // namespace ganswer

@@ -1,0 +1,157 @@
+#ifndef GANSWER_SERVER_QA_SERVICE_H_
+#define GANSWER_SERVER_QA_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "nlp/lexicon.h"
+#include "qa/ganswer.h"
+#include "rdf/sparql_engine.h"
+#include "server/http_server.h"
+#include "store/snapshot.h"
+
+namespace ganswer {
+namespace server {
+
+/// \brief The online serving tier: snapshot-backed question answering over
+/// HTTP with bounded admission.
+///
+/// Startup loads one `store/snapshot` file (zero rebuilds — the PR 2
+/// cold-start story) and wires the prebuilt indexes into a `qa::GAnswer`
+/// with the question cache on, plus a raw `rdf::SparqlEngine` over the same
+/// graph. Requests arrive on the event-loop thread and are admitted into a
+/// **bounded queue** in front of the worker pool: at most `max_queue`
+/// requests may be queued-or-running at once, and the overflow request is
+/// answered `503` immediately — the load-shedding alternative to unbounded
+/// queueing, where every client's latency collapses together. Cheap
+/// introspection endpoints answer directly on the loop thread.
+///
+/// Endpoints:
+///   POST /answer   {"question": "..."}  (or a text/plain body)
+///                  -> ranked answers with scores, the lowered SPARQL
+///                     queries, stage timings, cache_hit
+///   POST /sparql   {"query": "..."}     (or a text/plain body)
+///                  -> variable bindings from the SparqlEngine
+///   GET  /healthz  liveness + snapshot identity
+///   GET  /stats    question-cache hit/miss/eviction counters, admission
+///                  queue depth + rejected count, per-endpoint
+///                  request/error/latency counters
+///
+/// Shutdown() drains: the listen socket closes first, dispatched requests
+/// run to completion and their responses flush, then the loop stops — the
+/// SIGTERM path of `qa_httpd`.
+class QaService {
+ public:
+  struct Options {
+    /// Snapshot container written by store::WriteSnapshotFile (or the
+    /// `snapshot_server build` / `qa_httpd` tooling).
+    std::string snapshot_path;
+    std::string bind_address = "127.0.0.1";
+    /// 0 picks an ephemeral port (tests); read back via port().
+    int port = 8080;
+    /// Worker threads answering questions; 0 = hardware concurrency.
+    int threads = 0;
+    /// Admission bound: max requests queued-or-running in the worker tier.
+    /// Overflow is answered 503 without queueing.
+    int max_queue = 64;
+    size_t question_cache_capacity = 4096;
+    /// How many lowered top-k SPARQL queries /answer includes.
+    size_t sparql_top_k = 3;
+    int idle_timeout_ms = 30'000;
+    int drain_timeout_ms = 10'000;
+    /// Test/bench instrumentation: runs on the worker thread before the
+    /// request is answered (e.g. a latch that holds workers busy so
+    /// admission overflow and shutdown drain become deterministic).
+    std::function<void()> worker_hook;
+  };
+
+  /// Cumulative per-endpoint counters, readable while serving.
+  struct EndpointStats {
+    uint64_t requests = 0;
+    uint64_t errors = 0;  ///< Responses with status >= 400.
+    double total_ms = 0;  ///< Sum of handler latencies.
+    double max_ms = 0;
+  };
+
+  explicit QaService(Options options);
+  ~QaService();
+
+  QaService(const QaService&) = delete;
+  QaService& operator=(const QaService&) = delete;
+
+  /// Loads the snapshot, builds the QA system and starts serving.
+  Status Start();
+
+  /// Graceful stop: stop accepting, drain in-flight work, flush responses,
+  /// join everything. Idempotent, callable from any non-handler thread
+  /// (the qa_httpd SIGTERM path).
+  void Shutdown();
+
+  int port() const { return http_ ? http_->port() : 0; }
+  /// Current admission queue depth (queued + running).
+  int queue_depth() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected_total() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  EndpointStats answer_stats() const;
+  EndpointStats sparql_stats() const;
+
+  qa::GAnswer* system() { return system_.get(); }
+  const store::Snapshot& snapshot() const { return snapshot_; }
+  HttpServer* http_server() { return http_.get(); }
+
+ private:
+  struct StatsCell {
+    mutable std::mutex mu;
+    EndpointStats stats;
+  };
+
+  void RegisterRoutes();
+  void HandleAnswer(const HttpRequest& request,
+                    const HttpServer::ResponseWriter& writer);
+  void HandleSparql(const HttpRequest& request,
+                    const HttpServer::ResponseWriter& writer);
+  void HandleHealthz(const HttpServer::ResponseWriter& writer);
+  void HandleStats(const HttpServer::ResponseWriter& writer);
+
+  /// Admission control shared by the POST endpoints: returns false (and
+  /// answers 503) when the queue is full, else dispatches \p work to the
+  /// pool with bookkeeping.
+  bool Admit(const HttpServer::ResponseWriter& writer, StatsCell* cell,
+             std::function<HttpResponse()> work);
+
+  static void Record(StatsCell* cell, double ms, int status);
+
+  std::string AnswerToJson(std::string_view question,
+                           const qa::GAnswer::Response& response) const;
+  std::string SparqlResultToJson(const rdf::SparqlResult& result) const;
+
+  Options options_;
+  nlp::Lexicon lexicon_;
+  store::Snapshot snapshot_;
+  std::unique_ptr<qa::GAnswer> system_;
+  std::unique_ptr<rdf::SparqlEngine> engine_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<HttpServer> http_;
+
+  std::atomic<int> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  StatsCell answer_stats_;
+  StatsCell sparql_stats_;
+  int64_t start_ms_ = 0;
+  bool started_ = false;
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace server
+}  // namespace ganswer
+
+#endif  // GANSWER_SERVER_QA_SERVICE_H_

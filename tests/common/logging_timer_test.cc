@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -23,6 +27,66 @@ TEST(LoggingTest, StreamAcceptsMixedTypes) {
   SetLogLevel(LogLevel::kError);  // keep test output clean
   GANSWER_LOG(Info) << "s" << 1 << ' ' << 2.5 << true;
   SetLogLevel(LogLevel::kInfo);
+}
+
+TEST(LoggingTest, SinkCapturesMessagesAndLevel) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  SetLogSink([&](LogLevel level, const std::string& message) {
+    captured.emplace_back(level, message);
+  });
+  GANSWER_LOG(Info) << "hello " << 7;
+  GANSWER_LOG(Warn) << "careful";
+  SetLogSink(nullptr);  // restore the stderr default
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured[0].second, "hello 7");
+  EXPECT_EQ(captured[1].first, LogLevel::kWarn);
+  EXPECT_EQ(captured[1].second, "careful");
+
+  // After restore, the custom sink no longer sees anything.
+  SetLogLevel(LogLevel::kError);
+  GANSWER_LOG(Info) << "not captured";
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(captured.size(), 2u);
+}
+
+// The server logs from the event-loop thread and every worker at once; the
+// sink contract is strict serialization — each invocation completes before
+// the next begins, and no message is lost.
+TEST(LoggingTest, ConcurrentLoggingSerializesSinkCalls) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::atomic<int> in_sink{0};
+  std::atomic<bool> overlapped{false};
+  std::vector<std::string> messages;
+  SetLogSink([&](LogLevel, const std::string& message) {
+    if (in_sink.fetch_add(1) != 0) overlapped.store(true);
+    messages.push_back(message);  // safe only because calls are serialized
+    in_sink.fetch_sub(1);
+  });
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        GANSWER_LOG(Info) << "t" << t << " m" << i;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  FlushLogs();
+  SetLogSink(nullptr);
+
+  EXPECT_FALSE(overlapped.load()) << "sink invocations overlapped";
+  EXPECT_EQ(messages.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(LoggingTest, FlushLogsIsSafeAnytime) {
+  FlushLogs();  // default sink
+  SetLogSink([](LogLevel, const std::string&) {});
+  FlushLogs();  // custom sink: flush is a no-op but must not crash
+  SetLogSink(nullptr);
 }
 
 TEST(WallTimerTest, MeasuresElapsedTime) {

@@ -107,5 +107,38 @@ TEST(StringUtilTest, IsAllDigits) {
   EXPECT_FALSE(IsAllDigits("1.2"));
 }
 
+TEST(StringUtilTest, JsonEscapePassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("who is the mayor of Berlin ?"),
+            "who is the mayor of Berlin ?");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(StringUtilTest, JsonEscapeQuotesAndBackslashes) {
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+}
+
+TEST(StringUtilTest, JsonEscapeNamedControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd\be\ff"), "a\\nb\\tc\\rd\\be\\ff");
+}
+
+TEST(StringUtilTest, JsonEscapeOtherControlBytesAsUnicode) {
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string("\x1f", 1)), "\\u001f");
+  EXPECT_EQ(JsonEscape(std::string("a\x00z", 3)), "a\\u0000z");
+}
+
+TEST(StringUtilTest, JsonEscapeLeavesUtf8Alone) {
+  // Multi-byte UTF-8 (é, 😀) must pass through byte-identical.
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+  EXPECT_EQ(JsonEscape("\xF0\x9F\x98\x80"), "\xF0\x9F\x98\x80");
+}
+
+TEST(StringUtilTest, AppendJsonEscapedAppends) {
+  std::string out = "prefix:";
+  AppendJsonEscaped(&out, "x\"y");
+  EXPECT_EQ(out, "prefix:x\\\"y");
+}
+
 }  // namespace
 }  // namespace ganswer

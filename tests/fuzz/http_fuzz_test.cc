@@ -1,0 +1,167 @@
+// Structured byte-fuzz driver for the HTTP/1.1 request parser: the
+// regression corpus plus seeded mutations of valid requests must never
+// crash, throw, over-consume, or loop — malformed bytes come back as a
+// non-OK Status with a suggested 4xx/5xx answer. The same driver also
+// stresses arbitrary re-fragmentation: any split of the byte stream must
+// parse identically to the whole buffer. Runs under the sanitizer CI jobs;
+// this is the no-UB contract for the network-facing boundary.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_support.h"
+#include "prop/prop_support.h"
+#include "server/http_parser.h"
+#include "server/json_writer.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace testing {
+namespace {
+
+// Feeds the input in rng-chosen fragments until the parser finishes,
+// fails, or the bytes run out. Asserts the parser's bookkeeping invariants
+// along the way and returns whether a full request was parsed.
+bool DriveParser(const std::string& input, Rng& rng) {
+  server::HttpParser parser;
+  size_t offset = 0;
+  while (offset < input.size() && !parser.done() && !parser.failed()) {
+    size_t len = 1 + rng.Next(std::min<size_t>(64, input.size() - offset));
+    auto consumed = parser.Feed(std::string_view(input).substr(offset, len));
+    if (!consumed.ok()) {
+      EXPECT_TRUE(parser.failed());
+      int s = parser.suggested_status();
+      EXPECT_TRUE(s == 400 || s == 413 || s == 414 || s == 431 || s == 501 ||
+                  s == 505)
+          << "suggested " << s;
+      return false;
+    }
+    EXPECT_LE(*consumed, len) << "over-consumed";
+    // Progress guarantee: unless the request just completed (pipelined
+    // leftovers stay with the caller), every fed byte is consumed.
+    if (!parser.done()) {
+      EXPECT_EQ(*consumed, len);
+    }
+    offset += *consumed;
+  }
+  return parser.done();
+}
+
+// Whole-buffer reference result for differential fragmentation checks.
+struct WholeParse {
+  bool ok = false;
+  server::HttpRequest request;
+};
+
+WholeParse ParseWhole(const std::string& input) {
+  WholeParse out;
+  server::HttpParser parser;
+  auto consumed = parser.Feed(input);
+  if (consumed.ok() && parser.done()) {
+    out.ok = true;
+    out.request = parser.request();
+  }
+  return out;
+}
+
+const std::vector<std::string>& ValidRequests() {
+  static const std::vector<std::string>* requests =
+      new std::vector<std::string>{
+          "GET /healthz HTTP/1.1\r\nHost: localhost\r\n\r\n",
+          "POST /answer HTTP/1.1\r\nContent-Type: application/json\r\n"
+          "Content-Length: 21\r\n\r\n{\"question\": \"who?\"}!",
+          "POST /sparql HTTP/1.0\r\nConnection: keep-alive\r\n"
+          "Content-Length: 7\r\n\r\nseven b",
+          "GET /stats?verbose=1&x=%20 HTTP/1.1\r\nAccept: */*\r\n"
+          "X-Custom-Header: a,b;c=d\r\n\r\n",
+      };
+  return *requests;
+}
+
+TEST(HttpFuzzTest, SurvivesRegressionCorpus) {
+  std::vector<CorpusEntry> corpus = LoadCorpus("http");
+  ASSERT_FALSE(corpus.empty()) << "corpus missing — check "
+                               << GANSWER_FUZZ_CORPUS_DIR;
+  Rng rng(0x4774);
+  for (const CorpusEntry& e : corpus) {
+    SCOPED_TRACE("corpus file: " + e.name);
+    DriveParser(e.bytes, rng);
+  }
+}
+
+TEST(HttpFuzzTest, SurvivesMutatedValidRequests) {
+  ForEachSeed(7000, 60, [&](uint64_t seed) {
+    Rng rng(seed);
+    for (const std::string& base : ValidRequests()) {
+      std::string mutated = MutateN(base, rng, 1 + rng.Next(4));
+      SCOPED_TRACE("input bytes: " + mutated);
+      DriveParser(mutated, rng);
+    }
+  });
+}
+
+// Any fragmentation of a byte stream is equivalent to the whole buffer:
+// same accept/reject verdict, and on accept the identical request. This is
+// the property that makes the parser safe against TCP's arbitrary
+// segmentation.
+TEST(HttpFuzzTest, FragmentationIsTransparent) {
+  ForEachSeed(7100, 40, [&](uint64_t seed) {
+    Rng rng(seed);
+    for (const std::string& base : ValidRequests()) {
+      // Half the iterations parse the input pristine, half lightly mutated
+      // (the verdict may flip to reject; it must do so in both modes).
+      std::string input =
+          rng.Next(2) == 0 ? base : MutateN(base, rng, 1 + rng.Next(2));
+      SCOPED_TRACE("input bytes: " + input);
+      WholeParse whole = ParseWhole(input);
+      Rng frag_rng(seed ^ 0x9e3779b97f4a7c15ull);
+      server::HttpParser parser;
+      size_t offset = 0;
+      while (offset < input.size() && !parser.done() && !parser.failed()) {
+        size_t len =
+            1 + frag_rng.Next(std::min<size_t>(16, input.size() - offset));
+        auto consumed =
+            parser.Feed(std::string_view(input).substr(offset, len));
+        if (!consumed.ok()) break;
+        offset += *consumed;
+      }
+      EXPECT_EQ(parser.done(), whole.ok) << "fragmented verdict diverged";
+      if (whole.ok && parser.done()) {
+        EXPECT_EQ(parser.request().method, whole.request.method);
+        EXPECT_EQ(parser.request().target, whole.request.target);
+        EXPECT_EQ(parser.request().headers, whole.request.headers);
+        EXPECT_EQ(parser.request().body, whole.request.body);
+        EXPECT_EQ(parser.request().keep_alive, whole.request.keep_alive);
+      }
+    }
+  });
+}
+
+// JsonGetString sits on the same network boundary (request bodies); it must
+// uphold the identical no-crash contract over mutated JSON.
+TEST(HttpFuzzTest, JsonBodyExtractorSurvivesMutations) {
+  const std::vector<std::string> valid = {
+      "{\"question\": \"who was married to an actor ?\"}",
+      "{\"query\": \"SELECT ?x WHERE { ?x <p> ?y }\", \"k\": 3}",
+      "{\"a\": [1, {\"b\": null}], \"question\": \"x\\u00e9\\n\"}",
+  };
+  ForEachSeed(7200, 60, [&](uint64_t seed) {
+    Rng rng(seed);
+    for (const std::string& base : valid) {
+      std::string mutated = MutateN(base, rng, 1 + rng.Next(4));
+      SCOPED_TRACE("input bytes: " + mutated);
+      auto result = server::JsonGetString(mutated, "question");
+      if (!result.ok()) {
+        EXPECT_TRUE(result.status().IsInvalidArgument() ||
+                    result.status().IsNotFound())
+            << result.status().ToString();
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace ganswer

@@ -1,0 +1,254 @@
+#include "server/http_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ganswer {
+namespace server {
+namespace {
+
+constexpr const char* kSimpleGet = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+
+// Feeds `input` one byte at a time; the parser must land in the same final
+// state as a single Feed of the whole buffer.
+void FeedBytewise(HttpParser* parser, std::string_view input) {
+  for (size_t i = 0; i < input.size() && !parser->done() && !parser->failed();
+       ++i) {
+    auto consumed = parser->Feed(input.substr(i, 1));
+    if (!consumed.ok()) return;
+  }
+}
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpParser parser;
+  auto consumed = parser.Feed(kSimpleGet);
+  ASSERT_TRUE(consumed.ok()) << consumed.status().ToString();
+  EXPECT_EQ(*consumed, std::string(kSimpleGet).size());
+  ASSERT_TRUE(parser.done());
+  const HttpRequest& r = parser.request();
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.path, "/healthz");
+  EXPECT_TRUE(r.query.empty());
+  EXPECT_EQ(r.version_minor, 1);
+  EXPECT_TRUE(r.keep_alive);
+  ASSERT_NE(r.Header("host"), nullptr);
+  EXPECT_EQ(*r.Header("HOST"), "x");  // lookups are case-insensitive
+}
+
+TEST(HttpParserTest, ParsesPostBodyAndQueryString) {
+  HttpParser parser;
+  std::string input =
+      "POST /answer?k=3&verbose=1 HTTP/1.1\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 17\r\n"
+      "\r\n"
+      "{\"question\":\"q\"}!";
+  auto consumed = parser.Feed(input);
+  ASSERT_TRUE(consumed.ok()) << consumed.status().ToString();
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().path, "/answer");
+  EXPECT_EQ(parser.request().query, "k=3&verbose=1");
+  EXPECT_EQ(parser.request().body, "{\"question\":\"q\"}!");
+}
+
+TEST(HttpParserTest, ByteAtATimeMatchesWholeBuffer) {
+  std::string input =
+      "POST /sparql HTTP/1.1\r\n"
+      "Host: localhost:8080\r\n"
+      "Content-Length: 5\r\n"
+      "Connection: keep-alive\r\n"
+      "\r\n"
+      "hello";
+  HttpParser whole;
+  ASSERT_TRUE(whole.Feed(input).ok());
+  ASSERT_TRUE(whole.done());
+
+  HttpParser bytewise;
+  FeedBytewise(&bytewise, input);
+  ASSERT_TRUE(bytewise.done());
+  EXPECT_EQ(bytewise.request().method, whole.request().method);
+  EXPECT_EQ(bytewise.request().target, whole.request().target);
+  EXPECT_EQ(bytewise.request().headers, whole.request().headers);
+  EXPECT_EQ(bytewise.request().body, whole.request().body);
+}
+
+TEST(HttpParserTest, StopsAtRequestBoundaryForPipelining) {
+  HttpParser parser;
+  std::string two = std::string(kSimpleGet) + "GET /stats HTTP/1.1\r\n\r\n";
+  auto consumed = parser.Feed(two);
+  ASSERT_TRUE(consumed.ok());
+  // Exactly the first request is consumed; the second stays with the caller.
+  EXPECT_EQ(*consumed, std::string(kSimpleGet).size());
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().path, "/healthz");
+
+  parser.Reset();
+  EXPECT_TRUE(parser.idle());
+  auto second = parser.Feed(std::string_view(two).substr(*consumed));
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().path, "/stats");
+}
+
+TEST(HttpParserTest, ToleratesLeadingEmptyLines) {
+  HttpParser parser;
+  auto consumed = parser.Feed("\r\n\r\nGET / HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(consumed.ok()) << consumed.status().ToString();
+  EXPECT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().path, "/");
+}
+
+TEST(HttpParserTest, Http10DefaultsToClose) {
+  HttpParser parser;
+  ASSERT_TRUE(parser.Feed("GET / HTTP/1.0\r\n\r\n").ok());
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().version_minor, 0);
+  EXPECT_FALSE(parser.request().keep_alive);
+
+  parser.Reset();
+  ASSERT_TRUE(
+      parser.Feed("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").ok());
+  ASSERT_TRUE(parser.done());
+  EXPECT_TRUE(parser.request().keep_alive);
+}
+
+TEST(HttpParserTest, ConnectionCloseOverridesHttp11Default) {
+  HttpParser parser;
+  ASSERT_TRUE(
+      parser.Feed("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").ok());
+  ASSERT_TRUE(parser.done());
+  EXPECT_FALSE(parser.request().keep_alive);
+}
+
+TEST(HttpParserTest, RejectsUnsupportedVersion) {
+  HttpParser parser;
+  EXPECT_FALSE(parser.Feed("GET / HTTP/2.0\r\n\r\n").ok());
+  EXPECT_TRUE(parser.failed());
+  EXPECT_EQ(parser.suggested_status(), 505);
+}
+
+TEST(HttpParserTest, RejectsMalformedRequestLine) {
+  for (const char* line :
+       {"GET\r\n\r\n", "GET /\r\n\r\n", "G=T / HTTP/1.1\r\n\r\n",
+        " GET / HTTP/1.1\r\n\r\n"}) {
+    HttpParser parser;
+    auto result = parser.Feed(line);
+    EXPECT_FALSE(result.ok()) << "accepted: " << line;
+    EXPECT_TRUE(parser.failed());
+    EXPECT_EQ(parser.suggested_status(), 400) << line;
+  }
+  // An unparseable version token is a version problem, not a syntax one.
+  HttpParser parser;
+  EXPECT_FALSE(parser.Feed("GET / HTTP/1.x\r\n\r\n").ok());
+  EXPECT_EQ(parser.suggested_status(), 505);
+}
+
+TEST(HttpParserTest, ToleratesBareLfLineEndings) {
+  // Lenient per the robustness principle: the CR before LF is optional.
+  HttpParser parser;
+  auto consumed = parser.Feed("GET /healthz HTTP/1.1\nHost: x\n\n");
+  ASSERT_TRUE(consumed.ok()) << consumed.status().ToString();
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().path, "/healthz");
+  ASSERT_NE(parser.request().Header("host"), nullptr);
+}
+
+TEST(HttpParserTest, RejectsFoldedHeaders) {
+  HttpParser parser;
+  EXPECT_FALSE(
+      parser.Feed("GET / HTTP/1.1\r\nA: b\r\n  folded\r\n\r\n").ok());
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(HttpParserTest, RejectsHeaderWithoutColonOrBadName) {
+  for (const char* input :
+       {"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+        "GET / HTTP/1.1\r\nBad Name: v\r\n\r\n",
+        "GET / HTTP/1.1\r\n: empty\r\n\r\n"}) {
+    HttpParser parser;
+    EXPECT_FALSE(parser.Feed(input).ok()) << input;
+    EXPECT_EQ(parser.suggested_status(), 400);
+  }
+}
+
+TEST(HttpParserTest, EnforcesRequestLineLimit) {
+  HttpParser::Limits limits;
+  limits.max_request_line = 64;
+  HttpParser parser(limits);
+  std::string line = "GET /" + std::string(100, 'a') + " HTTP/1.1\r\n\r\n";
+  EXPECT_FALSE(parser.Feed(line).ok());
+  EXPECT_EQ(parser.suggested_status(), 414);
+}
+
+TEST(HttpParserTest, EnforcesHeaderByteAndCountLimits) {
+  {
+    HttpParser::Limits limits;
+    limits.max_header_bytes = 64;
+    HttpParser parser(limits);
+    std::string input =
+        "GET / HTTP/1.1\r\nX-Big: " + std::string(100, 'v') + "\r\n\r\n";
+    EXPECT_FALSE(parser.Feed(input).ok());
+    EXPECT_EQ(parser.suggested_status(), 431);
+  }
+  {
+    HttpParser::Limits limits;
+    limits.max_headers = 2;
+    HttpParser parser(limits);
+    EXPECT_FALSE(
+        parser.Feed("GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n").ok());
+    EXPECT_EQ(parser.suggested_status(), 431);
+  }
+}
+
+TEST(HttpParserTest, EnforcesBodyCapWith413) {
+  HttpParser::Limits limits;
+  limits.max_body_bytes = 16;
+  HttpParser parser(limits);
+  auto result = parser.Feed("POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(parser.suggested_status(), 413);
+}
+
+TEST(HttpParserTest, RejectsBadContentLength) {
+  for (const char* value : {"abc", "-1", "1x", "", "99999999999999999999"}) {
+    HttpParser parser;
+    std::string input = std::string("POST / HTTP/1.1\r\nContent-Length: ") +
+                        value + "\r\n\r\n";
+    EXPECT_FALSE(parser.Feed(input).ok()) << "accepted: " << value;
+    EXPECT_TRUE(parser.failed());
+  }
+}
+
+TEST(HttpParserTest, RejectsTransferEncodingAsNotImplemented) {
+  HttpParser parser;
+  auto result =
+      parser.Feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotSupported())
+      << result.status().ToString();
+  EXPECT_EQ(parser.suggested_status(), 501);
+}
+
+TEST(HttpParserTest, PoisonedUntilResetAfterError) {
+  HttpParser parser;
+  ASSERT_FALSE(parser.Feed("junk\r\n\r\n").ok());
+  EXPECT_TRUE(parser.failed());
+  // Further bytes keep failing without advancing.
+  EXPECT_FALSE(parser.Feed(kSimpleGet).ok());
+  parser.Reset();
+  EXPECT_TRUE(parser.idle());
+  ASSERT_TRUE(parser.Feed(kSimpleGet).ok());
+  EXPECT_TRUE(parser.done());
+}
+
+TEST(HttpParserTest, IdleOnlyBeforeFirstByte) {
+  HttpParser parser;
+  EXPECT_TRUE(parser.idle());
+  ASSERT_TRUE(parser.Feed("GE").ok());
+  EXPECT_FALSE(parser.idle());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace ganswer

@@ -1,0 +1,112 @@
+#include "server/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ganswer {
+namespace server {
+namespace {
+
+TEST(JsonWriterTest, FlatObjectWithCommas) {
+  JsonWriter w;
+  w.BeginObject()
+      .Field("name", "berlin")
+      .Field("count", 3)
+      .Field("score", 0.5)
+      .Field("ok", true)
+      .Key("missing")
+      .Null()
+      .EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"berlin\",\"count\":3,\"score\":0.5,"
+            "\"ok\":true,\"missing\":null}");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.BeginObject().Key("answers").BeginArray();
+  w.BeginObject().Field("text", "a").Field("score", 1.0).EndObject();
+  w.BeginObject().Field("text", "b").Field("score", 0.25).EndObject();
+  w.EndArray().Key("empty").BeginArray().EndArray().EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"answers\":[{\"text\":\"a\",\"score\":1},"
+            "{\"text\":\"b\",\"score\":0.25}],\"empty\":[]}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.BeginObject().Field("q", "say \"hi\"\\\n\ttab\x01").EndObject();
+  EXPECT_EQ(w.str(), "{\"q\":\"say \\\"hi\\\"\\\\\\n\\ttab\\u0001\"}");
+}
+
+TEST(JsonWriterTest, TopLevelArrayOfScalars) {
+  JsonWriter w;
+  w.BeginArray().Int(-2).UInt(7).String("x").Bool(false).EndArray();
+  EXPECT_EQ(w.str(), "[-2,7,\"x\",false]");
+}
+
+TEST(JsonWriterTest, TakeMovesOutTheBuffer) {
+  JsonWriter w;
+  w.BeginObject().EndObject();
+  EXPECT_EQ(w.Take(), "{}");
+}
+
+TEST(JsonGetStringTest, ExtractsPlainMember) {
+  auto v = JsonGetString("{\"question\": \"who is x ?\"}", "question");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, "who is x ?");
+}
+
+TEST(JsonGetStringTest, DecodesEscapesIncludingUnicode) {
+  auto v = JsonGetString(
+      "{\"q\": \"a\\\"b\\\\c\\/d\\n\\t\\u0041\\u00e9\"}", "q");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, "a\"b\\c/d\n\tA\xc3\xa9");
+}
+
+TEST(JsonGetStringTest, DecodesSurrogatePairs) {
+  // U+1F600 as 😀 -> 4-byte UTF-8.
+  auto v = JsonGetString("{\"q\": \"\\uD83D\\uDE00\"}", "q");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonGetStringTest, SkipsOtherMembersOfAnyType) {
+  std::string json =
+      "{\"n\": 42, \"arr\": [1, {\"deep\": [true, null]}, \"s\"], "
+      "\"obj\": {\"a\": {\"b\": \"}]\"}}, \"question\": \"found\"}";
+  auto v = JsonGetString(json, "question");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, "found");
+}
+
+TEST(JsonGetStringTest, NotFoundForAbsentKeyOrNonString) {
+  EXPECT_TRUE(JsonGetString("{\"a\": 1}", "question").status().IsNotFound());
+  EXPECT_TRUE(JsonGetString("{}", "q").status().IsNotFound());
+  // Present but not a string.
+  EXPECT_TRUE(JsonGetString("{\"q\": 42}", "q").status().IsNotFound());
+}
+
+TEST(JsonGetStringTest, InvalidArgumentForMalformedInput) {
+  for (const char* bad :
+       {"", "not json", "[1,2]", "{\"q\": \"unterminated", "{\"q\" 1}",
+        "{\"q\": \"x\\u00ZZ\"}", "{\"q\": \"bad \\q escape\"}"}) {
+    auto v = JsonGetString(bad, "q");
+    EXPECT_FALSE(v.ok()) << "accepted: " << bad;
+    EXPECT_TRUE(v.status().IsInvalidArgument()) << bad;
+  }
+}
+
+TEST(JsonGetStringTest, WriterOutputRoundTrips) {
+  JsonWriter w;
+  std::string nasty = "line1\nline2 \"quoted\" back\\slash \x02";
+  w.BeginObject().Field("question", nasty).EndObject();
+  auto v = JsonGetString(w.str(), "question");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, nasty);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace ganswer

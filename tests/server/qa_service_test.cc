@@ -1,0 +1,300 @@
+// End-to-end serving-tier tests: a QaService booted from a real snapshot
+// file, driven over real loopback sockets. Covers the paper's running
+// example through the full HTTP path, admission-control overflow, the
+// introspection endpoints, and graceful shutdown drain.
+
+#include "server/qa_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/http_client.h"
+#include "server/json_writer.h"
+#include "store/snapshot.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace server {
+namespace {
+
+/// Writes the shared test world into a snapshot file once per binary and
+/// hands out its path; the service under test always cold-starts from disk,
+/// exactly like production.
+const std::string& SnapshotPath() {
+  static std::string* path = [] {
+    auto* p = new std::string("qa_service_test.snap");
+    const auto& world = ganswer::testing::World();
+    Status st = store::WriteSnapshotFile(world.kb.graph, *world.verified, *p);
+    if (!st.ok()) {
+      std::fprintf(stderr, "snapshot write failed: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
+    return p;
+  }();
+  return *path;
+}
+
+QaService::Options TestOptions() {
+  QaService::Options options;
+  options.snapshot_path = SnapshotPath();
+  options.port = 0;  // ephemeral: parallel ctest runs never collide
+  options.threads = 2;
+  return options;
+}
+
+std::string Quoted(std::string_view s) {
+  return "\"" + std::string(s) + "\"";
+}
+
+TEST(QaServiceTest, AnswersTheRunningExampleOverHttp) {
+  QaService service(TestOptions());
+  ASSERT_TRUE(service.Start().ok());
+
+  BlockingHttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", service.port()).ok());
+  auto r = client.Post(
+      "/answer",
+      "{\"question\": "
+      "\"Who was married to an actor that played in Philadelphia ?\"}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->status, 200) << r->body;
+  // The paper's running example resolves to Melanie_Griffith, and the
+  // response carries the lowered SPARQL alongside the answers.
+  EXPECT_NE(r->body.find(Quoted("Melanie_Griffith")), std::string::npos)
+      << r->body;
+  EXPECT_NE(r->body.find("\"sparql\""), std::string::npos) << r->body;
+  EXPECT_NE(r->body.find("\"answers\""), std::string::npos) << r->body;
+
+  // The exact same question again is a cache hit, visible in the response.
+  auto again = client.Post(
+      "/answer",
+      "{\"question\": "
+      "\"Who was married to an actor that played in Philadelphia ?\"}");
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_EQ(again->status, 200);
+  EXPECT_NE(again->body.find("\"cache_hit\":true"), std::string::npos)
+      << again->body;
+
+  client.Close();
+  service.Shutdown();
+}
+
+TEST(QaServiceTest, AcceptsPlainTextQuestionBody) {
+  QaService service(TestOptions());
+  ASSERT_TRUE(service.Start().ok());
+  BlockingHttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", service.port()).ok());
+  auto r = client.Post(
+      "/answer", "Who was married to an actor that played in Philadelphia ?",
+      "text/plain");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->status, 200) << r->body;
+  EXPECT_NE(r->body.find(Quoted("Melanie_Griffith")), std::string::npos)
+      << r->body;
+  client.Close();
+  service.Shutdown();
+}
+
+TEST(QaServiceTest, BadRequestBodiesGet400) {
+  QaService service(TestOptions());
+  ASSERT_TRUE(service.Start().ok());
+  BlockingHttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", service.port()).ok());
+  // Empty body, JSON without the key, and malformed JSON all answer 400
+  // without ever reaching the worker pool.
+  for (const char* body : {"", "{\"nope\": 1}", "{\"question\": "}) {
+    auto r = client.Post("/answer", body);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 400) << "body: " << body << " -> " << r->body;
+  }
+  EXPECT_EQ(service.queue_depth(), 0);
+  client.Close();
+  service.Shutdown();
+}
+
+TEST(QaServiceTest, SparqlEndpointEvaluatesQueries) {
+  QaService service(TestOptions());
+  ASSERT_TRUE(service.Start().ok());
+  BlockingHttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", service.port()).ok());
+
+  auto r = client.Post(
+      "/sparql",
+      "{\"query\": \"SELECT ?w WHERE { ?w <spouse> <Antonio_Banderas> }\"}");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->status, 200) << r->body;
+  EXPECT_NE(r->body.find(Quoted("Melanie_Griffith")), std::string::npos)
+      << r->body;
+
+  auto bad = client.Post("/sparql", "{\"query\": \"SELECT WHERE {\"}");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status, 422) << bad->body;
+
+  client.Close();
+  service.Shutdown();
+}
+
+TEST(QaServiceTest, HealthzAndStatsReportServiceState) {
+  QaService service(TestOptions());
+  ASSERT_TRUE(service.Start().ok());
+  BlockingHttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", service.port()).ok());
+
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status, 200);
+  EXPECT_NE(health->body.find("\"status\":\"ok\""), std::string::npos)
+      << health->body;
+  EXPECT_NE(health->body.find("\"snapshot_fingerprint\""), std::string::npos);
+
+  // One answered question shows up in the per-endpoint counters.
+  auto answer = client.Post("/answer", "{\"question\": \"Who is nobody ?\"}");
+  ASSERT_TRUE(answer.ok());
+
+  auto stats = client.Get("/stats");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->status, 200);
+  for (const char* key :
+       {"\"question_cache\"", "\"hits\"", "\"misses\"", "\"evictions\"",
+        "\"queue_depth\"", "\"rejected\"", "\"/answer\"", "\"/sparql\"",
+        "\"requests\"", "\"connections_active\""}) {
+    EXPECT_NE(stats->body.find(key), std::string::npos)
+        << "missing " << key << " in " << stats->body;
+  }
+  auto requests = JsonGetString(stats->body, "no-such-key");
+  EXPECT_FALSE(requests.ok());  // stats body is one JSON object, not flat text
+
+  client.Close();
+  service.Shutdown();
+}
+
+// Admission control: with max_queue=1 and the only admitted request parked
+// on a latch inside the worker, every further request must be shed with an
+// immediate 503 — deterministically, not probabilistically.
+TEST(QaServiceTest, OverflowIsSheddedWith503) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> workers_held{0};
+
+  QaService::Options options = TestOptions();
+  options.threads = 1;
+  options.max_queue = 1;
+  options.worker_hook = [&] {
+    workers_held.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  QaService service(options);
+  ASSERT_TRUE(service.Start().ok());
+
+  // First request occupies the single admission slot.
+  std::thread holder([&] {
+    BlockingHttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", service.port()).ok());
+    auto r = client.Post("/answer", "{\"question\": \"Who is nobody ?\"}");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 200) << r->body;
+  });
+  while (workers_held.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  BlockingHttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", service.port()).ok());
+  for (int i = 0; i < 3; ++i) {
+    auto r = client.Post("/answer", "{\"question\": \"Who is nobody ?\"}");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 503) << r->body;
+    EXPECT_NE(r->body.find("\"error\":\"overloaded\""), std::string::npos)
+        << r->body;
+  }
+  EXPECT_EQ(service.rejected_total(), 3u);
+  EXPECT_EQ(service.queue_depth(), 1);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  holder.join();
+
+  // Slot freed: the same connection is served again.
+  auto ok = client.Post("/answer", "{\"question\": \"Who is nobody ?\"}");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->status, 200) << ok->body;
+  client.Close();
+  service.Shutdown();
+}
+
+// Graceful shutdown: a request parked inside the worker when Shutdown()
+// starts must still be answered (drain), and the listener must be gone
+// afterwards.
+TEST(QaServiceTest, ShutdownDrainsInFlightRequests) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> workers_held{0};
+
+  QaService::Options options = TestOptions();
+  options.threads = 1;
+  options.worker_hook = [&] {
+    workers_held.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  QaService service(options);
+  ASSERT_TRUE(service.Start().ok());
+  int port = service.port();
+
+  std::thread in_flight([&] {
+    BlockingHttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+    auto r = client.Post("/answer", "{\"question\": \"Who is nobody ?\"}");
+    // The drain guarantee: the response arrives complete, after shutdown
+    // began, with status 200 — never a reset or a truncated body.
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 200) << r->body;
+  });
+  while (workers_held.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::thread releaser([&] {
+    // Let Shutdown() enter its drain phase before freeing the worker.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  });
+  service.Shutdown();  // must block until the in-flight response flushed
+  in_flight.join();
+  releaser.join();
+  EXPECT_EQ(service.queue_depth(), 0);
+
+  BlockingHttpClient refused;
+  EXPECT_FALSE(refused.Connect("127.0.0.1", port).ok());
+}
+
+TEST(QaServiceTest, StartFailsCleanlyOnMissingSnapshot) {
+  QaService::Options options;
+  options.snapshot_path = "does_not_exist.snap";
+  options.port = 0;
+  QaService service(options);
+  Status st = service.Start();
+  EXPECT_FALSE(st.ok());
+  service.Shutdown();  // must be safe after a failed start
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace ganswer
