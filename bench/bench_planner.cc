@@ -1,0 +1,261 @@
+// Query planner: naive textual-order joins vs the cost-based planner over
+// sorted permutation indexes (PSO/POS ranges, greedy selectivity ordering,
+// leading sort-merge joins). Two workloads:
+//
+//  1. The SPARQL queries the QA pipeline itself emits for the gold
+//     question set (Algorithm 3 lowers each top match to one query) —
+//     mostly short, constant-anchored BGPs.
+//  2. Synthetic multi-pattern BGPs over the generated KB at growing
+//     scales, written in the style users write them (type constraint
+//     first) so the textual order is a genuinely bad plan.
+//
+// Both engines must return identical row multisets (the differential
+// oracle enforces this too); the bench re-checks and aborts on mismatch.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_support.h"
+#include "qa/ganswer.h"
+#include "qa/sparql_output.h"
+#include "rdf/sparql_engine.h"
+#include "rdf/sparql_parser.h"
+
+using namespace ganswer;
+
+namespace {
+
+struct Measured {
+  double ms = 0;           // wall time per execution
+  size_t rows = 0;
+  uint64_t bindings = 0;   // intermediate bindings per execution
+};
+
+Measured TimeQuery(const rdf::SparqlEngine& engine, const rdf::SparqlQuery& q,
+                   int reps) {
+  Measured m;
+  const auto before = engine.planner_counters();
+  WallTimer timer;
+  for (int i = 0; i < reps; ++i) {
+    auto r = engine.Execute(q);
+    if (!r.ok()) {
+      std::fprintf(stderr, "execution failed: %s\n%s\n",
+                   r.status().ToString().c_str(), q.ToString().c_str());
+      std::abort();
+    }
+    m.rows = r->rows.size();
+  }
+  m.ms = timer.ElapsedMillis() / reps;
+  const auto after = engine.planner_counters();
+  m.bindings = (after.intermediate_bindings - before.intermediate_bindings) /
+               static_cast<uint64_t>(reps);
+  return m;
+}
+
+/// Repetitions so each measurement covers ~30ms of wall time, bounded.
+int PickReps(const rdf::SparqlEngine& engine, const rdf::SparqlQuery& q) {
+  WallTimer timer;
+  auto r = engine.Execute(q);
+  if (!r.ok()) return 1;
+  double once = std::max(timer.ElapsedMillis(), 1e-3);
+  return static_cast<int>(std::clamp(30.0 / once, 3.0, 300.0));
+}
+
+void CheckSameRows(const rdf::SparqlEngine& naive,
+                   const rdf::SparqlEngine& planned,
+                   const rdf::SparqlQuery& q) {
+  auto a = naive.Execute(q);
+  auto b = planned.Execute(q);
+  if (!a.ok() || !b.ok()) return;  // both-fail handled by TimeQuery's abort
+  auto ra = a->rows, rb = b->rows;
+  std::sort(ra.begin(), ra.end());
+  std::sort(rb.begin(), rb.end());
+  if (ra != rb || a->ask_result != b->ask_result) {
+    std::fprintf(stderr, "PLAN MISMATCH (%zu vs %zu rows):\n%s\n", ra.size(),
+                 rb.size(), q.ToString().c_str());
+    std::abort();
+  }
+}
+
+struct Sample {
+  double speedup = 0;
+  size_t patterns = 0;
+};
+
+double Geomean(const std::vector<Sample>& samples, size_t min_patterns) {
+  double log_sum = 0;
+  size_t n = 0;
+  for (const Sample& s : samples) {
+    if (s.patterns < min_patterns) continue;
+    log_sum += std::log(s.speedup);
+    ++n;
+  }
+  return n == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+/// Runs one query on both engines and prints the comparison row; appends
+/// the speedup sample and emits the BENCH_JSON line.
+void Compare(const std::string& bench, const std::string& id,
+             const rdf::SparqlEngine& naive, const rdf::SparqlEngine& planned,
+             const rdf::SparqlQuery& q, std::vector<Sample>* samples) {
+  CheckSameRows(naive, planned, q);
+  int reps = PickReps(naive, q);
+  Measured mn = TimeQuery(naive, q, reps);
+  Measured mp = TimeQuery(planned, q, reps);
+  double speedup = mn.ms / std::max(mp.ms, 1e-6);
+  samples->push_back({speedup, q.patterns.size()});
+  std::printf("%-18s %4zu %6zu %10.3f %10.3f %7.2fx %10zu %10zu\n", id.c_str(),
+              q.patterns.size(), mn.rows, mn.ms, mp.ms, speedup,
+              static_cast<size_t>(mn.bindings),
+              static_cast<size_t>(mp.bindings));
+  bench::JsonLine(bench)
+      .Field("query", id)
+      .Field("patterns", q.patterns.size())
+      .Field("rows", mn.rows)
+      .Field("naive_ms", mn.ms)
+      .Field("planned_ms", mp.ms)
+      .Field("speedup", speedup)
+      .Field("naive_bindings", static_cast<size_t>(mn.bindings))
+      .Field("planned_bindings", static_cast<size_t>(mp.bindings))
+      .Emit();
+}
+
+void TableHeader() {
+  std::printf("\n%-18s %4s %6s %10s %10s %8s %10s %10s\n", "query", "pats",
+              "rows", "naive ms", "plan ms", "speedup", "naive bnd",
+              "plan bnd");
+}
+
+// The synthetic multi-pattern BGPs. Textual order starts at the open or
+// type-constrained pattern — exactly the plan the greedy orderer must not
+// pick. All vocabulary comes from datagen::schema.h.
+const struct QueryTemplate {
+  const char* id;
+  const char* text;
+} kTemplates[] = {
+    {"running-example",
+     "SELECT ?w ?a WHERE { ?a rdf:type <Actor> . ?w <spouse> ?a . "
+     "?f <starring> ?a . ?f rdf:type <Film> }"},
+    {"film-crew",
+     "SELECT ?f ?d WHERE { ?f rdf:type <Film> . ?f <starring> ?a . "
+     "?f <director> ?d }"},
+    {"team-roster",
+     "SELECT ?p ?t WHERE { ?p rdf:type <Person> . ?p <playForTeam> ?t . "
+     "?t <locationCity> ?c }"},
+    {"family-chain",
+     "SELECT ?g ?c WHERE { ?g <hasChild> ?p . ?p <hasChild> ?c . "
+     "?p <spouse> ?s }"},
+    {"geo-capital",
+     "SELECT ?city ?n WHERE { ?city rdf:type <City> . "
+     "?city <country> ?n . ?n <capital> ?cap }"},
+    {"anchored-star",
+     "SELECT ?d WHERE { ?f <starring> <Antonio_Banderas> . "
+     "?f <director> ?d }"},
+    {"deep-chain",
+     "SELECT ?g ?t WHERE { ?g rdf:type <Person> . ?g <hasChild> ?p . "
+     "?p <hasChild> ?c . ?c <playForTeam> ?t }"},
+    {"cross-order",
+     "SELECT ?x ?f WHERE { ?x <birthPlace> ?c . ?f <starring> ?a . "
+     "?a <spouse> ?x }"},
+    {"merge-join",
+     "SELECT ?f ?a ?d WHERE { ?f <starring> ?a . ?f <director> ?d }"},
+};
+
+}  // namespace
+
+int main() {
+  bench::Header("Query planning -- naive textual order vs cost-based joins");
+
+  std::vector<Sample> all;
+
+  // Part 1: the SPARQL queries the QA pipeline emits for the gold
+  // question set (top-1 interpretation per answerable question).
+  {
+    auto world = bench::BuildWorld();
+    qa::GAnswer system(&world.kb.graph, &world.lexicon, world.verified.get());
+    rdf::SparqlEngine planned(world.kb.graph);
+    rdf::SparqlEngine::Options naive_options;
+    naive_options.use_planner = false;
+    rdf::SparqlEngine naive(world.kb.graph, naive_options);
+
+    std::printf("\nQuestion-set queries (%zu triples)\n",
+                world.kb.graph.NumTriples());
+    TableHeader();
+    std::vector<std::string> seen;
+    for (const datagen::GoldQuestion& q : world.workload) {
+      auto r = system.Ask(q.text);
+      if (!r.ok() || r->matches.empty()) continue;
+      auto queries = qa::SparqlOutput::TopKQueries(r->understanding.sqg,
+                                                   r->matches,
+                                                   world.kb.graph, 1);
+      if (queries.empty()) continue;
+      // Distinct questions can lower to the same query; bench each once.
+      std::string text = queries[0].ToString();
+      if (std::find(seen.begin(), seen.end(), text) != seen.end()) continue;
+      seen.push_back(text);
+      Compare("planner_questions", q.id, naive, planned, queries[0], &all);
+    }
+  }
+
+  // Part 2: synthetic multi-pattern BGPs at growing KB scales.
+  std::vector<Sample> synthetic;
+  for (size_t scale : {4u, 16u}) {
+    datagen::KbGenerator::Options kb_opt;
+    kb_opt.num_families = 220 * scale;
+    kb_opt.num_films = 200 * scale;
+    kb_opt.num_cities = 80 * scale;
+    kb_opt.num_companies = 90 * scale;
+    kb_opt.num_books = 80 * scale;
+    kb_opt.num_teams = 20 * scale;
+    kb_opt.num_bands = 30 * scale;
+    auto kb = datagen::KbGenerator::Generate(kb_opt);
+    if (!kb.ok()) {
+      std::fprintf(stderr, "KB generation failed: %s\n",
+                   kb.status().ToString().c_str());
+      return 1;
+    }
+
+    rdf::SparqlEngine planned(kb->graph);
+    rdf::SparqlEngine::Options naive_options;
+    naive_options.use_planner = false;
+    rdf::SparqlEngine naive(kb->graph, naive_options);
+
+    std::printf("\nSynthetic BGPs at scale %zu (%zu triples)\n", scale,
+                kb->graph.NumTriples());
+    TableHeader();
+    for (const QueryTemplate& t : kTemplates) {
+      auto q = rdf::SparqlParser::Parse(t.text);
+      if (!q.ok()) {
+        std::fprintf(stderr, "template %s failed to parse: %s\n", t.id,
+                     q.status().ToString().c_str());
+        return 1;
+      }
+      std::string id = std::string(t.id) + "@" + std::to_string(scale);
+      Compare("planner_synthetic", id, naive, planned, *q, &synthetic);
+    }
+  }
+  all.insert(all.end(), synthetic.begin(), synthetic.end());
+
+  double geo_multi = Geomean(synthetic, /*min_patterns=*/2);
+  double geo_all = Geomean(all, /*min_patterns=*/1);
+  std::printf("\ngeomean speedup: %.2fx over all queries, %.2fx over\n"
+              "multi-pattern synthetic BGPs (target: >= 2x)\n",
+              geo_all, geo_multi);
+  bench::JsonLine("planner_summary")
+      .Field("geomean_speedup_all", geo_all)
+      .Field("geomean_speedup_multi_pattern", geo_multi)
+      .Field("queries", all.size())
+      .Emit();
+
+  std::printf(
+      "\nExpected: question-set queries are short and constant-anchored, so\n"
+      "gains are modest; the synthetic BGPs start at an unselective pattern\n"
+      "in textual order, which the greedy orderer reorders behind the\n"
+      "selective ones — speedup grows with KB scale because the naive\n"
+      "leading scan grows linearly while the planned one stays run-sized.\n");
+  return 0;
+}

@@ -6,6 +6,23 @@
 namespace ganswer {
 namespace match {
 
+double EstimateEdgeFanout(const rdf::GraphStats& stats,
+                          const QueryEdge& edge) {
+  if (edge.wildcard) return stats.AvgOutFanout() + stats.AvgInFanout();
+  double cost = 0.0;
+  for (const paraphrase::ParaphraseEntry& cand : edge.candidates) {
+    double fwd = 1.0, bwd = 1.0;
+    for (const paraphrase::PathStep& step : cand.path.steps) {
+      fwd *= step.forward ? stats.AvgObjectsPerSubject(step.predicate)
+                          : stats.AvgSubjectsPerObject(step.predicate);
+      bwd *= step.forward ? stats.AvgSubjectsPerObject(step.predicate)
+                          : stats.AvgObjectsPerSubject(step.predicate);
+    }
+    cost += fwd + bwd;
+  }
+  return cost;
+}
+
 const std::vector<rdf::TermId>* EdgeMemo::FindExpand(const QueryEdge* edge,
                                                      int side,
                                                      rdf::TermId u) const {
@@ -98,12 +115,37 @@ bool SurvivesEdge(const rdf::RdfGraph& graph, const QueryEdge& edge,
 CandidateSpace CandidateSpace::Build(const rdf::RdfGraph& graph,
                                      const QueryGraph& query,
                                      bool neighborhood_pruning,
-                                     const rdf::SignatureIndex* signatures) {
+                                     const rdf::SignatureIndex* signatures,
+                                     const rdf::GraphStats* stats) {
   CandidateSpace space;
   space.domains_.resize(query.vertices.size());
   space.delta_.resize(query.vertices.size());
 
-  for (size_t i = 0; i < query.vertices.size(); ++i) {
+  // Domains are independent of each other, so their build order cannot
+  // change the result; with statistics the smallest estimated domains go
+  // first so the cheap ones are materialized (and available to early
+  // TA-round consumers) before the expensive class expansions.
+  std::vector<size_t> vertex_order(query.vertices.size());
+  for (size_t i = 0; i < vertex_order.size(); ++i) vertex_order[i] = i;
+  if (stats != nullptr) {
+    auto domain_estimate = [&](size_t i) -> double {
+      const QueryVertex& qv = query.vertices[i];
+      if (qv.wildcard) return 0.0;
+      double est = 0.0;
+      for (const linking::LinkCandidate& c : qv.candidates) {
+        est += c.is_class
+                   ? static_cast<double>(stats->ClassInstanceCount(c.vertex))
+                   : 1.0;
+      }
+      return est;
+    };
+    std::stable_sort(vertex_order.begin(), vertex_order.end(),
+                     [&](size_t a, size_t b) {
+                       return domain_estimate(a) < domain_estimate(b);
+                     });
+  }
+
+  for (size_t i : vertex_order) {
     const QueryVertex& qv = query.vertices[i];
     VertexDomain& dom = space.domains_[i];
     dom.wildcard = qv.wildcard;
@@ -125,6 +167,16 @@ CandidateSpace CandidateSpace::Build(const rdf::RdfGraph& graph,
 
     if (neighborhood_pruning) {
       std::vector<int> incident = query.IncidentEdges(static_cast<int>(i));
+      if (stats != nullptr && incident.size() > 1) {
+        // Check the lowest-fan-out (most selective) edge first so doomed
+        // candidates are rejected before the expensive checks run. The
+        // surviving set is the conjunction either way.
+        std::stable_sort(incident.begin(), incident.end(),
+                         [&](int a, int b) {
+                           return EstimateEdgeFanout(*stats, query.edges[a]) <
+                                  EstimateEdgeFanout(*stats, query.edges[b]);
+                         });
+      }
       for (auto it = delta.begin(); it != delta.end();) {
         bool ok = true;
         for (int ei : incident) {

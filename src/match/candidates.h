@@ -7,10 +7,17 @@
 #include <vector>
 
 #include "match/query_graph.h"
+#include "rdf/graph_stats.h"
 #include "rdf/signature_index.h"
 
 namespace ganswer {
 namespace match {
+
+/// Estimated neighbor fan-out of expanding across \p edge: the sum over its
+/// candidate paths of the expected forward plus backward step products
+/// (both orientations are explored); a wildcard edge costs the average
+/// vertex degree. Pure ordering heuristic — never used to filter.
+double EstimateEdgeFanout(const rdf::GraphStats& stats, const QueryEdge& edge);
 
 /// \brief Memo for the matcher's repeated graph walks within one Ask():
 /// Expand() neighbor lists and multi-hop PathConnects verdicts.
@@ -103,11 +110,16 @@ class CandidateSpace {
   /// Builds the domains for \p query against \p graph. When \p signatures
   /// is non-null, the neighborhood check consults the gStore-style vertex
   /// signatures first (constant-time rejection) before touching adjacency
-  /// lists; results are identical either way.
+  /// lists; results are identical either way. When \p stats is non-null,
+  /// vertex domains are built in ascending estimated-size order and each
+  /// domain's incident pruning edges are checked cheapest estimated
+  /// fan-out first (earlier rejections); the built domains are identical
+  /// with or without statistics.
   static CandidateSpace Build(const rdf::RdfGraph& graph,
                               const QueryGraph& query,
                               bool neighborhood_pruning,
-                              const rdf::SignatureIndex* signatures = nullptr);
+                              const rdf::SignatureIndex* signatures = nullptr,
+                              const rdf::GraphStats* stats = nullptr);
 
   const VertexDomain& domain(int qv) const { return domains_[qv]; }
   size_t NumVertices() const { return domains_.size(); }

@@ -11,8 +11,17 @@ namespace match {
 
 SubgraphMatcher::SubgraphMatcher(const rdf::RdfGraph* graph,
                                  const QueryGraph* query,
-                                 const CandidateSpace* space, EdgeMemo* memo)
-    : graph_(graph), query_(query), space_(space), memo_(memo) {}
+                                 const CandidateSpace* space, EdgeMemo* memo,
+                                 const rdf::GraphStats* stats)
+    : graph_(graph),
+      query_(query),
+      space_(space),
+      memo_(memo),
+      graph_stats_(stats) {}
+
+double SubgraphMatcher::EdgeCost(const QueryEdge& edge) const {
+  return EstimateEdgeFanout(*graph_stats_, edge);
+}
 
 SubgraphMatcher::SearchPlan SubgraphMatcher::PlanFrom(int anchor_qv) const {
   SearchPlan plan;
@@ -24,9 +33,13 @@ SubgraphMatcher::SearchPlan SubgraphMatcher::PlanFrom(int anchor_qv) const {
   visited[anchor_qv] = true;
 
   // Greedy BFS preferring non-wildcard vertices (smaller domains first).
+  // With statistics, among equally-concrete vertices the one whose
+  // cheapest connecting edge has the lowest estimated fan-out is extended
+  // next; without, the tie-break is the back-edge count as before.
   while (true) {
     int best = -1;
     std::vector<int> best_back;
+    double best_cost = 0.0;
     for (size_t v = 0; v < n; ++v) {
       if (visited[v]) continue;
       std::vector<int> back;
@@ -38,17 +51,42 @@ SubgraphMatcher::SearchPlan SubgraphMatcher::PlanFrom(int anchor_qv) const {
         if (other >= 0 && visited[other]) back.push_back(static_cast<int>(e));
       }
       if (back.empty()) continue;  // not connected to the frontier yet
-      bool best_is_wildcard =
-          best >= 0 && query_->vertices[best].wildcard;
+      double cost = 0.0;
+      if (graph_stats_ != nullptr) {
+        cost = EdgeCost(query_->edges[back.front()]);
+        for (size_t bi = 1; bi < back.size(); ++bi) {
+          cost = std::min(cost, EdgeCost(query_->edges[back[bi]]));
+        }
+      }
+      bool best_is_wildcard = best >= 0 && query_->vertices[best].wildcard;
       bool v_is_wildcard = query_->vertices[v].wildcard;
-      if (best < 0 || (best_is_wildcard && !v_is_wildcard) ||
-          (best_is_wildcard == v_is_wildcard &&
-           back.size() > best_back.size())) {
+      bool better;
+      if (best < 0) {
+        better = true;
+      } else if (best_is_wildcard != v_is_wildcard) {
+        better = best_is_wildcard;  // concrete vertices before wildcards
+      } else if (graph_stats_ != nullptr) {
+        better = cost < best_cost;
+      } else {
+        better = back.size() > best_back.size();
+      }
+      if (better) {
         best = static_cast<int>(v);
         best_back = std::move(back);
+        best_cost = cost;
       }
     }
     if (best < 0) break;  // rest of the query graph is disconnected
+    if (graph_stats_ != nullptr && best_back.size() > 1) {
+      // Expansion runs through back[0] and the rest only filter, so put
+      // the edge with the smallest estimated neighbor list first and
+      // check the cheapest filters before the expensive ones.
+      std::stable_sort(best_back.begin(), best_back.end(),
+                       [&](int a, int b) {
+                         return EdgeCost(query_->edges[a]) <
+                                EdgeCost(query_->edges[b]);
+                       });
+    }
     visited[best] = true;
     plan.order.push_back(best);
     plan.back_edges.push_back(std::move(best_back));
@@ -92,6 +130,22 @@ void SubgraphMatcher::FindMatchesFrom(int anchor_qv, rdf::TermId anchor_u,
   used.insert(anchor_u);
   size_t found_at_entry = out->size();
 
+  // The memoized, sorted Expand list for (edge, side, u) — computed once
+  // per Ask and then served as a reference into the memo (values are
+  // stable across rehashes). `scratch` backs the memo-less path.
+  auto expand_via = [&](const QueryEdge& edge, int side, rdf::TermId u,
+                        std::vector<rdf::TermId>* scratch)
+      -> const std::vector<rdf::TermId>* {
+    if (memo_ == nullptr) {
+      *scratch = CandidateSpace::Expand(*graph_, edge, side, u);
+      return scratch;
+    }
+    const std::vector<rdf::TermId>* found = memo_->FindExpand(&edge, side, u);
+    if (found != nullptr) return found;
+    return &memo_->StoreExpand(&edge, side, u,
+                               CandidateSpace::Expand(*graph_, edge, side, u));
+  };
+
   std::function<void(size_t)> extend = [&](size_t depth) {
     if (limit > 0 && out->size() - found_at_entry >= limit) return;
     if (depth == plan.order.size()) {
@@ -112,26 +166,12 @@ void SubgraphMatcher::FindMatchesFrom(int anchor_qv, rdf::TermId anchor_u,
     const QueryEdge& first_edge = query_->edges[back[0]];
     int matched_side =
         first_edge.from == qv ? first_edge.to : first_edge.from;
-    rdf::TermId matched_u = assignment[matched_side];
-    // Neighbor expansion is the hot inner walk; with a memo each distinct
-    // (edge, side, u) triple is computed once per Ask and then served as a
-    // reference into the memo (values are stable across rehashes).
     std::vector<rdf::TermId> scratch;
-    const std::vector<rdf::TermId>* neighbors;
-    if (memo_ != nullptr) {
-      neighbors = memo_->FindExpand(&first_edge, matched_side, matched_u);
-      if (neighbors == nullptr) {
-        neighbors = &memo_->StoreExpand(
-            &first_edge, matched_side, matched_u,
-            CandidateSpace::Expand(*graph_, first_edge, matched_side,
-                                   matched_u));
-      }
-    } else {
-      scratch =
-          CandidateSpace::Expand(*graph_, first_edge, matched_side, matched_u);
-      neighbors = &scratch;
-    }
+    const std::vector<rdf::TermId>* neighbors =
+        expand_via(first_edge, matched_side, assignment[matched_side],
+                   &scratch);
 
+    std::vector<rdf::TermId> filter_scratch;
     for (rdf::TermId u : *neighbors) {
       ++stats_.expansions;
       if (!space_->VertexDelta(qv, u).has_value()) continue;
@@ -142,9 +182,18 @@ void SubgraphMatcher::FindMatchesFrom(int anchor_qv, rdf::TermId anchor_u,
       for (size_t bi = 1; bi < back.size() && edges_ok; ++bi) {
         const QueryEdge& e = query_->edges[back[bi]];
         int other = e.from == qv ? e.to : e.from;
-        edges_ok = CandidateSpace::EdgeDelta(*graph_, e, other,
-                                             assignment[other], u, memo_)
-                       .has_value();
+        if (memo_ != nullptr) {
+          // u connects to assignment[other] across e exactly when u is in
+          // the (sorted) Expand list from the other side — a memoized
+          // binary search instead of re-walking candidate paths.
+          const std::vector<rdf::TermId>* nb =
+              expand_via(e, other, assignment[other], &filter_scratch);
+          edges_ok = std::binary_search(nb->begin(), nb->end(), u);
+        } else {
+          edges_ok = CandidateSpace::EdgeDelta(*graph_, e, other,
+                                               assignment[other], u, memo_)
+                         .has_value();
+        }
       }
       if (!edges_ok) continue;
       assignment[qv] = u;

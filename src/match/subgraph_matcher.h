@@ -6,6 +6,7 @@
 
 #include "match/candidates.h"
 #include "match/query_graph.h"
+#include "rdf/graph_stats.h"
 
 namespace ganswer {
 namespace match {
@@ -19,6 +20,13 @@ namespace match {
 /// edge's candidate predicates/paths, checking the new vertex against the
 /// target query vertex's candidate domain, the remaining connecting edges,
 /// and injectivity. Scores follow Definition 6.
+///
+/// With GraphStats the visit order and the expansion edge at each step are
+/// chosen by ascending estimated fan-out (cheapest edge first), and the
+/// remaining back edges are checked cheapest first. The accepted match set
+/// and its enumeration order (ascending neighbor ids from the sorted
+/// Expand lists) are identical with or without statistics — only the work
+/// to reach them changes.
 class SubgraphMatcher {
  public:
   struct Stats {
@@ -30,9 +38,11 @@ class SubgraphMatcher {
   /// when non-null, caches Expand() neighbor lists and multi-hop
   /// connectivity probes across anchored searches over the same query —
   /// pass the same memo to successive matchers (from one thread at a time)
-  /// so later TA rounds reuse the earlier rounds' walks.
+  /// so later TA rounds reuse the earlier rounds' walks. \p stats, when
+  /// non-null, steers the search plan by estimated edge fan-out.
   SubgraphMatcher(const rdf::RdfGraph* graph, const QueryGraph* query,
-                  const CandidateSpace* space, EdgeMemo* memo = nullptr);
+                  const CandidateSpace* space, EdgeMemo* memo = nullptr,
+                  const rdf::GraphStats* stats = nullptr);
 
   /// Appends to \p out every match whose query vertex \p anchor_qv maps to
   /// graph vertex \p anchor_u, stopping after \p limit matches (0 = no
@@ -48,11 +58,16 @@ class SubgraphMatcher {
   struct SearchPlan {
     /// Query vertices in visit order (anchor first).
     std::vector<int> order;
-    /// For order[i] (i>0): edges connecting it to already-visited vertices.
+    /// For order[i] (i>0): edges connecting it to already-visited vertices,
+    /// cheapest estimated fan-out first when statistics are available; the
+    /// first is the expansion edge, the rest are membership filters.
     std::vector<std::vector<int>> back_edges;
   };
 
   SearchPlan PlanFrom(int anchor_qv) const;
+  /// Estimated neighbor fan-out of expanding across \p edge; used only to
+  /// order the plan, never to filter.
+  double EdgeCost(const QueryEdge& edge) const;
   double ScoreAssignment(const std::vector<rdf::TermId>& assignment,
                          const SearchPlan& plan) const;
 
@@ -60,6 +75,7 @@ class SubgraphMatcher {
   const QueryGraph* query_;
   const CandidateSpace* space_;
   EdgeMemo* memo_;
+  const rdf::GraphStats* graph_stats_;
   mutable Stats stats_;
 };
 

@@ -47,8 +47,9 @@ StatusOr<std::vector<Match>> TopKMatcher::FindTopK(const QueryGraph& query,
         "all query vertices are wildcards; nothing anchors the search");
   }
 
-  CandidateSpace space = CandidateSpace::Build(
-      *graph_, query, options_.neighborhood_pruning, options_.signatures);
+  CandidateSpace space =
+      CandidateSpace::Build(*graph_, query, options_.neighborhood_pruning,
+                            options_.signatures, options_.stats);
 
   std::vector<Match> all;
 
@@ -78,6 +79,18 @@ StatusOr<std::vector<Match>> TopKMatcher::FindTopK(const QueryGraph& query,
       // Every concrete vertex pruned to nothing: no matches.
       if (stats != nullptr) *stats = local;
       return std::vector<Match>{};
+    }
+    if (options_.stats != nullptr && cursor_vertex.size() > 1) {
+      // Anchor the smallest domains first: their anchored searches are the
+      // cheapest probes and they exhaust soonest, which is what ends the TA
+      // loop when early stop is off. Every cursor still runs every round,
+      // and duplicates carry identical (assignment, score) pairs, so the
+      // ranked output is unchanged by this ordering.
+      std::stable_sort(cursor_vertex.begin(), cursor_vertex.end(),
+                       [&](int a, int b) {
+                         return space.domain(a).items.size() <
+                                space.domain(b).items.size();
+                       });
     }
     std::vector<size_t> cursor(cursor_vertex.size(), 0);
     // One edge memo per cursor, persisting across TA rounds: round r+1's
@@ -139,7 +152,8 @@ StatusOr<std::vector<Match>> TopKMatcher::FindTopK(const QueryGraph& query,
       std::vector<std::vector<Match>> found(tasks.size());
       std::vector<size_t> expansions(tasks.size(), 0);
       auto run_task = [&](size_t t) {
-        SubgraphMatcher matcher(graph_, &query, &space, &memos[tasks[t].ci]);
+        SubgraphMatcher matcher(graph_, &query, &space, &memos[tasks[t].ci],
+                                options_.stats);
         matcher.FindMatchesFrom(tasks[t].qv, tasks[t].anchor,
                                 options_.max_matches_per_anchor, &found[t]);
         expansions[t] = matcher.stats().expansions;

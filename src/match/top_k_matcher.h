@@ -50,6 +50,11 @@ class TopKMatcher {
     /// as a fast pre-check by the neighborhood pruning. Must outlive the
     /// matcher. Results are identical with or without it.
     const rdf::SignatureIndex* signatures = nullptr;
+    /// Optional graph statistics (rdf/graph_stats.h) steering candidate
+    /// build order, anchor order and the per-search expansion plan by
+    /// estimated cost. Must outlive the matcher. Pure ordering heuristic:
+    /// the ranked matches are identical with or without it.
+    const rdf::GraphStats* stats = nullptr;
     /// Parallelism for the per-round anchored searches: each round's cursor
     /// candidates fan out across a thread pool, every worker running an
     /// independent SubgraphMatcher into a thread-local buffer over the

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <functional>
-#include <unordered_set>
 
 namespace ganswer {
 namespace paraphrase {
@@ -60,13 +59,17 @@ bool InstantiateFrom(const rdf::RdfGraph& graph, rdf::TermId v,
 std::vector<rdf::TermId> PathEndpoints(const rdf::RdfGraph& graph,
                                        rdf::TermId start,
                                        const PredicatePath& path) {
+  // Collect everything, then one sort + unique: no per-call hash set, and
+  // callers (CandidateSpace::Expand, membership binary searches) rely on
+  // the ascending order.
   std::vector<rdf::TermId> out;
-  std::unordered_set<rdf::TermId> seen;
   std::vector<rdf::TermId> chain{start};
   InstantiateFrom(graph, start, path, 0, &chain, [&](rdf::TermId end) {
-    if (seen.insert(end).second) out.push_back(end);
+    out.push_back(end);
     return false;  // keep enumerating
   });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

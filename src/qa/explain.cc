@@ -8,6 +8,21 @@
 namespace ganswer {
 namespace qa {
 
+StatusOr<std::string> ExplainQueryPlans(
+    const rdf::SparqlEngine& engine,
+    const std::vector<rdf::SparqlQuery>& queries) {
+  std::ostringstream out;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto plan = engine.ExplainPlan(queries[i]);
+    if (!plan.ok()) return plan.status();
+    out << "-- interpretation " << (i + 1) << " of " << queries.size()
+        << " --\n";
+    out << *plan;
+    if (!plan->empty() && plan->back() != '\n') out << "\n";
+  }
+  return out.str();
+}
+
 StatusOr<std::string> AnswerExplainer::Explain(const SemanticQueryGraph& sqg,
                                                const match::Match& match) const {
   if (match.assignment.size() != sqg.vertices.size()) {

@@ -2,14 +2,25 @@
 #define GANSWER_QA_EXPLAIN_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "match/query_graph.h"
 #include "qa/semantic_query_graph.h"
 #include "rdf/rdf_graph.h"
+#include "rdf/sparql_engine.h"
 
 namespace ganswer {
 namespace qa {
+
+/// Renders \p engine's evaluation plan for each lowered SPARQL query
+/// (qa/sparql_output.h TopKQueries), one numbered section per query: the
+/// chosen join order with per-pattern cardinality estimates and access
+/// paths — the "how" next to AnswerExplainer's "why". Fails when any
+/// query fails to plan (unknown variables etc.).
+StatusOr<std::string> ExplainQueryPlans(
+    const rdf::SparqlEngine& engine,
+    const std::vector<rdf::SparqlQuery>& queries);
 
 /// \brief Renders the subgraph witness behind one match as human-readable
 /// triples — the "why" of an answer.

@@ -16,6 +16,7 @@
 #include "nlp/dependency_parser.h"
 #include "qa/question_understander.h"
 #include "qa/superlative.h"
+#include "rdf/graph_stats.h"
 #include "rdf/signature_index.h"
 
 namespace ganswer {
@@ -65,6 +66,11 @@ class GAnswer {
     /// (the from-scratch path). The analogous prebuilt SignatureIndex is
     /// passed via matching.signatures.
     const linking::EntityIndex* entity_index = nullptr;
+    /// Prebuilt graph statistics (rdf/graph_stats.h) steering candidate
+    /// build and matcher plan order; must describe *graph and outlive the
+    /// system. When null the constructor computes them. Ordering-only: the
+    /// ranked answers are identical whatever statistics source is used.
+    const rdf::GraphStats* graph_stats = nullptr;
   };
 
   /// Why a question produced no answers; used by failure analysis
@@ -155,6 +161,7 @@ class GAnswer {
   std::unique_ptr<match::TopKMatcher> matcher_;
   std::unique_ptr<SuperlativeResolver> superlatives_;
   std::unique_ptr<rdf::SignatureIndex> signatures_;
+  std::unique_ptr<rdf::GraphStats> stats_;
   /// Online-path result cache; null when question_cache_capacity == 0.
   /// Mutable: Ask() is logically const and the cache is internally locked.
   mutable std::unique_ptr<ShardedLruCache<Response>> cache_;

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <limits>
 #include <set>
+#include <unordered_map>
 
 #include "rdf/sparql_parser.h"
 
@@ -13,7 +14,7 @@ namespace rdf {
 
 namespace {
 
-constexpr size_t kUnboundVar = static_cast<size_t>(-1);
+constexpr uint32_t kNoSlot = std::numeric_limits<uint32_t>::max();
 
 // A triple pattern with constants resolved to term ids and variables
 // resolved to slots in the binding vector.
@@ -24,44 +25,24 @@ struct ResolvedPattern {
   std::array<TermId, 3> constant{};
 };
 
-}  // namespace
-
-SparqlEngine::SparqlEngine(const RdfGraph& graph) : graph_(graph) {
-  for (TermId p : graph.Predicates()) {
-    by_predicate_.emplace(p, std::vector<std::pair<TermId, TermId>>());
-  }
-  const TermDictionary& dict = graph.dict();
-  for (TermId s = 0; s < dict.size(); ++s) {
-    for (const Edge& e : graph.OutEdges(s)) {
-      by_predicate_[e.predicate].emplace_back(s, e.neighbor);
-    }
-  }
-}
-
-const std::vector<std::pair<TermId, TermId>>* SparqlEngine::PredicateScan(
-    TermId p) const {
-  auto it = by_predicate_.find(p);
-  if (it == by_predicate_.end()) return nullptr;
-  return &it->second;
-}
-
-StatusOr<std::vector<std::vector<TermId>>> SparqlEngine::EvaluateBgp(
-    const std::vector<TriplePattern>& patterns,
-    const std::vector<std::string>& out_vars, bool stop_at_first) const {
-  // Assign variable slots.
-  std::unordered_map<std::string, size_t> var_slots;
-  auto slot_of = [&](const std::string& name) {
-    auto [it, _] = var_slots.emplace(name, var_slots.size());
-    return it->second;
-  };
-
+struct ResolveOutcome {
   std::vector<ResolvedPattern> resolved;
-  resolved.reserve(patterns.size());
+  std::unordered_map<std::string, size_t> var_slots;
   // An unknown constant makes the whole BGP unsatisfiable, but every
   // pattern must still be walked so all written variables get slots: a
   // selected variable appearing only alongside an unknown constant is
   // bound-but-empty (SPARQL semantics), not an InvalidArgument.
   bool impossible = false;
+};
+
+ResolveOutcome ResolvePatterns(const RdfGraph& graph,
+                               const std::vector<TriplePattern>& patterns) {
+  ResolveOutcome out;
+  auto slot_of = [&](const std::string& name) {
+    auto [it, _] = out.var_slots.emplace(name, out.var_slots.size());
+    return it->second;
+  };
+  out.resolved.reserve(patterns.size());
   for (const TriplePattern& tp : patterns) {
     ResolvedPattern rp;
     const PatternTerm* terms[3] = {&tp.subject, &tp.predicate, &tp.object};
@@ -70,32 +51,242 @@ StatusOr<std::vector<std::vector<TermId>>> SparqlEngine::EvaluateBgp(
         rp.is_var[i] = true;
         rp.var_slot[i] = slot_of(terms[i]->text);
       } else {
-        auto id = graph_.dict().Lookup(terms[i]->text, terms[i]->kind);
+        auto id = graph.dict().Lookup(terms[i]->text, terms[i]->kind);
         if (!id.has_value()) {
-          impossible = true;  // constant never interned: no matches
+          out.impossible = true;  // constant never interned: no matches
           continue;
         }
         rp.is_var[i] = false;
         rp.constant[i] = *id;
       }
     }
-    resolved.push_back(rp);
+    out.resolved.push_back(rp);
   }
+  return out;
+}
+
+// Estimated candidate rows for `rp` given which variable slots are already
+// bound. Constants contribute exact degrees where the graph has them; bound
+// variables contribute statistics averages (their value is unknown at plan
+// time). Lower is more selective.
+double EstimatePattern(const RdfGraph& graph, const GraphStats& stats,
+                       const ResolvedPattern& rp,
+                       const std::vector<bool>& bound) {
+  auto known = [&](int i) { return !rp.is_var[i] || bound[rp.var_slot[i]]; };
+  bool sk = known(0), pk = known(1), ok = known(2);
+  bool s_const = !rp.is_var[0], p_const = !rp.is_var[1],
+       o_const = !rp.is_var[2];
+  if (sk && pk && ok) return 1.0;  // pure existence filter
+  if (sk) {
+    if (ok) return 1.0;  // both endpoints fixed, predicate free
+    double est = s_const ? static_cast<double>(graph.OutDegree(rp.constant[0]))
+                         : stats.AvgOutFanout();
+    if (pk && p_const) {
+      est = std::min(est, stats.AvgObjectsPerSubject(rp.constant[1]));
+    }
+    return est;
+  }
+  if (ok) {
+    if (pk && p_const) {
+      TermId p = rp.constant[1];
+      // `?x rdf:type <C>` yields the class's instances — the statistic the
+      // planner keeps exactly for this, far tighter than the per-object
+      // average of the heavily skewed type predicate.
+      if (o_const && p == graph.type_predicate()) {
+        return static_cast<double>(stats.ClassInstanceCount(rp.constant[2]));
+      }
+      double est = stats.AvgSubjectsPerObject(p);
+      if (o_const) est = std::min(
+          est, static_cast<double>(graph.InDegree(rp.constant[2])));
+      return est;
+    }
+    return o_const ? static_cast<double>(graph.InDegree(rp.constant[2]))
+                   : stats.AvgInFanout();
+  }
+  if (pk) {
+    if (p_const) return static_cast<double>(stats.TripleCount(rp.constant[1]));
+    // Predicate is a bound variable: one group of unknown identity.
+    return stats.num_predicates() > 0
+               ? static_cast<double>(stats.num_triples()) /
+                     static_cast<double>(stats.num_predicates())
+               : 0.0;
+  }
+  return static_cast<double>(stats.num_triples());
+}
+
+// True when `rp` shares at least one variable with the bound set (or has no
+// variables at all, making it a pure filter).
+bool SharesBoundVar(const ResolvedPattern& rp, const std::vector<bool>& bound) {
+  bool any_var = false;
+  for (int i = 0; i < 3; ++i) {
+    if (!rp.is_var[i]) continue;
+    any_var = true;
+    if (bound[rp.var_slot[i]]) return true;
+  }
+  return !any_var;
+}
+
+}  // namespace
+
+SparqlEngine::SparqlEngine(const RdfGraph& graph)
+    : SparqlEngine(graph, Options()) {}
+
+SparqlEngine::SparqlEngine(const RdfGraph& graph, Options options)
+    : graph_(graph), options_(options) {
+  if (const char* env = std::getenv("GANSWER_SPARQL_NAIVE");
+      env != nullptr && env[0] == '1') {
+    options_.use_planner = false;
+  }
+  if (options_.stats != nullptr) {
+    stats_ = options_.stats;
+  } else {
+    owned_stats_ = std::make_unique<GraphStats>(GraphStats::Compute(graph));
+    stats_ = owned_stats_.get();
+  }
+
+  // Permutation indexes, built by one counting pass per direction straight
+  // off the CSR: group sizes are the (exact) predicate frequencies, and
+  // because vertices are visited in ascending id order and per-vertex
+  // adjacency is sorted by (predicate, neighbor), each predicate's pairs
+  // come out sorted by (s, o) in PSO resp. (o, s) in POS — no hashing, no
+  // comparison sort, and edge-less terms (literals) cost one empty span.
+  slot_predicate_ = graph.Predicates();
+  std::sort(slot_predicate_.begin(), slot_predicate_.end());
+  const size_t num_slots = slot_predicate_.size();
+  pred_slot_.assign(graph.NumTerms(), kNoSlot);
+  for (size_t k = 0; k < num_slots; ++k) {
+    pred_slot_[slot_predicate_[k]] = static_cast<uint32_t>(k);
+  }
+  slot_offsets_.assign(num_slots + 1, 0);
+  for (size_t k = 0; k < num_slots; ++k) {
+    slot_offsets_[k + 1] =
+        slot_offsets_[k] + graph.PredicateFrequency(slot_predicate_[k]);
+  }
+  pso_.resize(slot_offsets_.back());
+  pos_.resize(slot_offsets_.back());
+  std::vector<size_t> cursor(slot_offsets_.begin(), slot_offsets_.end() - 1);
+  const TermId n = static_cast<TermId>(graph.NumTerms());
+  for (TermId s = 0; s < n; ++s) {
+    for (const Edge& e : graph.OutEdges(s)) {
+      pso_[cursor[pred_slot_[e.predicate]]++] = {s, e.neighbor};
+    }
+  }
+  cursor.assign(slot_offsets_.begin(), slot_offsets_.end() - 1);
+  for (TermId o = 0; o < n; ++o) {
+    for (const Edge& e : graph.InEdges(o)) {
+      pos_[cursor[pred_slot_[e.predicate]]++] = {o, e.neighbor};
+    }
+  }
+}
+
+size_t SparqlEngine::PredSlot(TermId p) const {
+  if (p >= pred_slot_.size() || pred_slot_[p] == kNoSlot) {
+    return slot_predicate_.size();
+  }
+  return pred_slot_[p];
+}
+
+SparqlEngine::PlannerCounters SparqlEngine::planner_counters() const {
+  PlannerCounters c;
+  c.planned_queries = planned_queries_.load(std::memory_order_relaxed);
+  c.naive_queries = naive_queries_.load(std::memory_order_relaxed);
+  c.range_lookups = range_lookups_.load(std::memory_order_relaxed);
+  c.full_scans = full_scans_.load(std::memory_order_relaxed);
+  c.intermediate_bindings =
+      intermediate_bindings_.load(std::memory_order_relaxed);
+  c.merge_joins = merge_joins_.load(std::memory_order_relaxed);
+  return c;
+}
+
+namespace {
+
+// Greedy cost-based join order: cheapest-estimated pattern first, then
+// repeatedly the pattern connected to the bound variables that minimizes
+// the estimated intermediate-result size; a cross product is taken only
+// when no unused pattern touches a bound variable.
+std::vector<std::pair<size_t, double>> PlanJoinOrder(
+    const RdfGraph& graph, const GraphStats& stats,
+    const std::vector<ResolvedPattern>& resolved, size_t num_slots) {
+  const size_t n = resolved.size();
+  std::vector<bool> used(n, false);
+  std::vector<bool> bound(num_slots, false);
+  std::vector<std::pair<size_t, double>> plan;
+  plan.reserve(n);
+  for (size_t step = 0; step < n; ++step) {
+    size_t best = n;
+    double best_cost = 0.0;
+    bool best_connected = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      bool connected = step == 0 || SharesBoundVar(resolved[i], bound);
+      double cost = EstimatePattern(graph, stats, resolved[i], bound);
+      if (best == n || (connected && !best_connected) ||
+          (connected == best_connected && cost < best_cost)) {
+        best = i;
+        best_cost = cost;
+        best_connected = connected;
+      }
+    }
+    used[best] = true;
+    plan.emplace_back(best, best_cost);
+    for (int i = 0; i < 3; ++i) {
+      if (resolved[best].is_var[i]) bound[resolved[best].var_slot[i]] = true;
+    }
+  }
+  return plan;
+}
+
+// One side of a leading sort-merge join: the sorted (key, other) pair run
+// of a pattern's predicate group, keyed on the shared join variable.
+struct MergeSide {
+  const std::pair<TermId, TermId>* begin = nullptr;
+  const std::pair<TermId, TermId>* end = nullptr;
+  size_t other_slot = 0;  // binding slot of the non-key variable
+};
+
+}  // namespace
+
+StatusOr<std::vector<std::vector<TermId>>> SparqlEngine::EvaluateBgp(
+    const std::vector<TriplePattern>& patterns,
+    const std::vector<std::string>& out_vars, bool stop_at_first) const {
+  ResolveOutcome rs = ResolvePatterns(graph_, patterns);
+  const std::vector<ResolvedPattern>& resolved = rs.resolved;
 
   std::vector<size_t> out_slots;
   for (const std::string& v : out_vars) {
-    auto it = var_slots.find(v);
-    if (it == var_slots.end()) {
+    auto it = rs.var_slots.find(v);
+    if (it == rs.var_slots.end()) {
       return Status::InvalidArgument("selected variable ?" + v +
                                      " not bound by any pattern");
     }
     out_slots.push_back(it->second);
   }
-  if (impossible) return std::vector<std::vector<TermId>>{};
+  if (rs.impossible) return std::vector<std::vector<TermId>>{};
 
-  std::vector<TermId> binding(var_slots.size(), kInvalidTerm);
-  std::vector<bool> used(resolved.size(), false);
   std::vector<std::vector<TermId>> rows;
+  if (resolved.empty()) {
+    // Empty BGP: one empty solution (SPARQL semantics).
+    rows.emplace_back(out_slots.size(), kInvalidTerm);
+    return rows;
+  }
+
+  const bool planned = options_.use_planner;
+  uint64_t local_range = 0, local_full = 0, local_bind = 0, local_merge = 0;
+
+  std::vector<size_t> order;
+  order.reserve(resolved.size());
+  if (planned) {
+    for (const auto& [i, est] :
+         PlanJoinOrder(graph_, *stats_, resolved, rs.var_slots.size())) {
+      order.push_back(i);
+    }
+    planned_queries_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    for (size_t i = 0; i < resolved.size(); ++i) order.push_back(i);
+    naive_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::vector<TermId> binding(rs.var_slots.size(), kInvalidTerm);
 
   // Value of pattern position i under the current binding, or kInvalidTerm.
   auto value_of = [&](const ResolvedPattern& rp, int i) -> TermId {
@@ -103,54 +294,86 @@ StatusOr<std::vector<std::vector<TermId>>> SparqlEngine::EvaluateBgp(
     return binding[rp.var_slot[i]];
   };
 
-  // Estimated number of candidate triples for a pattern under the current
-  // binding. Lower is more selective.
-  auto estimate = [&](const ResolvedPattern& rp) -> size_t {
-    TermId s = value_of(rp, 0), p = value_of(rp, 1), o = value_of(rp, 2);
-    bool sb = s != kInvalidTerm, pb = p != kInvalidTerm, ob = o != kInvalidTerm;
-    if (sb && pb && ob) return graph_.HasTriple(s, p, o) ? 1 : 0;
-    if (sb) return graph_.OutDegree(s);
-    if (ob) return graph_.InDegree(o);
-    if (pb) return graph_.PredicateFrequency(p);
-    return graph_.NumTriples();
-  };
-
-  // Materializes the concrete triples matching pattern rp under the current
-  // binding.
-  auto candidates = [&](const ResolvedPattern& rp) {
-    std::vector<std::array<TermId, 3>> out;
+  // Enumerates the concrete triples matching `rp` under the current
+  // binding, calling fn(s, p, o) for each; fn returns false to stop early.
+  // Planned mode resolves bound terms to sorted runs by binary search;
+  // naive mode reproduces the baseline's linear scans and filters.
+  auto enumerate = [&](const ResolvedPattern& rp, auto&& fn) {
     TermId s = value_of(rp, 0), p = value_of(rp, 1), o = value_of(rp, 2);
     bool sb = s != kInvalidTerm, pb = p != kInvalidTerm, ob = o != kInvalidTerm;
     if (sb && pb && ob) {
-      if (graph_.HasTriple(s, p, o)) out.push_back({s, p, o});
-    } else if (sb) {
-      for (const Edge& e : graph_.OutEdges(s)) {
+      if (planned) ++local_range;
+      if (graph_.HasTriple(s, p, o)) {
+        ++local_bind;
+        fn(s, p, o);
+      }
+      return;
+    }
+    if (sb) {
+      auto edges = graph_.OutEdges(s);
+      if (planned && pb) {
+        // Binary search to the predicate run instead of filtering the
+        // whole adjacency list.
+        ++local_range;
+        auto it = std::lower_bound(edges.begin(), edges.end(), Edge{p, 0});
+        for (; it != edges.end() && it->predicate == p; ++it) {
+          ++local_bind;
+          if (!fn(s, p, it->neighbor)) return;
+        }
+        return;
+      }
+      for (const Edge& e : edges) {
         if (pb && e.predicate != p) continue;
         if (ob && e.neighbor != o) continue;
-        out.push_back({s, e.predicate, e.neighbor});
+        ++local_bind;
+        if (!fn(s, e.predicate, e.neighbor)) return;
       }
-    } else if (ob) {
+      return;
+    }
+    if (ob) {
+      if (planned && pb) {
+        // The in-edge adjacency is sorted by (predicate, neighbor), so the
+        // subjects form one binary-searched run — degree-sized, always no
+        // larger than the POS group the same probe would search.
+        ++local_range;
+        auto edges = graph_.InEdges(o);
+        auto it = std::lower_bound(edges.begin(), edges.end(), Edge{p, 0});
+        for (; it != edges.end() && it->predicate == p; ++it) {
+          ++local_bind;
+          if (!fn(it->neighbor, p, o)) return;
+        }
+        return;
+      }
       for (const Edge& e : graph_.InEdges(o)) {
         if (pb && e.predicate != p) continue;
-        out.push_back({e.neighbor, e.predicate, o});
+        ++local_bind;
+        if (!fn(e.neighbor, e.predicate, o)) return;
       }
-    } else if (pb) {
-      if (const auto* scan = PredicateScan(p)) {
-        for (const auto& [subj, obj] : *scan) out.push_back({subj, p, obj});
+      return;
+    }
+    if (pb) {
+      ++local_full;
+      size_t slot = PredSlot(p);
+      if (slot == slot_predicate_.size()) return;
+      for (size_t i = slot_offsets_[slot]; i < slot_offsets_[slot + 1]; ++i) {
+        ++local_bind;
+        if (!fn(pso_[i].first, p, pso_[i].second)) return;
       }
-    } else {
-      for (const auto& [pred, scan] : by_predicate_) {
-        for (const auto& [subj, obj] : scan) out.push_back({subj, pred, obj});
+      return;
+    }
+    ++local_full;
+    for (size_t k = 0; k < slot_predicate_.size(); ++k) {
+      for (size_t i = slot_offsets_[k]; i < slot_offsets_[k + 1]; ++i) {
+        ++local_bind;
+        if (!fn(pso_[i].first, slot_predicate_[k], pso_[i].second)) return;
       }
     }
-    return out;
   };
 
-  // Depth-first join with greedy selectivity ordering.
   bool done = false;
-  auto recurse = [&](auto&& self, size_t depth) -> void {
+  auto recurse = [&](auto&& self, size_t idx) -> void {
     if (done) return;
-    if (depth == resolved.size()) {
+    if (idx == order.size()) {
       std::vector<TermId> row;
       row.reserve(out_slots.size());
       for (size_t slot : out_slots) row.push_back(binding[slot]);
@@ -158,47 +381,128 @@ StatusOr<std::vector<std::vector<TermId>>> SparqlEngine::EvaluateBgp(
       if (stop_at_first) done = true;
       return;
     }
-    // Pick the most selective unused pattern.
-    size_t best = kUnboundVar;
-    size_t best_cost = std::numeric_limits<size_t>::max();
-    for (size_t i = 0; i < resolved.size(); ++i) {
-      if (used[i]) continue;
-      size_t cost = estimate(resolved[i]);
-      if (cost < best_cost) {
-        best_cost = cost;
-        best = i;
-      }
-    }
-    const ResolvedPattern& rp = resolved[best];
-    used[best] = true;
-    for (const auto& triple : candidates(rp)) {
+    const ResolvedPattern& rp = resolved[order[idx]];
+    enumerate(rp, [&](TermId s, TermId p, TermId o) -> bool {
       // Bind unbound vars; check consistency for repeated vars within the
       // pattern (e.g. ?x p ?x).
-      std::vector<size_t> newly_bound;
+      TermId vals[3] = {s, p, o};
+      std::array<size_t, 3> newly_bound;
+      size_t num_new = 0;
       bool consistent = true;
       for (int i = 0; i < 3 && consistent; ++i) {
         if (!rp.is_var[i]) continue;
         size_t slot = rp.var_slot[i];
         if (binding[slot] == kInvalidTerm) {
-          binding[slot] = triple[i];
-          newly_bound.push_back(slot);
-        } else if (binding[slot] != triple[i]) {
+          binding[slot] = vals[i];
+          newly_bound[num_new++] = slot;
+        } else if (binding[slot] != vals[i]) {
           consistent = false;
         }
       }
-      if (consistent) self(self, depth + 1);
-      for (size_t slot : newly_bound) binding[slot] = kInvalidTerm;
-      if (done) break;
-    }
-    used[best] = false;
+      if (consistent) self(self, idx + 1);
+      for (size_t i = 0; i < num_new; ++i) binding[newly_bound[i]] = kInvalidTerm;
+      return !done;
+    });
   };
 
-  if (resolved.empty()) {
-    // Empty BGP: one empty solution (SPARQL semantics).
-    rows.emplace_back(out_slots.size(), kInvalidTerm);
-  } else {
-    recurse(recurse, 0);
-  }
+  // Leading sort-merge join: when the plan's first two patterns have
+  // constant predicates, share exactly one variable and have free
+  // variables everywhere else, both predicate groups are sorted on the
+  // shared variable's side (PSO when it is the subject, POS when it is the
+  // object), so the join is one linear merge of two sorted runs instead of
+  // |A| binary probes.
+  auto merge_side = [&](const ResolvedPattern& rp,
+                        size_t key_slot) -> std::optional<MergeSide> {
+    if (rp.is_var[1]) return std::nullopt;  // predicate must be constant
+    size_t slot = PredSlot(rp.constant[1]);
+    if (slot == slot_predicate_.size()) return std::nullopt;
+    bool key_at_subject = rp.is_var[0] && rp.var_slot[0] == key_slot;
+    bool key_at_object = rp.is_var[2] && rp.var_slot[2] == key_slot;
+    if (key_at_subject == key_at_object) return std::nullopt;  // need one side
+    MergeSide side;
+    const auto& arr = key_at_subject ? pso_ : pos_;
+    side.begin = arr.data() + slot_offsets_[slot];
+    side.end = arr.data() + slot_offsets_[slot + 1];
+    // The non-key side must be a free variable. A constant there means the
+    // pattern resolves to a selective PSO/POS probe on that constant — the
+    // plan the orderer already picked — and merging would instead scan the
+    // whole predicate group (catastrophic for skewed groups like rdf:type).
+    int other_pos = key_at_subject ? 2 : 0;
+    if (!rp.is_var[other_pos] || rp.var_slot[other_pos] == key_slot) {
+      return std::nullopt;
+    }
+    side.other_slot = rp.var_slot[other_pos];
+    return side;
+  };
+
+  auto try_merge_join = [&]() -> bool {
+    if (!planned || order.size() < 2) return false;
+    const ResolvedPattern& a = resolved[order[0]];
+    const ResolvedPattern& b = resolved[order[1]];
+    // Exactly one shared variable (predicates are constants below, so only
+    // subject/object slots participate).
+    std::set<size_t> va, vb;
+    for (int i = 0; i < 3; ++i) {
+      if (a.is_var[i]) va.insert(a.var_slot[i]);
+      if (b.is_var[i]) vb.insert(b.var_slot[i]);
+    }
+    std::vector<size_t> shared;
+    for (size_t s : va) {
+      if (vb.count(s) > 0) shared.push_back(s);
+    }
+    if (shared.size() != 1) return false;
+    size_t key = shared[0];
+    auto sa = merge_side(a, key);
+    auto sb = merge_side(b, key);
+    if (!sa.has_value() || !sb.has_value()) return false;
+
+    ++local_merge;
+    auto cmp = [](const std::pair<TermId, TermId>& x,
+                  const std::pair<TermId, TermId>& y) {
+      return x.first < y.first;
+    };
+    const auto* ia = sa->begin;
+    const auto* ib = sb->begin;
+    while (ia != sa->end && ib != sb->end && !done) {
+      if (ia->first < ib->first) {
+        ia = std::lower_bound(ia, sa->end,
+                              std::pair<TermId, TermId>{ib->first, 0}, cmp);
+        continue;
+      }
+      if (ib->first < ia->first) {
+        ib = std::lower_bound(ib, sb->end,
+                              std::pair<TermId, TermId>{ia->first, 0}, cmp);
+        continue;
+      }
+      TermId k = ia->first;
+      const auto* ea = ia;
+      while (ea != sa->end && ea->first == k) ++ea;
+      const auto* eb = ib;
+      while (eb != sb->end && eb->first == k) ++eb;
+      binding[key] = k;
+      for (const auto* pa = ia; pa != ea && !done; ++pa) {
+        binding[sa->other_slot] = pa->second;
+        for (const auto* pb = ib; pb != eb && !done; ++pb) {
+          ++local_bind;
+          binding[sb->other_slot] = pb->second;
+          recurse(recurse, 2);
+          binding[sb->other_slot] = kInvalidTerm;
+        }
+        binding[sa->other_slot] = kInvalidTerm;
+      }
+      binding[key] = kInvalidTerm;
+      ia = ea;
+      ib = eb;
+    }
+    return true;
+  };
+
+  if (!try_merge_join()) recurse(recurse, 0);
+
+  range_lookups_.fetch_add(local_range, std::memory_order_relaxed);
+  full_scans_.fetch_add(local_full, std::memory_order_relaxed);
+  intermediate_bindings_.fetch_add(local_bind, std::memory_order_relaxed);
+  merge_joins_.fetch_add(local_merge, std::memory_order_relaxed);
   return rows;
 }
 
@@ -290,6 +594,95 @@ StatusOr<std::vector<TermId>> SparqlEngine::SelectOne(
   for (const auto& row : *rows) out.push_back(row[0]);
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+std::string RenderPatternTerm(const PatternTerm& t) {
+  if (t.is_var) return "?" + t.text;
+  if (t.kind == TermKind::kLiteral) return "\"" + t.text + "\"";
+  if (t.text.find(':') != std::string::npos &&
+      t.text.find("://") == std::string::npos) {
+    return t.text;  // prefixed name
+  }
+  return "<" + t.text + ">";
+}
+
+std::string RenderPattern(const TriplePattern& tp) {
+  return RenderPatternTerm(tp.subject) + " " + RenderPatternTerm(tp.predicate) +
+         " " + RenderPatternTerm(tp.object);
+}
+
+// Access path the executor takes for `rp` given the already-bound slots —
+// mirrors the case analysis in EvaluateBgp's enumerate().
+const char* AccessPathName(const ResolvedPattern& rp,
+                           const std::vector<bool>& bound, bool planned) {
+  auto known = [&](int i) { return !rp.is_var[i] || bound[rp.var_slot[i]]; };
+  bool sk = known(0), pk = known(1), ok = known(2);
+  if (sk && pk && ok) return "existence probe (HasTriple)";
+  if (sk && pk) {
+    return planned ? "subject+predicate range (out-edge run)"
+                   : "subject scan + predicate filter";
+  }
+  if (sk) return "subject scan (out-edges)";
+  if (ok && pk) {
+    return planned ? "object+predicate range (in-edge run)"
+                   : "object scan + predicate filter";
+  }
+  if (ok) return "object scan (in-edges)";
+  if (pk) return "predicate scan (PSO)";
+  return "full scan";
+}
+
+}  // namespace
+
+StatusOr<std::string> SparqlEngine::ExplainPlan(const SparqlQuery& query) const {
+  ResolveOutcome rs = ResolvePatterns(graph_, query.patterns);
+  std::string out;
+  const bool planned = options_.use_planner;
+  out += planned ? "query plan: cost-based join order"
+                 : "query plan: naive textual order (planner disabled)";
+  out += " (" + std::to_string(query.patterns.size()) + " pattern";
+  if (query.patterns.size() != 1) out += "s";
+  out += ")\n";
+  if (rs.impossible) {
+    out += "  unsatisfiable: a constant is not in the dictionary; "
+           "empty result\n";
+    return out;
+  }
+  if (rs.resolved.empty()) {
+    out += "  empty BGP: one empty solution\n";
+    return out;
+  }
+
+  std::vector<std::pair<size_t, double>> plan;
+  if (planned) {
+    plan = PlanJoinOrder(graph_, *stats_, rs.resolved, rs.var_slots.size());
+  } else {
+    std::vector<bool> bound(rs.var_slots.size(), false);
+    for (size_t i = 0; i < rs.resolved.size(); ++i) {
+      plan.emplace_back(
+          i, EstimatePattern(graph_, *stats_, rs.resolved[i], bound));
+      for (int j = 0; j < 3; ++j) {
+        if (rs.resolved[i].is_var[j]) bound[rs.resolved[i].var_slot[j]] = true;
+      }
+    }
+  }
+
+  std::vector<bool> bound(rs.var_slots.size(), false);
+  for (size_t step = 0; step < plan.size(); ++step) {
+    const auto& [pi, est] = plan[step];
+    const ResolvedPattern& rp = rs.resolved[pi];
+    char est_buf[32];
+    std::snprintf(est_buf, sizeof(est_buf), "%.1f", est);
+    out += "  " + std::to_string(step + 1) + ". " +
+           RenderPattern(query.patterns[pi]) + "   ~" + est_buf +
+           " rows via " + AccessPathName(rp, bound, planned) + "\n";
+    for (int j = 0; j < 3; ++j) {
+      if (rp.is_var[j]) bound[rp.var_slot[j]] = true;
+    }
+  }
   return out;
 }
 

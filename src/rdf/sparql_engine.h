@@ -1,31 +1,77 @@
 #ifndef GANSWER_RDF_SPARQL_ENGINE_H_
 #define GANSWER_RDF_SPARQL_ENGINE_H_
 
-#include <unordered_map>
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
+#include "rdf/graph_stats.h"
 #include "rdf/rdf_graph.h"
 #include "rdf/sparql.h"
 
 namespace ganswer {
 namespace rdf {
 
-/// \brief Basic-graph-pattern evaluator over an RdfGraph.
+/// \brief Basic-graph-pattern evaluator over an RdfGraph with a
+/// statistics-driven cost-based join planner.
 ///
-/// Evaluation is backtracking join: patterns are dynamically reordered so
-/// that the next pattern evaluated is the one with the smallest estimated
-/// candidate set under the current partial binding (greedy selectivity
-/// ordering, the classic strategy of RDF-3X/gStore-style engines at small
-/// scale). A by-predicate triple index is built once per engine so patterns
-/// with only the predicate bound do not scan the whole graph.
+/// Storage: two sorted permutation indexes built in one counting pass over
+/// the CSR adjacency (no hashing, no sorting) — PSO (per-predicate (s, o)
+/// pairs sorted by subject) and POS (per-predicate (o, s) pairs sorted by
+/// object). Bound terms resolve to contiguous runs by binary search; a
+/// leading pair of patterns with a shared join variable on the sorted side
+/// of both groups is evaluated as a sort-merge join.
+///
+/// Planning: a greedy cost-based orderer over GraphStats picks the
+/// cheapest-estimated pattern first, then repeatedly the pattern connected
+/// to the bound variables that minimizes the estimated intermediate-result
+/// size (cross products only when no connected pattern remains). The naive
+/// baseline — textual pattern order over linear scans, the differential-
+/// testing and bench reference — is selected by Options::use_planner =
+/// false or the GANSWER_SPARQL_NAIVE=1 environment variable. Both modes
+/// enumerate the same solution multiset.
 class SparqlEngine {
  public:
+  struct Options {
+    /// false forces the naive baseline: patterns joined in textual order
+    /// with linear-scan candidate enumeration (no binary-searched runs, no
+    /// merge join). The GANSWER_SPARQL_NAIVE=1 environment variable
+    /// overrides this to false at construction.
+    bool use_planner = true;
+    /// Statistics backing the cost model; must outlive the engine. When
+    /// null the engine computes (and owns) its own from the graph.
+    const GraphStats* stats = nullptr;
+  };
+
+  /// Cumulative execution counters, cheap relaxed atomics so the served
+  /// engine (one instance shared across server workers) can report them
+  /// via /stats. Benches read deltas around a workload to get per-query
+  /// intermediate-binding counts.
+  struct PlannerCounters {
+    /// Queries whose BGP went through the cost-based orderer.
+    uint64_t planned_queries = 0;
+    /// Queries executed in naive textual order.
+    uint64_t naive_queries = 0;
+    /// Bound-term lookups answered by a binary-searched sorted run
+    /// (adjacency runs, PSO/POS ranges, exact HasTriple probes).
+    uint64_t range_lookups = 0;
+    /// Whole-predicate (or whole-graph) scans.
+    uint64_t full_scans = 0;
+    /// Candidate triples enumerated across all join steps — the
+    /// intermediate-binding count the planner tries to minimize.
+    uint64_t intermediate_bindings = 0;
+    /// Leading sort-merge joins executed.
+    uint64_t merge_joins = 0;
+  };
+
   /// \p graph must be finalized and must outlive the engine.
   explicit SparqlEngine(const RdfGraph& graph);
+  SparqlEngine(const RdfGraph& graph, Options options);
 
   /// Evaluates \p query. Fails with InvalidArgument for queries that use a
-  /// selected variable not bound by any pattern.
+  /// selected variable not bound by any pattern. Thread-safe.
   StatusOr<SparqlResult> Execute(const SparqlQuery& query) const;
 
   /// Parses and evaluates SPARQL text.
@@ -37,21 +83,51 @@ class SparqlEngine {
       const std::vector<TriplePattern>& patterns,
       const std::string& var) const;
 
+  /// Human-readable join plan for \p query: one line per pattern in
+  /// execution order with its cardinality estimate and access path. The
+  /// explain subsystem (qa/explain.h) includes this in answer explanations.
+  StatusOr<std::string> ExplainPlan(const SparqlQuery& query) const;
+
+  /// Snapshot of the cumulative execution counters.
+  PlannerCounters planner_counters() const;
+
   const RdfGraph& graph() const { return graph_; }
+  const GraphStats& stats() const { return *stats_; }
+  const Options& options() const { return options_; }
 
  private:
-  struct Binding;
-
-  /// All (subject, object) pairs for predicate id \p p.
-  const std::vector<std::pair<TermId, TermId>>* PredicateScan(TermId p) const;
+  struct PlanStep {
+    size_t pattern = 0;     // index into the query's pattern list
+    double estimate = 0.0;  // estimated candidate rows at this step
+  };
 
   StatusOr<std::vector<std::vector<TermId>>> EvaluateBgp(
       const std::vector<TriplePattern>& patterns,
       const std::vector<std::string>& out_vars, bool stop_at_first) const;
 
+  /// Slot of predicate \p p in the permutation indexes, or npos.
+  size_t PredSlot(TermId p) const;
+
   const RdfGraph& graph_;
-  std::unordered_map<TermId, std::vector<std::pair<TermId, TermId>>>
-      by_predicate_;
+  Options options_;
+  std::unique_ptr<GraphStats> owned_stats_;
+  const GraphStats* stats_ = nullptr;  // never null after construction
+
+  // Sorted permutation indexes. Predicate slot k's pairs occupy
+  // [slot_offsets_[k], slot_offsets_[k + 1]) in both arrays; PSO and POS
+  // group sizes are identical, so one offset array serves both.
+  std::vector<TermId> slot_predicate_;                // slot -> predicate id
+  std::vector<uint32_t> pred_slot_;                   // TermId -> slot
+  std::vector<size_t> slot_offsets_;                  // num slots + 1
+  std::vector<std::pair<TermId, TermId>> pso_;        // (s, o), sorted
+  std::vector<std::pair<TermId, TermId>> pos_;        // (o, s), sorted
+
+  mutable std::atomic<uint64_t> planned_queries_{0};
+  mutable std::atomic<uint64_t> naive_queries_{0};
+  mutable std::atomic<uint64_t> range_lookups_{0};
+  mutable std::atomic<uint64_t> full_scans_{0};
+  mutable std::atomic<uint64_t> intermediate_bindings_{0};
+  mutable std::atomic<uint64_t> merge_joins_{0};
 };
 
 }  // namespace rdf

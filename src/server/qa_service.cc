@@ -82,6 +82,7 @@ Status QaService::Start() {
   qa::GAnswer::Options qa_options;
   qa_options.entity_index = snapshot_.entity_index.get();
   qa_options.matching.signatures = snapshot_.signatures.get();
+  qa_options.graph_stats = snapshot_.stats.get();
   qa_options.snapshot_identity = snapshot_.fingerprint;
   qa_options.question_cache_capacity = options_.question_cache_capacity;
   // Per-question matching stays serial: parallelism comes from answering
@@ -90,7 +91,10 @@ Status QaService::Start() {
   system_ = std::make_unique<qa::GAnswer>(snapshot_.graph.get(), &lexicon_,
                                           snapshot_.dictionary.get(),
                                           qa_options);
-  engine_ = std::make_unique<rdf::SparqlEngine>(*snapshot_.graph);
+  rdf::SparqlEngine::Options engine_options;
+  engine_options.stats = snapshot_.stats.get();
+  engine_ = std::make_unique<rdf::SparqlEngine>(*snapshot_.graph,
+                                                engine_options);
   pool_ = std::make_unique<ThreadPool>(options_.threads);
 
   HttpServer::Options http_options;
@@ -264,6 +268,25 @@ void QaService::HandleStats(const HttpServer::ResponseWriter& writer) {
   w.Field("connections_active", http_->active_connections())
       .Field("connections_accepted", http_->connections_accepted())
       .Field("requests_in_flight", http_->requests_in_flight())
+      .EndObject();
+  const rdf::GraphStats& graph_stats = engine_->stats();
+  w.Key("graph").BeginObject();
+  w.Field("triples", static_cast<int64_t>(graph_stats.num_triples()))
+      .Field("vertices", static_cast<int64_t>(graph_stats.num_vertices()))
+      .Field("predicates", static_cast<int64_t>(graph_stats.num_predicates()))
+      .Field("classes", static_cast<int64_t>(graph_stats.num_classes()))
+      .Field("avg_out_fanout", graph_stats.AvgOutFanout())
+      .Field("avg_in_fanout", graph_stats.AvgInFanout())
+      .EndObject();
+  rdf::SparqlEngine::PlannerCounters planner = engine_->planner_counters();
+  w.Key("planner").BeginObject();
+  w.Field("planned_queries", static_cast<int64_t>(planner.planned_queries))
+      .Field("naive_queries", static_cast<int64_t>(planner.naive_queries))
+      .Field("range_lookups", static_cast<int64_t>(planner.range_lookups))
+      .Field("full_scans", static_cast<int64_t>(planner.full_scans))
+      .Field("merge_joins", static_cast<int64_t>(planner.merge_joins))
+      .Field("intermediate_bindings",
+             static_cast<int64_t>(planner.intermediate_bindings))
       .EndObject();
   w.Key("endpoints").BeginObject();
   auto emit_endpoint = [&w](const char* name, const EndpointStats& stats) {

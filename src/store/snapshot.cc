@@ -26,6 +26,7 @@ enum SectionId : uint32_t {
   kSignatureSection = 2,    // per-vertex signature arrays
   kEntityIndexSection = 3,  // label/token postings
   kDictionarySection = 4,   // paraphrase phrase records + inverted index
+  kStatsSection = 5,        // planner cardinality statistics (version >= 2)
 };
 
 struct SectionEntry {
@@ -68,6 +69,14 @@ Status WriteSnapshot(const rdf::RdfGraph& graph,
     dict.SaveBinary(&w);
     sections.emplace_back(kDictionarySection, w.Release());
   }
+  {
+    // Statistics are a deterministic O(V + E) function of the graph, so the
+    // writer always recomputes them rather than taking them as input —
+    // a snapshot can never carry statistics from a different graph.
+    BinaryWriter w;
+    GANSWER_RETURN_NOT_OK(rdf::GraphStats::Compute(graph).SaveBinary(&w));
+    sections.emplace_back(kStatsSection, w.Release());
+  }
 
   size_t header_size = sizeof(kMagic) + 3 * sizeof(uint32_t) +
                        sections.size() * (sizeof(uint32_t) + 2 * sizeof(uint64_t) +
@@ -100,6 +109,7 @@ Status WriteSnapshot(const rdf::RdfGraph& graph,
     stats->signature_bytes = sections[1].second.size();
     stats->entity_index_bytes = sections[2].second.size();
     stats->dictionary_bytes = sections[3].second.size();
+    stats->stats_bytes = sections[4].second.size();
     stats->total_bytes = out->size();
     stats->fingerprint = fingerprint;
   }
@@ -144,11 +154,12 @@ StatusOr<Snapshot> ReadSnapshot(std::string_view bytes,
     return Status::Corruption("snapshot written with foreign byte order");
   }
   GANSWER_RETURN_NOT_OK(header.ReadU32(&version));
-  if (version != kSnapshotVersion) {
+  if (version < kMinSupportedSnapshotVersion || version > kSnapshotVersion) {
     return Status::Corruption(
         "snapshot version " + std::to_string(version) +
-        " does not match this binary's version " +
-        std::to_string(kSnapshotVersion) + "; rebuild the snapshot");
+        " is outside this binary's supported range [" +
+        std::to_string(kMinSupportedSnapshotVersion) + ", " +
+        std::to_string(kSnapshotVersion) + "]; rebuild the snapshot");
   }
   GANSWER_RETURN_NOT_OK(header.ReadU32(&section_count));
   if (section_count > 64) {
@@ -229,6 +240,18 @@ StatusOr<Snapshot> ReadSnapshot(std::string_view bytes,
     BinaryReader r(payload);
     GANSWER_RETURN_NOT_OK(snapshot.dictionary->LoadBinary(
         &r, snapshot.graph->dict().size()));
+  }
+
+  snapshot.stats = std::make_unique<rdf::GraphStats>();
+  if (version >= 2) {
+    GANSWER_RETURN_NOT_OK(find_section(kStatsSection, &payload));
+    BinaryReader r(payload);
+    GANSWER_RETURN_NOT_OK(snapshot.stats->LoadBinary(&r));
+  } else {
+    // Version-1 snapshots predate the statistics section; the graph is
+    // already in memory, so recompute them (same deterministic function the
+    // writer runs).
+    *snapshot.stats = rdf::GraphStats::Compute(*snapshot.graph);
   }
 
   return snapshot;

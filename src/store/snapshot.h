@@ -10,16 +10,21 @@
 #include "linking/entity_index.h"
 #include "nlp/lexicon.h"
 #include "paraphrase/paraphrase_dictionary.h"
+#include "rdf/graph_stats.h"
 #include "rdf/rdf_graph.h"
 #include "rdf/signature_index.h"
 
 namespace ganswer {
 namespace store {
 
-/// Container format version. Bumped whenever any section's binary layout
-/// changes; a snapshot with a different version is rejected (stale), never
-/// migrated in place — re-run the offline build instead.
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// Container format version. Bumped whenever a section's binary layout
+/// changes or a section is added. Version 2 added the graph-statistics
+/// section (rdf/graph_stats.h). Readers accept versions back to
+/// kMinSupportedSnapshotVersion: a version-1 snapshot loads fine, with the
+/// statistics recomputed from the graph instead of read from disk. Versions
+/// newer than this binary's are rejected (their layout is unknown).
+inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint32_t kMinSupportedSnapshotVersion = 1;
 
 /// \brief Everything the online phase needs, reconstructed from one
 /// snapshot: the finalized graph, both offline indexes and the paraphrase
@@ -31,6 +36,9 @@ struct Snapshot {
   std::unique_ptr<rdf::SignatureIndex> signatures;
   std::unique_ptr<linking::EntityIndex> entity_index;
   std::unique_ptr<paraphrase::ParaphraseDictionary> dictionary;
+  /// Planner statistics: read from the stats section (version >= 2) or
+  /// recomputed from the loaded graph (version 1); never null on success.
+  std::unique_ptr<rdf::GraphStats> stats;
   /// Identity of the snapshot contents (derived from the per-section
   /// checksums). Two byte-identical snapshots share a fingerprint; use it
   /// to invalidate caches keyed on snapshot data.
@@ -43,6 +51,7 @@ struct SnapshotStats {
   size_t signature_bytes = 0;
   size_t entity_index_bytes = 0;
   size_t dictionary_bytes = 0;
+  size_t stats_bytes = 0;
   size_t total_bytes = 0;
   uint64_t fingerprint = 0;
 };

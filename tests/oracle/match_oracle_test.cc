@@ -3,7 +3,8 @@
 // rank oracle, over randomized graphs and randomized connected query
 // graphs. The matcher must return the same top-k score multiset in the
 // pinned MatchOrder whatever its configuration (serial / parallel /
-// pruning on or off / TA on or off / signatures on or off).
+// pruning on or off / TA on or off / signatures on or off / planner
+// statistics on or off).
 
 #include <gtest/gtest.h>
 
@@ -14,6 +15,7 @@
 #include "match/top_k_matcher.h"
 #include "oracle/match_oracle.h"
 #include "prop/prop_support.h"
+#include "rdf/graph_stats.h"
 #include "rdf/signature_index.h"
 #include "test_support.h"
 
@@ -171,6 +173,7 @@ TEST(MatchOracleTest, TopKEqualsEnumerateAndRank) {
     std::vector<Match> all = oracle.AllMatches(query);
 
     rdf::SignatureIndex signatures(data.graph);
+    rdf::GraphStats graph_stats = rdf::GraphStats::Compute(data.graph);
     size_t k = 1 + rng.Next(8);
 
     struct Config {
@@ -179,12 +182,15 @@ TEST(MatchOracleTest, TopKEqualsEnumerateAndRank) {
       bool ta;
       int threads;
       bool use_signatures;
+      bool use_stats;
     };
     const Config configs[] = {
-        {"serial", true, true, 1, false},
-        {"parallel", true, true, 4, true},
-        {"no-pruning", false, true, 1, false},
-        {"exhaustive", true, false, 1, true},
+        {"serial", true, true, 1, false, false},
+        {"parallel", true, true, 4, true, false},
+        {"no-pruning", false, true, 1, false, false},
+        {"exhaustive", true, false, 1, true, false},
+        {"planned", true, true, 1, true, true},
+        {"planned-exhaustive", false, false, 1, false, true},
     };
     for (const Config& c : configs) {
       SCOPED_TRACE(c.name);
@@ -195,6 +201,7 @@ TEST(MatchOracleTest, TopKEqualsEnumerateAndRank) {
       opt.max_matches_per_anchor = 0;  // no caps: oracle has none
       opt.exec.threads = c.threads;
       opt.signatures = c.use_signatures ? &signatures : nullptr;
+      opt.stats = c.use_stats ? &graph_stats : nullptr;
       auto got = match::TopKMatcher(&data.graph, opt).FindTopK(query);
       ASSERT_TRUE(got.ok()) << got.status().ToString();
       ExpectTopKEquals(*got, all, k);

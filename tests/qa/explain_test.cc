@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "qa/ganswer.h"
+#include "qa/sparql_output.h"
 #include "test_support.h"
 
 namespace ganswer {
@@ -96,6 +98,31 @@ TEST_F(ExplainTest, SizeMismatchRejected) {
   match::Match bogus;
   bogus.assignment = {0, 1, 2, 3, 4, 5, 6};
   EXPECT_FALSE(explainer_.Explain(r->understanding.sqg, bogus).ok());
+}
+
+TEST_F(ExplainTest, QueryPlansRenderPerInterpretation) {
+  auto r = system_.Ask(
+      "Who was married to an actor that played in Philadelphia ?");
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->matches.empty());
+  std::vector<rdf::SparqlQuery> queries = SparqlOutput::TopKQueries(
+      r->understanding.sqg, r->matches, world_.kb.graph, 3);
+  ASSERT_FALSE(queries.empty());
+
+  rdf::SparqlEngine engine(world_.kb.graph);
+  auto text = ExplainQueryPlans(engine, queries);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("-- interpretation 1 of "), std::string::npos) << *text;
+  EXPECT_NE(text->find("cost-based join order"), std::string::npos) << *text;
+  EXPECT_NE(text->find("rows via"), std::string::npos) << *text;
+
+  // The naive engine renders the same queries under its own header.
+  rdf::SparqlEngine::Options naive_options;
+  naive_options.use_planner = false;
+  rdf::SparqlEngine naive(world_.kb.graph, naive_options);
+  auto naive_text = ExplainQueryPlans(naive, queries);
+  ASSERT_TRUE(naive_text.ok());
+  EXPECT_NE(naive_text->find("naive textual order"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,132 @@
+#include "rdf/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "common/binary_io.h"
+
+namespace ganswer {
+namespace rdf {
+namespace {
+
+TermId Id(const RdfGraph& g, std::string_view text) {
+  auto id = g.dict().LookupAny(text);
+  EXPECT_TRUE(id.has_value()) << text;
+  return id.value_or(kInvalidTerm);
+}
+
+RdfGraph StatsGraph() {
+  RdfGraph g;
+  g.AddTriple("a", "p", "b");
+  g.AddTriple("a", "p", "c");
+  g.AddTriple("b", "p", "c");
+  g.AddTriple("b", "q", "a");
+  g.AddTriple("x", "rdf:type", "C");
+  g.AddTriple("y", "rdf:type", "C");
+  EXPECT_TRUE(g.Finalize().ok());
+  return g;
+}
+
+TEST(GraphStatsTest, PerPredicateCounts) {
+  RdfGraph g = StatsGraph();
+  GraphStats stats = GraphStats::Compute(g);
+
+  EXPECT_EQ(stats.num_triples(), 6u);
+  EXPECT_EQ(stats.num_vertices(), g.NumTerms());
+  EXPECT_EQ(stats.num_predicates(), 3u);  // p, q, rdf:type
+  EXPECT_EQ(stats.num_classes(), 1u);
+
+  TermId p = Id(g, "p");
+  EXPECT_EQ(stats.TripleCount(p), 3u);
+  EXPECT_EQ(stats.DistinctSubjects(p), 2u);  // a, b
+  EXPECT_EQ(stats.DistinctObjects(p), 2u);   // b, c
+  EXPECT_DOUBLE_EQ(stats.AvgObjectsPerSubject(p), 1.5);
+  EXPECT_DOUBLE_EQ(stats.AvgSubjectsPerObject(p), 1.5);
+
+  TermId q = Id(g, "q");
+  EXPECT_EQ(stats.TripleCount(q), 1u);
+  EXPECT_EQ(stats.DistinctSubjects(q), 1u);
+  EXPECT_EQ(stats.DistinctObjects(q), 1u);
+
+  TermId type = Id(g, "rdf:type");
+  EXPECT_EQ(stats.TripleCount(type), 2u);
+  EXPECT_EQ(stats.DistinctObjects(type), 1u);  // C
+}
+
+TEST(GraphStatsTest, FanoutAverages) {
+  RdfGraph g = StatsGraph();
+  GraphStats stats = GraphStats::Compute(g);
+  // Subjects with out-edges: a, b, x, y. Objects with in-edges: a, b, c, C.
+  EXPECT_DOUBLE_EQ(stats.AvgOutFanout(), 6.0 / 4.0);
+  EXPECT_DOUBLE_EQ(stats.AvgInFanout(), 6.0 / 4.0);
+}
+
+TEST(GraphStatsTest, ClassInstanceCountsUseSubclassClosure) {
+  RdfGraph g = StatsGraph();
+  GraphStats stats = GraphStats::Compute(g);
+  EXPECT_EQ(stats.ClassInstanceCount(Id(g, "C")), 2u);  // x, y
+  // A non-class vertex has no instances.
+  EXPECT_EQ(stats.ClassInstanceCount(Id(g, "a")), 0u);
+
+  RdfGraph h;
+  h.AddTriple("z", "rdf:type", "C1");
+  h.AddTriple("C1", "rdfs:subClassOf", "C2");
+  ASSERT_TRUE(h.Finalize().ok());
+  GraphStats hs = GraphStats::Compute(h);
+  // z instantiates C2 through the closure — exactly what a
+  // `?x rdf:type <C2>` pattern yields.
+  EXPECT_EQ(hs.ClassInstanceCount(Id(h, "C1")), 1u);
+  EXPECT_EQ(hs.ClassInstanceCount(Id(h, "C2")), 1u);
+}
+
+TEST(GraphStatsTest, UnknownTermsCountZero) {
+  RdfGraph g = StatsGraph();
+  GraphStats stats = GraphStats::Compute(g);
+  TermId missing = static_cast<TermId>(g.NumTerms() + 17);
+  EXPECT_EQ(stats.TripleCount(missing), 0u);
+  EXPECT_EQ(stats.DistinctSubjects(missing), 0u);
+  EXPECT_EQ(stats.DistinctObjects(missing), 0u);
+  EXPECT_EQ(stats.ClassInstanceCount(missing), 0u);
+  EXPECT_DOUBLE_EQ(stats.AvgObjectsPerSubject(missing), 0.0);
+  EXPECT_DOUBLE_EQ(stats.AvgSubjectsPerObject(missing), 0.0);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  RdfGraph g;
+  ASSERT_TRUE(g.Finalize().ok());
+  GraphStats stats = GraphStats::Compute(g);
+  EXPECT_EQ(stats.num_triples(), 0u);
+  EXPECT_DOUBLE_EQ(stats.AvgOutFanout(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.AvgInFanout(), 0.0);
+}
+
+TEST(GraphStatsTest, BinaryRoundTrip) {
+  RdfGraph g = StatsGraph();
+  GraphStats stats = GraphStats::Compute(g);
+
+  BinaryWriter w;
+  ASSERT_TRUE(stats.SaveBinary(&w).ok());
+  BinaryReader r(w.buffer());
+  GraphStats loaded;
+  ASSERT_TRUE(loaded.LoadBinary(&r).ok());
+  EXPECT_TRUE(loaded == stats);
+}
+
+TEST(GraphStatsTest, LoadRejectsTruncatedBytes) {
+  RdfGraph g = StatsGraph();
+  GraphStats stats = GraphStats::Compute(g);
+  BinaryWriter w;
+  ASSERT_TRUE(stats.SaveBinary(&w).ok());
+  std::string_view bytes(w.buffer());
+  for (size_t cut : {size_t{0}, size_t{4}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    BinaryReader r(bytes.substr(0, cut));
+    GraphStats loaded;
+    EXPECT_FALSE(loaded.LoadBinary(&r).ok()) << "cut at " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace ganswer

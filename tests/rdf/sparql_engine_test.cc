@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
 #include <set>
 
 #include "common/random.h"
+#include "rdf/sparql_parser.h"
 
 namespace ganswer {
 namespace rdf {
@@ -200,6 +202,134 @@ TEST_P(SparqlEnginePropertyTest, MatchesBruteForceOnRandomGraphs) {
 
 INSTANTIATE_TEST_SUITE_P(RandomGraphs, SparqlEnginePropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Cost-based planner: ordering, counters, merge join, explain output.
+// ---------------------------------------------------------------------------
+
+TEST(SparqlPlannerTest, PlannedAndNaiveProduceSameRows) {
+  RdfGraph g = FamilyGraph();
+  SparqlEngine planned(g);
+  SparqlEngine::Options naive_options;
+  naive_options.use_planner = false;
+  SparqlEngine naive(g, naive_options);
+  const char* text =
+      "SELECT ?x ?f WHERE { ?x <rdf:type> <Actor> . ?f <starring> ?x }";
+  auto a = planned.ExecuteText(text);
+  auto b = naive.ExecuteText(text);
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::set<std::vector<TermId>> ra(a->rows.begin(), a->rows.end());
+  std::set<std::vector<TermId>> rb(b->rows.begin(), b->rows.end());
+  EXPECT_EQ(ra, rb);
+  EXPECT_EQ(ra.size(), 2u);  // (Antonio, Philadelphia), (Antonio, Assassins)
+}
+
+TEST(SparqlPlannerTest, CountersTrackExecutionPath) {
+  RdfGraph g = FamilyGraph();
+  SparqlEngine planned(g);
+  SparqlEngine::Options naive_options;
+  naive_options.use_planner = false;
+  SparqlEngine naive(g, naive_options);
+  const char* text =
+      "SELECT ?x WHERE { ?x <rdf:type> <Actor> . ?f <starring> ?x }";
+  ASSERT_TRUE(planned.ExecuteText(text).ok());
+  ASSERT_TRUE(naive.ExecuteText(text).ok());
+
+  SparqlEngine::PlannerCounters pc = planned.planner_counters();
+  EXPECT_EQ(pc.planned_queries, 1u);
+  EXPECT_EQ(pc.naive_queries, 0u);
+  EXPECT_GT(pc.intermediate_bindings, 0u);
+
+  SparqlEngine::PlannerCounters nc = naive.planner_counters();
+  EXPECT_EQ(nc.planned_queries, 0u);
+  EXPECT_EQ(nc.naive_queries, 1u);
+  EXPECT_EQ(nc.merge_joins, 0u);
+  EXPECT_GT(nc.intermediate_bindings, 0u);
+  // The naive path enumerates at least as many candidate bindings as the
+  // planned one on this selective query.
+  EXPECT_GE(nc.intermediate_bindings, pc.intermediate_bindings);
+}
+
+TEST(SparqlPlannerTest, MergeJoinOnSharedSubjectVariable) {
+  RdfGraph g = FamilyGraph();
+  SparqlEngine engine(g);
+  // Both patterns have constant predicates, share exactly ?f keyed at the
+  // subject side of both sorted groups, and are free everywhere else — the
+  // leading merge join.
+  auto r = engine.ExecuteText(
+      "SELECT ?f ?a ?d WHERE { ?f <starring> ?a . ?f <director> ?d }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(g.dict().text(r->rows[0][0]), "Philadelphia_(film)");
+  EXPECT_EQ(g.dict().text(r->rows[0][1]), "Antonio");
+  EXPECT_EQ(g.dict().text(r->rows[0][2]), "Demme");
+  EXPECT_GT(engine.planner_counters().merge_joins, 0u);
+
+  // A constant on a non-key side disables the merge: the planner's probe
+  // on that constant is strictly cheaper than scanning both groups.
+  auto probed = engine.ExecuteText(
+      "SELECT ?f ?d WHERE { ?f <starring> <Antonio> . ?f <director> ?d }");
+  ASSERT_TRUE(probed.ok());
+  ASSERT_EQ(probed->rows.size(), 1u);
+  EXPECT_EQ(g.dict().text(probed->rows[0][0]), "Philadelphia_(film)");
+  EXPECT_EQ(engine.planner_counters().merge_joins, 1u);
+}
+
+TEST(SparqlPlannerTest, ExplainPlanDescribesBothModes) {
+  RdfGraph g = FamilyGraph();
+  SparqlEngine planned(g);
+  SparqlEngine::Options naive_options;
+  naive_options.use_planner = false;
+  SparqlEngine naive(g, naive_options);
+
+  auto q = SparqlParser::Parse(
+      "SELECT ?x ?y WHERE { ?x ?p ?y . ?f <starring> ?x }");
+  ASSERT_TRUE(q.ok());
+  auto plan = planned.ExplainPlan(*q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("cost-based join order"), std::string::npos);
+  // The selective starring pattern runs first; the open pattern then has
+  // its subject bound and degrades to a subject scan, not a full scan.
+  EXPECT_LT(plan->find("<starring>"), plan->find("?p"));
+  EXPECT_NE(plan->find("subject scan"), std::string::npos) << *plan;
+
+  auto naive_plan = naive.ExplainPlan(*q);
+  ASSERT_TRUE(naive_plan.ok());
+  EXPECT_NE(naive_plan->find("naive textual order"), std::string::npos);
+  // Naive keeps the textual order: the full-scan pattern stays first.
+  EXPECT_LT(naive_plan->find("?p"), naive_plan->find("<starring>"));
+}
+
+TEST(SparqlPlannerTest, ExplainPlanHandlesDegenerateQueries) {
+  RdfGraph g = FamilyGraph();
+  SparqlEngine engine(g);
+
+  SparqlQuery empty;
+  auto plan = engine.ExplainPlan(empty);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("empty BGP"), std::string::npos);
+
+  auto unknown = SparqlParser::Parse(
+      "SELECT ?x WHERE { ?x <starring> <NoSuchEntity> }");
+  ASSERT_TRUE(unknown.ok());
+  plan = engine.ExplainPlan(*unknown);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("unsatisfiable"), std::string::npos);
+}
+
+TEST(SparqlPlannerTest, EnvironmentVariableForcesNaiveOrder) {
+  RdfGraph g = FamilyGraph();
+  ASSERT_EQ(setenv("GANSWER_SPARQL_NAIVE", "1", /*overwrite=*/1), 0);
+  SparqlEngine engine(g);
+  unsetenv("GANSWER_SPARQL_NAIVE");
+  EXPECT_FALSE(engine.options().use_planner);
+  ASSERT_TRUE(
+      engine.ExecuteText("SELECT ?x WHERE { ?x <spouse> <Antonio> }").ok());
+  EXPECT_EQ(engine.planner_counters().naive_queries, 1u);
+  // A fresh engine without the variable plans again.
+  SparqlEngine fresh(g);
+  EXPECT_TRUE(fresh.options().use_planner);
+}
 
 }  // namespace
 }  // namespace rdf

@@ -166,7 +166,10 @@ TEST(QaServiceTest, HealthzAndStatsReportServiceState) {
   for (const char* key :
        {"\"question_cache\"", "\"hits\"", "\"misses\"", "\"evictions\"",
         "\"queue_depth\"", "\"rejected\"", "\"/answer\"", "\"/sparql\"",
-        "\"requests\"", "\"connections_active\""}) {
+        "\"requests\"", "\"connections_active\"", "\"graph\"",
+        "\"predicates\"", "\"avg_out_fanout\"", "\"planner\"",
+        "\"planned_queries\"", "\"merge_joins\"",
+        "\"intermediate_bindings\""}) {
     EXPECT_NE(stats->body.find(key), std::string::npos)
         << "missing " << key << " in " << stats->body;
   }

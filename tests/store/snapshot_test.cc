@@ -9,6 +9,7 @@
 #include "linking/entity_index.h"
 #include "nlp/lexicon.h"
 #include "paraphrase/paraphrase_dictionary.h"
+#include "rdf/graph_stats.h"
 #include "rdf/rdf_graph.h"
 #include "rdf/signature_index.h"
 
@@ -64,6 +65,7 @@ TEST(SnapshotTest, RoundTripPreservesEverything) {
   EXPECT_GT(stats.signature_bytes, 0u);
   EXPECT_GT(stats.entity_index_bytes, 0u);
   EXPECT_GT(stats.dictionary_bytes, 0u);
+  EXPECT_GT(stats.stats_bytes, 0u);
   EXPECT_EQ(stats.total_bytes, bytes.size());
   EXPECT_NE(stats.fingerprint, 0u);
 
@@ -122,6 +124,36 @@ TEST(SnapshotTest, RoundTripPreservesEverything) {
   }
   EXPECT_EQ(d.PhrasesContaining("familiar"),
             world.dict->PhrasesContaining("familiar"));
+
+  // Graph statistics: the stats section round-trips to exactly what a
+  // fresh Compute over the graph produces.
+  ASSERT_NE(loaded->stats, nullptr);
+  EXPECT_TRUE(*loaded->stats == rdf::GraphStats::Compute(world.graph));
+}
+
+TEST(SnapshotTest, AcceptsVersionOneAndRecomputesStats) {
+  TestWorld world;
+  std::string bytes = WriteTestSnapshot(world);
+  // Rewriting the version field to 1 makes the reader take the
+  // backward-compat path: the stats section (which version 1 predates) is
+  // not read, and the statistics are recomputed from the loaded graph.
+  ASSERT_GE(kMinSupportedSnapshotVersion, 1u);
+  bytes[12] = 1;
+  auto loaded = ReadSnapshot(bytes, &world.lexicon);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->graph->NumTriples(), world.graph.NumTriples());
+  ASSERT_NE(loaded->stats, nullptr);
+  EXPECT_TRUE(*loaded->stats == rdf::GraphStats::Compute(world.graph));
+}
+
+TEST(SnapshotTest, RejectsVersionBelowSupportedRange) {
+  TestWorld world;
+  std::string bytes = WriteTestSnapshot(world);
+  bytes[12] = 0;
+  auto loaded = ReadSnapshot(bytes, &world.lexicon);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("rebuild the snapshot"),
+            std::string::npos);
 }
 
 TEST(SnapshotTest, WritingTwiceIsByteIdentical) {
