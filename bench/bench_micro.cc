@@ -4,7 +4,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
 #include "bench_support.h"
+#include "common/search.h"
 #include "deanna/deanna_qa.h"
 #include "linking/entity_linker.h"
 #include "nlp/dependency_parser.h"
@@ -65,6 +71,86 @@ void BM_PathMining(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PathMining)->Arg(2)->Arg(3)->Arg(4);
+
+// --- Sorted-run probes: the index-probe kernels behind SparqlEngine. ---
+//
+// The engine probes sorted adjacency and permutation runs with random keys
+// (enumerate()) and with monotonically advancing nearby keys (the merge
+// join gallop). The three variants are measured on both access patterns so
+// the std::lower_bound baseline, the branchless probe and the galloping
+// search can be compared like-for-like.
+
+std::vector<uint32_t> SortedKeys(size_t n) {
+  std::mt19937 rng(42);
+  std::vector<uint32_t> keys(n);
+  uint32_t next = 0;
+  for (auto& k : keys) k = next += 1 + rng() % 8;
+  return keys;
+}
+
+std::vector<uint32_t> RandomProbes(const std::vector<uint32_t>& keys,
+                                   size_t n) {
+  std::mt19937 rng(7);
+  std::vector<uint32_t> probes(n);
+  for (auto& p : probes) p = keys[rng() % keys.size()];
+  return probes;
+}
+
+template <typename Search>
+void ProbeRandom(benchmark::State& state, Search search) {
+  auto keys = SortedKeys(static_cast<size_t>(state.range(0)));
+  auto probes = RandomProbes(keys, 1024);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto it = search(keys.begin(), keys.end(), probes[i]);
+    benchmark::DoNotOptimize(it);
+    i = (i + 1) % probes.size();
+  }
+}
+
+// Merge-join shape: each probe lands a short stride past the previous hit,
+// restarting from the hit position — where galloping's exponential bracket
+// pays off against a full-width bisection.
+template <typename Search>
+void ProbeAdvancing(benchmark::State& state, Search search) {
+  auto keys = SortedKeys(static_cast<size_t>(state.range(0)));
+  std::mt19937 rng(7);
+  auto it = keys.begin();
+  for (auto _ : state) {
+    if (keys.end() - it < 64) it = keys.begin();
+    uint32_t target = *(it + 1 + rng() % 32);
+    it = search(it, keys.end(), target);
+    benchmark::DoNotOptimize(it);
+  }
+}
+
+void BM_LowerBoundStd(benchmark::State& state) {
+  ProbeRandom(state, [](auto first, auto last, uint32_t v) {
+    return std::lower_bound(first, last, v);
+  });
+}
+BENCHMARK(BM_LowerBoundStd)->Arg(1 << 8)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_LowerBoundBranchless(benchmark::State& state) {
+  ProbeRandom(state, [](auto first, auto last, uint32_t v) {
+    return BranchlessLowerBound(first, last, v);
+  });
+}
+BENCHMARK(BM_LowerBoundBranchless)->Arg(1 << 8)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_MergeAdvanceStd(benchmark::State& state) {
+  ProbeAdvancing(state, [](auto first, auto last, uint32_t v) {
+    return std::lower_bound(first, last, v);
+  });
+}
+BENCHMARK(BM_MergeAdvanceStd)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_MergeAdvanceGalloping(benchmark::State& state) {
+  ProbeAdvancing(state, [](auto first, auto last, uint32_t v) {
+    return GallopingLowerBound(first, last, v);
+  });
+}
+BENCHMARK(BM_MergeAdvanceGalloping)->Arg(1 << 14)->Arg(1 << 20);
 
 void BM_SparqlBgp(benchmark::State& state) {
   const auto& g = World().kb.graph;

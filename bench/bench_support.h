@@ -17,6 +17,22 @@
 namespace ganswer {
 namespace bench {
 
+/// Peak resident set size of this process in kilobytes, from the VmHWM
+/// line of /proc/self/status (Linux only; 0 where unavailable). The
+/// high-water mark is monotone over the process lifetime, so per-phase
+/// deltas need a fork — see bench_storage_tier.
+inline size_t ReadVmHwmKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
 /// Everything a bench binary needs: the KB, the phrase dataset with gold,
 /// the mined and the verified dictionaries, and the question workload.
 struct BenchWorld {
@@ -165,8 +181,13 @@ class JsonLine {
     return *this;
   }
 
-  /// Prints the line. Call once; the object is spent afterwards.
-  void Emit() { std::printf("BENCH_JSON {%s}\n", body_.c_str()); }
+  /// Prints the line. Call once; the object is spent afterwards. Every
+  /// line automatically carries the process's peak RSS so memory regressions
+  /// show up in the same artifact as the timings.
+  void Emit() {
+    Field("vm_hwm_kb", ReadVmHwmKb());
+    std::printf("BENCH_JSON {%s}\n", body_.c_str());
+  }
 
  private:
   void AppendKey(const std::string& key) {

@@ -63,7 +63,8 @@ int main(int argc, char** argv) {
     std::printf("  vertex \"%s\":", v.text.c_str());
     if (v.wildcard) std::printf(" <matches everything>");
     for (const auto& c : v.candidates) {
-      std::printf(" %s(%.2f)", kb->graph.dict().text(c.vertex).c_str(),
+      std::printf(" %s(%.2f)",
+                  std::string(kb->graph.dict().text(c.vertex)).c_str(),
                   c.confidence);
     }
     std::printf("\n");
@@ -85,7 +86,8 @@ int main(int argc, char** argv) {
     for (size_t v = 0; v < m.assignment.size(); ++v) {
       if (m.assignment[v] == rdf::kInvalidTerm) continue;
       std::printf(" %s=%s", sqg.vertices[v].text.c_str(),
-                  kb->graph.dict().text(m.assignment[v]).c_str());
+                  std::string(kb->graph.dict().text(m.assignment[v]))
+                      .c_str());
     }
     std::printf("\n");
     if (++shown >= 5) break;

@@ -80,7 +80,7 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --snapshot FILE [--port N] [--address A] [--threads N]\n"
-      "          [--max-queue N] [--cache N] [--idle-timeout-ms N]\n"
+      "          [--max-queue N] [--cache N] [--idle-timeout-ms N] [--mmap]\n"
       "       %s --build-demo-snapshot FILE\n",
       argv0, argv0);
   return 2;
@@ -107,6 +107,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0 &&
                i + 1 < argc) {
       options.idle_timeout_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--mmap") == 0) {
+      options.mmap_load = true;
     } else if (std::strcmp(argv[i], "--build-demo-snapshot") == 0 &&
                i + 1 < argc) {
       return BuildDemoSnapshot(argv[++i]);

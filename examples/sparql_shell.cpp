@@ -55,9 +55,10 @@ int main(int argc, char** argv) {
       size_t shown = 0;
       for (const auto& row : result->rows) {
         for (rdf::TermId t : row) {
-          std::printf("%s\t", t == rdf::kInvalidTerm
-                                  ? "-"
-                                  : kb->graph.dict().text(t).c_str());
+          std::string text(t == rdf::kInvalidTerm
+                               ? std::string_view("-")
+                               : kb->graph.dict().text(t));
+          std::printf("%s\t", text.c_str());
         }
         std::printf("\n");
         if (++shown >= 50) {

@@ -3,11 +3,14 @@
 
 #include <cstdint>
 #include <cstring>
+#include <limits>
+#include <span>
 #include <string>
 #include <string_view>
 #include <type_traits>
 #include <vector>
 
+#include "common/pod_column.h"
 #include "common/status.h"
 
 namespace ganswer {
@@ -23,6 +26,11 @@ uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
 /// platform is rejected rather than misread). Counts and lengths use LEB128
 /// varints. Vectors of trivially-copyable structs are written as one
 /// contiguous memcpy so the matching read is a single bulk copy.
+///
+/// In aligned mode (snapshot format v3) every pod-vector payload is padded
+/// to an 8-byte boundary relative to the start of the buffer, which — with
+/// 8-aligned section offsets in the container — makes each payload directly
+/// addressable as a typed span over the mmap-ed file.
 class BinaryWriter {
  public:
   void WriteU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
@@ -44,17 +52,44 @@ class BinaryWriter {
     WriteRaw(s.data(), s.size());
   }
 
-  /// Varint count + one contiguous memcpy of the elements.
+  /// Raw bytes, no length prefix — for container magic and concatenating
+  /// pre-encoded blobs.
+  void WriteBytes(std::string_view s) { WriteRaw(s.data(), s.size()); }
+
+  /// Varint count + one contiguous memcpy of the elements. In aligned mode
+  /// the element payload starts on an 8-byte boundary.
   template <typename T>
   void WritePodVector(const std::vector<T>& v) {
+    WritePodSpan(std::span<const T>(v.data(), v.size()));
+  }
+
+  template <typename T>
+  void WritePodSpan(std::span<const T> v) {
     static_assert(std::is_trivially_copyable_v<T>);
     WriteVarint(v.size());
+    if (aligned_ && sizeof(T) > 1) AlignTo(8);
     WriteRaw(v.data(), v.size() * sizeof(T));
   }
 
   /// Varint count + bit-packed payload (vector<bool> has no contiguous
   /// storage to memcpy).
   void WriteBoolVector(const std::vector<bool>& v);
+
+  /// Zero-pads until size() is a multiple of \p alignment.
+  void AlignTo(size_t alignment) {
+    while (buffer_.size() % alignment != 0) buffer_.push_back('\0');
+  }
+
+  void WriteZeros(size_t n) { buffer_.append(n, '\0'); }
+
+  /// Overwrites previously written bytes in place — used to back-patch the
+  /// snapshot section table after its payloads (and their CRCs) are known.
+  void PatchU32(size_t offset, uint32_t v) { PatchRaw(offset, &v, sizeof(v)); }
+  void PatchU64(size_t offset, uint64_t v) { PatchRaw(offset, &v, sizeof(v)); }
+
+  /// True iff this writer pads pod payloads for in-place mapping.
+  bool aligned() const { return aligned_; }
+  void set_aligned(bool aligned) { aligned_ = aligned; }
 
   size_t size() const { return buffer_.size(); }
   const std::string& buffer() const { return buffer_; }
@@ -64,8 +99,12 @@ class BinaryWriter {
   void WriteRaw(const void* data, size_t n) {
     buffer_.append(static_cast<const char*>(data), n);
   }
+  void PatchRaw(size_t offset, const void* data, size_t n) {
+    std::memcpy(buffer_.data() + offset, data, n);
+  }
 
   std::string buffer_;
+  bool aligned_ = false;
 };
 
 /// \brief Bounds-checked binary decoder over a caller-owned byte range.
@@ -75,6 +114,12 @@ class BinaryWriter {
 /// garbage snapshot can never crash the loader. Element counts are checked
 /// against the bytes actually remaining before any allocation, so a corrupt
 /// count cannot trigger a huge resize.
+///
+/// A reader over an mmap-ed snapshot sets views_allowed(): ReadPodColumn
+/// then hands out zero-copy spans over the mapping instead of copying,
+/// provided the payload is suitably aligned (guaranteed by the v3 writer,
+/// re-checked at runtime so a doctored file degrades to a copy, never to a
+/// misaligned load).
 class BinaryReader {
  public:
   explicit BinaryReader(std::string_view data) : data_(data) {}
@@ -93,22 +138,70 @@ class BinaryReader {
   Status ReadPodVector(std::vector<T>* out) {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t count = 0;
-    GANSWER_RETURN_NOT_OK(ReadVarint(&count));
-    if (count > remaining() / sizeof(T)) {
-      return Status::Corruption("vector count exceeds remaining bytes");
-    }
+    std::span<const T> payload;
+    GANSWER_RETURN_NOT_OK(ReadPodPayload<T>(&count, &payload));
     out->resize(count);
-    std::memcpy(out->data(), data_.data() + pos_, count * sizeof(T));
-    pos_ += count * sizeof(T);
+    std::memcpy(out->data(), payload.data(), count * sizeof(T));
+    return Status::Ok();
+  }
+
+  /// Reads a pod vector into a column: a zero-copy view over the input when
+  /// views_allowed() and the payload happens to be aligned for T, an owned
+  /// copy otherwise. Callers opting into views keep the backing bytes alive
+  /// for the life of the column (the snapshot bundle pins its mapping).
+  template <typename T>
+  Status ReadPodColumn(PodColumn<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    std::span<const T> payload;
+    GANSWER_RETURN_NOT_OK(ReadPodPayload<T>(&count, &payload));
+    if (views_allowed_ &&
+        reinterpret_cast<uintptr_t>(payload.data()) % alignof(T) == 0) {
+      out->AssignView(payload);
+    } else {
+      std::vector<T> copy(count);
+      std::memcpy(copy.data(), payload.data(), count * sizeof(T));
+      out->Assign(std::move(copy));
+    }
     return Status::Ok();
   }
 
   Status ReadBoolVector(std::vector<bool>* out);
 
+  /// Mirrors BinaryWriter::set_aligned: skip the writer's pad bytes before
+  /// pod payloads. Must match the writer that produced the bytes.
+  void set_aligned(bool aligned) { aligned_ = aligned; }
+  /// Permits ReadPodColumn to view the input instead of copying.
+  void set_views_allowed(bool allowed) { views_allowed_ = allowed; }
+
   size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return pos_ == data_.size(); }
 
  private:
+  template <typename T>
+  Status ReadPodPayload(uint64_t* count, std::span<const T>* payload) {
+    GANSWER_RETURN_NOT_OK(ReadVarint(count));
+    if (aligned_ && sizeof(T) > 1) GANSWER_RETURN_NOT_OK(SkipAlignment(8));
+    if (*count > remaining() / sizeof(T)) {
+      return Status::Corruption("vector count exceeds remaining bytes");
+    }
+    *payload = std::span<const T>(
+        reinterpret_cast<const T*>(data_.data() + pos_), *count);
+    pos_ += *count * sizeof(T);
+    return Status::Ok();
+  }
+
+  Status SkipAlignment(size_t alignment) {
+    size_t pad = (alignment - pos_ % alignment) % alignment;
+    return Skip(pad);
+  }
+
+  Status Skip(size_t n) {
+    GANSWER_RETURN_NOT_OK(Need(n));
+    pos_ += n;
+    return Status::Ok();
+  }
+
   Status Need(size_t n) {
     if (n > remaining()) {
       return Status::Corruption("truncated input: need " + std::to_string(n) +
@@ -119,7 +212,54 @@ class BinaryReader {
 
   std::string_view data_;
   size_t pos_ = 0;
+  bool aligned_ = false;
+  bool views_allowed_ = false;
 };
+
+/// \brief Delta-varint codec for the snapshot's compressed sections.
+///
+/// The columns worth compressing (CSR offsets, sorted key columns,
+/// per-vertex sorted neighbor runs) are non-decreasing, so consecutive
+/// differences are small and LEB128 shrinks them to one or two bytes. The
+/// writer asserts nothing — callers pass columns their own invariants
+/// already keep sorted — but the reader rejects any encoding whose running
+/// sum overflows or exceeds the destination type.
+template <typename T>
+void WriteDeltaVarints(BinaryWriter& w, std::span<const T> sorted) {
+  static_assert(std::is_unsigned_v<T>);
+  w.WriteVarint(sorted.size());
+  uint64_t prev = 0;
+  for (T x : sorted) {
+    w.WriteVarint(static_cast<uint64_t>(x) - prev);
+    prev = static_cast<uint64_t>(x);
+  }
+}
+
+template <typename T>
+Status ReadDeltaVarints(BinaryReader& r, std::vector<T>* out) {
+  static_assert(std::is_unsigned_v<T>);
+  uint64_t count = 0;
+  GANSWER_RETURN_NOT_OK(r.ReadVarint(&count));
+  // Each encoded element is at least one byte, so a count beyond the
+  // remaining bytes is corrupt — checked before the allocation.
+  if (count > r.remaining()) {
+    return Status::Corruption("delta column count exceeds remaining bytes");
+  }
+  out->clear();
+  out->reserve(count);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    GANSWER_RETURN_NOT_OK(r.ReadVarint(&delta));
+    uint64_t value = prev + delta;
+    if (value < prev || value > std::numeric_limits<T>::max()) {
+      return Status::Corruption("delta column overflows element type");
+    }
+    out->push_back(static_cast<T>(value));
+    prev = value;
+  }
+  return Status::Ok();
+}
 
 }  // namespace ganswer
 

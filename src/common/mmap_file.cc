@@ -1,0 +1,49 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ganswer {
+
+Status MmapFile::Open(const std::string& path,
+                      std::shared_ptr<MmapFile>* out) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IoError("cannot stat '" + path +
+                           "': " + std::strerror(err));
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    return Status::IoError("cannot mmap empty file '" + path + "'");
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping survives the close; the fd is only needed to establish it.
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Status::IoError("cannot mmap '" + path +
+                           "': " + std::strerror(errno));
+  }
+  out->reset(new MmapFile(static_cast<const char*>(addr), size));
+  return Status::Ok();
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+}  // namespace ganswer

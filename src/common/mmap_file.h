@@ -1,0 +1,45 @@
+#ifndef GANSWER_COMMON_MMAP_FILE_H_
+#define GANSWER_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ganswer {
+
+/// \brief A read-only memory mapping of a whole file.
+///
+/// The mapping is private and read-only; pages fault in on first touch, so
+/// a snapshot load that views the mapping directly pays only for the pages
+/// it actually dereferences. The object is the keepalive token for every
+/// span handed out over it: Snapshot stores a shared_ptr<MmapFile> next to
+/// the structures built from it.
+class MmapFile {
+ public:
+  /// Maps \p path read-only. Returns IoError on open/stat/mmap failure and
+  /// on empty files (an empty snapshot is never valid, and mmap(0) is not
+  /// portable anyway).
+  static Status Open(const std::string& path, std::shared_ptr<MmapFile>* out);
+
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+ private:
+  MmapFile(const char* data, size_t size) : data_(data), size_(size) {}
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace ganswer
+
+#endif  // GANSWER_COMMON_MMAP_FILE_H_

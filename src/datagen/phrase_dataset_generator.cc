@@ -252,12 +252,12 @@ std::vector<PhraseWithGold> PhraseDatasetGenerator::Generate(
   // Filler phrases over random data predicates: corpus scale + idf signal.
   std::vector<std::string> data_preds;
   for (TermId p : g.Predicates()) {
-    const std::string& name = g.dict().text(p);
+    std::string_view name = g.dict().text(p);
     if (name == rdf::kTypePredicate || name == rdf::kSubClassOfPredicate ||
         name == rdf::kLabelPredicate) {
       continue;
     }
-    data_preds.push_back(name);
+    data_preds.emplace_back(name);
   }
   const char* filler_verbs[] = {"quassel", "brindle", "farrow", "welkin",
                                 "dapple",  "murk",    "sorrel", "tiffin"};

@@ -8,9 +8,9 @@ namespace datagen {
 namespace {
 
 std::string Renamed(const std::map<std::string, std::string>& renames,
-                    const std::string& name) {
-  auto it = renames.find(name);
-  return it == renames.end() ? name : it->second;
+                    std::string_view name) {
+  auto it = renames.find(std::string(name));
+  return it == renames.end() ? std::string(name) : it->second;
 }
 
 }  // namespace

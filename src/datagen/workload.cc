@@ -76,7 +76,7 @@ class Gen {
     auto sid = g_.Find(s);
     auto pid = g_.Find(p);
     if (!sid || !pid) return out;
-    for (TermId o : g_.Objects(*sid, *pid)) out.push_back(g_.dict().text(o));
+    for (TermId o : g_.Objects(*sid, *pid)) out.emplace_back(g_.dict().text(o));
     return out;
   }
 
@@ -85,7 +85,7 @@ class Gen {
     auto oid = g_.Find(o);
     auto pid = g_.Find(p);
     if (!oid || !pid) return out;
-    for (TermId s : g_.Subjects(*pid, *oid)) out.push_back(g_.dict().text(s));
+    for (TermId s : g_.Subjects(*pid, *oid)) out.emplace_back(g_.dict().text(s));
     return out;
   }
 

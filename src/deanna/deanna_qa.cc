@@ -110,7 +110,7 @@ StatusOr<DeannaQa::Response> DeannaQa::Ask(std::string_view question) const {
   const rdf::TermDictionary& dict = graph_->dict();
   for (const auto& row : result->rows) {
     if (row.empty() || row[0] == rdf::kInvalidTerm) continue;
-    resp.answers.push_back(dict.text(row[0]));
+    resp.answers.emplace_back(dict.text(row[0]));
   }
   std::sort(resp.answers.begin(), resp.answers.end());
   resp.answers.erase(std::unique(resp.answers.begin(), resp.answers.end()),

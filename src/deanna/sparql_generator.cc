@@ -46,14 +46,14 @@ StatusOr<rdf::SparqlQuery> SparqlGenerator::Generate(
         TriplePattern tp;
         tp.subject = vertex_terms[v];
         tp.predicate = PatternTerm::Iri(std::string(rdf::kTypePredicate));
-        tp.object = PatternTerm::Iri(dict.text(cand.vertex));
+        tp.object = PatternTerm::Iri(std::string(dict.text(cand.vertex)));
         query.patterns.push_back(std::move(tp));
       }
     } else {
-      const std::string& text = dict.text(cand.vertex);
+      std::string text(dict.text(cand.vertex));
       vertex_terms[v] = dict.IsLiteral(cand.vertex)
-                            ? PatternTerm::Literal(text)
-                            : PatternTerm::Iri(text);
+                            ? PatternTerm::Literal(std::move(text))
+                            : PatternTerm::Iri(std::move(text));
     }
   }
 
@@ -80,7 +80,7 @@ StatusOr<rdf::SparqlQuery> SparqlGenerator::Generate(
                                  std::to_string(s));
       const paraphrase::PathStep& step = path.steps[s];
       TriplePattern tp;
-      PatternTerm pred = PatternTerm::Iri(dict.text(step.predicate));
+      PatternTerm pred = PatternTerm::Iri(std::string(dict.text(step.predicate)));
       if (step.forward) {
         tp.subject = current;
         tp.predicate = pred;

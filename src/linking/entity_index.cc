@@ -17,7 +17,7 @@ EntityIndex::EntityIndex(const rdf::RdfGraph& graph) : graph_(graph) {
       // Name-like literals (capitalized, connected) are indexed too:
       // "Who was called Scarface?" must link "Scarface" to the nickname
       // literal vertex. Numeric/date literals stay out.
-      const std::string& text = dict.text(v);
+      std::string_view text = dict.text(v);
       bool name_like = !text.empty() &&
                        std::isupper(static_cast<unsigned char>(text[0]));
       if (name_like && graph.InDegree(v) > 0) AddLabel(v, text);
@@ -71,7 +71,11 @@ void EntityIndex::FinalizePostings() {
   }
 }
 
-void EntityIndex::SaveBinary(BinaryWriter* out) const {
+void EntityIndex::SaveBinary(BinaryWriter* out, bool compressed) const {
+  // Both postings maps are written in sorted key order; the compressed
+  // encoding exploits that twice — keys are front-coded against their
+  // predecessor (normalized labels share long prefixes) and the sorted
+  // posting lists become delta varints instead of fixed u32s.
   auto write_postings =
       [&](const std::unordered_map<std::string, std::vector<rdf::TermId>>& m) {
         std::vector<const std::string*> keys;
@@ -82,9 +86,22 @@ void EntityIndex::SaveBinary(BinaryWriter* out) const {
                     return *a < *b;
                   });
         out->WriteVarint(keys.size());
+        const std::string* prev = nullptr;
         for (const std::string* key : keys) {
-          out->WriteString(*key);
-          out->WritePodVector(m.at(*key));
+          if (compressed) {
+            size_t lcp = 0;
+            if (prev != nullptr) {
+              size_t limit = std::min(prev->size(), key->size());
+              while (lcp < limit && (*prev)[lcp] == (*key)[lcp]) ++lcp;
+            }
+            out->WriteVarint(lcp);
+            out->WriteString(std::string_view(*key).substr(lcp));
+            WriteDeltaVarints<rdf::TermId>(*out, m.at(*key));
+            prev = key;
+          } else {
+            out->WriteString(*key);
+            out->WritePodVector(m.at(*key));
+          }
         }
       };
   write_postings(by_label_);
@@ -94,17 +111,21 @@ void EntityIndex::SaveBinary(BinaryWriter* out) const {
   vertices.reserve(labels_of_.size());
   for (const auto& [v, labels] : labels_of_) vertices.push_back(v);
   std::sort(vertices.begin(), vertices.end());
-  out->WriteVarint(vertices.size());
+  if (compressed) {
+    WriteDeltaVarints<rdf::TermId>(*out, vertices);
+  } else {
+    out->WriteVarint(vertices.size());
+  }
   for (rdf::TermId v : vertices) {
     const std::vector<std::string>& labels = labels_of_.at(v);
-    out->WriteU32(v);
+    if (!compressed) out->WriteU32(v);
     out->WriteVarint(labels.size());
     for (const std::string& label : labels) out->WriteString(label);
   }
 }
 
 StatusOr<std::unique_ptr<EntityIndex>> EntityIndex::LoadBinary(
-    const rdf::RdfGraph& graph, BinaryReader* in) {
+    const rdf::RdfGraph& graph, BinaryReader* in, bool compressed) {
   auto index =
       std::unique_ptr<EntityIndex>(new EntityIndex(graph, LoadTag{}));
   auto read_postings =
@@ -112,11 +133,26 @@ StatusOr<std::unique_ptr<EntityIndex>> EntityIndex::LoadBinary(
         uint64_t count = 0;
         GANSWER_RETURN_NOT_OK(in->ReadVarint(&count));
         m->reserve(count);
+        std::string prev;
         for (uint64_t i = 0; i < count; ++i) {
           std::string key;
-          GANSWER_RETURN_NOT_OK(in->ReadString(&key));
           std::vector<rdf::TermId> list;
-          GANSWER_RETURN_NOT_OK(in->ReadPodVector(&list));
+          if (compressed) {
+            uint64_t lcp = 0;
+            GANSWER_RETURN_NOT_OK(in->ReadVarint(&lcp));
+            if (lcp > prev.size()) {
+              return Status::Corruption(
+                  "entity index key prefix exceeds predecessor");
+            }
+            std::string suffix;
+            GANSWER_RETURN_NOT_OK(in->ReadString(&suffix));
+            key = prev.substr(0, lcp) + suffix;
+            GANSWER_RETURN_NOT_OK(ReadDeltaVarints<rdf::TermId>(*in, &list));
+            prev = key;
+          } else {
+            GANSWER_RETURN_NOT_OK(in->ReadString(&key));
+            GANSWER_RETURN_NOT_OK(in->ReadPodVector(&list));
+          }
           if (!m->emplace(std::move(key), std::move(list)).second) {
             return Status::Corruption("duplicate entity index key");
           }
@@ -126,12 +162,22 @@ StatusOr<std::unique_ptr<EntityIndex>> EntityIndex::LoadBinary(
   GANSWER_RETURN_NOT_OK(read_postings(&index->by_label_));
   GANSWER_RETURN_NOT_OK(read_postings(&index->by_token_));
 
+  std::vector<rdf::TermId> vertices;
   uint64_t num_vertices = 0;
-  GANSWER_RETURN_NOT_OK(in->ReadVarint(&num_vertices));
+  if (compressed) {
+    GANSWER_RETURN_NOT_OK(ReadDeltaVarints<rdf::TermId>(*in, &vertices));
+    num_vertices = vertices.size();
+  } else {
+    GANSWER_RETURN_NOT_OK(in->ReadVarint(&num_vertices));
+  }
   index->labels_of_.reserve(num_vertices);
   for (uint64_t i = 0; i < num_vertices; ++i) {
     rdf::TermId v = rdf::kInvalidTerm;
-    GANSWER_RETURN_NOT_OK(in->ReadU32(&v));
+    if (compressed) {
+      v = vertices[i];
+    } else {
+      GANSWER_RETURN_NOT_OK(in->ReadU32(&v));
+    }
     if (v >= graph.dict().size()) {
       return Status::Corruption("entity index vertex out of range");
     }

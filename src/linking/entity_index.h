@@ -41,12 +41,14 @@ class EntityIndex {
   size_t NumIndexedVertices() const { return labels_of_.size(); }
 
   /// Snapshot serialization of the three label maps, with deterministic key
-  /// order so identical indexes produce identical bytes.
-  void SaveBinary(BinaryWriter* out) const;
+  /// order so identical indexes produce identical bytes. \p compressed
+  /// front-codes the sorted keys and delta-varints the sorted posting
+  /// lists (several times smaller; the loader must pass the same flag).
+  void SaveBinary(BinaryWriter* out, bool compressed = false) const;
   /// Restores an index over \p graph (the same graph the saved index was
   /// built from; postings are restored verbatim, nothing is re-derived).
   static StatusOr<std::unique_ptr<EntityIndex>> LoadBinary(
-      const rdf::RdfGraph& graph, BinaryReader* in);
+      const rdf::RdfGraph& graph, BinaryReader* in, bool compressed = false);
 
  private:
   struct LoadTag {};

@@ -86,16 +86,16 @@ StatusOr<rdf::SparqlQuery> SparqlOutput::MatchToSparql(
             TriplePattern tp;
             tp.subject = terms[v];
             tp.predicate = PatternTerm::Iri(std::string(rdf::kTypePredicate));
-            tp.object = PatternTerm::Iri(dict.text(c.vertex));
+            tp.object = PatternTerm::Iri(std::string(dict.text(c.vertex)));
             query.patterns.push_back(std::move(tp));
             break;
           }
         }
       }
     } else {
-      const std::string& text = dict.text(u);
-      terms[v] = dict.IsLiteral(u) ? PatternTerm::Literal(text)
-                                   : PatternTerm::Iri(text);
+      std::string text(dict.text(u));
+      terms[v] = dict.IsLiteral(u) ? PatternTerm::Literal(std::move(text))
+                                   : PatternTerm::Iri(std::move(text));
     }
   }
 
@@ -118,7 +118,7 @@ StatusOr<rdf::SparqlQuery> SparqlOutput::MatchToSparql(
                                                 std::to_string(s));
       const paraphrase::PathStep& step = path->steps[s];
       TriplePattern tp;
-      PatternTerm pred = PatternTerm::Iri(dict.text(step.predicate));
+      PatternTerm pred = PatternTerm::Iri(std::string(dict.text(step.predicate)));
       if (step.forward) {
         tp.subject = current;
         tp.predicate = pred;

@@ -77,7 +77,8 @@ std::vector<rdf::TermId> SuperlativeResolver::Apply(
 
   const rdf::TermDictionary& dict = graph_->dict();
   auto value_key = [&](rdf::TermId value) {
-    const std::string& text = dict.text(value);
+    // text() views the term arena without a terminator; strtod needs one.
+    std::string text(dict.text(value));
     char* end = nullptr;
     double num = std::strtod(text.c_str(), &end);
     bool numeric = end != text.c_str() && *end == '\0';
@@ -103,14 +104,14 @@ std::vector<rdf::TermId> SuperlativeResolver::Apply(
       if (vn && en) {
         better = detection.take_max ? vv > ev : vv < ev;
       } else {
-        const std::string& a = dict.text(v);
-        const std::string& b = dict.text(extreme);
+        std::string_view a = dict.text(v);
+        std::string_view b = dict.text(extreme);
         better = detection.take_max ? a > b : a < b;
       }
       if (better) extreme = v;
     }
     auto [numeric, num] = value_key(extreme);
-    const std::string& text = dict.text(extreme);
+    std::string_view text = dict.text(extreme);
 
     int cmp;  // -1: worse than best, 0: tie, 1: better
     if (!have_best) {

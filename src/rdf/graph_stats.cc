@@ -7,17 +7,48 @@
 namespace ganswer {
 namespace rdf {
 
+namespace {
+
+void WriteVarintCounts(BinaryWriter* out, std::span<const uint64_t> counts) {
+  out->WriteVarint(counts.size());
+  for (uint64_t c : counts) out->WriteVarint(c);
+}
+
+Status ReadVarintCounts(BinaryReader* in, std::vector<uint64_t>* out) {
+  uint64_t count = 0;
+  GANSWER_RETURN_NOT_OK(in->ReadVarint(&count));
+  if (count > in->remaining()) {
+    return Status::Corruption("count column exceeds remaining bytes");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t c = 0;
+    GANSWER_RETURN_NOT_OK(in->ReadVarint(&c));
+    out->push_back(c);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 GraphStats GraphStats::Compute(const RdfGraph& graph) {
   GraphStats stats;
   stats.num_triples_ = graph.NumTriples();
   stats.num_vertices_ = graph.NumTerms();
 
-  stats.predicates_ = graph.Predicates();
-  std::sort(stats.predicates_.begin(), stats.predicates_.end());
-  size_t np = stats.predicates_.size();
-  stats.triples_.assign(np, 0);
-  stats.distinct_subjects_.assign(np, 0);
-  stats.distinct_objects_.assign(np, 0);
+  std::span<const TermId> preds = graph.Predicates();
+  std::vector<TermId> predicates(preds.begin(), preds.end());
+  std::sort(predicates.begin(), predicates.end());
+  size_t np = predicates.size();
+  std::vector<uint64_t> triples(np, 0);
+  std::vector<uint64_t> distinct_subjects(np, 0);
+  std::vector<uint64_t> distinct_objects(np, 0);
+  auto slot_of = [&](TermId p) {
+    return static_cast<size_t>(
+        std::lower_bound(predicates.begin(), predicates.end(), p) -
+        predicates.begin());
+  };
 
   // Adjacency is sorted by (predicate, neighbor) within a vertex, so each
   // vertex contributes one run per predicate it uses: run length goes to
@@ -31,9 +62,9 @@ GraphStats GraphStats::Compute(const RdfGraph& graph) {
       TermId p = outs[i].predicate;
       size_t j = i;
       while (j < outs.size() && outs[j].predicate == p) ++j;
-      size_t slot = stats.PredicateSlot(p);
-      stats.triples_[slot] += j - i;
-      ++stats.distinct_subjects_[slot];
+      size_t slot = slot_of(p);
+      triples[slot] += j - i;
+      ++distinct_subjects[slot];
       i = j;
     }
     auto ins = graph.InEdges(v);
@@ -42,16 +73,25 @@ GraphStats GraphStats::Compute(const RdfGraph& graph) {
       TermId p = ins[i].predicate;
       size_t j = i;
       while (j < ins.size() && ins[j].predicate == p) ++j;
-      ++stats.distinct_objects_[stats.PredicateSlot(p)];
+      ++distinct_objects[slot_of(p)];
       i = j;
     }
   }
 
+  std::vector<TermId> classes;
+  std::vector<uint64_t> instance_counts;
   for (TermId v = 0; v < n; ++v) {
     if (!graph.IsClass(v)) continue;
-    stats.classes_.push_back(v);
-    stats.instance_counts_.push_back(graph.InstancesOf(v).size());
+    classes.push_back(v);
+    instance_counts.push_back(graph.InstancesOf(v).size());
   }
+
+  stats.predicates_.Assign(std::move(predicates));
+  stats.triples_.Assign(std::move(triples));
+  stats.distinct_subjects_.Assign(std::move(distinct_subjects));
+  stats.distinct_objects_.Assign(std::move(distinct_objects));
+  stats.classes_.Assign(std::move(classes));
+  stats.instance_counts_.Assign(std::move(instance_counts));
   return stats;
 }
 
@@ -108,33 +148,84 @@ double GraphStats::AvgSubjectsPerObject(TermId p) const {
          static_cast<double>(distinct_objects_[slot]);
 }
 
-Status GraphStats::SaveBinary(BinaryWriter* out) const {
+size_t GraphStats::heap_bytes() const {
+  return predicates_.heap_bytes() + triples_.heap_bytes() +
+         distinct_subjects_.heap_bytes() + distinct_objects_.heap_bytes() +
+         classes_.heap_bytes() + instance_counts_.heap_bytes();
+}
+
+size_t GraphStats::view_bytes() const {
+  return predicates_.view_bytes() + triples_.view_bytes() +
+         distinct_subjects_.view_bytes() + distinct_objects_.view_bytes() +
+         classes_.view_bytes() + instance_counts_.view_bytes();
+}
+
+Status GraphStats::SaveBinary(BinaryWriter* out, bool compressed) const {
   if (out == nullptr) return Status::InvalidArgument("null writer");
-  out->WriteU64(num_triples_);
-  out->WriteU64(num_vertices_);
-  out->WriteU64(subjects_with_out_);
-  out->WriteU64(objects_with_in_);
-  out->WritePodVector(predicates_);
-  out->WritePodVector(triples_);
-  out->WritePodVector(distinct_subjects_);
-  out->WritePodVector(distinct_objects_);
-  out->WritePodVector(classes_);
-  out->WritePodVector(instance_counts_);
+  if (!compressed) {
+    out->WriteU64(num_triples_);
+    out->WriteU64(num_vertices_);
+    out->WriteU64(subjects_with_out_);
+    out->WriteU64(objects_with_in_);
+    out->WritePodSpan(predicates_.span());
+    out->WritePodSpan(triples_.span());
+    out->WritePodSpan(distinct_subjects_.span());
+    out->WritePodSpan(distinct_objects_.span());
+    out->WritePodSpan(classes_.span());
+    out->WritePodSpan(instance_counts_.span());
+    return Status::Ok();
+  }
+  out->WriteVarint(num_triples_);
+  out->WriteVarint(num_vertices_);
+  out->WriteVarint(subjects_with_out_);
+  out->WriteVarint(objects_with_in_);
+  WriteDeltaVarints<TermId>(*out, predicates_.span());
+  WriteVarintCounts(out, triples_.span());
+  WriteVarintCounts(out, distinct_subjects_.span());
+  WriteVarintCounts(out, distinct_objects_.span());
+  WriteDeltaVarints<TermId>(*out, classes_.span());
+  WriteVarintCounts(out, instance_counts_.span());
   return Status::Ok();
 }
 
-Status GraphStats::LoadBinary(BinaryReader* in) {
+Status GraphStats::LoadBinary(BinaryReader* in, bool compressed) {
   if (in == nullptr) return Status::InvalidArgument("null reader");
-  GANSWER_RETURN_NOT_OK(in->ReadU64(&num_triples_));
-  GANSWER_RETURN_NOT_OK(in->ReadU64(&num_vertices_));
-  GANSWER_RETURN_NOT_OK(in->ReadU64(&subjects_with_out_));
-  GANSWER_RETURN_NOT_OK(in->ReadU64(&objects_with_in_));
-  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&predicates_));
-  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&triples_));
-  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&distinct_subjects_));
-  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&distinct_objects_));
-  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&classes_));
-  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&instance_counts_));
+  if (!compressed) {
+    GANSWER_RETURN_NOT_OK(in->ReadU64(&num_triples_));
+    GANSWER_RETURN_NOT_OK(in->ReadU64(&num_vertices_));
+    GANSWER_RETURN_NOT_OK(in->ReadU64(&subjects_with_out_));
+    GANSWER_RETURN_NOT_OK(in->ReadU64(&objects_with_in_));
+    GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&predicates_));
+    GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&triples_));
+    GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&distinct_subjects_));
+    GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&distinct_objects_));
+    GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&classes_));
+    GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&instance_counts_));
+    return Validate();
+  }
+  GANSWER_RETURN_NOT_OK(in->ReadVarint(&num_triples_));
+  GANSWER_RETURN_NOT_OK(in->ReadVarint(&num_vertices_));
+  GANSWER_RETURN_NOT_OK(in->ReadVarint(&subjects_with_out_));
+  GANSWER_RETURN_NOT_OK(in->ReadVarint(&objects_with_in_));
+  std::vector<TermId> predicates, classes;
+  std::vector<uint64_t> triples, distinct_subjects, distinct_objects,
+      instance_counts;
+  GANSWER_RETURN_NOT_OK(ReadDeltaVarints<TermId>(*in, &predicates));
+  GANSWER_RETURN_NOT_OK(ReadVarintCounts(in, &triples));
+  GANSWER_RETURN_NOT_OK(ReadVarintCounts(in, &distinct_subjects));
+  GANSWER_RETURN_NOT_OK(ReadVarintCounts(in, &distinct_objects));
+  GANSWER_RETURN_NOT_OK(ReadDeltaVarints<TermId>(*in, &classes));
+  GANSWER_RETURN_NOT_OK(ReadVarintCounts(in, &instance_counts));
+  predicates_.Assign(std::move(predicates));
+  triples_.Assign(std::move(triples));
+  distinct_subjects_.Assign(std::move(distinct_subjects));
+  distinct_objects_.Assign(std::move(distinct_objects));
+  classes_.Assign(std::move(classes));
+  instance_counts_.Assign(std::move(instance_counts));
+  return Validate();
+}
+
+Status GraphStats::Validate() const {
   if (triples_.size() != predicates_.size() ||
       distinct_subjects_.size() != predicates_.size() ||
       distinct_objects_.size() != predicates_.size()) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/pod_column.h"
 #include "common/status.h"
 #include "rdf/rdf_graph.h"
 
@@ -18,9 +19,10 @@ namespace rdf {
 /// count. Per class: instance count through the rdfs:subClassOf closure
 /// (what an `?x rdf:type <C>` pattern actually yields). Global: average
 /// out/in fan-out over vertices that have edges at all. Everything is a
-/// plain sorted array, so lookups are binary searches and the whole object
-/// round-trips through the snapshot as POD vectors (section 5, snapshot
-/// version 2; older snapshots recompute on load).
+/// plain sorted column, so lookups are binary searches and the whole object
+/// round-trips through the snapshot as POD vectors — zero-copy over an
+/// mmap-ed raw section, delta-varint coded in a compressed one (the key
+/// columns are ascending, the count columns are small integers).
 ///
 /// Statistics only steer *ordering* decisions, never filtering: a planner
 /// consulting a stale or empty GraphStats still returns exact results, just
@@ -60,30 +62,35 @@ class GraphStats {
   /// Expected |{s : <s, p, o>}| for an object that \p p points at.
   double AvgSubjectsPerObject(TermId p) const;
 
-  Status SaveBinary(BinaryWriter* out) const;
+  Status SaveBinary(BinaryWriter* out, bool compressed = false) const;
   /// Replaces the contents with previously saved statistics; validates that
   /// the key arrays are sorted and the column lengths agree.
-  Status LoadBinary(BinaryReader* in);
+  Status LoadBinary(BinaryReader* in, bool compressed = false);
+
+  /// Heap / mapped bytes pinned by the columns (snapshot accounting).
+  size_t heap_bytes() const;
+  size_t view_bytes() const;
 
   friend bool operator==(const GraphStats&, const GraphStats&) = default;
 
  private:
   size_t PredicateSlot(TermId p) const;
+  Status Validate() const;
 
   uint64_t num_triples_ = 0;
   uint64_t num_vertices_ = 0;
   uint64_t subjects_with_out_ = 0;  // vertices with >= 1 out-edge
   uint64_t objects_with_in_ = 0;    // vertices with >= 1 in-edge
-  // Columnar per-predicate records, keyed by the sorted predicates_ array
-  // (parallel vectors rather than a struct so the snapshot bytes contain no
+  // Columnar per-predicate records, keyed by the sorted predicates_ column
+  // (parallel columns rather than a struct so the snapshot bytes contain no
   // padding and the section is deterministic).
-  std::vector<TermId> predicates_;  // ascending
-  std::vector<uint64_t> triples_;
-  std::vector<uint64_t> distinct_subjects_;
-  std::vector<uint64_t> distinct_objects_;
-  // Per-class instance counts, keyed by the sorted classes_ array.
-  std::vector<TermId> classes_;  // ascending
-  std::vector<uint64_t> instance_counts_;
+  PodColumn<TermId> predicates_;  // ascending
+  PodColumn<uint64_t> triples_;
+  PodColumn<uint64_t> distinct_subjects_;
+  PodColumn<uint64_t> distinct_objects_;
+  // Per-class instance counts, keyed by the sorted classes_ column.
+  PodColumn<TermId> classes_;  // ascending
+  PodColumn<uint64_t> instance_counts_;
 };
 
 }  // namespace rdf

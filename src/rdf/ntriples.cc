@@ -155,7 +155,7 @@ Status NTriplesReader::ParseFile(const std::string& path, RdfGraph* graph) {
 namespace {
 
 void WriteTerm(const TermDictionary& dict, TermId id, std::ostream* out) {
-  const std::string& text = dict.text(id);
+  std::string_view text = dict.text(id);
   if (dict.IsLiteral(id)) {
     *out << '"';
     for (char c : text) {

@@ -12,7 +12,7 @@ namespace {
 
 // A CSR offset array must have one entry per vertex plus one, start at 0,
 // be non-decreasing, and end at the edge count.
-Status ValidateOffsets(const std::vector<size_t>& offsets, size_t num_vertices,
+Status ValidateOffsets(const PodColumn<uint64_t>& offsets, size_t num_vertices,
                        size_t num_edges, const char* which) {
   if (offsets.size() != num_vertices + 1 || offsets.front() != 0 ||
       offsets.back() != num_edges) {
@@ -21,6 +21,61 @@ Status ValidateOffsets(const std::vector<size_t>& offsets, size_t num_vertices,
   for (size_t v = 0; v < num_vertices; ++v) {
     if (offsets[v] > offsets[v + 1]) {
       return Status::Corruption(std::string(which) + " offsets not monotone");
+    }
+  }
+  return Status::Ok();
+}
+
+// Compressed adjacency: within a vertex the run is sorted by (predicate,
+// neighbor), so predicates are delta-coded; neighbors restart absolute on
+// every predicate change (and on the first edge of the vertex, where a
+// predicate delta of 0 is legitimate — rdf:type is TermId 0) and are
+// strictly-increasing deltas within a (vertex, predicate) group.
+void EncodeEdgeRuns(BinaryWriter* out, const PodColumn<Edge>& edges,
+                    const PodColumn<uint64_t>& offsets) {
+  for (size_t v = 0; v + 1 < offsets.size(); ++v) {
+    TermId prev_p = 0;
+    TermId prev_n = 0;
+    for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const Edge& e = edges[i];
+      uint64_t dp = static_cast<uint64_t>(e.predicate) - prev_p;
+      out->WriteVarint(dp);
+      if (i == offsets[v] || dp != 0) {
+        out->WriteVarint(e.neighbor);
+      } else {
+        out->WriteVarint(static_cast<uint64_t>(e.neighbor) - prev_n);
+      }
+      prev_p = e.predicate;
+      prev_n = e.neighbor;
+    }
+  }
+}
+
+Status DecodeEdgeRuns(BinaryReader* in, const std::vector<uint64_t>& offsets,
+                      std::vector<Edge>* edges) {
+  uint64_t total = offsets.empty() ? 0 : offsets.back();
+  if (total > in->remaining()) {
+    // Every encoded edge costs at least two bytes; one is already a safe
+    // lower bound to reject absurd counts before allocating.
+    return Status::Corruption("edge run count exceeds remaining bytes");
+  }
+  edges->clear();
+  edges->reserve(total);
+  for (size_t v = 0; v + 1 < offsets.size(); ++v) {
+    uint64_t prev_p = 0;
+    uint64_t prev_n = 0;
+    for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      uint64_t dp = 0, nv = 0;
+      GANSWER_RETURN_NOT_OK(in->ReadVarint(&dp));
+      GANSWER_RETURN_NOT_OK(in->ReadVarint(&nv));
+      uint64_t p = prev_p + dp;
+      uint64_t n = (i == offsets[v] || dp != 0) ? nv : prev_n + nv;
+      if (p > kInvalidTerm - 1 || n > kInvalidTerm - 1) {
+        return Status::Corruption("edge run term id overflow");
+      }
+      edges->push_back({static_cast<TermId>(p), static_cast<TermId>(n)});
+      prev_p = p;
+      prev_n = n;
     }
   }
   return Status::Ok();
@@ -65,7 +120,7 @@ Status RdfGraph::Finalize() {
   std::vector<Triple> triples;
   triples.reserve(num_triples_ + pending_.size());
   for (size_t v = 0; v + 1 < out_offsets_.size(); ++v) {
-    for (size_t i = out_offsets_[v]; i < out_offsets_[v + 1]; ++i) {
+    for (uint64_t i = out_offsets_[v]; i < out_offsets_[v + 1]; ++i) {
       triples.push_back({static_cast<TermId>(v), out_edges_[i].predicate,
                          out_edges_[i].neighbor});
     }
@@ -89,44 +144,44 @@ Status RdfGraph::Finalize() {
   triples.erase(std::unique(triples.begin(), triples.end()), triples.end());
   num_triples_ = triples.size();
 
-  predicate_freq_.assign(n, 0);
-  out_offsets_.assign(n + 1, 0);
+  std::vector<uint64_t> predicate_freq(n, 0);
+  std::vector<uint64_t> out_offsets(n + 1, 0);
   for (const Triple& t : triples) {
-    ++out_offsets_[t.subject + 1];
-    ++predicate_freq_[t.predicate];
+    ++out_offsets[t.subject + 1];
+    ++predicate_freq[t.predicate];
   }
-  for (size_t v = 0; v < n; ++v) out_offsets_[v + 1] += out_offsets_[v];
-  out_edges_.clear();
-  out_edges_.reserve(num_triples_);
-  for (const Triple& t : triples) out_edges_.push_back({t.predicate, t.object});
+  for (size_t v = 0; v < n; ++v) out_offsets[v + 1] += out_offsets[v];
+  std::vector<Edge> out_edges;
+  out_edges.reserve(num_triples_);
+  for (const Triple& t : triples) out_edges.push_back({t.predicate, t.object});
 
   // In-CSR: counting sort by object, then per-vertex sort so each run is
   // ordered by (predicate, neighbor) like before.
-  in_offsets_.assign(n + 1, 0);
-  for (const Triple& t : triples) ++in_offsets_[t.object + 1];
-  for (size_t v = 0; v < n; ++v) in_offsets_[v + 1] += in_offsets_[v];
-  in_edges_.assign(num_triples_, Edge{});
+  std::vector<uint64_t> in_offsets(n + 1, 0);
+  for (const Triple& t : triples) ++in_offsets[t.object + 1];
+  for (size_t v = 0; v < n; ++v) in_offsets[v + 1] += in_offsets[v];
+  std::vector<Edge> in_edges(num_triples_, Edge{});
   {
-    std::vector<size_t> fill(in_offsets_.begin(), in_offsets_.end() - 1);
+    std::vector<uint64_t> fill(in_offsets.begin(), in_offsets.end() - 1);
     for (const Triple& t : triples) {
-      in_edges_[fill[t.object]++] = {t.predicate, t.subject};
+      in_edges[fill[t.object]++] = {t.predicate, t.subject};
     }
   }
   for (size_t v = 0; v < n; ++v) {
-    std::sort(in_edges_.begin() + in_offsets_[v],
-              in_edges_.begin() + in_offsets_[v + 1]);
+    std::sort(in_edges.begin() + in_offsets[v],
+              in_edges.begin() + in_offsets[v + 1]);
   }
 
   max_degree_ = 0;
   for (size_t v = 0; v < n; ++v) {
-    size_t deg = (out_offsets_[v + 1] - out_offsets_[v]) +
-                 (in_offsets_[v + 1] - in_offsets_[v]);
+    size_t deg = (out_offsets[v + 1] - out_offsets[v]) +
+                 (in_offsets[v + 1] - in_offsets[v]);
     max_degree_ = std::max(max_degree_, deg);
   }
 
-  predicates_.clear();
-  for (TermId p = 0; p < predicate_freq_.size(); ++p) {
-    if (predicate_freq_[p] > 0) predicates_.push_back(p);
+  std::vector<TermId> predicates;
+  for (TermId p = 0; p < predicate_freq.size(); ++p) {
+    if (predicate_freq[p] > 0) predicates.push_back(p);
   }
 
   // A vertex is a class iff it is the object of rdf:type or touches
@@ -139,6 +194,13 @@ Status RdfGraph::Finalize() {
       is_class_[t.object] = true;
     }
   }
+
+  out_edges_.Assign(std::move(out_edges));
+  out_offsets_.Assign(std::move(out_offsets));
+  in_edges_.Assign(std::move(in_edges));
+  in_offsets_.Assign(std::move(in_offsets));
+  predicates_.Assign(std::move(predicates));
+  predicate_freq_.Assign(std::move(predicate_freq));
 
   finalized_ = true;
   return Status::Ok();
@@ -258,33 +320,58 @@ std::vector<TermId> RdfGraph::InstancesOf(TermId cls) const {
   return result;
 }
 
-Status RdfGraph::SaveBinary(BinaryWriter* out) const {
+size_t RdfGraph::heap_bytes() const {
+  return dict_.heap_bytes() + out_edges_.heap_bytes() +
+         out_offsets_.heap_bytes() + in_edges_.heap_bytes() +
+         in_offsets_.heap_bytes() + predicates_.heap_bytes() +
+         predicate_freq_.heap_bytes() + is_class_.size() / 8;
+}
+
+size_t RdfGraph::view_bytes() const {
+  return out_edges_.view_bytes() + out_offsets_.view_bytes() +
+         in_edges_.view_bytes() + in_offsets_.view_bytes() +
+         predicates_.view_bytes() + predicate_freq_.view_bytes();
+}
+
+Status RdfGraph::SaveBinary(BinaryWriter* out, bool compressed) const {
   if (!finalized_) {
     return Status::InvalidArgument("SaveBinary requires a finalized graph");
   }
-  dict_.SaveBinary(out);
-  out->WriteU64(num_triples_);
-  out->WriteU64(max_degree_);
-  out->WriteU32(type_pred_);
-  out->WriteU32(subclass_pred_);
-  out->WriteU32(label_pred_);
-  // size_t offsets are written as u64 so the format does not depend on the
-  // host's size_t width.
-  auto write_offsets = [&](const std::vector<size_t>& offsets) {
-    std::vector<uint64_t> v(offsets.begin(), offsets.end());
-    out->WritePodVector(v);
-  };
-  out->WritePodVector(out_edges_);
-  write_offsets(out_offsets_);
-  out->WritePodVector(in_edges_);
-  write_offsets(in_offsets_);
+  if (!compressed) {
+    dict_.SaveBinary(out);
+    out->WriteU64(num_triples_);
+    out->WriteU64(max_degree_);
+    out->WriteU32(type_pred_);
+    out->WriteU32(subclass_pred_);
+    out->WriteU32(label_pred_);
+    out->WritePodSpan(out_edges_.span());
+    out->WritePodSpan(out_offsets_.span());
+    out->WritePodSpan(in_edges_.span());
+    out->WritePodSpan(in_offsets_.span());
+    out->WriteBoolVector(is_class_);
+    out->WritePodSpan(predicates_.span());
+    out->WritePodSpan(predicate_freq_.span());
+    return Status::Ok();
+  }
+  dict_.SaveFrontCoded(out);
+  out->WriteVarint(num_triples_);
+  out->WriteVarint(max_degree_);
+  out->WriteVarint(type_pred_);
+  out->WriteVarint(subclass_pred_);
+  out->WriteVarint(label_pred_);
+  WriteDeltaVarints<uint64_t>(*out, out_offsets_.span());
+  EncodeEdgeRuns(out, out_edges_, out_offsets_);
+  WriteDeltaVarints<uint64_t>(*out, in_offsets_.span());
+  EncodeEdgeRuns(out, in_edges_, in_offsets_);
   out->WriteBoolVector(is_class_);
-  out->WritePodVector(predicates_);
-  write_offsets(predicate_freq_);
+  WriteDeltaVarints<TermId>(*out, predicates_.span());
+  // Frequencies are not sorted; plain varints (they are small counts).
+  out->WriteVarint(predicate_freq_.size());
+  for (uint64_t f : predicate_freq_) out->WriteVarint(f);
   return Status::Ok();
 }
 
-Status RdfGraph::LoadBinary(BinaryReader* in) {
+Status RdfGraph::ReadRaw(BinaryReader* in) {
   GANSWER_RETURN_NOT_OK(dict_.LoadBinary(in));
   uint64_t num_triples = 0, max_degree = 0;
   GANSWER_RETURN_NOT_OK(in->ReadU64(&num_triples));
@@ -292,22 +379,74 @@ Status RdfGraph::LoadBinary(BinaryReader* in) {
   GANSWER_RETURN_NOT_OK(in->ReadU32(&type_pred_));
   GANSWER_RETURN_NOT_OK(in->ReadU32(&subclass_pred_));
   GANSWER_RETURN_NOT_OK(in->ReadU32(&label_pred_));
-  auto read_offsets = [&](std::vector<size_t>* offsets) {
-    std::vector<uint64_t> v;
-    GANSWER_RETURN_NOT_OK(in->ReadPodVector(&v));
-    offsets->assign(v.begin(), v.end());
-    return Status::Ok();
-  };
-  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&out_edges_));
-  GANSWER_RETURN_NOT_OK(read_offsets(&out_offsets_));
-  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&in_edges_));
-  GANSWER_RETURN_NOT_OK(read_offsets(&in_offsets_));
+  GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&out_edges_));
+  GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&out_offsets_));
+  GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&in_edges_));
+  GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&in_offsets_));
   GANSWER_RETURN_NOT_OK(in->ReadBoolVector(&is_class_));
-  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&predicates_));
-  GANSWER_RETURN_NOT_OK(read_offsets(&predicate_freq_));
-
+  GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&predicates_));
+  GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&predicate_freq_));
   num_triples_ = num_triples;
   max_degree_ = max_degree;
+  return Status::Ok();
+}
+
+Status RdfGraph::ReadCompressed(BinaryReader* in) {
+  GANSWER_RETURN_NOT_OK(dict_.LoadFrontCoded(in));
+  uint64_t num_triples = 0, max_degree = 0;
+  uint64_t type_pred = 0, subclass_pred = 0, label_pred = 0;
+  GANSWER_RETURN_NOT_OK(in->ReadVarint(&num_triples));
+  GANSWER_RETURN_NOT_OK(in->ReadVarint(&max_degree));
+  GANSWER_RETURN_NOT_OK(in->ReadVarint(&type_pred));
+  GANSWER_RETURN_NOT_OK(in->ReadVarint(&subclass_pred));
+  GANSWER_RETURN_NOT_OK(in->ReadVarint(&label_pred));
+  if (type_pred >= kInvalidTerm || subclass_pred >= kInvalidTerm ||
+      label_pred >= kInvalidTerm) {
+    return Status::Corruption("well-known predicate id overflow");
+  }
+  type_pred_ = static_cast<TermId>(type_pred);
+  subclass_pred_ = static_cast<TermId>(subclass_pred);
+  label_pred_ = static_cast<TermId>(label_pred);
+
+  std::vector<uint64_t> out_offsets, in_offsets;
+  std::vector<Edge> out_edges, in_edges;
+  GANSWER_RETURN_NOT_OK(ReadDeltaVarints<uint64_t>(*in, &out_offsets));
+  GANSWER_RETURN_NOT_OK(DecodeEdgeRuns(in, out_offsets, &out_edges));
+  GANSWER_RETURN_NOT_OK(ReadDeltaVarints<uint64_t>(*in, &in_offsets));
+  GANSWER_RETURN_NOT_OK(DecodeEdgeRuns(in, in_offsets, &in_edges));
+  GANSWER_RETURN_NOT_OK(in->ReadBoolVector(&is_class_));
+  std::vector<TermId> predicates;
+  GANSWER_RETURN_NOT_OK(ReadDeltaVarints<TermId>(*in, &predicates));
+  uint64_t freq_count = 0;
+  GANSWER_RETURN_NOT_OK(in->ReadVarint(&freq_count));
+  if (freq_count > in->remaining()) {
+    return Status::Corruption("frequency count exceeds remaining bytes");
+  }
+  std::vector<uint64_t> predicate_freq;
+  predicate_freq.reserve(freq_count);
+  for (uint64_t i = 0; i < freq_count; ++i) {
+    uint64_t f = 0;
+    GANSWER_RETURN_NOT_OK(in->ReadVarint(&f));
+    predicate_freq.push_back(f);
+  }
+
+  out_edges_.Assign(std::move(out_edges));
+  out_offsets_.Assign(std::move(out_offsets));
+  in_edges_.Assign(std::move(in_edges));
+  in_offsets_.Assign(std::move(in_offsets));
+  predicates_.Assign(std::move(predicates));
+  predicate_freq_.Assign(std::move(predicate_freq));
+  num_triples_ = num_triples;
+  max_degree_ = max_degree;
+  return Status::Ok();
+}
+
+Status RdfGraph::LoadBinary(BinaryReader* in, bool compressed) {
+  GANSWER_RETURN_NOT_OK(compressed ? ReadCompressed(in) : ReadRaw(in));
+  return ValidateLoaded();
+}
+
+Status RdfGraph::ValidateLoaded() {
   size_t n = out_offsets_.empty() ? 0 : out_offsets_.size() - 1;
   if (n < dict_.size() || out_edges_.size() != num_triples_ ||
       in_edges_.size() != num_triples_) {

@@ -1,20 +1,73 @@
 #include "rdf/signature_index.h"
 
+#include <bit>
+
 #include "common/binary_io.h"
 
 namespace ganswer {
 namespace rdf {
 
-SignatureIndex::SignatureIndex(const RdfGraph& graph) {
-  size_t n = graph.dict().size();
-  out_.assign(n, 0);
-  in_.assign(n, 0);
-  for (TermId v = 0; v < n; ++v) {
-    for (const Edge& e : graph.OutEdges(v)) {
-      out_[v] |= PredicateBit(e.predicate);
-      in_[e.neighbor] |= PredicateBit(e.predicate);
+namespace {
+
+// Compressed signature column: varint vertex count, then per vertex a
+// popcount byte followed by the set bit positions in ascending order. A
+// typical vertex touches a handful of predicates, so this is 1-4 bytes per
+// signature against 8 raw; an empty signature costs one byte.
+void EncodeSignatures(BinaryWriter* out,
+                      std::span<const SignatureIndex::Signature> sigs) {
+  out->WriteVarint(sigs.size());
+  for (uint64_t sig : sigs) {
+    out->WriteU8(static_cast<uint8_t>(std::popcount(sig)));
+    while (sig != 0) {
+      out->WriteU8(static_cast<uint8_t>(std::countr_zero(sig)));
+      sig &= sig - 1;  // clear lowest set bit
     }
   }
+}
+
+Status DecodeSignatures(BinaryReader* in,
+                        std::vector<SignatureIndex::Signature>* out) {
+  uint64_t count = 0;
+  GANSWER_RETURN_NOT_OK(in->ReadVarint(&count));
+  if (count > in->remaining()) {
+    return Status::Corruption("signature count exceeds remaining bytes");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t v = 0; v < count; ++v) {
+    uint8_t bits = 0;
+    GANSWER_RETURN_NOT_OK(in->ReadU8(&bits));
+    if (bits > 64) {
+      return Status::Corruption("signature popcount exceeds width");
+    }
+    uint64_t sig = 0;
+    for (uint8_t i = 0; i < bits; ++i) {
+      uint8_t pos = 0;
+      GANSWER_RETURN_NOT_OK(in->ReadU8(&pos));
+      if (pos >= 64) {
+        return Status::Corruption("signature bit position exceeds width");
+      }
+      sig |= uint64_t{1} << pos;
+    }
+    out->push_back(sig);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+SignatureIndex::SignatureIndex(const RdfGraph& graph) {
+  size_t n = graph.dict().size();
+  std::vector<Signature> out(n, 0);
+  std::vector<Signature> in(n, 0);
+  for (TermId v = 0; v < n; ++v) {
+    for (const Edge& e : graph.OutEdges(v)) {
+      out[v] |= PredicateBit(e.predicate);
+      in[e.neighbor] |= PredicateBit(e.predicate);
+    }
+  }
+  out_.Assign(std::move(out));
+  in_.Assign(std::move(in));
 }
 
 SignatureIndex::Signature SignatureIndex::PredicateBit(TermId p) {
@@ -23,15 +76,29 @@ SignatureIndex::Signature SignatureIndex::PredicateBit(TermId p) {
   return Signature{1} << (h >> 58);
 }
 
-void SignatureIndex::SaveBinary(BinaryWriter* out) const {
-  out->WritePodVector(out_);
-  out->WritePodVector(in_);
+void SignatureIndex::SaveBinary(BinaryWriter* out, bool compressed) const {
+  if (!compressed) {
+    out->WritePodSpan(out_.span());
+    out->WritePodSpan(in_.span());
+    return;
+  }
+  EncodeSignatures(out, out_.span());
+  EncodeSignatures(out, in_.span());
 }
 
-StatusOr<SignatureIndex> SignatureIndex::LoadBinary(BinaryReader* in) {
+StatusOr<SignatureIndex> SignatureIndex::LoadBinary(BinaryReader* in,
+                                                    bool compressed) {
   SignatureIndex index;
-  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&index.out_));
-  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&index.in_));
+  if (!compressed) {
+    GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&index.out_));
+    GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&index.in_));
+  } else {
+    std::vector<Signature> out_sigs, in_sigs;
+    GANSWER_RETURN_NOT_OK(DecodeSignatures(in, &out_sigs));
+    GANSWER_RETURN_NOT_OK(DecodeSignatures(in, &in_sigs));
+    index.out_.Assign(std::move(out_sigs));
+    index.in_.Assign(std::move(in_sigs));
+  }
   if (index.out_.size() != index.in_.size()) {
     return Status::Corruption("signature arrays differ in length");
   }

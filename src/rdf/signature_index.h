@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/pod_column.h"
 #include "common/status.h"
 #include "rdf/rdf_graph.h"
 
@@ -58,17 +59,25 @@ class SignatureIndex {
 
   size_t NumVertices() const { return out_.size(); }
 
-  /// Snapshot serialization: the two per-vertex signature arrays as-is.
-  void SaveBinary(BinaryWriter* out) const;
+  /// Heap / mapped bytes pinned by the signature columns.
+  size_t heap_bytes() const { return out_.heap_bytes() + in_.heap_bytes(); }
+  size_t view_bytes() const { return out_.view_bytes() + in_.view_bytes(); }
+
+  /// Snapshot serialization: the two per-vertex signature arrays as-is
+  /// (zero-copy over an mmap-ed raw section), or — compressed — each
+  /// signature as a popcount byte plus its set bit positions, since most
+  /// vertices touch only a handful of predicates.
+  void SaveBinary(BinaryWriter* out, bool compressed = false) const;
   /// Restores an index previously saved with SaveBinary, skipping the
   /// per-edge rebuild of the graph constructor.
-  static StatusOr<SignatureIndex> LoadBinary(BinaryReader* in);
+  static StatusOr<SignatureIndex> LoadBinary(BinaryReader* in,
+                                             bool compressed = false);
 
  private:
   SignatureIndex() = default;  // empty shell for LoadBinary
 
-  std::vector<Signature> out_;
-  std::vector<Signature> in_;
+  PodColumn<Signature> out_;
+  PodColumn<Signature> in_;
 };
 
 }  // namespace rdf

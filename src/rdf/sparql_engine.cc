@@ -7,6 +7,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/search.h"
 #include "rdf/sparql_parser.h"
 
 namespace ganswer {
@@ -150,7 +151,8 @@ SparqlEngine::SparqlEngine(const RdfGraph& graph, Options options)
   // adjacency is sorted by (predicate, neighbor), each predicate's pairs
   // come out sorted by (s, o) in PSO resp. (o, s) in POS — no hashing, no
   // comparison sort, and edge-less terms (literals) cost one empty span.
-  slot_predicate_ = graph.Predicates();
+  auto predicates = graph.Predicates();
+  slot_predicate_.assign(predicates.begin(), predicates.end());
   std::sort(slot_predicate_.begin(), slot_predicate_.end());
   const size_t num_slots = slot_predicate_.size();
   pred_slot_.assign(graph.NumTerms(), kNoSlot);
@@ -315,7 +317,7 @@ StatusOr<std::vector<std::vector<TermId>>> SparqlEngine::EvaluateBgp(
         // Binary search to the predicate run instead of filtering the
         // whole adjacency list.
         ++local_range;
-        auto it = std::lower_bound(edges.begin(), edges.end(), Edge{p, 0});
+        auto it = BranchlessLowerBound(edges.begin(), edges.end(), Edge{p, 0});
         for (; it != edges.end() && it->predicate == p; ++it) {
           ++local_bind;
           if (!fn(s, p, it->neighbor)) return;
@@ -337,7 +339,7 @@ StatusOr<std::vector<std::vector<TermId>>> SparqlEngine::EvaluateBgp(
         // larger than the POS group the same probe would search.
         ++local_range;
         auto edges = graph_.InEdges(o);
-        auto it = std::lower_bound(edges.begin(), edges.end(), Edge{p, 0});
+        auto it = BranchlessLowerBound(edges.begin(), edges.end(), Edge{p, 0});
         for (; it != edges.end() && it->predicate == p; ++it) {
           ++local_bind;
           if (!fn(it->neighbor, p, o)) return;
@@ -465,13 +467,16 @@ StatusOr<std::vector<std::vector<TermId>>> SparqlEngine::EvaluateBgp(
     const auto* ib = sb->begin;
     while (ia != sa->end && ib != sb->end && !done) {
       if (ia->first < ib->first) {
-        ia = std::lower_bound(ia, sa->end,
-                              std::pair<TermId, TermId>{ib->first, 0}, cmp);
+        // The next matching key is usually a few entries ahead, so gallop:
+        // exponential probe + branchless binary search inside the bracket
+        // beats a full-width lower_bound on long permutation runs.
+        ia = GallopingLowerBound(ia, sa->end,
+                                 std::pair<TermId, TermId>{ib->first, 0}, cmp);
         continue;
       }
       if (ib->first < ia->first) {
-        ib = std::lower_bound(ib, sb->end,
-                              std::pair<TermId, TermId>{ia->first, 0}, cmp);
+        ib = GallopingLowerBound(ib, sb->end,
+                                 std::pair<TermId, TermId>{ia->first, 0}, cmp);
         continue;
       }
       TermId k = ia->first;
@@ -551,12 +556,15 @@ StatusOr<SparqlResult> SparqlEngine::Execute(const SparqlQuery& query) const {
     }
     bool desc = query.order_by->descending;
     const TermDictionary& dict = graph_.dict();
-    auto sort_key = [&](TermId t) -> std::pair<double, const std::string*> {
-      const std::string& text = dict.text(t);
+    auto sort_key = [&](TermId t) -> std::pair<double, std::string_view> {
+      std::string_view text = dict.text(t);
+      // The arena view is not NUL-terminated; strtod needs a terminated
+      // copy (ORDER BY keys are short literals).
+      std::string buf(text);
       char* end = nullptr;
-      double num = std::strtod(text.c_str(), &end);
-      bool numeric = end != text.c_str() && *end == '\0';
-      return {numeric ? num : std::numeric_limits<double>::quiet_NaN(), &text};
+      double num = std::strtod(buf.c_str(), &end);
+      bool numeric = end != buf.c_str() && *end == '\0';
+      return {numeric ? num : std::numeric_limits<double>::quiet_NaN(), text};
     };
     std::stable_sort(result.rows.begin(), result.rows.end(),
                      [&](const std::vector<TermId>& a,
@@ -564,8 +572,8 @@ StatusOr<SparqlResult> SparqlEngine::Execute(const SparqlQuery& query) const {
                        auto [na, ta] = sort_key(a[col]);
                        auto [nb, tb] = sort_key(b[col]);
                        bool both_numeric = na == na && nb == nb;  // !NaN
-                       bool less = both_numeric ? na < nb : *ta < *tb;
-                       bool greater = both_numeric ? nb < na : *tb < *ta;
+                       bool less = both_numeric ? na < nb : ta < tb;
+                       bool greater = both_numeric ? nb < na : tb < ta;
                        return desc ? greater : less;
                      });
   }

@@ -1,5 +1,7 @@
 #include "rdf/term_dictionary.h"
 
+#include <algorithm>
+
 #include "common/binary_io.h"
 
 namespace ganswer {
@@ -23,9 +25,18 @@ TermId TermDictionary::Intern(std::string_view text, TermKind kind) {
   std::string key = IndexKey(text, kind);
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;
-  TermId id = static_cast<TermId>(texts_.size());
-  texts_.emplace_back(text);
-  kinds_.push_back(kind);
+  TermId id = static_cast<TermId>(size());
+  // Interning migrates mmap-backed columns to owned storage first. Append
+  // from the key (which embeds a copy of the text) rather than from the
+  // caller's view: the view may alias this very arena, which is about to
+  // reallocate.
+  std::vector<char>& arena = arena_.owned();
+  arena.insert(arena.end(), key.begin() + 1, key.end());
+  arena_.Publish();
+  offsets_.owned().push_back(arena.size());
+  offsets_.Publish();
+  kinds_.owned().push_back(static_cast<uint8_t>(kind));
+  kinds_.Publish();
   index_.emplace(std::move(key), id);
   return id;
 }
@@ -38,61 +49,138 @@ std::optional<TermId> TermDictionary::Lookup(std::string_view text,
 }
 
 void TermDictionary::SaveBinary(BinaryWriter* out) const {
-  std::vector<uint64_t> offsets;
-  offsets.reserve(texts_.size() + 1);
-  uint64_t total = 0;
-  offsets.push_back(0);
-  for (const std::string& t : texts_) {
-    total += t.size();
-    offsets.push_back(total);
-  }
-  out->WritePodVector(offsets);
-  std::string arena;
-  arena.reserve(total);
-  for (const std::string& t : texts_) arena += t;
-  out->WriteString(arena);
-  std::vector<uint8_t> kinds(kinds_.size());
-  for (size_t i = 0; i < kinds_.size(); ++i) {
-    kinds[i] = static_cast<uint8_t>(kinds_[i]);
-  }
-  out->WritePodVector(kinds);
+  out->WritePodSpan(offsets_.span());
+  out->WriteString(std::string_view(arena_.data(), arena_.size()));
+  out->WritePodSpan(kinds_.span());
 }
 
 Status TermDictionary::LoadBinary(BinaryReader* in) {
-  std::vector<uint64_t> offsets;
-  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&offsets));
-  std::string_view arena;
-  GANSWER_RETURN_NOT_OK(in->ReadStringView(&arena));
-  std::vector<uint8_t> kinds;
-  GANSWER_RETURN_NOT_OK(in->ReadPodVector(&kinds));
-  if (offsets.empty() || offsets.front() != 0 ||
-      offsets.back() != arena.size() || kinds.size() + 1 != offsets.size()) {
+  GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&offsets_));
+  // The arena is a length-prefixed byte run — identical layout to a pod
+  // column of char, so the column read applies and stays zero-copy under an
+  // mmap-backed reader.
+  GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&arena_));
+  GANSWER_RETURN_NOT_OK(in->ReadPodColumn(&kinds_));
+  return RebuildIndex();
+}
+
+Status TermDictionary::RebuildIndex() {
+  if (offsets_.empty() || offsets_.front() != 0 ||
+      offsets_.back() != arena_.size() ||
+      kinds_.size() + 1 != offsets_.size()) {
     return Status::Corruption("term dictionary arena/offset mismatch");
   }
-  size_t n = kinds.size();
-  texts_.clear();
-  texts_.reserve(n);
-  kinds_.resize(n);
+  size_t n = kinds_.size();
   index_.clear();
   index_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    if (offsets[i] > offsets[i + 1]) {
+    if (offsets_[i] > offsets_[i + 1]) {
       return Status::Corruption("term dictionary offsets not monotone");
     }
-    if (kinds[i] > static_cast<uint8_t>(TermKind::kLiteral)) {
+    if (kinds_[i] > static_cast<uint8_t>(TermKind::kLiteral)) {
       return Status::Corruption("term dictionary bad term kind");
     }
-    std::string_view text = arena.substr(offsets[i], offsets[i + 1] - offsets[i]);
-    kinds_[i] = static_cast<TermKind>(kinds[i]);
-    texts_.emplace_back(text);
-    auto [it, inserted] =
-        index_.emplace(IndexKey(text, kinds_[i]), static_cast<TermId>(i));
+    std::string_view t = text(static_cast<TermId>(i));
+    auto [it, inserted] = index_.emplace(
+        IndexKey(t, static_cast<TermKind>(kinds_[i])), static_cast<TermId>(i));
     if (!inserted) {
       return Status::Corruption("term dictionary duplicate term '" +
-                                std::string(text) + "'");
+                                std::string(t) + "'");
     }
   }
   return Status::Ok();
+}
+
+void TermDictionary::SaveFrontCoded(BinaryWriter* out) const {
+  size_t n = size();
+  out->WriteVarint(n);
+  std::vector<bool> literal(n);
+  for (size_t i = 0; i < n; ++i) {
+    literal[i] = kinds_[i] == static_cast<uint8_t>(TermKind::kLiteral);
+  }
+  out->WriteBoolVector(literal);
+
+  // Blocks are encoded into a scratch writer first so the sparse directory
+  // of block offsets can precede the blob (the directory is tiny: one entry
+  // per kFrontCodingBlock terms).
+  BinaryWriter blob;
+  std::vector<uint64_t> directory;
+  for (size_t i = 0; i < n; ++i) {
+    std::string_view cur = text(static_cast<TermId>(i));
+    if (i % kFrontCodingBlock == 0) {
+      directory.push_back(blob.size());
+      blob.WriteString(cur);
+      continue;
+    }
+    std::string_view prev = text(static_cast<TermId>(i - 1));
+    size_t max_lcp = std::min(cur.size(), prev.size());
+    size_t lcp = 0;
+    while (lcp < max_lcp && cur[lcp] == prev[lcp]) ++lcp;
+    blob.WriteVarint(lcp);
+    blob.WriteString(cur.substr(lcp));
+  }
+  WriteDeltaVarints<uint64_t>(*out, directory);
+  out->WriteString(blob.buffer());
+}
+
+Status TermDictionary::LoadFrontCoded(BinaryReader* in) {
+  uint64_t n = 0;
+  GANSWER_RETURN_NOT_OK(in->ReadVarint(&n));
+  std::vector<bool> literal;
+  GANSWER_RETURN_NOT_OK(in->ReadBoolVector(&literal));
+  if (literal.size() != n) {
+    return Status::Corruption("front-coded dictionary kind bitmap mismatch");
+  }
+  std::vector<uint64_t> directory;
+  GANSWER_RETURN_NOT_OK(ReadDeltaVarints<uint64_t>(*in, &directory));
+  std::string_view blob_bytes;
+  GANSWER_RETURN_NOT_OK(in->ReadStringView(&blob_bytes));
+  size_t expected_blocks = (n + kFrontCodingBlock - 1) / kFrontCodingBlock;
+  if (directory.size() != expected_blocks) {
+    return Status::Corruption("front-coded dictionary directory mismatch");
+  }
+
+  std::vector<char> arena;
+  std::vector<uint64_t> offsets;
+  offsets.reserve(n + 1);
+  offsets.push_back(0);
+  std::vector<uint8_t> kinds;
+  kinds.reserve(n);
+  BinaryReader blob(blob_bytes);
+  std::string prev;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (i % kFrontCodingBlock == 0) {
+      // The directory pins each block's start; a decoder that drifted off
+      // (or a doctored directory) is corruption, and the check is what
+      // makes the directory trustworthy for O(block) random access.
+      if (blob_bytes.size() - blob.remaining() !=
+          directory[i / kFrontCodingBlock]) {
+        return Status::Corruption("front-coded block directory out of sync");
+      }
+      GANSWER_RETURN_NOT_OK(blob.ReadString(&prev));
+    } else {
+      uint64_t lcp = 0;
+      GANSWER_RETURN_NOT_OK(blob.ReadVarint(&lcp));
+      if (lcp > prev.size()) {
+        return Status::Corruption("front-coded prefix longer than base term");
+      }
+      std::string_view suffix;
+      GANSWER_RETURN_NOT_OK(blob.ReadStringView(&suffix));
+      prev.resize(lcp);
+      prev.append(suffix);
+    }
+    arena.insert(arena.end(), prev.begin(), prev.end());
+    offsets.push_back(arena.size());
+    kinds.push_back(static_cast<uint8_t>(literal[i] ? TermKind::kLiteral
+                                                    : TermKind::kIri));
+  }
+  if (!blob.AtEnd()) {
+    return Status::Corruption("front-coded dictionary trailing bytes");
+  }
+  arena_.Assign(std::move(arena));
+  offsets_.Assign(std::move(offsets));
+  kinds_.Assign(std::move(kinds));
+  return RebuildIndex();
 }
 
 std::optional<TermId> TermDictionary::LookupAny(std::string_view text) const {

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/pod_column.h"
 #include "common/status.h"
 
 namespace ganswer {
@@ -33,9 +34,14 @@ enum class TermKind : uint8_t { kIri = 0, kLiteral = 1 };
 /// All triples in an RdfGraph are dictionary-encoded: parsing interns each
 /// subject/predicate/object once and the engine works on dense uint32 ids,
 /// in the style of every disk-based RDF store (RDF-3X, gStore, Virtuoso).
+///
+/// Term texts live in one contiguous arena addressed by an offset column;
+/// both are PodColumns, so a dictionary loaded from an mmap-ed snapshot
+/// serves text() straight out of the file mapping. Interning after such a
+/// load first migrates the columns to owned storage.
 class TermDictionary {
  public:
-  TermDictionary() = default;
+  TermDictionary() { offsets_.Assign({0}); }
 
   // Movable, not copyable: the dictionary backs id stability for a graph.
   TermDictionary(const TermDictionary&) = delete;
@@ -56,25 +62,55 @@ class TermDictionary {
   /// Id of a term with \p text of either kind, preferring the IRI.
   std::optional<TermId> LookupAny(std::string_view text) const;
 
-  /// Text of term \p id. \p id must be valid.
-  const std::string& text(TermId id) const { return texts_[id]; }
+  /// Text of term \p id. \p id must be valid. The view is stable for the
+  /// life of the dictionary (or its backing snapshot mapping) as long as no
+  /// further Intern happens.
+  std::string_view text(TermId id) const {
+    return std::string_view(arena_.data() + offsets_[id],
+                            offsets_[id + 1] - offsets_[id]);
+  }
 
-  TermKind kind(TermId id) const { return kinds_[id]; }
-  bool IsLiteral(TermId id) const { return kinds_[id] == TermKind::kLiteral; }
+  TermKind kind(TermId id) const { return static_cast<TermKind>(kinds_[id]); }
+  bool IsLiteral(TermId id) const {
+    return kinds_[id] == static_cast<uint8_t>(TermKind::kLiteral);
+  }
 
   /// Number of interned terms; valid ids are [0, size()).
-  size_t size() const { return texts_.size(); }
+  size_t size() const { return kinds_.size(); }
+
+  /// Heap bytes pinned by the text storage (0 when fully mmap-backed; the
+  /// hash index always lives on the heap and is reported separately by the
+  /// snapshot accounting).
+  size_t heap_bytes() const {
+    return arena_.heap_bytes() + offsets_.heap_bytes() + kinds_.heap_bytes();
+  }
 
   /// Snapshot serialization: one contiguous string arena + an offset array
   /// + the kind array, so the matching load is three bulk reads.
   void SaveBinary(BinaryWriter* out) const;
   /// Replaces the contents with a previously saved dictionary. Term ids are
   /// preserved exactly; the lookup index is rebuilt in one reserving pass.
+  /// When the reader allows views, the arena/offset/kind columns stay
+  /// zero-copy over the input bytes.
   Status LoadBinary(BinaryReader* in);
 
+  /// Front-coded serialization for compressed snapshot sections: terms are
+  /// grouped into blocks of kFrontCodingBlock; each block stores its first
+  /// term in full and every following term as (shared-prefix length, suffix)
+  /// — consecutive term texts share long prefixes because IRIs interned from
+  /// the same namespace sort near each other in id order. A delta-varint
+  /// directory of block offsets gives O(block) random access to the blob.
+  void SaveFrontCoded(BinaryWriter* out) const;
+  Status LoadFrontCoded(BinaryReader* in);
+
+  static constexpr size_t kFrontCodingBlock = 16;
+
  private:
-  std::vector<std::string> texts_;
-  std::vector<TermKind> kinds_;
+  Status RebuildIndex();
+
+  PodColumn<char> arena_;
+  PodColumn<uint64_t> offsets_;  // size()+1 entries; offsets_[0] == 0
+  PodColumn<uint8_t> kinds_;
   std::unordered_map<std::string, TermId> index_;
 };
 

@@ -74,7 +74,10 @@ QaService::~QaService() { Shutdown(); }
 
 Status QaService::Start() {
   WallTimer timer;
-  auto snapshot = store::ReadSnapshotFile(options_.snapshot_path, &lexicon_);
+  auto snapshot = store::ReadSnapshotFile(
+      options_.snapshot_path, &lexicon_,
+      options_.mmap_load ? store::SnapshotLoadMode::kMmap
+                         : store::SnapshotLoadMode::kRead);
   if (!snapshot.ok()) return snapshot.status();
   snapshot_ = std::move(snapshot).value();
   double load_ms = timer.ElapsedMillis();
@@ -109,7 +112,8 @@ Status QaService::Start() {
   started_ = true;
   GANSWER_LOG(Info) << "qa service up: " << snapshot_.graph->NumTriples()
                     << " triples, snapshot " << options_.snapshot_path
-                    << " loaded in " << load_ms << " ms, "
+                    << (options_.mmap_load ? " mapped" : " read")
+                    << " in " << load_ms << " ms, "
                     << pool_->size() << " worker(s), max queue "
                     << options_.max_queue;
   return Status::Ok();
@@ -268,6 +272,16 @@ void QaService::HandleStats(const HttpServer::ResponseWriter& writer) {
   w.Field("connections_active", http_->active_connections())
       .Field("connections_accepted", http_->connections_accepted())
       .Field("requests_in_flight", http_->requests_in_flight())
+      .EndObject();
+  w.Key("storage").BeginObject();
+  w.Field("mode", snapshot_.mapping ? "mmap" : "read")
+      .Field("file_bytes",
+             static_cast<int64_t>(snapshot_.mapping ? snapshot_.mapping->size()
+                                                    : 0))
+      .Field("mapped_bytes",
+             static_cast<int64_t>(snapshot_.column_mapped_bytes()))
+      .Field("heap_bytes",
+             static_cast<int64_t>(snapshot_.column_heap_bytes()))
       .EndObject();
   const rdf::GraphStats& graph_stats = engine_->stats();
   w.Key("graph").BeginObject();

@@ -52,6 +52,11 @@ class QaService {
     /// Snapshot container written by store::WriteSnapshotFile (or the
     /// `snapshot_server build` / `qa_httpd` tooling).
     std::string snapshot_path;
+    /// Map the snapshot instead of reading it: raw sections are served
+    /// zero-copy out of the file mapping, so startup skips the bulk copy
+    /// and resident memory only grows with the pages queries touch.
+    /// Compressed sections still decode onto the heap.
+    bool mmap_load = false;
     std::string bind_address = "127.0.0.1";
     /// 0 picks an ephemeral port (tests); read back via port().
     int port = 8080;

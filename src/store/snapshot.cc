@@ -14,8 +14,11 @@ namespace {
 
 // Layout:
 //   magic(8) | byte-order mark u32 | version u32 | section count u32
-//   section table: per section { id u32, offset u64, size u64, crc32 u32 }
-//   section payloads (offsets are absolute, payloads contiguous)
+//   section table, one entry per section:
+//     v1/v2: { id u32, offset u64, size u64, crc32 u32 }
+//     v3:    { id u32, encoding u32, offset u64, size u64, crc32 u32 }
+//   section payloads (offsets are absolute, payloads contiguous; v3 payloads
+//   start on 8-byte boundaries so raw pod arrays are mappable in place)
 // The fingerprint is the CRC32 of the section table, i.e. of all section
 // CRCs — a cheap stable identity for the whole container.
 constexpr char kMagic[8] = {'G', 'A', 'N', 'S', 'S', 'N', 'A', 'P'};
@@ -31,10 +34,18 @@ enum SectionId : uint32_t {
 
 struct SectionEntry {
   uint32_t id = 0;
+  SectionEncoding encoding = SectionEncoding::kRaw;
   uint64_t offset = 0;
   uint64_t size = 0;
   uint32_t crc = 0;
 };
+
+size_t TableEntrySize(uint32_t version) {
+  size_t base = sizeof(uint32_t) + 2 * sizeof(uint64_t) + sizeof(uint32_t);
+  return version >= 3 ? base + sizeof(uint32_t) : base;
+}
+
+constexpr size_t kNumSections = 5;
 
 }  // namespace
 
@@ -42,74 +53,103 @@ Status WriteSnapshot(const rdf::RdfGraph& graph,
                      const rdf::SignatureIndex& signatures,
                      const linking::EntityIndex& entity_index,
                      const paraphrase::ParaphraseDictionary& dict,
-                     std::string* out, SnapshotStats* stats) {
+                     std::string* out, SnapshotStats* stats,
+                     const SnapshotWriteOptions& options) {
   if (out == nullptr) return Status::InvalidArgument("null output");
   if (!graph.finalized()) {
     return Status::InvalidArgument("snapshot requires a finalized graph");
   }
+  if (options.version < 2 || options.version > kSnapshotVersion) {
+    return Status::InvalidArgument("unwritable snapshot version " +
+                                   std::to_string(options.version));
+  }
+  const bool v3 = options.version >= 3;
+  if (options.compress && !v3) {
+    return Status::InvalidArgument(
+        "compressed sections require snapshot version 3");
+  }
 
-  std::vector<std::pair<uint32_t, std::string>> sections;
+  // The whole container is assembled in one writer: header, a zeroed
+  // section table, then each payload appended directly. CRCs are taken over
+  // the payload's final resting place and back-patched into the table, so
+  // no section is ever staged in a side buffer (peak memory is the
+  // container, not the container plus its largest section).
+  BinaryWriter w;
+  w.set_aligned(v3);
+  w.WriteBytes(std::string_view(kMagic, sizeof(kMagic)));
+  w.WriteU32(kByteOrderMark);
+  w.WriteU32(options.version);
+  w.WriteU32(kNumSections);
+  const size_t entry_size = TableEntrySize(options.version);
+  const size_t table_start = w.size();
+  w.WriteZeros(kNumSections * entry_size);
+
+  size_t section_sizes[kNumSections] = {};
+  size_t section_index = 0;
+  auto begin_section = [&]() {
+    if (v3) w.AlignTo(8);
+    return w.size();
+  };
+  auto end_section = [&](uint32_t id, SectionEncoding encoding,
+                         size_t offset) {
+    size_t size = w.size() - offset;
+    uint32_t crc = Crc32(w.buffer().data() + offset, size);
+    size_t at = table_start + section_index * entry_size;
+    w.PatchU32(at, id);
+    at += sizeof(uint32_t);
+    if (v3) {
+      w.PatchU32(at, static_cast<uint32_t>(encoding));
+      at += sizeof(uint32_t);
+    }
+    w.PatchU64(at, offset);
+    w.PatchU64(at + sizeof(uint64_t), size);
+    w.PatchU32(at + 2 * sizeof(uint64_t), crc);
+    section_sizes[section_index] = size;
+    ++section_index;
+  };
+  SectionEncoding packed = options.compress ? SectionEncoding::kCompressed
+                                            : SectionEncoding::kRaw;
+
   {
-    BinaryWriter w;
-    GANSWER_RETURN_NOT_OK(graph.SaveBinary(&w));
-    sections.emplace_back(kGraphSection, w.Release());
+    size_t offset = begin_section();
+    GANSWER_RETURN_NOT_OK(graph.SaveBinary(&w, options.compress));
+    end_section(kGraphSection, packed, offset);
   }
   {
-    BinaryWriter w;
-    signatures.SaveBinary(&w);
-    sections.emplace_back(kSignatureSection, w.Release());
+    size_t offset = begin_section();
+    signatures.SaveBinary(&w, options.compress);
+    end_section(kSignatureSection, packed, offset);
   }
   {
-    BinaryWriter w;
-    entity_index.SaveBinary(&w);
-    sections.emplace_back(kEntityIndexSection, w.Release());
+    size_t offset = begin_section();
+    entity_index.SaveBinary(&w, options.compress);
+    end_section(kEntityIndexSection, packed, offset);
   }
   {
-    BinaryWriter w;
+    size_t offset = begin_section();
     dict.SaveBinary(&w);
-    sections.emplace_back(kDictionarySection, w.Release());
+    end_section(kDictionarySection, SectionEncoding::kRaw, offset);
   }
   {
     // Statistics are a deterministic O(V + E) function of the graph, so the
     // writer always recomputes them rather than taking them as input —
     // a snapshot can never carry statistics from a different graph.
-    BinaryWriter w;
-    GANSWER_RETURN_NOT_OK(rdf::GraphStats::Compute(graph).SaveBinary(&w));
-    sections.emplace_back(kStatsSection, w.Release());
+    size_t offset = begin_section();
+    GANSWER_RETURN_NOT_OK(
+        rdf::GraphStats::Compute(graph).SaveBinary(&w, options.compress));
+    end_section(kStatsSection, packed, offset);
   }
 
-  size_t header_size = sizeof(kMagic) + 3 * sizeof(uint32_t) +
-                       sections.size() * (sizeof(uint32_t) + 2 * sizeof(uint64_t) +
-                                          sizeof(uint32_t));
-  BinaryWriter table;
-  uint64_t offset = header_size;
-  for (const auto& [id, payload] : sections) {
-    table.WriteU32(id);
-    table.WriteU64(offset);
-    table.WriteU64(payload.size());
-    table.WriteU32(Crc32(payload.data(), payload.size()));
-    offset += payload.size();
-  }
   uint64_t fingerprint =
-      Crc32(table.buffer().data(), table.buffer().size());
-
-  out->clear();
-  out->reserve(offset);
-  out->append(kMagic, sizeof(kMagic));
-  BinaryWriter fixed;
-  fixed.WriteU32(kByteOrderMark);
-  fixed.WriteU32(kSnapshotVersion);
-  fixed.WriteU32(static_cast<uint32_t>(sections.size()));
-  out->append(fixed.buffer());
-  out->append(table.buffer());
-  for (const auto& [id, payload] : sections) out->append(payload);
+      Crc32(w.buffer().data() + table_start, kNumSections * entry_size);
+  *out = w.Release();
 
   if (stats != nullptr) {
-    stats->graph_bytes = sections[0].second.size();
-    stats->signature_bytes = sections[1].second.size();
-    stats->entity_index_bytes = sections[2].second.size();
-    stats->dictionary_bytes = sections[3].second.size();
-    stats->stats_bytes = sections[4].second.size();
+    stats->graph_bytes = section_sizes[0];
+    stats->signature_bytes = section_sizes[1];
+    stats->entity_index_bytes = section_sizes[2];
+    stats->dictionary_bytes = section_sizes[3];
+    stats->stats_bytes = section_sizes[4];
     stats->total_bytes = out->size();
     stats->fingerprint = fingerprint;
   }
@@ -118,20 +158,23 @@ Status WriteSnapshot(const rdf::RdfGraph& graph,
 
 Status WriteSnapshot(const rdf::RdfGraph& graph,
                      const paraphrase::ParaphraseDictionary& dict,
-                     std::string* out, SnapshotStats* stats) {
+                     std::string* out, SnapshotStats* stats,
+                     const SnapshotWriteOptions& options) {
   if (!graph.finalized()) {
     return Status::InvalidArgument("snapshot requires a finalized graph");
   }
   rdf::SignatureIndex signatures(graph);
   linking::EntityIndex entity_index(graph);
-  return WriteSnapshot(graph, signatures, entity_index, dict, out, stats);
+  return WriteSnapshot(graph, signatures, entity_index, dict, out, stats,
+                       options);
 }
 
 Status WriteSnapshotFile(const rdf::RdfGraph& graph,
                          const paraphrase::ParaphraseDictionary& dict,
-                         const std::string& path, SnapshotStats* stats) {
+                         const std::string& path, SnapshotStats* stats,
+                         const SnapshotWriteOptions& options) {
   std::string bytes;
-  GANSWER_RETURN_NOT_OK(WriteSnapshot(graph, dict, &bytes, stats));
+  GANSWER_RETURN_NOT_OK(WriteSnapshot(graph, dict, &bytes, stats, options));
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open '" + path + "' for writing");
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
@@ -140,8 +183,14 @@ Status WriteSnapshotFile(const rdf::RdfGraph& graph,
   return Status::Ok();
 }
 
-StatusOr<Snapshot> ReadSnapshot(std::string_view bytes,
-                                const nlp::Lexicon* lexicon) {
+namespace {
+
+// The shared loader. \p views_allowed is only set for mmap-backed callers,
+// which pin the byte range in the returned Snapshot; the in-memory
+// ReadSnapshot always copies.
+StatusOr<Snapshot> ReadSnapshotImpl(std::string_view bytes,
+                                    const nlp::Lexicon* lexicon,
+                                    bool views_allowed) {
   if (lexicon == nullptr) return Status::InvalidArgument("null lexicon");
   if (bytes.size() < sizeof(kMagic) ||
       std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
@@ -166,9 +215,9 @@ StatusOr<Snapshot> ReadSnapshot(std::string_view bytes,
     return Status::Corruption("implausible snapshot section count");
   }
 
+  const bool v3 = version >= 3;
   size_t table_start = sizeof(kMagic) + 3 * sizeof(uint32_t);
-  size_t table_bytes =
-      section_count * (sizeof(uint32_t) + 2 * sizeof(uint64_t) + sizeof(uint32_t));
+  size_t table_bytes = section_count * TableEntrySize(version);
   if (bytes.size() < table_start + table_bytes) {
     return Status::Corruption("truncated snapshot section table");
   }
@@ -177,13 +226,22 @@ StatusOr<Snapshot> ReadSnapshot(std::string_view bytes,
   std::vector<SectionEntry> table(section_count);
   for (SectionEntry& entry : table) {
     GANSWER_RETURN_NOT_OK(header.ReadU32(&entry.id));
+    if (v3) {
+      uint32_t encoding = 0;
+      GANSWER_RETURN_NOT_OK(header.ReadU32(&encoding));
+      if (encoding > static_cast<uint32_t>(SectionEncoding::kCompressed)) {
+        return Status::Corruption("snapshot section has unknown encoding " +
+                                  std::to_string(encoding));
+      }
+      entry.encoding = static_cast<SectionEncoding>(encoding);
+    }
     GANSWER_RETURN_NOT_OK(header.ReadU64(&entry.offset));
     GANSWER_RETURN_NOT_OK(header.ReadU64(&entry.size));
     GANSWER_RETURN_NOT_OK(header.ReadU32(&entry.crc));
   }
 
-  auto find_section = [&](uint32_t id,
-                          std::string_view* payload) -> Status {
+  auto find_section = [&](uint32_t id, std::string_view* payload,
+                          SectionEncoding* encoding) -> Status {
     for (const SectionEntry& entry : table) {
       if (entry.id != id) continue;
       if (entry.offset > bytes.size() ||
@@ -191,32 +249,49 @@ StatusOr<Snapshot> ReadSnapshot(std::string_view bytes,
         return Status::Corruption("snapshot section " + std::to_string(id) +
                                   " out of bounds");
       }
+      if (v3 && entry.offset % 8 != 0) {
+        return Status::Corruption("snapshot section " + std::to_string(id) +
+                                  " payload misaligned");
+      }
       *payload = bytes.substr(entry.offset, entry.size);
       if (Crc32(payload->data(), payload->size()) != entry.crc) {
         return Status::Corruption("snapshot section " + std::to_string(id) +
                                   " checksum mismatch");
       }
+      *encoding = entry.encoding;
       return Status::Ok();
     }
     return Status::Corruption("snapshot section " + std::to_string(id) +
                               " missing");
+  };
+  auto section_reader = [&](std::string_view payload,
+                            SectionEncoding encoding) {
+    BinaryReader r(payload);
+    r.set_aligned(v3);
+    // Views only make sense for raw payloads out of a pinned mapping;
+    // compressed sections decode into heap buffers regardless.
+    r.set_views_allowed(views_allowed && encoding == SectionEncoding::kRaw);
+    return r;
   };
 
   Snapshot snapshot;
   snapshot.fingerprint = fingerprint;
 
   std::string_view payload;
-  GANSWER_RETURN_NOT_OK(find_section(kGraphSection, &payload));
+  SectionEncoding encoding = SectionEncoding::kRaw;
+  GANSWER_RETURN_NOT_OK(find_section(kGraphSection, &payload, &encoding));
   snapshot.graph = std::make_unique<rdf::RdfGraph>();
   {
-    BinaryReader r(payload);
-    GANSWER_RETURN_NOT_OK(snapshot.graph->LoadBinary(&r));
+    BinaryReader r = section_reader(payload, encoding);
+    GANSWER_RETURN_NOT_OK(snapshot.graph->LoadBinary(
+        &r, encoding == SectionEncoding::kCompressed));
   }
 
-  GANSWER_RETURN_NOT_OK(find_section(kSignatureSection, &payload));
+  GANSWER_RETURN_NOT_OK(find_section(kSignatureSection, &payload, &encoding));
   {
-    BinaryReader r(payload);
-    auto signatures = rdf::SignatureIndex::LoadBinary(&r);
+    BinaryReader r = section_reader(payload, encoding);
+    auto signatures = rdf::SignatureIndex::LoadBinary(
+        &r, encoding == SectionEncoding::kCompressed);
     if (!signatures.ok()) return signatures.status();
     if (signatures->NumVertices() != snapshot.graph->dict().size()) {
       return Status::Corruption("signature index size does not match graph");
@@ -225,28 +300,31 @@ StatusOr<Snapshot> ReadSnapshot(std::string_view bytes,
         std::make_unique<rdf::SignatureIndex>(std::move(signatures).value());
   }
 
-  GANSWER_RETURN_NOT_OK(find_section(kEntityIndexSection, &payload));
+  GANSWER_RETURN_NOT_OK(
+      find_section(kEntityIndexSection, &payload, &encoding));
   {
-    BinaryReader r(payload);
-    auto index = linking::EntityIndex::LoadBinary(*snapshot.graph, &r);
+    BinaryReader r = section_reader(payload, encoding);
+    auto index = linking::EntityIndex::LoadBinary(
+        *snapshot.graph, &r, encoding == SectionEncoding::kCompressed);
     if (!index.ok()) return index.status();
     snapshot.entity_index = std::move(index).value();
   }
 
-  GANSWER_RETURN_NOT_OK(find_section(kDictionarySection, &payload));
+  GANSWER_RETURN_NOT_OK(find_section(kDictionarySection, &payload, &encoding));
   snapshot.dictionary =
       std::make_unique<paraphrase::ParaphraseDictionary>(lexicon);
   {
-    BinaryReader r(payload);
+    BinaryReader r = section_reader(payload, encoding);
     GANSWER_RETURN_NOT_OK(snapshot.dictionary->LoadBinary(
         &r, snapshot.graph->dict().size()));
   }
 
   snapshot.stats = std::make_unique<rdf::GraphStats>();
   if (version >= 2) {
-    GANSWER_RETURN_NOT_OK(find_section(kStatsSection, &payload));
-    BinaryReader r(payload);
-    GANSWER_RETURN_NOT_OK(snapshot.stats->LoadBinary(&r));
+    GANSWER_RETURN_NOT_OK(find_section(kStatsSection, &payload, &encoding));
+    BinaryReader r = section_reader(payload, encoding);
+    GANSWER_RETURN_NOT_OK(snapshot.stats->LoadBinary(
+        &r, encoding == SectionEncoding::kCompressed));
   } else {
     // Version-1 snapshots predate the statistics section; the graph is
     // already in memory, so recompute them (same deterministic function the
@@ -257,8 +335,41 @@ StatusOr<Snapshot> ReadSnapshot(std::string_view bytes,
   return snapshot;
 }
 
+}  // namespace
+
+size_t Snapshot::column_heap_bytes() const {
+  size_t n = 0;
+  if (graph) n += graph->heap_bytes();
+  if (signatures) n += signatures->heap_bytes();
+  if (stats) n += stats->heap_bytes();
+  return n;
+}
+
+size_t Snapshot::column_mapped_bytes() const {
+  size_t n = 0;
+  if (graph) n += graph->view_bytes();
+  if (signatures) n += signatures->view_bytes();
+  if (stats) n += stats->view_bytes();
+  return n;
+}
+
+StatusOr<Snapshot> ReadSnapshot(std::string_view bytes,
+                                const nlp::Lexicon* lexicon) {
+  return ReadSnapshotImpl(bytes, lexicon, /*views_allowed=*/false);
+}
+
 StatusOr<Snapshot> ReadSnapshotFile(const std::string& path,
-                                    const nlp::Lexicon* lexicon) {
+                                    const nlp::Lexicon* lexicon,
+                                    SnapshotLoadMode mode) {
+  if (mode == SnapshotLoadMode::kMmap) {
+    std::shared_ptr<MmapFile> mapping;
+    GANSWER_RETURN_NOT_OK(MmapFile::Open(path, &mapping));
+    auto snapshot =
+        ReadSnapshotImpl(mapping->view(), lexicon, /*views_allowed=*/true);
+    if (!snapshot.ok()) return snapshot.status();
+    snapshot->mapping = std::move(mapping);
+    return snapshot;
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "'");
   std::ostringstream buffer;

@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/mmap_file.h"
 #include "common/status.h"
 #include "linking/entity_index.h"
 #include "nlp/lexicon.h"
@@ -19,12 +20,39 @@ namespace store {
 
 /// Container format version. Bumped whenever a section's binary layout
 /// changes or a section is added. Version 2 added the graph-statistics
-/// section (rdf/graph_stats.h). Readers accept versions back to
-/// kMinSupportedSnapshotVersion: a version-1 snapshot loads fine, with the
-/// statistics recomputed from the graph instead of read from disk. Versions
-/// newer than this binary's are rejected (their layout is unknown).
-inline constexpr uint32_t kSnapshotVersion = 2;
+/// section (rdf/graph_stats.h). Version 3 added per-section encoding flags
+/// (raw | compressed), 8-aligned section payloads and alignment-padded pod
+/// arrays, making raw sections directly mappable. Readers accept versions
+/// back to kMinSupportedSnapshotVersion: a version-1 snapshot loads fine,
+/// with the statistics recomputed from the graph instead of read from disk.
+/// Versions newer than this binary's are rejected (their layout is
+/// unknown).
+inline constexpr uint32_t kSnapshotVersion = 3;
 inline constexpr uint32_t kMinSupportedSnapshotVersion = 1;
+
+/// How a v3 section's payload is encoded on disk. Raw sections are the pod
+/// layouts the in-memory structures use directly (zero-copy under mmap);
+/// compressed sections are delta-varint / front-coded and decode into heap
+/// buffers on load. v1/v2 sections are always raw.
+enum class SectionEncoding : uint32_t { kRaw = 0, kCompressed = 1 };
+
+/// Writer knobs. \p version selects the container layout (the current one
+/// by default; 2 writes a legacy container for old readers and for tests
+/// that pin the v2 layout). \p compress — v3 only — stores the graph,
+/// signature, entity-index and stats sections delta/front-coded: several
+/// times smaller on disk, at the price of a decode pass (no zero-copy) on
+/// load. The paraphrase dictionary section stays raw in either mode.
+struct SnapshotWriteOptions {
+  uint32_t version = kSnapshotVersion;
+  bool compress = false;
+};
+
+/// How ReadSnapshotFile gets the bytes into memory. kRead slurps the file
+/// into an owned buffer and copies sections into heap structures. kMmap
+/// maps the file and serves raw sections zero-copy out of the mapping —
+/// cold start is page-fault driven, resident footprint is only what queries
+/// actually touch, and the returned Snapshot pins the mapping.
+enum class SnapshotLoadMode { kRead = 0, kMmap = 1 };
 
 /// \brief Everything the online phase needs, reconstructed from one
 /// snapshot: the finalized graph, both offline indexes and the paraphrase
@@ -43,6 +71,18 @@ struct Snapshot {
   /// checksums). Two byte-identical snapshots share a fingerprint; use it
   /// to invalidate caches keyed on snapshot data.
   uint64_t fingerprint = 0;
+  /// Keepalive for zero-copy loads: every span-backed column above views
+  /// this mapping. Null for bulk reads. Ordered after the structures so it
+  /// is destroyed last.
+  std::shared_ptr<MmapFile> mapping;
+
+  /// Heap bytes pinned by the column-backed structures (graph CSR + term
+  /// storage, signatures, stats). The hash indexes (entity postings,
+  /// dictionary, term lookup map) always live on the heap and are not
+  /// counted here.
+  size_t column_heap_bytes() const;
+  /// Bytes those structures serve zero-copy out of the mapping.
+  size_t column_mapped_bytes() const;
 };
 
 /// Per-section byte counts of a written snapshot, for bench reporting.
@@ -57,35 +97,44 @@ struct SnapshotStats {
 };
 
 /// Serializes \p graph (finalized) and \p dict together with prebuilt
-/// indexes into one versioned, checksummed container in \p out.
+/// indexes into one versioned, checksummed container in \p out. Section
+/// CRCs are computed in place as each section lands in the shared output
+/// buffer — no per-section staging copies, so peak writer memory is the
+/// container itself.
 Status WriteSnapshot(const rdf::RdfGraph& graph,
                      const rdf::SignatureIndex& signatures,
                      const linking::EntityIndex& entity_index,
                      const paraphrase::ParaphraseDictionary& dict,
-                     std::string* out, SnapshotStats* stats = nullptr);
+                     std::string* out, SnapshotStats* stats = nullptr,
+                     const SnapshotWriteOptions& options = {});
 
 /// Convenience for offline builders that only hold the graph and the mined
 /// dictionary: builds the SignatureIndex and EntityIndex (deterministic
 /// functions of the graph) and writes the full container.
 Status WriteSnapshot(const rdf::RdfGraph& graph,
                      const paraphrase::ParaphraseDictionary& dict,
-                     std::string* out, SnapshotStats* stats = nullptr);
+                     std::string* out, SnapshotStats* stats = nullptr,
+                     const SnapshotWriteOptions& options = {});
 
 Status WriteSnapshotFile(const rdf::RdfGraph& graph,
                          const paraphrase::ParaphraseDictionary& dict,
                          const std::string& path,
-                         SnapshotStats* stats = nullptr);
+                         SnapshotStats* stats = nullptr,
+                         const SnapshotWriteOptions& options = {});
 
 /// Reconstructs a Snapshot from container bytes. Rejects wrong magic,
 /// foreign byte order, version mismatches, malformed section tables and
 /// per-section CRC failures with Status::Corruption — a bad file can never
 /// produce a partially initialized bundle. \p lexicon backs the paraphrase
-/// dictionary and must outlive the returned bundle.
+/// dictionary and must outlive the returned bundle. The bytes are copied
+/// into owned structures (zero-copy loading requires the file-backed
+/// ReadSnapshotFile with SnapshotLoadMode::kMmap, which can pin the bytes).
 StatusOr<Snapshot> ReadSnapshot(std::string_view bytes,
                                 const nlp::Lexicon* lexicon);
 
-StatusOr<Snapshot> ReadSnapshotFile(const std::string& path,
-                                    const nlp::Lexicon* lexicon);
+StatusOr<Snapshot> ReadSnapshotFile(
+    const std::string& path, const nlp::Lexicon* lexicon,
+    SnapshotLoadMode mode = SnapshotLoadMode::kRead);
 
 }  // namespace store
 }  // namespace ganswer

@@ -225,7 +225,7 @@ TEST(WorkloadTest, GoldConsistentWithGraphSpotCheck) {
     std::vector<std::string> expect;
     for (auto m :
          world.kb.graph.Objects(*city, *world.kb.graph.Find("mayor"))) {
-      expect.push_back(world.kb.graph.dict().text(m));
+      expect.emplace_back(world.kb.graph.dict().text(m));
     }
     std::sort(expect.begin(), expect.end());
     EXPECT_EQ(q.gold_answers, expect) << q.text;

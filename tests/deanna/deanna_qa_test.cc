@@ -113,7 +113,9 @@ TEST(SparqlGeneratorTest, EntitiesClassesAndPathsLowerToPatterns) {
   // (bound to both ?v0 and an intermediate) — a real fidelity difference
   // between SPARQL chains and Definition 3 matching.
   std::set<std::string> names;
-  for (const auto& row : result->rows) names.insert(g.dict().text(row[0]));
+  for (const auto& row : result->rows) {
+    names.emplace(g.dict().text(row[0]));
+  }
   EXPECT_TRUE(names.count("Ted_Kennedy"));
   EXPECT_LE(names.size(), 2u);
 }

@@ -17,7 +17,7 @@ class EntityLinkerTest : public ::testing::Test {
   std::vector<std::string> CandidateNames(const std::string& phrase) {
     std::vector<std::string> out;
     for (const LinkCandidate& c : linker_.Link(phrase)) {
-      out.push_back(index_.graph().dict().text(c.vertex));
+      out.emplace_back(index_.graph().dict().text(c.vertex));
     }
     return out;
   }

@@ -20,8 +20,8 @@ namespace {
 
 void CheckPair(const RandomGraphData& data, rdf::TermId from, rdf::TermId to,
                const paraphrase::PathFinder::Options& opt) {
-  SCOPED_TRACE("from=" + data.graph.dict().text(from) +
-               " to=" + data.graph.dict().text(to) +
+  SCOPED_TRACE("from=" + std::string(data.graph.dict().text(from)) +
+               " to=" + std::string(data.graph.dict().text(to)) +
                " theta=" + std::to_string(opt.max_length) +
                " skip_schema=" + std::to_string(opt.skip_schema_edges) +
                " hub=" + std::to_string(opt.max_intermediate_degree));

@@ -157,20 +157,21 @@ inline SparqlOracleResult NaiveSparqlEvaluate(
 /// as numbers compare numerically, everything else lexicographically.
 inline bool OrderByLeq(const rdf::TermDictionary& dict, rdf::TermId a,
                        rdf::TermId b, bool descending) {
-  auto key = [&](rdf::TermId t) -> std::pair<double, const std::string*> {
-    const std::string& text = dict.text(t);
+  auto key = [&](rdf::TermId t) -> std::pair<double, std::string_view> {
+    std::string_view text = dict.text(t);
+    std::string buf(text);  // strtod needs a NUL terminator
     char* end = nullptr;
-    double num = std::strtod(text.c_str(), &end);
-    bool numeric = end != text.c_str() && *end == '\0';
+    double num = std::strtod(buf.c_str(), &end);
+    bool numeric = end != buf.c_str() && *end == '\0';
     return {numeric ? num
                     : std::numeric_limits<double>::quiet_NaN(),
-            &text};
+            text};
   };
   auto [na, ta] = key(a);
   auto [nb, tb] = key(b);
   bool both_numeric = na == na && nb == nb;
-  bool lt = both_numeric ? na < nb : *ta < *tb;
-  bool gt = both_numeric ? nb < na : *tb < *ta;
+  bool lt = both_numeric ? na < nb : ta < tb;
+  bool gt = both_numeric ? nb < na : tb < ta;
   return descending ? !lt : !gt;  // "a may precede b"
 }
 

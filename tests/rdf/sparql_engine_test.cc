@@ -30,7 +30,7 @@ RdfGraph FamilyGraph() {
 std::set<std::string> Names(const RdfGraph& g, const SparqlResult& r,
                             size_t col = 0) {
   std::set<std::string> out;
-  for (const auto& row : r.rows) out.insert(g.dict().text(row[col]));
+  for (const auto& row : r.rows) out.emplace(g.dict().text(row[col]));
   return out;
 }
 

@@ -20,7 +20,7 @@ RdfGraph PeaksGraph() {
 std::vector<std::string> Column(const RdfGraph& g, const SparqlResult& r,
                                 size_t col = 0) {
   std::vector<std::string> out;
-  for (const auto& row : r.rows) out.push_back(g.dict().text(row[col]));
+  for (const auto& row : r.rows) out.emplace_back(g.dict().text(row[col]));
   return out;
 }
 

@@ -50,9 +50,10 @@ struct TestWorld {
 };
 
 std::string WriteTestSnapshot(const TestWorld& world,
-                              SnapshotStats* stats = nullptr) {
+                              SnapshotStats* stats = nullptr,
+                              const SnapshotWriteOptions& options = {}) {
   std::string bytes;
-  Status st = WriteSnapshot(world.graph, *world.dict, &bytes, stats);
+  Status st = WriteSnapshot(world.graph, *world.dict, &bytes, stats, options);
   EXPECT_TRUE(st.ok()) << st.ToString();
   return bytes;
 }
@@ -133,10 +134,12 @@ TEST(SnapshotTest, RoundTripPreservesEverything) {
 
 TEST(SnapshotTest, AcceptsVersionOneAndRecomputesStats) {
   TestWorld world;
-  std::string bytes = WriteTestSnapshot(world);
-  // Rewriting the version field to 1 makes the reader take the
-  // backward-compat path: the stats section (which version 1 predates) is
-  // not read, and the statistics are recomputed from the loaded graph.
+  // A version-2 container patched to claim version 1: versions 1 and 2
+  // share the table layout (v3 widened it), so the patched bytes parse as
+  // a valid v1 container. The reader then takes the backward-compat path:
+  // the stats section (which version 1 predates) is not read, and the
+  // statistics are recomputed from the loaded graph.
+  std::string bytes = WriteTestSnapshot(world, nullptr, {.version = 2});
   ASSERT_GE(kMinSupportedSnapshotVersion, 1u);
   bytes[12] = 1;
   auto loaded = ReadSnapshot(bytes, &world.lexicon);
