@@ -5,9 +5,16 @@
 // HTTP parse -> admission queue -> worker Ask() -> JSON response, measured
 // from the client side. Each config boots a QaService on an ephemeral
 // port, runs C closed-loop client threads over keep-alive connections, and
-// reports QPS plus p50/p95/p99 latency as BENCH_JSON lines:
+// reports QPS plus p50/p95/p99/p99.9 latency as BENCH_JSON lines:
 //
-//   BENCH_JSON {"bench":"httpd_loopback","threads":4,"clients":8,...}
+//   BENCH_JSON {"bench":"httpd_loopback","closed_loop":true,...}
+//
+// Closed-loop means each client waits for its response before sending the
+// next request, so the offered load adapts to the server and queueing
+// delay is hidden (coordinated omission) — good for peak-throughput
+// tracking, wrong for tail latency. bench_loadgen is the open-loop
+// complement; the closed_loop field keeps the two distinguishable in the
+// merged artifact.
 //
 // Run: ./build/bench/bench_httpd_loopback [requests_per_client]
 
@@ -20,6 +27,7 @@
 #include <vector>
 
 #include "bench_support.h"
+#include "common/latency_histogram.h"
 #include "common/timer.h"
 #include "server/http_client.h"
 #include "server/qa_service.h"
@@ -33,18 +41,9 @@ struct LoadResult {
   size_t ok = 0;
   size_t rejected = 0;  ///< 503 overflow answers.
   size_t errors = 0;
-  std::vector<double> latencies_ms;
+  LatencyHistogram latency;
   double wall_s = 0;
 };
-
-double Percentile(std::vector<double>* values, double p) {
-  if (values->empty()) return 0;
-  size_t idx = static_cast<size_t>(p * (values->size() - 1));
-  std::nth_element(values->begin(),
-                   values->begin() + static_cast<ptrdiff_t>(idx),
-                   values->end());
-  return (*values)[idx];
-}
 
 /// C closed-loop clients, each issuing `per_client` POST /answer requests
 /// over one keep-alive connection, questions drawn round-robin from the
@@ -72,7 +71,7 @@ LoadResult RunLoad(int port, const std::vector<std::string>& questions,
         }
         if (response->status == 200) {
           ++mine.ok;
-          mine.latencies_ms.push_back(ms);
+          mine.latency.RecordMillis(ms);
         } else if (response->status == 503) {
           ++mine.rejected;
         } else {
@@ -88,8 +87,7 @@ LoadResult RunLoad(int port, const std::vector<std::string>& questions,
     total.ok += p.ok;
     total.rejected += p.rejected;
     total.errors += p.errors;
-    total.latencies_ms.insert(total.latencies_ms.end(),
-                              p.latencies_ms.begin(), p.latencies_ms.end());
+    total.latency.Merge(p.latency);
   }
   return total;
 }
@@ -132,9 +130,9 @@ int main(int argc, char** argv) {
       {4, 16, 4, 4096},   // tiny queue under pressure: load shedding story
   };
 
-  std::printf("%8s %8s %10s %10s %10s %10s %10s %10s\n", "threads",
+  std::printf("%8s %8s %10s %10s %10s %10s %10s %10s %10s\n", "threads",
               "clients", "max_queue", "qps", "p50_ms", "p95_ms", "p99_ms",
-              "rejected");
+              "p99.9_ms", "rejected");
   for (const Config& config : configs) {
     server::QaService::Options options;
     options.snapshot_path = snapshot_path;
@@ -156,15 +154,16 @@ int main(int argc, char** argv) {
     service.Shutdown();
 
     double qps = result.wall_s > 0 ? result.ok / result.wall_s : 0;
-    std::vector<double> lat = result.latencies_ms;
-    double p50 = Percentile(&lat, 0.50);
-    double p95 = Percentile(&lat, 0.95);
-    double p99 = Percentile(&lat, 0.99);
-    std::printf("%8d %8d %10d %10.0f %10.3f %10.3f %10.3f %10zu\n",
+    double p50 = result.latency.QuantileMillis(0.50);
+    double p95 = result.latency.QuantileMillis(0.95);
+    double p99 = result.latency.QuantileMillis(0.99);
+    double p99_9 = result.latency.QuantileMillis(0.999);
+    std::printf("%8d %8d %10d %10.0f %10.3f %10.3f %10.3f %10.3f %10zu\n",
                 config.threads, config.clients, config.max_queue, qps, p50,
-                p95, p99, result.rejected);
+                p95, p99, p99_9, result.rejected);
 
     bench::JsonLine("httpd_loopback")
+        .Field("closed_loop", true)
         .Field("threads", config.threads)
         .Field("clients", config.clients)
         .Field("max_queue", config.max_queue)
@@ -179,6 +178,7 @@ int main(int argc, char** argv) {
         .Field("p50_ms", p50)
         .Field("p95_ms", p95)
         .Field("p99_ms", p99)
+        .Field("p99_9_ms", p99_9)
         .Emit();
   }
   std::remove(snapshot_path.c_str());

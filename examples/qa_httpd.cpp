@@ -80,7 +80,8 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --snapshot FILE [--port N] [--address A] [--threads N]\n"
-      "          [--max-queue N] [--cache N] [--idle-timeout-ms N] [--mmap]\n"
+      "          [--max-queue N] [--deadline-ms N] [--no-fast-path]\n"
+      "          [--cache N] [--idle-timeout-ms N] [--mmap]\n"
       "       %s --build-demo-snapshot FILE\n",
       argv0, argv0);
   return 2;
@@ -101,6 +102,10 @@ int main(int argc, char** argv) {
       options.threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--max-queue") == 0 && i + 1 < argc) {
       options.max_queue = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      options.deadline_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-fast-path") == 0) {
+      options.cached_fast_path = false;
     } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
       options.question_cache_capacity =
           static_cast<size_t>(std::atoll(argv[++i]));

@@ -1,0 +1,92 @@
+#include "common/latency_histogram.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace ganswer {
+
+LatencyHistogram::LatencyHistogram(int precision_bits)
+    : precision_bits_(precision_bits) {
+  assert(precision_bits >= 1 && precision_bits <= 12);
+  sub_buckets_ = 1ull << precision_bits_;
+  // Decade 0 holds the exact values [0, 2^p); each of the 63 - p remaining
+  // power-of-two decades [2^(k-1), 2^k) gets 2^p linear sub-buckets.
+  counts_.assign(sub_buckets_ * (64 - static_cast<size_t>(precision_bits_)),
+                 0);
+}
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) const {
+  if (value < sub_buckets_) return static_cast<size_t>(value);
+  // value lives in decade k = bit_width(value) > p; its sub-bucket is the
+  // top p bits below the leading one.
+  int k = std::bit_width(value);
+  int shift = k - 1 - precision_bits_;
+  uint64_t offset = (value - (1ull << (k - 1))) >> shift;
+  return static_cast<size_t>(
+      sub_buckets_ * static_cast<uint64_t>(k - precision_bits_) + offset);
+}
+
+uint64_t LatencyHistogram::BucketHigh(size_t index) const {
+  if (index < sub_buckets_) return index;  // exact decade
+  uint64_t decade = index / sub_buckets_ + precision_bits_ - 1;
+  uint64_t offset = index % sub_buckets_;
+  int shift = static_cast<int>(decade) - precision_bits_;
+  uint64_t low = (1ull << decade) + (offset << shift);
+  return low + (1ull << shift) - 1;
+}
+
+void LatencyHistogram::Record(uint64_t value_us) {
+  // The top bit would index past the table; saturate instead (nothing a
+  // latency bench records is within 10 orders of magnitude of this).
+  if (value_us >= (1ull << 62)) value_us = (1ull << 62) - 1;
+  ++counts_[BucketIndex(value_us)];
+  ++count_;
+  sum_us_ += value_us;
+  if (value_us < min_us_) min_us_ = value_us;
+  if (value_us > max_us_) max_us_ = value_us;
+}
+
+void LatencyHistogram::RecordMillis(double ms) {
+  if (ms < 0 || std::isnan(ms)) ms = 0;
+  Record(static_cast<uint64_t>(std::llround(ms * 1000.0)));
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  assert(precision_bits_ == other.precision_bits_);
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_us_ += other.sum_us_;
+  if (other.count_ > 0 && other.min_us_ < min_us_) min_us_ = other.min_us_;
+  if (other.max_us_ > max_us_) max_us_ = other.max_us_;
+}
+
+void LatencyHistogram::Clear() {
+  counts_.assign(counts_.size(), 0);
+  count_ = 0;
+  sum_us_ = 0;
+  min_us_ = ~0ull;
+  max_us_ = 0;
+}
+
+uint64_t LatencyHistogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the order statistic we report: the ceil(q * n)-th smallest
+  // sample (1-based), matching the sorted-vector oracle in the tests.
+  uint64_t target = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      uint64_t high = BucketHigh(i);
+      return high < max_us_ ? high : max_us_;
+    }
+  }
+  return max_us_;
+}
+
+}  // namespace ganswer

@@ -1,0 +1,86 @@
+#ifndef GANSWER_COMMON_LATENCY_HISTOGRAM_H_
+#define GANSWER_COMMON_LATENCY_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ganswer {
+
+/// \brief HDR-style log-linear latency histogram: bounded memory, mergeable,
+/// quantiles with bounded relative error.
+///
+/// Values are microseconds. The value range [0, 2^63) is covered by
+/// power-of-two "decades", each split into 2^precision_bits linear
+/// sub-buckets, so any recorded value lands in a bucket whose width is at
+/// most value * 2^-precision_bits — at the default precision of 6 bits a
+/// quantile read is within ~1.6% of the exact order statistic, independent
+/// of how many samples were recorded or how they are distributed. Total
+/// footprint is a few thousand uint64 counters (~30 KB), so a histogram
+/// can sit inside every endpoint's stats cell and every load-generator
+/// thread without memory scaling with request count — the property that
+/// lets the open-loop harness record millions of samples and merge them.
+///
+/// Why not a sorted vector of samples: the closed-loop bench got away with
+/// it at thousands of requests; an open-loop sweep records an unbounded
+/// stream and must stay O(1) per sample with O(buckets) merges.
+///
+/// Not internally synchronized. The serving tier records under the stats
+/// mutex it already holds; the load generator records into per-thread
+/// histograms and merges at the end.
+class LatencyHistogram {
+ public:
+  /// \p precision_bits in [1, 12]: sub-bucket resolution per decade;
+  /// relative quantile error is bounded by 2^-precision_bits.
+  explicit LatencyHistogram(int precision_bits = 6);
+
+  /// Records one value. O(1), no allocation past construction.
+  void Record(uint64_t value_us);
+  /// Convenience for the WallTimer call sites: clamps negatives to zero,
+  /// rounds to the nearest microsecond.
+  void RecordMillis(double ms);
+
+  /// Adds every sample of \p other into this histogram. The histograms
+  /// must share precision_bits.
+  void Merge(const LatencyHistogram& other);
+
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t min_us() const { return count_ > 0 ? min_us_ : 0; }
+  uint64_t max_us() const { return max_us_; }
+  double mean_us() const {
+    return count_ > 0 ? static_cast<double>(sum_us_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+  }
+
+  /// The value at quantile \p q in [0, 1]: an upper bound on the
+  /// ceil(q * count)-th smallest recorded value, tight to within
+  /// 2^-precision_bits relative error. Returns 0 on an empty histogram.
+  uint64_t ValueAtQuantile(double q) const;
+  /// ValueAtQuantile in milliseconds — the reporting unit of every bench.
+  double QuantileMillis(double q) const {
+    return static_cast<double>(ValueAtQuantile(q)) / 1000.0;
+  }
+
+  int precision_bits() const { return precision_bits_; }
+  size_t num_buckets() const { return counts_.size(); }
+
+ private:
+  size_t BucketIndex(uint64_t value) const;
+  /// Highest value mapping to bucket \p index (the quantile representative).
+  uint64_t BucketHigh(size_t index) const;
+
+  int precision_bits_;
+  uint64_t sub_buckets_;  ///< 1 << precision_bits_.
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  uint64_t sum_us_ = 0;
+  uint64_t min_us_ = ~0ull;
+  uint64_t max_us_ = 0;
+};
+
+}  // namespace ganswer
+
+#endif  // GANSWER_COMMON_LATENCY_HISTOGRAM_H_

@@ -52,12 +52,19 @@ class ShardedLruCache {
   ShardedLruCache& operator=(const ShardedLruCache&) = delete;
 
   /// The cached value for \p key, moved to most-recently-used, or nullptr.
-  std::shared_ptr<const V> Get(const std::string& key) {
+  ///
+  /// \p count_miss = false suppresses the miss counter (hits always count):
+  /// a probe-then-compute caller — the serving tier's cached fast path
+  /// probes on the event-loop thread and falls back to the full pipeline,
+  /// whose own Get() records the miss — would otherwise double-count every
+  /// miss.
+  std::shared_ptr<const V> Get(const std::string& key,
+                               bool count_miss = true) {
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
-      misses_.fetch_add(1, std::memory_order_relaxed);
+      if (count_miss) misses_.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);

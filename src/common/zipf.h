@@ -1,0 +1,82 @@
+#ifndef GANSWER_COMMON_ZIPF_H_
+#define GANSWER_COMMON_ZIPF_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ganswer {
+
+/// \brief Seeded Zipf(s) sampler over ranks [0, n): P(i) ∝ 1/(i+1)^s.
+///
+/// The load harness uses this for question popularity — real question
+/// streams are heavily head-skewed, and the serving tier's cache story
+/// (hot head answered from the question cache, cold tail hitting the
+/// matcher) only shows up under that skew. Construction precomputes the
+/// normalized CDF once (O(n)); each draw is one uniform double plus a
+/// binary search (O(log n)), with no rejection loop, so a draw sequence
+/// is a pure function of (n, s, seed) — the property the deterministic
+/// bench schedules and the distribution tests rely on.
+///
+/// Not thread-safe: each generator owns its engine. Give every sender
+/// thread its own instance (or pre-draw the schedule, as bench_loadgen
+/// does).
+class ZipfGenerator {
+ public:
+  /// \p n must be positive; \p s >= 0 (s = 0 degenerates to uniform).
+  ZipfGenerator(size_t n, double s, uint64_t seed)
+      : engine_(seed), cdf_(n) {
+    assert(n > 0);
+    assert(s >= 0);
+    double cumulative = 0;
+    for (size_t i = 0; i < n; ++i) {
+      cumulative += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = cumulative;
+    }
+    // Normalize so the final entry is exactly 1.0 and the upper_bound draw
+    // can never run off the end.
+    for (size_t i = 0; i < n; ++i) cdf_[i] /= cumulative;
+    cdf_.back() = 1.0;
+    total_ = cumulative;
+    skew_ = s;
+  }
+
+  /// Next rank in [0, n); rank 0 is the most popular.
+  size_t Next() {
+    double u = std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    size_t lo = 0;
+    size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Exact probability mass of rank \p i — the oracle the distribution
+  /// sanity test checks empirical frequencies against.
+  double Probability(size_t i) const {
+    assert(i < cdf_.size());
+    return 1.0 / (std::pow(static_cast<double>(i + 1), skew_) * total_);
+  }
+
+  size_t n() const { return cdf_.size(); }
+  double skew() const { return skew_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::vector<double> cdf_;
+  double total_ = 1;  ///< Unnormalized harmonic mass H_{n,s}.
+  double skew_ = 1;
+};
+
+}  // namespace ganswer
+
+#endif  // GANSWER_COMMON_ZIPF_H_

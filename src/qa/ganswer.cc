@@ -73,6 +73,12 @@ std::string GAnswer::CacheKey(std::string_view question) const {
   return key;
 }
 
+std::shared_ptr<const GAnswer::Response> GAnswer::ProbeCache(
+    std::string_view question) const {
+  if (cache_ == nullptr) return nullptr;
+  return cache_->Get(CacheKey(question), /*count_miss=*/false);
+}
+
 GAnswer::CacheStats GAnswer::cache_stats() const {
   return cache_ != nullptr ? cache_->stats() : CacheStats{};
 }

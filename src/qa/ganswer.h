@@ -135,6 +135,16 @@ class GAnswer {
   /// Exposed for benchmarks that time the stages separately.
   match::QueryGraph ToQueryGraph(const SemanticQueryGraph& sqg) const;
 
+  /// Probes the question cache without ever running understanding or
+  /// matching: the stored Response on a hit (cache_hit is false on the
+  /// stored copy — the caller decides how to mark it), nullptr on a miss
+  /// or when the cache is off. A hit counts in cache_stats() and promotes
+  /// the entry exactly like an Ask() hit; a miss is NOT counted, because
+  /// the expected follow-up Ask() records it. This is the serving tier's
+  /// cached fast path: hits are serialized on the event-loop thread and
+  /// never enter the worker queue.
+  std::shared_ptr<const Response> ProbeCache(std::string_view question) const;
+
   /// Cumulative question-cache counters (all zero when the cache is off).
   CacheStats cache_stats() const;
   /// Drops every cached response; call after the underlying offline data

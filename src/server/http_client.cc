@@ -82,11 +82,15 @@ StatusOr<ClientResponse> BlockingHttpClient::Get(const std::string& path) {
 
 StatusOr<ClientResponse> BlockingHttpClient::Post(
     const std::string& path, const std::string& body,
-    const std::string& content_type) {
+    const std::string& content_type,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   std::string request = "POST " + path + " HTTP/1.1\r\nHost: " + host_ +
                         "\r\nContent-Type: " + content_type +
-                        "\r\nContent-Length: " + std::to_string(body.size()) +
-                        "\r\n\r\n" + body;
+                        "\r\nContent-Length: " + std::to_string(body.size());
+  for (const auto& [name, value] : extra_headers) {
+    request += "\r\n" + name + ": " + value;
+  }
+  request += "\r\n\r\n" + body;
   return RoundTrip(request);
 }
 

@@ -44,10 +44,13 @@ class BlockingHttpClient {
   bool connected() const { return fd_ >= 0; }
 
   StatusOr<ClientResponse> Get(const std::string& path);
-  StatusOr<ClientResponse> Post(const std::string& path,
-                                const std::string& body,
-                                const std::string& content_type =
-                                    "application/json");
+  /// \p extra_headers are emitted verbatim after Content-Length — the hook
+  /// for per-request controls like X-Deadline-Ms and X-No-Fast-Path.
+  StatusOr<ClientResponse> Post(
+      const std::string& path, const std::string& body,
+      const std::string& content_type = "application/json",
+      const std::vector<std::pair<std::string, std::string>>& extra_headers =
+          {});
 
   /// Writes \p raw bytes verbatim and reads one response — the hook for
   /// malformed-request tests.

@@ -25,6 +25,11 @@ struct HttpRequest {
   /// Connection persistence after this request: HTTP/1.1 defaults to true,
   /// HTTP/1.0 to false, an explicit Connection header overrides either.
   bool keep_alive = true;
+  /// Steady-clock microseconds at which the server finished parsing this
+  /// request — the admission timestamp deadline budgets and queue-wait
+  /// accounting measure from. Stamped by HttpServer at dispatch; 0 when
+  /// the request was built outside a server (unit tests, fuzzing).
+  int64_t received_us = 0;
 
   /// Case-insensitive header lookup; nullptr when absent.
   const std::string* Header(std::string_view name) const;

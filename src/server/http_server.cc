@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -293,6 +294,12 @@ void HttpServer::ProcessInput(Connection* conn) {
 void HttpServer::DispatchRequest(Connection* conn) {
   HttpRequest request = std::move(conn->parser.request());
   conn->parser.Reset();
+  // Admission timestamp: latency budgets start counting here, before any
+  // queueing, so time spent waiting for a worker is part of the budget.
+  request.received_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
   conn->keep_alive = request.keep_alive;
   conn->pending_response = true;
   requests_pending_.fetch_add(1, std::memory_order_relaxed);

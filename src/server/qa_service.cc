@@ -1,5 +1,6 @@
 #include "server/qa_service.h"
 
+#include <charconv>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -35,6 +36,12 @@ const char* FailureName(qa::GAnswer::FailureStage stage) {
 
 int64_t SteadyNowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
@@ -161,6 +168,10 @@ void QaService::Record(StatsCell* cell, double ms, int status) {
   if (status >= 400) ++cell->stats.errors;
   cell->stats.total_ms += ms;
   if (ms > cell->stats.max_ms) cell->stats.max_ms = ms;
+  // The latency histogram covers answered requests only: shed responses
+  // (503) would drag the percentiles toward the shed path's near-zero
+  // cost and hide the latency of the work actually served.
+  if (status < 500) cell->latency.RecordMillis(ms);
 }
 
 QaService::EndpointStats QaService::answer_stats() const {
@@ -173,28 +184,86 @@ QaService::EndpointStats QaService::sparql_stats() const {
   return sparql_stats_.stats;
 }
 
+LatencyHistogram QaService::answer_latency() const {
+  std::lock_guard<std::mutex> lock(answer_stats_.mu);
+  return answer_stats_.latency;
+}
+
+LatencyHistogram QaService::sparql_latency() const {
+  std::lock_guard<std::mutex> lock(sparql_stats_.mu);
+  return sparql_stats_.latency;
+}
+
+LatencyHistogram QaService::queue_wait() const {
+  std::lock_guard<std::mutex> lock(queue_wait_.mu);
+  return queue_wait_.hist;
+}
+
+int QaService::DeadlineFor(const HttpRequest& request) const {
+  int deadline_ms = options_.deadline_ms;
+  if (const std::string* header = request.Header("X-Deadline-Ms")) {
+    int value = 0;
+    auto [ptr, ec] = std::from_chars(
+        header->data(), header->data() + header->size(), value);
+    if (ec == std::errc() && ptr == header->data() + header->size() &&
+        value >= 1 && value <= 3'600'000) {
+      deadline_ms = value;
+    }
+  }
+  return deadline_ms;
+}
+
 bool QaService::Admit(const HttpServer::ResponseWriter& writer,
-                      StatsCell* cell, std::function<HttpResponse()> work) {
+                      StatsCell* cell, int64_t admit_us, int deadline_ms,
+                      std::function<HttpResponse()> work) {
   // fetch_add first so two racing admissions cannot both squeeze into the
   // last slot; the loser backs out and sheds load.
   if (admitted_.fetch_add(1, std::memory_order_relaxed) >=
       options_.max_queue) {
     admitted_.fetch_sub(1, std::memory_order_relaxed);
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
     Record(cell, 0.0, 503);
     JsonWriter w;
     w.BeginObject()
         .Field("error", "overloaded")
+        .Field("shed", "queue_full")
         .Field("max_queue", static_cast<int64_t>(options_.max_queue))
         .EndObject();
-    writer.Send(HttpResponse::Json(503, w.Take()));
+    HttpResponse response = HttpResponse::Json(503, w.Take());
+    response.extra_headers.emplace_back("Retry-After", "1");
+    writer.Send(std::move(response));
     return false;
   }
-  pool_->Submit([this, writer, cell, work = std::move(work)] {
-    WallTimer timer;
+  pool_->Submit([this, writer, cell, admit_us, deadline_ms,
+                 work = std::move(work)] {
+    // Shed-at-dequeue: the deadline check runs before any handler work
+    // (including the test latch), so a request that aged out while queued
+    // costs the worker nothing but this branch.
+    int64_t dequeue_us = SteadyNowUs();
+    double waited_ms = static_cast<double>(dequeue_us - admit_us) / 1000.0;
+    {
+      std::lock_guard<std::mutex> lock(queue_wait_.mu);
+      queue_wait_.hist.RecordMillis(waited_ms);
+    }
+    if (deadline_ms > 0 && waited_ms > static_cast<double>(deadline_ms)) {
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      Record(cell, waited_ms, 503);
+      JsonWriter w;
+      w.BeginObject()
+          .Field("error", "deadline_expired")
+          .Field("shed", "deadline_expired")
+          .Field("deadline_ms", static_cast<int64_t>(deadline_ms))
+          .Field("waited_ms", waited_ms)
+          .EndObject();
+      HttpResponse response = HttpResponse::Json(503, w.Take());
+      response.extra_headers.emplace_back("Retry-After", "1");
+      writer.Send(std::move(response));
+      admitted_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
     if (options_.worker_hook) options_.worker_hook();
     HttpResponse response = work();
-    double ms = timer.ElapsedMillis();
+    double ms = static_cast<double>(SteadyNowUs() - admit_us) / 1000.0;
     Record(cell, ms, response.status);
     writer.Send(std::move(response));
     admitted_.fetch_sub(1, std::memory_order_relaxed);
@@ -204,6 +273,8 @@ bool QaService::Admit(const HttpServer::ResponseWriter& writer,
 
 void QaService::HandleAnswer(const HttpRequest& request,
                              const HttpServer::ResponseWriter& writer) {
+  int64_t admit_us =
+      request.received_us != 0 ? request.received_us : SteadyNowUs();
   auto question = ExtractField(request, "question");
   if (!question.ok()) {
     Record(&answer_stats_, 0.0, 400);
@@ -211,17 +282,37 @@ void QaService::HandleAnswer(const HttpRequest& request,
     return;
   }
   std::string q = std::move(question).value();
-  Admit(writer, &answer_stats_, [this, q = std::move(q)]() -> HttpResponse {
-    auto response = system_->Ask(q);
-    if (!response.ok()) {
-      return ErrorResponse(422, response.status().ToString());
+  // Cached fast path: a hit is serialized and answered right here on the
+  // event-loop thread — the hot Zipf head never waits behind cold-tail
+  // matcher work in the admission queue. Serializing a cached answer is
+  // microseconds of JSON assembly, orders of magnitude below one matcher
+  // run, so it cannot starve the loop.
+  if (options_.cached_fast_path &&
+      request.Header("X-No-Fast-Path") == nullptr) {
+    if (auto hit = system_->ProbeCache(q)) {
+      std::string body = AnswerToJson(q, *hit, /*cache_hit=*/true);
+      fast_path_hits_.fetch_add(1, std::memory_order_relaxed);
+      Record(&answer_stats_,
+             static_cast<double>(SteadyNowUs() - admit_us) / 1000.0, 200);
+      writer.Send(HttpResponse::Json(200, std::move(body)));
+      return;
     }
-    return HttpResponse::Json(200, AnswerToJson(q, *response));
-  });
+  }
+  Admit(writer, &answer_stats_, admit_us, DeadlineFor(request),
+        [this, q = std::move(q)]() -> HttpResponse {
+          auto response = system_->Ask(q);
+          if (!response.ok()) {
+            return ErrorResponse(422, response.status().ToString());
+          }
+          return HttpResponse::Json(
+              200, AnswerToJson(q, *response, response->cache_hit));
+        });
 }
 
 void QaService::HandleSparql(const HttpRequest& request,
                              const HttpServer::ResponseWriter& writer) {
+  int64_t admit_us =
+      request.received_us != 0 ? request.received_us : SteadyNowUs();
   auto query = ExtractField(request, "query");
   if (!query.ok()) {
     Record(&sparql_stats_, 0.0, 400);
@@ -229,7 +320,7 @@ void QaService::HandleSparql(const HttpRequest& request,
     return;
   }
   std::string text = std::move(query).value();
-  Admit(writer, &sparql_stats_,
+  Admit(writer, &sparql_stats_, admit_us, DeadlineFor(request),
         [this, text = std::move(text)]() -> HttpResponse {
           auto result = engine_->ExecuteText(text);
           if (!result.ok()) {
@@ -255,6 +346,9 @@ void QaService::HandleStats(const HttpServer::ResponseWriter& writer) {
   qa::GAnswer::CacheStats cache = system_->cache_stats();
   EndpointStats answer = answer_stats();
   EndpointStats sparql = sparql_stats();
+  LatencyHistogram answer_hist = answer_latency();
+  LatencyHistogram sparql_hist = sparql_latency();
+  LatencyHistogram wait_hist = queue_wait();
 
   JsonWriter w;
   w.BeginObject();
@@ -262,6 +356,18 @@ void QaService::HandleStats(const HttpServer::ResponseWriter& writer) {
   w.Field("queue_depth", static_cast<int64_t>(queue_depth()));
   w.Field("max_queue", static_cast<int64_t>(options_.max_queue));
   w.Field("rejected", rejected_total());
+  w.Key("shed").BeginObject();
+  w.Field("queue_full", shed_queue_full())
+      .Field("deadline_expired", shed_deadline_expired())
+      .EndObject();
+  w.Field("deadline_ms", static_cast<int64_t>(options_.deadline_ms));
+  w.Field("fast_path_hits", fast_path_hits());
+  w.Key("queue_wait_ms").BeginObject();
+  w.Field("count", wait_hist.count())
+      .Field("p50", wait_hist.QuantileMillis(0.50))
+      .Field("p99", wait_hist.QuantileMillis(0.99))
+      .Field("max", static_cast<double>(wait_hist.max_us()) / 1000.0)
+      .EndObject();
   w.Key("question_cache").BeginObject();
   w.Field("hits", cache.hits)
       .Field("misses", cache.misses)
@@ -303,7 +409,8 @@ void QaService::HandleStats(const HttpServer::ResponseWriter& writer) {
              static_cast<int64_t>(planner.intermediate_bindings))
       .EndObject();
   w.Key("endpoints").BeginObject();
-  auto emit_endpoint = [&w](const char* name, const EndpointStats& stats) {
+  auto emit_endpoint = [&w](const char* name, const EndpointStats& stats,
+                            const LatencyHistogram& hist) {
     w.Key(name).BeginObject();
     w.Field("requests", stats.requests)
         .Field("errors", stats.errors)
@@ -312,21 +419,26 @@ void QaService::HandleStats(const HttpServer::ResponseWriter& writer) {
         .Field("mean_ms", stats.requests > 0
                               ? stats.total_ms / stats.requests
                               : 0.0)
+        .Field("p50_ms", hist.QuantileMillis(0.50))
+        .Field("p95_ms", hist.QuantileMillis(0.95))
+        .Field("p99_ms", hist.QuantileMillis(0.99))
+        .Field("p99_9_ms", hist.QuantileMillis(0.999))
         .EndObject();
   };
-  emit_endpoint("/answer", answer);
-  emit_endpoint("/sparql", sparql);
+  emit_endpoint("/answer", answer, answer_hist);
+  emit_endpoint("/sparql", sparql, sparql_hist);
   w.EndObject();
   w.EndObject();
   writer.Send(HttpResponse::Json(200, w.Take()));
 }
 
-std::string QaService::AnswerToJson(
-    std::string_view question, const qa::GAnswer::Response& response) const {
+std::string QaService::AnswerToJson(std::string_view question,
+                                    const qa::GAnswer::Response& response,
+                                    bool cache_hit) const {
   JsonWriter w;
   w.BeginObject();
   w.Field("question", question);
-  w.Field("cache_hit", response.cache_hit);
+  w.Field("cache_hit", cache_hit);
   w.Field("is_ask", response.is_ask);
   if (response.is_ask) w.Field("ask_result", response.ask_result);
   w.Field("failure", FailureName(response.failure));
@@ -349,8 +461,13 @@ std::string QaService::AnswerToJson(
     }
   }
   w.EndArray();
-  w.Field("understanding_ms", response.understanding_ms);
-  w.Field("evaluation_ms", response.evaluation_ms);
+  // A cache hit reports zeroed stage timers whichever path served it —
+  // neither understanding nor matching ran — which keeps the fast-path
+  // bytes identical to the worker-pool bytes for the same cache entry
+  // (Ask() zeroes them on its hit path; the fast path serializes the
+  // stored entry directly, whose timers hold the original compute cost).
+  w.Field("understanding_ms", cache_hit ? 0.0 : response.understanding_ms);
+  w.Field("evaluation_ms", cache_hit ? 0.0 : response.evaluation_ms);
   w.EndObject();
   return w.Take();
 }

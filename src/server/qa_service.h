@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/latency_histogram.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "nlp/lexicon.h"
@@ -25,12 +26,30 @@ namespace server {
 /// Startup loads one `store/snapshot` file (zero rebuilds — the PR 2
 /// cold-start story) and wires the prebuilt indexes into a `qa::GAnswer`
 /// with the question cache on, plus a raw `rdf::SparqlEngine` over the same
-/// graph. Requests arrive on the event-loop thread and are admitted into a
-/// **bounded queue** in front of the worker pool: at most `max_queue`
-/// requests may be queued-or-running at once, and the overflow request is
-/// answered `503` immediately — the load-shedding alternative to unbounded
-/// queueing, where every client's latency collapses together. Cheap
-/// introspection endpoints answer directly on the loop thread.
+/// graph. Requests arrive on the event-loop thread and pass three
+/// admission stages, cheapest first:
+///
+///   1. **Cached fast path** (on by default): the question cache is probed
+///      on the event-loop thread, and a hit is serialized and answered
+///      inline — it never enters the worker queue, so hot Zipf-head
+///      questions stop queueing behind cold-tail matcher work. Byte-wise
+///      the response is identical to the worker-pool path for the same
+///      cache entry; the `X-No-Fast-Path` request header forces the worker
+///      path (the byte-identity tests use it).
+///   2. **Bounded queue**: at most `max_queue` requests queued-or-running
+///      at once; the overflow request is answered `503` immediately — the
+///      load-shedding backstop against unbounded queueing, where every
+///      client's latency collapses together.
+///   3. **Deadline shedding at dequeue**: every admitted request carries
+///      its arrival timestamp and a latency budget (`deadline_ms`, or the
+///      `X-Deadline-Ms` request header per request). A worker picking up a
+///      request whose budget is already spent answers `503` +
+///      `Retry-After` without running the matcher — under overload the
+///      workers stop burning time computing answers nobody is waiting for,
+///      which is what actually bounds latency for the requests that are
+///      admitted.
+///
+/// Cheap introspection endpoints answer directly on the loop thread.
 ///
 /// Endpoints:
 ///   POST /answer   {"question": "..."}  (or a text/plain body)
@@ -40,8 +59,10 @@ namespace server {
 ///                  -> variable bindings from the SparqlEngine
 ///   GET  /healthz  liveness + snapshot identity
 ///   GET  /stats    question-cache hit/miss/eviction counters, admission
-///                  queue depth + rejected count, per-endpoint
-///                  request/error/latency counters
+///                  queue depth, shed counters split queue_full vs
+///                  deadline_expired, fast-path hits, queue-wait
+///                  percentiles, per-endpoint request/error counters and
+///                  latency percentiles (p50/p95/p99/p99.9)
 ///
 /// Shutdown() drains: the listen socket closes first, dispatched requests
 /// run to completion and their responses flush, then the loop stops — the
@@ -65,6 +86,17 @@ class QaService {
     /// Admission bound: max requests queued-or-running in the worker tier.
     /// Overflow is answered 503 without queueing.
     int max_queue = 64;
+    /// Default latency budget in milliseconds for the POST endpoints;
+    /// <= 0 disables deadline shedding (the pure queue-length baseline).
+    /// A request still queued when its budget expires is shed with 503 +
+    /// Retry-After at dequeue, before any matcher work runs. The
+    /// X-Deadline-Ms request header overrides this per request (clamped
+    /// to [1, 3600000]; malformed values fall back to this default).
+    int deadline_ms = 0;
+    /// Serve question-cache hits inline on the event-loop thread,
+    /// bypassing the admission queue (see class comment). Off reproduces
+    /// the PR 4 behavior where every request rides the worker pool.
+    bool cached_fast_path = true;
     size_t question_cache_capacity = 4096;
     /// How many lowered top-k SPARQL queries /answer includes.
     size_t sparql_top_k = 3;
@@ -103,11 +135,28 @@ class QaService {
   int queue_depth() const {
     return admitted_.load(std::memory_order_relaxed);
   }
+  /// All shed requests: queue-full plus deadline-expired.
   uint64_t rejected_total() const {
-    return rejected_.load(std::memory_order_relaxed);
+    return shed_queue_full() + shed_deadline_expired();
+  }
+  uint64_t shed_queue_full() const {
+    return shed_queue_full_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_deadline_expired() const {
+    return shed_deadline_.load(std::memory_order_relaxed);
+  }
+  /// Cache hits answered inline on the event-loop thread.
+  uint64_t fast_path_hits() const {
+    return fast_path_hits_.load(std::memory_order_relaxed);
   }
   EndpointStats answer_stats() const;
   EndpointStats sparql_stats() const;
+  /// Copies of the per-endpoint latency histograms (measured from the
+  /// request's arrival on the server, queue wait included).
+  LatencyHistogram answer_latency() const;
+  LatencyHistogram sparql_latency() const;
+  /// Time admitted requests spent queued before a worker picked them up.
+  LatencyHistogram queue_wait() const;
 
   qa::GAnswer* system() { return system_.get(); }
   const store::Snapshot& snapshot() const { return snapshot_; }
@@ -117,6 +166,7 @@ class QaService {
   struct StatsCell {
     mutable std::mutex mu;
     EndpointStats stats;
+    LatencyHistogram latency;
   };
 
   void RegisterRoutes();
@@ -127,16 +177,24 @@ class QaService {
   void HandleHealthz(const HttpServer::ResponseWriter& writer);
   void HandleStats(const HttpServer::ResponseWriter& writer);
 
+  /// The latency budget for \p request: the parsed X-Deadline-Ms header
+  /// when present and valid, else Options::deadline_ms. <= 0 = none.
+  int DeadlineFor(const HttpRequest& request) const;
+
   /// Admission control shared by the POST endpoints: returns false (and
   /// answers 503) when the queue is full, else dispatches \p work to the
-  /// pool with bookkeeping.
+  /// pool. The worker re-checks the deadline at dequeue — an expired
+  /// request is shed there, before \p work runs. Latencies are measured
+  /// from \p admit_us (the request's arrival on the server).
   bool Admit(const HttpServer::ResponseWriter& writer, StatsCell* cell,
+             int64_t admit_us, int deadline_ms,
              std::function<HttpResponse()> work);
 
   static void Record(StatsCell* cell, double ms, int status);
 
   std::string AnswerToJson(std::string_view question,
-                           const qa::GAnswer::Response& response) const;
+                           const qa::GAnswer::Response& response,
+                           bool cache_hit) const;
   std::string SparqlResultToJson(const rdf::SparqlResult& result) const;
 
   Options options_;
@@ -148,9 +206,15 @@ class QaService {
   std::unique_ptr<HttpServer> http_;
 
   std::atomic<int> admitted_{0};
-  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> shed_queue_full_{0};
+  std::atomic<uint64_t> shed_deadline_{0};
+  std::atomic<uint64_t> fast_path_hits_{0};
   StatsCell answer_stats_;
   StatsCell sparql_stats_;
+  struct {
+    mutable std::mutex mu;
+    LatencyHistogram hist;
+  } queue_wait_;
   int64_t start_ms_ = 0;
   bool started_ = false;
   std::atomic<bool> shut_down_{false};

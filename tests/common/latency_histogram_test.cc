@@ -1,0 +1,139 @@
+#include "common/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ganswer {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  EXPECT_EQ(h.QuantileMillis(0.99), 0.0);
+  EXPECT_EQ(h.mean_us(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  // Values below 2^precision_bits land in width-1 buckets: no error.
+  LatencyHistogram h(6);
+  for (uint64_t v = 0; v < 64; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_EQ(h.min_us(), 0u);
+  EXPECT_EQ(h.max_us(), 63u);
+  // Rank ceil(0.5 * 64) = 32 -> the 32nd smallest value, which is 31.
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 31u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 63u);
+}
+
+/// Oracle: exact quantile over the sorted sample at rank ceil(q*n).
+uint64_t ExactQuantile(std::vector<uint64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  if (rank == 0) rank = 1;
+  if (rank > values.size()) rank = values.size();
+  return values[rank - 1];
+}
+
+// The log-linear layout guarantees relative error <= 2^-precision_bits
+// per bucket; the histogram returns the bucket's inclusive upper bound,
+// so: exact <= approx <= exact * (1 + 2^-p) + 1.
+TEST(LatencyHistogramTest, QuantilesMatchSortedOracleWithinBound) {
+  std::mt19937_64 rng(99);
+  // Log-uniform values spanning 1us .. ~100s: sub-bucket-exact through
+  // deep log-linear decades.
+  std::vector<uint64_t> values;
+  LatencyHistogram h(6);
+  for (int i = 0; i < 20'000; ++i) {
+    double exponent = std::uniform_real_distribution<double>(0, 8)(rng);
+    uint64_t v = static_cast<uint64_t>(std::pow(10.0, exponent));
+    values.push_back(v);
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), values.size());
+  const double rel = 1.0 / 64.0;  // 2^-6
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    uint64_t exact = ExactQuantile(values, q);
+    uint64_t approx = h.ValueAtQuantile(q);
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(static_cast<double>(approx),
+              static_cast<double>(exact) * (1.0 + rel) + 1.0)
+        << "q=" << q;
+  }
+  uint64_t sum = 0;
+  for (uint64_t v : values) sum += v;
+  double exact_mean = static_cast<double>(sum) / values.size();
+  EXPECT_NEAR(h.mean_us(), exact_mean, 1e-6) << "mean is tracked exactly";
+}
+
+TEST(LatencyHistogramTest, MergeEqualsRecordingEverythingInOne) {
+  std::mt19937_64 rng(7);
+  LatencyHistogram combined(6);
+  LatencyHistogram a(6);
+  LatencyHistogram b(6);
+  for (int i = 0; i < 5'000; ++i) {
+    uint64_t v = rng() % 1'000'000;
+    combined.Record(v);
+    (i % 2 == 0 ? a : b).Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min_us(), combined.min_us());
+  EXPECT_EQ(a.max_us(), combined.max_us());
+  EXPECT_EQ(a.mean_us(), combined.mean_us());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.ValueAtQuantile(q), combined.ValueAtQuantile(q)) << q;
+  }
+}
+
+TEST(LatencyHistogramTest, RecordMillisClampsGarbage) {
+  LatencyHistogram h;
+  h.RecordMillis(-5.0);
+  h.RecordMillis(std::nan(""));
+  h.RecordMillis(1.5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min_us(), 0u) << "negative and NaN clamp to 0";
+  EXPECT_EQ(h.max_us(), 1500u);
+}
+
+TEST(LatencyHistogramTest, HugeValuesSaturateInsteadOfOverflowing) {
+  LatencyHistogram h;
+  h.Record(UINT64_MAX);
+  h.Record(1u << 30);
+  EXPECT_EQ(h.count(), 2u);
+  // The saturated sample still sorts above the 2^30 one.
+  EXPECT_GE(h.ValueAtQuantile(1.0), h.ValueAtQuantile(0.5));
+  EXPECT_GE(h.ValueAtQuantile(0.5), 1u << 30);
+}
+
+TEST(LatencyHistogramTest, ClearResetsEverything) {
+  LatencyHistogram h;
+  h.Record(123);
+  h.Record(456);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 0u);
+  h.Record(10);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 10u);
+}
+
+TEST(LatencyHistogramTest, QuantileIsMonotoneInQ) {
+  std::mt19937_64 rng(3);
+  LatencyHistogram h;
+  for (int i = 0; i < 10'000; ++i) h.Record(rng() % 10'000'000);
+  uint64_t prev = 0;
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    uint64_t v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace ganswer
