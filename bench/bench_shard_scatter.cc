@@ -1,0 +1,214 @@
+// Scatter-gather serving: sharded vs single-snapshot QPS and latency.
+//
+// Boots the same topology `qa_httpd --shards N` runs — one QaService
+// router holding the full snapshot plus N in-process ShardWorkers serving
+// halo-replicated shard snapshots over the binary shard RPC — and drives
+// the identical closed-loop /answer load against an unsharded baseline and
+// 1/2/4-shard configs. The question cache is off so every request runs
+// matching (and, when scatter-safe, one full scatter round-trip): the
+// numbers isolate the cost/benefit of the scatter hop itself.
+//
+//   BENCH_JSON {"bench":"shard_scatter","shards":2,...}
+//
+// Fields worth tracking: qps + p50/p99 per shard count against shards=0,
+// scattered vs fallback_local (how many queries the halo condition lets
+// scatter), and replication_factor (sum of shard triples / full triples —
+// the storage price of the halo).
+//
+// Run: ./build/bench/bench_shard_scatter [requests_per_client]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support.h"
+#include "common/latency_histogram.h"
+#include "common/timer.h"
+#include "server/http_client.h"
+#include "server/qa_service.h"
+#include "server/shard_worker.h"
+#include "store/sharded_kb.h"
+#include "store/snapshot.h"
+
+using namespace ganswer;
+
+namespace {
+
+struct LoadResult {
+  size_t ok = 0;
+  size_t errors = 0;
+  LatencyHistogram latency;
+  double wall_s = 0;
+};
+
+LoadResult RunLoad(int port, const std::vector<std::string>& questions,
+                   int clients, size_t per_client) {
+  std::vector<LoadResult> partial(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  WallTimer wall;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      LoadResult& mine = partial[static_cast<size_t>(c)];
+      server::BlockingHttpClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) return;
+      for (size_t i = 0; i < per_client; ++i) {
+        const std::string& q =
+            questions[(static_cast<size_t>(c) + i) % questions.size()];
+        std::string body = "{\"question\": \"" + q + "\"}";
+        WallTimer timer;
+        auto response = client.Post("/answer", body);
+        double ms = timer.ElapsedMillis();
+        if (response.ok() && response->status == 200) {
+          ++mine.ok;
+          mine.latency.RecordMillis(ms);
+        } else {
+          ++mine.errors;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoadResult total;
+  total.wall_s = wall.ElapsedSeconds();
+  for (LoadResult& p : partial) {
+    total.ok += p.ok;
+    total.errors += p.errors;
+    total.latency.Merge(p.latency);
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t per_client =
+      argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 100;
+  const int kClients = 4;
+  const int kThreads = 4;
+
+  bench::Header("Sharded KB: scatter-gather vs single-snapshot serving");
+
+  bench::BenchWorld world = bench::BuildWorld();
+  const std::string snapshot_path = "bench_shard_scatter.snap";
+  if (Status st = store::WriteSnapshotFile(world.kb.graph, *world.verified,
+                                           snapshot_path);
+      !st.ok()) {
+    std::fprintf(stderr, "snapshot write failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  const uint64_t full_triples = world.kb.graph.NumTriples();
+  std::vector<std::string> questions;
+  for (const auto& gold : world.workload) {
+    if (!gold.is_ask) questions.push_back(gold.text);
+    if (questions.size() >= 64) break;
+  }
+  if (questions.empty()) questions.push_back("Who is the mayor of Berlin ?");
+
+  const int shard_counts[] = {0, 1, 2, 4};  // 0 = unsharded baseline
+  std::vector<std::string> cleanup{snapshot_path};
+
+  std::printf("%8s %10s %10s %10s %10s %12s %12s %12s\n", "shards", "qps",
+              "p50_ms", "p99_ms", "errors", "scattered", "fallback",
+              "repl_factor");
+  for (int shards : shard_counts) {
+    server::QaService::Options options;
+    options.snapshot_path = snapshot_path;
+    options.port = 0;
+    options.threads = kThreads;
+    options.question_cache_capacity = 0;  // every request runs matching
+
+    std::vector<std::unique_ptr<server::ShardWorker>> workers;
+    double replication = 1.0;
+    if (shards > 0) {
+      store::ShardSpec spec;
+      spec.num_shards = static_cast<uint32_t>(shards);
+      auto manifest = store::WriteShardedKb(world.kb.graph, *world.verified,
+                                            snapshot_path, spec);
+      if (!manifest.ok()) {
+        std::fprintf(stderr, "shard build failed: %s\n",
+                     manifest.status().ToString().c_str());
+        return 1;
+      }
+      uint64_t total = 0;
+      for (const store::ShardInfo& shard : manifest->shards) {
+        total += shard.total_triples;
+        cleanup.push_back(shard.path);
+      }
+      cleanup.push_back(store::ShardManifestPath(snapshot_path));
+      replication =
+          full_triples > 0 ? static_cast<double>(total) / full_triples : 1.0;
+      for (uint32_t shard = 0; shard < manifest->num_shards; ++shard) {
+        server::ShardWorker::Options worker_options;
+        worker_options.snapshot_path = manifest->shards[shard].path;
+        worker_options.shard_id = shard;
+        worker_options.num_shards = manifest->num_shards;
+        worker_options.halo_hops = manifest->halo_hops;
+        auto worker =
+            std::make_unique<server::ShardWorker>(std::move(worker_options));
+        if (Status st = worker->Start(); !st.ok()) {
+          std::fprintf(stderr, "shard %u startup failed: %s\n", shard,
+                       st.ToString().c_str());
+          return 1;
+        }
+        options.shard_endpoints.push_back({"127.0.0.1", worker->port()});
+        workers.push_back(std::move(worker));
+      }
+      options.shard_halo_hops = manifest->halo_hops;
+    }
+
+    server::QaService service(options);
+    if (Status st = service.Start(); !st.ok()) {
+      std::fprintf(stderr, "startup failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    // Warm-up primes connections (router->shard pools included).
+    RunLoad(service.port(), questions, kClients,
+            std::max<size_t>(per_client / 10, 1));
+    LoadResult result =
+        RunLoad(service.port(), questions, kClients, per_client);
+
+    uint64_t scattered = 0;
+    uint64_t fallback = 0;
+    if (server::ShardClient* client = service.shard_client()) {
+      scattered = client->scattered_calls();
+      fallback = client->fallback_calls();
+    }
+    service.Shutdown();
+    for (auto& worker : workers) worker->Shutdown();
+
+    double qps = result.wall_s > 0 ? result.ok / result.wall_s : 0;
+    double p50 = result.latency.QuantileMillis(0.50);
+    double p99 = result.latency.QuantileMillis(0.99);
+    std::printf("%8d %10.0f %10.3f %10.3f %10zu %12llu %12llu %12.2f\n",
+                shards, qps, p50, p99, result.errors,
+                static_cast<unsigned long long>(scattered),
+                static_cast<unsigned long long>(fallback), replication);
+
+    bench::JsonLine("shard_scatter")
+        .Field("closed_loop", true)
+        .Field("shards", shards)
+        .Field("threads", kThreads)
+        .Field("clients", kClients)
+        .Field("hardware_threads",
+               static_cast<int>(std::thread::hardware_concurrency()))
+        .Field("requests_ok", result.ok)
+        .Field("errors", result.errors)
+        .Field("wall_s", result.wall_s)
+        .Field("qps", qps)
+        .Field("p50_ms", p50)
+        .Field("p99_ms", p99)
+        .Field("p99_9_ms", result.latency.QuantileMillis(0.999))
+        .Field("scattered", scattered)
+        .Field("fallback_local", fallback)
+        .Field("replication_factor", replication)
+        .Emit();
+  }
+  for (const std::string& path : cleanup) std::remove(path.c_str());
+  return 0;
+}

@@ -24,7 +24,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "datagen/kb_generator.h"
@@ -32,6 +34,8 @@
 #include "nlp/lexicon.h"
 #include "paraphrase/dictionary_builder.h"
 #include "server/qa_service.h"
+#include "server/shard_worker.h"
+#include "store/sharded_kb.h"
 #include "store/snapshot.h"
 
 using namespace ganswer;
@@ -76,14 +80,44 @@ int BuildDemoSnapshot(const std::string& path) {
   return 0;
 }
 
+// Reuses an existing sharded KB next to the snapshot when its manifest
+// matches the requested layout, else partitions and writes one.
+StatusOr<store::ShardManifest> EnsureShards(const std::string& snapshot_path,
+                                            uint32_t num_shards,
+                                            uint32_t halo_hops) {
+  const std::string manifest_path = store::ShardManifestPath(snapshot_path);
+  if (auto existing = store::ReadShardManifest(manifest_path);
+      existing.ok() && existing->num_shards == num_shards &&
+      existing->halo_hops == halo_hops) {
+    bool all_present = true;
+    for (const store::ShardInfo& shard : existing->shards) {
+      if (::access(shard.path.c_str(), R_OK) != 0) all_present = false;
+    }
+    if (all_present) return existing;
+  }
+  nlp::Lexicon lexicon;
+  auto snapshot = store::ReadSnapshotFile(snapshot_path, &lexicon);
+  if (!snapshot.ok()) return snapshot.status();
+  store::ShardSpec spec;
+  spec.num_shards = num_shards;
+  spec.halo_hops = halo_hops;
+  std::printf("partitioning %llu triples into %u shard(s), halo %u ...\n",
+              static_cast<unsigned long long>(snapshot->graph->NumTriples()),
+              num_shards, halo_hops);
+  return store::WriteShardedKb(*snapshot->graph, *snapshot->dictionary,
+                               snapshot_path, spec);
+}
+
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --snapshot FILE [--port N] [--address A] [--threads N]\n"
       "          [--max-queue N] [--deadline-ms N] [--no-fast-path]\n"
       "          [--cache N] [--idle-timeout-ms N] [--mmap]\n"
+      "          [--shards N] [--halo-hops H] [--shard-timeout-ms N]\n"
+      "       %s --snapshot FILE --build-shards --shards N [--halo-hops H]\n"
       "       %s --build-demo-snapshot FILE\n",
-      argv0, argv0);
+      argv0, argv0, argv0);
   return 2;
 }
 
@@ -91,6 +125,9 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   server::QaService::Options options;
+  int num_shards = 0;
+  uint32_t halo_hops = store::ShardSpec{}.halo_hops;
+  bool build_shards_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--snapshot") == 0 && i + 1 < argc) {
       options.snapshot_path = argv[++i];
@@ -114,6 +151,15 @@ int main(int argc, char** argv) {
       options.idle_timeout_ms = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--mmap") == 0) {
       options.mmap_load = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      num_shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--halo-hops") == 0 && i + 1 < argc) {
+      halo_hops = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--shard-timeout-ms") == 0 &&
+               i + 1 < argc) {
+      options.shard_timeout_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--build-shards") == 0) {
+      build_shards_only = true;
     } else if (std::strcmp(argv[i], "--build-demo-snapshot") == 0 &&
                i + 1 < argc) {
       return BuildDemoSnapshot(argv[++i]);
@@ -122,6 +168,62 @@ int main(int argc, char** argv) {
     }
   }
   if (options.snapshot_path.empty()) return Usage(argv[0]);
+
+  if (build_shards_only) {
+    if (num_shards < 1) return Usage(argv[0]);
+    auto manifest = EnsureShards(options.snapshot_path,
+                                 static_cast<uint32_t>(num_shards), halo_hops);
+    if (!manifest.ok()) {
+      std::fprintf(stderr, "shard build failed: %s\n",
+                   manifest.status().ToString().c_str());
+      return 1;
+    }
+    for (const store::ShardInfo& shard : manifest->shards) {
+      std::printf("  %s: %llu owned / %llu total triples\n",
+                  shard.path.c_str(),
+                  static_cast<unsigned long long>(shard.owned_triples),
+                  static_cast<unsigned long long>(shard.total_triples));
+    }
+    std::printf("wrote shard manifest to %s\n",
+                store::ShardManifestPath(options.snapshot_path).c_str());
+    return 0;
+  }
+
+  // Single-process sharded mode: partition the KB (or reuse an existing
+  // matching sharded build), bring up one in-process ShardWorker per shard
+  // on ephemeral loopback ports, and point the QaService router at them.
+  // Operationally this is the scatter-gather demo / test topology; the
+  // workers could equally run as separate processes on other machines.
+  std::vector<std::unique_ptr<server::ShardWorker>> workers;
+  if (num_shards >= 1) {
+    auto manifest = EnsureShards(options.snapshot_path,
+                                 static_cast<uint32_t>(num_shards), halo_hops);
+    if (!manifest.ok()) {
+      std::fprintf(stderr, "shard build failed: %s\n",
+                   manifest.status().ToString().c_str());
+      return 1;
+    }
+    for (uint32_t shard = 0; shard < manifest->num_shards; ++shard) {
+      server::ShardWorker::Options worker_options;
+      worker_options.snapshot_path = manifest->shards[shard].path;
+      worker_options.mmap_load = options.mmap_load;
+      worker_options.shard_id = shard;
+      worker_options.num_shards = manifest->num_shards;
+      worker_options.halo_hops = manifest->halo_hops;
+      auto worker =
+          std::make_unique<server::ShardWorker>(std::move(worker_options));
+      if (Status st = worker->Start(); !st.ok()) {
+        std::fprintf(stderr, "shard %u startup failed: %s\n", shard,
+                     st.ToString().c_str());
+        return 1;
+      }
+      options.shard_endpoints.push_back({"127.0.0.1", worker->port()});
+      workers.push_back(std::move(worker));
+    }
+    options.shard_halo_hops = manifest->halo_hops;
+    std::printf("started %u in-process shard worker(s)\n",
+                manifest->num_shards);
+  }
 
   if (::pipe(g_shutdown_pipe) != 0) {
     std::perror("pipe");
@@ -147,7 +249,8 @@ int main(int argc, char** argv) {
   char byte;
   while (::read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
   }
-  service.Shutdown();
+  service.Shutdown();  // router first: no more scatters reach the workers
+  for (auto& worker : workers) worker->Shutdown();
 
   server::QaService::EndpointStats answers = service.answer_stats();
   std::printf("served %llu /answer requests (%llu errors), rejected %llu\n",

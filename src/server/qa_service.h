@@ -15,6 +15,7 @@
 #include "qa/ganswer.h"
 #include "rdf/sparql_engine.h"
 #include "server/http_server.h"
+#include "server/shard_client.h"
 #include "store/snapshot.h"
 
 namespace ganswer {
@@ -106,6 +107,20 @@ class QaService {
     /// request is answered (e.g. a latch that holds workers busy so
     /// admission overflow and shutdown drain become deterministic).
     std::function<void()> worker_hook;
+    /// Sharded serving: when non-empty, /answer matching scatters to these
+    /// shard workers (server/shard_worker.h, one per endpoint) and merges
+    /// per-shard top-k — the router keeps the full snapshot and falls back
+    /// to local matching whenever a query is not scatter-safe or every
+    /// shard fails, so answers stay exact (see server/shard_client.h).
+    /// Empty (the default) serves everything locally.
+    std::vector<ShardClient::Endpoint> shard_endpoints;
+    /// Halo radius the shard snapshots were built with (from the shard
+    /// manifest); gates which queries may scatter.
+    uint32_t shard_halo_hops = 0;
+    /// End-to-end deadline per scatter, and per-shard resends after a
+    /// failure within that deadline.
+    int shard_timeout_ms = 2000;
+    int shard_retries = 1;
   };
 
   /// Cumulative per-endpoint counters, readable while serving.
@@ -161,6 +176,12 @@ class QaService {
   qa::GAnswer* system() { return system_.get(); }
   const store::Snapshot& snapshot() const { return snapshot_; }
   HttpServer* http_server() { return http_.get(); }
+  /// Non-null only in sharded mode (Options::shard_endpoints non-empty).
+  ShardClient* shard_client() { return shard_client_.get(); }
+  /// /answer responses served with incomplete shard coverage.
+  uint64_t partial_answers() const {
+    return partial_answers_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct StatsCell {
@@ -204,6 +225,8 @@ class QaService {
   std::unique_ptr<rdf::SparqlEngine> engine_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<HttpServer> http_;
+  std::unique_ptr<ShardClient> shard_client_;
+  std::atomic<uint64_t> partial_answers_{0};
 
   std::atomic<int> admitted_{0};
   std::atomic<uint64_t> shed_queue_full_{0};

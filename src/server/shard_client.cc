@@ -1,0 +1,498 @@
+#include "server/shard_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <utility>
+
+namespace ganswer {
+namespace server {
+namespace {
+
+constexpr size_t kMaxPooledPerShard = 8;
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Opens a nonblocking socket and starts connecting; sets *in_progress
+/// when the connect is still pending (completion signaled by POLLOUT).
+int StartConnect(const std::string& host, int port, bool* in_progress) {
+  *in_progress = false;
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0) return fd;
+  if (errno == EINPROGRESS) {
+    *in_progress = true;
+    return fd;
+  }
+  ::close(fd);
+  return -1;
+}
+
+}  // namespace
+
+struct ShardClient::Attempt {
+  enum class State { kConnecting, kSending, kReading, kDone, kFailed };
+
+  size_t shard = 0;
+  int fd = -1;
+  State state = State::kFailed;
+  bool from_pool = false;
+  /// Network attempts made so far (pool checkout counts as one).
+  int tries = 0;
+  /// Attempts left, including the in-flight one. A stale pooled
+  /// connection's failure is refunded: it should not eat the caller's
+  /// retry budget.
+  int remaining = 0;
+  size_t out_offset = 0;
+  FrameBuffer frames;
+  std::string payload;
+  bool timed_out = false;
+};
+
+ShardClient::ShardClient(Options options) : options_(std::move(options)) {
+  shards_.reserve(options_.endpoints.size());
+  for (size_t i = 0; i < options_.endpoints.size(); ++i) {
+    shards_.push_back(std::make_unique<PerShard>());
+  }
+}
+
+ShardClient::~ShardClient() { CloseIdleConnections(); }
+
+void ShardClient::CloseIdleConnections() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (int fd : shard->idle_fds) ::close(fd);
+    shard->idle_fds.clear();
+  }
+}
+
+int ShardClient::CheckoutConnection(size_t shard) {
+  PerShard* s = shards_[shard].get();
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->idle_fds.empty()) return -1;
+  int fd = s->idle_fds.back();
+  s->idle_fds.pop_back();
+  return fd;
+}
+
+void ShardClient::ReturnConnection(size_t shard, int fd) {
+  PerShard* s = shards_[shard].get();
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->idle_fds.size() >= kMaxPooledPerShard) {
+    ::close(fd);
+    return;
+  }
+  s->idle_fds.push_back(fd);
+}
+
+ShardClient::ShardCounters ShardClient::counters(size_t shard) const {
+  PerShard* s = shards_[shard].get();
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->counters;
+}
+
+bool ShardClient::ShouldScatter(const match::QueryGraph& query) const {
+  if (options_.endpoints.empty()) return false;
+  // One shard owns every subject, so its graph is the full graph and any
+  // query — connected or not — evaluates identically to the local matcher.
+  if (options_.endpoints.size() == 1) return true;
+  if (query.vertices.empty()) return false;
+
+  // Connectivity: the halo argument anchors on one assigned vertex and
+  // walks the match's support from there, which requires every query
+  // vertex to be reachable from every other.
+  std::vector<int> parent(query.vertices.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&parent](int v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  const int n = static_cast<int>(query.vertices.size());
+  for (const match::QueryEdge& e : query.edges) {
+    if (e.from < 0 || e.from >= n || e.to < 0 || e.to >= n) return false;
+    parent[find(e.from)] = find(e.to);
+  }
+  const int root = find(0);
+  for (int v = 1; v < n; ++v) {
+    if (find(v) != root) return false;
+  }
+
+  // Halo coverage: reach = sum over edges of the longest candidate
+  // predicate path (a wildcard edge matches exactly one predicate), L =
+  // the single longest. Exact iff reach + L + 1 <= halo_hops — see
+  // store/sharded_kb.h for the derivation.
+  uint64_t reach = 0;
+  uint64_t longest = 0;
+  for (const match::QueryEdge& e : query.edges) {
+    uint64_t len = 1;
+    for (const paraphrase::ParaphraseEntry& c : e.candidates) {
+      len = std::max<uint64_t>(len, c.path.steps.size());
+    }
+    reach += len;
+    longest = std::max(longest, len);
+  }
+  return reach + longest + 1 <= options_.halo_hops;
+}
+
+std::vector<StatusOr<std::string>> ShardClient::Scatter(
+    const std::string& payload, const std::vector<size_t>& shards) {
+  const std::string frame = EncodeFrame(payload);
+  const int64_t deadline = NowMs() + options_.timeout_ms;
+  std::vector<Attempt> attempts(shards.size());
+
+  auto begin_attempt = [&](Attempt* a) {
+    a->remaining--;
+    a->out_offset = 0;
+    a->frames = FrameBuffer();
+    a->payload.clear();
+    a->from_pool = false;
+    {
+      PerShard* s = shards_[a->shard].get();
+      std::lock_guard<std::mutex> lock(s->mu);
+      if (a->tries == 0) {
+        s->counters.requests++;
+      } else {
+        s->counters.retries++;
+      }
+    }
+    if (a->tries++ == 0) {
+      int pooled = CheckoutConnection(a->shard);
+      if (pooled >= 0) {
+        a->fd = pooled;
+        a->from_pool = true;
+        a->state = Attempt::State::kSending;
+        return;
+      }
+    }
+    bool in_progress = false;
+    const Endpoint& ep = options_.endpoints[a->shard];
+    a->fd = StartConnect(ep.host, ep.port, &in_progress);
+    if (a->fd < 0) {
+      a->state = Attempt::State::kFailed;
+      return;
+    }
+    a->state =
+        in_progress ? Attempt::State::kConnecting : Attempt::State::kSending;
+  };
+
+  // Closes the current connection and retries on a fresh one while budget
+  // and deadline remain; otherwise the attempt settles as failed.
+  auto fail_attempt = [&](Attempt* a) {
+    while (true) {
+      if (a->fd >= 0) {
+        ::close(a->fd);
+        a->fd = -1;
+      }
+      if (a->from_pool) {
+        a->remaining++;  // stale pooled connection: free retry
+        a->from_pool = false;
+      }
+      if (a->remaining <= 0 || NowMs() >= deadline) {
+        a->state = Attempt::State::kFailed;
+        return;
+      }
+      begin_attempt(a);
+      if (a->state != Attempt::State::kFailed) return;
+    }
+  };
+
+  auto advance = [&](Attempt* a, short revents) {
+    if ((revents & (POLLERR | POLLNVAL)) != 0) {
+      fail_attempt(a);
+      return;
+    }
+    if (a->state == Attempt::State::kConnecting) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (::getsockopt(a->fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+          err != 0) {
+        fail_attempt(a);
+        return;
+      }
+      a->state = Attempt::State::kSending;
+    }
+    if (a->state == Attempt::State::kSending) {
+      // POLLHUP during send: peer closed; writing would fail anyway.
+      if ((revents & POLLHUP) != 0 && (revents & POLLOUT) == 0) {
+        fail_attempt(a);
+        return;
+      }
+      while (a->out_offset < frame.size()) {
+        ssize_t n = ::send(a->fd, frame.data() + a->out_offset,
+                           frame.size() - a->out_offset, MSG_NOSIGNAL);
+        if (n > 0) {
+          a->out_offset += static_cast<size_t>(n);
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+        if (n < 0 && errno == EINTR) continue;
+        fail_attempt(a);
+        return;
+      }
+      a->state = Attempt::State::kReading;
+      return;  // the next poll round waits for POLLIN
+    }
+    if (a->state == Attempt::State::kReading) {
+      char buf[16384];
+      while (true) {
+        ssize_t n = ::recv(a->fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+          a->frames.Append(std::string_view(buf, static_cast<size_t>(n)));
+          StatusOr<bool> got = a->frames.Next(&a->payload);
+          if (!got.ok()) {  // corrupt frame: stream unusable
+            fail_attempt(a);
+            return;
+          }
+          if (*got) {
+            a->state = Attempt::State::kDone;
+            // Reuse only clean connections — trailing bytes past the
+            // response would desynchronize the next call on this fd.
+            if (a->frames.buffered() == 0) {
+              ReturnConnection(a->shard, a->fd);
+            } else {
+              ::close(a->fd);
+            }
+            a->fd = -1;
+            return;
+          }
+          continue;
+        }
+        if (n == 0) {  // EOF before a complete frame (e.g. truncation)
+          fail_attempt(a);
+          return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        fail_attempt(a);
+        return;
+      }
+    }
+  };
+
+  for (size_t i = 0; i < shards.size(); ++i) {
+    Attempt* a = &attempts[i];
+    a->shard = shards[i];
+    a->remaining = 1 + std::max(0, options_.retries);
+    begin_attempt(a);
+    if (a->state == Attempt::State::kFailed) fail_attempt(a);
+  }
+
+  std::vector<pollfd> pfds;
+  std::vector<size_t> idx;
+  while (true) {
+    pfds.clear();
+    idx.clear();
+    for (size_t i = 0; i < attempts.size(); ++i) {
+      Attempt& a = attempts[i];
+      short events = 0;
+      switch (a.state) {
+        case Attempt::State::kConnecting:
+        case Attempt::State::kSending:
+          events = POLLOUT;
+          break;
+        case Attempt::State::kReading:
+          events = POLLIN;
+          break;
+        default:
+          continue;
+      }
+      pfds.push_back(pollfd{a.fd, events, 0});
+      idx.push_back(i);
+    }
+    if (pfds.empty()) break;
+    const int64_t remaining_ms = deadline - NowMs();
+    if (remaining_ms <= 0) break;
+    int rc = ::poll(pfds.data(), pfds.size(), static_cast<int>(remaining_ms));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) break;  // deadline
+    for (size_t p = 0; p < pfds.size(); ++p) {
+      if (pfds[p].revents == 0) continue;
+      advance(&attempts[idx[p]], pfds[p].revents);
+    }
+  }
+
+  // Whatever is still in flight has missed the deadline.
+  for (Attempt& a : attempts) {
+    if (a.state == Attempt::State::kDone ||
+        a.state == Attempt::State::kFailed) {
+      continue;
+    }
+    if (a.fd >= 0) {
+      ::close(a.fd);
+      a.fd = -1;
+    }
+    a.timed_out = true;
+    a.state = Attempt::State::kFailed;
+  }
+
+  std::vector<StatusOr<std::string>> results;
+  results.reserve(attempts.size());
+  for (Attempt& a : attempts) {
+    if (a.state == Attempt::State::kDone) {
+      results.push_back(std::move(a.payload));
+      continue;
+    }
+    PerShard* s = shards_[a.shard].get();
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->counters.errors++;
+      if (a.timed_out) s->counters.timeouts++;
+    }
+    results.push_back(Status::IoError(
+        a.timed_out ? "shard response deadline exceeded"
+                    : "shard unreachable or returned a broken stream"));
+  }
+  return results;
+}
+
+StatusOr<ShardClient::MatchOutcome> ShardClient::ScatterMatch(
+    const match::QueryGraph& query, size_t k) {
+  if (shards_.empty()) {
+    return Status::InvalidArgument("shard client has no endpoints");
+  }
+  ShardRequest request;
+  request.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  request.type = ShardRpcType::kMatch;
+  request.k = k;
+  request.query = query;
+
+  std::vector<size_t> all(num_shards());
+  std::iota(all.begin(), all.end(), 0);
+  scattered_calls_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<StatusOr<std::string>> raw =
+      Scatter(EncodeRequest(request), all);
+
+  MatchOutcome out;
+  std::vector<std::vector<match::Match>> per_shard;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (!raw[i].ok()) {
+      out.failed_shards++;
+      continue;
+    }
+    StatusOr<ShardResponse> response = DecodeResponse(*raw[i]);
+    if (!response.ok() || response->request_id != request.request_id ||
+        response->type != ShardRpcType::kMatch ||
+        response->status != ShardRpcStatus::kOk) {
+      out.failed_shards++;
+      PerShard* s = shards_[i].get();
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->counters.errors++;
+      continue;
+    }
+    out.ok_shards++;
+    per_shard.push_back(std::move(response->matches));
+  }
+  if (out.ok_shards == 0) {
+    return Status::IoError("every shard failed to answer the match request");
+  }
+  out.matches = match::MergeShardTopK(per_shard, k);
+  if (out.partial()) partial_results_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+StatusOr<ShardClient::SparqlOutcome> ShardClient::ScatterSparql(
+    const std::string& text) {
+  if (shards_.empty()) {
+    return Status::InvalidArgument("shard client has no endpoints");
+  }
+  ShardRequest request;
+  request.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  request.type = ShardRpcType::kSparql;
+  request.sparql_text = text;
+
+  std::vector<size_t> all(num_shards());
+  std::iota(all.begin(), all.end(), 0);
+  scattered_calls_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<StatusOr<std::string>> raw =
+      Scatter(EncodeRequest(request), all);
+
+  SparqlOutcome out;
+  bool have_header = false;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (!raw[i].ok()) {
+      out.failed_shards++;
+      continue;
+    }
+    StatusOr<ShardResponse> response = DecodeResponse(*raw[i]);
+    if (!response.ok() || response->request_id != request.request_id ||
+        response->type != ShardRpcType::kSparql ||
+        response->status != ShardRpcStatus::kOk) {
+      out.failed_shards++;
+      PerShard* s = shards_[i].get();
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->counters.errors++;
+      continue;
+    }
+    out.ok_shards++;
+    if (!have_header) {
+      out.result.var_names = std::move(response->sparql.var_names);
+      have_header = true;
+    }
+    out.result.ask_result |= response->sparql.ask_result;
+    for (std::vector<rdf::TermId>& row : response->sparql.rows) {
+      out.result.rows.push_back(std::move(row));
+    }
+  }
+  if (out.ok_shards == 0) {
+    return Status::IoError("every shard failed to answer the SPARQL request");
+  }
+  // Shards overlap (halo replication): union semantics, deterministic order.
+  std::sort(out.result.rows.begin(), out.result.rows.end());
+  out.result.rows.erase(
+      std::unique(out.result.rows.begin(), out.result.rows.end()),
+      out.result.rows.end());
+  if (out.partial()) partial_results_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+StatusOr<ShardPingInfo> ShardClient::Ping(size_t shard) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  ShardRequest request;
+  request.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  request.type = ShardRpcType::kPing;
+  std::vector<StatusOr<std::string>> raw =
+      Scatter(EncodeRequest(request), {shard});
+  if (!raw[0].ok()) return raw[0].status();
+  StatusOr<ShardResponse> response = DecodeResponse(*raw[0]);
+  if (!response.ok()) return response.status();
+  if (response->request_id != request.request_id ||
+      response->type != ShardRpcType::kPing ||
+      response->status != ShardRpcStatus::kOk) {
+    return Status::IoError("shard ping returned an unexpected response");
+  }
+  return response->ping;
+}
+
+}  // namespace server
+}  // namespace ganswer

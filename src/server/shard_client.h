@@ -1,0 +1,162 @@
+#ifndef GANSWER_SERVER_SHARD_CLIENT_H_
+#define GANSWER_SERVER_SHARD_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "match/query_graph.h"
+#include "rdf/sparql.h"
+#include "server/shard_rpc.h"
+
+namespace ganswer {
+namespace server {
+
+/// \brief The router's side of scatter-gather: fans one request out to
+/// every shard worker concurrently, gathers within a deadline, merges.
+///
+/// Each scatter call drives all shard connections through one poll(2) loop
+/// — connect, send, reassemble frames — bounded by `timeout_ms` end to
+/// end, so a dropped, delayed or truncated shard response can never hang
+/// the router: the slow shard is counted as failed and the call returns
+/// with what the healthy shards delivered. A failed attempt is retried on
+/// a fresh connection while deadline budget remains (`retries` per shard
+/// per call). Healthy connections are pooled and reused across calls;
+/// failed or timed-out ones are closed (a stale late response must never
+/// desynchronize the stream).
+///
+/// **Exactness.** ScatterMatch is only *attempted* when ShouldScatter says
+/// the query is coverable by the shards' halo replication: the query graph
+/// must be connected (the matcher assigns only the anchor's component) and
+/// `reach + L + 1 <= halo_hops`, where `reach` sums each edge's longest
+/// candidate predicate path and `L` is the single longest one — the exact
+/// condition under which the shard owning any assigned vertex holds the
+/// whole match neighborhood (store/sharded_kb.h). Within that condition,
+/// merging per-shard top-k by max-score-per-assignment and re-cutting with
+/// the pinned MatchOrder reproduces the single-snapshot matcher's list
+/// byte for byte — the shard differential oracle proves it per seed. For
+/// everything else the caller runs its local matcher (the router holds the
+/// full snapshot), so sharded serving is exact unconditionally and
+/// "partial" can only arise from injected or real shard failures.
+class ShardClient {
+ public:
+  struct Endpoint {
+    std::string host = "127.0.0.1";
+    int port = 0;
+  };
+
+  struct Options {
+    std::vector<Endpoint> endpoints;
+    /// Halo radius the shards were built with (from the shard manifest);
+    /// drives ShouldScatter. Ignored for single-shard sets.
+    uint32_t halo_hops = 0;
+    /// End-to-end deadline per scatter call.
+    int timeout_ms = 2000;
+    /// Fresh-connection resends per shard per call after a failure.
+    int retries = 1;
+  };
+
+  /// Cumulative per-shard health counters, readable while serving.
+  struct ShardCounters {
+    uint64_t requests = 0;  ///< First attempts (one per scatter call).
+    uint64_t retries = 0;   ///< Extra attempts after a failure.
+    uint64_t errors = 0;    ///< Calls where the shard finally failed.
+    uint64_t timeouts = 0;  ///< Subset of errors: deadline expired.
+  };
+
+  struct MatchOutcome {
+    /// Merged global top-k (match::MergeShardTopK).
+    std::vector<match::Match> matches;
+    size_t ok_shards = 0;
+    size_t failed_shards = 0;
+    /// Some shards answered, some failed: the merged list may be missing
+    /// their matches. With zero failures the result is exact.
+    bool partial() const { return failed_shards > 0 && ok_shards > 0; }
+  };
+
+  struct SparqlOutcome {
+    /// Union of per-shard rows, deduplicated and sorted for determinism.
+    rdf::SparqlResult result;
+    size_t ok_shards = 0;
+    size_t failed_shards = 0;
+    bool partial() const { return failed_shards > 0 && ok_shards > 0; }
+  };
+
+  explicit ShardClient(Options options);
+  ~ShardClient();
+
+  ShardClient(const ShardClient&) = delete;
+  ShardClient& operator=(const ShardClient&) = delete;
+
+  size_t num_shards() const { return options_.endpoints.size(); }
+
+  /// True when halo replication provably covers \p query (see class
+  /// comment); callers fall back to their local matcher otherwise.
+  bool ShouldScatter(const match::QueryGraph& query) const;
+
+  /// Scatters a top-k match request to every shard and merges. Fails only
+  /// when NO shard answered (callers then fall back to local matching);
+  /// partial coverage is reported via MatchOutcome, never as an error.
+  StatusOr<MatchOutcome> ScatterMatch(const match::QueryGraph& query,
+                                      size_t k);
+
+  /// Scatters a lowered SPARQL query; per-shard results union-merge (halo
+  /// replication makes shards overlap, so rows dedupe).
+  StatusOr<SparqlOutcome> ScatterSparql(const std::string& text);
+
+  /// One-shard identity probe (startup sanity check in qa_httpd).
+  StatusOr<ShardPingInfo> Ping(size_t shard);
+
+  ShardCounters counters(size_t shard) const;
+  uint64_t scattered_calls() const {
+    return scattered_calls_.load(std::memory_order_relaxed);
+  }
+  uint64_t partial_results() const {
+    return partial_results_.load(std::memory_order_relaxed);
+  }
+  /// Callers report local-matcher fallbacks here so /stats shows the
+  /// scatter-vs-fallback split in one place.
+  void CountFallback() {
+    fallback_calls_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t fallback_calls() const {
+    return fallback_calls_.load(std::memory_order_relaxed);
+  }
+
+  /// Closes every pooled connection (tests use this to force reconnects).
+  void CloseIdleConnections();
+
+ private:
+  struct PerShard {
+    mutable std::mutex mu;
+    std::vector<int> idle_fds;  ///< Pooled healthy connections.
+    ShardCounters counters;
+  };
+
+  /// One in-flight attempt of the scatter state machine.
+  struct Attempt;
+
+  /// Sends \p payload to every listed shard and gathers raw response
+  /// payloads within the deadline; result[i] matches shards[i].
+  std::vector<StatusOr<std::string>> Scatter(
+      const std::string& payload, const std::vector<size_t>& shards);
+
+  int CheckoutConnection(size_t shard);
+  void ReturnConnection(size_t shard, int fd);
+
+  Options options_;
+  std::vector<std::unique_ptr<PerShard>> shards_;
+  std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<uint64_t> scattered_calls_{0};
+  std::atomic<uint64_t> fallback_calls_{0};
+  std::atomic<uint64_t> partial_results_{0};
+};
+
+}  // namespace server
+}  // namespace ganswer
+
+#endif  // GANSWER_SERVER_SHARD_CLIENT_H_

@@ -1,0 +1,390 @@
+#include "server/shard_rpc.h"
+
+#include <cstring>
+#include <limits>
+
+namespace ganswer {
+namespace server {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 3 * sizeof(uint32_t);
+
+/// Doubles survive the wire bit-exactly (same IEEE-754 little-endian
+/// layout both sides — the snapshot container already relies on this), so
+/// candidate confidences and match scores round-trip without drift and the
+/// sharded-vs-single oracle can demand byte-equal scores.
+Status ReadCount(BinaryReader* r, uint64_t cap, const char* what,
+                 uint64_t* out) {
+  GANSWER_RETURN_NOT_OK(r->ReadVarint(out));
+  if (*out > cap) {
+    return Status::Corruption(std::string("shard rpc: ") + what +
+                              " count exceeds cap");
+  }
+  return Status::Ok();
+}
+
+void EncodeMatches(const std::vector<match::Match>& matches,
+                   BinaryWriter* w) {
+  w->WriteVarint(matches.size());
+  for (const match::Match& m : matches) {
+    w->WriteVarint(m.assignment.size());
+    for (rdf::TermId v : m.assignment) w->WriteVarint(v);
+    w->WriteDouble(m.score);
+  }
+}
+
+Status DecodeMatches(BinaryReader* r, std::vector<match::Match>* out) {
+  uint64_t count = 0;
+  GANSWER_RETURN_NOT_OK(ReadCount(r, kMaxMatches, "match", &count));
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    match::Match m;
+    uint64_t len = 0;
+    GANSWER_RETURN_NOT_OK(ReadCount(r, kMaxQueryVertices, "assignment", &len));
+    m.assignment.reserve(len);
+    for (uint64_t j = 0; j < len; ++j) {
+      uint64_t v = 0;
+      GANSWER_RETURN_NOT_OK(r->ReadVarint(&v));
+      // kInvalidTerm (an unassigned vertex) is representable: it encodes
+      // as the 32-bit all-ones value.
+      if (v > std::numeric_limits<uint32_t>::max()) {
+        return Status::Corruption("shard rpc: assignment id out of range");
+      }
+      m.assignment.push_back(static_cast<rdf::TermId>(v));
+    }
+    GANSWER_RETURN_NOT_OK(r->ReadDouble(&m.score));
+    out->push_back(std::move(m));
+  }
+  return Status::Ok();
+}
+
+void EncodeSparqlResult(const rdf::SparqlResult& result, BinaryWriter* w) {
+  w->WriteVarint(result.var_names.size());
+  for (const std::string& v : result.var_names) w->WriteString(v);
+  w->WriteU8(result.ask_result ? 1 : 0);
+  w->WriteVarint(result.rows.size());
+  for (const auto& row : result.rows) {
+    w->WriteVarint(row.size());
+    for (rdf::TermId id : row) w->WriteVarint(id);
+  }
+}
+
+Status DecodeSparqlResult(BinaryReader* r, rdf::SparqlResult* out) {
+  uint64_t vars = 0;
+  GANSWER_RETURN_NOT_OK(ReadCount(r, kMaxSparqlVars, "var", &vars));
+  out->var_names.clear();
+  out->var_names.reserve(vars);
+  for (uint64_t i = 0; i < vars; ++i) {
+    std::string name;
+    GANSWER_RETURN_NOT_OK(r->ReadString(&name));
+    out->var_names.push_back(std::move(name));
+  }
+  uint8_t ask = 0;
+  GANSWER_RETURN_NOT_OK(r->ReadU8(&ask));
+  out->ask_result = ask != 0;
+  uint64_t rows = 0;
+  GANSWER_RETURN_NOT_OK(ReadCount(r, kMaxSparqlRows, "row", &rows));
+  out->rows.clear();
+  out->rows.reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    uint64_t width = 0;
+    GANSWER_RETURN_NOT_OK(ReadCount(r, kMaxSparqlVars, "row width", &width));
+    std::vector<rdf::TermId> row;
+    row.reserve(width);
+    for (uint64_t j = 0; j < width; ++j) {
+      uint64_t id = 0;
+      GANSWER_RETURN_NOT_OK(r->ReadVarint(&id));
+      if (id > std::numeric_limits<uint32_t>::max()) {
+        return Status::Corruption("shard rpc: row term id out of range");
+      }
+      row.push_back(static_cast<rdf::TermId>(id));
+    }
+    out->rows.push_back(std::move(row));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  BinaryWriter w;
+  w.WriteU32(kShardRpcMagic);
+  w.WriteU32(static_cast<uint32_t>(payload.size()));
+  w.WriteU32(Crc32(payload.data(), payload.size()));
+  w.WriteBytes(payload);
+  return w.Release();
+}
+
+StatusOr<bool> FrameBuffer::Next(std::string* payload) {
+  // Compact lazily: erase-from-front per frame would be quadratic under
+  // pipelining, so consumed bytes are dropped only when a frame completes.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  std::string_view pending =
+      std::string_view(buffer_).substr(consumed_);
+  if (pending.size() < kFrameHeaderBytes) return false;
+  uint32_t magic = 0, length = 0, crc = 0;
+  std::memcpy(&magic, pending.data(), sizeof(magic));
+  std::memcpy(&length, pending.data() + 4, sizeof(length));
+  std::memcpy(&crc, pending.data() + 8, sizeof(crc));
+  if (magic != kShardRpcMagic) {
+    return Status::Corruption("shard rpc: bad frame magic");
+  }
+  if (length > kMaxFrameBytes) {
+    return Status::Corruption("shard rpc: frame exceeds size cap");
+  }
+  if (pending.size() - kFrameHeaderBytes < length) return false;
+  std::string_view body = pending.substr(kFrameHeaderBytes, length);
+  if (Crc32(body.data(), body.size()) != crc) {
+    return Status::Corruption("shard rpc: frame CRC mismatch");
+  }
+  payload->assign(body);
+  consumed_ += kFrameHeaderBytes + length;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  return true;
+}
+
+void EncodeQueryGraph(const match::QueryGraph& query, BinaryWriter* w) {
+  w->WriteVarint(query.vertices.size());
+  for (const match::QueryVertex& v : query.vertices) {
+    w->WriteU8(v.wildcard ? 1 : 0);
+    w->WriteDouble(v.wildcard_confidence);
+    w->WriteVarint(v.candidates.size());
+    for (const linking::LinkCandidate& c : v.candidates) {
+      w->WriteVarint(c.vertex);
+      w->WriteU8(c.is_class ? 1 : 0);
+      w->WriteDouble(c.confidence);
+    }
+  }
+  w->WriteVarint(query.edges.size());
+  for (const match::QueryEdge& e : query.edges) {
+    w->WriteVarint(static_cast<uint64_t>(e.from));
+    w->WriteVarint(static_cast<uint64_t>(e.to));
+    w->WriteU8(e.wildcard ? 1 : 0);
+    w->WriteDouble(e.wildcard_confidence);
+    w->WriteVarint(e.candidates.size());
+    for (const paraphrase::ParaphraseEntry& entry : e.candidates) {
+      w->WriteVarint(entry.path.steps.size());
+      for (const paraphrase::PathStep& step : entry.path.steps) {
+        w->WriteVarint(step.predicate);
+        w->WriteU8(step.forward ? 1 : 0);
+      }
+      w->WriteDouble(entry.confidence);
+    }
+  }
+}
+
+Status DecodeQueryGraph(BinaryReader* r, match::QueryGraph* out) {
+  uint64_t num_vertices = 0;
+  GANSWER_RETURN_NOT_OK(
+      ReadCount(r, kMaxQueryVertices, "query vertex", &num_vertices));
+  out->vertices.clear();
+  out->vertices.reserve(num_vertices);
+  for (uint64_t i = 0; i < num_vertices; ++i) {
+    match::QueryVertex v;
+    uint8_t wildcard = 0;
+    GANSWER_RETURN_NOT_OK(r->ReadU8(&wildcard));
+    v.wildcard = wildcard != 0;
+    GANSWER_RETURN_NOT_OK(r->ReadDouble(&v.wildcard_confidence));
+    uint64_t candidates = 0;
+    GANSWER_RETURN_NOT_OK(
+        ReadCount(r, kMaxCandidatesPerItem, "vertex candidate", &candidates));
+    v.candidates.reserve(candidates);
+    for (uint64_t j = 0; j < candidates; ++j) {
+      linking::LinkCandidate c;
+      uint64_t vertex = 0;
+      GANSWER_RETURN_NOT_OK(r->ReadVarint(&vertex));
+      if (vertex > std::numeric_limits<uint32_t>::max()) {
+        return Status::Corruption("shard rpc: candidate id out of range");
+      }
+      c.vertex = static_cast<rdf::TermId>(vertex);
+      uint8_t is_class = 0;
+      GANSWER_RETURN_NOT_OK(r->ReadU8(&is_class));
+      c.is_class = is_class != 0;
+      GANSWER_RETURN_NOT_OK(r->ReadDouble(&c.confidence));
+      v.candidates.push_back(c);
+    }
+    out->vertices.push_back(std::move(v));
+  }
+  uint64_t num_edges = 0;
+  GANSWER_RETURN_NOT_OK(ReadCount(r, kMaxQueryEdges, "query edge",
+                                  &num_edges));
+  out->edges.clear();
+  out->edges.reserve(num_edges);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    match::QueryEdge e;
+    uint64_t from = 0, to = 0;
+    GANSWER_RETURN_NOT_OK(r->ReadVarint(&from));
+    GANSWER_RETURN_NOT_OK(r->ReadVarint(&to));
+    if (from >= num_vertices || to >= num_vertices) {
+      return Status::Corruption("shard rpc: edge endpoint out of range");
+    }
+    e.from = static_cast<int>(from);
+    e.to = static_cast<int>(to);
+    uint8_t wildcard = 0;
+    GANSWER_RETURN_NOT_OK(r->ReadU8(&wildcard));
+    e.wildcard = wildcard != 0;
+    GANSWER_RETURN_NOT_OK(r->ReadDouble(&e.wildcard_confidence));
+    uint64_t candidates = 0;
+    GANSWER_RETURN_NOT_OK(
+        ReadCount(r, kMaxCandidatesPerItem, "edge candidate", &candidates));
+    e.candidates.reserve(candidates);
+    for (uint64_t j = 0; j < candidates; ++j) {
+      paraphrase::ParaphraseEntry entry;
+      uint64_t steps = 0;
+      GANSWER_RETURN_NOT_OK(ReadCount(r, kMaxPathSteps, "path step", &steps));
+      entry.path.steps.reserve(steps);
+      for (uint64_t h = 0; h < steps; ++h) {
+        paraphrase::PathStep step;
+        uint64_t predicate = 0;
+        GANSWER_RETURN_NOT_OK(r->ReadVarint(&predicate));
+        if (predicate > std::numeric_limits<uint32_t>::max()) {
+          return Status::Corruption("shard rpc: predicate id out of range");
+        }
+        step.predicate = static_cast<rdf::TermId>(predicate);
+        uint8_t forward = 0;
+        GANSWER_RETURN_NOT_OK(r->ReadU8(&forward));
+        step.forward = forward != 0;
+        entry.path.steps.push_back(step);
+      }
+      GANSWER_RETURN_NOT_OK(r->ReadDouble(&entry.confidence));
+      e.candidates.push_back(std::move(entry));
+    }
+    out->edges.push_back(std::move(e));
+  }
+  return Status::Ok();
+}
+
+std::string EncodeRequest(const ShardRequest& request) {
+  BinaryWriter w;
+  w.WriteU64(request.request_id);
+  w.WriteU8(static_cast<uint8_t>(request.type));
+  switch (request.type) {
+    case ShardRpcType::kPing:
+      break;
+    case ShardRpcType::kMatch:
+      w.WriteVarint(request.k);
+      EncodeQueryGraph(request.query, &w);
+      break;
+    case ShardRpcType::kSparql:
+      w.WriteString(request.sparql_text);
+      break;
+  }
+  return w.Release();
+}
+
+StatusOr<ShardRequest> DecodeRequest(std::string_view payload) {
+  BinaryReader r(payload);
+  ShardRequest request;
+  GANSWER_RETURN_NOT_OK(r.ReadU64(&request.request_id));
+  uint8_t type = 0;
+  GANSWER_RETURN_NOT_OK(r.ReadU8(&type));
+  switch (static_cast<ShardRpcType>(type)) {
+    case ShardRpcType::kPing:
+      request.type = ShardRpcType::kPing;
+      break;
+    case ShardRpcType::kMatch:
+      request.type = ShardRpcType::kMatch;
+      GANSWER_RETURN_NOT_OK(r.ReadVarint(&request.k));
+      if (request.k == 0 || request.k > kMaxMatches) {
+        return Status::Corruption("shard rpc: k out of range");
+      }
+      GANSWER_RETURN_NOT_OK(DecodeQueryGraph(&r, &request.query));
+      break;
+    case ShardRpcType::kSparql:
+      request.type = ShardRpcType::kSparql;
+      GANSWER_RETURN_NOT_OK(r.ReadString(&request.sparql_text));
+      break;
+    default:
+      return Status::Corruption("shard rpc: unknown request type " +
+                                std::to_string(type));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("shard rpc: trailing request bytes");
+  }
+  return request;
+}
+
+std::string EncodeResponse(const ShardResponse& response) {
+  BinaryWriter w;
+  w.WriteU64(response.request_id);
+  w.WriteU8(static_cast<uint8_t>(response.type));
+  w.WriteU8(static_cast<uint8_t>(response.status));
+  if (response.status != ShardRpcStatus::kOk) {
+    w.WriteString(response.error);
+    return w.Release();
+  }
+  switch (response.type) {
+    case ShardRpcType::kPing:
+      w.WriteU32(response.ping.shard_id);
+      w.WriteU32(response.ping.num_shards);
+      w.WriteU32(response.ping.halo_hops);
+      w.WriteU64(response.ping.fingerprint);
+      w.WriteU64(response.ping.total_triples);
+      break;
+    case ShardRpcType::kMatch:
+      EncodeMatches(response.matches, &w);
+      break;
+    case ShardRpcType::kSparql:
+      EncodeSparqlResult(response.sparql, &w);
+      break;
+  }
+  return w.Release();
+}
+
+StatusOr<ShardResponse> DecodeResponse(std::string_view payload) {
+  BinaryReader r(payload);
+  ShardResponse response;
+  GANSWER_RETURN_NOT_OK(r.ReadU64(&response.request_id));
+  uint8_t type = 0, status = 0;
+  GANSWER_RETURN_NOT_OK(r.ReadU8(&type));
+  GANSWER_RETURN_NOT_OK(r.ReadU8(&status));
+  if (type != static_cast<uint8_t>(ShardRpcType::kPing) &&
+      type != static_cast<uint8_t>(ShardRpcType::kMatch) &&
+      type != static_cast<uint8_t>(ShardRpcType::kSparql)) {
+    return Status::Corruption("shard rpc: unknown response type " +
+                              std::to_string(type));
+  }
+  response.type = static_cast<ShardRpcType>(type);
+  if (status > static_cast<uint8_t>(ShardRpcStatus::kInternal)) {
+    return Status::Corruption("shard rpc: unknown response status " +
+                              std::to_string(status));
+  }
+  response.status = static_cast<ShardRpcStatus>(status);
+  if (response.status != ShardRpcStatus::kOk) {
+    GANSWER_RETURN_NOT_OK(r.ReadString(&response.error));
+    if (!r.AtEnd()) {
+      return Status::Corruption("shard rpc: trailing response bytes");
+    }
+    return response;
+  }
+  switch (response.type) {
+    case ShardRpcType::kPing:
+      GANSWER_RETURN_NOT_OK(r.ReadU32(&response.ping.shard_id));
+      GANSWER_RETURN_NOT_OK(r.ReadU32(&response.ping.num_shards));
+      GANSWER_RETURN_NOT_OK(r.ReadU32(&response.ping.halo_hops));
+      GANSWER_RETURN_NOT_OK(r.ReadU64(&response.ping.fingerprint));
+      GANSWER_RETURN_NOT_OK(r.ReadU64(&response.ping.total_triples));
+      break;
+    case ShardRpcType::kMatch:
+      GANSWER_RETURN_NOT_OK(DecodeMatches(&r, &response.matches));
+      break;
+    case ShardRpcType::kSparql:
+      GANSWER_RETURN_NOT_OK(DecodeSparqlResult(&r, &response.sparql));
+      break;
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("shard rpc: trailing response bytes");
+  }
+  return response;
+}
+
+}  // namespace server
+}  // namespace ganswer

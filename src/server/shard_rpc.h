@@ -1,0 +1,135 @@
+#ifndef GANSWER_SERVER_SHARD_RPC_H_
+#define GANSWER_SERVER_SHARD_RPC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "match/query_graph.h"
+#include "rdf/sparql.h"
+
+namespace ganswer {
+namespace server {
+
+/// \brief The compact binary RPC the router speaks to shard workers:
+/// length-prefixed `common/binary_io` frames over a plain TCP stream.
+///
+/// Wire format of one frame:
+///
+///   u32  magic      'GSRP' (0x50525347 little-endian on the wire)
+///   u32  length     payload bytes that follow (bounded by kMaxFrameBytes)
+///   u32  crc        CRC-32 of the payload
+///   ...  payload
+///
+/// Payloads start with `u64 request_id` + `u8 type`; responses add
+/// `u8 status`. The codec is strictly bounds-checked — every decode path
+/// returns Status::Corruption on truncated, oversized or internally
+/// inconsistent bytes, never crashes (the shard_rpc fuzz driver and its
+/// corpus pin this). Both sides tolerate partial reads: FrameBuffer
+/// reassembles frames from arbitrary stream chunks.
+///
+/// Requests:
+///   kPing    empty body; answers shard identity + sizes.
+///   kMatch   top-k candidate matching: k + a serialized QueryGraph
+///            (candidate confidences travel with it, so scores are
+///            shard-independent); answers the shard-local top-k Match list.
+///   kSparql  lowered-SPARQL evaluation: query text; answers the var
+///            names + TermId rows of the shard-local result (ids are
+///            global, the router maps them to text). Per-shard results
+///            have union semantics — the router dedupes.
+inline constexpr uint32_t kShardRpcMagic = 0x50525347;  // "GSRP"
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class ShardRpcType : uint8_t {
+  kPing = 1,
+  kMatch = 2,
+  kSparql = 3,
+};
+
+enum class ShardRpcStatus : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kInternal = 2,
+};
+
+/// Decoder caps: a hostile frame cannot demand giant allocations. Real
+/// query graphs are a handful of vertices (one per question phrase).
+inline constexpr uint64_t kMaxQueryVertices = 64;
+inline constexpr uint64_t kMaxQueryEdges = 256;
+inline constexpr uint64_t kMaxCandidatesPerItem = 1u << 16;
+inline constexpr uint64_t kMaxPathSteps = 32;
+inline constexpr uint64_t kMaxMatches = 1u << 20;
+inline constexpr uint64_t kMaxSparqlVars = 64;
+inline constexpr uint64_t kMaxSparqlRows = 1u << 20;
+
+struct ShardRequest {
+  uint64_t request_id = 0;
+  ShardRpcType type = ShardRpcType::kPing;
+  /// kMatch:
+  uint64_t k = 0;
+  match::QueryGraph query;
+  /// kSparql:
+  std::string sparql_text;
+};
+
+struct ShardPingInfo {
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 0;
+  uint32_t halo_hops = 0;
+  uint64_t fingerprint = 0;
+  uint64_t total_triples = 0;
+};
+
+struct ShardResponse {
+  uint64_t request_id = 0;
+  ShardRpcType type = ShardRpcType::kPing;
+  ShardRpcStatus status = ShardRpcStatus::kOk;
+  std::string error;  ///< Human-readable detail when status != kOk.
+  /// kPing:
+  ShardPingInfo ping;
+  /// kMatch:
+  std::vector<match::Match> matches;
+  /// kSparql:
+  rdf::SparqlResult sparql;
+};
+
+/// Wraps an encoded payload into one wire frame (header + CRC + payload).
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame reassembly over a byte stream. Append() buffers
+/// arbitrary chunks; Next() yields one complete payload at a time.
+class FrameBuffer {
+ public:
+  /// Appends raw stream bytes.
+  void Append(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Extracts the next complete frame payload into \p payload. Returns
+  /// true when a frame was extracted, false when more bytes are needed.
+  /// A malformed header or CRC mismatch fails with Status::Corruption —
+  /// the connection is then unusable (framing is lost) and must be closed.
+  StatusOr<bool> Next(std::string* payload);
+
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+};
+
+std::string EncodeRequest(const ShardRequest& request);
+StatusOr<ShardRequest> DecodeRequest(std::string_view payload);
+
+std::string EncodeResponse(const ShardResponse& response);
+StatusOr<ShardResponse> DecodeResponse(std::string_view payload);
+
+/// QueryGraph over the wire; exposed for the fuzz driver.
+void EncodeQueryGraph(const match::QueryGraph& query, BinaryWriter* w);
+Status DecodeQueryGraph(BinaryReader* r, match::QueryGraph* out);
+
+}  // namespace server
+}  // namespace ganswer
+
+#endif  // GANSWER_SERVER_SHARD_RPC_H_

@@ -1,0 +1,359 @@
+#include "server/shard_worker.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+#include "match/top_k_matcher.h"
+
+namespace ganswer {
+namespace server {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+ShardWorker::ShardWorker(Options options) : options_(std::move(options)) {}
+
+ShardWorker::~ShardWorker() { Shutdown(); }
+
+Status ShardWorker::Start() {
+  auto snapshot = store::ReadSnapshotFile(
+      options_.snapshot_path, &lexicon_,
+      options_.mmap_load ? store::SnapshotLoadMode::kMmap
+                         : store::SnapshotLoadMode::kRead);
+  if (!snapshot.ok()) return snapshot.status();
+  snapshot_ = std::move(snapshot).value();
+  rdf::SparqlEngine::Options engine_options;
+  engine_options.stats = snapshot_.stats.get();
+  engine_ = std::make_unique<rdf::SparqlEngine>(*snapshot_.graph,
+                                                engine_options);
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+  fault_rng_ = std::make_unique<Rng>(options_.fault.seed);
+
+  GANSWER_RETURN_NOT_OK(loop_.Init());
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IoError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  GANSWER_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  GANSWER_RETURN_NOT_OK(loop_.Add(listen_fd_, EventLoop::kReadable,
+                                  [this](uint32_t) { AcceptReady(); }));
+  loop_thread_ = std::thread([this] { loop_.Run(); });
+  started_ = true;
+  GANSWER_LOG(Info) << "shard worker " << options_.shard_id << "/"
+                    << options_.num_shards << " serving "
+                    << snapshot_.graph->NumTriples() << " triples on "
+                    << options_.bind_address << ":" << port_;
+  return Status::Ok();
+}
+
+void ShardWorker::Shutdown() {
+  if (!started_ || shut_down_.exchange(true)) {
+    if (!started_ && listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (loop_thread_.joinable()) loop_thread_.join();
+    return;
+  }
+  // Stop accepting, then drain the pool while the loop is still alive so
+  // in-flight evaluations can Post their (now pointless) responses safely,
+  // then tear the loop down.
+  loop_.Post([this] {
+    if (listen_fd_ >= 0) {
+      loop_.Remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  });
+  pool_.reset();
+  loop_.Post([this] {
+    std::vector<uint64_t> ids;
+    ids.reserve(connections_.size());
+    for (const auto& [id, conn] : connections_) ids.push_back(id);
+    for (uint64_t id : ids) CloseConnection(id);
+    loop_.Stop();
+  });
+  loop_thread_.join();
+  FlushLogs();
+}
+
+void ShardWorker::AcceptReady() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      GANSWER_LOG(Warn) << "shard accept: " << std::strerror(errno);
+      return;
+    }
+    if (connections_.size() >= options_.max_connections ||
+        !SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    uint64_t id = conn->id;
+    Status st = loop_.Add(fd, EventLoop::kReadable, [this, id](uint32_t ev) {
+      ConnectionReady(id, ev);
+    });
+    if (!st.ok()) {
+      ::close(fd);
+      continue;
+    }
+    connections_[id] = std::move(conn);
+  }
+}
+
+void ShardWorker::ConnectionReady(uint64_t conn_id, uint32_t events) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection* conn = it->second.get();
+
+  if (events & EventLoop::kWritable) {
+    FlushOutput(conn);
+    it = connections_.find(conn_id);
+    if (it == connections_.end()) return;
+    conn = it->second.get();
+  }
+
+  if (events & EventLoop::kReadable) {
+    char buf[16 * 1024];
+    while (true) {
+      ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn->frames.Append(std::string_view(buf, static_cast<size_t>(n)));
+        continue;
+      }
+      if (n == 0) {
+        // Peer finished sending. Keep the fd while responses are pending
+        // (the router half-closes only on its own teardown).
+        conn->peer_closed = true;
+        if (conn->in_flight == 0 && conn->out_offset == conn->outbuf.size()) {
+          CloseConnection(conn_id);
+        }
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      CloseConnection(conn_id);
+      return;
+    }
+    ProcessFrames(conn);
+  }
+}
+
+void ShardWorker::ProcessFrames(Connection* conn) {
+  const uint64_t conn_id = conn->id;
+  while (true) {
+    std::string payload;
+    auto next = conn->frames.Next(&payload);
+    if (!next.ok()) {
+      // Framing lost (bad magic / CRC / oversized): the stream cannot be
+      // re-synchronized, close. The decode layer guarantees this is the
+      // worst a hostile peer can do.
+      GANSWER_LOG(Warn) << "shard rpc: " << next.status().ToString();
+      CloseConnection(conn_id);
+      return;
+    }
+    if (!*next) return;
+    ++conn->in_flight;
+    Dispatch(conn_id, std::move(payload));
+    // Dispatch never touches connections_ synchronously (pool + Post), so
+    // conn stays valid across iterations.
+  }
+}
+
+void ShardWorker::Dispatch(uint64_t conn_id, std::string payload) {
+  pool_->Submit([this, conn_id, payload = std::move(payload)] {
+    ShardResponse response;
+    auto request = DecodeRequest(payload);
+    if (request.ok()) {
+      response = Evaluate(*request);
+    } else {
+      // The frame was intact (CRC passed) but the payload is malformed:
+      // answer an error so the router can count it without losing the
+      // connection.
+      response.status = ShardRpcStatus::kInvalidArgument;
+      response.error = request.status().ToString();
+    }
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    QueueResponse(conn_id, EncodeFrame(EncodeResponse(response)));
+  });
+}
+
+ShardResponse ShardWorker::Evaluate(const ShardRequest& request) const {
+  ShardResponse response;
+  response.request_id = request.request_id;
+  response.type = request.type;
+  switch (request.type) {
+    case ShardRpcType::kPing: {
+      response.ping.shard_id = options_.shard_id;
+      response.ping.num_shards = options_.num_shards;
+      response.ping.halo_hops = options_.halo_hops;
+      response.ping.fingerprint = snapshot_.fingerprint;
+      response.ping.total_triples = snapshot_.graph->NumTriples();
+      break;
+    }
+    case ShardRpcType::kMatch: {
+      match::TopKMatcher::Options matching;
+      matching.k = request.k;
+      matching.signatures = snapshot_.signatures.get();
+      matching.stats = snapshot_.stats.get();
+      matching.exec.threads = 1;
+      match::TopKMatcher matcher(snapshot_.graph.get(), matching);
+      auto matches = matcher.FindTopK(request.query);
+      if (!matches.ok()) {
+        response.status =
+            matches.status().IsInvalidArgument()
+                ? ShardRpcStatus::kInvalidArgument
+                : ShardRpcStatus::kInternal;
+        response.error = matches.status().ToString();
+        break;
+      }
+      response.matches = std::move(matches).value();
+      break;
+    }
+    case ShardRpcType::kSparql: {
+      auto result = engine_->ExecuteText(request.sparql_text);
+      if (!result.ok()) {
+        response.status = ShardRpcStatus::kInvalidArgument;
+        response.error = result.status().ToString();
+        break;
+      }
+      response.sparql = std::move(result).value();
+      break;
+    }
+  }
+  return response;
+}
+
+void ShardWorker::QueueResponse(uint64_t conn_id, std::string frame) {
+  loop_.Post([this, conn_id, frame = std::move(frame)]() mutable {
+    auto it = connections_.find(conn_id);
+    if (it == connections_.end()) return;
+    Connection* conn = it->second.get();
+    if (conn->in_flight > 0) --conn->in_flight;
+
+    const FaultInjection& fault = options_.fault;
+    if (fault.drop_fraction > 0 && fault_rng_->Chance(fault.drop_fraction)) {
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      // Swallow the response: the router sees silence and times out.
+      if (conn->peer_closed && conn->in_flight == 0 &&
+          conn->out_offset == conn->outbuf.size()) {
+        CloseConnection(conn_id);
+      }
+      return;
+    }
+    if (fault.delay_fraction > 0 && fault_rng_->Chance(fault.delay_fraction)) {
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      loop_.ScheduleAfter(fault.delay_ms,
+                          [this, conn_id, frame = std::move(frame)]() mutable {
+                            auto late = connections_.find(conn_id);
+                            if (late == connections_.end()) return;
+                            late->second->outbuf += frame;
+                            FlushOutput(late->second.get());
+                          });
+      return;
+    }
+    if (fault.truncate_fraction > 0 &&
+        fault_rng_->Chance(fault.truncate_fraction)) {
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      // Half a frame then a hard close: the router's frame buffer must
+      // reject the stream, never block on it.
+      conn->outbuf += frame.substr(0, frame.size() / 2);
+      FlushOutput(conn);
+      it = connections_.find(conn_id);
+      if (it != connections_.end()) CloseConnection(conn_id);
+      return;
+    }
+    conn->outbuf += frame;
+    FlushOutput(conn);
+  });
+}
+
+void ShardWorker::FlushOutput(Connection* conn) {
+  const uint64_t conn_id = conn->id;
+  while (conn->out_offset < conn->outbuf.size()) {
+    // MSG_NOSIGNAL: a router that timed out and closed its end must cause
+    // EPIPE here, not SIGPIPE process death.
+    ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->out_offset,
+                       conn->outbuf.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->writable_armed) {
+        conn->writable_armed = true;
+        loop_.Modify(conn->fd, EventLoop::kReadable | EventLoop::kWritable);
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn_id);
+    return;
+  }
+  conn->outbuf.clear();
+  conn->out_offset = 0;
+  if (conn->writable_armed) {
+    conn->writable_armed = false;
+    loop_.Modify(conn->fd, EventLoop::kReadable);
+  }
+  if (conn->peer_closed && conn->in_flight == 0) CloseConnection(conn_id);
+}
+
+void ShardWorker::CloseConnection(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  loop_.Remove(it->second->fd);
+  ::close(it->second->fd);
+  connections_.erase(it);
+}
+
+}  // namespace server
+}  // namespace ganswer

@@ -1,0 +1,146 @@
+#ifndef GANSWER_SERVER_SHARD_WORKER_H_
+#define GANSWER_SERVER_SHARD_WORKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "nlp/lexicon.h"
+#include "rdf/sparql_engine.h"
+#include "server/event_loop.h"
+#include "server/shard_rpc.h"
+#include "store/snapshot.h"
+
+namespace ganswer {
+namespace server {
+
+/// \brief One shard's serving process: a shard snapshot behind the binary
+/// shard RPC (shard_rpc.h) on the shared epoll EventLoop.
+///
+/// The loop thread owns all connection state and does nothing but frame
+/// reassembly and writes; decoded requests dispatch to a small worker pool
+/// (matching and SPARQL evaluation are CPU-bound) and responses re-enter
+/// the loop via Post — the same reactor discipline as HttpServer. A
+/// malformed frame closes the connection (stream framing is lost), it
+/// never crashes the worker: the decode layer is fully bounds-checked and
+/// byte-fuzzed.
+///
+/// kMatch runs the *unmodified* TopKMatcher over the shard graph with the
+/// router-serialized QueryGraph — candidate confidences travel inside the
+/// query, so a shard scores matches exactly as the single-snapshot matcher
+/// does; divergence can only come from triples the shard lacks, which the
+/// halo invariant (store/sharded_kb.h) and the router's reach check rule
+/// out for scattered queries.
+///
+/// **Fault injection** (tests only): a seeded fraction of responses can be
+/// dropped (never sent), delayed past the router's timeout, or truncated
+/// mid-frame with the connection closed. Decisions are made per response
+/// on the loop thread from one deterministic Rng, so a seed replays the
+/// exact fault sequence.
+class ShardWorker {
+ public:
+  struct FaultInjection {
+    double drop_fraction = 0.0;
+    double delay_fraction = 0.0;
+    double truncate_fraction = 0.0;
+    /// How long a "delayed" response waits before being sent; set it above
+    /// the router timeout to simulate a straggler the router gives up on.
+    int delay_ms = 1000;
+    uint64_t seed = 1;
+  };
+
+  struct Options {
+    /// Shard snapshot written by store::WriteShardedKb.
+    std::string snapshot_path;
+    bool mmap_load = false;
+    std::string bind_address = "127.0.0.1";
+    /// 0 picks an ephemeral port (tests); read back via port().
+    int port = 0;
+    /// Worker threads evaluating requests; 0 = hardware concurrency.
+    int threads = 1;
+    /// Identity reported by kPing (set from the shard manifest).
+    uint32_t shard_id = 0;
+    uint32_t num_shards = 1;
+    uint32_t halo_hops = 0;
+    size_t max_connections = 1024;
+    FaultInjection fault;
+  };
+
+  explicit ShardWorker(Options options);
+  ~ShardWorker();
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Loads the shard snapshot and starts serving.
+  Status Start();
+  /// Stops the loop, closes every connection, joins the pool. Idempotent.
+  void Shutdown();
+
+  int port() const { return port_; }
+  const store::Snapshot& snapshot() const { return snapshot_; }
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    FrameBuffer frames;
+    std::string outbuf;
+    size_t out_offset = 0;
+    bool writable_armed = false;
+    /// Requests dispatched to the pool whose responses have not been
+    /// queued yet; the connection lingers after peer EOF until they drain.
+    size_t in_flight = 0;
+    bool peer_closed = false;
+  };
+
+  void AcceptReady();
+  void ConnectionReady(uint64_t conn_id, uint32_t events);
+  void ProcessFrames(Connection* conn);
+  /// Evaluates one request on the worker pool; runs the fault decision and
+  /// queues the response bytes back on the loop thread.
+  void Dispatch(uint64_t conn_id, std::string payload);
+  ShardResponse Evaluate(const ShardRequest& request) const;
+  void QueueResponse(uint64_t conn_id, std::string frame);
+  void FlushOutput(Connection* conn);
+  void CloseConnection(uint64_t conn_id);
+
+  Options options_;
+  nlp::Lexicon lexicon_;
+  store::Snapshot snapshot_;
+  std::unique_ptr<rdf::SparqlEngine> engine_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  EventLoop loop_;
+  std::thread loop_thread_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+
+  /// Loop-thread only: one deterministic fault sequence per worker.
+  std::unique_ptr<Rng> fault_rng_;
+
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> faults_injected_{0};
+  bool started_ = false;
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace server
+}  // namespace ganswer
+
+#endif  // GANSWER_SERVER_SHARD_WORKER_H_

@@ -1,0 +1,248 @@
+#include "store/sharded_kb.h"
+
+#include <deque>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/binary_io.h"
+
+namespace ganswer {
+namespace store {
+
+namespace {
+
+constexpr char kManifestMagic[8] = {'G', 'A', 'N', 'S',
+                                    'S', 'H', 'R', 'D'};
+constexpr uint32_t kManifestVersion = 1;
+constexpr uint32_t kMaxShards = 4096;
+
+/// splitmix64 finalizer: consecutive TermIds (dense intern order puts
+/// related terms next to each other) spread uniformly across shards.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Distance label for the halo BFS; kUnreached = never visited.
+constexpr uint32_t kUnreached = std::numeric_limits<uint32_t>::max();
+
+}  // namespace
+
+uint32_t ShardOf(rdf::TermId subject, uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return static_cast<uint32_t>(Mix64(subject) % num_shards);
+}
+
+StatusOr<std::vector<rdf::RdfGraph>> BuildShardGraphs(
+    const rdf::RdfGraph& full, const ShardSpec& spec) {
+  if (!full.finalized()) {
+    return Status::InvalidArgument("sharding requires a finalized graph");
+  }
+  if (spec.num_shards == 0 || spec.num_shards > kMaxShards) {
+    return Status::InvalidArgument("num_shards must be in [1, " +
+                                   std::to_string(kMaxShards) + "]");
+  }
+  const size_t num_terms = full.NumTerms();
+  const rdf::TermId subclass = full.subclass_predicate();
+
+  std::vector<rdf::RdfGraph> shards(spec.num_shards);
+  for (rdf::RdfGraph& shard : shards) {
+    // Replay the dictionary in id order: dense intern order is the id
+    // assignment, so every shard reproduces the full graph's ids exactly
+    // and assignments computed on any shard are globally meaningful.
+    for (rdf::TermId id = 0; id < num_terms; ++id) {
+      shard.dict().Intern(full.dict().text(id), full.dict().kind(id));
+    }
+  }
+
+  // dist[v] = undirected BFS distance from the nearest owned vertex of the
+  // current shard; recomputed per shard. A triple is replicated into the
+  // shard when either endpoint sits within halo_hops - 1 of an owned
+  // vertex, which closes every connecting path of the exactness argument
+  // (see the header comment).
+  std::vector<uint32_t> dist(num_terms);
+  std::deque<rdf::TermId> queue;
+
+  for (uint32_t s = 0; s < spec.num_shards; ++s) {
+    rdf::RdfGraph& shard = shards[s];
+    if (spec.halo_hops > 0 && spec.num_shards > 1) {
+      std::fill(dist.begin(), dist.end(), kUnreached);
+      queue.clear();
+      for (rdf::TermId v = 0; v < num_terms; ++v) {
+        if (ShardOf(v, spec.num_shards) == s) {
+          dist[v] = 0;
+          queue.push_back(v);
+        }
+      }
+      const uint32_t limit = spec.halo_hops - 1;
+      while (!queue.empty()) {
+        rdf::TermId v = queue.front();
+        queue.pop_front();
+        if (dist[v] >= limit) continue;
+        for (const rdf::Edge& e : full.OutEdges(v)) {
+          if (dist[e.neighbor] == kUnreached) {
+            dist[e.neighbor] = dist[v] + 1;
+            queue.push_back(e.neighbor);
+          }
+        }
+        for (const rdf::Edge& e : full.InEdges(v)) {
+          if (dist[e.neighbor] == kUnreached) {
+            dist[e.neighbor] = dist[v] + 1;
+            queue.push_back(e.neighbor);
+          }
+        }
+      }
+    }
+    for (rdf::TermId v = 0; v < num_terms; ++v) {
+      for (const rdf::Edge& e : full.OutEdges(v)) {
+        bool keep = ShardOf(v, spec.num_shards) == s ||
+                    (subclass != rdf::kInvalidTerm && e.predicate == subclass);
+        if (!keep && spec.halo_hops > 0 && spec.num_shards > 1) {
+          keep = dist[v] != kUnreached || dist[e.neighbor] != kUnreached;
+        }
+        if (keep) shard.AddTriple(rdf::Triple{v, e.predicate, e.neighbor});
+      }
+    }
+    GANSWER_RETURN_NOT_OK(shard.Finalize());
+  }
+  return shards;
+}
+
+std::vector<rdf::Triple> OwnedTriples(const rdf::RdfGraph& shard_graph,
+                                      uint32_t shard_id,
+                                      uint32_t num_shards) {
+  std::vector<rdf::Triple> owned;
+  for (rdf::TermId v = 0; v < shard_graph.NumTerms(); ++v) {
+    if (ShardOf(v, num_shards) != shard_id) continue;
+    for (const rdf::Edge& e : shard_graph.OutEdges(v)) {
+      owned.push_back(rdf::Triple{v, e.predicate, e.neighbor});
+    }
+  }
+  return owned;
+}
+
+std::string ShardSnapshotPath(const std::string& base_path, uint32_t shard,
+                              uint32_t num_shards) {
+  std::ostringstream out;
+  out << base_path << ".shard" << shard << "-of-" << num_shards << ".snap";
+  return out.str();
+}
+
+std::string ShardManifestPath(const std::string& base_path) {
+  return base_path + ".shardmap";
+}
+
+StatusOr<ShardManifest> WriteShardedKb(
+    const rdf::RdfGraph& full, const paraphrase::ParaphraseDictionary& dict,
+    const std::string& base_path, const ShardSpec& spec,
+    const SnapshotWriteOptions& options) {
+  auto shards = BuildShardGraphs(full, spec);
+  if (!shards.ok()) return shards.status();
+
+  ShardManifest manifest;
+  manifest.num_shards = spec.num_shards;
+  manifest.halo_hops = spec.halo_hops;
+  manifest.shards.reserve(spec.num_shards);
+  for (uint32_t s = 0; s < spec.num_shards; ++s) {
+    const rdf::RdfGraph& graph = (*shards)[s];
+    ShardInfo info;
+    info.path = ShardSnapshotPath(base_path, s, spec.num_shards);
+    SnapshotStats stats;
+    GANSWER_RETURN_NOT_OK(
+        WriteSnapshotFile(graph, dict, info.path, &stats, options));
+    info.fingerprint = stats.fingerprint;
+    info.owned_triples = OwnedTriples(graph, s, spec.num_shards).size();
+    info.total_triples = graph.NumTriples();
+    manifest.shards.push_back(std::move(info));
+  }
+  GANSWER_RETURN_NOT_OK(
+      WriteShardManifest(manifest, ShardManifestPath(base_path)));
+  return manifest;
+}
+
+Status WriteShardManifest(const ShardManifest& manifest,
+                          const std::string& path) {
+  if (manifest.shards.size() != manifest.num_shards) {
+    return Status::InvalidArgument("manifest shard count mismatch");
+  }
+  BinaryWriter w;
+  w.WriteBytes(std::string_view(kManifestMagic, sizeof(kManifestMagic)));
+  w.WriteU32(kManifestVersion);
+  w.WriteU32(manifest.num_shards);
+  w.WriteU32(manifest.halo_hops);
+  for (const ShardInfo& info : manifest.shards) {
+    w.WriteString(info.path);
+    w.WriteU64(info.fingerprint);
+    w.WriteU64(info.owned_triples);
+    w.WriteU64(info.total_triples);
+  }
+  uint32_t crc = Crc32(w.buffer().data(), w.size());
+  w.WriteU32(crc);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out.write(w.buffer().data(), static_cast<std::streamsize>(w.size()));
+  out.flush();
+  if (!out) return Status::IoError("short write to '" + path + "'");
+  return Status::Ok();
+}
+
+StatusOr<ShardManifest> ReadShardManifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < sizeof(kManifestMagic) + sizeof(uint32_t)) {
+    return Status::Corruption("shard manifest truncated");
+  }
+  // CRC covers everything before the trailing checksum word.
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  uint32_t actual_crc = Crc32(bytes.data(), bytes.size() - sizeof(uint32_t));
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("shard manifest CRC mismatch");
+  }
+
+  BinaryReader r(std::string_view(bytes.data(),
+                                  bytes.size() - sizeof(uint32_t)));
+  char magic[sizeof(kManifestMagic)];
+  for (char& c : magic) {
+    uint8_t b = 0;
+    GANSWER_RETURN_NOT_OK(r.ReadU8(&b));
+    c = static_cast<char>(b);
+  }
+  if (std::memcmp(magic, kManifestMagic, sizeof(kManifestMagic)) != 0) {
+    return Status::Corruption("not a shard manifest");
+  }
+  uint32_t version = 0;
+  GANSWER_RETURN_NOT_OK(r.ReadU32(&version));
+  if (version != kManifestVersion) {
+    return Status::Corruption("unsupported shard manifest version " +
+                              std::to_string(version));
+  }
+  ShardManifest manifest;
+  GANSWER_RETURN_NOT_OK(r.ReadU32(&manifest.num_shards));
+  GANSWER_RETURN_NOT_OK(r.ReadU32(&manifest.halo_hops));
+  if (manifest.num_shards == 0 || manifest.num_shards > kMaxShards) {
+    return Status::Corruption("shard manifest: bad shard count");
+  }
+  manifest.shards.resize(manifest.num_shards);
+  for (ShardInfo& info : manifest.shards) {
+    GANSWER_RETURN_NOT_OK(r.ReadString(&info.path));
+    GANSWER_RETURN_NOT_OK(r.ReadU64(&info.fingerprint));
+    GANSWER_RETURN_NOT_OK(r.ReadU64(&info.owned_triples));
+    GANSWER_RETURN_NOT_OK(r.ReadU64(&info.total_triples));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("shard manifest: trailing bytes");
+  }
+  return manifest;
+}
+
+}  // namespace store
+}  // namespace ganswer

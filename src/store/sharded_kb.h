@@ -1,0 +1,108 @@
+#ifndef GANSWER_STORE_SHARDED_KB_H_
+#define GANSWER_STORE_SHARDED_KB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "paraphrase/paraphrase_dictionary.h"
+#include "rdf/rdf_graph.h"
+#include "store/snapshot.h"
+
+namespace ganswer {
+namespace store {
+
+/// \brief Horizontal partitioning of a finalized KB into N per-shard
+/// snapshots, ZipG-style: one aggregator in front of per-shard stores.
+///
+/// **Partitioning.** Every triple is *owned* by exactly one shard:
+/// `ShardOf(subject, N)` (a splitmix64 mix of the subject's TermId, so
+/// consecutive ids spread instead of clustering). Every shard replays the
+/// full term dictionary in id order, so TermIds are global — a match
+/// assignment computed on any shard is meaningful everywhere and the router
+/// renders answer text from its own dictionary without remapping.
+///
+/// **Halo replication.** Subgraph matching reaches across partition
+/// boundaries, so each shard additionally stores (a) every
+/// `rdfs:subClassOf` triple (the class hierarchy is tiny and every type
+/// check may need it) and (b) every triple incident to a vertex within
+/// undirected BFS distance `halo_hops - 1` of an owned vertex. A match
+/// whose query needs at most `reach` hops between assigned vertices and
+/// whose longest predicate-path candidate is `L` is then fully contained —
+/// support triples, type triples and every connecting path — in the shard
+/// owning any of its assigned vertices whenever
+/// `reach + L + 1 <= halo_hops`; that shard scores it exactly like the
+/// single-snapshot matcher would (the router checks this condition per
+/// query and falls back to its local full-graph matcher otherwise, so
+/// answers stay exact unconditionally — see server/shard_client.h).
+///
+/// **Recoverability.** Owned triples are recomputable from any shard graph
+/// by filtering on `ShardOf(subject)` — replication never obscures
+/// ownership, and the union of owned sets over all shards reproduces the
+/// original graph exactly (the shard_manifest property test proves this
+/// round-trips through the v3 snapshot container, raw and compressed).
+struct ShardSpec {
+  uint32_t num_shards = 1;
+  /// Halo radius in hops. 0 disables replication beyond owned + schema
+  /// triples (only safe for single-shard or router-fallback-only serving).
+  uint32_t halo_hops = 6;
+};
+
+/// Owner shard of a triple with this subject id.
+uint32_t ShardOf(rdf::TermId subject, uint32_t num_shards);
+
+/// Per-shard entry of a written sharded KB.
+struct ShardInfo {
+  std::string path;          ///< Snapshot file of this shard.
+  uint64_t fingerprint = 0;  ///< store::Snapshot fingerprint of that file.
+  uint64_t owned_triples = 0;
+  uint64_t total_triples = 0;  ///< Owned + schema + halo (the served graph).
+};
+
+/// The sharded-KB manifest: everything the router and workers need to
+/// bring up a consistent serving set. CRC-protected on disk.
+struct ShardManifest {
+  uint32_t num_shards = 0;
+  uint32_t halo_hops = 0;
+  std::vector<ShardInfo> shards;
+};
+
+/// Partitions \p full (finalized) into `spec.num_shards` standalone graphs:
+/// full dictionary replayed id-for-id, owned triples, replicated
+/// rdfs:subClassOf triples, and the halo closure described above. Each
+/// returned graph is finalized and servable on its own.
+StatusOr<std::vector<rdf::RdfGraph>> BuildShardGraphs(
+    const rdf::RdfGraph& full, const ShardSpec& spec);
+
+/// The triples of \p shard_graph owned by \p shard_id (filters out halo and
+/// schema replicas). Text form via the shard's own dictionary.
+std::vector<rdf::Triple> OwnedTriples(const rdf::RdfGraph& shard_graph,
+                                      uint32_t shard_id,
+                                      uint32_t num_shards);
+
+/// Builds the shard graphs and writes one v3 snapshot per shard
+/// (`<base>.shard<i>-of-<N>.snap`) plus the manifest (`<base>.shardmap`).
+/// \p dict is embedded in every shard snapshot (predicate ids are global,
+/// so the full dictionary is valid against every shard graph); pass an
+/// empty dictionary when the workers will never run understanding (they
+/// only match, so this is the normal case).
+StatusOr<ShardManifest> WriteShardedKb(
+    const rdf::RdfGraph& full, const paraphrase::ParaphraseDictionary& dict,
+    const std::string& base_path, const ShardSpec& spec,
+    const SnapshotWriteOptions& options = {});
+
+/// Path helpers shared by the writer, qa_httpd and the tests.
+std::string ShardSnapshotPath(const std::string& base_path, uint32_t shard,
+                              uint32_t num_shards);
+std::string ShardManifestPath(const std::string& base_path);
+
+Status WriteShardManifest(const ShardManifest& manifest,
+                          const std::string& path);
+/// Rejects wrong magic, version and CRC mismatches with Status::Corruption.
+StatusOr<ShardManifest> ReadShardManifest(const std::string& path);
+
+}  // namespace store
+}  // namespace ganswer
+
+#endif  // GANSWER_STORE_SHARDED_KB_H_

@@ -1,0 +1,291 @@
+// Byte-fuzz driver for the shard RPC codec (server/shard_rpc.h): the
+// frame reassembler and both payload decoders sit directly on untrusted
+// socket bytes, so they must reject truncated, oversized, CRC-broken or
+// internally inconsistent input with Status::Corruption — never crash,
+// never allocate absurdly, never read out of bounds. Valid request and
+// response frames are built in memory, then attacked with every prefix
+// truncation, seeded stacked mutations and arbitrary stream chunking; the
+// .hex corpus pins handcrafted hostile frames (bad magic, lying length,
+// wrong CRC, empty payload, unknown types).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "fuzz/fuzz_support.h"
+#include "match/query_graph.h"
+#include "prop/prop_support.h"
+#include "server/shard_rpc.h"
+
+namespace ganswer {
+namespace testing {
+namespace {
+
+using server::FrameBuffer;
+using server::ShardRequest;
+using server::ShardResponse;
+using server::ShardRpcType;
+
+match::QueryGraph SampleQuery() {
+  match::QueryGraph query;
+  query.vertices.resize(3);
+  query.vertices[0].candidates.push_back({.vertex = 7, .confidence = 0.9});
+  query.vertices[0].candidates.push_back({.vertex = 8, .confidence = 0.5});
+  query.vertices[1].wildcard = true;
+  query.vertices[2].candidates.push_back(
+      {.vertex = 3, .is_class = true, .confidence = 0.8});
+  match::QueryEdge e01;
+  e01.from = 0;
+  e01.to = 1;
+  paraphrase::ParaphraseEntry entry;
+  entry.path.steps = {{5, true}, {6, false}};
+  entry.confidence = 0.7;
+  e01.candidates.push_back(entry);
+  query.edges.push_back(e01);
+  match::QueryEdge e12;
+  e12.from = 1;
+  e12.to = 2;
+  e12.wildcard = true;
+  query.edges.push_back(e12);
+  return query;
+}
+
+/// Wire frames a healthy router/worker pair actually exchanges — the
+/// mutation baseline (a fuzzer starting from valid bytes reaches far
+/// deeper than one starting from noise).
+std::vector<std::string> ValidFrames() {
+  std::vector<std::string> frames;
+  {
+    ShardRequest ping;
+    ping.request_id = 1;
+    ping.type = ShardRpcType::kPing;
+    frames.push_back(server::EncodeFrame(server::EncodeRequest(ping)));
+  }
+  {
+    ShardRequest req;
+    req.request_id = 2;
+    req.type = ShardRpcType::kMatch;
+    req.k = 5;
+    req.query = SampleQuery();
+    frames.push_back(server::EncodeFrame(server::EncodeRequest(req)));
+  }
+  {
+    ShardRequest req;
+    req.request_id = 3;
+    req.type = ShardRpcType::kSparql;
+    req.sparql_text = "SELECT ?x WHERE { ?x <p> <o> }";
+    frames.push_back(server::EncodeFrame(server::EncodeRequest(req)));
+  }
+  {
+    ShardResponse resp;
+    resp.request_id = 2;
+    resp.type = ShardRpcType::kMatch;
+    match::Match m;
+    m.assignment = {4, 9, 11};
+    m.score = -0.25;
+    resp.matches = {m, m};
+    frames.push_back(server::EncodeFrame(server::EncodeResponse(resp)));
+  }
+  {
+    ShardResponse resp;
+    resp.request_id = 3;
+    resp.type = ShardRpcType::kSparql;
+    resp.sparql.var_names = {"x", "y"};
+    resp.sparql.rows = {{1, 2}, {3, 4}};
+    frames.push_back(server::EncodeFrame(server::EncodeResponse(resp)));
+  }
+  {
+    ShardResponse resp;
+    resp.request_id = 4;
+    resp.type = ShardRpcType::kSparql;
+    resp.status = server::ShardRpcStatus::kInvalidArgument;
+    resp.error = "parse error";
+    frames.push_back(server::EncodeFrame(server::EncodeResponse(resp)));
+  }
+  return frames;
+}
+
+struct DriveResult {
+  bool framing_error = false;
+  size_t frames = 0;           ///< complete frames extracted
+  size_t decoded = 0;          ///< payloads some decoder accepted
+};
+
+/// Feeds \p bytes through FrameBuffer (in random chunks when \p rng is
+/// given — the reassembler must not care how the stream is sliced) and
+/// runs both payload decoders over every extracted frame. Anything the
+/// decoders accept must respect the documented caps.
+DriveResult Drive(const std::string& bytes, Rng* rng = nullptr) {
+  DriveResult result;
+  FrameBuffer buffer;
+  size_t fed = 0;
+  while (fed < bytes.size() || fed == 0) {
+    size_t chunk = bytes.size() - fed;
+    if (rng != nullptr && chunk > 0) chunk = 1 + rng->Next(chunk);
+    buffer.Append(std::string_view(bytes).substr(fed, chunk));
+    fed += chunk;
+    while (true) {
+      std::string payload;
+      auto next = buffer.Next(&payload);
+      if (!next.ok()) {
+        EXPECT_TRUE(next.status().IsCorruption()) << next.status().ToString();
+        result.framing_error = true;
+        return result;
+      }
+      if (!*next) break;
+      ++result.frames;
+      if (auto req = server::DecodeRequest(payload); req.ok()) {
+        ++result.decoded;
+        EXPECT_LE(req->query.vertices.size(), server::kMaxQueryVertices);
+        EXPECT_LE(req->query.edges.size(), server::kMaxQueryEdges);
+        // Whatever decodes must re-encode without tripping any invariant.
+        server::EncodeRequest(*req);
+      }
+      if (auto resp = server::DecodeResponse(payload); resp.ok()) {
+        ++result.decoded;
+        EXPECT_LE(resp->matches.size(), server::kMaxMatches);
+        EXPECT_LE(resp->sparql.var_names.size(), server::kMaxSparqlVars);
+        EXPECT_LE(resp->sparql.rows.size(), server::kMaxSparqlRows);
+        server::EncodeResponse(*resp);
+      }
+    }
+    if (bytes.empty()) break;
+  }
+  return result;
+}
+
+TEST(ShardRpcFuzzTest, ValidFramesRoundTrip) {
+  Rng rng(99);
+  for (const std::string& frame : ValidFrames()) {
+    DriveResult whole = Drive(frame);
+    EXPECT_FALSE(whole.framing_error);
+    EXPECT_EQ(whole.frames, 1u);
+    EXPECT_GE(whole.decoded, 1u);
+    // Same frame through adversarial stream chunking.
+    DriveResult chunked = Drive(frame, &rng);
+    EXPECT_EQ(chunked.frames, 1u);
+  }
+  // All frames back to back on one stream, sliced arbitrarily.
+  std::string stream;
+  for (const std::string& frame : ValidFrames()) stream += frame;
+  DriveResult all = Drive(stream, &rng);
+  EXPECT_FALSE(all.framing_error);
+  EXPECT_EQ(all.frames, ValidFrames().size());
+}
+
+// The checked-in corpus: `reject_*` files must fail (framing or decode),
+// `pending_*` files are incomplete frames the reassembler must keep
+// waiting on without error.
+TEST(ShardRpcFuzzTest, SurvivesRegressionCorpus) {
+  std::vector<CorpusEntry> corpus = LoadCorpus("shard_rpc");
+  ASSERT_FALSE(corpus.empty());
+  for (const CorpusEntry& e : corpus) {
+    SCOPED_TRACE("corpus file: " + e.name);
+    DriveResult result = Drive(e.bytes);
+    if (e.name.rfind("reject_", 0) == 0) {
+      EXPECT_TRUE(result.framing_error || result.decoded == 0)
+          << "hostile frame was accepted";
+    } else if (e.name.rfind("pending_", 0) == 0) {
+      EXPECT_FALSE(result.framing_error) << "incomplete != corrupt";
+      EXPECT_EQ(result.frames, 0u);
+    }
+  }
+}
+
+TEST(ShardRpcFuzzTest, SurvivesEveryTruncation) {
+  for (const std::string& frame : ValidFrames()) {
+    for (size_t n = 0; n < frame.size(); ++n) {
+      DriveResult result = Drive(frame.substr(0, n));
+      // A proper prefix never yields a complete frame: either the header
+      // is short (reassembler waits) or the payload is (ditto). It must
+      // never be misread as done.
+      EXPECT_EQ(result.frames, 0u) << "accepted a " << n << "-byte prefix";
+    }
+  }
+}
+
+TEST(ShardRpcFuzzTest, SurvivesMutatedFrames) {
+  const std::vector<std::string> frames = ValidFrames();
+  ForEachSeed(8700, 120, [&](uint64_t seed) {
+    Rng rng(seed);
+    const std::string& base = frames[rng.Next(frames.size())];
+    Drive(MutateN(base, rng, 1 + rng.Next(6)), &rng);
+  });
+}
+
+// Mutate only the payload and re-frame it with a fresh, *valid* CRC: this
+// drives mutated bytes past the checksum into the request/response
+// decoders themselves, where the per-field bounds checks must hold.
+TEST(ShardRpcFuzzTest, SurvivesMutatedPayloadsBehindValidCrc) {
+  ShardRequest req;
+  req.request_id = 11;
+  req.type = ShardRpcType::kMatch;
+  req.k = 3;
+  req.query = SampleQuery();
+  const std::string request_payload = server::EncodeRequest(req);
+  ShardResponse resp;
+  resp.request_id = 11;
+  resp.type = ShardRpcType::kMatch;
+  match::Match m;
+  m.assignment = {1, 2, 3};
+  m.score = -1.5;
+  resp.matches = {m};
+  const std::string response_payload = server::EncodeResponse(resp);
+  ForEachSeed(8800, 120, [&](uint64_t seed) {
+    Rng rng(seed);
+    const std::string& base =
+        rng.Chance(0.5) ? request_payload : response_payload;
+    std::string mutated = MutateN(base, rng, 1 + rng.Next(4));
+    if (mutated.size() > server::kMaxFrameBytes) return;
+    DriveResult result = Drive(server::EncodeFrame(mutated));
+    EXPECT_FALSE(result.framing_error) << "re-framed payload has valid CRC";
+  });
+}
+
+// The query-graph codec, hit directly (it nests deepest inside kMatch).
+TEST(ShardRpcFuzzTest, QueryGraphDecoderNeverOverreads) {
+  BinaryWriter writer;
+  server::EncodeQueryGraph(SampleQuery(), &writer);
+  const std::string valid = writer.buffer();
+  {
+    BinaryReader reader(valid);
+    match::QueryGraph out;
+    ASSERT_TRUE(server::DecodeQueryGraph(&reader, &out).ok());
+    EXPECT_EQ(out.vertices.size(), 3u);
+    EXPECT_EQ(out.edges.size(), 2u);
+  }
+  ForEachSeed(8900, 150, [&](uint64_t seed) {
+    Rng rng(seed);
+    std::string bytes;
+    if (rng.Chance(0.5)) {
+      bytes = MutateN(valid, rng, 1 + rng.Next(5));
+    } else {
+      size_t len = rng.Next(120);
+      for (size_t i = 0; i < len; ++i) {
+        bytes.push_back(static_cast<char>(rng.Next(256)));
+      }
+    }
+    BinaryReader reader(bytes);
+    match::QueryGraph out;
+    Status s = server::DecodeQueryGraph(&reader, &out);
+    if (s.ok()) {
+      EXPECT_LE(out.vertices.size(), server::kMaxQueryVertices);
+      EXPECT_LE(out.edges.size(), server::kMaxQueryEdges);
+      for (const match::QueryEdge& edge : out.edges) {
+        EXPECT_GE(edge.from, 0);
+        EXPECT_GE(edge.to, 0);
+        EXPECT_LT(static_cast<size_t>(edge.from), out.vertices.size());
+        EXPECT_LT(static_cast<size_t>(edge.to), out.vertices.size());
+      }
+    } else {
+      EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+    }
+  });
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace ganswer

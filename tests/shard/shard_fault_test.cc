@@ -1,0 +1,315 @@
+// Fault-injection suite for scatter-gather serving: shard workers that
+// drop responses, delay them past the router's timeout, or truncate them
+// mid-frame must degrade the router to partial (or locally-served) answers
+// — never to hangs, crashes or 5xx. Each failure mode must also be
+// visible: `"partial":true` in the /answer body, per-shard error/timeout
+// counters in /stats, and partial answers kept out of the question cache.
+//
+// Faults are deterministic (seeded per worker), so every run exercises
+// the same drop/delay/truncate sequence.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "server/http_client.h"
+#include "server/qa_service.h"
+#include "server/shard_client.h"
+#include "server/shard_worker.h"
+#include "store/sharded_kb.h"
+#include "store/snapshot.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace testing {
+namespace {
+
+/// One router + N fault-injected workers over a freshly sharded copy of
+/// the shared demo world. Files are unique per cluster name so parallel
+/// ctest invocations never collide.
+class Cluster {
+ public:
+  Cluster(const std::string& name,
+          const std::vector<server::ShardWorker::FaultInjection>& faults,
+          int timeout_ms, size_t cache_capacity) {
+    Setup(name, faults, timeout_ms, cache_capacity);
+  }
+
+  /// ASSERT-compatible (void) setup; check ok() before using the cluster.
+  void Setup(const std::string& name,
+             const std::vector<server::ShardWorker::FaultInjection>& faults,
+             int timeout_ms, size_t cache_capacity) {
+    const SharedWorld& world = World();
+    base_ = "shard_fault_" + name + ".snap";
+    Status written =
+        store::WriteSnapshotFile(world.kb.graph, *world.verified, base_);
+    ASSERT_TRUE(written.ok()) << written.ToString();
+    store::ShardSpec spec;
+    spec.num_shards = static_cast<uint32_t>(faults.size());
+    auto manifest =
+        store::WriteShardedKb(world.kb.graph, *world.verified, base_, spec);
+    ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+    manifest_ = *manifest;
+
+    server::QaService::Options options;
+    options.snapshot_path = base_;
+    options.port = 0;
+    options.threads = 2;
+    options.question_cache_capacity = cache_capacity;
+    options.shard_timeout_ms = timeout_ms;
+    options.shard_halo_hops = manifest_.halo_hops;
+    for (uint32_t shard = 0; shard < manifest_.num_shards; ++shard) {
+      server::ShardWorker::Options worker_options;
+      worker_options.snapshot_path = manifest_.shards[shard].path;
+      worker_options.shard_id = shard;
+      worker_options.num_shards = manifest_.num_shards;
+      worker_options.halo_hops = manifest_.halo_hops;
+      worker_options.fault = faults[shard];
+      auto worker =
+          std::make_unique<server::ShardWorker>(std::move(worker_options));
+      ASSERT_TRUE(worker->Start().ok());
+      options.shard_endpoints.push_back({"127.0.0.1", worker->port()});
+      workers_.push_back(std::move(worker));
+    }
+    service_ = std::make_unique<server::QaService>(options);
+    ASSERT_TRUE(service_->Start().ok());
+    ok_ = true;
+  }
+
+  bool ok() const { return ok_; }
+
+  ~Cluster() {
+    if (service_) service_->Shutdown();
+    for (auto& worker : workers_) worker->Shutdown();
+    for (const store::ShardInfo& shard : manifest_.shards) {
+      std::remove(shard.path.c_str());
+    }
+    std::remove(store::ShardManifestPath(base_).c_str());
+    std::remove(base_.c_str());
+  }
+
+  server::QaService& service() { return *service_; }
+  server::ShardClient& client() { return *service_->shard_client(); }
+  server::ShardWorker& worker(size_t i) { return *workers_[i]; }
+
+  /// POSTs /answer; every response must be HTTP 200 no matter the faults.
+  std::string Ask(server::BlockingHttpClient& http, const std::string& q) {
+    auto r = http.Post("/answer", "{\"question\": \"" + q + "\"}");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) return "";
+    EXPECT_EQ(r->status, 200) << r->body;
+    return r->body;
+  }
+
+  /// Asks workload questions until one actually scatters AND comes back
+  /// partial; returns its body. The demo workload has plenty of
+  /// scatter-safe questions, so running dry is a real failure.
+  std::string AskUntilPartial(server::BlockingHttpClient& http) {
+    for (const auto& gold : World().workload) {
+      if (gold.is_ask) continue;
+      uint64_t before = client().partial_results();
+      std::string body = Ask(http, gold.text);
+      if (client().partial_results() > before) {
+        EXPECT_NE(body.find("\"partial\":true"), std::string::npos) << body;
+        return body;
+      }
+    }
+    ADD_FAILURE() << "no workload question produced a partial result";
+    return "";
+  }
+
+ private:
+  bool ok_ = false;
+  std::string base_;
+  store::ShardManifest manifest_;
+  std::vector<std::unique_ptr<server::ShardWorker>> workers_;
+  std::unique_ptr<server::QaService> service_;
+};
+
+server::ShardWorker::FaultInjection NoFault() { return {}; }
+
+TEST(ShardFaultTest, DroppedShardYieldsPartialAnswer) {
+  server::ShardWorker::FaultInjection drop;
+  drop.drop_fraction = 1.0;
+  Cluster cluster("drop", {NoFault(), drop, NoFault()},
+                  /*timeout_ms=*/300, /*cache_capacity=*/0);
+  ASSERT_TRUE(cluster.ok());
+  server::BlockingHttpClient http;
+  ASSERT_TRUE(http.Connect("127.0.0.1", cluster.service().port()).ok());
+
+  cluster.AskUntilPartial(http);
+
+  // The dropped shard shows up as a timeout (its response never arrives);
+  // the healthy shards stay clean.
+  EXPECT_GT(cluster.worker(1).faults_injected(), 0u);
+  EXPECT_GT(cluster.client().counters(1).timeouts, 0u);
+  EXPECT_EQ(cluster.client().counters(0).errors, 0u);
+  EXPECT_EQ(cluster.client().counters(2).errors, 0u);
+  EXPECT_GT(cluster.service().partial_answers(), 0u);
+
+  // /stats exposes the whole picture for operators.
+  auto stats = http.Get("/stats");
+  ASSERT_TRUE(stats.ok());
+  for (const char* key :
+       {"\"shards\"", "\"scattered\"", "\"fallback_local\"",
+        "\"partial_results\"", "\"partial_answers\"", "\"per_shard\"",
+        "\"timeouts\"", "\"retries\""}) {
+    EXPECT_NE(stats->body.find(key), std::string::npos)
+        << "missing " << key << " in " << stats->body;
+  }
+}
+
+TEST(ShardFaultTest, StragglerPastTimeoutIsAbandonedNotAwaited) {
+  server::ShardWorker::FaultInjection straggle;
+  straggle.delay_fraction = 1.0;
+  straggle.delay_ms = 2000;  // far beyond the router's patience
+  Cluster cluster("delay", {NoFault(), NoFault(), straggle},
+                  /*timeout_ms=*/200, /*cache_capacity=*/0);
+  ASSERT_TRUE(cluster.ok());
+  server::BlockingHttpClient http;
+  ASSERT_TRUE(http.Connect("127.0.0.1", cluster.service().port()).ok());
+
+  WallTimer timer;
+  cluster.AskUntilPartial(http);
+  // The scatter deadline, not the straggler's 2s nap, bounds the request.
+  EXPECT_LT(timer.ElapsedMillis(), 1800.0)
+      << "router waited for a shard it should have abandoned";
+  EXPECT_GT(cluster.client().counters(2).timeouts, 0u);
+  EXPECT_GT(cluster.worker(2).faults_injected(), 0u);
+}
+
+TEST(ShardFaultTest, TruncatedFrameIsCountedAndRetried) {
+  server::ShardWorker::FaultInjection truncate;
+  truncate.truncate_fraction = 1.0;
+  Cluster cluster("truncate", {truncate, NoFault(), NoFault()},
+                  /*timeout_ms=*/500, /*cache_capacity=*/0);
+  ASSERT_TRUE(cluster.ok());
+  server::BlockingHttpClient http;
+  ASSERT_TRUE(http.Connect("127.0.0.1", cluster.service().port()).ok());
+
+  cluster.AskUntilPartial(http);
+
+  // A truncated frame is a hard decode error; the router retries once on
+  // a fresh connection (which truncates again) and then gives up on the
+  // shard for this request.
+  server::ShardClient::ShardCounters counters = cluster.client().counters(0);
+  EXPECT_GT(counters.errors, 0u);
+  EXPECT_GT(counters.retries, 0u);
+  EXPECT_GT(cluster.worker(0).faults_injected(), 0u);
+}
+
+TEST(ShardFaultTest, AllShardsDownFallsBackToLocalExactAnswer) {
+  server::ShardWorker::FaultInjection drop;
+  drop.drop_fraction = 1.0;
+  Cluster cluster("alldown", {drop, drop, drop},
+                  /*timeout_ms=*/150, /*cache_capacity=*/0);
+  ASSERT_TRUE(cluster.ok());
+  server::BlockingHttpClient http;
+  ASSERT_TRUE(http.Connect("127.0.0.1", cluster.service().port()).ok());
+
+  // The router holds the full snapshot: with every shard dark it serves
+  // the exact local answer, so this is NOT partial.
+  std::string body =
+      cluster.Ask(http, "Who is the spouse of Antonio_Banderas ?");
+  EXPECT_NE(body.find("\"Melanie_Griffith\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"partial\":false"), std::string::npos) << body;
+  EXPECT_GT(cluster.client().fallback_calls(), 0u);
+  EXPECT_EQ(cluster.service().partial_answers(), 0u);
+}
+
+TEST(ShardFaultTest, PartialAnswersAreNeverCached) {
+  server::ShardWorker::FaultInjection drop;
+  drop.drop_fraction = 1.0;
+  Cluster cluster("nocache", {NoFault(), drop, NoFault()},
+                  /*timeout_ms=*/300, /*cache_capacity=*/64);
+  ASSERT_TRUE(cluster.ok());
+  server::BlockingHttpClient http;
+  ASSERT_TRUE(http.Connect("127.0.0.1", cluster.service().port()).ok());
+
+  std::string first = cluster.AskUntilPartial(http);
+  // Recover the question this body answered and ask it again: a partial
+  // answer must not have been cached, so the repeat recomputes (and comes
+  // back partial again) instead of serving a degraded answer as if final.
+  for (const auto& gold : World().workload) {
+    if (gold.is_ask) continue;
+    if (first.find("\"question\":\"" + gold.text + "\"") ==
+        std::string::npos) {
+      continue;
+    }
+    uint64_t partials_before = cluster.client().partial_results();
+    std::string second = cluster.Ask(http, gold.text);
+    EXPECT_NE(second.find("\"cache_hit\":false"), std::string::npos)
+        << second;
+    EXPECT_NE(second.find("\"partial\":true"), std::string::npos) << second;
+    EXPECT_GT(cluster.client().partial_results(), partials_before)
+        << "repeat question must re-scatter, not hit the cache";
+    return;
+  }
+  ADD_FAILURE() << "could not identify the partial question in: " << first;
+}
+
+// Mixed faults under concurrent load: every request completes (200), the
+// service stays responsive afterwards, and nothing hangs or crashes. This
+// is the "chaos" smoke over the whole scatter/fallback/partial machinery.
+TEST(ShardFaultTest, MixedFaultHammeringNeverHangsTheRouter) {
+  server::ShardWorker::FaultInjection flaky;
+  flaky.drop_fraction = 0.3;
+  flaky.truncate_fraction = 0.3;
+  flaky.delay_fraction = 0.2;
+  flaky.delay_ms = 600;
+  flaky.seed = 42;
+  server::ShardWorker::FaultInjection flakier = flaky;
+  flakier.seed = 43;
+  Cluster cluster("chaos", {flaky, NoFault(), flakier},
+                  /*timeout_ms=*/120, /*cache_capacity=*/0);
+  ASSERT_TRUE(cluster.ok());
+
+  std::vector<std::string> questions;
+  for (const auto& gold : World().workload) {
+    if (!gold.is_ask) questions.push_back(gold.text);
+    if (questions.size() >= 8) break;
+  }
+  ASSERT_FALSE(questions.empty());
+
+  constexpr int kThreads = 2;
+  constexpr int kPerThread = 20;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      server::BlockingHttpClient http;
+      if (!http.Connect("127.0.0.1", cluster.service().port()).ok()) return;
+      for (int i = 0; i < kPerThread; ++i) {
+        auto r = http.Post(
+            "/answer",
+            "{\"question\": \"" +
+                questions[static_cast<size_t>(t + i) % questions.size()] +
+                "\"}");
+        if (r.ok() && r->status == 200) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ok.load(), kThreads * kPerThread)
+      << "every request must complete with 200 despite shard chaos";
+
+  // Still alive and serving after the storm.
+  server::BlockingHttpClient http;
+  ASSERT_TRUE(http.Connect("127.0.0.1", cluster.service().port()).ok());
+  auto health = http.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_GT(cluster.worker(0).faults_injected() +
+                cluster.worker(2).faults_injected(),
+            0u);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace ganswer

@@ -1,0 +1,278 @@
+// Property suite for the sharded-KB build step (store/sharded_kb.h): the
+// partition → write N snapshots → reload round trip must lose nothing and
+// invent nothing. Over random graphs, seeds and shard counts, raw and
+// compressed containers:
+//
+//   * the union of owned triples across reloaded shards equals the
+//     original graph's triple set exactly — no drops, no duplicates
+//     (ownership is unambiguous even though shard graphs overlap);
+//   * every shard replays the full term dictionary, so TermIds are global;
+//   * the halo closure is a superset of the owned set and contains every
+//     rdfs:subClassOf triple;
+//   * the manifest rejects corruption (any flipped byte) and records
+//     per-shard fingerprints matching the written snapshot files.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nlp/lexicon.h"
+#include "paraphrase/paraphrase_dictionary.h"
+#include "prop/prop_support.h"
+#include "rdf/rdf_graph.h"
+#include "store/sharded_kb.h"
+#include "store/snapshot.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace testing {
+namespace {
+
+using store::ShardManifest;
+using store::ShardSpec;
+
+/// The graph's triples in the text form BuildRandomGraph records, so shard
+/// contents compare against the generator's ground-truth list.
+std::vector<RawTriple> TextTriples(const rdf::RdfGraph& g,
+                                   const std::vector<rdf::Triple>& triples) {
+  std::vector<RawTriple> out;
+  out.reserve(triples.size());
+  for (const rdf::Triple& t : triples) {
+    RawTriple raw;
+    raw.s = g.dict().text(t.subject);
+    raw.p = g.dict().text(t.predicate);
+    raw.o = g.dict().text(t.object);
+    raw.object_kind = g.dict().kind(t.object);
+    out.push_back(std::move(raw));
+  }
+  return out;
+}
+
+std::vector<rdf::Triple> AllTriples(const rdf::RdfGraph& g) {
+  std::vector<rdf::Triple> out;
+  for (rdf::TermId v = 0; v < g.dict().size(); ++v) {
+    for (const rdf::Edge& e : g.OutEdges(v)) {
+      out.push_back({v, e.predicate, e.neighbor});
+    }
+  }
+  return out;
+}
+
+TEST(ShardOfTest, DeterministicAndInRange) {
+  for (uint32_t n : {1u, 2u, 3u, 5u, 64u}) {
+    for (rdf::TermId id = 0; id < 1000; ++id) {
+      uint32_t shard = store::ShardOf(id, n);
+      EXPECT_LT(shard, n);
+      EXPECT_EQ(shard, store::ShardOf(id, n)) << "must be a pure function";
+    }
+  }
+  // The mix actually spreads consecutive ids (no shard starves).
+  std::vector<size_t> counts(4, 0);
+  for (rdf::TermId id = 0; id < 4000; ++id) counts[store::ShardOf(id, 4)]++;
+  for (size_t c : counts) EXPECT_GT(c, 500u);
+}
+
+// The core recoverability property, through the on-disk container: write
+// shards (raw and compressed alternating by seed), reload each snapshot,
+// and reassemble the original graph from owned triples alone.
+TEST(ShardManifestTest, OwnedTriplesRoundTripThroughSnapshots) {
+  ForEachSeed(9100, 24, [](uint64_t seed) {
+    Rng rng(seed);
+    RandomGraphOptions gopts;
+    gopts.num_vertices = 8 + rng.Next(8);
+    gopts.num_predicates = 2 + rng.Next(3);
+    gopts.num_triples = 20 + rng.Next(30);
+    gopts.literal_rate = 0.15;
+    RandomGraphData data = BuildRandomGraph(seed * 17 + 5, gopts);
+    std::vector<RawTriple> want =
+        TextTriples(data.graph, AllTriples(data.graph));
+    std::sort(want.begin(), want.end());
+
+    const uint32_t shard_counts[] = {1, 2, 3, 5};
+    const uint32_t num_shards = shard_counts[seed % 4];
+    ShardSpec spec;
+    spec.num_shards = num_shards;
+    spec.halo_hops = 1 + static_cast<uint32_t>(rng.Next(6));
+    store::SnapshotWriteOptions write_options;
+    write_options.compress = (seed % 2) == 1;
+
+    nlp::Lexicon lexicon;
+    paraphrase::ParaphraseDictionary dict(&lexicon);
+    const std::string base = "shard_manifest_rt_" + std::to_string(seed) +
+                             "_" + std::to_string(num_shards) + ".snap";
+    auto manifest =
+        store::WriteShardedKb(data.graph, dict, base, spec, write_options);
+    ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+    ASSERT_EQ(manifest->num_shards, num_shards);
+    ASSERT_EQ(manifest->halo_hops, spec.halo_hops);
+    ASSERT_EQ(manifest->shards.size(), num_shards);
+
+    auto reread = store::ReadShardManifest(store::ShardManifestPath(base));
+    ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+    ASSERT_EQ(reread->num_shards, num_shards);
+
+    std::vector<RawTriple> reassembled;
+    uint64_t owned_sum = 0;
+    for (uint32_t shard = 0; shard < num_shards; ++shard) {
+      const store::ShardInfo& info = reread->shards[shard];
+      EXPECT_EQ(info.path, store::ShardSnapshotPath(base, shard, num_shards));
+      nlp::Lexicon shard_lexicon;
+      auto snapshot = store::ReadSnapshotFile(info.path, &shard_lexicon);
+      ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+      EXPECT_EQ(snapshot->fingerprint, info.fingerprint)
+          << "manifest fingerprint must match the written snapshot";
+      const rdf::RdfGraph& sg = *snapshot->graph;
+      // Global TermIds: the shard dictionary replays the full one.
+      ASSERT_EQ(sg.dict().size(), data.graph.dict().size());
+      for (rdf::TermId id = 0; id < sg.dict().size(); ++id) {
+        ASSERT_EQ(sg.dict().text(id), data.graph.dict().text(id));
+      }
+      std::vector<rdf::Triple> owned =
+          store::OwnedTriples(sg, shard, num_shards);
+      EXPECT_EQ(owned.size(), info.owned_triples);
+      EXPECT_EQ(sg.NumTriples(), info.total_triples);
+      EXPECT_GE(info.total_triples, info.owned_triples)
+          << "halo closure must be a superset of the owned set";
+      owned_sum += owned.size();
+      for (const rdf::Triple& t : owned) {
+        EXPECT_EQ(store::ShardOf(t.subject, num_shards), shard);
+      }
+      std::vector<RawTriple> owned_text = TextTriples(sg, owned);
+      reassembled.insert(reassembled.end(), owned_text.begin(),
+                         owned_text.end());
+      std::remove(info.path.c_str());
+    }
+    std::remove(store::ShardManifestPath(base).c_str());
+
+    // No duplicates: each triple owned exactly once across all shards.
+    EXPECT_EQ(owned_sum, reassembled.size());
+    std::sort(reassembled.begin(), reassembled.end());
+    EXPECT_TRUE(std::adjacent_find(reassembled.begin(), reassembled.end()) ==
+                reassembled.end())
+        << "two shards claim ownership of the same triple";
+    EXPECT_EQ(reassembled, want) << "union of owned triples must reproduce "
+                                    "the original graph exactly";
+  });
+}
+
+// Every shard graph must embed the full class hierarchy and its own halo:
+// matching does type checks and multi-hop walks locally.
+TEST(ShardManifestTest, ShardGraphsReplicateSchemaAndContainOwned) {
+  ForEachSeed(9200, 12, [](uint64_t seed) {
+    RandomGraphOptions gopts;
+    gopts.num_vertices = 12;
+    gopts.num_triples = 40;
+    gopts.type_rate = 0.5;
+    RandomGraphData data = BuildRandomGraph(seed, gopts);
+    // Add explicit subclass triples to a copy (BuildRandomGraph does not
+    // emit them).
+    rdf::RdfGraph g;
+    for (const RawTriple& t : data.triples) {
+      g.AddTriple(t.s, t.p, t.o, t.object_kind);
+    }
+    g.AddTriple("C0", std::string(rdf::kSubClassOfPredicate), "C1",
+                rdf::TermKind::kIri);
+    g.AddTriple("C1", std::string(rdf::kSubClassOfPredicate), "C2",
+                rdf::TermKind::kIri);
+    ASSERT_TRUE(g.Finalize().ok());
+
+    ShardSpec spec;
+    spec.num_shards = 3;
+    spec.halo_hops = 2;
+    auto shards = store::BuildShardGraphs(g, spec);
+    ASSERT_TRUE(shards.ok()) << shards.status().ToString();
+    ASSERT_EQ(shards->size(), 3u);
+
+    const auto subclass = g.Find(std::string(rdf::kSubClassOfPredicate));
+    ASSERT_TRUE(subclass.has_value());
+    for (uint32_t shard = 0; shard < 3; ++shard) {
+      const rdf::RdfGraph& sg = (*shards)[shard];
+      // Subclass triples replicate everywhere.
+      size_t subclass_edges = 0;
+      for (rdf::TermId v = 0; v < sg.dict().size(); ++v) {
+        for (const rdf::Edge& e : sg.OutEdges(v)) {
+          if (e.predicate == *subclass) ++subclass_edges;
+        }
+      }
+      EXPECT_EQ(subclass_edges, 2u) << "shard " << shard;
+      // Owned triples of the full graph all appear in the shard graph.
+      for (const rdf::Triple& t : AllTriples(g)) {
+        if (store::ShardOf(t.subject, 3) != shard) continue;
+        bool found = false;
+        for (const rdf::Edge& e : sg.OutEdges(t.subject)) {
+          if (e.predicate == t.predicate && e.neighbor == t.object) {
+            found = true;
+          }
+        }
+        EXPECT_TRUE(found) << "owned triple missing from shard " << shard;
+      }
+    }
+  });
+}
+
+TEST(ShardManifestTest, CorruptManifestIsRejected) {
+  RandomGraphData data = BuildRandomGraph(77);
+  nlp::Lexicon lexicon;
+  paraphrase::ParaphraseDictionary dict(&lexicon);
+  ShardSpec spec;
+  spec.num_shards = 2;
+  const std::string base = "shard_manifest_corrupt.snap";
+  auto manifest = store::WriteShardedKb(data.graph, dict, base, spec);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  const std::string path = store::ShardManifestPath(base);
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(bytes.empty());
+  // Flip one byte at a spread of offsets: header, body and CRC corruption
+  // must all be caught (CRC covers everything before it).
+  for (size_t offset : {size_t{0}, bytes.size() / 3, bytes.size() / 2,
+                        bytes.size() - 1}) {
+    std::string mutated = bytes;
+    mutated[offset] ^= 0x5a;
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(mutated.data(),
+                static_cast<std::streamsize>(mutated.size()));
+    }
+    auto bad = store::ReadShardManifest(path);
+    EXPECT_FALSE(bad.ok()) << "flipped byte at " << offset << " accepted";
+  }
+  // Truncation is rejected too.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(store::ReadShardManifest(path).ok());
+
+  for (uint32_t shard = 0; shard < 2; ++shard) {
+    std::remove(store::ShardSnapshotPath(base, shard, 2).c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ShardManifestTest, RejectsBadSpecs) {
+  RandomGraphData data = BuildRandomGraph(5);
+  ShardSpec spec;
+  spec.num_shards = 0;
+  EXPECT_FALSE(store::BuildShardGraphs(data.graph, spec).ok());
+  spec.num_shards = 100000;
+  EXPECT_FALSE(store::BuildShardGraphs(data.graph, spec).ok());
+  rdf::RdfGraph unfinalized;
+  unfinalized.AddTriple("a", "p", "b", rdf::TermKind::kIri);
+  spec.num_shards = 2;
+  EXPECT_FALSE(store::BuildShardGraphs(unfinalized, spec).ok());
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace ganswer

@@ -1,0 +1,424 @@
+// The sharded-vs-single differential oracle: scatter-gather over
+// halo-replicated shards must reproduce the single-snapshot matcher's
+// answers exactly.
+//
+// Three layers, increasingly end-to-end:
+//
+//   1. In-process: BuildShardGraphs + per-shard TopKMatcher (exactly the
+//      worker's matcher configuration) + MergeShardTopK vs one TopKMatcher
+//      over the full graph — 40 random seeds, shard counts {1,2,3,5},
+//      halo set to the *tight* bound reach + L + 1, so the test also pins
+//      that the documented exactness condition is not off by one.
+//   2. Over the wire: real ShardWorkers serving written shard snapshots,
+//      ShardClient::ScatterMatch through the binary RPC, same comparison;
+//      plus ScatterSparql union semantics vs the full-graph SparqlEngine.
+//   3. Full service: a sharded QaService (router + N workers) vs an
+//      unsharded one over the same snapshot, comparing cached /answer
+//      response bodies byte for byte across a generated gold workload.
+//
+// Score note: a shard scores a match as the same sum of log-confidences,
+// but possibly accumulated in a different expansion order, so raw doubles
+// can differ in the last ulp. Layers 1-2 therefore compare scores with a
+// 1e-9 tolerance and assignments exactly (block-wise within near-ties, as
+// the match oracle does); layer 3 compares serving bytes, where %.6g
+// formatting makes ulp noise invisible.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "match/query_graph.h"
+#include "match/top_k_matcher.h"
+#include "nlp/lexicon.h"
+#include "paraphrase/paraphrase_dictionary.h"
+#include "prop/prop_support.h"
+#include "rdf/graph_stats.h"
+#include "rdf/signature_index.h"
+#include "rdf/sparql_engine.h"
+#include "server/http_client.h"
+#include "server/qa_service.h"
+#include "server/shard_client.h"
+#include "server/shard_worker.h"
+#include "store/sharded_kb.h"
+#include "store/snapshot.h"
+#include "test_support.h"
+
+namespace ganswer {
+namespace testing {
+namespace {
+
+using match::Match;
+using match::QueryEdge;
+using match::QueryGraph;
+using match::QueryVertex;
+
+constexpr double kScoreTol = 1e-9;
+
+std::vector<rdf::TermId> PresentTerms(const rdf::RdfGraph& g,
+                                      const char* prefix, size_t count) {
+  std::vector<rdf::TermId> out;
+  for (size_t i = 0; i < count; ++i) {
+    auto id = g.Find(std::string(prefix) + std::to_string(i));
+    if (id.has_value()) out.push_back(*id);
+  }
+  return out;
+}
+
+/// Random *connected* query graph over the generated vocabulary — the
+/// shape scatter serves (the router falls back locally for disconnected
+/// queries). Mirrors the match-oracle generator: entity lists, classes,
+/// wildcards, single predicates and 2-step paths, path/triangle topology.
+QueryGraph RandomQueryGraph(Rng& rng, const rdf::RdfGraph& g,
+                            const RandomGraphOptions& gopts) {
+  QueryGraph query;
+  const double confs[] = {0.9, 0.8, 0.7, 0.5, 0.4};
+  const std::vector<rdf::TermId> vertices =
+      PresentTerms(g, "v", gopts.num_vertices);
+  const std::vector<rdf::TermId> predicates =
+      PresentTerms(g, "p", gopts.num_predicates);
+  const std::vector<rdf::TermId> classes =
+      PresentTerms(g, "C", gopts.num_classes);
+
+  auto make_vertex = [&](bool allow_wildcard) {
+    QueryVertex v;
+    if (allow_wildcard && rng.Chance(0.35)) {
+      v.wildcard = true;
+      return v;
+    }
+    if (!classes.empty() && rng.Chance(0.3)) {
+      linking::LinkCandidate c;
+      c.vertex = rng.Pick(classes);
+      c.is_class = true;
+      c.confidence = confs[rng.Next(5)];
+      v.candidates.push_back(c);
+      return v;
+    }
+    size_t n = 1 + rng.Next(3);
+    for (size_t i = 0; i < n; ++i) {
+      linking::LinkCandidate c;
+      c.vertex = rng.Pick(vertices);
+      c.confidence = confs[rng.Next(5)];
+      v.candidates.push_back(c);
+    }
+    return v;
+  };
+  auto make_edge = [&](int from, int to) {
+    QueryEdge e;
+    e.from = from;
+    e.to = to;
+    if (rng.Chance(0.12)) {
+      e.wildcard = true;
+      return e;
+    }
+    size_t n = 1 + rng.Next(2);
+    for (size_t i = 0; i < n; ++i) {
+      paraphrase::ParaphraseEntry entry;
+      rdf::TermId p = rng.Pick(predicates);
+      if (rng.Chance(0.25)) {
+        rdf::TermId p2 = rng.Pick(predicates);
+        entry.path.steps = {{p, rng.Chance(0.5)}, {p2, rng.Chance(0.5)}};
+      } else {
+        entry.path.steps = {{p, true}};
+      }
+      entry.confidence = confs[rng.Next(5)];
+      e.candidates.push_back(entry);
+    }
+    return e;
+  };
+
+  size_t num_vertices = 2 + rng.Next(2);
+  query.vertices.push_back(make_vertex(/*allow_wildcard=*/false));
+  for (size_t i = 1; i < num_vertices; ++i) {
+    query.vertices.push_back(make_vertex(/*allow_wildcard=*/true));
+  }
+  for (size_t i = 1; i < num_vertices; ++i) {
+    int from = static_cast<int>(i - 1), to = static_cast<int>(i);
+    if (rng.Chance(0.5)) std::swap(from, to);
+    query.edges.push_back(make_edge(from, to));
+  }
+  if (num_vertices == 3 && rng.Chance(0.3)) {
+    query.edges.push_back(make_edge(2, 0));
+  }
+  return query;
+}
+
+/// The tight halo for \p query: reach + L + 1 (see store/sharded_kb.h).
+uint32_t TightHalo(const QueryGraph& query) {
+  uint64_t reach = 0, longest = 0;
+  for (const QueryEdge& e : query.edges) {
+    uint64_t len = 1;
+    for (const paraphrase::ParaphraseEntry& c : e.candidates) {
+      len = std::max<uint64_t>(len, c.path.steps.size());
+    }
+    reach += len;
+    longest = std::max(longest, len);
+  }
+  return static_cast<uint32_t>(reach + longest + 1);
+}
+
+/// Exactly the matcher configuration ShardWorker::Evaluate builds per
+/// request: defaults + the graph's own signature index and statistics,
+/// serial execution.
+std::vector<Match> WorkerTopK(const rdf::RdfGraph& g, const QueryGraph& query,
+                              size_t k) {
+  rdf::SignatureIndex signatures(g);
+  rdf::GraphStats stats = rdf::GraphStats::Compute(g);
+  match::TopKMatcher::Options options;
+  options.k = k;
+  options.signatures = &signatures;
+  options.stats = &stats;
+  options.exec.threads = 1;
+  auto got = match::TopKMatcher(&g, options).FindTopK(query);
+  if (!got.ok()) ADD_FAILURE() << got.status().ToString();
+  return got.ok() ? *got : std::vector<Match>{};
+}
+
+/// Rank-by-rank equality with ulp-tolerant scores: assignments compare as
+/// sets within each near-equal-score block (cross-shard accumulation order
+/// can perturb the last ulp, which may reorder exact ties).
+void ExpectSameTopK(const std::vector<Match>& got,
+                    const std::vector<Match>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  size_t i = 0;
+  while (i < got.size()) {
+    size_t j = i;
+    while (j < got.size() &&
+           std::abs(want[j].score - want[i].score) <= kScoreTol) {
+      ++j;
+    }
+    std::vector<std::vector<rdf::TermId>> ga, wa;
+    for (size_t t = i; t < j; ++t) {
+      EXPECT_NEAR(got[t].score, want[t].score, kScoreTol) << "rank " << t;
+      ga.push_back(got[t].assignment);
+      wa.push_back(want[t].assignment);
+    }
+    std::sort(ga.begin(), ga.end());
+    std::sort(wa.begin(), wa.end());
+    EXPECT_EQ(ga, wa) << "assignment block starting at rank " << i;
+    i = j;
+  }
+}
+
+// Layer 1: 40 seeds x shard counts {1,2,3,5}, halo at the tight bound.
+TEST(ShardOracleTest, ScatterEqualsSingleSnapshotMatcher) {
+  ForEachSeed(9300, 40, [](uint64_t seed) {
+    Rng rng(seed);
+    RandomGraphOptions gopts;
+    gopts.num_vertices = 7 + rng.Next(5);
+    gopts.num_predicates = 2 + rng.Next(2);
+    gopts.num_triples = 16 + rng.Next(16);
+    RandomGraphData data = BuildRandomGraph(seed * 31 + 3, gopts);
+    QueryGraph query = RandomQueryGraph(rng, data.graph, gopts);
+    size_t k = 1 + rng.Next(8);
+
+    std::vector<Match> single = WorkerTopK(data.graph, query, k);
+
+    for (uint32_t num_shards : {1u, 2u, 3u, 5u}) {
+      SCOPED_TRACE("num_shards=" + std::to_string(num_shards));
+      store::ShardSpec spec;
+      spec.num_shards = num_shards;
+      spec.halo_hops = TightHalo(query);
+      auto shards = store::BuildShardGraphs(data.graph, spec);
+      ASSERT_TRUE(shards.ok()) << shards.status().ToString();
+      std::vector<std::vector<Match>> per_shard;
+      for (const rdf::RdfGraph& sg : *shards) {
+        per_shard.push_back(WorkerTopK(sg, query, k));
+      }
+      std::vector<Match> merged = match::MergeShardTopK(per_shard, k);
+      ExpectSameTopK(merged, single);
+    }
+  });
+}
+
+// Layer 2: the same oracle through written snapshots, live ShardWorkers
+// and the binary RPC — what the router actually executes.
+TEST(ShardOracleTest, RpcScatterEqualsSingleSnapshotMatcher) {
+  ForEachSeed(9400, 6, [](uint64_t seed) {
+    Rng rng(seed);
+    RandomGraphOptions gopts;
+    gopts.num_vertices = 9;
+    gopts.num_predicates = 3;
+    gopts.num_triples = 30;
+    RandomGraphData data = BuildRandomGraph(seed * 13 + 1, gopts);
+    QueryGraph query = RandomQueryGraph(rng, data.graph, gopts);
+    size_t k = 1 + rng.Next(8);
+    const uint32_t num_shards = 3;
+
+    store::ShardSpec spec;
+    spec.num_shards = num_shards;
+    spec.halo_hops = TightHalo(query);
+    nlp::Lexicon lexicon;
+    paraphrase::ParaphraseDictionary dict(&lexicon);
+    const std::string base = "shard_oracle_rpc_" + std::to_string(seed) +
+                             ".snap";
+    auto manifest = store::WriteShardedKb(data.graph, dict, base, spec);
+    ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+
+    std::vector<std::unique_ptr<server::ShardWorker>> workers;
+    server::ShardClient::Options client_options;
+    for (uint32_t shard = 0; shard < num_shards; ++shard) {
+      server::ShardWorker::Options worker_options;
+      worker_options.snapshot_path = manifest->shards[shard].path;
+      worker_options.shard_id = shard;
+      worker_options.num_shards = num_shards;
+      worker_options.halo_hops = manifest->halo_hops;
+      auto worker =
+          std::make_unique<server::ShardWorker>(std::move(worker_options));
+      ASSERT_TRUE(worker->Start().ok());
+      client_options.endpoints.push_back({"127.0.0.1", worker->port()});
+      workers.push_back(std::move(worker));
+    }
+    client_options.halo_hops = manifest->halo_hops;
+    server::ShardClient client(std::move(client_options));
+
+    // Ping: every worker reports the manifest's identity.
+    for (uint32_t shard = 0; shard < num_shards; ++shard) {
+      auto ping = client.Ping(shard);
+      ASSERT_TRUE(ping.ok()) << ping.status().ToString();
+      EXPECT_EQ(ping->shard_id, shard);
+      EXPECT_EQ(ping->num_shards, num_shards);
+      EXPECT_EQ(ping->fingerprint, manifest->shards[shard].fingerprint);
+      EXPECT_EQ(ping->total_triples, manifest->shards[shard].total_triples);
+    }
+
+    ASSERT_TRUE(client.ShouldScatter(query))
+        << "tight-halo query must be scatter-safe";
+    auto outcome = client.ScatterMatch(query, k);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_EQ(outcome->ok_shards, num_shards);
+    EXPECT_EQ(outcome->failed_shards, 0u);
+    EXPECT_FALSE(outcome->partial());
+
+    std::vector<Match> single = WorkerTopK(data.graph, query, k);
+    ExpectSameTopK(outcome->matches, single);
+
+    // ScatterSparql: union of per-shard rows == full-graph evaluation.
+    auto p0 = data.graph.Find("p0");
+    if (p0.has_value()) {
+      rdf::SparqlEngine engine(data.graph);
+      auto full = engine.ExecuteText(
+          "SELECT ?x ?y WHERE { ?x <p0> ?y }");
+      ASSERT_TRUE(full.ok()) << full.status().ToString();
+      auto scattered = client.ScatterSparql(
+          "SELECT ?x ?y WHERE { ?x <p0> ?y }");
+      ASSERT_TRUE(scattered.ok()) << scattered.status().ToString();
+      EXPECT_FALSE(scattered->partial());
+      std::vector<std::vector<rdf::TermId>> want = full->rows;
+      std::sort(want.begin(), want.end());
+      want.erase(std::unique(want.begin(), want.end()), want.end());
+      EXPECT_EQ(scattered->result.rows, want);
+      EXPECT_EQ(scattered->result.var_names, full->var_names);
+    }
+
+    for (auto& worker : workers) worker->Shutdown();
+    for (uint32_t shard = 0; shard < num_shards; ++shard) {
+      std::remove(manifest->shards[shard].path.c_str());
+    }
+    std::remove(store::ShardManifestPath(base).c_str());
+  });
+}
+
+// Layer 3: sharded QaService vs unsharded QaService over the same
+// snapshot and gold workload. The second (cached) response has zeroed
+// stage timers, so the bodies must be byte-identical — ids, scores,
+// order, SPARQL, everything.
+TEST(ShardOracleTest, ShardedServiceServesByteIdenticalAnswers) {
+  const SharedWorld& world = World();
+  const std::string base = "shard_oracle_e2e.snap";
+  ASSERT_TRUE(
+      store::WriteSnapshotFile(world.kb.graph, *world.verified, base).ok());
+  store::ShardSpec spec;
+  spec.num_shards = 3;
+  auto manifest =
+      store::WriteShardedKb(world.kb.graph, *world.verified, base, spec);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+
+  std::vector<std::unique_ptr<server::ShardWorker>> workers;
+  std::vector<server::ShardClient::Endpoint> endpoints;
+  for (uint32_t shard = 0; shard < spec.num_shards; ++shard) {
+    server::ShardWorker::Options worker_options;
+    worker_options.snapshot_path = manifest->shards[shard].path;
+    worker_options.shard_id = shard;
+    worker_options.num_shards = spec.num_shards;
+    worker_options.halo_hops = manifest->halo_hops;
+    auto worker =
+        std::make_unique<server::ShardWorker>(std::move(worker_options));
+    ASSERT_TRUE(worker->Start().ok());
+    endpoints.push_back({"127.0.0.1", worker->port()});
+    workers.push_back(std::move(worker));
+  }
+
+  server::QaService::Options sharded_options;
+  sharded_options.snapshot_path = base;
+  sharded_options.port = 0;
+  sharded_options.threads = 2;
+  sharded_options.shard_endpoints = endpoints;
+  sharded_options.shard_halo_hops = manifest->halo_hops;
+  server::QaService sharded(sharded_options);
+  ASSERT_TRUE(sharded.Start().ok());
+
+  server::QaService::Options single_options;
+  single_options.snapshot_path = base;
+  single_options.port = 0;
+  single_options.threads = 2;
+  server::QaService single(single_options);
+  ASSERT_TRUE(single.Start().ok());
+
+  server::BlockingHttpClient sharded_client, single_client;
+  ASSERT_TRUE(sharded_client.Connect("127.0.0.1", sharded.port()).ok());
+  ASSERT_TRUE(single_client.Connect("127.0.0.1", single.port()).ok());
+
+  size_t compared = 0;
+  for (const auto& gold : world.workload) {
+    if (compared >= 24) break;
+    ++compared;
+    const std::string body = "{\"question\": \"" + gold.text + "\"}";
+    // First request computes (scattering on the sharded side) and fills
+    // the cache; the second is served from the cache with zeroed timers —
+    // those bytes must agree exactly.
+    for (int round = 0; round < 2; ++round) {
+      auto from_sharded = sharded_client.Post("/answer", body);
+      auto from_single = single_client.Post("/answer", body);
+      ASSERT_TRUE(from_sharded.ok()) << from_sharded.status().ToString();
+      ASSERT_TRUE(from_single.ok()) << from_single.status().ToString();
+      ASSERT_EQ(from_sharded->status, 200);
+      ASSERT_EQ(from_single->status, 200);
+      if (round == 1) {
+        EXPECT_EQ(from_sharded->body, from_single->body)
+            << "question: " << gold.text;
+      }
+    }
+  }
+  ASSERT_GT(compared, 0u);
+
+  // The oracle is only meaningful if scatter actually served queries.
+  ASSERT_NE(sharded.shard_client(), nullptr);
+  EXPECT_GT(sharded.shard_client()->scattered_calls(), 0u)
+      << "no query scattered — the differential would be vacuous";
+  EXPECT_EQ(sharded.partial_answers(), 0u);
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    server::ShardClient::ShardCounters counters =
+        sharded.shard_client()->counters(i);
+    EXPECT_GT(counters.requests, 0u);
+    EXPECT_EQ(counters.errors, 0u);
+    EXPECT_EQ(counters.timeouts, 0u);
+  }
+
+  sharded.Shutdown();
+  single.Shutdown();
+  for (auto& worker : workers) worker->Shutdown();
+  for (uint32_t shard = 0; shard < spec.num_shards; ++shard) {
+    std::remove(manifest->shards[shard].path.c_str());
+  }
+  std::remove(store::ShardManifestPath(base).c_str());
+  std::remove(base.c_str());
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace ganswer
