@@ -1,0 +1,406 @@
+// Live-ingestion harness: batch-apply throughput and query latency under
+// concurrent ingest.
+//
+// Phase A drives LiveKb::Apply directly (no HTTP) across batch sizes
+// {1, 16, 256, 2048}: every batch pays one WAL fsync plus one O(delta)
+// view rebuild, so triples/s rises steeply with batch size — the number
+// that tells an operator how to size their update batches. Per-batch
+// publish latency is recorded as a histogram (p50/p99), and one compaction
+// is timed at the end of the largest run.
+//
+// Phase B measures what ingestion costs the read path. Two closed-loop
+// query threads run the generated question workload (caching off, so every
+// request rides the full understanding + matching pipeline) against
+//   frozen       the plain snapshot service — the baseline
+//   live_idle    a live service nobody is updating
+//   live_ingest  a live service while an updater thread streams paced
+//                POST /update batches (~1k triples/s sustained; background
+//                compaction armed so it also fires during the window)
+// Readers pin epoch views wait-free (RCU), so the acceptance bar is that
+// live_ingest p99 stays under 2x frozen p99 — ingestion may steal CPU
+// proportional to its rate, but it must never block a query.
+//
+// One BENCH_JSON line per (phase, point), grep-able via ^BENCH_JSON.
+//
+// Run: ./build/bench/bench_ingest [--smoke] [--duration-s S] [--seed N]
+//   --smoke: CI mode — shortened runs, exit 1 on any transport/HTTP error.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support.h"
+#include "common/latency_histogram.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "nlp/lexicon.h"
+#include "paraphrase/paraphrase_dictionary.h"
+#include "server/http_client.h"
+#include "server/qa_service.h"
+#include "store/live/live_kb.h"
+#include "store/snapshot.h"
+
+using namespace ganswer;
+
+namespace {
+
+constexpr int kQueryThreads = 2;
+constexpr size_t kUpdateBatchTriples = 64;
+// Sustained ingest rate for phase B: 16 batches/s x 64 triples = 1024
+// triples/s. Paced, not saturating — the question is what a steady update
+// stream costs concurrent queries, not what happens when a writer pegs
+// every core (that regime is bench_loadgen's overload sweep).
+constexpr double kUpdateBatchesPerSec = 16.0;
+
+std::vector<rdf::UpdateOp> MakeBatch(Rng* rng, size_t batch_ops,
+                                     std::vector<rdf::UpdateOp>* added) {
+  static const char* kPredicates[] = {"touches", "links", "rates"};
+  std::vector<rdf::UpdateOp> ops;
+  ops.reserve(batch_ops);
+  for (size_t i = 0; i < batch_ops; ++i) {
+    if (!added->empty() && rng->Chance(0.1)) {
+      rdf::UpdateOp del = (*added)[rng->Next(added->size())];
+      del.is_delete = true;
+      ops.push_back(std::move(del));
+      continue;
+    }
+    rdf::UpdateOp op;
+    op.subject = "ing_v" + std::to_string(rng->Next(4096));
+    op.predicate = kPredicates[rng->Next(3)];
+    op.object = "ing_v" + std::to_string(rng->Next(4096));
+    ops.push_back(op);
+    added->push_back(ops.back());
+  }
+  return ops;
+}
+
+/// Phase A: direct Apply throughput per batch size.
+void BenchBatchThroughput(bool smoke, uint64_t seed) {
+  bench::Header("Phase A: batch-apply throughput (direct, one WAL fsync + "
+                "one view publish per batch)");
+  std::printf("%10s %8s %10s %12s %12s %12s\n", "batch_ops", "batches",
+              "total_ops", "triples/s", "p50_batch_ms", "p99_batch_ms");
+
+  // A near-empty bootstrap base: phase A measures pure ingestion cost.
+  nlp::Lexicon lexicon;
+  const std::string base_path = "bench_ingest_base.snap";
+  {
+    rdf::RdfGraph base;
+    base.AddTriple("ing_seed", "touches", "ing_seed");
+    if (!base.Finalize().ok()) std::exit(1);
+    paraphrase::ParaphraseDictionary dict(&lexicon);
+    if (!store::WriteSnapshotFile(base, dict, base_path).ok()) std::exit(1);
+  }
+
+  for (size_t batch_ops : {size_t{1}, size_t{16}, size_t{256}, size_t{2048}}) {
+    size_t total_target = smoke ? 2048 : 16384;
+    size_t batches = std::clamp<size_t>(total_target / batch_ops, 1,
+                                        smoke ? 128 : 1024);
+    std::string dir = "bench_ingest_store";
+    std::filesystem::remove_all(dir);
+    store::live::LiveKb::Options options;
+    options.dir = dir;
+    options.base_snapshot = base_path;
+    options.lexicon = &lexicon;
+    options.background_compaction = false;
+    auto kb = store::live::LiveKb::Open(std::move(options));
+    if (!kb.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   kb.status().ToString().c_str());
+      std::exit(1);
+    }
+
+    Rng rng(seed ^ batch_ops);
+    std::vector<rdf::UpdateOp> added;
+    LatencyHistogram batch_latency;
+    WallTimer wall;
+    for (size_t b = 0; b < batches; ++b) {
+      std::vector<rdf::UpdateOp> ops = MakeBatch(&rng, batch_ops, &added);
+      WallTimer one;
+      auto result = (*kb)->Apply(ops);
+      if (!result.ok()) {
+        std::fprintf(stderr, "apply failed: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      batch_latency.Record(static_cast<uint64_t>(one.ElapsedMillis() * 1e3));
+    }
+    double wall_s = wall.ElapsedSeconds();
+    size_t total_ops = batch_ops * batches;
+    double triples_per_s = wall_s > 0 ? total_ops / wall_s : 0;
+
+    store::live::LiveKb::IngestCounters before = (*kb)->counters();
+    // One timed compaction folds the accumulated delta.
+    WallTimer compact_timer;
+    if (Status st = (*kb)->Compact(); !st.ok()) {
+      std::fprintf(stderr, "compact failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+    double compact_ms = compact_timer.ElapsedMillis();
+    store::live::LiveKb::IngestCounters counters = (*kb)->counters();
+
+    std::printf("%10zu %8zu %10zu %12.0f %12.3f %12.3f\n", batch_ops,
+                batches, total_ops, triples_per_s,
+                batch_latency.QuantileMillis(0.50),
+                batch_latency.QuantileMillis(0.99));
+    bench::JsonLine("ingest_batch")
+        .Field("seed", seed)
+        .Field("batch_ops", batch_ops)
+        .Field("batches", batches)
+        .Field("total_ops", total_ops)
+        .Field("wall_s", wall_s)
+        .Field("triples_per_s", triples_per_s)
+        .Field("p50_batch_ms", batch_latency.QuantileMillis(0.50))
+        .Field("p99_batch_ms", batch_latency.QuantileMillis(0.99))
+        .Field("epoch", counters.epoch)
+        .Field("delta_triples_before_compact", before.delta_triples)
+        .Field("wal_bytes_before_compact", before.wal_bytes)
+        .Field("compact_ms", compact_ms)
+        .Field("delta_triples_after_compact", counters.delta_triples)
+        .Emit();
+    kb->reset();
+    std::filesystem::remove_all(dir);
+  }
+  std::remove(base_path.c_str());
+}
+
+struct QueryRun {
+  LatencyHistogram latency;
+  size_t requests = 0;
+  size_t errors = 0;
+  size_t updates_committed = 0;
+  uint64_t final_epoch = 0;
+  double update_batches_per_s = 0;
+};
+
+/// Closed-loop query load against \p port for \p duration_s; optionally a
+/// concurrent updater streams /update batches the whole time.
+QueryRun RunQueries(int port, const std::vector<std::string>& questions,
+                    double duration_s, bool with_ingest, uint64_t seed) {
+  QueryRun run;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> qcursor{0};
+
+  std::thread updater;
+  std::atomic<size_t> update_batches{0};
+  std::atomic<uint64_t> last_epoch{0};
+  WallTimer wall;
+  if (with_ingest) {
+    updater = std::thread([&] {
+      server::BlockingHttpClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) return;
+      Rng rng(seed ^ 0xfeed);
+      static const char* kPredicates[] = {"touches", "links", "rates"};
+      auto next_send = std::chrono::steady_clock::now();
+      const auto gap = std::chrono::microseconds(
+          static_cast<int64_t>(1e6 / kUpdateBatchesPerSec));
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_until(next_send);
+        next_send += gap;
+        std::string body;
+        for (size_t i = 0; i < kUpdateBatchTriples; ++i) {
+          body += "<ing_v" + std::to_string(rng.Next(4096)) + "> <" +
+                  kPredicates[rng.Next(3)] + "> <ing_v" +
+                  std::to_string(rng.Next(4096)) + "> .\n";
+        }
+        auto r = client.Post("/update", body);
+        if (!r.ok() || r->status != 200) continue;
+        update_batches.fetch_add(1, std::memory_order_relaxed);
+        size_t at = r->body.find("\"epoch\":");
+        if (at != std::string::npos) {
+          last_epoch.store(
+              static_cast<uint64_t>(std::atoll(r->body.c_str() + at + 8)),
+              std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::vector<QueryRun> partial(kQueryThreads);
+  std::vector<std::thread> askers;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    askers.emplace_back([&, t] {
+      QueryRun& mine = partial[static_cast<size_t>(t)];
+      server::BlockingHttpClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        ++mine.errors;
+        return;
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        size_t i = qcursor.fetch_add(1, std::memory_order_relaxed);
+        const std::string& q = questions[i % questions.size()];
+        WallTimer one;
+        auto r = client.Post("/answer", "{\"question\": \"" + q + "\"}");
+        double ms = one.ElapsedMillis();
+        ++mine.requests;
+        if (!r.ok() || r->status != 200) {
+          ++mine.errors;
+          continue;
+        }
+        mine.latency.Record(static_cast<uint64_t>(ms * 1e3));
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(duration_s * 1000)));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : askers) t.join();
+  if (updater.joinable()) updater.join();
+  double wall_s = wall.ElapsedSeconds();
+
+  for (const QueryRun& p : partial) {
+    run.latency.Merge(p.latency);
+    run.requests += p.requests;
+    run.errors += p.errors;
+  }
+  run.updates_committed = update_batches.load() * kUpdateBatchTriples;
+  run.final_epoch = last_epoch.load();
+  run.update_batches_per_s =
+      wall_s > 0 ? update_batches.load() / wall_s : 0;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  double duration_s = 3.0;
+  uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--duration-s") == 0 && i + 1 < argc) {
+      duration_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--duration-s S] [--seed N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) duration_s = std::min(duration_s, 1.0);
+
+  bench::Header("Live ingestion: batch throughput and query latency under "
+                "concurrent updates");
+
+  BenchBatchThroughput(smoke, seed);
+
+  // Phase B: the same question stream against frozen / live-idle /
+  // live-under-ingest services over one snapshot.
+  bench::BenchWorld world = bench::BuildWorld();
+  const std::string snapshot_path = "bench_ingest.snap";
+  if (Status st = store::WriteSnapshotFile(world.kb.graph, *world.verified,
+                                           snapshot_path);
+      !st.ok()) {
+    std::fprintf(stderr, "snapshot write failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::vector<std::string> questions;
+  for (const auto& gold : world.workload) {
+    if (!gold.is_ask) questions.push_back(gold.text);
+    if (questions.size() >= 24) break;
+  }
+  if (questions.empty()) questions.push_back("Who is the mayor of Berlin ?");
+
+  bench::Header("Phase B: query latency, caching off (full pipeline per "
+                "request)");
+  std::printf("%-12s %9s %9s %9s %9s %10s %9s\n", "config", "requests",
+              "p50_ms", "p95_ms", "p99_ms", "upd_tps", "epochs");
+
+  struct Config {
+    const char* name;
+    bool live;
+    bool ingest;
+  };
+  const Config configs[] = {
+      {"frozen", false, false},
+      {"live_idle", true, false},
+      {"live_ingest", true, true},
+  };
+  double frozen_p99 = 0, ingest_p99 = 0;
+  size_t total_errors = 0;
+  for (const Config& config : configs) {
+    server::QaService::Options options;
+    options.snapshot_path = snapshot_path;
+    options.port = 0;
+    options.threads = 2;
+    options.question_cache_capacity = 0;  // every request runs the matcher
+    std::string live_dir = "bench_ingest_live";
+    if (config.live) {
+      std::filesystem::remove_all(live_dir);
+      options.live_dir = live_dir;
+      // Compaction fires mid-window, so its cost shows up in the tail.
+      options.live_compact_threshold = 2048;
+    }
+    server::QaService service(options);
+    if (Status st = service.Start(); !st.ok()) {
+      std::fprintf(stderr, "startup failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    QueryRun run = RunQueries(service.port(), questions, duration_s,
+                              config.ingest, seed);
+    service.Shutdown();
+    if (config.live) std::filesystem::remove_all(live_dir);
+
+    double update_tps = run.update_batches_per_s * kUpdateBatchTriples;
+    std::printf("%-12s %9zu %9.2f %9.2f %9.2f %10.0f %9zu\n", config.name,
+                run.requests, run.latency.QuantileMillis(0.50),
+                run.latency.QuantileMillis(0.95),
+                run.latency.QuantileMillis(0.99), update_tps,
+                static_cast<size_t>(run.final_epoch));
+    bench::JsonLine("ingest_query")
+        .Field("seed", seed)
+        .Field("config", config.name)
+        .Field("duration_s", duration_s)
+        .Field("query_threads", kQueryThreads)
+        .Field("requests", run.requests)
+        .Field("errors", run.errors)
+        .Field("p50_ms", run.latency.QuantileMillis(0.50))
+        .Field("p95_ms", run.latency.QuantileMillis(0.95))
+        .Field("p99_ms", run.latency.QuantileMillis(0.99))
+        .Field("updates_committed", run.updates_committed)
+        .Field("update_triples_per_s", update_tps)
+        .Field("final_epoch", run.final_epoch)
+        .Field("hardware_threads",
+               static_cast<int>(std::thread::hardware_concurrency()))
+        .Emit();
+    if (std::strcmp(config.name, "frozen") == 0) {
+      frozen_p99 = run.latency.QuantileMillis(0.99);
+    }
+    if (std::strcmp(config.name, "live_ingest") == 0) {
+      ingest_p99 = run.latency.QuantileMillis(0.99);
+    }
+    total_errors += run.errors;
+  }
+  std::remove(snapshot_path.c_str());
+
+  double ratio = frozen_p99 > 0 ? ingest_p99 / frozen_p99 : 0;
+  bool under_2x = ratio > 0 && ratio < 2.0;
+  std::printf("\nquery p99 under ingest: %.2f ms vs frozen %.2f ms — %.2fx "
+              "(%s)\n",
+              ingest_p99, frozen_p99, ratio,
+              under_2x ? "under the 2x bar" : "OVER the 2x bar");
+  bench::JsonLine("ingest_summary")
+      .Field("frozen_p99_ms", frozen_p99)
+      .Field("live_ingest_p99_ms", ingest_p99)
+      .Field("p99_ratio", ratio)
+      .Field("under_2x", under_2x)
+      .Field("errors", total_errors)
+      .Emit();
+
+  if (smoke && total_errors != 0) {
+    std::fprintf(stderr, "SMOKE FAILED: %zu transport/HTTP errors\n",
+                 total_errors);
+    return 1;
+  }
+  return 0;
+}

@@ -17,8 +17,10 @@
 //     counted, which is exactly the coordinated-omission fix.
 //   * Question popularity is Zipf(s) over the workload (common/zipf.h):
 //     a hot head that the question cache absorbs and a cold tail that
-//     costs full matcher runs, plus raw-SPARQL and malformed requests —
-//     the traffic mix a public endpoint actually sees.
+//     costs full matcher runs, plus raw-SPARQL, streaming POST /update
+//     batches (the services run in live mode) and malformed requests —
+//     the traffic mix a public endpoint actually sees. Update points
+//     carry delta-size and epoch-age fields in their BENCH_JSON lines.
 //   * Recording is common/latency_histogram.h: bounded memory per sender
 //     thread, merged at the end, p50/p95/p99/p99.9 with bounded error.
 //
@@ -45,6 +47,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -69,7 +72,7 @@ constexpr int kSenderThreads = 96;
 constexpr double kZipfSkew = 1.1;
 constexpr size_t kHotQuestions = 32;
 
-enum class TrafficClass { kHot, kUncached, kSparql, kMalformed };
+enum class TrafficClass { kHot, kUncached, kSparql, kUpdate, kMalformed };
 
 struct Arrival {
   int64_t t_us = 0;  ///< Scheduled offset from the run start.
@@ -90,19 +93,25 @@ struct Tally {
                                     ///< scheduled arrival time.
   size_t ok = 0;
   size_t sparql_ok = 0;
+  size_t updates_ok = 0;
   size_t malformed_400 = 0;
   size_t shed_queue_full = 0;
   size_t shed_deadline = 0;
   size_t errors = 0;
+  int64_t last_update_us = -1;  ///< Completion time of the latest commit.
+  uint64_t last_epoch = 0;      ///< Highest epoch acked to this sender.
 
   void MergeFrom(const Tally& other) {
     answer_latency.Merge(other.answer_latency);
     ok += other.ok;
     sparql_ok += other.sparql_ok;
+    updates_ok += other.updates_ok;
     malformed_400 += other.malformed_400;
     shed_queue_full += other.shed_queue_full;
     shed_deadline += other.shed_deadline;
     errors += other.errors;
+    last_update_us = std::max(last_update_us, other.last_update_us);
+    last_epoch = std::max(last_epoch, other.last_epoch);
   }
 };
 
@@ -151,6 +160,7 @@ std::vector<Arrival> BuildSchedule(double offered_qps, double duration_s,
   double t_us = 0;
   const double horizon_us = duration_s * 1e6;
   size_t uncached_counter = 0;
+  size_t update_counter = 0;
   while (true) {
     // Exponential gap; 1 - u keeps log() away from 0.
     double u = rng.NextDouble();
@@ -159,14 +169,17 @@ std::vector<Arrival> BuildSchedule(double offered_qps, double duration_s,
     Arrival a;
     a.t_us = static_cast<int64_t>(t_us);
     double cls = rng.NextDouble();
-    if (cls < 0.80) {
+    if (cls < 0.78) {
       a.cls = TrafficClass::kHot;
       a.index = zipf.Next();
-    } else if (cls < 0.90) {
+    } else if (cls < 0.88) {
       a.cls = TrafficClass::kUncached;
       a.index = uncached_counter++;
-    } else if (cls < 0.95) {
+    } else if (cls < 0.93) {
       a.cls = TrafficClass::kSparql;
+    } else if (cls < 0.96) {
+      a.cls = TrafficClass::kUpdate;
+      a.index = update_counter++;
     } else {
       a.cls = TrafficClass::kMalformed;
     }
@@ -242,6 +255,15 @@ PointResult RunOpenLoop(int port, const Workload& workload,
                             "{\"query\": \"" + workload.sparql + "\"}",
                             "application/json", headers);
             break;
+          case TrafficClass::kUpdate:
+            // Streaming writes share the admission queue with queries, so
+            // they see the same shed paths under overload.
+            response = client.Post(
+                "/update",
+                "<load_u" + std::to_string(a.index) + "> <touches> <load_v" +
+                    std::to_string(a.index % 256) + "> .\n",
+                "application/json", headers);
+            break;
           case TrafficClass::kMalformed:
             response = client.Post("/answer", "");
             break;
@@ -258,6 +280,16 @@ PointResult RunOpenLoop(int port, const Workload& workload,
         if (response->status == 200) {
           if (a.cls == TrafficClass::kSparql) {
             ++mine.sparql_ok;
+          } else if (a.cls == TrafficClass::kUpdate) {
+            ++mine.updates_ok;
+            mine.last_update_us = std::max(mine.last_update_us, done_us);
+            size_t at = response->body.find("\"epoch\":");
+            if (at != std::string::npos) {
+              mine.last_epoch = std::max(
+                  mine.last_epoch,
+                  static_cast<uint64_t>(
+                      std::atoll(response->body.c_str() + at + 8)));
+            }
           } else {
             ++mine.ok;
             mine.answer_latency.Record(static_cast<uint64_t>(latency_us));
@@ -284,7 +316,7 @@ PointResult RunOpenLoop(int port, const Workload& workload,
   result.scheduled = schedule.size();
   for (const Tally& t : tallies) result.tally.MergeFrom(t);
   size_t completed = result.tally.ok + result.tally.sparql_ok +
-                     result.tally.malformed_400 +
+                     result.tally.updates_ok + result.tally.malformed_400 +
                      result.tally.shed_queue_full +
                      result.tally.shed_deadline;
   result.achieved_qps =
@@ -331,6 +363,12 @@ server::QaService::Options MakeOptions(const std::string& snapshot_path,
                                        const ServiceConfig& config) {
   server::QaService::Options options;
   options.snapshot_path = snapshot_path;
+  // Live mode for every config: the mix carries streaming /update traffic,
+  // so the sweep measures the serving tier the way it actually runs. The
+  // store directory is wiped before each boot so every point starts at
+  // epoch 0 with an empty delta.
+  options.live_dir = std::string("bench_loadgen_live_") + config.name;
+  std::filesystem::remove_all(options.live_dir);
   options.port = 0;
   options.threads = 2;
   options.max_queue = 64;  // the serving default — PR 4's only backstop
@@ -338,6 +376,13 @@ server::QaService::Options MakeOptions(const std::string& snapshot_path,
   options.cached_fast_path = config.fast_path;
   options.deadline_ms = config.deadline_ms;
   return options;
+}
+
+/// Crude numeric field scrape from a /stats or /update JSON body.
+int64_t JsonNumber(const std::string& body, const std::string& key) {
+  size_t at = body.find("\"" + key + "\":");
+  if (at == std::string::npos) return -1;
+  return std::atoll(body.c_str() + at + key.size() + 3);
 }
 
 /// Fast-path answers must be byte-identical to worker-pool answers for the
@@ -471,6 +516,16 @@ int main(int argc, char** argv) {
       PointResult result = RunOpenLoop(service.port(), workload, schedule,
                                        config.deadline_ms);
       result.offered_qps = offered;
+      // The accumulated delta at the end of the point, from /stats.
+      int64_t delta_triples = -1;
+      {
+        server::BlockingHttpClient stats_client;
+        if (stats_client.Connect("127.0.0.1", service.port()).ok()) {
+          if (auto stats = stats_client.Get("/stats"); stats.ok()) {
+            delta_triples = JsonNumber(stats->body, "delta_triples");
+          }
+        }
+      }
       service.Shutdown();
 
       const Tally& t = result.tally;
@@ -497,6 +552,19 @@ int main(int argc, char** argv) {
           .Field("scheduled", result.scheduled)
           .Field("answers_ok", t.ok)
           .Field("sparql_ok", t.sparql_ok)
+          .Field("updates_ok", t.updates_ok)
+          .Field("final_epoch", t.last_epoch)
+          .Field("delta_triples", delta_triples >= 0
+                                      ? static_cast<size_t>(delta_triples)
+                                      : size_t{0})
+          // How stale the newest epoch was when the point ended: the gap
+          // between the last acked commit and the end of the measurement
+          // window (-1 when the point carried no committed updates).
+          .Field("epoch_age_ms",
+                 t.last_update_us >= 0
+                     ? (result.wall_s * 1e3 -
+                        static_cast<double>(t.last_update_us) / 1e3)
+                     : -1.0)
           .Field("malformed_400", t.malformed_400)
           .Field("shed_queue_full", t.shed_queue_full)
           .Field("shed_deadline", t.shed_deadline)
@@ -515,6 +583,8 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   std::remove(snapshot_path.c_str());
+  std::filesystem::remove_all("bench_loadgen_live_baseline");
+  std::filesystem::remove_all("bench_loadgen_live_tuned");
 
   if (smoke) {
     // CI contract: at 0.25x capacity nothing may be shed and the transport

@@ -14,6 +14,12 @@
 //        localhost:8080/sparql
 //   curl localhost:8080/stats
 //
+// With --live DIR the snapshot only bootstraps a live store at DIR and the
+// server additionally accepts streaming updates, applied without a rebuild
+// and visible to the next query:
+//
+//   curl -d '<Berlin> <population> "3700000" .' localhost:8080/update
+//
 // Shutdown is graceful: the listen socket closes first, in-flight requests
 // drain, responses flush, then the process exits 0.
 
@@ -115,8 +121,12 @@ int Usage(const char* argv0) {
       "          [--max-queue N] [--deadline-ms N] [--no-fast-path]\n"
       "          [--cache N] [--idle-timeout-ms N] [--mmap]\n"
       "          [--shards N] [--halo-hops H] [--shard-timeout-ms N]\n"
+      "          [--live DIR [--compact-threshold N]]\n"
       "       %s --snapshot FILE --build-shards --shards N [--halo-hops H]\n"
-      "       %s --build-demo-snapshot FILE\n",
+      "       %s --build-demo-snapshot FILE\n"
+      "--live serves a live store at DIR (bootstrapped from --snapshot on\n"
+      "first start) and accepts streaming updates on POST /update;\n"
+      "incompatible with --shards.\n",
       argv0, argv0, argv0);
   return 2;
 }
@@ -151,6 +161,12 @@ int main(int argc, char** argv) {
       options.idle_timeout_ms = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--mmap") == 0) {
       options.mmap_load = true;
+    } else if (std::strcmp(argv[i], "--live") == 0 && i + 1 < argc) {
+      options.live_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--compact-threshold") == 0 &&
+               i + 1 < argc) {
+      options.live_compact_threshold =
+          static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       num_shards = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--halo-hops") == 0 && i + 1 < argc) {
@@ -168,6 +184,10 @@ int main(int argc, char** argv) {
     }
   }
   if (options.snapshot_path.empty()) return Usage(argv[0]);
+  if (!options.live_dir.empty() && (num_shards >= 1 || build_shards_only)) {
+    std::fprintf(stderr, "--live is incompatible with --shards\n");
+    return 2;
+  }
 
   if (build_shards_only) {
     if (num_shards < 1) return Usage(argv[0]);

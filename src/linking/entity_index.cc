@@ -1,6 +1,7 @@
 #include "linking/entity_index.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include <cstring>
 
@@ -11,22 +12,103 @@ namespace ganswer {
 namespace linking {
 
 EntityIndex::EntityIndex(const rdf::RdfGraph& graph) : graph_(graph) {
-  const rdf::TermDictionary& dict = graph.dict();
-  for (rdf::TermId v = 0; v < dict.size(); ++v) {
-    if (dict.IsLiteral(v)) {
-      // Name-like literals (capitalized, connected) are indexed too:
-      // "Who was called Scarface?" must link "Scarface" to the nickname
-      // literal vertex. Numeric/date literals stay out.
-      std::string_view text = dict.text(v);
-      bool name_like = !text.empty() &&
-                       std::isupper(static_cast<unsigned char>(text[0]));
-      if (name_like && graph.InDegree(v) > 0) AddLabel(v, text);
-      continue;
-    }
-    if (!graph.IsEntity(v) && !graph.IsClass(v)) continue;
-    IndexVertex(v);
+  for (rdf::TermId v = 0; v < graph.dict().size(); ++v) {
+    MaybeIndex(v);
   }
   FinalizePostings();
+}
+
+void EntityIndex::MaybeIndex(rdf::TermId v) {
+  const rdf::TermDictionary& dict = graph_.dict();
+  if (dict.IsLiteral(v)) {
+    // Name-like literals (capitalized, connected) are indexed too:
+    // "Who was called Scarface?" must link "Scarface" to the nickname
+    // literal vertex. Numeric/date literals stay out.
+    std::string_view text = dict.text(v);
+    bool name_like =
+        !text.empty() && std::isupper(static_cast<unsigned char>(text[0]));
+    if (name_like && graph_.InDegree(v) > 0) AddLabel(v, text);
+    return;
+  }
+  if (!graph_.IsEntity(v) && !graph_.IsClass(v)) return;
+  IndexVertex(v);
+}
+
+std::unique_ptr<EntityIndex> EntityIndex::BuildOverlay(
+    const rdf::RdfGraph& graph, std::shared_ptr<const EntityIndex> base,
+    const std::vector<rdf::TermId>& touched) {
+  auto index = std::unique_ptr<EntityIndex>(new EntityIndex(graph, LoadTag{}));
+  std::vector<rdf::TermId> sorted(touched);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  // Fresh postings for the touched vertices, derived from the overlay
+  // graph's merged state by the same rule the full build uses.
+  for (rdf::TermId v : sorted) index->MaybeIndex(v);
+  index->FinalizePostings();
+
+  // Affected keys: everything a touched vertex carries now (the local maps)
+  // plus everything it carried in the base. Keys outside this union have
+  // identical postings in base and rebuilt index, so the base serves them.
+  std::unordered_set<rdf::TermId> touched_set(sorted.begin(), sorted.end());
+  std::unordered_set<std::string> affected_labels, affected_tokens;
+  size_t base_labeled_touched = 0;
+  for (rdf::TermId v : sorted) {
+    const std::vector<std::string>& old_labels = base->LabelsOf(v);
+    if (!old_labels.empty()) ++base_labeled_touched;
+    for (const std::string& label : old_labels) {
+      affected_labels.insert(label);
+      for (const std::string& token : SplitWhitespace(label)) {
+        affected_tokens.insert(token);
+      }
+    }
+  }
+
+  // Every affected key gets a definitive local posting list: base carriers
+  // outside the touched set plus the fresh touched carriers, sorted — which
+  // is exactly the list a from-scratch rebuild would produce. An empty list
+  // stays in the map as a tombstone masking the base.
+  auto merge_affected =
+      [&](std::unordered_map<std::string, std::vector<rdf::TermId>>* own,
+          const std::unordered_map<std::string, std::vector<rdf::TermId>>&
+              base_map,
+          std::unordered_set<std::string>* affected) {
+        for (const auto& [key, list] : *own) affected->insert(key);
+        for (const std::string& key : *affected) {
+          std::vector<rdf::TermId> merged;
+          auto base_it = base_map.find(key);
+          if (base_it != base_map.end()) {
+            for (rdf::TermId v : base_it->second) {
+              if (touched_set.find(v) == touched_set.end()) {
+                merged.push_back(v);
+              }
+            }
+          }
+          auto own_it = own->find(key);
+          if (own_it != own->end()) {
+            merged.insert(merged.end(), own_it->second.begin(),
+                          own_it->second.end());
+          }
+          std::sort(merged.begin(), merged.end());
+          merged.erase(std::unique(merged.begin(), merged.end()),
+                       merged.end());
+          (*own)[key] = std::move(merged);
+        }
+      };
+  merge_affected(&index->by_label_, base->by_label_, &affected_labels);
+  merge_affected(&index->by_token_, base->by_token_, &affected_tokens);
+
+  size_t own_labeled = 0;
+  for (const auto& [v, labels] : index->labels_of_) {
+    if (!labels.empty()) ++own_labeled;
+  }
+  // A touched vertex that lost all its labels needs an empty tombstone so
+  // LabelsOf falls through to "no labels", not to the stale base entry.
+  for (rdf::TermId v : sorted) index->labels_of_.try_emplace(v);
+  index->num_indexed_ =
+      base->NumIndexedVertices() - base_labeled_touched + own_labeled;
+  index->base_ = std::move(base);
+  return index;
 }
 
 void EntityIndex::IndexVertex(rdf::TermId v) {
@@ -196,19 +278,30 @@ StatusOr<std::unique_ptr<EntityIndex>> EntityIndex::LoadBinary(
 
 const std::vector<rdf::TermId>& EntityIndex::ExactMatches(
     std::string_view text) const {
-  auto it = by_label_.find(NormalizeLabel(text));
-  return it == by_label_.end() ? empty_ : it->second;
+  std::string norm = NormalizeLabel(text);
+  for (const EntityIndex* idx = this; idx != nullptr; idx = idx->base_.get()) {
+    auto it = idx->by_label_.find(norm);
+    if (it != idx->by_label_.end()) return it->second;
+  }
+  return empty_;
 }
 
 const std::vector<rdf::TermId>& EntityIndex::TokenMatches(
     std::string_view token) const {
-  auto it = by_token_.find(ToLower(token));
-  return it == by_token_.end() ? empty_ : it->second;
+  std::string lower = ToLower(token);
+  for (const EntityIndex* idx = this; idx != nullptr; idx = idx->base_.get()) {
+    auto it = idx->by_token_.find(lower);
+    if (it != idx->by_token_.end()) return it->second;
+  }
+  return empty_;
 }
 
 const std::vector<std::string>& EntityIndex::LabelsOf(rdf::TermId v) const {
-  auto it = labels_of_.find(v);
-  return it == labels_of_.end() ? no_labels_ : it->second;
+  for (const EntityIndex* idx = this; idx != nullptr; idx = idx->base_.get()) {
+    auto it = idx->labels_of_.find(v);
+    if (it != idx->labels_of_.end()) return it->second;
+  }
+  return no_labels_;
 }
 
 }  // namespace linking

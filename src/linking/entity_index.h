@@ -28,6 +28,19 @@ class EntityIndex {
   /// \p graph must be finalized and outlive the index.
   explicit EntityIndex(const rdf::RdfGraph& graph);
 
+  /// Overlay over an immutable \p base index (live views): re-derives the
+  /// labels of \p touched vertices from \p graph (an overlay graph), merges
+  /// their postings with the base's (with empty lists as tombstones masking
+  /// the base), and serves every unaffected key from the base. Exact w.r.t.
+  /// a full rebuild because every label input — the IRI/literal text, the
+  /// rdfs:label out-edges, the class/entity status, the in-degree gate for
+  /// name-like literals — is a function of the vertex's own adjacency, and
+  /// both endpoints of every changed edge are in \p touched. O(|touched| +
+  /// affected postings), never O(V).
+  static std::unique_ptr<EntityIndex> BuildOverlay(
+      const rdf::RdfGraph& graph, std::shared_ptr<const EntityIndex> base,
+      const std::vector<rdf::TermId>& touched);
+
   /// Vertices whose normalized label equals the normalization of \p text.
   const std::vector<rdf::TermId>& ExactMatches(std::string_view text) const;
 
@@ -38,7 +51,9 @@ class EntityIndex {
   const std::vector<std::string>& LabelsOf(rdf::TermId v) const;
 
   const rdf::RdfGraph& graph() const { return graph_; }
-  size_t NumIndexedVertices() const { return labels_of_.size(); }
+  size_t NumIndexedVertices() const {
+    return base_ != nullptr ? num_indexed_ : labels_of_.size();
+  }
 
   /// Snapshot serialization of the three label maps, with deterministic key
   /// order so identical indexes produce identical bytes. \p compressed
@@ -54,6 +69,10 @@ class EntityIndex {
   struct LoadTag {};
   EntityIndex(const rdf::RdfGraph& graph, LoadTag) : graph_(graph) {}
 
+  /// The per-vertex indexing rule shared by the full build and the overlay
+  /// build: name-like in-referenced literals and entity/class vertices get
+  /// their labels added, everything else is skipped.
+  void MaybeIndex(rdf::TermId v);
   void IndexVertex(rdf::TermId v);
   void AddLabel(rdf::TermId v, std::string_view raw_label);
   /// Construction appends postings without duplicate checks (the scans were
@@ -68,6 +87,11 @@ class EntityIndex {
   std::unordered_map<rdf::TermId, std::vector<std::string>> labels_of_;
   std::vector<rdf::TermId> empty_;
   std::vector<std::string> no_labels_;
+  // Overlay mode: lookups probe this index's maps first (affected keys are
+  // always present locally, possibly as empty tombstones) and fall through
+  // to the shared immutable base. Null for a flat index.
+  std::shared_ptr<const EntityIndex> base_;
+  size_t num_indexed_ = 0;  // overlay mode only
 };
 
 }  // namespace linking

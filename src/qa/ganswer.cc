@@ -43,8 +43,10 @@ GAnswer::GAnswer(const rdf::RdfGraph* graph, const nlp::Lexicon* lexicon,
   }
   matcher_ = std::make_unique<match::TopKMatcher>(graph, matching);
   superlatives_ = std::make_unique<SuperlativeResolver>(graph);
-  if (options.question_cache_capacity > 0) {
-    cache_ = std::make_unique<ShardedLruCache<Response>>(
+  if (options.shared_cache != nullptr) {
+    cache_ = options.shared_cache;
+  } else if (options.question_cache_capacity > 0) {
+    cache_ = std::make_shared<ShardedLruCache<Response>>(
         ShardedLruCache<Response>::Options{options.question_cache_capacity,
                                            options.question_cache_shards});
   }

@@ -34,6 +34,8 @@ namespace qa {
 /// matching, as the paper's title promises.
 class GAnswer {
  public:
+  struct Response;  // defined below; Options::shared_cache refers to it
+
   /// What a remote (scatter-gather) matching tier returned for one query.
   /// `handled == false` means the remote tier declined — the query was not
   /// scatter-safe or every shard failed — and the local matcher runs
@@ -93,6 +95,12 @@ class GAnswer {
     /// system. When null the constructor computes them. Ordering-only: the
     /// ranked answers are identical whatever statistics source is used.
     const rdf::GraphStats* graph_stats = nullptr;
+    /// A question cache shared with other GAnswer instances (the live
+    /// serving tier shares one cache across epoch views; stale-epoch
+    /// entries are unreachable because snapshot_identity is part of every
+    /// key and age out by LRU). When set it overrides
+    /// question_cache_capacity/shards.
+    std::shared_ptr<ShardedLruCache<Response>> shared_cache;
     /// When set, Ask() offers each query graph to this remote matching
     /// tier first and only runs the local matcher when the tier declines
     /// (RemoteMatchOutcome::handled == false). Understanding, answer
@@ -205,9 +213,11 @@ class GAnswer {
   std::unique_ptr<SuperlativeResolver> superlatives_;
   std::unique_ptr<rdf::SignatureIndex> signatures_;
   std::unique_ptr<rdf::GraphStats> stats_;
-  /// Online-path result cache; null when question_cache_capacity == 0.
-  /// Mutable: Ask() is logically const and the cache is internally locked.
-  mutable std::unique_ptr<ShardedLruCache<Response>> cache_;
+  /// Online-path result cache; null when question_cache_capacity == 0 and
+  /// no shared cache was supplied. Possibly shared across systems (live
+  /// epoch views). Mutable: Ask() is logically const and the cache is
+  /// internally locked.
+  mutable std::shared_ptr<ShardedLruCache<Response>> cache_;
 };
 
 }  // namespace qa

@@ -144,6 +144,52 @@ Status NTriplesReader::ParseString(std::string_view text, RdfGraph* graph) {
   return Status::Ok();
 }
 
+StatusOr<std::vector<UpdateOp>> NTriplesReader::ParseUpdate(
+    std::string_view text) {
+  std::vector<UpdateOp> ops;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = Trim(text.substr(start, nl - start));
+    ++line_no;
+    start = nl + 1;
+    if (line.empty() || line[0] == '#') {
+      if (nl == text.size()) break;
+      continue;
+    }
+
+    UpdateOp op;
+    if (line[0] == '-') {
+      op.is_delete = true;
+      line = Trim(line.substr(1));
+      if (line.empty()) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": bare '-' with no triple");
+      }
+    }
+    size_t pos = 0;
+    TermKind sk, pk;
+    GANSWER_RETURN_NOT_OK(ParseTerm(line, &pos, &op.subject, &sk, line_no));
+    GANSWER_RETURN_NOT_OK(ParseTerm(line, &pos, &op.predicate, &pk, line_no));
+    GANSWER_RETURN_NOT_OK(
+        ParseTerm(line, &pos, &op.object, &op.object_kind, line_no));
+    if (sk != TermKind::kIri || pk != TermKind::kIri) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": subject and predicate must be IRIs");
+    }
+    std::string_view rest = Trim(line.substr(pos));
+    if (rest != ".") {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": expected terminating '.'");
+    }
+    ops.push_back(std::move(op));
+    if (nl == text.size()) break;
+  }
+  return ops;
+}
+
 Status NTriplesReader::ParseFile(const std::string& path, RdfGraph* graph) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);

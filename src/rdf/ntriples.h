@@ -4,12 +4,26 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "rdf/rdf_graph.h"
 
 namespace ganswer {
 namespace rdf {
+
+/// One streaming update operation (the live ingestion wire/WAL unit): a
+/// parsed N-Triples triple plus the add/delete flag. Subject and predicate
+/// are always IRIs; the object carries its kind.
+struct UpdateOp {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+  TermKind object_kind = TermKind::kIri;
+  bool is_delete = false;
+
+  friend bool operator==(const UpdateOp&, const UpdateOp&) = default;
+};
 
 /// \brief Line-oriented N-Triples reader/writer.
 ///
@@ -29,6 +43,15 @@ class NTriplesReader {
 
   /// Reads \p path and parses it as N-Triples.
   static Status ParseFile(const std::string& path, RdfGraph* graph);
+
+  /// Parses a streaming update batch (the POST /update body format): every
+  /// non-comment line is either a normal N-Triples triple (an add) or the
+  /// same prefixed with `-` (a delete), e.g.
+  ///   <Berlin> <population> "3700000" .
+  ///   - <Berlin> <population> "3500000" .
+  /// Returns the ops in line order (batch semantics are sequential
+  /// last-wins) or the first syntax error with its line number.
+  static StatusOr<std::vector<UpdateOp>> ParseUpdate(std::string_view text);
 };
 
 class NTriplesWriter {

@@ -91,6 +91,21 @@ RdfGraph::RdfGraph() {
   label_pred_ = dict_.Intern(kLabelPredicate);
 }
 
+RdfGraph::RdfGraph(std::shared_ptr<const GraphOverlay> overlay,
+                   TermDictionary dict)
+    : dict_(std::move(dict)), overlay_(std::move(overlay)) {
+  const RdfGraph& base = *overlay_->base;
+  type_pred_ = base.type_pred_;
+  subclass_pred_ = base.subclass_pred_;
+  label_pred_ = base.label_pred_;
+  num_triples_ = overlay_->num_triples;
+  max_degree_ = overlay_->max_degree;
+  // The merged predicate list is small; own a copy so Predicates() and
+  // NumPredicates() need no overlay branch.
+  predicates_.Assign(std::vector<TermId>(overlay_->predicates));
+  finalized_ = true;
+}
+
 void RdfGraph::AddTriple(std::string_view subject, std::string_view predicate,
                          std::string_view object, TermKind object_kind) {
   Triple t;
@@ -106,6 +121,9 @@ void RdfGraph::AddTriple(Triple t) {
 }
 
 Status RdfGraph::Finalize() {
+  if (overlay_ != nullptr) {
+    return Status::InvalidArgument("overlay graphs are immutable");
+  }
   if (finalized_ && pending_.empty()) return Status::Ok();
 
   for (const Triple& t : pending_) {
@@ -207,6 +225,13 @@ Status RdfGraph::Finalize() {
 }
 
 std::span<const Edge> RdfGraph::OutEdges(TermId v) const {
+  if (overlay_ != nullptr) [[unlikely]] {
+    auto it = overlay_->out_runs.find(v);
+    if (it != overlay_->out_runs.end()) {
+      return {it->second->data(), it->second->size()};
+    }
+    return overlay_->base->OutEdges(v);
+  }
   size_t idx = static_cast<size_t>(v);
   if (idx + 1 >= out_offsets_.size()) return {};
   return {out_edges_.data() + out_offsets_[idx],
@@ -214,6 +239,13 @@ std::span<const Edge> RdfGraph::OutEdges(TermId v) const {
 }
 
 std::span<const Edge> RdfGraph::InEdges(TermId v) const {
+  if (overlay_ != nullptr) [[unlikely]] {
+    auto it = overlay_->in_runs.find(v);
+    if (it != overlay_->in_runs.end()) {
+      return {it->second->data(), it->second->size()};
+    }
+    return overlay_->base->InEdges(v);
+  }
   size_t idx = static_cast<size_t>(v);
   if (idx + 1 >= in_offsets_.size()) return {};
   return {in_edges_.data() + in_offsets_[idx],
@@ -247,6 +279,11 @@ std::vector<TermId> RdfGraph::Subjects(TermId p, TermId o) const {
 }
 
 bool RdfGraph::IsClass(TermId v) const {
+  if (overlay_ != nullptr) [[unlikely]] {
+    auto it = overlay_->is_class.find(v);
+    if (it != overlay_->is_class.end()) return it->second;
+    return overlay_->base->IsClass(v);
+  }
   return v < is_class_.size() && is_class_[v];
 }
 
@@ -321,6 +358,13 @@ std::vector<TermId> RdfGraph::InstancesOf(TermId cls) const {
 }
 
 size_t RdfGraph::heap_bytes() const {
+  if (overlay_ != nullptr) {
+    // The base's bytes are reported by its own snapshot accounting; this
+    // graph pins the extension dictionary, its predicate list and the
+    // delta runs/maps.
+    return dict_.heap_bytes() + predicates_.heap_bytes() +
+           overlay_->approx_bytes;
+  }
   return dict_.heap_bytes() + out_edges_.heap_bytes() +
          out_offsets_.heap_bytes() + in_edges_.heap_bytes() +
          in_offsets_.heap_bytes() + predicates_.heap_bytes() +
@@ -328,6 +372,7 @@ size_t RdfGraph::heap_bytes() const {
 }
 
 size_t RdfGraph::view_bytes() const {
+  if (overlay_ != nullptr) return overlay_->base->view_bytes();
   return out_edges_.view_bytes() + out_offsets_.view_bytes() +
          in_edges_.view_bytes() + in_offsets_.view_bytes() +
          predicates_.view_bytes() + predicate_freq_.view_bytes();
@@ -336,6 +381,10 @@ size_t RdfGraph::view_bytes() const {
 Status RdfGraph::SaveBinary(BinaryWriter* out, bool compressed) const {
   if (!finalized_) {
     return Status::InvalidArgument("SaveBinary requires a finalized graph");
+  }
+  if (overlay_ != nullptr) {
+    return Status::InvalidArgument(
+        "overlay graphs are not serializable; compact to a flat graph first");
   }
   if (!compressed) {
     dict_.SaveBinary(out);
@@ -478,6 +527,11 @@ Status RdfGraph::ValidateLoaded() {
 }
 
 size_t RdfGraph::PredicateFrequency(TermId p) const {
+  if (overlay_ != nullptr) [[unlikely]] {
+    auto it = overlay_->predicate_freq.find(p);
+    if (it != overlay_->predicate_freq.end()) return it->second;
+    return overlay_->base->PredicateFrequency(p);
+  }
   if (p >= predicate_freq_.size()) return 0;
   return predicate_freq_[p];
 }

@@ -1,9 +1,11 @@
 #ifndef GANSWER_RDF_RDF_GRAPH_H_
 #define GANSWER_RDF_RDF_GRAPH_H_
 
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -28,6 +30,45 @@ struct Edge {
 
   friend bool operator==(const Edge&, const Edge&) = default;
   friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class RdfGraph;
+
+/// \brief Copy-on-write delta overlay over a finalized base graph — the
+/// read-side substrate of the live ingestion subsystem (store/live).
+///
+/// A vertex the delta touched carries a fully merged (base + adds - deletes)
+/// sorted adjacency run; every other vertex serves its base CSR run
+/// untouched. Runs are shared_ptrs so successive epochs share the runs of
+/// vertices a batch did not touch — building epoch N+1 from epoch N copies
+/// two hash maps and re-merges only the batch's vertices, O(accumulated
+/// delta), never O(base).
+///
+/// All fields are absolute (merged) values, not diffs: lookups are a single
+/// hash probe with fallback to the base, no arithmetic at read time.
+struct GraphOverlay {
+  /// The immutable finalized base; pinned for the overlay's lifetime.
+  std::shared_ptr<const RdfGraph> base;
+  /// Merged sorted (predicate, neighbor) runs for touched vertices. A
+  /// present-but-empty run masks the base (all of the vertex's edges in
+  /// that direction were deleted).
+  std::unordered_map<TermId, std::shared_ptr<const std::vector<Edge>>>
+      out_runs;
+  std::unordered_map<TermId, std::shared_ptr<const std::vector<Edge>>>
+      in_runs;
+  /// Absolute class status for every touched vertex (new vertices
+  /// included; class-ness is a function of a vertex's own adjacency).
+  std::unordered_map<TermId, bool> is_class;
+  /// Absolute triple counts for predicates whose frequency changed.
+  std::unordered_map<TermId, uint64_t> predicate_freq;
+  /// The full ascending predicate list of the merged graph (small).
+  std::vector<TermId> predicates;
+  size_t num_triples = 0;
+  /// Monotone upper bound on the true max degree (deletes do not shrink
+  /// it); made exact again at compaction. Only /stats reports it.
+  size_t max_degree = 0;
+  /// Approximate heap bytes pinned by the runs and maps (for /stats).
+  size_t approx_bytes = 0;
 };
 
 /// \brief In-memory RDF graph: dictionary-encoded triples with per-vertex
@@ -60,10 +101,25 @@ class RdfGraph {
  public:
   RdfGraph();
 
+  /// Overlay view constructor (store/live): serves merged base+delta
+  /// adjacency through the normal span accessors, so every engine built on
+  /// `const RdfGraph&` works over live data unchanged. \p dict is an
+  /// extension dictionary over overlay->base->dict(), adopted by move; the
+  /// resulting graph is finalized and immutable. Overlay graphs cannot be
+  /// re-finalized or serialized — compaction materializes a flat graph
+  /// instead. The non-live hot path pays one predictable overlay_ == null
+  /// branch per accessor.
+  RdfGraph(std::shared_ptr<const GraphOverlay> overlay, TermDictionary dict);
+
   RdfGraph(const RdfGraph&) = delete;
   RdfGraph& operator=(const RdfGraph&) = delete;
   RdfGraph(RdfGraph&&) = default;
   RdfGraph& operator=(RdfGraph&&) = default;
+
+  /// True for a graph constructed as a live delta overlay.
+  bool is_overlay() const { return overlay_ != nullptr; }
+  /// The overlay, or nullptr for a flat graph.
+  const GraphOverlay* overlay() const { return overlay_.get(); }
 
   TermDictionary& dict() { return dict_; }
   const TermDictionary& dict() const { return dict_; }
@@ -191,6 +247,10 @@ class RdfGraph {
   TermId type_pred_ = kInvalidTerm;
   TermId subclass_pred_ = kInvalidTerm;
   TermId label_pred_ = kInvalidTerm;
+  // Live delta overlay; null for flat graphs (the common case). When set,
+  // the CSR columns above are empty and every adjacency/class/frequency
+  // accessor consults the overlay maps with fallback to overlay_->base.
+  std::shared_ptr<const GraphOverlay> overlay_;
 };
 
 }  // namespace rdf

@@ -70,6 +70,27 @@ SignatureIndex::SignatureIndex(const RdfGraph& graph) {
   in_.Assign(std::move(in));
 }
 
+SignatureIndex SignatureIndex::BuildOverlay(
+    const RdfGraph& graph, std::shared_ptr<const SignatureIndex> base,
+    const std::vector<TermId>& touched) {
+  SignatureIndex index;
+  index.num_vertices_ = graph.dict().size();
+  index.overrides_.reserve(touched.size());
+  for (TermId v : touched) {
+    Signature out_sig = 0;
+    for (const Edge& e : graph.OutEdges(v)) {
+      out_sig |= PredicateBit(e.predicate);
+    }
+    Signature in_sig = 0;
+    for (const Edge& e : graph.InEdges(v)) {
+      in_sig |= PredicateBit(e.predicate);
+    }
+    index.overrides_[v] = {out_sig, in_sig};
+  }
+  index.base_ = std::move(base);
+  return index;
+}
+
 SignatureIndex::Signature SignatureIndex::PredicateBit(TermId p) {
   // Fibonacci hash of the predicate id onto one of 64 bits.
   uint64_t h = static_cast<uint64_t>(p) * 0x9e3779b97f4a7c15ULL;
@@ -106,10 +127,20 @@ StatusOr<SignatureIndex> SignatureIndex::LoadBinary(BinaryReader* in,
 }
 
 SignatureIndex::Signature SignatureIndex::OutSignature(TermId v) const {
+  if (base_ != nullptr) [[unlikely]] {
+    auto it = overrides_.find(v);
+    if (it != overrides_.end()) return it->second.first;
+    return base_->OutSignature(v);
+  }
   return v < out_.size() ? out_[v] : 0;
 }
 
 SignatureIndex::Signature SignatureIndex::InSignature(TermId v) const {
+  if (base_ != nullptr) [[unlikely]] {
+    auto it = overrides_.find(v);
+    if (it != overrides_.end()) return it->second.second;
+    return base_->InSignature(v);
+  }
   return v < in_.size() ? in_[v] : 0;
 }
 

@@ -2,6 +2,9 @@
 #define GANSWER_RDF_SIGNATURE_INDEX_H_
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/pod_column.h"
@@ -33,6 +36,15 @@ class SignatureIndex {
   /// must outlive the index.
   explicit SignatureIndex(const RdfGraph& graph);
 
+  /// Overlay over an immutable \p base index (live views): recomputes the
+  /// signatures of \p touched vertices from \p graph's merged runs (an
+  /// overlay graph) and serves every other vertex from the base. O(|touched|
+  /// * degree), never O(V). A vertex's signatures depend only on its own
+  /// incident edges, so untouched vertices' base signatures stay exact.
+  static SignatureIndex BuildOverlay(const RdfGraph& graph,
+                                     std::shared_ptr<const SignatureIndex> base,
+                                     const std::vector<TermId>& touched);
+
   /// The hash bit of predicate \p p.
   static Signature PredicateBit(TermId p);
 
@@ -57,7 +69,9 @@ class SignatureIndex {
     return (vertex_sig & required) == required;
   }
 
-  size_t NumVertices() const { return out_.size(); }
+  size_t NumVertices() const {
+    return base_ != nullptr ? num_vertices_ : out_.size();
+  }
 
   /// Heap / mapped bytes pinned by the signature columns.
   size_t heap_bytes() const { return out_.heap_bytes() + in_.heap_bytes(); }
@@ -74,10 +88,15 @@ class SignatureIndex {
                                              bool compressed = false);
 
  private:
-  SignatureIndex() = default;  // empty shell for LoadBinary
+  SignatureIndex() = default;  // empty shell for LoadBinary / BuildOverlay
 
   PodColumn<Signature> out_;
   PodColumn<Signature> in_;
+  // Overlay mode: touched-vertex (out, in) signature pairs over a shared
+  // immutable base. Null base_ (the common case) keeps the flat fast path.
+  std::shared_ptr<const SignatureIndex> base_;
+  std::unordered_map<TermId, std::pair<Signature, Signature>> overrides_;
+  size_t num_vertices_ = 0;  // overlay mode only
 };
 
 }  // namespace rdf

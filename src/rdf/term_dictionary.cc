@@ -21,10 +21,19 @@ std::string IndexKey(std::string_view text, TermKind kind) {
 
 }  // namespace
 
+void TermDictionary::InitExtension(const TermDictionary* base) {
+  base_ = base;
+  base_size_ = base->size();
+}
+
 TermId TermDictionary::Intern(std::string_view text, TermKind kind) {
   std::string key = IndexKey(text, kind);
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;
+  if (base_ != nullptr) {
+    auto base_it = base_->index_.find(key);
+    if (base_it != base_->index_.end()) return base_it->second;
+  }
   TermId id = static_cast<TermId>(size());
   // Interning migrates mmap-backed columns to owned storage first. Append
   // from the key (which embeds a copy of the text) rather than from the
@@ -43,9 +52,14 @@ TermId TermDictionary::Intern(std::string_view text, TermKind kind) {
 
 std::optional<TermId> TermDictionary::Lookup(std::string_view text,
                                              TermKind kind) const {
-  auto it = index_.find(IndexKey(text, kind));
-  if (it == index_.end()) return std::nullopt;
-  return it->second;
+  std::string key = IndexKey(text, kind);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  if (base_ != nullptr) {
+    auto base_it = base_->index_.find(key);
+    if (base_it != base_->index_.end()) return base_it->second;
+  }
+  return std::nullopt;
 }
 
 void TermDictionary::SaveBinary(BinaryWriter* out) const {

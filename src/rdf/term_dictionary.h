@@ -39,6 +39,14 @@ enum class TermKind : uint8_t { kIri = 0, kLiteral = 1 };
 /// both are PodColumns, so a dictionary loaded from an mmap-ed snapshot
 /// serves text() straight out of the file mapping. Interning after such a
 /// load first migrates the columns to owned storage.
+///
+/// EXTENSION MODE (the live-update delta layer): InitExtension(base) turns a
+/// freshly constructed dictionary into an overlay over an immutable \p base.
+/// Ids [0, base->size()) resolve through the base; new terms intern locally
+/// and receive the next dense ids above it, so TermIds stay stable across
+/// batch commits and double as vertex ids in the overlay graph. An extension
+/// dictionary is in-memory only — it is never serialized (compaction
+/// re-interns every term into a flat dictionary in id order instead).
 class TermDictionary {
  public:
   TermDictionary() { offsets_.Assign({0}); }
@@ -62,21 +70,39 @@ class TermDictionary {
   /// Id of a term with \p text of either kind, preferring the IRI.
   std::optional<TermId> LookupAny(std::string_view text) const;
 
+  /// Turns this dictionary into an extension over \p base (see class
+  /// comment). Must be called on a freshly constructed, empty dictionary;
+  /// \p base must outlive this object and stay un-Interned (callers pin the
+  /// owning snapshot). Ids below base->size() delegate to the base; local
+  /// terms get ids base->size(), base->size()+1, ...
+  void InitExtension(const TermDictionary* base);
+
+  /// The base dictionary of an extension, or nullptr for a flat dictionary.
+  const TermDictionary* extension_base() const { return base_; }
+  /// Number of ids served by the base (0 for a flat dictionary); local
+  /// (delta) terms are exactly the ids in [base_size(), size()).
+  size_t base_size() const { return base_size_; }
+
   /// Text of term \p id. \p id must be valid. The view is stable for the
   /// life of the dictionary (or its backing snapshot mapping) as long as no
   /// further Intern happens.
   std::string_view text(TermId id) const {
+    if (id < base_size_) return base_->text(id);
+    id -= static_cast<TermId>(base_size_);
     return std::string_view(arena_.data() + offsets_[id],
                             offsets_[id + 1] - offsets_[id]);
   }
 
-  TermKind kind(TermId id) const { return static_cast<TermKind>(kinds_[id]); }
+  TermKind kind(TermId id) const {
+    if (id < base_size_) return base_->kind(id);
+    return static_cast<TermKind>(kinds_[id - base_size_]);
+  }
   bool IsLiteral(TermId id) const {
-    return kinds_[id] == static_cast<uint8_t>(TermKind::kLiteral);
+    return kind(id) == TermKind::kLiteral;
   }
 
   /// Number of interned terms; valid ids are [0, size()).
-  size_t size() const { return kinds_.size(); }
+  size_t size() const { return base_size_ + kinds_.size(); }
 
   /// Heap bytes pinned by the text storage (0 when fully mmap-backed; the
   /// hash index always lives on the heap and is reported separately by the
@@ -109,9 +135,14 @@ class TermDictionary {
   Status RebuildIndex();
 
   PodColumn<char> arena_;
-  PodColumn<uint64_t> offsets_;  // size()+1 entries; offsets_[0] == 0
+  PodColumn<uint64_t> offsets_;  // local count + 1 entries; offsets_[0] == 0
   PodColumn<uint8_t> kinds_;
-  std::unordered_map<std::string, TermId> index_;
+  std::unordered_map<std::string, TermId> index_;  // key -> GLOBAL id
+  // Extension mode (see class comment). The base stays un-Interned and is
+  // kept alive by the caller; base_size_ caches base_->size() so the hot
+  // text()/kind() branch never chases the pointer for flat dictionaries.
+  const TermDictionary* base_ = nullptr;
+  size_t base_size_ = 0;
 };
 
 }  // namespace rdf

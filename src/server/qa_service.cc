@@ -80,6 +80,7 @@ QaService::QaService(Options options) : options_(std::move(options)) {}
 QaService::~QaService() { Shutdown(); }
 
 Status QaService::Start() {
+  if (!options_.live_dir.empty()) return StartLive();
   WallTimer timer;
   auto snapshot = store::ReadSnapshotFile(
       options_.snapshot_path, &lexicon_,
@@ -136,8 +137,48 @@ Status QaService::Start() {
   engine_options.stats = snapshot_.stats.get();
   engine_ = std::make_unique<rdf::SparqlEngine>(*snapshot_.graph,
                                                 engine_options);
-  pool_ = std::make_unique<ThreadPool>(options_.threads);
+  GANSWER_RETURN_NOT_OK(StartHttp());
+  GANSWER_LOG(Info) << "qa service up: " << snapshot_.graph->NumTriples()
+                    << " triples, snapshot " << options_.snapshot_path
+                    << (options_.mmap_load ? " mapped" : " read")
+                    << " in " << load_ms << " ms, "
+                    << pool_->size() << " worker(s), max queue "
+                    << options_.max_queue;
+  return Status::Ok();
+}
 
+Status QaService::StartLive() {
+  if (!options_.shard_endpoints.empty()) {
+    return Status::InvalidArgument(
+        "live mode is incompatible with sharded serving");
+  }
+  WallTimer timer;
+  store::live::LiveKb::Options live_options;
+  live_options.dir = options_.live_dir;
+  live_options.base_snapshot = options_.snapshot_path;
+  live_options.lexicon = &lexicon_;
+  live_options.question_cache_capacity = options_.question_cache_capacity;
+  live_options.compact_threshold = options_.live_compact_threshold;
+  live_options.max_batch_ops = options_.update_max_triples;
+  live_options.mmap_base = options_.mmap_load;
+  // Per-question matching stays serial, as in frozen mode.
+  live_options.qa.matching.exec.threads = 1;
+  auto live = store::live::LiveKb::Open(std::move(live_options));
+  if (!live.ok()) return live.status();
+  live_ = std::move(live).value();
+  double load_ms = timer.ElapsedMillis();
+  GANSWER_RETURN_NOT_OK(StartHttp());
+  std::shared_ptr<const store::live::KbView> view = live_->view();
+  GANSWER_LOG(Info) << "qa service up (live): " << view->graph().NumTriples()
+                    << " triples, epoch " << view->epoch() << ", store "
+                    << options_.live_dir << " in " << load_ms << " ms, "
+                    << pool_->size() << " worker(s), max queue "
+                    << options_.max_queue;
+  return Status::Ok();
+}
+
+Status QaService::StartHttp() {
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
   HttpServer::Options http_options;
   http_options.bind_address = options_.bind_address;
   http_options.port = options_.port;
@@ -148,12 +189,6 @@ Status QaService::Start() {
   GANSWER_RETURN_NOT_OK(http_->Start());
   start_ms_ = SteadyNowMs();
   started_ = true;
-  GANSWER_LOG(Info) << "qa service up: " << snapshot_.graph->NumTriples()
-                    << " triples, snapshot " << options_.snapshot_path
-                    << (options_.mmap_load ? " mapped" : " read")
-                    << " in " << load_ms << " ms, "
-                    << pool_->size() << " worker(s), max queue "
-                    << options_.max_queue;
   return Status::Ok();
 }
 
@@ -181,6 +216,13 @@ void QaService::RegisterRoutes() {
                       const HttpServer::ResponseWriter& writer) {
                  HandleSparql(request, writer);
                });
+  if (live_ != nullptr) {
+    http_->Route("POST", "/update",
+                 [this](const HttpRequest& request,
+                        const HttpServer::ResponseWriter& writer) {
+                   HandleUpdate(request, writer);
+                 });
+  }
   http_->Route("GET", "/healthz",
                [this](const HttpRequest&,
                       const HttpServer::ResponseWriter& writer) {
@@ -213,6 +255,11 @@ QaService::EndpointStats QaService::answer_stats() const {
 QaService::EndpointStats QaService::sparql_stats() const {
   std::lock_guard<std::mutex> lock(sparql_stats_.mu);
   return sparql_stats_.stats;
+}
+
+QaService::EndpointStats QaService::update_stats() const {
+  std::lock_guard<std::mutex> lock(update_stats_.mu);
+  return update_stats_.stats;
 }
 
 LatencyHistogram QaService::answer_latency() const {
@@ -313,6 +360,15 @@ void QaService::HandleAnswer(const HttpRequest& request,
     return;
   }
   std::string q = std::move(question).value();
+  // Live mode pins the current epoch's view here, at arrival: the fast
+  // path, the queued worker work and the serialization all use this one
+  // view, so a commit or compaction mid-request never changes what the
+  // request observes (and the view's refcount keeps its epoch alive).
+  std::shared_ptr<const store::live::KbView> view;
+  if (live_ != nullptr) view = live_->view();
+  const qa::GAnswer& system = view != nullptr ? view->qa() : *system_;
+  const rdf::RdfGraph& graph =
+      view != nullptr ? view->graph() : *snapshot_.graph;
   // Cached fast path: a hit is serialized and answered right here on the
   // event-loop thread — the hot Zipf head never waits behind cold-tail
   // matcher work in the admission queue. Serializing a cached answer is
@@ -320,8 +376,8 @@ void QaService::HandleAnswer(const HttpRequest& request,
   // run, so it cannot starve the loop.
   if (options_.cached_fast_path &&
       request.Header("X-No-Fast-Path") == nullptr) {
-    if (auto hit = system_->ProbeCache(q)) {
-      std::string body = AnswerToJson(q, *hit, /*cache_hit=*/true);
+    if (auto hit = system.ProbeCache(q)) {
+      std::string body = AnswerToJson(q, *hit, /*cache_hit=*/true, graph);
       fast_path_hits_.fetch_add(1, std::memory_order_relaxed);
       Record(&answer_stats_,
              static_cast<double>(SteadyNowUs() - admit_us) / 1000.0, 200);
@@ -330,13 +386,17 @@ void QaService::HandleAnswer(const HttpRequest& request,
     }
   }
   Admit(writer, &answer_stats_, admit_us, DeadlineFor(request),
-        [this, q = std::move(q)]() -> HttpResponse {
-          auto response = system_->Ask(q);
+        [this, q = std::move(q), view = std::move(view)]() -> HttpResponse {
+          const qa::GAnswer& system =
+              view != nullptr ? view->qa() : *system_;
+          const rdf::RdfGraph& graph =
+              view != nullptr ? view->graph() : *snapshot_.graph;
+          auto response = system.Ask(q);
           if (!response.ok()) {
             return ErrorResponse(422, response.status().ToString());
           }
           return HttpResponse::Json(
-              200, AnswerToJson(q, *response, response->cache_hit));
+              200, AnswerToJson(q, *response, response->cache_hit, graph));
         });
 }
 
@@ -351,30 +411,93 @@ void QaService::HandleSparql(const HttpRequest& request,
     return;
   }
   std::string text = std::move(query).value();
+  std::shared_ptr<const store::live::KbView> view;
+  if (live_ != nullptr) view = live_->view();
   Admit(writer, &sparql_stats_, admit_us, DeadlineFor(request),
-        [this, text = std::move(text)]() -> HttpResponse {
-          auto result = engine_->ExecuteText(text);
+        [this, text = std::move(text),
+         view = std::move(view)]() -> HttpResponse {
+          const rdf::SparqlEngine& engine =
+              view != nullptr ? view->sparql() : *engine_;
+          auto result = engine.ExecuteText(text);
           if (!result.ok()) {
             return ErrorResponse(422, result.status().ToString());
           }
-          return HttpResponse::Json(200, SparqlResultToJson(*result));
+          return HttpResponse::Json(
+              200, SparqlResultToJson(
+                       *result,
+                       view != nullptr ? view->graph() : *snapshot_.graph));
+        });
+}
+
+void QaService::HandleUpdate(const HttpRequest& request,
+                             const HttpServer::ResponseWriter& writer) {
+  int64_t admit_us =
+      request.received_us != 0 ? request.received_us : SteadyNowUs();
+  // The body is raw N-Triples (lines starting with `-` delete), or a JSON
+  // object {"update": "..."} for JSON-only clients.
+  auto update = ExtractField(request, "update");
+  if (!update.ok()) {
+    Record(&update_stats_, 0.0, 400);
+    writer.Send(ErrorResponse(400, update.status().ToString()));
+    return;
+  }
+  // Updates ride the same bounded admission queue as queries: a burst of
+  // batches sheds at the queue rather than stalling the event loop, and
+  // commit work never runs on the loop thread.
+  Admit(writer, &update_stats_, admit_us, DeadlineFor(request),
+        [this, text = std::move(update).value()]() -> HttpResponse {
+          auto result = live_->ApplyText(text);
+          if (!result.ok()) {
+            // Rejected batches (over the admission bound, or N-Triples the
+            // parser refuses) are the client's fault; anything else is an
+            // internal commit failure.
+            Status::Code code = result.status().code();
+            int status = (code == Status::Code::kInvalidArgument ||
+                          code == Status::Code::kCorruption)
+                             ? 400
+                             : 500;
+            return ErrorResponse(status, result.status().ToString());
+          }
+          JsonWriter w;
+          w.BeginObject()
+              .Field("epoch", static_cast<int64_t>(result->epoch))
+              .Field("added", static_cast<int64_t>(result->stats.added))
+              .Field("deleted", static_cast<int64_t>(result->stats.deleted))
+              .Field("noop_adds",
+                     static_cast<int64_t>(result->stats.noop_adds))
+              .Field("noop_deletes",
+                     static_cast<int64_t>(result->stats.noop_deletes))
+              .Field("new_terms",
+                     static_cast<int64_t>(result->stats.new_terms))
+              .EndObject();
+          return HttpResponse::Json(200, w.Take());
         });
 }
 
 void QaService::HandleHealthz(const HttpServer::ResponseWriter& writer) {
+  std::shared_ptr<const store::live::KbView> view;
+  if (live_ != nullptr) view = live_->view();
   JsonWriter w;
   w.BeginObject()
       .Field("status", "ok")
-      .Field("triples", snapshot_.graph->NumTriples())
-      .Field("snapshot_fingerprint", FingerprintHex(snapshot_.fingerprint))
-      .Field("uptime_ms",
-             static_cast<int64_t>(SteadyNowMs() - start_ms_))
+      .Field("triples", view != nullptr ? view->graph().NumTriples()
+                                        : snapshot_.graph->NumTriples())
+      .Field("snapshot_fingerprint",
+             FingerprintHex(view != nullptr ? view->base().fingerprint
+                                            : snapshot_.fingerprint));
+  if (view != nullptr) {
+    w.Field("epoch", static_cast<int64_t>(view->epoch()));
+  }
+  w.Field("uptime_ms", static_cast<int64_t>(SteadyNowMs() - start_ms_))
       .EndObject();
   writer.Send(HttpResponse::Json(200, w.Take()));
 }
 
 void QaService::HandleStats(const HttpServer::ResponseWriter& writer) {
-  qa::GAnswer::CacheStats cache = system_->cache_stats();
+  std::shared_ptr<const store::live::KbView> view;
+  if (live_ != nullptr) view = live_->view();
+  qa::GAnswer::CacheStats cache =
+      view != nullptr ? view->qa().cache_stats() : system_->cache_stats();
   EndpointStats answer = answer_stats();
   EndpointStats sparql = sparql_stats();
   LatencyHistogram answer_hist = answer_latency();
@@ -431,17 +554,19 @@ void QaService::HandleStats(const HttpServer::ResponseWriter& writer) {
     w.EndArray();
     w.EndObject();
   }
+  const store::Snapshot& base = view != nullptr ? view->base() : snapshot_;
   w.Key("storage").BeginObject();
-  w.Field("mode", snapshot_.mapping ? "mmap" : "read")
+  w.Field("mode", base.mapping ? "mmap" : "read")
       .Field("file_bytes",
-             static_cast<int64_t>(snapshot_.mapping ? snapshot_.mapping->size()
-                                                    : 0))
-      .Field("mapped_bytes",
-             static_cast<int64_t>(snapshot_.column_mapped_bytes()))
-      .Field("heap_bytes",
-             static_cast<int64_t>(snapshot_.column_heap_bytes()))
+             static_cast<int64_t>(base.mapping ? base.mapping->size() : 0))
+      .Field("mapped_bytes", static_cast<int64_t>(base.column_mapped_bytes()))
+      .Field("heap_bytes", static_cast<int64_t>(base.column_heap_bytes()))
       .EndObject();
-  const rdf::GraphStats& graph_stats = engine_->stats();
+  // Live mode reports the base snapshot's statistics (the ones steering
+  // candidate build and plan order) — the live triple count is in the
+  // ingest section and /healthz.
+  const rdf::GraphStats& graph_stats =
+      view != nullptr ? *base.stats : engine_->stats();
   w.Key("graph").BeginObject();
   w.Field("triples", static_cast<int64_t>(graph_stats.num_triples()))
       .Field("vertices", static_cast<int64_t>(graph_stats.num_vertices()))
@@ -450,16 +575,41 @@ void QaService::HandleStats(const HttpServer::ResponseWriter& writer) {
       .Field("avg_out_fanout", graph_stats.AvgOutFanout())
       .Field("avg_in_fanout", graph_stats.AvgInFanout())
       .EndObject();
-  rdf::SparqlEngine::PlannerCounters planner = engine_->planner_counters();
-  w.Key("planner").BeginObject();
-  w.Field("planned_queries", static_cast<int64_t>(planner.planned_queries))
-      .Field("naive_queries", static_cast<int64_t>(planner.naive_queries))
-      .Field("range_lookups", static_cast<int64_t>(planner.range_lookups))
-      .Field("full_scans", static_cast<int64_t>(planner.full_scans))
-      .Field("merge_joins", static_cast<int64_t>(planner.merge_joins))
-      .Field("intermediate_bindings",
-             static_cast<int64_t>(planner.intermediate_bindings))
-      .EndObject();
+  if (engine_ != nullptr) {
+    rdf::SparqlEngine::PlannerCounters planner = engine_->planner_counters();
+    w.Key("planner").BeginObject();
+    w.Field("planned_queries", static_cast<int64_t>(planner.planned_queries))
+        .Field("naive_queries", static_cast<int64_t>(planner.naive_queries))
+        .Field("range_lookups", static_cast<int64_t>(planner.range_lookups))
+        .Field("full_scans", static_cast<int64_t>(planner.full_scans))
+        .Field("merge_joins", static_cast<int64_t>(planner.merge_joins))
+        .Field("intermediate_bindings",
+               static_cast<int64_t>(planner.intermediate_bindings))
+        .EndObject();
+  }
+  if (live_ != nullptr) {
+    store::live::LiveKb::IngestCounters ingest = live_->counters();
+    w.Key("ingest").BeginObject();
+    w.Field("epoch", static_cast<int64_t>(ingest.epoch))
+        .Field("batches", static_cast<int64_t>(ingest.batches))
+        .Field("triples_added", static_cast<int64_t>(ingest.triples_added))
+        .Field("triples_deleted",
+               static_cast<int64_t>(ingest.triples_deleted))
+        .Field("noop_adds", static_cast<int64_t>(ingest.noop_adds))
+        .Field("noop_deletes", static_cast<int64_t>(ingest.noop_deletes))
+        .Field("new_terms", static_cast<int64_t>(ingest.new_terms))
+        .Field("delta_triples", static_cast<int64_t>(ingest.delta_triples))
+        .Field("touched_vertices",
+               static_cast<int64_t>(ingest.touched_vertices))
+        .Field("delta_bytes", static_cast<int64_t>(ingest.delta_bytes))
+        .Field("wal_bytes", static_cast<int64_t>(ingest.wal_bytes))
+        .Field("compactions", static_cast<int64_t>(ingest.compactions))
+        .Field("failed_compactions",
+               static_cast<int64_t>(ingest.failed_compactions))
+        .Field("last_batch_ms", ingest.last_batch_ms)
+        .Field("last_compaction_ms", ingest.last_compaction_ms)
+        .EndObject();
+  }
   w.Key("endpoints").BeginObject();
   auto emit_endpoint = [&w](const char* name, const EndpointStats& stats,
                             const LatencyHistogram& hist) {
@@ -479,6 +629,14 @@ void QaService::HandleStats(const HttpServer::ResponseWriter& writer) {
   };
   emit_endpoint("/answer", answer, answer_hist);
   emit_endpoint("/sparql", sparql, sparql_hist);
+  if (live_ != nullptr) {
+    EndpointStats update = update_stats();
+    LatencyHistogram update_hist = [this] {
+      std::lock_guard<std::mutex> lock(update_stats_.mu);
+      return update_stats_.latency;
+    }();
+    emit_endpoint("/update", update, update_hist);
+  }
   w.EndObject();
   w.EndObject();
   writer.Send(HttpResponse::Json(200, w.Take()));
@@ -486,7 +644,8 @@ void QaService::HandleStats(const HttpServer::ResponseWriter& writer) {
 
 std::string QaService::AnswerToJson(std::string_view question,
                                     const qa::GAnswer::Response& response,
-                                    bool cache_hit) const {
+                                    bool cache_hit,
+                                    const rdf::RdfGraph& graph) const {
   JsonWriter w;
   w.BeginObject();
   w.Field("question", question);
@@ -510,7 +669,7 @@ std::string QaService::AnswerToJson(std::string_view question,
   w.Key("sparql").BeginArray();
   if (!response.matches.empty()) {
     for (const rdf::SparqlQuery& query : qa::SparqlOutput::TopKQueries(
-             response.understanding.sqg, response.matches, *snapshot_.graph,
+             response.understanding.sqg, response.matches, graph,
              options_.sparql_top_k)) {
       w.String(query.ToString());
     }
@@ -528,8 +687,8 @@ std::string QaService::AnswerToJson(std::string_view question,
 }
 
 std::string QaService::SparqlResultToJson(
-    const rdf::SparqlResult& result) const {
-  const rdf::TermDictionary& dict = snapshot_.graph->dict();
+    const rdf::SparqlResult& result, const rdf::RdfGraph& graph) const {
+  const rdf::TermDictionary& dict = graph.dict();
   JsonWriter w;
   w.BeginObject();
   w.Key("vars").BeginArray();

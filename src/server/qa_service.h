@@ -16,6 +16,7 @@
 #include "rdf/sparql_engine.h"
 #include "server/http_server.h"
 #include "server/shard_client.h"
+#include "store/live/live_kb.h"
 #include "store/snapshot.h"
 
 namespace ganswer {
@@ -58,12 +59,23 @@ namespace server {
 ///                     queries, stage timings, cache_hit
 ///   POST /sparql   {"query": "..."}     (or a text/plain body)
 ///                  -> variable bindings from the SparqlEngine
-///   GET  /healthz  liveness + snapshot identity
+///   POST /update   N-Triples body, `-`-prefixed lines delete (live mode
+///                  only) -> the committed epoch and batch counters
+///   GET  /healthz  liveness + snapshot identity (+ epoch in live mode)
 ///   GET  /stats    question-cache hit/miss/eviction counters, admission
 ///                  queue depth, shed counters split queue_full vs
 ///                  deadline_expired, fast-path hits, queue-wait
 ///                  percentiles, per-endpoint request/error counters and
-///                  latency percentiles (p50/p95/p99/p99.9)
+///                  latency percentiles (p50/p95/p99/p99.9); ingest
+///                  counters in live mode
+///
+/// Live mode (Options::live_dir non-empty): the service serves a
+/// store::live::LiveKb instead of a frozen snapshot. Every request pins the
+/// current epoch's KbView at arrival (one wait-free atomic load) and uses
+/// that view — its QA system, graph and SPARQL engine — for its whole
+/// lifetime, so a commit or compaction mid-request never changes what the
+/// request observes. POST /update commits batches through the same bounded
+/// admission queue as the query endpoints.
 ///
 /// Shutdown() drains: the listen socket closes first, dispatched requests
 /// run to completion and their responses flush, then the loop stops — the
@@ -72,8 +84,20 @@ class QaService {
  public:
   struct Options {
     /// Snapshot container written by store::WriteSnapshotFile (or the
-    /// `snapshot_server build` / `qa_httpd` tooling).
+    /// `snapshot_server build` / `qa_httpd` tooling). In live mode this is
+    /// the bootstrap base snapshot (used only on the first open of
+    /// live_dir; ignored on reopen).
     std::string snapshot_path;
+    /// Live mode: serve a live store at this directory (manifest, WAL,
+    /// compacted snapshots) instead of a frozen snapshot, and accept
+    /// streaming updates on POST /update. Incompatible with
+    /// shard_endpoints.
+    std::string live_dir;
+    /// Accumulated delta size (adds + deletes) that arms background
+    /// compaction in live mode; 0 = never compact automatically.
+    size_t live_compact_threshold = 0;
+    /// Admission bound for POST /update: max operations per batch.
+    size_t update_max_triples = 100000;
     /// Map the snapshot instead of reading it: raw sections are served
     /// zero-copy out of the file mapping, so startup skips the bulk copy
     /// and resident memory only grows with the pages queries touch.
@@ -166,6 +190,7 @@ class QaService {
   }
   EndpointStats answer_stats() const;
   EndpointStats sparql_stats() const;
+  EndpointStats update_stats() const;
   /// Copies of the per-endpoint latency histograms (measured from the
   /// request's arrival on the server, queue wait included).
   LatencyHistogram answer_latency() const;
@@ -173,8 +198,12 @@ class QaService {
   /// Time admitted requests spent queued before a worker picked them up.
   LatencyHistogram queue_wait() const;
 
+  /// Frozen mode only; null in live mode (use live()->view()->qa()).
   qa::GAnswer* system() { return system_.get(); }
+  /// Frozen mode only; empty in live mode (use live()->view()->base()).
   const store::Snapshot& snapshot() const { return snapshot_; }
+  /// Non-null only in live mode (Options::live_dir non-empty).
+  store::live::LiveKb* live() { return live_.get(); }
   HttpServer* http_server() { return http_.get(); }
   /// Non-null only in sharded mode (Options::shard_endpoints non-empty).
   ShardClient* shard_client() { return shard_client_.get(); }
@@ -190,10 +219,19 @@ class QaService {
     LatencyHistogram latency;
   };
 
+  /// Live-mode Start(): opens (or bootstraps) the LiveKb at live_dir
+  /// instead of loading a frozen snapshot, and registers POST /update.
+  Status StartLive();
+  /// The serving tail shared by both modes: worker pool, HTTP server,
+  /// routes, listen.
+  Status StartHttp();
+
   void RegisterRoutes();
   void HandleAnswer(const HttpRequest& request,
                     const HttpServer::ResponseWriter& writer);
   void HandleSparql(const HttpRequest& request,
+                    const HttpServer::ResponseWriter& writer);
+  void HandleUpdate(const HttpRequest& request,
                     const HttpServer::ResponseWriter& writer);
   void HandleHealthz(const HttpServer::ResponseWriter& writer);
   void HandleStats(const HttpServer::ResponseWriter& writer);
@@ -215,14 +253,16 @@ class QaService {
 
   std::string AnswerToJson(std::string_view question,
                            const qa::GAnswer::Response& response,
-                           bool cache_hit) const;
-  std::string SparqlResultToJson(const rdf::SparqlResult& result) const;
+                           bool cache_hit, const rdf::RdfGraph& graph) const;
+  std::string SparqlResultToJson(const rdf::SparqlResult& result,
+                                 const rdf::RdfGraph& graph) const;
 
   Options options_;
   nlp::Lexicon lexicon_;
   store::Snapshot snapshot_;
   std::unique_ptr<qa::GAnswer> system_;
   std::unique_ptr<rdf::SparqlEngine> engine_;
+  std::unique_ptr<store::live::LiveKb> live_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<HttpServer> http_;
   std::unique_ptr<ShardClient> shard_client_;
@@ -234,6 +274,7 @@ class QaService {
   std::atomic<uint64_t> fast_path_hits_{0};
   StatsCell answer_stats_;
   StatsCell sparql_stats_;
+  StatsCell update_stats_;
   struct {
     mutable std::mutex mu;
     LatencyHistogram hist;

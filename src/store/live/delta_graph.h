@@ -1,0 +1,132 @@
+#ifndef GANSWER_STORE_LIVE_DELTA_GRAPH_H_
+#define GANSWER_STORE_LIVE_DELTA_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "linking/entity_index.h"
+#include "rdf/ntriples.h"
+#include "rdf/rdf_graph.h"
+#include "rdf/signature_index.h"
+#include "store/snapshot.h"
+
+namespace ganswer {
+namespace store {
+namespace live {
+
+/// \brief Writer-side mutable delta over an immutable base snapshot.
+///
+/// Owns the master merged adjacency runs of every vertex the accumulated
+/// delta touched, the extension term dictionary, and the bookkeeping
+/// (predicate frequencies, class bits, counters) needed to stamp out a
+/// consistent read view after each batch.
+///
+/// Single-writer: Apply() and BuildView() are called under the LiveKb
+/// writer lock. Readers never see this object — BuildView() publishes
+/// immutable copies (shared runs for untouched-vertices, a replayed
+/// extension dictionary), so a view is safe to read while the writer keeps
+/// mutating the master state.
+///
+/// Batch semantics: ops apply sequentially, last-wins. Set semantics —
+/// adding a present triple and deleting an absent one are counted no-ops.
+class DeltaGraph {
+ public:
+  struct BatchStats {
+    uint64_t added = 0;         ///< Triples inserted.
+    uint64_t deleted = 0;       ///< Triples removed.
+    uint64_t noop_adds = 0;     ///< Adds of already-present triples.
+    uint64_t noop_deletes = 0;  ///< Deletes of absent triples.
+    uint64_t new_terms = 0;     ///< IRIs/literals first seen by this batch.
+  };
+
+  /// The immutable per-epoch read view: an overlay graph plus overlay
+  /// indexes, all exact for the merged base+delta state.
+  struct View {
+    std::shared_ptr<const rdf::RdfGraph> graph;
+    std::shared_ptr<const rdf::SignatureIndex> signatures;
+    std::shared_ptr<const linking::EntityIndex> entities;
+  };
+
+  /// \p base is the loaded base snapshot; pinned for the delta's lifetime
+  /// and by every view built from it.
+  explicit DeltaGraph(std::shared_ptr<const Snapshot> base);
+
+  DeltaGraph(const DeltaGraph&) = delete;
+  DeltaGraph& operator=(const DeltaGraph&) = delete;
+
+  /// Applies one batch to the master state.
+  BatchStats Apply(const std::vector<rdf::UpdateOp>& ops);
+
+  /// Publishes the current merged state as an immutable view. Cost is
+  /// O(accumulated delta): vertices dirtied since the previous BuildView
+  /// get freshly copied runs, every other touched vertex shares the run
+  /// published before, and the index overlays recompute touched vertices
+  /// only.
+  View BuildView();
+
+  bool empty() const { return touched_.empty() && new_terms_.empty(); }
+  size_t delta_triples() const { return delta_adds_ + delta_deletes_; }
+  size_t touched_vertices() const { return touched_.size(); }
+  size_t new_terms() const { return new_terms_.size(); }
+  /// Approximate heap bytes of the published runs (for /stats).
+  size_t approx_bytes() const { return published_bytes_; }
+  const std::shared_ptr<const Snapshot>& base() const { return base_; }
+
+ private:
+  struct VertexRuns {
+    std::vector<rdf::Edge> out;
+    std::vector<rdf::Edge> in;
+    bool out_touched = false;  ///< This direction diverged from the base.
+    bool in_touched = false;
+  };
+
+  VertexRuns& Touch(rdf::TermId v);
+  uint64_t& PredFreq(rdf::TermId p);
+
+  std::shared_ptr<const Snapshot> base_;
+  /// Extension dictionary over the base graph's: global ids, new terms
+  /// appended. Master copy — views get replayed immutable copies.
+  rdf::TermDictionary dict_;
+  /// (text, kind) of every new term in intern order, for view replay.
+  std::vector<std::pair<std::string, rdf::TermKind>> new_terms_;
+
+  /// Master merged runs of touched vertices (copy-on-first-touch from the
+  /// base CSR, then mutated in place).
+  std::unordered_map<rdf::TermId, VertexRuns> runs_;
+  /// Everything ever touched since the base (endpoint of any changed
+  /// edge) — the overlay set the per-epoch indexes recompute.
+  std::unordered_set<rdf::TermId> touched_;
+  /// Vertices whose runs changed since the last BuildView: only these get
+  /// fresh published copies.
+  std::unordered_set<rdf::TermId> dirty_;
+
+  /// Published immutable runs, shared across consecutive views (and with
+  /// in-flight readers). Values are replaced, never mutated.
+  std::unordered_map<rdf::TermId,
+                     std::shared_ptr<const std::vector<rdf::Edge>>>
+      published_out_;
+  std::unordered_map<rdf::TermId,
+                     std::shared_ptr<const std::vector<rdf::Edge>>>
+      published_in_;
+
+  /// Absolute triple counts for predicates whose frequency changed.
+  std::unordered_map<rdf::TermId, uint64_t> pred_freq_;
+  /// Absolute class status of every touched vertex, refreshed for dirty
+  /// vertices at BuildView (class-ness is a function of own adjacency).
+  std::unordered_map<rdf::TermId, bool> is_class_;
+
+  size_t num_triples_ = 0;
+  size_t max_degree_ = 0;
+  uint64_t delta_adds_ = 0;
+  uint64_t delta_deletes_ = 0;
+  size_t published_bytes_ = 0;
+};
+
+}  // namespace live
+}  // namespace store
+}  // namespace ganswer
+
+#endif  // GANSWER_STORE_LIVE_DELTA_GRAPH_H_

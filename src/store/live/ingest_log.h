@@ -1,0 +1,96 @@
+#ifndef GANSWER_STORE_LIVE_INGEST_LOG_H_
+#define GANSWER_STORE_LIVE_INGEST_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/ntriples.h"
+
+namespace ganswer {
+namespace store {
+namespace live {
+
+/// One committed ingestion batch as recovered from the log: the epoch the
+/// batch produced and its operations in application order.
+struct LogRecord {
+  uint64_t epoch = 0;
+  std::vector<rdf::UpdateOp> ops;
+};
+
+/// \brief Crash-consistent write-ahead log of ingestion batches.
+///
+/// Record framing on disk:
+///   [u32 payload_len][u32 crc32(payload)][payload]
+/// with the payload serialized by BinaryWriter: u64 epoch, varint op count,
+/// then per op a u8 flag byte (bit 0 = delete, bit 1 = literal object) and
+/// the three term strings.
+///
+/// Durability contract: Append() returns only after the record is fsync'd,
+/// so a batch acknowledged to a client survives a crash. A record Replay()
+/// can read completely with a matching CRC is committed; anything after the
+/// last such record (a torn header, a short payload, a CRC mismatch from a
+/// partial write) is an uncommitted tail — Replay truncates the file there,
+/// so a later Append never writes after garbage and recovery lands on
+/// exactly the last committed epoch, never a half-applied batch.
+class IngestLog {
+ public:
+  /// Opens \p path for appending, creating it when missing.
+  static StatusOr<std::unique_ptr<IngestLog>> Open(const std::string& path);
+  ~IngestLog();
+
+  IngestLog(const IngestLog&) = delete;
+  IngestLog& operator=(const IngestLog&) = delete;
+
+  /// Durably appends one batch (write + fsync).
+  Status Append(uint64_t epoch, const std::vector<rdf::UpdateOp>& ops);
+
+  /// Reads every complete record of the log at \p path in order, truncating
+  /// the uncommitted tail (see class comment). Missing file = empty log.
+  static StatusOr<std::vector<LogRecord>> Replay(const std::string& path);
+
+  /// Bytes currently in the log (committed records only at open; grows with
+  /// each Append). Reported by /stats and used by the compaction trigger.
+  size_t size_bytes() const { return size_bytes_; }
+  const std::string& path() const { return path_; }
+
+  /// TEST ONLY: the next Append writes the record header and half the
+  /// payload, fsyncs, then aborts the process — simulating a crash mid-
+  /// batch. Replay must discard the torn record.
+  void CrashMidAppendForTest() { crash_mid_append_for_test_ = true; }
+
+ private:
+  IngestLog(int fd, std::string path, size_t size_bytes)
+      : fd_(fd), path_(std::move(path)), size_bytes_(size_bytes) {}
+
+  int fd_ = -1;
+  std::string path_;
+  size_t size_bytes_ = 0;
+  bool crash_mid_append_for_test_ = false;
+};
+
+/// \brief Root pointer of a live store directory, the atom of crash
+/// consistency: which base snapshot is current, which WAL extends it, and
+/// the epoch the base snapshot represents.
+///
+/// Written to a temp file, fsync'd, then rename(2)'d over the target — the
+/// manifest is either the old pair or the new pair, never a mix. Compaction
+/// writes the new snapshot and a fresh empty WAL first and swaps the
+/// manifest last, so a crash at any point leaves a consistent, replayable
+/// pair and no batch is ever applied twice.
+struct LiveManifest {
+  uint64_t base_epoch = 0;
+  std::string base_snapshot;  ///< Path of the base snapshot container.
+  std::string wal;            ///< Path of the WAL extending it.
+};
+
+Status WriteManifest(const std::string& path, const LiveManifest& manifest);
+StatusOr<LiveManifest> ReadManifest(const std::string& path);
+
+}  // namespace live
+}  // namespace store
+}  // namespace ganswer
+
+#endif  // GANSWER_STORE_LIVE_INGEST_LOG_H_

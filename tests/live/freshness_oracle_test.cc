@@ -1,0 +1,270 @@
+// Freshness differential oracle for the live store: random update batches
+// interleaved with queries, compaction and reopen (crash-free recovery).
+// At every epoch the live view must agree with a from-scratch rebuild of
+// the same triple set — graph content textually identical, the overlay
+// indexes equal to freshly built ones, and SPARQL answers byte-identical
+// (rendered, sorted rows) between the live engine and a reference engine
+// over the rebuilt graph.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "nlp/lexicon.h"
+#include "paraphrase/paraphrase_dictionary.h"
+#include "prop/prop_support.h"
+#include "rdf/sparql_engine.h"
+#include "store/live/live_kb.h"
+#include "store/snapshot.h"
+
+namespace ganswer {
+namespace store {
+namespace live {
+namespace {
+
+using rdf::TermKind;
+using rdf::UpdateOp;
+
+/// The reference state: exactly the committed triples, text-level.
+/// (subject, predicate, object, object-is-literal)
+using RawTriple = std::tuple<std::string, std::string, std::string, bool>;
+
+std::set<std::string> RenderedTriples(const rdf::RdfGraph& g) {
+  std::set<std::string> out;
+  for (rdf::TermId v = 0; v < g.dict().size(); ++v) {
+    for (const rdf::Edge& e : g.OutEdges(v)) {
+      bool lit = g.dict().kind(e.neighbor) == TermKind::kLiteral;
+      out.insert(std::string(g.dict().text(v)) + "|" +
+                 std::string(g.dict().text(e.predicate)) + "|" +
+                 std::string(g.dict().text(e.neighbor)) +
+                 (lit ? "|L" : "|I"));
+    }
+  }
+  return out;
+}
+
+std::set<std::string> RenderedTriples(const std::set<RawTriple>& triples) {
+  std::set<std::string> out;
+  for (const auto& [s, p, o, lit] : triples) {
+    out.insert(s + "|" + p + "|" + o + (lit ? "|L" : "|I"));
+  }
+  return out;
+}
+
+rdf::RdfGraph Rebuild(const std::set<RawTriple>& triples) {
+  rdf::RdfGraph g;
+  for (const auto& [s, p, o, lit] : triples) {
+    g.AddTriple(s, p, o, lit ? TermKind::kLiteral : TermKind::kIri);
+  }
+  EXPECT_TRUE(g.Finalize().ok());
+  return g;
+}
+
+/// One SPARQL query rendered as sorted row text — the byte-level answer
+/// both engines must agree on.
+std::string RenderedRows(const rdf::SparqlEngine& engine,
+                         const rdf::RdfGraph& g, const std::string& query) {
+  auto result = engine.ExecuteText(query);
+  if (!result.ok()) return "error: " + result.status().ToString();
+  std::vector<std::string> rows;
+  for (const auto& row : result->rows) {
+    std::string text;
+    for (rdf::TermId id : row) {
+      text += std::string(g.dict().text(id)) + "\t";
+    }
+    rows.push_back(std::move(text));
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const std::string& r : rows) out += r + "\n";
+  return out;
+}
+
+std::string SparqlTerm(const std::string& text, bool literal) {
+  return literal ? "\"" + text + "\"" : "<" + text + ">";
+}
+
+/// Full per-epoch check of one live view against the reference state.
+void CheckEpoch(const KbView& view, const std::set<RawTriple>& reference,
+                Rng& rng) {
+  const rdf::RdfGraph& g = view.graph();
+  ASSERT_EQ(RenderedTriples(g), RenderedTriples(reference));
+  EXPECT_EQ(g.NumTriples(), reference.size());
+
+  // Overlay indexes vs freshly built ones over the same merged graph.
+  rdf::SignatureIndex fresh_sigs(g);
+  const rdf::SignatureIndex& live_sigs = view.qa().options().matching
+                                             .signatures != nullptr
+                                         ? *view.qa().options().matching
+                                               .signatures
+                                         : fresh_sigs;
+  ASSERT_EQ(live_sigs.NumVertices(), fresh_sigs.NumVertices());
+  for (rdf::TermId v = 0; v < fresh_sigs.NumVertices(); ++v) {
+    ASSERT_EQ(live_sigs.OutSignature(v), fresh_sigs.OutSignature(v))
+        << "out signature of " << g.dict().text(v);
+    ASSERT_EQ(live_sigs.InSignature(v), fresh_sigs.InSignature(v))
+        << "in signature of " << g.dict().text(v);
+  }
+
+  // SPARQL answers: live engine over the overlay vs a reference engine
+  // over the from-scratch rebuild, on query shapes drawn from the data
+  // (subject-bound, object-bound, predicate scan) plus a never-matching
+  // probe.
+  rdf::RdfGraph rebuilt = Rebuild(reference);
+  rdf::SparqlEngine reference_engine(rebuilt, {});
+  const rdf::SparqlEngine& live_engine = view.sparql();
+  std::vector<RawTriple> pool(reference.begin(), reference.end());
+  std::vector<std::string> queries;
+  for (int i = 0; i < 4 && !pool.empty(); ++i) {
+    const auto& [s, p, o, lit] = pool[rng.Next(pool.size())];
+    queries.push_back("SELECT ?x WHERE { <" + s + "> <" + p + "> ?x }");
+    queries.push_back("SELECT ?x WHERE { ?x <" + p + "> " +
+                      SparqlTerm(o, lit) + " }");
+    queries.push_back("SELECT ?x ?y WHERE { ?x <" + p + "> ?y }");
+  }
+  queries.push_back(
+      "SELECT ?x WHERE { ?x <never_such_predicate> <never_such_object> }");
+  for (const std::string& q : queries) {
+    EXPECT_EQ(RenderedRows(live_engine, g, q),
+              RenderedRows(reference_engine, rebuilt, q))
+        << q;
+  }
+}
+
+TEST(LiveFreshnessOracleTest, LiveViewMatchesFromScratchRebuildEveryEpoch) {
+  ganswer::testing::ForEachSeed(7000, 40, [](uint64_t seed) {
+    Rng rng(seed);
+    std::string dir = "live_oracle." + std::to_string(::getpid());
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directory(dir);
+    nlp::Lexicon lexicon;
+
+    // Random base graph, written as the bootstrap snapshot.
+    std::set<RawTriple> reference;
+    std::vector<std::string> vertices, predicates{"p0", "p1", "p2"};
+    for (int i = 0; i < 8; ++i) vertices.push_back("v" + std::to_string(i));
+    {
+      rdf::RdfGraph base;
+      for (int i = 0; i < 20; ++i) {
+        RawTriple t{rng.Pick(vertices), rng.Pick(predicates),
+                    rng.Pick(vertices), false};
+        if (rng.Chance(0.15)) {
+          std::get<2>(t) = "lit" + std::to_string(rng.Next(5));
+          std::get<3>(t) = true;
+        }
+        base.AddTriple(std::get<0>(t), std::get<1>(t), std::get<2>(t),
+                       std::get<3>(t) ? TermKind::kLiteral : TermKind::kIri);
+        reference.insert(t);
+      }
+      for (const std::string& v : vertices) {
+        if (!rng.Chance(0.3)) continue;
+        RawTriple t{v, std::string(rdf::kTypePredicate),
+                    "C" + std::to_string(rng.Next(2)), false};
+        base.AddTriple(std::get<0>(t), std::get<1>(t), std::get<2>(t));
+        reference.insert(t);
+      }
+      ASSERT_TRUE(base.Finalize().ok());
+      paraphrase::ParaphraseDictionary dict(&lexicon);
+      ASSERT_TRUE(WriteSnapshotFile(base, dict, dir + "/base.snap").ok());
+    }
+
+    LiveKb::Options options;
+    options.dir = dir + "/store";
+    options.base_snapshot = dir + "/base.snap";
+    options.lexicon = &lexicon;
+    options.background_compaction = false;
+    auto kb = LiveKb::Open(options);
+    ASSERT_TRUE(kb.ok()) << kb.status().ToString();
+
+    int new_term_counter = 0;
+    for (int round = 0; round < 6; ++round) {
+      // One random batch: adds (sometimes of new terms or literals, and of
+      // already-present triples) and deletes (mostly of present triples).
+      std::vector<UpdateOp> ops;
+      size_t batch = 1 + rng.Next(6);
+      std::vector<RawTriple> pool(reference.begin(), reference.end());
+      for (size_t i = 0; i < batch; ++i) {
+        if (!pool.empty() && rng.Chance(0.35)) {
+          if (rng.Chance(0.75)) {  // delete a present triple
+            const auto& [s, p, o, lit] = pool[rng.Next(pool.size())];
+            ops.push_back({s, p, o,
+                           lit ? TermKind::kLiteral : TermKind::kIri, true});
+          } else {  // delete an absent one (no-op)
+            ops.push_back({rng.Pick(vertices), rng.Pick(predicates),
+                           "no_such_term", TermKind::kIri, true});
+          }
+          continue;
+        }
+        UpdateOp op;
+        op.subject = rng.Chance(0.15)
+                         ? "n" + std::to_string(new_term_counter++)
+                         : rng.Pick(vertices);
+        op.predicate = rng.Chance(0.1) ? std::string(rdf::kTypePredicate)
+                                       : rng.Pick(predicates);
+        if (rng.Chance(0.2)) {
+          op.object = "lit" + std::to_string(rng.Next(5));
+          op.object_kind = TermKind::kLiteral;
+        } else {
+          op.object = rng.Chance(0.15)
+                          ? "n" + std::to_string(new_term_counter++)
+                          : rng.Pick(vertices);
+        }
+        ops.push_back(op);
+        if (op.subject[0] == 'n') vertices.push_back(op.subject);
+        if (op.object_kind == TermKind::kIri && op.object[0] == 'n') {
+          vertices.push_back(op.object);
+        }
+      }
+      // Mirror the batch into the reference state, sequentially last-wins.
+      for (const UpdateOp& op : ops) {
+        RawTriple t{op.subject, op.predicate, op.object,
+                    op.object_kind == TermKind::kLiteral};
+        if (op.is_delete) {
+          reference.erase(t);
+        } else {
+          reference.insert(t);
+        }
+      }
+
+      auto result = (*kb)->Apply(ops);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      std::shared_ptr<const KbView> view = (*kb)->view();
+      CheckEpoch(*view, reference, rng);
+
+      // Random compaction, then re-check: folding must change nothing.
+      if (rng.Chance(0.3)) {
+        ASSERT_TRUE((*kb)->Compact().ok());
+        CheckEpoch(*(*kb)->view(), reference, rng);
+      }
+      // Random reopen (recovery): replaying the WAL over the manifest's
+      // base must land on the same state.
+      if (rng.Chance(0.25)) {
+        kb->reset();
+        kb = LiveKb::Open(options);
+        ASSERT_TRUE(kb.ok()) << kb.status().ToString();
+        CheckEpoch(*(*kb)->view(), reference, rng);
+      }
+    }
+    // Final recovery check after the full interleaving.
+    kb->reset();
+    kb = LiveKb::Open(options);
+    ASSERT_TRUE(kb.ok()) << kb.status().ToString();
+    CheckEpoch(*(*kb)->view(), reference, rng);
+
+    kb->reset();
+    std::filesystem::remove_all(dir);
+  });
+}
+
+}  // namespace
+}  // namespace live
+}  // namespace store
+}  // namespace ganswer

@@ -1,0 +1,174 @@
+#include "store/live/ingest_log.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ganswer {
+namespace store {
+namespace live {
+namespace {
+
+std::string TestPath(const std::string& stem) {
+  return stem + "." + std::to_string(::getpid()) + ".tmp";
+}
+
+std::vector<rdf::UpdateOp> SampleOps() {
+  return {
+      {"Berlin", "population", "3700000", rdf::TermKind::kLiteral, false},
+      {"Berlin", "capital_of", "Germany", rdf::TermKind::kIri, false},
+      {"Bonn", "capital_of", "Germany", rdf::TermKind::kIri, true},
+  };
+}
+
+size_t FileSize(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in ? static_cast<size_t>(in.tellg()) : 0;
+}
+
+void AppendRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(IngestLogTest, AppendReplayRoundTrip) {
+  std::string path = TestPath("ingest_log_roundtrip");
+  std::remove(path.c_str());
+  {
+    auto log = IngestLog::Open(path);
+    ASSERT_TRUE(log.ok()) << log.status().ToString();
+    ASSERT_TRUE((*log)->Append(1, SampleOps()).ok());
+    ASSERT_TRUE((*log)->Append(2, {SampleOps()[0]}).ok());
+    EXPECT_EQ((*log)->size_bytes(), FileSize(path));
+  }
+  auto records = IngestLog::Replay(path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].epoch, 1u);
+  EXPECT_EQ((*records)[0].ops, SampleOps());
+  EXPECT_EQ((*records)[1].epoch, 2u);
+  ASSERT_EQ((*records)[1].ops.size(), 1u);
+  EXPECT_EQ((*records)[1].ops[0], SampleOps()[0]);
+  std::remove(path.c_str());
+}
+
+TEST(IngestLogTest, MissingFileIsEmptyLog) {
+  auto records = IngestLog::Replay("/nonexistent/ganswer-live.wal");
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_TRUE(records->empty());
+}
+
+TEST(IngestLogTest, ReplayTruncatesTornTail) {
+  std::string path = TestPath("ingest_log_torn");
+  std::remove(path.c_str());
+  {
+    auto log = IngestLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append(1, SampleOps()).ok());
+  }
+  size_t committed = FileSize(path);
+  // A torn record: a plausible header promising more payload than exists.
+  AppendRaw(path, std::string("\x40\x00\x00\x00\xde\xad\xbe\xef half", 13));
+  auto records = IngestLog::Replay(path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].epoch, 1u);
+  // The tail was truncated away, so appending continues cleanly.
+  EXPECT_EQ(FileSize(path), committed);
+  {
+    auto log = IngestLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append(2, {SampleOps()[1]}).ok());
+  }
+  auto again = IngestLog::Replay(path);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->size(), 2u);
+  EXPECT_EQ((*again)[1].epoch, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IngestLogTest, ReplayRejectsCorruptedRecord) {
+  std::string path = TestPath("ingest_log_crc");
+  std::remove(path.c_str());
+  {
+    auto log = IngestLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append(1, SampleOps()).ok());
+    ASSERT_TRUE((*log)->Append(2, SampleOps()).ok());
+  }
+  // Flip one payload byte of the second record: its CRC no longer matches,
+  // so replay keeps record 1 and truncates from the corruption on.
+  size_t size = FileSize(path);
+  std::string bytes(size, '\0');
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.read(bytes.data(), static_cast<std::streamsize>(size));
+  }
+  bytes[size - 1] ^= 0x5a;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(size));
+  }
+  auto records = IngestLog::Replay(path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].epoch, 1u);
+  EXPECT_LT(FileSize(path), size);
+  std::remove(path.c_str());
+}
+
+TEST(LiveManifestTest, RoundTrip) {
+  std::string path = TestPath("live_manifest");
+  std::remove(path.c_str());
+  LiveManifest manifest;
+  manifest.base_epoch = 17;
+  manifest.base_snapshot = "/data/base-17.snap";
+  manifest.wal = "/data/wal-17.log";
+  ASSERT_TRUE(WriteManifest(path, manifest).ok());
+  auto loaded = ReadManifest(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->base_epoch, 17u);
+  EXPECT_EQ(loaded->base_snapshot, "/data/base-17.snap");
+  EXPECT_EQ(loaded->wal, "/data/wal-17.log");
+  std::remove(path.c_str());
+}
+
+TEST(LiveManifestTest, RejectsCorruptionAndGarbage) {
+  std::string path = TestPath("live_manifest_bad");
+  std::remove(path.c_str());
+  EXPECT_EQ(ReadManifest(path).status().code(), Status::Code::kNotFound);
+
+  LiveManifest manifest;
+  manifest.base_epoch = 3;
+  manifest.base_snapshot = "base.snap";
+  manifest.wal = "wal.log";
+  ASSERT_TRUE(WriteManifest(path, manifest).ok());
+  size_t size = FileSize(path);
+  std::string bytes(size, '\0');
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.read(bytes.data(), static_cast<std::streamsize>(size));
+  }
+  bytes[size / 2] ^= 0x5a;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(size));
+  }
+  EXPECT_FALSE(ReadManifest(path).ok());
+
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "not a manifest";
+  }
+  EXPECT_FALSE(ReadManifest(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace live
+}  // namespace store
+}  // namespace ganswer

@@ -1,0 +1,188 @@
+// Crash-consistency fault injection for the live store: a child process
+// opens the store, commits batches, then dies mid-WAL-append or between
+// compaction's snapshot write and its manifest swap (the two torn-state
+// windows). The parent reopens the directory and must land on exactly the
+// committed epoch with exactly the committed content — never a half-applied
+// batch, never a double-applied one.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "nlp/lexicon.h"
+#include "paraphrase/paraphrase_dictionary.h"
+#include "store/live/live_kb.h"
+#include "store/snapshot.h"
+
+namespace ganswer {
+namespace store {
+namespace live {
+namespace {
+
+using rdf::TermKind;
+using rdf::UpdateOp;
+
+struct Scratch {
+  std::string dir;
+  std::string snapshot;
+
+  explicit Scratch(const std::string& stem)
+      : dir(stem + "." + std::to_string(::getpid())),
+        snapshot(dir + "/base.snap") {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directory(dir);
+    rdf::RdfGraph graph;
+    graph.AddTriple("Alice", "knows", "Bob");
+    graph.AddTriple("Bob", "knows", "Carol");
+    EXPECT_TRUE(graph.Finalize().ok());
+    paraphrase::ParaphraseDictionary dict(&lexicon);
+    EXPECT_TRUE(WriteSnapshotFile(graph, dict, snapshot).ok());
+  }
+  ~Scratch() { std::filesystem::remove_all(dir); }
+
+  LiveKb::Options Options() const {
+    LiveKb::Options options;
+    options.dir = dir + "/store";
+    options.base_snapshot = snapshot;
+    options.lexicon = &lexicon;
+    options.background_compaction = false;
+    return options;
+  }
+
+  mutable nlp::Lexicon lexicon;
+};
+
+UpdateOp Add(const std::string& s, const std::string& o) {
+  return {s, "knows", o, TermKind::kIri, false};
+}
+
+std::set<std::string> TripleTexts(const rdf::RdfGraph& g) {
+  std::set<std::string> out;
+  for (rdf::TermId v = 0; v < g.dict().size(); ++v) {
+    for (const rdf::Edge& e : g.OutEdges(v)) {
+      out.insert(std::string(g.dict().text(v)) + "|" +
+                 std::string(g.dict().text(e.predicate)) + "|" +
+                 std::string(g.dict().text(e.neighbor)));
+    }
+  }
+  return out;
+}
+
+/// Runs \p crash in a forked child (which must abort) and waits for the
+/// SIGABRT. The parent's gtest state never sees the child.
+template <typename Fn>
+void RunCrashingChild(Fn crash) {
+  ::fflush(nullptr);
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    crash();
+    // The crash hook must have fired; reaching here is a test bug.
+    ::_exit(42);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited with "
+                                   << WEXITSTATUS(status)
+                                   << " instead of crashing";
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+}
+
+TEST(LiveCrashTest, KillMidBatchRecoversToLastCommittedEpoch) {
+  Scratch scratch("live_crash_batch");
+  RunCrashingChild([&] {
+    auto kb = LiveKb::Open(scratch.Options());
+    if (!kb.ok()) ::_exit(41);
+    if (!(*kb)->Apply({Add("Dave", "Alice")}).ok()) ::_exit(41);
+    if (!(*kb)->Apply({Add("Eve", "Alice")}).ok()) ::_exit(41);
+    (*kb)->CrashMidBatchForTest();
+    // Dies inside the WAL append, leaving a torn record after epoch 2.
+    (void)(*kb)->Apply({Add("Mallory", "Alice")});
+  });
+
+  auto kb = LiveKb::Open(scratch.Options());
+  ASSERT_TRUE(kb.ok()) << kb.status().ToString();
+  std::shared_ptr<const KbView> view = (*kb)->view();
+  EXPECT_EQ(view->epoch(), 2u);
+  const rdf::RdfGraph& g = view->graph();
+  EXPECT_TRUE(g.Find("Dave").has_value());
+  EXPECT_TRUE(g.Find("Eve").has_value());
+  // The torn batch is gone without a trace — not even its terms.
+  EXPECT_FALSE(g.Find("Mallory").has_value());
+
+  // The log stays appendable after tail truncation: ingestion continues.
+  auto next = (*kb)->Apply({Add("Trent", "Alice")});
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->epoch, 3u);
+}
+
+TEST(LiveCrashTest, KillBeforeManifestSwapKeepsTheOldPair) {
+  Scratch scratch("live_crash_compact");
+  RunCrashingChild([&] {
+    auto kb = LiveKb::Open(scratch.Options());
+    if (!kb.ok()) ::_exit(41);
+    if (!(*kb)->Apply({Add("Dave", "Alice")}).ok()) ::_exit(41);
+    if (!(*kb)->Apply({Add("Eve", "Bob")}).ok()) ::_exit(41);
+    (*kb)->CrashBeforeManifestSwapForTest();
+    // Dies after writing the compacted snapshot but before the manifest
+    // swap: the manifest must still point at the old (snapshot, WAL) pair.
+    (void)(*kb)->Compact();
+  });
+
+  std::set<std::string> expected;
+  {
+    auto kb = LiveKb::Open(scratch.Options());
+    ASSERT_TRUE(kb.ok()) << kb.status().ToString();
+    std::shared_ptr<const KbView> view = (*kb)->view();
+    EXPECT_EQ(view->epoch(), 2u);
+    EXPECT_TRUE(view->graph().Find("Dave").has_value());
+    EXPECT_TRUE(view->graph().Find("Eve").has_value());
+    EXPECT_GT((*kb)->counters().delta_triples, 0u);  // not compacted
+    expected = TripleTexts(view->graph());
+
+    // A real compaction now succeeds and folds the same content.
+    ASSERT_TRUE((*kb)->Compact().ok());
+    EXPECT_EQ(TripleTexts((*kb)->view()->graph()), expected);
+  }
+  auto reopened = LiveKb::Open(scratch.Options());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->view()->epoch(), 2u);
+  EXPECT_EQ(TripleTexts((*reopened)->view()->graph()), expected);
+}
+
+TEST(LiveCrashTest, GarbageWalTailIsRejectedByCrc) {
+  Scratch scratch("live_crash_tail");
+  std::string wal_path;
+  {
+    auto kb = LiveKb::Open(scratch.Options());
+    ASSERT_TRUE(kb.ok());
+    ASSERT_TRUE((*kb)->Apply({Add("Dave", "Alice")}).ok());
+  }
+  // Simulate a torn final write: bytes that parse as a length header but
+  // fail the CRC.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(scratch.dir + "/store")) {
+    if (entry.path().extension() == ".log") wal_path = entry.path();
+  }
+  ASSERT_FALSE(wal_path.empty());
+  {
+    std::ofstream out(wal_path, std::ios::binary | std::ios::app);
+    out.write("\x08\x00\x00\x00\xff\xff\xff\xffgarbage!", 16);
+  }
+  auto kb = LiveKb::Open(scratch.Options());
+  ASSERT_TRUE(kb.ok()) << kb.status().ToString();
+  EXPECT_EQ((*kb)->view()->epoch(), 1u);
+  EXPECT_TRUE((*kb)->view()->graph().Find("Dave").has_value());
+}
+
+}  // namespace
+}  // namespace live
+}  // namespace store
+}  // namespace ganswer
