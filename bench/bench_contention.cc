@@ -1,0 +1,334 @@
+// Contention and scaling harness for the online hot path: how throughput
+// moves as threads are added on the machine at hand.
+//
+// Four sweeps, each across thread counts {1, 2, 4, ...} up to the CPUs
+// available to the process (cpuset-aware; a 1-core CI box runs only the
+// T=1 point and the assertions degrade to sanity bounds):
+//
+//   counters   StripedCounter increments vs the stripes=1 shared-atomic
+//              baseline it replaced. The striped curve should stay near
+//              flat per-thread (relaxed adds to private cache lines); the
+//              shared curve collapses as every add drags one line
+//              exclusive across cores. Exactness is asserted: the final
+//              Value() must equal threads x iterations.
+//   cache      ShardedLruCache hit throughput on a hot working set — the
+//              cached fast path's probe loop. Core-derived shard count,
+//              padded shard headers.
+//   probes     SIMD lower-bound kernels vs forced scalar on sorted flat
+//              and (key, payload) pair runs, the SparqlEngine's edge-run
+//              and merge-join probes. Single-threaded (the kernels are
+//              data-parallel, not thread-parallel); results asserted
+//              byte-identical to std::lower_bound as it runs.
+//   matcher    Batched end-to-end QPS: the generated question workload
+//              fanned across a pinned worker pool (caching off, so every
+//              question rides understanding + matching).
+//
+// Every point emits one BENCH_JSON line carrying `hardware_threads`,
+// `threads`, ops/s and `scaling_efficiency` = (ops(T)/ops(1))/T, so the
+// artifact records the whole curve per commit.
+//
+// Run: ./build/bench/bench_contention [--smoke] [--seed N]
+//   --smoke: CI mode — short runs; exit 1 when a correctness assertion or
+//   (on 8+ hardware threads) the >= 2x-at-8-threads scaling bar fails.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support.h"
+#include "common/lru_cache.h"
+#include "common/random.h"
+#include "common/search.h"
+#include "common/striped_counter.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "common/topology.h"
+#include "qa/ganswer.h"
+
+using namespace ganswer;
+
+namespace {
+
+bool g_failed = false;
+
+void Check(bool ok, const char* what) {
+  if (ok) return;
+  std::fprintf(stderr, "CHECK FAILED: %s\n", what);
+  g_failed = true;
+}
+
+std::vector<int> ThreadSweep(int max_threads) {
+  std::vector<int> sweep;
+  for (int t = 1; t <= max_threads; t *= 2) sweep.push_back(t);
+  if (sweep.back() != max_threads) sweep.push_back(max_threads);
+  return sweep;
+}
+
+/// Runs \p body on \p threads threads concurrently (plain std::thread, not
+/// the pool — the pool itself is under test elsewhere) and returns elapsed
+/// wall milliseconds from first start to last join.
+double TimedThreads(int threads, const std::function<void(int)>& body) {
+  WallTimer timer;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) workers.emplace_back(body, t);
+  for (std::thread& w : workers) w.join();
+  return timer.ElapsedMillis();
+}
+
+double Efficiency(double ops_1, double ops_t, int threads) {
+  if (ops_1 <= 0) return 0;
+  return (ops_t / ops_1) / threads;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 1: counter increments, striped vs shared.
+// ---------------------------------------------------------------------------
+
+double CounterSweepPoint(size_t stripes, int threads, uint64_t iters) {
+  StripedCounter counter(stripes);
+  double ms = TimedThreads(threads, [&](int) {
+    for (uint64_t i = 0; i < iters; ++i) counter.Increment();
+  });
+  Check(counter.Value() == static_cast<uint64_t>(threads) * iters,
+        "striped counter aggregate is exact");
+  return static_cast<double>(threads) * iters / (ms / 1000.0);
+}
+
+void RunCounterSweep(const std::vector<int>& sweep, uint64_t iters,
+                     bool smoke) {
+  bench::Header("counter increments: striped vs shared atomic");
+  std::printf("%8s %16s %16s %10s\n", "threads", "striped M/s", "shared M/s",
+              "eff");
+  double striped_1 = 0, shared_1 = 0, striped_8 = 0;
+  for (int t : sweep) {
+    double striped = CounterSweepPoint(0, t, iters);
+    double shared = CounterSweepPoint(1, t, iters);
+    if (t == 1) striped_1 = striped, shared_1 = shared;
+    if (t == 8) striped_8 = striped;
+    double eff = Efficiency(striped_1, striped, t);
+    std::printf("%8d %16.1f %16.1f %10.2f\n", t, striped / 1e6, shared / 1e6,
+                eff);
+    bench::JsonLine("contention_counters")
+        .Field("hardware_threads", AvailableCpus())
+        .Field("threads", t)
+        .Field("striped_ops_per_sec", striped)
+        .Field("shared_ops_per_sec", shared)
+        .Field("scaling_efficiency", eff)
+        .Emit();
+  }
+  // Scaling bar: on a real multi-core box, 8 threads of striped counting
+  // must beat one thread by >= 2x aggregate. A 1-core box can only assert
+  // the striped counter is not catastrophically slower than the shared
+  // atomic it replaced (the stripe pick adds one TLS read + mask).
+  if (AvailableCpus() >= 8 && striped_8 > 0) {
+    Check(!smoke || striped_8 >= 2.0 * striped_1,
+          "striped counters scale >= 2x at 8 threads");
+  } else if (shared_1 > 0) {
+    Check(!smoke || striped_1 >= 0.2 * shared_1,
+          "striped counter single-thread within 5x of shared atomic");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 2: cache hit throughput.
+// ---------------------------------------------------------------------------
+
+void RunCacheSweep(const std::vector<int>& sweep, uint64_t iters) {
+  bench::Header("ShardedLruCache hot-hit throughput");
+  constexpr size_t kHotKeys = 512;
+  ShardedLruCache<std::string> cache({/*capacity=*/4096, /*shards=*/0});
+  std::vector<std::string> keys;
+  keys.reserve(kHotKeys);
+  for (size_t i = 0; i < kHotKeys; ++i) {
+    keys.push_back("question:" + std::to_string(i));
+    cache.Put(keys.back(), "answer " + std::to_string(i));
+  }
+  std::printf("shards=%zu\n", cache.options().shards);
+  std::printf("%8s %16s %10s\n", "threads", "hits M/s", "eff");
+  double ops_1 = 0;
+  for (int t : sweep) {
+    double ms = TimedThreads(t, [&](int tid) {
+      Rng rng(0x5eedULL + tid);
+      for (uint64_t i = 0; i < iters; ++i) {
+        auto hit = cache.Get(keys[rng.Next(kHotKeys)]);
+        Check(hit != nullptr, "hot key present");
+      }
+    });
+    double ops = static_cast<double>(t) * iters / (ms / 1000.0);
+    if (t == 1) ops_1 = ops;
+    double eff = Efficiency(ops_1, ops, t);
+    std::printf("%8d %16.1f %10.2f\n", t, ops / 1e6, eff);
+    bench::JsonLine("contention_cache")
+        .Field("hardware_threads", AvailableCpus())
+        .Field("threads", t)
+        .Field("shards", cache.options().shards)
+        .Field("ops_per_sec", ops)
+        .Field("scaling_efficiency", eff)
+        .Emit();
+  }
+  ShardedLruCache<std::string>::Stats stats = cache.stats();
+  Check(stats.hits > 0, "cache recorded hits");
+  Check(stats.shard_imbalance >= 1.0 || stats.entries == 0,
+        "imbalance gauge >= 1 when occupied");
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 3: SIMD probe kernels vs scalar.
+// ---------------------------------------------------------------------------
+
+double ProbeThroughput(const std::vector<uint32_t>& sorted,
+                       const std::vector<uint32_t>& queries, bool pair_keyed) {
+  WallTimer timer;
+  uint64_t checksum = 0;
+  const uint32_t* base = sorted.data();
+  const uint32_t* end = base + sorted.size();
+  for (uint32_t q : queries) {
+    const uint32_t* lb = pair_keyed ? SimdLowerBoundPairKey(base, end, q)
+                                    : SimdLowerBoundU32(base, end, q);
+    checksum += static_cast<uint64_t>(lb - base);
+  }
+  double ms = timer.ElapsedMillis();
+  volatile uint64_t sink = checksum;
+  (void)sink;
+  return queries.size() / (ms / 1000.0);
+}
+
+void RunProbeSweep(uint64_t iters, uint64_t seed) {
+  bench::Header("SIMD probe kernels vs scalar (sorted run lower bound)");
+  Rng rng(seed);
+  constexpr size_t kRun = 1 << 16;
+  std::vector<uint32_t> flat(kRun);
+  for (uint32_t& v : flat) v = static_cast<uint32_t>(rng.Next(1u << 30));
+  std::sort(flat.begin(), flat.end());
+  std::vector<uint32_t> pairs(2 * kRun);
+  for (size_t i = 0; i < kRun; ++i) {
+    pairs[2 * i] = flat[i];
+    pairs[2 * i + 1] = static_cast<uint32_t>(rng.Next(1u << 30));
+  }
+  std::vector<uint32_t> queries(iters);
+  for (uint32_t& q : queries) q = static_cast<uint32_t>(rng.Next(1u << 30));
+
+  // Correctness while we are here: the active kernel must agree with
+  // std::lower_bound on every query of this run.
+  for (size_t i = 0; i < std::min<size_t>(queries.size(), 4096); ++i) {
+    const uint32_t* lb =
+        SimdLowerBoundU32(flat.data(), flat.data() + flat.size(), queries[i]);
+    auto ref = std::lower_bound(flat.begin(), flat.end(), queries[i]);
+    Check(lb - flat.data() == ref - flat.begin(),
+          "SIMD flat lower bound == std::lower_bound");
+  }
+
+  ProbeKernel active = ActiveProbeKernel();
+  double flat_simd = ProbeThroughput(flat, queries, false);
+  double pair_simd = ProbeThroughput(pairs, queries, true);
+  SetProbeKernelForTest(ProbeKernel::kScalar);
+  double flat_scalar = ProbeThroughput(flat, queries, false);
+  double pair_scalar = ProbeThroughput(pairs, queries, true);
+  SetProbeKernelForTest(active);
+
+  std::printf("kernel=%s\n", ProbeKernelName(active));
+  std::printf("%8s %16s %16s %10s\n", "layout", "simd M/s", "scalar M/s",
+              "ratio");
+  std::printf("%8s %16.2f %16.2f %10.2f\n", "flat", flat_simd / 1e6,
+              flat_scalar / 1e6, flat_simd / flat_scalar);
+  std::printf("%8s %16.2f %16.2f %10.2f\n", "pair", pair_simd / 1e6,
+              pair_scalar / 1e6, pair_simd / pair_scalar);
+  bench::JsonLine("contention_probes")
+      .Field("hardware_threads", AvailableCpus())
+      .Field("kernel", ProbeKernelName(active))
+      .Field("flat_simd_per_sec", flat_simd)
+      .Field("flat_scalar_per_sec", flat_scalar)
+      .Field("pair_simd_per_sec", pair_simd)
+      .Field("pair_scalar_per_sec", pair_scalar)
+      .Emit();
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 4: batched matcher QPS across a pinned worker pool.
+// ---------------------------------------------------------------------------
+
+void RunMatcherSweep(const std::vector<int>& sweep, bool smoke) {
+  bench::Header("batched matcher QPS (caching off, pinned pool)");
+  const bench::BenchWorld world = bench::BuildWorld();
+  qa::GAnswer system(&world.kb.graph, &world.lexicon, world.verified.get());
+  std::vector<std::string> questions;
+  size_t want = smoke ? 32 : 256;
+  for (size_t i = 0; i < want; ++i) {
+    questions.push_back(world.workload[i % world.workload.size()].text);
+  }
+  std::printf("questions=%zu\n", questions.size());
+  std::printf("%8s %12s %10s %8s\n", "threads", "QPS", "eff", "pinned");
+  double qps_1 = 0;
+  for (int t : sweep) {
+    ThreadPool pool(ThreadPool::Options{t, /*pin_workers=*/true});
+    WallTimer timer;
+    pool.ParallelFor(0, questions.size(), [&](size_t i) {
+      auto response = system.Ask(questions[i]);
+      Check(response.ok(), "Ask succeeds under the sweep");
+    });
+    double qps = questions.size() / (timer.ElapsedMillis() / 1000.0);
+    if (t == 1) qps_1 = qps;
+    double eff = Efficiency(qps_1, qps, t);
+    std::printf("%8d %12.1f %10.2f %8d\n", t, qps, eff,
+                pool.pinned_workers());
+    bench::JsonLine("contention_matcher")
+        .Field("hardware_threads", AvailableCpus())
+        .Field("threads", t)
+        .Field("qps", qps)
+        .Field("scaling_efficiency", eff)
+        .Field("pinned_workers", pool.pinned_workers())
+        .Emit();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    }
+  }
+
+  const CpuTopology& topo = Topology();
+  std::printf(
+      "topology: %d hardware threads, %d physical cores, %d socket(s), "
+      "smt=%d, cache line %d B, affinity %s\n",
+      topo.hardware_threads(), topo.physical_cores, topo.sockets,
+      topo.smt ? 1 : 0, topo.cache_line_bytes,
+      AffinityEnabled() ? "enabled" : "disabled");
+  bench::JsonLine("contention_topology")
+      .Field("hardware_threads", topo.hardware_threads())
+      .Field("physical_cores", topo.physical_cores)
+      .Field("sockets", topo.sockets)
+      .Field("smt", topo.smt)
+      .Field("cache_line_bytes", topo.cache_line_bytes)
+      .Field("probe_kernel", ProbeKernelName(ActiveProbeKernel()))
+      .Emit();
+
+  std::vector<int> sweep = ThreadSweep(AvailableCpus());
+  uint64_t iters = smoke ? 200'000 : 2'000'000;
+
+  RunCounterSweep(sweep, iters, smoke);
+  RunCacheSweep(sweep, smoke ? 50'000 : 500'000);
+  RunProbeSweep(smoke ? 100'000 : 1'000'000, seed);
+  RunMatcherSweep(sweep, smoke);
+
+  if (g_failed) {
+    std::fprintf(stderr, "bench_contention: FAILED\n");
+    return 1;
+  }
+  std::printf("\nbench_contention: OK\n");
+  return 0;
+}

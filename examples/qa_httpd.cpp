@@ -118,6 +118,7 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --snapshot FILE [--port N] [--address A] [--threads N]\n"
+      "          [--pin-workers]\n"
       "          [--max-queue N] [--deadline-ms N] [--no-fast-path]\n"
       "          [--cache N] [--idle-timeout-ms N] [--mmap]\n"
       "          [--shards N] [--halo-hops H] [--shard-timeout-ms N]\n"
@@ -147,6 +148,8 @@ int main(int argc, char** argv) {
       options.bind_address = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       options.threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--pin-workers") == 0) {
+      options.pin_workers = true;
     } else if (std::strcmp(argv[i], "--max-queue") == 0 && i + 1 < argc) {
       options.max_queue = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {

@@ -1,7 +1,7 @@
 #ifndef GANSWER_COMMON_LRU_CACHE_H_
 #define GANSWER_COMMON_LRU_CACHE_H_
 
-#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -11,24 +11,54 @@
 #include <utility>
 #include <vector>
 
+#include "common/striped_counter.h"
+#include "common/topology.h"
+
 namespace ganswer {
 
 /// \brief Thread-safe sharded LRU cache, string keys to shared immutable
-/// values.
+/// values — core-aware: shard count sized from the topology, shard headers
+/// padded to cache lines, statistics striped per core.
 ///
 /// Keys hash to one of `shards` independent LRU lists, each behind its own
-/// mutex, so concurrent lookups from a BatchAnswer fan-out contend only
-/// when they land on the same shard. Values are handed out as
-/// shared_ptr<const V>: a hit never copies the value under the lock, and an
-/// entry evicted while a reader still holds it stays alive until the reader
-/// drops it.
+/// mutex, so concurrent lookups from the serving fan-out contend only when
+/// they land on the same shard. The default shard count derives from the
+/// CPUs actually available to the process (cpuset-aware, see
+/// common/topology.h): the next power of two at or above twice the
+/// hardware threads, never below 8 — a power of two so the shard pick is
+/// one mask, and 2x threads so two threads racing the same shard is the
+/// exception, not the steady state. Each Shard is alignas(64): one shard's
+/// mutex churn never writes a neighbour shard's cache line.
+///
+/// The hit/miss/eviction counters are StripedCounters: relaxed per-core
+/// increments, exact aggregate on stats() — the previous shared atomics
+/// sat adjacent on one line and were hammered from every request thread,
+/// serializing the fleet on counter bookkeeping (the textbook false-
+/// sharing bug). Counter values are exact, not sampled; /stats semantics
+/// are unchanged.
+///
+/// Thread-local shard affinity: the key->shard mapping is pure hashing
+/// (correctness requires the same key to reach the same shard from every
+/// thread), but each probing thread carries a stable per-core hint
+/// (CurrentCpuHint) that picks its counter stripe, and Get() prefetches
+/// the shard header before taking the lock, so the header line is usually
+/// local by the time the mutex is acquired.
+///
+/// Values are handed out as shared_ptr<const V>: a hit never copies the
+/// value under the lock, and an entry evicted while a reader still holds
+/// it stays alive until the reader drops it.
 template <typename V>
 class ShardedLruCache {
  public:
   struct Options {
     /// Total entry capacity across all shards (rounded up to shards).
     size_t capacity = 1024;
-    size_t shards = 8;
+    /// 0 = derive from topology (see class comment). Explicit values are
+    /// rounded up to a power of two.
+    size_t shards = 0;
+    /// Stat-counter stripes; 0 = derive from topology, 1 = one shared
+    /// atomic (the contention-bench baseline).
+    size_t counter_stripes = 0;
   };
 
   struct Stats {
@@ -36,10 +66,20 @@ class ShardedLruCache {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     size_t entries = 0;
+    /// Entries per shard, index-aligned with the shard array.
+    std::vector<size_t> shard_entries;
+    /// Occupancy skew: max shard entries over the mean (1.0 = perfectly
+    /// even, 0 when empty). The /stats shard-imbalance gauge.
+    double shard_imbalance = 0.0;
   };
 
-  explicit ShardedLruCache(Options options) : options_(options) {
-    if (options_.shards == 0) options_.shards = 1;
+  explicit ShardedLruCache(Options options)
+      : options_(options),
+        hits_(options.counter_stripes),
+        misses_(options.counter_stripes),
+        evictions_(options.counter_stripes) {
+    options_.shards = DeriveShards(options_.shards);
+    shard_mask_ = options_.shards - 1;
     if (options_.capacity < options_.shards) {
       options_.capacity = options_.shards;
     }
@@ -61,14 +101,15 @@ class ShardedLruCache {
   std::shared_ptr<const V> Get(const std::string& key,
                                bool count_miss = true) {
     Shard& shard = ShardFor(key);
+    __builtin_prefetch(&shard, 0, 1);
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
-      if (count_miss) misses_.fetch_add(1, std::memory_order_relaxed);
+      if (count_miss) misses_.Increment();
       return nullptr;
     }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    hits_.Increment();
     return it->second->second;
   }
 
@@ -89,7 +130,7 @@ class ShardedLruCache {
     if (shard.lru.size() > per_shard_capacity_) {
       shard.index.erase(shard.lru.back().first);
       shard.lru.pop_back();
-      evictions_.fetch_add(1, std::memory_order_relaxed);
+      evictions_.Increment();
     }
   }
 
@@ -104,37 +145,69 @@ class ShardedLruCache {
 
   Stats stats() const {
     Stats s;
-    s.hits = hits_.load(std::memory_order_relaxed);
-    s.misses = misses_.load(std::memory_order_relaxed);
-    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.hits = hits_.Value();
+    s.misses = misses_.Value();
+    s.evictions = evictions_.Value();
+    s.shard_entries.reserve(shards_.size());
+    size_t max_entries = 0;
     for (const Shard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
-      s.entries += shard.lru.size();
+      size_t n = shard.lru.size();
+      s.entries += n;
+      s.shard_entries.push_back(n);
+      if (n > max_entries) max_entries = n;
+    }
+    if (s.entries > 0) {
+      double mean =
+          static_cast<double>(s.entries) / static_cast<double>(shards_.size());
+      s.shard_imbalance = static_cast<double>(max_entries) / mean;
     }
     return s;
   }
 
   const Options& options() const { return options_; }
 
+  /// The shard index \p key hashes to — thread-independent by
+  /// construction (the affinity test pins this down).
+  size_t ShardIndex(const std::string& key) const {
+    return std::hash<std::string>{}(key)&shard_mask_;
+  }
+
  private:
   using Entry = std::pair<std::string, std::shared_ptr<const V>>;
 
-  struct Shard {
+  /// Padded to a cache line so one shard's mutex and list-head churn never
+  /// invalidates a neighbour shard's header.
+  struct alignas(64) Shard {
     mutable std::mutex mu;
     std::list<Entry> lru;  // front = most recently used
     std::unordered_map<std::string, typename std::list<Entry>::iterator> index;
   };
 
+  /// 0 -> topology-derived (power of two >= max(8, 2 * hardware threads),
+  /// capped at 256); explicit values round up to a power of two.
+  static size_t DeriveShards(size_t requested) {
+    size_t target = requested;
+    if (target == 0) {
+      target = 2 * static_cast<size_t>(AvailableCpus());
+      if (target < 8) target = 8;
+    }
+    size_t p = 1;
+    while (p < target && p < 256) p <<= 1;
+    return p;
+  }
+
   Shard& ShardFor(const std::string& key) {
-    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+    return shards_[std::hash<std::string>{}(key)&shard_mask_];
   }
 
   Options options_;
   size_t per_shard_capacity_ = 1;
+  size_t shard_mask_ = 0;
   std::vector<Shard> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
+  mutable StripedCounter hits_;
+  mutable StripedCounter misses_;
+  mutable StripedCounter evictions_;
 };
 
 }  // namespace ganswer

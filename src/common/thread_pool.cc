@@ -3,20 +3,26 @@
 #include <algorithm>
 #include <exception>
 
+#include "common/topology.h"
+
 namespace ganswer {
+
+namespace {
+thread_local int tls_worker_id = -1;
+}  // namespace
 
 int ThreadPool::ResolveThreads(int requested) {
   if (requested > 0) return requested;
   if (requested < 0) return 1;
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  return AvailableCpus();
 }
 
-ThreadPool::ThreadPool(int threads) {
-  int n = ResolveThreads(threads);
+ThreadPool::ThreadPool(Options options) {
+  int n = ResolveThreads(options.threads);
   workers_.reserve(n);
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back(
+        [this, i, pin = options.pin_workers] { WorkerLoop(i, pin); });
   }
 }
 
@@ -29,7 +35,20 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::WorkerLoop() {
+int ThreadPool::CurrentWorkerId() { return tls_worker_id; }
+
+void ThreadPool::WorkerLoop(int worker_id, bool pin) {
+  tls_worker_id = worker_id;
+  // Align this worker's counter stripe with its id so a worker's
+  // increments stay on one cache line whether or not pinning succeeds.
+  SetCurrentCpuHint(worker_id);
+  if (pin) {
+    const CpuTopology& topo = Topology();
+    int cpu = topo.cpus[static_cast<size_t>(worker_id) % topo.cpus.size()];
+    if (PinCurrentThreadToCpu(cpu)) {
+      pinned_workers_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   for (;;) {
     std::function<void()> task;
     {

@@ -79,7 +79,9 @@ class GAnswer {
     /// a sharded LRU keyed by the normalized question text and a hit is
     /// served without running understanding or matching.
     size_t question_cache_capacity = 0;
-    size_t question_cache_shards = 8;
+    /// 0 = derive the shard count from the CPU topology (see
+    /// common/lru_cache.h — power of two, scales with available cores).
+    size_t question_cache_shards = 0;
     /// Identity of the offline data this system serves (use the snapshot
     /// fingerprint, store::Snapshot::fingerprint). Mixed into every cache
     /// key, so entries cached against different snapshot contents can never

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <cstddef>
 #include <cstdlib>
 #include <limits>
 #include <set>
+#include <span>
+#include <type_traits>
 #include <unordered_map>
 
 #include "common/search.h"
@@ -16,6 +19,37 @@ namespace rdf {
 namespace {
 
 constexpr uint32_t kNoSlot = std::numeric_limits<uint32_t>::max();
+
+// The SIMD probe kernels treat Edge and the PSO/POS pairs as sorted runs
+// of (key, payload) uint32 records; these asserts pin the layout the
+// reinterpret_casts below rely on.
+static_assert(sizeof(Edge) == 2 * sizeof(uint32_t));
+static_assert(offsetof(Edge, predicate) == 0);
+static_assert(offsetof(Edge, neighbor) == sizeof(uint32_t));
+static_assert(sizeof(std::pair<TermId, TermId>) == 2 * sizeof(uint32_t));
+static_assert(std::is_standard_layout_v<std::pair<TermId, TermId>>);
+
+// SIMD lower bound for the first Edge with .predicate >= p. Byte-identical
+// to BranchlessLowerBound(begin, end, Edge{p, 0}): neighbor = 0 is minimal,
+// so the full (predicate, neighbor) lower bound is exactly the first-key
+// lower bound the stride-2 kernel computes.
+const Edge* EdgeRunLowerBound(std::span<const Edge> edges, TermId p) {
+  const uint32_t* base = reinterpret_cast<const uint32_t*>(edges.data());
+  const uint32_t* lb =
+      SimdLowerBoundPairKey(base, base + 2 * edges.size(), p);
+  return edges.data() + (lb - base) / 2;
+}
+
+// SIMD galloping advance over a sorted (key, payload) pair run; identical
+// to GallopingLowerBound with a first-field comparator and key {k, 0}.
+const std::pair<TermId, TermId>* PairRunGallop(
+    const std::pair<TermId, TermId>* first,
+    const std::pair<TermId, TermId>* last, TermId k) {
+  const uint32_t* base = reinterpret_cast<const uint32_t*>(first);
+  const uint32_t* end = reinterpret_cast<const uint32_t*>(last);
+  const uint32_t* lb = SimdGallopingLowerBoundPairKey(base, end, k);
+  return first + (lb - base) / 2;
+}
 
 // A triple pattern with constants resolved to term ids and variables
 // resolved to slots in the binding vector.
@@ -190,13 +224,12 @@ size_t SparqlEngine::PredSlot(TermId p) const {
 
 SparqlEngine::PlannerCounters SparqlEngine::planner_counters() const {
   PlannerCounters c;
-  c.planned_queries = planned_queries_.load(std::memory_order_relaxed);
-  c.naive_queries = naive_queries_.load(std::memory_order_relaxed);
-  c.range_lookups = range_lookups_.load(std::memory_order_relaxed);
-  c.full_scans = full_scans_.load(std::memory_order_relaxed);
-  c.intermediate_bindings =
-      intermediate_bindings_.load(std::memory_order_relaxed);
-  c.merge_joins = merge_joins_.load(std::memory_order_relaxed);
+  c.planned_queries = planned_queries_.Value();
+  c.naive_queries = naive_queries_.Value();
+  c.range_lookups = range_lookups_.Value();
+  c.full_scans = full_scans_.Value();
+  c.intermediate_bindings = intermediate_bindings_.Value();
+  c.merge_joins = merge_joins_.Value();
   return c;
 }
 
@@ -282,10 +315,10 @@ StatusOr<std::vector<std::vector<TermId>>> SparqlEngine::EvaluateBgp(
          PlanJoinOrder(graph_, *stats_, resolved, rs.var_slots.size())) {
       order.push_back(i);
     }
-    planned_queries_.fetch_add(1, std::memory_order_relaxed);
+    planned_queries_.Increment();
   } else {
     for (size_t i = 0; i < resolved.size(); ++i) order.push_back(i);
-    naive_queries_.fetch_add(1, std::memory_order_relaxed);
+    naive_queries_.Increment();
   }
 
   std::vector<TermId> binding(rs.var_slots.size(), kInvalidTerm);
@@ -314,11 +347,12 @@ StatusOr<std::vector<std::vector<TermId>>> SparqlEngine::EvaluateBgp(
     if (sb) {
       auto edges = graph_.OutEdges(s);
       if (planned && pb) {
-        // Binary search to the predicate run instead of filtering the
+        // Vector probe to the predicate run instead of filtering the
         // whole adjacency list.
         ++local_range;
-        auto it = BranchlessLowerBound(edges.begin(), edges.end(), Edge{p, 0});
-        for (; it != edges.end() && it->predicate == p; ++it) {
+        const Edge* it = EdgeRunLowerBound(edges, p);
+        const Edge* end = edges.data() + edges.size();
+        for (; it != end && it->predicate == p; ++it) {
           ++local_bind;
           if (!fn(s, p, it->neighbor)) return;
         }
@@ -339,8 +373,9 @@ StatusOr<std::vector<std::vector<TermId>>> SparqlEngine::EvaluateBgp(
         // larger than the POS group the same probe would search.
         ++local_range;
         auto edges = graph_.InEdges(o);
-        auto it = BranchlessLowerBound(edges.begin(), edges.end(), Edge{p, 0});
-        for (; it != edges.end() && it->predicate == p; ++it) {
+        const Edge* it = EdgeRunLowerBound(edges, p);
+        const Edge* end = edges.data() + edges.size();
+        for (; it != end && it->predicate == p; ++it) {
           ++local_bind;
           if (!fn(it->neighbor, p, o)) return;
         }
@@ -459,24 +494,18 @@ StatusOr<std::vector<std::vector<TermId>>> SparqlEngine::EvaluateBgp(
     if (!sa.has_value() || !sb.has_value()) return false;
 
     ++local_merge;
-    auto cmp = [](const std::pair<TermId, TermId>& x,
-                  const std::pair<TermId, TermId>& y) {
-      return x.first < y.first;
-    };
     const auto* ia = sa->begin;
     const auto* ib = sb->begin;
     while (ia != sa->end && ib != sb->end && !done) {
       if (ia->first < ib->first) {
         // The next matching key is usually a few entries ahead, so gallop:
-        // exponential probe + branchless binary search inside the bracket
+        // exponential probe + vector-counted binary search in the bracket
         // beats a full-width lower_bound on long permutation runs.
-        ia = GallopingLowerBound(ia, sa->end,
-                                 std::pair<TermId, TermId>{ib->first, 0}, cmp);
+        ia = PairRunGallop(ia, sa->end, ib->first);
         continue;
       }
       if (ib->first < ia->first) {
-        ib = GallopingLowerBound(ib, sb->end,
-                                 std::pair<TermId, TermId>{ia->first, 0}, cmp);
+        ib = PairRunGallop(ib, sb->end, ia->first);
         continue;
       }
       TermId k = ia->first;
@@ -504,10 +533,10 @@ StatusOr<std::vector<std::vector<TermId>>> SparqlEngine::EvaluateBgp(
 
   if (!try_merge_join()) recurse(recurse, 0);
 
-  range_lookups_.fetch_add(local_range, std::memory_order_relaxed);
-  full_scans_.fetch_add(local_full, std::memory_order_relaxed);
-  intermediate_bindings_.fetch_add(local_bind, std::memory_order_relaxed);
-  merge_joins_.fetch_add(local_merge, std::memory_order_relaxed);
+  range_lookups_.Add(local_range);
+  full_scans_.Add(local_full);
+  intermediate_bindings_.Add(local_bind);
+  merge_joins_.Add(local_merge);
   return rows;
 }
 

@@ -124,7 +124,7 @@ Status QaService::Start() {
       out.handled = true;
       out.partial = scattered->partial();
       if (out.partial) {
-        partial_answers_.fetch_add(1, std::memory_order_relaxed);
+        partial_answers_.Increment();
       }
       out.matches = std::move(scattered->matches);
       return out;
@@ -178,7 +178,8 @@ Status QaService::StartLive() {
 }
 
 Status QaService::StartHttp() {
-  pool_ = std::make_unique<ThreadPool>(options_.threads);
+  pool_ = std::make_unique<ThreadPool>(
+      ThreadPool::Options{options_.threads, options_.pin_workers});
   HttpServer::Options http_options;
   http_options.bind_address = options_.bind_address;
   http_options.port = options_.port;
@@ -299,7 +300,7 @@ bool QaService::Admit(const HttpServer::ResponseWriter& writer,
   if (admitted_.fetch_add(1, std::memory_order_relaxed) >=
       options_.max_queue) {
     admitted_.fetch_sub(1, std::memory_order_relaxed);
-    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    shed_queue_full_.Increment();
     Record(cell, 0.0, 503);
     JsonWriter w;
     w.BeginObject()
@@ -324,7 +325,7 @@ bool QaService::Admit(const HttpServer::ResponseWriter& writer,
       queue_wait_.hist.RecordMillis(waited_ms);
     }
     if (deadline_ms > 0 && waited_ms > static_cast<double>(deadline_ms)) {
-      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      shed_deadline_.Increment();
       Record(cell, waited_ms, 503);
       JsonWriter w;
       w.BeginObject()
@@ -378,7 +379,7 @@ void QaService::HandleAnswer(const HttpRequest& request,
       request.Header("X-No-Fast-Path") == nullptr) {
     if (auto hit = system.ProbeCache(q)) {
       std::string body = AnswerToJson(q, *hit, /*cache_hit=*/true, graph);
-      fast_path_hits_.fetch_add(1, std::memory_order_relaxed);
+      fast_path_hits_.Increment();
       Record(&answer_stats_,
              static_cast<double>(SteadyNowUs() - admit_us) / 1000.0, 200);
       writer.Send(HttpResponse::Json(200, std::move(body)));
@@ -527,6 +528,12 @@ void QaService::HandleStats(const HttpServer::ResponseWriter& writer) {
       .Field("misses", cache.misses)
       .Field("evictions", cache.evictions)
       .Field("entries", cache.entries)
+      .Field("shards", static_cast<int64_t>(cache.shard_entries.size()))
+      .Field("shard_imbalance", cache.shard_imbalance)
+      .EndObject();
+  w.Key("workers").BeginObject();
+  w.Field("threads", static_cast<int64_t>(pool_ ? pool_->size() : 0))
+      .Field("pinned", static_cast<int64_t>(pool_ ? pool_->pinned_workers() : 0))
       .EndObject();
   w.Key("server").BeginObject();
   w.Field("connections_active", http_->active_connections())

@@ -151,13 +151,12 @@ Status LiveKb::OpenLocked() {
     }
     DeltaGraph::BatchStats stats = delta_->Apply(rec.ops);
     epoch_ = rec.epoch;
-    std::lock_guard<std::mutex> lock(counters_mu_);
-    ++counters_.batches;
-    counters_.triples_added += stats.added;
-    counters_.triples_deleted += stats.deleted;
-    counters_.noop_adds += stats.noop_adds;
-    counters_.noop_deletes += stats.noop_deletes;
-    counters_.new_terms += stats.new_terms;
+    batches_.Increment();
+    triples_added_.Add(stats.added);
+    triples_deleted_.Add(stats.deleted);
+    noop_adds_.Add(stats.noop_adds);
+    noop_deletes_.Add(stats.noop_deletes);
+    new_terms_.Add(stats.new_terms);
   }
 
   auto log = IngestLog::Open(manifest_.wal);
@@ -166,11 +165,11 @@ Status LiveKb::OpenLocked() {
 
   {
     std::lock_guard<std::mutex> lock(counters_mu_);
-    counters_.epoch = epoch_;
-    counters_.delta_triples = delta_->delta_triples();
-    counters_.touched_vertices = delta_->touched_vertices();
-    counters_.delta_bytes = delta_->approx_bytes();
-    counters_.wal_bytes = log_->size_bytes();
+    gauges_.epoch = epoch_;
+    gauges_.delta_triples = delta_->delta_triples();
+    gauges_.touched_vertices = delta_->touched_vertices();
+    gauges_.delta_bytes = delta_->approx_bytes();
+    gauges_.wal_bytes = log_->size_bytes();
   }
   PublishViewLocked();
   return Status::Ok();
@@ -252,19 +251,20 @@ StatusOr<LiveKb::BatchResult> LiveKb::Apply(
     arm_compaction = options_.compact_threshold > 0 &&
                      delta_->delta_triples() >= options_.compact_threshold;
 
+    batches_.Increment();
+    triples_added_.Add(result.stats.added);
+    triples_deleted_.Add(result.stats.deleted);
+    noop_adds_.Add(result.stats.noop_adds);
+    noop_deletes_.Add(result.stats.noop_deletes);
+    new_terms_.Add(result.stats.new_terms);
+
     std::lock_guard<std::mutex> counters_lock(counters_mu_);
-    counters_.epoch = epoch_;
-    ++counters_.batches;
-    counters_.triples_added += result.stats.added;
-    counters_.triples_deleted += result.stats.deleted;
-    counters_.noop_adds += result.stats.noop_adds;
-    counters_.noop_deletes += result.stats.noop_deletes;
-    counters_.new_terms += result.stats.new_terms;
-    counters_.delta_triples = delta_->delta_triples();
-    counters_.touched_vertices = delta_->touched_vertices();
-    counters_.delta_bytes = delta_->approx_bytes();
-    counters_.wal_bytes = log_->size_bytes();
-    counters_.last_batch_ms = timer.ElapsedMillis();
+    gauges_.epoch = epoch_;
+    gauges_.delta_triples = delta_->delta_triples();
+    gauges_.touched_vertices = delta_->touched_vertices();
+    gauges_.delta_bytes = delta_->approx_bytes();
+    gauges_.wal_bytes = log_->size_bytes();
+    gauges_.last_batch_ms = timer.ElapsedMillis();
   }
   if (arm_compaction) {
     if (options_.background_compaction) {
@@ -275,10 +275,7 @@ StatusOr<LiveKb::BatchResult> LiveKb::Apply(
       bg_cv_.notify_one();
     } else {
       Status st = Compact();
-      if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(counters_mu_);
-        ++counters_.failed_compactions;
-      }
+      if (!st.ok()) failed_compactions_.Increment();
     }
   }
   return result;
@@ -292,10 +289,7 @@ void LiveKb::CompactionLoop() {
     compaction_due_ = false;
     lock.unlock();
     Status st = Compact();
-    if (!st.ok()) {
-      std::lock_guard<std::mutex> counters_lock(counters_mu_);
-      ++counters_.failed_compactions;
-    }
+    if (!st.ok()) failed_compactions_.Increment();
     lock.lock();
   }
 }
@@ -370,19 +364,35 @@ Status LiveKb::CompactLocked() {
     ::unlink(old_snapshot.c_str());
   }
 
+  compactions_.Increment();
   std::lock_guard<std::mutex> counters_lock(counters_mu_);
-  ++counters_.compactions;
-  counters_.delta_triples = 0;
-  counters_.touched_vertices = 0;
-  counters_.delta_bytes = 0;
-  counters_.wal_bytes = 0;
-  counters_.last_compaction_ms = timer.ElapsedMillis();
+  gauges_.delta_triples = 0;
+  gauges_.touched_vertices = 0;
+  gauges_.delta_bytes = 0;
+  gauges_.wal_bytes = 0;
+  gauges_.last_compaction_ms = timer.ElapsedMillis();
   return Status::Ok();
 }
 
 LiveKb::IngestCounters LiveKb::counters() const {
+  IngestCounters c;
+  c.batches = batches_.Value();
+  c.triples_added = triples_added_.Value();
+  c.triples_deleted = triples_deleted_.Value();
+  c.noop_adds = noop_adds_.Value();
+  c.noop_deletes = noop_deletes_.Value();
+  c.new_terms = new_terms_.Value();
+  c.compactions = compactions_.Value();
+  c.failed_compactions = failed_compactions_.Value();
   std::lock_guard<std::mutex> lock(counters_mu_);
-  return counters_;
+  c.epoch = gauges_.epoch;
+  c.delta_triples = gauges_.delta_triples;
+  c.touched_vertices = gauges_.touched_vertices;
+  c.delta_bytes = gauges_.delta_bytes;
+  c.wal_bytes = gauges_.wal_bytes;
+  c.last_batch_ms = gauges_.last_batch_ms;
+  c.last_compaction_ms = gauges_.last_compaction_ms;
+  return c;
 }
 
 }  // namespace live

@@ -1,0 +1,127 @@
+// StripedCounter: exactness under concurrent writers (the property that
+// lets it replace shared atomics without changing /stats semantics),
+// stripe sizing, and the worker-id alignment contract with ThreadPool.
+
+#include "common/striped_counter.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "common/topology.h"
+
+namespace ganswer {
+namespace {
+
+TEST(StripedCounterTest, SingleThreadExact) {
+  StripedCounter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(StripedCounterTest, StripesArePowerOfTwoAndBounded) {
+  EXPECT_EQ(StripedCounter(1).stripes(), 1u);
+  EXPECT_EQ(StripedCounter(2).stripes(), 2u);
+  EXPECT_EQ(StripedCounter(3).stripes(), 4u);
+  EXPECT_EQ(StripedCounter(64).stripes(), 64u);
+  EXPECT_EQ(StripedCounter(1000).stripes(), 64u);  // clamped
+  size_t auto_stripes = StripedCounter(0).stripes();
+  EXPECT_GE(auto_stripes, 1u);
+  EXPECT_EQ(auto_stripes & (auto_stripes - 1), 0u);  // power of two
+}
+
+// The exactness property: N threads x M increments from scattered hints
+// must sum to exactly N*M — never sampled, never lost — regardless of how
+// threads map onto stripes.
+TEST(StripedCounterTest, ConcurrentSumIsExact) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100'000;
+  for (size_t stripes : {size_t{1}, size_t{4}, size_t{0}}) {
+    StripedCounter counter(stripes);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&counter, t] {
+        // Scatter hints across threads, including collisions.
+        SetCurrentCpuHint(t % 3);
+        for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+      });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(counter.Value(), kThreads * kPerThread)
+        << "stripes=" << stripes;
+  }
+}
+
+TEST(StripedCounterTest, AddAccumulatesAcrossHints) {
+  StripedCounter counter(8);
+  int saved = CurrentCpuHint();
+  uint64_t expected = 0;
+  for (int hint = 0; hint < 20; ++hint) {
+    SetCurrentCpuHint(hint);
+    counter.Add(static_cast<uint64_t>(hint));
+    expected += static_cast<uint64_t>(hint);
+  }
+  SetCurrentCpuHint(saved);
+  EXPECT_EQ(counter.Value(), expected);
+}
+
+// Reads concurrent with writers must be tear-free per stripe (a relaxed
+// atomic load), so a mid-flight Value() is always <= the final total and
+// monotone over quiescent points.
+TEST(StripedCounterTest, ConcurrentReadsNeverOvershoot) {
+  StripedCounter counter;
+  constexpr uint64_t kTotal = 200'000;
+  std::atomic<bool> done{false};
+  uint64_t max_seen = 0;
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      uint64_t v = counter.Value();
+      EXPECT_LE(v, kTotal);
+      if (v > max_seen) max_seen = v;
+    }
+  });
+  for (uint64_t i = 0; i < kTotal; ++i) counter.Increment();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(counter.Value(), kTotal);
+}
+
+// ThreadPool workers install their worker id as the cpu hint, so pool
+// tasks stripe by worker — the alignment StripedCounter's class comment
+// promises.
+TEST(StripedCounterTest, PoolWorkersCarryWorkerIdHints) {
+  ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&] {
+      int id = ThreadPool::CurrentWorkerId();
+      if (id < 0 || id >= 4) mismatches.fetch_add(1);
+      if (CurrentCpuHint() != id) mismatches.fetch_add(1);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(ThreadPool::CurrentWorkerId(), -1);  // not a pool worker here
+}
+
+TEST(StripedCounterTest, PinnedPoolDegradesGracefully) {
+  // pin_workers is best-effort: whatever the environment (cpuset, seccomp,
+  // GANSWER_NO_AFFINITY), construction succeeds and work completes.
+  ThreadPool pool(ThreadPool::Options{2, /*pin_workers=*/true});
+  EXPECT_EQ(pool.size(), 2);
+  EXPECT_GE(pool.pinned_workers(), 0);
+  EXPECT_LE(pool.pinned_workers(), 2);
+  StripedCounter counter;
+  pool.ParallelFor(0, 1000, [&](size_t) { counter.Increment(); });
+  EXPECT_EQ(counter.Value(), 1000u);
+}
+
+}  // namespace
+}  // namespace ganswer

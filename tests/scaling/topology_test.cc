@@ -1,0 +1,172 @@
+// CPU-topology discovery over fixture sysfs trees: multi-socket, SMT,
+// cpuset-restricted, list-file-driven, and degraded (missing files) — plus
+// the live Topology() singleton, pinning, and the per-thread cpu hint.
+
+#include "common/topology.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ganswer {
+namespace {
+
+/// A throwaway sysfs-style tree: WriteCpu() lays down
+/// <root>/cpuN/topology/{physical_package_id,core_id} like the kernel does.
+struct FixtureTree {
+  std::string root;
+
+  explicit FixtureTree(const std::string& stem)
+      : root(stem + "." + std::to_string(::getpid())) {
+    std::filesystem::remove_all(root);
+    std::filesystem::create_directories(root);
+  }
+  ~FixtureTree() { std::filesystem::remove_all(root); }
+
+  void WriteFile(const std::string& rel, const std::string& text) {
+    std::filesystem::path p = std::filesystem::path(root) / rel;
+    std::filesystem::create_directories(p.parent_path());
+    std::ofstream(p) << text << "\n";
+  }
+
+  void WriteCpu(int cpu, int package, int core) {
+    std::string base = "cpu" + std::to_string(cpu) + "/topology/";
+    WriteFile(base + "physical_package_id", std::to_string(package));
+    WriteFile(base + "core_id", std::to_string(core));
+  }
+};
+
+TEST(TopologyFixtureTest, MultiSocketNoSmt) {
+  FixtureTree tree("topo_fixture_multisocket");
+  tree.WriteCpu(0, 0, 0);
+  tree.WriteCpu(1, 0, 1);
+  tree.WriteCpu(2, 1, 0);
+  tree.WriteCpu(3, 1, 1);
+
+  CpuTopology topo = ReadCpuTopology(tree.root, {});
+  EXPECT_EQ(topo.hardware_threads(), 4);
+  EXPECT_EQ(topo.sockets, 2);
+  EXPECT_EQ(topo.physical_cores, 4);
+  EXPECT_FALSE(topo.smt);
+  EXPECT_EQ(topo.cpu_socket[0], 0);
+  EXPECT_EQ(topo.cpu_socket[3], 1);
+  // Same core id on different sockets must NOT collapse to one core key.
+  EXPECT_NE(topo.cpu_core[0], topo.cpu_core[2]);
+}
+
+TEST(TopologyFixtureTest, SmtSiblingsShareCoreKey) {
+  FixtureTree tree("topo_fixture_smt");
+  // One socket, two physical cores, two threads each (0,1) and (2,3).
+  tree.WriteCpu(0, 0, 0);
+  tree.WriteCpu(1, 0, 0);
+  tree.WriteCpu(2, 0, 1);
+  tree.WriteCpu(3, 0, 1);
+
+  CpuTopology topo = ReadCpuTopology(tree.root, {});
+  EXPECT_EQ(topo.hardware_threads(), 4);
+  EXPECT_EQ(topo.sockets, 1);
+  EXPECT_EQ(topo.physical_cores, 2);
+  EXPECT_TRUE(topo.smt);
+  EXPECT_EQ(topo.cpu_core[0], topo.cpu_core[1]);
+  EXPECT_EQ(topo.cpu_core[2], topo.cpu_core[3]);
+  EXPECT_NE(topo.cpu_core[0], topo.cpu_core[2]);
+}
+
+TEST(TopologyFixtureTest, CpusetRestrictionWins) {
+  FixtureTree tree("topo_fixture_cpuset");
+  for (int c = 0; c < 8; ++c) tree.WriteCpu(c, 0, c);
+
+  // The container cpuset confines the process to two of the eight cpus;
+  // every derived count must follow the restriction, not the tree.
+  CpuTopology topo = ReadCpuTopology(tree.root, {1, 5});
+  EXPECT_EQ(topo.hardware_threads(), 2);
+  EXPECT_EQ((std::vector<int>{1, 5}), topo.cpus);
+  EXPECT_EQ(topo.physical_cores, 2);
+  EXPECT_EQ(topo.sockets, 1);
+}
+
+TEST(TopologyFixtureTest, OnlineListFileEnumerates) {
+  FixtureTree tree("topo_fixture_online");
+  tree.WriteFile("online", "0-2,5");
+  for (int c : {0, 1, 2, 5}) tree.WriteCpu(c, 0, c);
+
+  CpuTopology topo = ReadCpuTopology(tree.root, {});
+  EXPECT_EQ((std::vector<int>{0, 1, 2, 5}), topo.cpus);
+}
+
+TEST(TopologyFixtureTest, MissingTopologyFilesDegradeGracefully) {
+  FixtureTree tree("topo_fixture_degraded");
+  // cpu directories exist (marked by online files) but carry no topology/
+  // subtree — a stripped-down container sysfs.
+  tree.WriteFile("cpu0/online", "1");
+  tree.WriteFile("cpu1/online", "1");
+
+  CpuTopology topo = ReadCpuTopology(tree.root, {});
+  EXPECT_EQ(topo.hardware_threads(), 2);
+  // The conservative fallback: one socket of independent cores.
+  EXPECT_EQ(topo.sockets, 1);
+  EXPECT_EQ(topo.physical_cores, 2);
+  EXPECT_FALSE(topo.smt);
+  EXPECT_EQ(topo.cache_line_bytes, 64);
+}
+
+TEST(TopologyFixtureTest, EmptyTreeYieldsSingleCpu) {
+  FixtureTree tree("topo_fixture_empty");
+  CpuTopology topo = ReadCpuTopology(tree.root, {});
+  EXPECT_EQ(topo.hardware_threads(), 1);
+  EXPECT_EQ(topo.sockets, 1);
+  EXPECT_EQ(topo.physical_cores, 1);
+}
+
+TEST(TopologyFixtureTest, CacheLineSizeReadAndClamped) {
+  FixtureTree tree("topo_fixture_cacheline");
+  tree.WriteCpu(0, 0, 0);
+  tree.WriteFile("cpu0/cache/index0/coherency_line_size", "128");
+  EXPECT_EQ(ReadCpuTopology(tree.root, {}).cache_line_bytes, 128);
+
+  FixtureTree bad("topo_fixture_cacheline_bad");
+  bad.WriteCpu(0, 0, 0);
+  bad.WriteFile("cpu0/cache/index0/coherency_line_size", "0");
+  EXPECT_EQ(ReadCpuTopology(bad.root, {}).cache_line_bytes, 64);
+}
+
+TEST(TopologyLiveTest, SingletonIsSaneAndStable) {
+  const CpuTopology& topo = Topology();
+  EXPECT_GE(topo.hardware_threads(), 1);
+  EXPECT_GE(topo.sockets, 1);
+  EXPECT_GE(topo.physical_cores, 1);
+  EXPECT_GT(topo.cache_line_bytes, 0);
+  EXPECT_EQ(&Topology(), &topo);  // cached
+  EXPECT_EQ(AvailableCpus(), topo.hardware_threads());
+}
+
+TEST(TopologyLiveTest, PinRejectsUnknownCpuGracefully) {
+  // Never an error: pinning to a cpu outside the allowed set reports false
+  // and the thread keeps running unpinned.
+  EXPECT_FALSE(PinCurrentThreadToCpu(1 << 20));
+  EXPECT_FALSE(PinCurrentThreadToCpu(-1));
+}
+
+TEST(TopologyLiveTest, CpuHintIsStableAndOverridable) {
+  int first = CurrentCpuHint();
+  EXPECT_GE(first, 0);
+  EXPECT_EQ(CurrentCpuHint(), first);  // stable for the thread's lifetime
+
+  SetCurrentCpuHint(7);
+  EXPECT_EQ(CurrentCpuHint(), 7);
+  SetCurrentCpuHint(first);
+
+  // A fresh thread gets its own hint without any setup call.
+  int other = -1;
+  std::thread([&] { other = CurrentCpuHint(); }).join();
+  EXPECT_GE(other, 0);
+}
+
+}  // namespace
+}  // namespace ganswer
